@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks of the reproduction's primitives: how fast the
+//! *simulator itself* runs on the host. (Simulated costs — the paper's
+//! Table 2 — are measured by the `table2` binary; these benches ensure the
+//! substrate is fast enough to run the full evaluation quickly.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use safemem_core::{CallStack, LeakConfig, LeakDetector, MemTool, SafeMem};
+use safemem_ecc::{Codec, EccController, ScrambleScheme};
+use safemem_os::{Os, HEAP_BASE};
+
+fn bench_codec(c: &mut Criterion) {
+    let codec = Codec::new();
+    c.bench_function("codec/encode", |b| {
+        b.iter(|| codec.encode(black_box(0xDEAD_BEEF_0123_4567)))
+    });
+    let code = codec.encode(0xDEAD_BEEF_0123_4567);
+    c.bench_function("codec/decode_clean", |b| {
+        b.iter(|| codec.decode(black_box(0xDEAD_BEEF_0123_4567), black_box(code)))
+    });
+    c.bench_function("codec/decode_single_bit", |b| {
+        b.iter(|| codec.decode(black_box(0xDEAD_BEEF_0123_4567 ^ 2), black_box(code)))
+    });
+    let scheme = ScrambleScheme::default();
+    c.bench_function("codec/decode_scrambled", |b| {
+        b.iter(|| codec.decode(black_box(scheme.apply(0xDEAD_BEEF)), black_box(codec.encode(0xDEAD_BEEF))))
+    });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut ctl = EccController::new(1 << 20);
+    ctl.write(0x1000, &[7u8; 64]);
+    let mut buf = [0u8; 64];
+    c.bench_function("controller/read_line", |b| {
+        b.iter(|| ctl.read(black_box(0x1000), &mut buf))
+    });
+    c.bench_function("controller/write_line", |b| {
+        b.iter(|| ctl.write(black_box(0x1000), black_box(&buf)))
+    });
+}
+
+fn bench_os_access(c: &mut Criterion) {
+    let mut os = Os::with_defaults(1 << 22);
+    os.vwrite(HEAP_BASE, &[1u8; 4096]).unwrap();
+    let mut buf = [0u8; 64];
+    c.bench_function("os/vread_cached_line", |b| {
+        b.iter(|| os.vread(black_box(HEAP_BASE), &mut buf))
+    });
+    c.bench_function("os/watch_unwatch_line", |b| {
+        b.iter(|| {
+            os.watch_memory(HEAP_BASE + 1024, 64).unwrap();
+            os.disable_watch_memory(HEAP_BASE + 1024).unwrap();
+        })
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    c.bench_function("leak/alloc_free_pair", |b| {
+        let mut os = Os::with_defaults(1 << 22);
+        os.register_ecc_fault_handler();
+        let mut det = LeakDetector::new(LeakConfig::default(), 64);
+        let stack = CallStack::new(&[0x400_000, 0x1]);
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = HEAP_BASE + (i % 1024) * 128;
+            det.on_alloc(&mut os, addr, 64, &stack);
+            det.on_free(&mut os, addr);
+            i += 1;
+        })
+    });
+    c.bench_function("safemem/malloc_free_watched", |b| {
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let stack = CallStack::new(&[0x400_000, 0x2]);
+        b.iter(|| {
+            let addr = tool.malloc(&mut os, 256, &stack);
+            tool.free(&mut os, addr);
+        })
+    });
+}
+
+fn bench_workload_throughput(c: &mut Criterion) {
+    use safemem_workloads::{run_under, RunConfig, Workload};
+    // Host-side speed of simulating one monitored ypserv1 request
+    // (everything: cache model, ECC codes, detectors).
+    c.bench_function("simulate/ypserv1_request_under_safemem", |b| {
+        let w = safemem_workloads::workload_by_name("ypserv1").expect("registered");
+        b.iter_custom(|iters| {
+            let requests = iters.max(1);
+            let mut os = Os::with_defaults(1 << 26);
+            let mut tool = SafeMem::builder().build(&mut os);
+            let cfg = RunConfig { requests: Some(requests), ..RunConfig::default() };
+            let start = std::time::Instant::now();
+            let _ = run_under(w.as_ref(), &mut os, &mut tool, &cfg);
+            start.elapsed()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_controller,
+    bench_os_access,
+    bench_detectors,
+    bench_workload_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! `cargo bench` run. Each exhibit can also be produced individually with
+//! the corresponding binary (`cargo run -p safemem-bench --bin table3`).
+//!
+//! Pass `--quick` (or set `SAFEMEM_BENCH_SCALE`) to shrink run lengths.
+
+use safemem_bench::reports;
+
+fn main() {
+    let scale: f64 = std::env::var("SAFEMEM_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if std::env::args().any(|a| a == "--quick") { 0.2 } else { 1.0 });
+
+    println!("SafeMem reproduction — full evaluation (scale {scale})\n");
+    println!("{}", reports::table1());
+    println!("{}", reports::table2());
+    println!("{}", reports::table3(scale));
+    println!("{}", reports::table3_extended(scale));
+    println!("{}", reports::table3_variance(scale * 0.5, &[1, 7, 42, 1234, 0x5AFE_3E3]));
+    println!("{}", reports::table4(scale));
+    println!("{}", reports::table5(scale));
+    println!("{}", reports::fig1());
+    println!("{}", reports::fig2());
+    println!("{}", reports::fig3(scale));
+    println!("{}", reports::fig3_detail(scale));
+    println!("{}", reports::ablation_padding());
+    println!("{}", reports::ablation_checking_period(scale));
+    println!("{}", reports::ablation_granularity(scale));
+    println!("{}", reports::ablation_overhead_drivers());
+    println!("{}", reports::ablation_prefetch(scale));
+    println!("{}", reports::ablation_swap_policy());
+    println!("{}", reports::ablation_scrub());
+}

@@ -1,0 +1,5 @@
+//! Sweeps the synthetic workload's knobs to show what drives each tool's
+//! overhead. See DESIGN.md §5.
+fn main() {
+    println!("{}", safemem_bench::reports::ablation_overhead_drivers());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablation_padding exhibit. See DESIGN.md §5.
+fn main() {
+    println!("{}", safemem_bench::reports::ablation_padding());
+}

@@ -1,0 +1,4 @@
+//! Swap-policy ablation under memory pressure. See DESIGN.md §5.
+fn main() {
+    println!("{}", safemem_bench::reports::ablation_swap_policy());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig1 exhibit. See DESIGN.md §5.
+fn main() {
+    println!("{}", safemem_bench::reports::fig1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 exhibit. See DESIGN.md §5.
+fn main() {
+    println!("{}", safemem_bench::reports::table2());
+}

@@ -1,0 +1,165 @@
+//! Shared benchmark harness: build a tool, run a workload, measure.
+
+use safemem_baselines::{Memcheck, PageGuard, Purify};
+use safemem_core::{LeakConfig, NullTool, SafeMem};
+use safemem_os::{Os, STATIC_BASE};
+use safemem_workloads::{run_under, BugClass, InputMode, RunConfig, RunResult, Workload};
+
+/// Physical memory given to every run (64 MiB).
+pub const PHYS_BYTES: u64 = 1 << 26;
+/// Root-table bytes scanned by the Purify model.
+pub const ROOT_TABLE_BYTES: u64 = 4096;
+
+/// Which tool configuration a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ToolKind {
+    /// Uninstrumented baseline (overhead denominator).
+    Baseline,
+    /// SafeMem, leak detection only (Table 3 "Only ML").
+    SafeMemMl,
+    /// SafeMem, corruption detection only (Table 3 "Only MC").
+    SafeMemMc,
+    /// SafeMem with both detectors (Table 3 "ML + MC").
+    SafeMemFull,
+    /// SafeMem with ECC pruning disabled (Table 5 "before pruning").
+    SafeMemNoPrune,
+    /// The Purify-class checker.
+    Purify,
+    /// The Valgrind/Memcheck-class checker.
+    Memcheck,
+    /// The page-protection guard tool.
+    PageGuard,
+}
+
+impl ToolKind {
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ToolKind::Baseline => "baseline",
+            ToolKind::SafeMemMl => "safemem (ML)",
+            ToolKind::SafeMemMc => "safemem (MC)",
+            ToolKind::SafeMemFull => "safemem (ML+MC)",
+            ToolKind::SafeMemNoPrune => "safemem (no pruning)",
+            ToolKind::Purify => "purify",
+            ToolKind::Memcheck => "memcheck",
+            ToolKind::PageGuard => "page-guard",
+        }
+    }
+}
+
+/// Runs `workload` under the given tool configuration and returns the
+/// measurements. Identical seeds and request counts keep op sequences
+/// identical across tools, so overhead ratios are apples-to-apples.
+#[must_use]
+pub fn run_app(
+    workload: &dyn Workload,
+    kind: ToolKind,
+    input: InputMode,
+    requests: Option<u64>,
+) -> RunResult {
+    let mut os = Os::with_defaults(PHYS_BYTES);
+    let cfg = RunConfig { input, requests, ..RunConfig::default() };
+    match kind {
+        ToolKind::Baseline => {
+            let mut tool = NullTool::new();
+            run_under(workload, &mut os, &mut tool, &cfg)
+        }
+        ToolKind::SafeMemMl => {
+            let mut tool = SafeMem::builder()
+                .leak_detection(true)
+                .corruption_detection(false)
+                .build(&mut os);
+            run_under(workload, &mut os, &mut tool, &cfg)
+        }
+        ToolKind::SafeMemMc => {
+            let mut tool = SafeMem::builder()
+                .leak_detection(false)
+                .corruption_detection(true)
+                .build(&mut os);
+            run_under(workload, &mut os, &mut tool, &cfg)
+        }
+        ToolKind::SafeMemFull => {
+            let mut tool = SafeMem::builder().build(&mut os);
+            run_under(workload, &mut os, &mut tool, &cfg)
+        }
+        ToolKind::SafeMemNoPrune => {
+            let mut tool = SafeMem::builder()
+                .leak_config(LeakConfig { prune_with_ecc: false, ..LeakConfig::default() })
+                .build(&mut os);
+            run_under(workload, &mut os, &mut tool, &cfg)
+        }
+        ToolKind::Purify => {
+            let mut tool = Purify::new();
+            tool.add_root_range(STATIC_BASE, ROOT_TABLE_BYTES);
+            run_under(workload, &mut os, &mut tool, &cfg)
+        }
+        ToolKind::Memcheck => {
+            let mut tool = Memcheck::new();
+            tool.add_root_range(STATIC_BASE, ROOT_TABLE_BYTES);
+            run_under(workload, &mut os, &mut tool, &cfg)
+        }
+        ToolKind::PageGuard => {
+            let mut tool = PageGuard::new();
+            run_under(workload, &mut os, &mut tool, &cfg)
+        }
+    }
+}
+
+/// Overhead of `tool_cycles` over `base_cycles`, in percent.
+#[must_use]
+pub fn overhead_percent(tool_cycles: u64, base_cycles: u64) -> f64 {
+    (tool_cycles as f64 / base_cycles as f64 - 1.0) * 100.0
+}
+
+/// Slowdown factor of `tool_cycles` over `base_cycles`.
+#[must_use]
+pub fn slowdown(tool_cycles: u64, base_cycles: u64) -> f64 {
+    tool_cycles as f64 / base_cycles as f64
+}
+
+/// Whether `result` contains a report matching the app's injected bug.
+#[must_use]
+pub fn bug_detected(workload: &dyn Workload, result: &RunResult) -> bool {
+    match workload.spec().bug {
+        BugClass::ALeak | BugClass::SLeak => {
+            result.true_leaks(&workload.true_leak_groups()) > 0
+        }
+        BugClass::Overflow => result
+            .reports
+            .iter()
+            .any(|r| matches!(r, safemem_core::BugReport::Overflow { .. })),
+        BugClass::UseAfterFree => result
+            .reports
+            .iter()
+            .any(|r| matches!(r, safemem_core::BugReport::UseAfterFree { .. })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safemem_workloads::workload_by_name;
+
+    #[test]
+    fn overhead_math() {
+        assert!((overhead_percent(110, 100) - 10.0).abs() < 1e-9);
+        assert!((slowdown(500, 100) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gzip_detection_under_full_safemem() {
+        let w = workload_by_name("gzip").unwrap();
+        let result = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Buggy, Some(10));
+        assert!(bug_detected(w.as_ref(), &result));
+    }
+
+    #[test]
+    fn tools_share_the_op_sequence() {
+        let w = workload_by_name("tar").unwrap();
+        let base = run_app(w.as_ref(), ToolKind::Baseline, InputMode::Normal, Some(20));
+        let tool = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Normal, Some(20));
+        assert_eq!(base.heap_stats.allocs, tool.heap_stats.allocs);
+        assert!(tool.cpu_cycles > base.cpu_cycles);
+    }
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness for the SafeMem reproduction.
+//!
+//! One generator per table and figure of the paper's evaluation lives in
+//! [`reports`]; the `table*` / `fig*` / `ablation_*` binaries print them,
+//! and the `tables` bench target regenerates everything in one `cargo
+//! bench` run. [`harness`] holds the shared run/measure machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod reports;
+
+pub use harness::{bug_detected, overhead_percent, run_app, slowdown, ToolKind};

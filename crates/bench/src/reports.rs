@@ -1,0 +1,785 @@
+//! Generators for every table and figure in the paper's evaluation.
+//!
+//! Each function regenerates one exhibit and returns it as printable text;
+//! the `table*`/`fig*` binaries and the `tables` bench target are thin
+//! wrappers. Absolute numbers come from the simulated machine's calibrated
+//! cost model — the claims under test are the *shapes* (see EXPERIMENTS.md).
+
+use crate::harness::{bug_detected, overhead_percent, run_app, slowdown, ToolKind, PHYS_BYTES};
+use safemem_core::{LeakConfig, MemTool, SafeMem};
+use safemem_ecc::{EccController, EccMode, ScrambleScheme};
+use safemem_os::{Os, Prot, HEAP_BASE, PAGE_BYTES};
+use safemem_workloads::{all_workloads, run_under, InputMode, RunConfig};
+use std::fmt::Write as _;
+
+/// Table 1: the tested applications.
+#[must_use]
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: Tested Applications");
+    let _ = writeln!(out, "{:—<72}", "");
+    let _ = writeln!(out, "{:<12} {:<10} {:>8}  {}", "Bug", "App", "LOC", "Description");
+    for w in all_workloads() {
+        let s = w.spec();
+        let class = if s.bug.is_leak() { "Leak" } else { "Corruption" };
+        let _ = writeln!(out, "{:<12} {:<10} {:>8}  {}", class, s.name, s.loc, s.description);
+    }
+    out
+}
+
+/// Table 2: microsecond cost of the monitoring system calls.
+#[must_use]
+pub fn table2() -> String {
+    let mut os = Os::with_defaults(PHYS_BYTES);
+    os.register_ecc_fault_handler();
+    const ITERS: u64 = 200;
+
+    // WatchMemory / DisableWatchMemory on one-line regions.
+    let mut watch_cycles = 0;
+    let mut disable_cycles = 0;
+    for i in 0..ITERS {
+        let addr = HEAP_BASE + i * 64;
+        os.vwrite(addr, &[1u8; 64]).unwrap();
+        let t0 = os.total_cycles();
+        os.watch_memory(addr, 64).unwrap();
+        watch_cycles += os.total_cycles() - t0;
+        let t1 = os.total_cycles();
+        os.disable_watch_memory(addr).unwrap();
+        disable_cycles += os.total_cycles() - t1;
+    }
+    // Stock mprotect on one page.
+    let mut mprotect_cycles = 0;
+    for i in 0..ITERS {
+        let addr = HEAP_BASE + (1 << 20) + i * PAGE_BYTES;
+        let t0 = os.total_cycles();
+        os.mprotect(addr, PAGE_BYTES, Prot::NONE).unwrap();
+        mprotect_cycles += os.total_cycles() - t0;
+    }
+    let us = |cycles: u64| os.machine().cost().cycles_to_micros(cycles / ITERS);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2: Time for the ECC system calls (vs paper)");
+    let _ = writeln!(out, "{:—<64}", "");
+    let _ = writeln!(out, "{:<18} {:<22} {:>9} {:>9}", "", "Call", "µs (sim)", "µs paper");
+    let _ = writeln!(out, "{:<18} {:<22} {:>9.2} {:>9}", "ECC Protection", "WatchMemory", us(watch_cycles), "2.0");
+    let _ = writeln!(out, "{:<18} {:<22} {:>9.2} {:>9}", "", "DisableWatchMemory", us(disable_cycles), "1.5");
+    let _ = writeln!(out, "{:<18} {:<22} {:>9.2} {:>9}", "Page Protection", "mprotect", us(mprotect_cycles), "1.02");
+    out
+}
+
+/// Table 3: bug detection + time overhead of SafeMem (ML / MC / both) vs
+/// Purify. `scale` shrinks the default request counts for quick runs
+/// (`1.0` = the full defaults used for reported results).
+#[must_use]
+pub fn table3(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: Time overhead (%) comparison between SafeMem and Purify");
+    let _ = writeln!(out, "{:—<100}", "");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "App", "Detected?", "Only ML %", "Only MC %", "ML+MC %", "Purify", "Reduction"
+    );
+    for w in all_workloads() {
+        let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
+        let base = run_app(w.as_ref(), ToolKind::Baseline, InputMode::Normal, requests);
+        let ml = run_app(w.as_ref(), ToolKind::SafeMemMl, InputMode::Normal, requests);
+        let mc = run_app(w.as_ref(), ToolKind::SafeMemMc, InputMode::Normal, requests);
+        let full = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Normal, requests);
+        let purify = run_app(w.as_ref(), ToolKind::Purify, InputMode::Normal, requests);
+        let detect = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Buggy, requests);
+
+        let full_oh = overhead_percent(full.cpu_cycles, base.cpu_cycles);
+        let purify_x = slowdown(purify.cpu_cycles, base.cpu_cycles);
+        let purify_oh = overhead_percent(purify.cpu_cycles, base.cpu_cycles);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>10.1} {:>10.1} {:>10.1} {:>11.1}X {:>11.0}X",
+            w.spec().name,
+            if bug_detected(w.as_ref(), &detect) { "YES" } else { "NO" },
+            overhead_percent(ml.cpu_cycles, base.cpu_cycles),
+            overhead_percent(mc.cpu_cycles, base.cpu_cycles),
+            full_oh,
+            purify_x,
+            purify_oh / full_oh.max(0.01),
+        );
+    }
+    let _ = writeln!(out, "(paper: SafeMem ML+MC 1.6–14.4 %, Purify 4.8×–50.6×)");
+    out
+}
+
+/// Table 4: space overhead of ECC-protection vs page-protection.
+#[must_use]
+pub fn table4(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4: Space overhead (%) of ECC-protection vs page-protection");
+    let _ = writeln!(out, "{:—<64}", "");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>18} {:>12}",
+        "App", "ECC-Prot. %", "Page-Prot. %", "Reduction"
+    );
+    for w in all_workloads() {
+        let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
+        let ecc = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Normal, requests);
+        let page = run_app(w.as_ref(), ToolKind::PageGuard, InputMode::Normal, requests);
+        let ecc_oh = ecc.heap_stats.overhead_percent();
+        let page_oh = page.heap_stats.overhead_percent();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.2} {:>18.2} {:>11.0}X",
+            w.spec().name,
+            ecc_oh,
+            page_oh,
+            page_oh / ecc_oh.max(0.001),
+        );
+    }
+    let _ = writeln!(out, "(paper: reduction 64×–74×; overhead computed over all bytes allocated)");
+    out
+}
+
+/// Table 5: leak false positives before/after ECC pruning.
+#[must_use]
+pub fn table5(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5: False memory leaks reported before/after ECC pruning");
+    let _ = writeln!(out, "{:—<56}", "");
+    let _ = writeln!(out, "{:<10} {:>16} {:>16}", "App", "Before Pruning", "After Pruning");
+    let paper = [("ypserv1", 7, 0), ("proftpd", 9, 0), ("squid1", 13, 1), ("ypserv2", 2, 0)];
+    for w in all_workloads() {
+        if !w.spec().bug.is_leak() {
+            continue;
+        }
+        let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
+        let truth = w.true_leak_groups();
+        let before = run_app(w.as_ref(), ToolKind::SafeMemNoPrune, InputMode::Buggy, requests);
+        let after = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Buggy, requests);
+        let row = paper.iter().find(|(n, _, _)| *n == w.spec().name);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} ({:>2}) {:>10} ({:>2})",
+            w.spec().name,
+            before.false_leaks(&truth),
+            row.map_or(0, |r| r.1),
+            after.false_leaks(&truth),
+            row.map_or(0, |r| r.2),
+        );
+    }
+    let _ = writeln!(out, "(paper values in parentheses; no corruption false positives by construction)");
+    out
+}
+
+/// Figure 1: a step-by-step trace of the ECC memory read/write data path.
+#[must_use]
+pub fn fig1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1: Read/Write operations for ECC memory (event trace)");
+    let _ = writeln!(out, "{:—<72}", "");
+    let mut ctl = EccController::new(1 << 16);
+    ctl.set_mode(EccMode::CorrectError);
+
+    // (a) Write: the controller encodes the group and stores data + code.
+    ctl.write(0x100, &0xDEAD_BEEF_u64.to_le_bytes());
+    let (data, code) = ctl.memory().read_group(0x100);
+    let _ = writeln!(out, "(a) write 0xdeadbeef  → stored data={data:#018x} code={code:#04x}");
+
+    // (b) Clean read: recomputed code matches.
+    let mut buf = [0u8; 8];
+    ctl.read(0x100, &mut buf).unwrap();
+    let _ = writeln!(out, "(b) read              → codes match, data delivered");
+
+    // (c) Single-bit hardware error: corrected transparently.
+    ctl.inject_data_error(0x100, 9);
+    ctl.read(0x100, &mut buf).unwrap();
+    let _ = writeln!(
+        out,
+        "(c) 1-bit error + read → corrected in place ({} corrections so far), data={:#x}",
+        ctl.stats().corrected_single_bit,
+        u64::from_le_bytes(buf)
+    );
+
+    // (d) Multi-bit error: reported to the processor.
+    ctl.inject_multi_bit_error(0x100);
+    let fault = ctl.read(0x100, &mut buf).unwrap_err();
+    let _ = writeln!(out, "(d) 2-bit error + read → interrupt: {fault}");
+    out
+}
+
+/// Figure 2: a step-by-step trace of the `WatchMemory` scramble sequence.
+#[must_use]
+pub fn fig2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 2: Implementation of WatchMemory (state trace)");
+    let _ = writeln!(out, "{:—<72}", "");
+    let mut os = Os::with_defaults(1 << 22);
+    os.register_ecc_fault_handler();
+    let scheme = ScrambleScheme::default();
+    let _ = writeln!(out, "scramble scheme: flip data bits {:?} (syndrome {:#04x})", scheme.bits(), scheme.syndrome());
+
+    os.vwrite(HEAP_BASE, &0xCAFE_F00D_u64.to_le_bytes()).unwrap();
+    os.machine_mut().flush_range(0, PHYS_BYTES.min(1 << 22)); // settle caches for a clean peek
+    let phys = os.vm().translate_resident(HEAP_BASE).unwrap();
+    let show = |os: &Os, label: &str, out: &mut String| {
+        let (data, code) = os.machine().controller().memory().read_group(phys);
+        let _ = writeln!(out, "{label:<34} data={data:#018x} code={code:#04x}");
+    };
+    show(&os, "initial (consistent)", &mut out);
+
+    os.watch_memory(HEAP_BASE, 64).unwrap();
+    show(&os, "after disable→scramble→enable", &mut out);
+    let _ = writeln!(out, "{:<34} (3 bits flipped, code unchanged → stale)", "");
+
+    let fault = os.vread(HEAP_BASE, &mut [0u8; 8]).unwrap_err();
+    let _ = writeln!(out, "first access                       → {fault}");
+
+    os.disable_watch_memory(HEAP_BASE).unwrap();
+    show(&os, "after DisableWatchMemory", &mut out);
+    let mut buf = [0u8; 8];
+    os.vread(HEAP_BASE, &mut buf).unwrap();
+    let _ = writeln!(out, "re-read                            → {:#x} (original restored)", u64::from_le_bytes(buf));
+    out
+}
+
+/// Figure 3: cumulative distribution of WarmUpTime — how quickly the
+/// maximal lifetime of each memory object group stabilises — for the three
+/// server programs.
+#[must_use]
+pub fn fig3(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3: Stability of maximal lifetime (CDF of WarmUpTime)");
+    let _ = writeln!(out, "{:—<72}", "");
+    for name in ["ypserv1", "proftpd", "squid1"] {
+        let w = safemem_workloads::workload_by_name(name).expect("registered");
+        let requests = ((w.default_requests() as f64) * scale).max(50.0) as u64;
+        let mut os = Os::with_defaults(PHYS_BYTES);
+        // Collection-only configuration: the paper gathers these statistics
+        // with detection effectively off (normal inputs, §3.1), so suspect
+        // handling must not perturb the lifetime record.
+        let mut tool = SafeMem::builder()
+            .corruption_detection(false)
+            .leak_config(LeakConfig {
+                aleak_live_threshold: usize::MAX,
+                sleak_factor: 1e18,
+                ..LeakConfig::default()
+            })
+            .build(&mut os);
+        let cfg = RunConfig { requests: Some(requests), ..RunConfig::default() };
+        w.run(&mut os, &mut tool, &cfg);
+        tool.finish(&mut os);
+
+        let hz = os.machine().clock().hz() as f64;
+        let total_s = os.cpu_cycles() as f64 / hz;
+        let mut warmups: Vec<f64> = tool
+            .leak_detector()
+            .expect("leak detection on")
+            .groups()
+            .filter(|(_, g)| g.has_freed())
+            .map(|(_, g)| g.max_changed_at as f64 / hz)
+            .collect();
+        warmups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = warmups.len().max(1) as f64;
+
+        let _ = writeln!(out, "\n  {name}  ({} groups, {total_s:.3}s simulated CPU time)", warmups.len());
+        let _ = writeln!(out, "  {:>12} {:>22}", "time (s)", "% stabilised MOG");
+        for (i, t) in warmups.iter().enumerate() {
+            let pct = (i + 1) as f64 / n * 100.0;
+            let _ = writeln!(out, "  {:>12.4} {:>22.1}", t, pct);
+        }
+        if let Some(last) = warmups.last() {
+            let _ = writeln!(
+                out,
+                "  → all groups stable after {:.1}% of the execution",
+                last / total_s.max(1e-9) * 100.0
+            );
+        }
+    }
+    out
+}
+
+/// Seed-sensitivity check for the headline overhead numbers: Table 3's
+/// SafeMem column re-measured across several RNG seeds, reporting
+/// min/mean/max. Methodological backing for the single-seed tables.
+#[must_use]
+pub fn table3_variance(scale: f64, seeds: &[u64]) -> String {
+    use safemem_core::NullTool;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Seed sensitivity: SafeMem ML+MC overhead (%) across {} seeds", seeds.len());
+    let _ = writeln!(out, "{:—<64}", "");
+    let _ = writeln!(out, "{:<10} {:>10} {:>10} {:>10}", "App", "min", "mean", "max");
+    for w in all_workloads() {
+        let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
+        let mut samples = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let cfg = RunConfig { requests, seed, ..RunConfig::default() };
+            let mut os = Os::with_defaults(PHYS_BYTES);
+            let mut base = NullTool::new();
+            let b = safemem_workloads::run_under(w.as_ref(), &mut os, &mut base, &cfg);
+            let mut os = Os::with_defaults(PHYS_BYTES);
+            let mut tool = SafeMem::builder().build(&mut os);
+            let t = safemem_workloads::run_under(w.as_ref(), &mut os, &mut tool, &cfg);
+            samples.push(overhead_percent(t.cpu_cycles, b.cpu_cycles));
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let _ = writeln!(out, "{:<10} {:>10.2} {:>10.2} {:>10.2}", w.spec().name, min, mean, max);
+    }
+    let _ = writeln!(out, "(each seed drives a different request mix; tight bands back the single-seed tables)");
+    out
+}
+
+/// Extended tool comparison (beyond the paper's Table 3): SafeMem vs the
+/// two dynamic-checker families it displaces, plus a hypothetical
+/// hardware-watchpoint build (iWatcher-style, §7.2) as the lower bound.
+#[must_use]
+pub fn table3_extended(scale: f64) -> String {
+    use safemem_cache::default_two_level;
+    use safemem_machine::CostModel;
+    use safemem_os::OsConfig;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Extended comparison: slowdown factor over the uninstrumented run");
+    let _ = writeln!(out, "{:—<84}", "");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "App", "SafeMem", "Purify", "Memcheck", "HW watchpoint"
+    );
+    for w in all_workloads() {
+        let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
+        let base = run_app(w.as_ref(), ToolKind::Baseline, InputMode::Normal, requests);
+        let full = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Normal, requests);
+        let purify = run_app(w.as_ref(), ToolKind::Purify, InputMode::Normal, requests);
+        let memcheck = run_app(w.as_ref(), ToolKind::Memcheck, InputMode::Normal, requests);
+
+        // iWatcher-style: same detectors, but watchpoints cost tens of
+        // cycles instead of microsecond syscalls, and faults dispatch in
+        // hardware. Modelled by swapping the cost calibration.
+        let hw = {
+            let mut cost = CostModel::default();
+            cost.watch_memory_cycles = 48;
+            cost.watch_extra_line_cycles = 4;
+            cost.disable_watch_cycles = 36;
+            cost.disable_extra_line_cycles = 4;
+            cost.fault_dispatch_cycles = 200;
+            let mut os = Os::new(OsConfig {
+                phys_bytes: PHYS_BYTES,
+                caches: default_two_level(),
+                cost,
+                ..OsConfig::default()
+            });
+            let mut tool = SafeMem::builder().build(&mut os);
+            let cfg = RunConfig { requests, ..RunConfig::default() };
+            safemem_workloads::run_under(w.as_ref(), &mut os, &mut tool, &cfg)
+        };
+
+        let _ = writeln!(
+            out,
+            "{:<10} {:>11.3}x {:>11.1}x {:>11.1}x {:>13.3}x",
+            w.spec().name,
+            slowdown(full.cpu_cycles, base.cpu_cycles),
+            slowdown(purify.cpu_cycles, base.cpu_cycles),
+            slowdown(memcheck.cpu_cycles, base.cpu_cycles),
+            slowdown(hw.cpu_cycles, base.cpu_cycles),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(HW watchpoint = SafeMem's detectors over iWatcher-style hardware: no syscalls)"
+    );
+    out
+}
+
+/// Figure 3 detail: per-group lifetime distributions (log₂ histograms and
+/// percentile bounds) for the busiest groups of one server — the underlying
+/// data behind the paper's stability observation.
+#[must_use]
+pub fn fig3_detail(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 3 detail: lifetime distributions (ypserv1, normal input)");
+    let _ = writeln!(out, "{:—<72}", "");
+    let w = safemem_workloads::workload_by_name("ypserv1").expect("registered");
+    let requests = ((w.default_requests() as f64) * scale).max(100.0) as u64;
+    let mut os = Os::with_defaults(PHYS_BYTES);
+    let mut tool = SafeMem::builder()
+        .corruption_detection(false)
+        .leak_config(LeakConfig {
+            aleak_live_threshold: usize::MAX,
+            sleak_factor: 1e18,
+            ..LeakConfig::default()
+        })
+        .build(&mut os);
+    let cfg = RunConfig { requests: Some(requests), ..RunConfig::default() };
+    w.run(&mut os, &mut tool, &cfg);
+    tool.finish(&mut os);
+
+    let hz = os.machine().clock().hz() as f64;
+    let det = tool.leak_detector().expect("leak detection on");
+    let mut rows: Vec<_> = det
+        .groups()
+        .filter(|(_, g)| g.has_freed())
+        .map(|(k, g)| (*k, g))
+        .collect();
+    rows.sort_by_key(|(_, g)| std::cmp::Reverse(g.total_frees));
+    let _ = writeln!(
+        out,
+        "{:<34} {:>8} {:>11} {:>11} {:>11}",
+        "group", "frees", "p50 (µs)", "p99 (µs)", "max (µs)"
+    );
+    for (key, g) in rows.iter().take(6) {
+        let us = |cycles: u64| cycles as f64 / hz * 1e6;
+        // Percentiles are bucket upper bounds; the true max caps them.
+        let p = |pct: f64| us(g.lifetime_percentile(pct).unwrap_or(0).min(g.max_lifetime));
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8} {:>11.1} {:>11.1} {:>11.1}",
+            key.to_string(),
+            g.total_frees,
+            p(50.0),
+            p(99.0),
+            us(g.max_lifetime),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(tight p50..max bands per group are what makes the 2× maximal-lifetime
+ outlier rule of §3.2.2 reliable)"
+    );
+    out
+}
+
+/// Ablation: guard-padding width vs detectable overflow distance and waste.
+#[must_use]
+pub fn ablation_padding() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: padding width vs detectable overflow distance");
+    let _ = writeln!(out, "{:—<72}", "");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "pad lines", "waste/alloc B", "+8 B", "+96 B", "+200 B", "+500 B"
+    );
+    for pad_lines in [1u64, 2, 4, 8] {
+        let mut row = format!("{:>10} {:>14}", pad_lines, 2 * 64 * pad_lines + 28);
+        for distance in [8u64, 96, 200, 500] {
+            let mut os = Os::with_defaults(1 << 22);
+            let mut tool = SafeMem::builder()
+                .leak_detection(false)
+                .pad_lines(pad_lines)
+                .build(&mut os);
+            let stack = safemem_core::CallStack::new(&[0x1]);
+            let buf = tool.malloc(&mut os, 100, &stack);
+            // Overflow exactly `distance` bytes past the rounded payload end.
+            tool.write(&mut os, buf + 128 + distance - 1, &[0xEE]);
+            let caught = tool.all_reports().iter().any(safemem_core::BugReport::is_corruption);
+            let _ = write!(row, " {:>10}", if caught { "caught" } else { "missed" });
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    let _ = writeln!(out, "(the paper uses 1 line and notes longer paddings are possible, §4)");
+    out
+}
+
+/// Ablation: leak-detector checking period vs ML-only overhead.
+#[must_use]
+pub fn ablation_checking_period(scale: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: checking period vs leak-detection overhead (ypserv1)");
+    let _ = writeln!(out, "{:—<56}", "");
+    let w = safemem_workloads::workload_by_name("ypserv1").expect("registered");
+    let requests = Some(((w.default_requests() as f64) * scale).max(50.0) as u64);
+    let base = run_app(w.as_ref(), ToolKind::Baseline, InputMode::Normal, requests);
+    let _ = writeln!(out, "{:>16} {:>14}", "period (µs)", "ML overhead %");
+    for period_us in [50u64, 200, 500, 2000, 10_000] {
+        let mut os = Os::with_defaults(PHYS_BYTES);
+        let mut tool = SafeMem::builder()
+            .corruption_detection(false)
+            .leak_config(LeakConfig {
+                check_period: period_us * 2400, // µs → cycles at 2.4 GHz
+                ..LeakConfig::default()
+            })
+            .build(&mut os);
+        let cfg = RunConfig { requests, ..RunConfig::default() };
+        let result = run_under(w.as_ref(), &mut os, &mut tool, &cfg);
+        let _ = writeln!(
+            out,
+            "{:>16} {:>14.2}",
+            period_us,
+            overhead_percent(result.cpu_cycles, base.cpu_cycles)
+        );
+    }
+    out
+}
+
+/// Ablation: watch granularity (cache-line size) vs space overhead —
+/// quantifying §2.2.3's point that finer protection wastes less.
+#[must_use]
+pub fn ablation_granularity(scale: f64) -> String {
+    use safemem_cache::CacheConfig;
+    use safemem_machine::CostModel;
+    use safemem_os::OsConfig;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: watch granularity vs space overhead (ypserv2)");
+    let _ = writeln!(out, "{:—<56}", "");
+    let _ = writeln!(out, "{:>12} {:>18}", "line bytes", "space overhead %");
+    let w = safemem_workloads::workload_by_name("ypserv2").expect("registered");
+    let requests = Some(((w.default_requests() as f64) * scale).max(50.0) as u64);
+    for line in [32u32, 64, 128, 256] {
+        let config = OsConfig {
+            phys_bytes: PHYS_BYTES,
+            caches: vec![
+                CacheConfig { line_size: line, sets: 32, ways: 4 },
+                CacheConfig { line_size: line, sets: 128, ways: 8 },
+            ],
+            cost: CostModel::default(),
+            ..OsConfig::default()
+        };
+        let mut os = Os::new(config);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { requests, ..RunConfig::default() };
+        let result = run_under(w.as_ref(), &mut os, &mut tool, &cfg);
+        let _ = writeln!(out, "{:>12} {:>18.2}", line, result.heap_stats.overhead_percent());
+    }
+    let _ = writeln!(out, "(page protection corresponds to a 4096-byte 'line')");
+    out
+}
+
+/// Ablation: what drives each tool's overhead — allocation rate for
+/// SafeMem, memory-access density for Purify (the mechanism behind the
+/// Table 3 spread), swept on the synthetic workload.
+#[must_use]
+pub fn ablation_overhead_drivers() -> String {
+    use safemem_baselines::Purify;
+    use safemem_core::NullTool;
+    use safemem_workloads::{Synthetic, SyntheticParams};
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: overhead drivers (synthetic workload)");
+    let _ = writeln!(out, "{:—<72}", "");
+
+    let run = |params: SyntheticParams, safemem: bool| -> f64 {
+        let w = Synthetic::new(params);
+        let cfg = RunConfig { requests: Some(120), ..RunConfig::default() };
+        let mut os = Os::with_defaults(PHYS_BYTES);
+        let mut base = NullTool::new();
+        let b = safemem_workloads::run_under(&w, &mut os, &mut base, &cfg);
+        let mut os = Os::with_defaults(PHYS_BYTES);
+        let t = if safemem {
+            let mut tool = SafeMem::builder().build(&mut os);
+            safemem_workloads::run_under(&w, &mut os, &mut tool, &cfg)
+        } else {
+            let mut tool = Purify::new();
+            safemem_workloads::run_under(&w, &mut os, &mut tool, &cfg)
+        };
+        t.cpu_cycles as f64 / b.cpu_cycles as f64
+    };
+
+    let _ = writeln!(out, "sweep A: allocation rate (density fixed at 200/1000)");
+    let _ = writeln!(out, "{:>16} {:>14} {:>12}", "allocs/request", "SafeMem", "Purify");
+    for allocs in [1u64, 2, 4, 8, 16] {
+        let p = SyntheticParams { allocs_per_request: allocs, ..SyntheticParams::default() };
+        let _ = writeln!(out, "{:>16} {:>13.3}x {:>11.1}x", allocs, run(p, true), run(p, false));
+    }
+
+    let _ = writeln!(out, "
+sweep B: memory-access density (2 allocs/request fixed)");
+    let _ = writeln!(out, "{:>16} {:>14} {:>12}", "accesses/kcycle", "SafeMem", "Purify");
+    for density in [50u64, 200, 400, 800] {
+        let p = SyntheticParams { density_permille: density, ..SyntheticParams::default() };
+        let _ = writeln!(out, "{:>16} {:>13.3}x {:>11.1}x", density, run(p, true), run(p, false));
+    }
+    let _ = writeln!(
+        out,
+        "
+(SafeMem scales with column A only; Purify with column B only — the
+         mechanism behind Table 3's per-application spread)"
+    );
+    out
+}
+
+/// Ablation: the two watched-page swap policies under memory pressure —
+/// quantifying §2.2.2's note that pinning "limits the total amount of
+/// monitored memory" vs the proposed swap-aware alternative.
+#[must_use]
+pub fn ablation_swap_policy() -> String {
+    use safemem_os::{OsConfig, SwapPolicy, PAGE_BYTES};
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: watched-page swap policy under memory pressure (squid1)");
+    let _ = writeln!(out, "{:—<72}", "");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>14} {:>12} {:>12} {:>10}",
+        "phys MiB", "policy", "unguarded", "swap-outs", "detected"
+    );
+    let w = safemem_workloads::workload_by_name("squid1").expect("registered");
+    for phys_pages in [96u64, 512] {
+        for policy in [SwapPolicy::PinWatchedPages, SwapPolicy::SwapAware] {
+            let mut os = Os::new(OsConfig {
+                phys_bytes: phys_pages * PAGE_BYTES,
+                swap_policy: policy,
+                ..OsConfig::default()
+            });
+            let mut tool = SafeMem::builder().build(&mut os);
+            let cfg = RunConfig {
+                input: InputMode::Buggy,
+                requests: Some(600),
+                ..RunConfig::default()
+            };
+            let result = safemem_workloads::run_under(w.as_ref(), &mut os, &mut tool, &cfg);
+            let unguarded = tool
+                .corruption_detector()
+                .map_or(0, |d| d.stats().unguarded);
+            let detected = result.true_leaks(&w.true_leak_groups()) > 0;
+            let _ = writeln!(
+                out,
+                "{:>12.1} {:>14} {:>12} {:>12} {:>10}",
+                phys_pages as f64 * 4096.0 / 1048576.0,
+                match policy {
+                    SwapPolicy::PinWatchedPages => "pinned",
+                    SwapPolicy::SwapAware => "swap-aware",
+                },
+                unguarded,
+                os.vm().stats().swap_outs,
+                if detected { "YES" } else { "no" },
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(pinning runs out of guardable memory when the working set outgrows RAM;
+ the swap-aware extension keeps every buffer guarded)"
+    );
+    out
+}
+
+/// Ablation: hardware prefetching on/off under SafeMem — prefetches of
+/// armed lines are squashed by the hardware, so detection is unaffected
+/// while the timing changes slightly.
+#[must_use]
+pub fn ablation_prefetch(scale: f64) -> String {
+    use safemem_core::NullTool;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: next-line prefetcher vs SafeMem (tar)");
+    let _ = writeln!(out, "{:—<64}", "");
+    let _ = writeln!(out, "{:>12} {:>14} {:>12} {:>12} {:>12}", "prefetch", "overhead %", "detected", "issued", "squashed");
+    let w = safemem_workloads::workload_by_name("tar").expect("registered");
+    let requests = Some(((w.default_requests() as f64) * scale).max(20.0) as u64);
+    for prefetch in [false, true] {
+        let mut os = Os::with_defaults(PHYS_BYTES);
+        os.machine_mut().set_prefetch(prefetch);
+        let mut base = NullTool::new();
+        let cfg = RunConfig { requests, ..RunConfig::default() };
+        let b = safemem_workloads::run_under(w.as_ref(), &mut os, &mut base, &cfg);
+
+        let mut os = Os::with_defaults(PHYS_BYTES);
+        os.machine_mut().set_prefetch(prefetch);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { input: InputMode::Buggy, requests, ..RunConfig::default() };
+        let t = safemem_workloads::run_under(w.as_ref(), &mut os, &mut tool, &cfg);
+        let (issued, squashed) = os.machine().hierarchy().prefetch_stats();
+        let _ = writeln!(
+            out,
+            "{:>12} {:>14.2} {:>12} {:>12} {:>12}",
+            if prefetch { "on" } else { "off" },
+            overhead_percent(t.cpu_cycles, b.cpu_cycles),
+            if t.corruption_detected() { "YES" } else { "NO" },
+            issued,
+            squashed,
+        );
+    }
+
+    // Direct demonstration of the squash semantics: force a prefetch of an
+    // armed guard line by demand-missing the line right before it.
+    let mut os = Os::with_defaults(PHYS_BYTES);
+    os.machine_mut().set_prefetch(true);
+    let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+    let stack = safemem_core::CallStack::new(&[0x1]);
+    let buf = tool.malloc(&mut os, 64, &stack); // one payload line + pads
+    tool.write(&mut os, buf, &[1u8; 64]);
+    os.machine_mut().flush_range(0, 1 << 20); // evict everything
+    tool.read(&mut os, buf, &mut [0u8; 8]); // demand miss → prefetch the back pad
+    let (_, squashed) = os.machine().hierarchy().prefetch_stats();
+    let _ = writeln!(
+        out,
+        "
+direct check: demand miss adjacent to an armed pad → {squashed} prefetch squashed,
+         0 false watchpoint hits: {}",
+        if tool.all_reports().is_empty() { "confirmed" } else { "FAILED" }
+    );
+    let _ = writeln!(out, "(squashed = speculative refills of armed lines the hardware dropped)");
+    out
+}
+
+/// Ablation: scrub coordination cost vs number of watched lines.
+#[must_use]
+pub fn ablation_scrub() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: scrub-coordination cost vs watched lines");
+    let _ = writeln!(out, "{:—<72}", "");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>16} {:>20} {:>16}",
+        "watched lines", "cycle cost", "cost µs", "1 Hz overhead %"
+    );
+    for watched in [0u64, 16, 64, 256, 1024] {
+        let mut os = Os::with_defaults(PHYS_BYTES);
+        os.register_ecc_fault_handler();
+        os.machine_mut().controller_mut().set_mode(EccMode::CorrectAndScrub);
+        for i in 0..watched {
+            os.vwrite(HEAP_BASE + i * 128, &[1u8; 64]).unwrap();
+            os.watch_memory(HEAP_BASE + i * 128, 64).unwrap();
+        }
+        let t0 = os.cpu_cycles();
+        os.run_scrub_cycle();
+        let cost = os.cpu_cycles() - t0; // CPU-visible part (disarm + re-arm)
+        let us = os.machine().cost().cycles_to_micros(cost);
+        // A scrub pass per second on a 2.4 GHz CPU:
+        let per_second_pct = cost as f64 / 2.4e9 * 100.0;
+        let _ = writeln!(out, "{watched:>14} {cost:>16} {us:>20.1} {per_second_pct:>16.4}");
+    }
+    let _ = writeln!(out, "(scan itself is background time; the program is only charged for disarm/re-arm)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_seven() {
+        let t = table1();
+        for name in ["ypserv1", "proftpd", "squid1", "ypserv2", "gzip", "tar", "squid2"] {
+            assert!(t.contains(name), "{t}");
+        }
+    }
+
+    #[test]
+    fn table2_matches_calibration() {
+        let t = table2();
+        assert!(t.contains("2.00"), "{t}");
+        assert!(t.contains("1.50"), "{t}");
+        assert!(t.contains("1.02"), "{t}");
+    }
+
+    #[test]
+    fn fig1_and_fig2_trace_the_mechanism() {
+        let f1 = fig1();
+        assert!(f1.contains("corrected in place"), "{f1}");
+        assert!(f1.contains("interrupt"), "{f1}");
+        let f2 = fig2();
+        assert!(f2.contains("stale"), "{f2}");
+        assert!(f2.contains("original restored"), "{f2}");
+    }
+
+    #[test]
+    fn padding_ablation_widens_coverage() {
+        let t = ablation_padding();
+        // 1-line pads miss a 200-byte overflow; 4-line pads catch it.
+        assert!(t.contains("missed"), "{t}");
+        assert!(t.contains("caught"), "{t}");
+    }
+}

@@ -1,0 +1,961 @@
+//! Cache hierarchy simulator for the SafeMem reproduction.
+//!
+//! SafeMem's correctness argument (paper §2.2.2, "Dealing with Cache
+//! Effects") depends on processor caches in two ways:
+//!
+//! 1. **Cache filtering** — ECC is only checked on *memory* accesses, so a
+//!    watched line must be flushed from the caches when it is armed; the
+//!    first subsequent access then misses, reaches memory, and triggers the
+//!    ECC fault. Later accesses may be cache hits and are invisible, which is
+//!    fine because only the *first* access matters.
+//! 2. **Write detection** — writes to memory do not trigger ECC checks, but a
+//!    write to an uncached line must first *refill* it (write-allocate),
+//!    and that refill read does check. So flushing also makes writes
+//!    detectable.
+//!
+//! This crate provides a byte-accurate, multi-level, *exclusive* (a line
+//! lives in at most one level), write-back, write-allocate, LRU cache
+//! hierarchy. The memory below it is abstracted by the [`LineBacking`] trait
+//! so the cache crate stays independent of the ECC model; the machine crate
+//! wires the two together.
+//!
+//! # Example
+//!
+//! ```
+//! use safemem_cache::{CacheConfig, Hierarchy, LineBacking, Traffic};
+//!
+//! /// A trivial RAM backing.
+//! struct Ram(Vec<u8>);
+//! impl LineBacking for Ram {
+//!     type Error = std::convert::Infallible;
+//!     fn read_line(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Self::Error> {
+//!         let a = addr as usize;
+//!         buf.copy_from_slice(&self.0[a..a + buf.len()]);
+//!         Ok(())
+//!     }
+//!     fn write_line(&mut self, addr: u64, data: &[u8]) {
+//!         let a = addr as usize;
+//!         self.0[a..a + data.len()].copy_from_slice(data);
+//!     }
+//! }
+//!
+//! let mut ram = Ram(vec![0; 4096]);
+//! let mut hier = Hierarchy::new(vec![
+//!     CacheConfig { line_size: 64, sets: 2, ways: 2 },
+//!     CacheConfig { line_size: 64, sets: 4, ways: 4 },
+//! ]);
+//! let mut t = Traffic::new(2);
+//! hier.write(0x100, &[1, 2, 3], &mut ram, &mut t).unwrap();
+//! let mut buf = [0u8; 3];
+//! hier.read(0x100, &mut buf, &mut ram, &mut t).unwrap();
+//! assert_eq!(buf, [1, 2, 3]);
+//! assert_eq!(t.level_hits[0], 1); // second access hit in L1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// The memory interface below the cache hierarchy.
+///
+/// Implemented by the machine crate over the ECC controller (where
+/// `Error = EccFault`) and by plain RAM shims in tests. A `read_line` error
+/// aborts the refill: the line is *not* installed, modelling a load that
+/// takes an ECC interrupt instead of retiring.
+pub trait LineBacking {
+    /// Error raised by a failed line read (e.g. an uncorrectable ECC fault).
+    type Error;
+    /// Reads one full line at `addr` (line-aligned) into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Self::Error` if the line cannot be delivered.
+    fn read_line(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Self::Error>;
+    /// Writes one full line at `addr` (line-aligned). Writes never fail:
+    /// memory writes do not perform ECC checks.
+    fn write_line(&mut self, addr: u64, data: &[u8]);
+    /// Writes an arbitrary (possibly partial-line) span directly to memory
+    /// without any verification — the path a no-write-allocate cache takes
+    /// on a write miss. The default performs a checked read-modify-write;
+    /// real memory controllers override it with an unchecked merge.
+    ///
+    /// # Errors
+    ///
+    /// The default forwards `read_line` errors; overrides typically never
+    /// fail (memory writes do not verify).
+    fn write_through(&mut self, addr: u64, data: &[u8]) -> Result<(), Self::Error> {
+        // Default: checked RMW of each touched line.
+        let line = 64u64;
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = addr + done as u64;
+            let line_addr = cur & !(line - 1);
+            let mut buf = vec![0u8; line as usize];
+            self.read_line(line_addr, &mut buf)?;
+            let lo = (cur - line_addr) as usize;
+            let n = ((line_addr + line - cur) as usize).min(data.len() - done);
+            buf[lo..lo + n].copy_from_slice(&data[done..done + n]);
+            self.write_line(line_addr, &buf);
+            done += n;
+        }
+        Ok(())
+    }
+}
+
+/// What a write miss does (paper §2.2.2 depends on write-allocate: a store
+/// to an uncached watched line must first *refill* it, and that refill read
+/// is what triggers the ECC check).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum WriteMissPolicy {
+    /// Fetch the line into the cache, then write it (the common policy, and
+    /// the one SafeMem requires).
+    #[default]
+    WriteAllocate,
+    /// Send the store straight to memory without caching the line. Memory
+    /// writes perform no ECC verification, so stores to watched lines are
+    /// silently *missed* — this policy exists to demonstrate that SafeMem's
+    /// correctness argument genuinely needs write-allocate.
+    NoWriteAllocate,
+}
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheConfig {
+    /// Line size in bytes (power of two, ≥ 8). Must match across levels.
+    pub line_size: u32,
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        u64::from(self.line_size) * u64::from(self.sets) * u64::from(self.ways)
+    }
+
+    fn validate(&self) {
+        assert!(self.line_size.is_power_of_two() && self.line_size >= 8, "bad line size");
+        assert!(self.sets.is_power_of_two() && self.sets > 0, "bad set count");
+        assert!(self.ways > 0, "bad associativity");
+    }
+}
+
+/// A typical small two-level configuration (8 KiB L1, 64 KiB L2, 64 B lines),
+/// scaled down so workloads exercise misses.
+#[must_use]
+pub fn default_two_level() -> Vec<CacheConfig> {
+    vec![
+        CacheConfig { line_size: 64, sets: 32, ways: 4 },
+        CacheConfig { line_size: 64, sets: 128, ways: 8 },
+    ]
+}
+
+#[derive(Clone)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+    data: Box<[u8]>,
+}
+
+/// Per-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LevelStats {
+    /// Line lookups that hit in this level.
+    pub hits: u64,
+    /// Line lookups that missed in this level.
+    pub misses: u64,
+    /// Lines evicted from this level (clean or dirty).
+    pub evictions: u64,
+}
+
+/// Traffic produced by one access (or accumulated across several).
+///
+/// The machine layer converts these counts into cycles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Traffic {
+    /// Line accesses served by each level (index 0 = L1).
+    pub level_hits: Vec<u64>,
+    /// Full-line reads that went to memory (refills).
+    pub memory_reads: u64,
+    /// Full-line writes that went to memory (writebacks + flushes).
+    pub memory_writes: u64,
+}
+
+impl Traffic {
+    /// An empty traffic record for a hierarchy with `levels` levels.
+    #[must_use]
+    pub fn new(levels: usize) -> Self {
+        Traffic { level_hits: vec![0; levels], memory_reads: 0, memory_writes: 0 }
+    }
+}
+
+struct CacheLevel {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>, // each inner Vec holds at most `ways` lines
+    stats: LevelStats,
+    tick: u64,
+}
+
+impl CacheLevel {
+    fn new(config: CacheConfig) -> Self {
+        config.validate();
+        CacheLevel {
+            config,
+            sets: (0..config.sets).map(|_| Vec::new()).collect(),
+            stats: LevelStats::default(),
+            tick: 0,
+        }
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / u64::from(self.config.line_size)) % u64::from(self.config.sets)) as usize
+    }
+
+    fn lookup(&mut self, line_addr: u64) -> Option<&mut Line> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line_addr);
+        let line = self.sets[set].iter_mut().find(|l| l.tag == line_addr);
+        if let Some(l) = line {
+            l.lru = tick;
+            self.stats.hits += 1;
+            Some(l)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Removes the line if present, returning it.
+    fn extract(&mut self, line_addr: u64) -> Option<Line> {
+        let set = self.set_index(line_addr);
+        let pos = self.sets[set].iter().position(|l| l.tag == line_addr)?;
+        Some(self.sets[set].swap_remove(pos))
+    }
+
+    /// Installs a line, returning the evicted victim if the set was full.
+    fn install(&mut self, mut line: Line) -> Option<Line> {
+        self.tick += 1;
+        line.lru = self.tick;
+        let set = self.set_index(line.tag);
+        let ways = self.config.ways as usize;
+        let victim = if self.sets[set].len() >= ways {
+            let (pos, _) = self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, l)| l.lru)
+                .expect("non-empty set");
+            self.stats.evictions += 1;
+            Some(self.sets[set].swap_remove(pos))
+        } else {
+            None
+        };
+        self.sets[set].push(line);
+        victim
+    }
+
+    fn resident_line_addrs(&self) -> Vec<u64> {
+        self.sets.iter().flatten().map(|l| l.tag).collect()
+    }
+}
+
+/// A multi-level exclusive write-back cache hierarchy.
+///
+/// *Exclusive* means every line is resident in at most one level: hits in a
+/// lower level promote the line to L1, with LRU victims cascading downward
+/// and dirty bottom-level victims written back to memory. This keeps the
+/// contents model simple while preserving the two behaviours SafeMem needs
+/// (filtering and flush).
+pub struct Hierarchy {
+    levels: Vec<CacheLevel>,
+    line_size: u32,
+    write_miss: WriteMissPolicy,
+    /// Next-line prefetch on demand misses. Prefetches of lines whose
+    /// refill fails (e.g. an armed ECC watchpoint) are squashed silently,
+    /// exactly as hardware prefetchers drop lines with ECC errors — so
+    /// prefetching neither false-fires nor destroys watchpoints.
+    prefetch_next_line: bool,
+    /// Highest address (exclusive) the prefetcher may touch — the physical
+    /// memory size. Demand accesses are bounds-checked by the backing;
+    /// speculative ones must not run off the end.
+    prefetch_limit: u64,
+    prefetches_issued: u64,
+    prefetches_squashed: u64,
+}
+
+impl fmt::Debug for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("levels", &self.levels.len())
+            .field("line_size", &self.line_size)
+            .finish()
+    }
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from per-level geometries (index 0 = L1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, any geometry is invalid, or line sizes
+    /// differ across levels.
+    #[must_use]
+    pub fn new(configs: Vec<CacheConfig>) -> Self {
+        Hierarchy::with_write_miss_policy(configs, WriteMissPolicy::WriteAllocate)
+    }
+
+    /// Builds a hierarchy with an explicit write-miss policy (see
+    /// [`WriteMissPolicy`] for why anything but write-allocate breaks
+    /// SafeMem's store detection).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Hierarchy::new`].
+    #[must_use]
+    pub fn with_write_miss_policy(configs: Vec<CacheConfig>, write_miss: WriteMissPolicy) -> Self {
+        assert!(!configs.is_empty(), "hierarchy needs at least one level");
+        let line_size = configs[0].line_size;
+        for c in &configs {
+            c.validate();
+            assert_eq!(c.line_size, line_size, "line sizes must match across levels");
+        }
+        Hierarchy {
+            levels: configs.into_iter().map(CacheLevel::new).collect(),
+            line_size,
+            write_miss,
+            prefetch_next_line: false,
+            prefetch_limit: u64::MAX,
+            prefetches_issued: 0,
+            prefetches_squashed: 0,
+        }
+    }
+
+    /// Enables or disables the next-line prefetcher.
+    pub fn set_prefetch(&mut self, on: bool) {
+        self.prefetch_next_line = on;
+    }
+
+    /// Sets the exclusive address bound for speculative accesses (the
+    /// physical memory size). Demand accesses are unaffected.
+    pub fn set_prefetch_limit(&mut self, limit: u64) {
+        self.prefetch_limit = limit;
+    }
+
+    /// (prefetches issued, prefetches squashed by failed refills).
+    #[must_use]
+    pub fn prefetch_stats(&self) -> (u64, u64) {
+        (self.prefetches_issued, self.prefetches_squashed)
+    }
+
+    /// The write-miss policy in force.
+    #[must_use]
+    pub fn write_miss_policy(&self) -> WriteMissPolicy {
+        self.write_miss
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn line_size(&self) -> u32 {
+        self.line_size
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Per-level counters.
+    #[must_use]
+    pub fn level_stats(&self) -> Vec<LevelStats> {
+        self.levels.iter().map(|l| l.stats).collect()
+    }
+
+    /// Returns the level (0-based) currently holding the line containing
+    /// `addr`, if any.
+    #[must_use]
+    pub fn residency(&self, addr: u64) -> Option<usize> {
+        let line_addr = self.line_addr(addr);
+        self.levels.iter().position(|lvl| {
+            let set = lvl.set_index(line_addr);
+            lvl.sets[set].iter().any(|l| l.tag == line_addr)
+        })
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(u64::from(self.line_size) - 1)
+    }
+
+    /// Cascades a line into level `idx`, pushing victims downward; a dirty
+    /// victim leaving the last level is written to memory.
+    fn cascade_install<B: LineBacking + ?Sized>(
+        &mut self,
+        idx: usize,
+        line: Line,
+        backing: &mut B,
+        traffic: &mut Traffic,
+    ) {
+        let mut carry = Some(line);
+        let mut level = idx;
+        while let Some(l) = carry.take() {
+            if level >= self.levels.len() {
+                if l.dirty {
+                    backing.write_line(l.tag, &l.data);
+                    traffic.memory_writes += 1;
+                }
+                break;
+            }
+            carry = self.levels[level].install(l);
+            level += 1;
+        }
+    }
+
+    /// Ensures the line containing `addr` is resident in L1, refilling from
+    /// memory on a full miss. Returns a mutable reference to the L1 line.
+    fn ensure_in_l1<B: LineBacking + ?Sized>(
+        &mut self,
+        line_addr: u64,
+        backing: &mut B,
+        traffic: &mut Traffic,
+    ) -> Result<&mut Line, B::Error> {
+        // Look for a hit at any level.
+        let mut found: Option<(usize, Line)> = None;
+        for idx in 0..self.levels.len() {
+            if self.levels[idx].lookup(line_addr).is_some() {
+                let line = self.levels[idx].extract(line_addr).expect("just found");
+                found = Some((idx, line));
+                break;
+            }
+        }
+        let line = match found {
+            Some((idx, line)) => {
+                traffic.level_hits[idx] += 1;
+                line
+            }
+            None => {
+                // Full miss: refill from memory. A fault aborts the refill
+                // and nothing is installed.
+                let mut data = vec![0u8; self.line_size as usize].into_boxed_slice();
+                backing.read_line(line_addr, &mut data)?;
+                traffic.memory_reads += 1;
+                Line { tag: line_addr, dirty: false, lru: 0, data }
+            }
+        };
+        // (Re)install at L1.
+        if let Some(victim) = self.levels[0].install(line) {
+            self.cascade_install(1, victim, backing, traffic);
+        }
+        let set = self.levels[0].set_index(line_addr);
+        Ok(self.levels[0].sets[set]
+            .iter_mut()
+            .find(|l| l.tag == line_addr)
+            .expect("just installed"))
+    }
+
+    /// Reads `buf.len()` bytes at `addr` through the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backing's error from a faulted refill; lines before the
+    /// fault may already have been read.
+    pub fn read<B: LineBacking + ?Sized>(
+        &mut self,
+        addr: u64,
+        buf: &mut [u8],
+        backing: &mut B,
+        traffic: &mut Traffic,
+    ) -> Result<(), B::Error> {
+        let ls = u64::from(self.line_size);
+        let end = addr + buf.len() as u64;
+        let mut line_addr = self.line_addr(addr);
+        while line_addr < end {
+            let missed = self.residency(line_addr).is_none();
+            let line = self.ensure_in_l1(line_addr, backing, traffic)?;
+            let lo = line_addr.max(addr);
+            let hi = (line_addr + ls).min(end);
+            buf[(lo - addr) as usize..(hi - addr) as usize]
+                .copy_from_slice(&line.data[(lo - line_addr) as usize..(hi - line_addr) as usize]);
+            if missed {
+                self.maybe_prefetch(line_addr + ls, backing, traffic);
+            }
+            line_addr += ls;
+        }
+        Ok(())
+    }
+
+    /// Next-line prefetch after a demand miss. A failed refill (ECC fault)
+    /// squashes the prefetch without surfacing the error — hardware drops
+    /// prefetched lines with errors rather than raising interrupts, which is
+    /// exactly what keeps prefetching compatible with ECC watchpoints.
+    fn maybe_prefetch<B: LineBacking + ?Sized>(
+        &mut self,
+        line_addr: u64,
+        backing: &mut B,
+        traffic: &mut Traffic,
+    ) {
+        if !self.prefetch_next_line
+            || line_addr + u64::from(self.line_size) > self.prefetch_limit
+            || self.residency(line_addr).is_some()
+        {
+            return;
+        }
+        self.prefetches_issued += 1;
+        let mut data = vec![0u8; self.line_size as usize].into_boxed_slice();
+        match backing.read_line(line_addr, &mut data) {
+            Ok(()) => {
+                traffic.memory_reads += 1;
+                let line = Line { tag: line_addr, dirty: false, lru: 0, data };
+                if let Some(victim) = self.levels[0].install(line) {
+                    self.cascade_install(1, victim, backing, traffic);
+                }
+            }
+            Err(_) => self.prefetches_squashed += 1,
+        }
+    }
+
+    /// Writes `data` at `addr` through the hierarchy (write-allocate: a miss
+    /// refills the line first, so writes to uncached lines do read memory —
+    /// the property SafeMem relies on to catch stores to watched lines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backing's error from a faulted refill.
+    pub fn write<B: LineBacking + ?Sized>(
+        &mut self,
+        addr: u64,
+        data: &[u8],
+        backing: &mut B,
+        traffic: &mut Traffic,
+    ) -> Result<(), B::Error> {
+        let ls = u64::from(self.line_size);
+        let end = addr + data.len() as u64;
+        let mut line_addr = self.line_addr(addr);
+        while line_addr < end {
+            let lo = line_addr.max(addr);
+            let hi = (line_addr + ls).min(end);
+            let chunk = &data[(lo - addr) as usize..(hi - addr) as usize];
+            let cached = self.residency(line_addr).is_some();
+            if cached || self.write_miss == WriteMissPolicy::WriteAllocate {
+                let line = self.ensure_in_l1(line_addr, backing, traffic)?;
+                line.data[(lo - line_addr) as usize..(hi - line_addr) as usize]
+                    .copy_from_slice(chunk);
+                line.dirty = true;
+                if !cached {
+                    // A write-allocate miss is a demand miss too.
+                    self.maybe_prefetch(line_addr + ls, backing, traffic);
+                }
+            } else {
+                // No-write-allocate: the store bypasses the cache. Memory
+                // writes never verify ECC, so watched lines are NOT caught.
+                backing.write_through(lo, chunk)?;
+                traffic.memory_writes += 1;
+            }
+            line_addr += ls;
+        }
+        Ok(())
+    }
+
+    /// Flushes the line containing `addr`: writes it back to memory if dirty
+    /// and invalidates it everywhere, so the next access must go to memory.
+    ///
+    /// This is the cache half of the `WatchMemory` implementation (paper
+    /// Figure 2). Returns `true` if a writeback occurred.
+    pub fn flush_line<B: LineBacking + ?Sized>(
+        &mut self,
+        addr: u64,
+        backing: &mut B,
+        traffic: &mut Traffic,
+    ) -> bool {
+        let line_addr = self.line_addr(addr);
+        for level in &mut self.levels {
+            if let Some(line) = level.extract(line_addr) {
+                if line.dirty {
+                    backing.write_line(line.tag, &line.data);
+                    traffic.memory_writes += 1;
+                    return true;
+                }
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Flushes every line in `[addr, addr + len)`.
+    ///
+    /// Returns the number of dirty writebacks.
+    pub fn flush_range<B: LineBacking + ?Sized>(
+        &mut self,
+        addr: u64,
+        len: u64,
+        backing: &mut B,
+        traffic: &mut Traffic,
+    ) -> u64 {
+        let ls = u64::from(self.line_size);
+        let mut writebacks = 0;
+        let mut line_addr = self.line_addr(addr);
+        while line_addr < addr + len {
+            if self.flush_line(line_addr, backing, traffic) {
+                writebacks += 1;
+            }
+            line_addr += ls;
+        }
+        writebacks
+    }
+
+    /// Writes back every dirty line and empties the hierarchy.
+    pub fn flush_all<B: LineBacking + ?Sized>(&mut self, backing: &mut B, traffic: &mut Traffic) {
+        let addrs: Vec<u64> = self
+            .levels
+            .iter()
+            .flat_map(CacheLevel::resident_line_addrs)
+            .collect();
+        for addr in addrs {
+            self.flush_line(addr, backing, traffic);
+        }
+    }
+
+    /// Asserts the exclusive invariant: no line resident in two levels.
+    /// Intended for tests.
+    pub fn assert_exclusive(&self) {
+        let mut seen = std::collections::HashSet::new();
+        for level in &self.levels {
+            for addr in level.resident_line_addrs() {
+                assert!(seen.insert(addr), "line {addr:#x} resident in two levels");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ram(Vec<u8>);
+
+    impl Ram {
+        fn new(size: usize) -> Self {
+            Ram(vec![0; size])
+        }
+    }
+
+    impl LineBacking for Ram {
+        type Error = std::convert::Infallible;
+        fn read_line(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Self::Error> {
+            let a = addr as usize;
+            buf.copy_from_slice(&self.0[a..a + buf.len()]);
+            Ok(())
+        }
+        fn write_line(&mut self, addr: u64, data: &[u8]) {
+            let a = addr as usize;
+            self.0[a..a + data.len()].copy_from_slice(data);
+        }
+    }
+
+    /// A backing that fails reads of designated lines, like a watched line.
+    struct FaultyRam {
+        ram: Ram,
+        poisoned: std::collections::HashSet<u64>,
+    }
+
+    impl LineBacking for FaultyRam {
+        type Error = u64;
+        fn read_line(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Self::Error> {
+            if self.poisoned.contains(&addr) {
+                return Err(addr);
+            }
+            self.ram.read_line(addr, buf).unwrap();
+            Ok(())
+        }
+        fn write_line(&mut self, addr: u64, data: &[u8]) {
+            self.ram.write_line(addr, data);
+        }
+    }
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(vec![
+            CacheConfig { line_size: 64, sets: 2, ways: 2 },
+            CacheConfig { line_size: 64, sets: 4, ways: 2 },
+        ])
+    }
+
+    #[test]
+    fn read_after_write_same_line() {
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        let mut t = Traffic::new(2);
+        h.write(100, &[9, 8, 7], &mut ram, &mut t).unwrap();
+        let mut buf = [0u8; 3];
+        h.read(100, &mut buf, &mut ram, &mut t).unwrap();
+        assert_eq!(buf, [9, 8, 7]);
+        // Dirty data has not reached memory yet (write-back).
+        assert_eq!(ram.0[100], 0);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        ram.0[0..4].copy_from_slice(&[1, 2, 3, 4]);
+        let mut t = Traffic::new(2);
+        let mut buf = [0u8; 4];
+        h.read(0, &mut buf, &mut ram, &mut t).unwrap();
+        assert_eq!(t.memory_reads, 1);
+        h.read(0, &mut buf, &mut ram, &mut t).unwrap();
+        assert_eq!(t.memory_reads, 1, "second read must be a cache hit");
+        assert_eq!(t.level_hits[0], 1);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dirty_eviction_reaches_memory_through_cascade() {
+        // L1: 2 sets x 2 ways; lines mapping to set 0 are multiples of 128.
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        let mut t = Traffic::new(2);
+        // Fill set 0 of L1 and L2 beyond capacity with dirty lines:
+        // 2 (L1) + 2 (L2 set) → the 5th+ dirty line forces a memory write.
+        for i in 0..8u64 {
+            h.write(i * 128, &[i as u8; 4], &mut ram, &mut t).unwrap();
+        }
+        assert!(t.memory_writes > 0, "dirty victims must reach memory");
+        // All data still readable and correct.
+        for i in 0..8u64 {
+            let mut buf = [0u8; 4];
+            h.read(i * 128, &mut buf, &mut ram, &mut t).unwrap();
+            assert_eq!(buf, [i as u8; 4]);
+        }
+        h.assert_exclusive();
+    }
+
+    #[test]
+    fn promote_on_l2_hit_is_exclusive() {
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        let mut t = Traffic::new(2);
+        // Load three lines of the same L1 set: the first spills to L2.
+        for i in 0..3u64 {
+            let mut b = [0u8; 1];
+            h.read(i * 128, &mut b, &mut ram, &mut t).unwrap();
+        }
+        h.assert_exclusive();
+        assert_eq!(h.residency(0), Some(1), "line 0 demoted to L2");
+        // Touch line 0 again: promoted back to L1, L2 hit recorded.
+        let mut b = [0u8; 1];
+        h.read(0, &mut b, &mut ram, &mut t).unwrap();
+        assert_eq!(h.residency(0), Some(0));
+        assert_eq!(t.level_hits[1], 1);
+        h.assert_exclusive();
+    }
+
+    #[test]
+    fn flush_line_writes_back_and_invalidates() {
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        let mut t = Traffic::new(2);
+        h.write(64, &[0xAB; 8], &mut ram, &mut t).unwrap();
+        assert!(h.flush_line(70, &mut ram, &mut t), "dirty line written back");
+        assert_eq!(&ram.0[64..72], &[0xAB; 8]);
+        assert_eq!(h.residency(64), None);
+        // Next read goes to memory again.
+        let before = t.memory_reads;
+        let mut b = [0u8; 1];
+        h.read(64, &mut b, &mut ram, &mut t).unwrap();
+        assert_eq!(t.memory_reads, before + 1);
+    }
+
+    #[test]
+    fn flush_clean_line_is_not_a_writeback() {
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        let mut t = Traffic::new(2);
+        let mut b = [0u8; 1];
+        h.read(0, &mut b, &mut ram, &mut t).unwrap();
+        assert!(!h.flush_line(0, &mut ram, &mut t));
+        assert_eq!(h.residency(0), None);
+    }
+
+    #[test]
+    fn flush_range_covers_partial_lines() {
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        let mut t = Traffic::new(2);
+        h.write(60, &[1; 10], &mut ram, &mut t).unwrap(); // straddles lines 0 and 64
+        let wb = h.flush_range(60, 10, &mut ram, &mut t);
+        assert_eq!(wb, 2);
+        assert_eq!(h.residency(0), None);
+        assert_eq!(h.residency(64), None);
+    }
+
+    #[test]
+    fn faulted_refill_is_not_installed() {
+        let mut h = small();
+        let mut ram = FaultyRam {
+            ram: Ram::new(1 << 16),
+            poisoned: [64u64].into_iter().collect(),
+        };
+        let mut t = Traffic::new(2);
+        let mut b = [0u8; 1];
+        assert_eq!(h.read(64, &mut b, &mut ram, &mut t), Err(64));
+        assert_eq!(h.residency(64), None, "faulted line must not be cached");
+        // After "unwatching" (unpoisoning), the access succeeds.
+        ram.poisoned.clear();
+        h.read(64, &mut b, &mut ram, &mut t).unwrap();
+        assert_eq!(h.residency(64), Some(0));
+    }
+
+    #[test]
+    fn write_miss_allocates_and_reads_memory() {
+        let mut h = small();
+        let mut ram = FaultyRam {
+            ram: Ram::new(1 << 16),
+            poisoned: [128u64].into_iter().collect(),
+        };
+        let mut t = Traffic::new(2);
+        // A store to a poisoned (watched) line faults via write-allocate.
+        assert_eq!(h.write(130, &[1], &mut ram, &mut t), Err(128));
+    }
+
+    #[test]
+    fn flush_all_empties_hierarchy() {
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        let mut t = Traffic::new(2);
+        for i in 0..6u64 {
+            h.write(i * 64, &[i as u8], &mut ram, &mut t).unwrap();
+        }
+        h.flush_all(&mut ram, &mut t);
+        for i in 0..6u64 {
+            assert_eq!(h.residency(i * 64), None);
+            assert_eq!(ram.0[(i * 64) as usize], i as u8);
+        }
+    }
+
+    #[test]
+    fn capacity_and_validation() {
+        assert_eq!(CacheConfig { line_size: 64, sets: 32, ways: 4 }.capacity(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "line sizes must match")]
+    fn mismatched_line_sizes_rejected() {
+        let _ = Hierarchy::new(vec![
+            CacheConfig { line_size: 64, sets: 2, ways: 2 },
+            CacheConfig { line_size: 32, sets: 2, ways: 2 },
+        ]);
+    }
+
+    #[test]
+    fn no_write_allocate_bypasses_cache_on_miss() {
+        let mut h = Hierarchy::with_write_miss_policy(
+            vec![CacheConfig { line_size: 64, sets: 2, ways: 2 }],
+            WriteMissPolicy::NoWriteAllocate,
+        );
+        let mut ram = Ram::new(1 << 12);
+        let mut t = Traffic::new(1);
+        h.write(100, &[1, 2, 3], &mut ram, &mut t).unwrap();
+        assert_eq!(h.residency(100), None, "miss store must not allocate");
+        assert_eq!(&ram.0[100..103], &[1, 2, 3], "store reached memory directly");
+        // A store that *hits* still goes to the cache.
+        let mut b = [0u8; 1];
+        h.read(100, &mut b, &mut ram, &mut t).unwrap();
+        h.write(100, &[9], &mut ram, &mut t).unwrap();
+        assert_eq!(h.residency(100), Some(0));
+        h.read(100, &mut b, &mut ram, &mut t).unwrap();
+        assert_eq!(b, [9]);
+    }
+
+    #[test]
+    fn no_write_allocate_misses_poisoned_lines() {
+        // The demonstration behind WriteMissPolicy's docs: under
+        // no-write-allocate a store to a "watched" (poisoned) line performs
+        // no read, so nothing faults — SafeMem requires write-allocate.
+        let mut h = Hierarchy::with_write_miss_policy(
+            vec![CacheConfig { line_size: 64, sets: 2, ways: 2 }],
+            WriteMissPolicy::NoWriteAllocate,
+        );
+        let mut ram = FaultyRam { ram: Ram::new(1 << 12), poisoned: [64u64].into_iter().collect() };
+        let mut t = Traffic::new(1);
+        // write_through in the test backing defaults to checked RMW, which
+        // would fault; the real controller's override does not. Model the
+        // real behaviour: an unchecked store succeeds silently.
+        struct UncheckedRam(FaultyRam);
+        impl LineBacking for UncheckedRam {
+            type Error = u64;
+            fn read_line(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), Self::Error> {
+                self.0.read_line(addr, buf)
+            }
+            fn write_line(&mut self, addr: u64, data: &[u8]) {
+                self.0.write_line(addr, data);
+            }
+            fn write_through(&mut self, addr: u64, data: &[u8]) -> Result<(), Self::Error> {
+                self.0.ram.write_line(addr & !63, &{
+                    let mut line = self.0.ram.0[(addr & !63) as usize..(addr & !63) as usize + 64].to_vec();
+                    let off = (addr % 64) as usize;
+                    line[off..off + data.len()].copy_from_slice(data);
+                    line
+                });
+                Ok(())
+            }
+        }
+        let mut unchecked = UncheckedRam(ram);
+        assert!(
+            h.write(70, &[0xAA], &mut unchecked, &mut t).is_ok(),
+            "the store slips past the watchpoint"
+        );
+        // Whereas a write-allocate hierarchy faults on the same store:
+        let mut h2 = Hierarchy::new(vec![CacheConfig { line_size: 64, sets: 2, ways: 2 }]);
+        ram = unchecked.0;
+        ram.poisoned.insert(64);
+        assert_eq!(h2.write(70, &[0xAA], &mut ram, &mut t), Err(64));
+    }
+
+    #[test]
+    fn prefetcher_fills_next_line_and_squashes_watched() {
+        let mut h = small();
+        h.set_prefetch(true);
+        let mut ram = FaultyRam {
+            ram: Ram::new(1 << 12),
+            poisoned: [128u64].into_iter().collect(), // line 2 is "watched"
+        };
+        let mut t = Traffic::new(2);
+        // Demand-miss line 0 → prefetch line 1 succeeds.
+        let mut b = [0u8; 1];
+        h.read(0, &mut b, &mut ram, &mut t).unwrap();
+        assert_eq!(h.residency(64), Some(0), "next line prefetched");
+        assert_eq!(h.prefetch_stats(), (1, 0));
+        // Demand-miss line 1 is now a hit; touch line 1's neighbour: the
+        // prefetch of poisoned line 2 must be squashed, NOT surfaced.
+        h.read(64, &mut b, &mut ram, &mut t).unwrap();
+        // Force a fresh demand miss adjacent to the poisoned line.
+        h.flush_line(64, &mut ram, &mut t);
+        h.read(64, &mut b, &mut ram, &mut t).unwrap(); // prefetches 128 → squashed
+        assert_eq!(h.prefetch_stats().1, 1, "poisoned prefetch squashed");
+        assert_eq!(h.residency(128), None, "watched line must not be cached");
+        // The watchpoint still works: a demand access faults.
+        assert_eq!(h.read(128, &mut b, &mut ram, &mut t), Err(128));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = small();
+        let mut ram = Ram::new(1 << 16);
+        let mut t = Traffic::new(2);
+        let mut b = [0u8; 1];
+        h.read(0, &mut b, &mut ram, &mut t).unwrap();
+        h.read(0, &mut b, &mut ram, &mut t).unwrap();
+        let stats = h.level_stats();
+        assert_eq!(stats[0].hits, 1);
+        assert_eq!(stats[0].misses, 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Memory-corruption detection (paper §4).
+//!
+//! Two mechanisms, both built on ECC watchpoints:
+//!
+//! * **Buffer overflow** — every allocated buffer is padded with one watched
+//!   cache line at each end (the allocator's
+//!   [`LinePadded`](safemem_alloc::LayoutPolicy::LinePadded) layout); any
+//!   access to a padding is a bug.
+//! * **Access to freed memory** — a freed buffer is watched until it is
+//!   reallocated; any access in between is a bug.
+//!
+//! Plus the extension sketched at the end of §4: **reads of uninitialised
+//! buffers**, by watching fresh allocations until their first write.
+
+use crate::report::{BugReport, OverflowSide};
+use safemem_alloc::Allocation;
+use safemem_os::{AccessKind, Os, OsError, UserEccFault};
+use std::collections::HashMap;
+
+/// Configuration for the corruption detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CorruptionConfig {
+    /// Also detect reads of never-written buffers (the §4 extension).
+    pub uninit_reads: bool,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        CorruptionConfig { uninit_reads: false }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PadInfo {
+    buffer_addr: u64,
+    buffer_size: u64,
+    side: OverflowSide,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FreedInfo {
+    buffer_addr: u64,
+    buffer_size: u64,
+    base: u64,
+}
+
+/// Corruption-detector counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CorruptionStats {
+    /// Pad regions currently watched.
+    pub pads_watched: u64,
+    /// Freed regions currently watched.
+    pub freed_watched: u64,
+    /// Overflows reported.
+    pub overflows: u64,
+    /// Use-after-free reported.
+    pub use_after_free: u64,
+    /// Uninitialised reads reported.
+    pub uninit_reads: u64,
+    /// Regions that could not be watched (pinned-memory exhaustion under
+    /// the paper's pinning policy — §2.2.2 "this method limits the total
+    /// amount of monitored memory"). Those buffers run unguarded.
+    pub unguarded: u64,
+}
+
+/// The SafeMem memory-corruption detector.
+#[derive(Debug)]
+pub struct CorruptionDetector {
+    config: CorruptionConfig,
+    /// Cache-line size of the machine (watch granularity).
+    line: u64,
+    /// Watched pad regions keyed by region start.
+    pads: HashMap<u64, PadInfo>,
+    /// Watched freed buffers keyed by region start.
+    freed: HashMap<u64, FreedInfo>,
+    /// Placement base → freed watch-region start (for reallocation).
+    freed_by_base: HashMap<u64, u64>,
+    /// Watched not-yet-written buffers keyed by region start.
+    uninit: HashMap<u64, u64>,
+    reports: Vec<BugReport>,
+    stats: CorruptionStats,
+}
+
+impl CorruptionDetector {
+    /// Creates a detector for a machine with `line`-byte cache lines.
+    #[must_use]
+    pub fn new(config: CorruptionConfig, line: u64) -> Self {
+        CorruptionDetector {
+            config,
+            line,
+            pads: HashMap::new(),
+            freed: HashMap::new(),
+            freed_by_base: HashMap::new(),
+            uninit: HashMap::new(),
+            reports: Vec::new(),
+            stats: CorruptionStats::default(),
+        }
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> CorruptionStats {
+        self.stats
+    }
+
+    /// Reports accumulated so far.
+    #[must_use]
+    pub fn reports(&self) -> &[BugReport] {
+        &self.reports
+    }
+
+    /// Wraps `malloc`: un-watches a reused freed block, then arms the two
+    /// guard paddings (and the uninitialised-read watch if configured).
+    ///
+    /// Requires the allocation to come from a
+    /// [`LinePadded`](safemem_alloc::LayoutPolicy::LinePadded) heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation has no paddings (wrong layout policy).
+    pub fn on_alloc(&mut self, os: &mut Os, allocation: &Allocation) {
+        assert!(
+            allocation.pad_before() > 0 && allocation.pad_after() > 0,
+            "corruption detection requires the LinePadded layout"
+        );
+        // Reallocation of a watched freed block disables its watch.
+        if let Some(region) = self.freed_by_base.remove(&allocation.base) {
+            self.freed.remove(&region);
+            os.disable_watch_memory(region)
+                .expect("freed region was watched");
+            self.stats.freed_watched -= 1;
+        }
+        let (front, front_len, back, back_len) = self.pad_regions(allocation);
+        for (start, len, side) in [
+            (front, front_len, OverflowSide::Before),
+            (back, back_len, OverflowSide::After),
+        ] {
+            if self.watch_or_degrade(os, start, len) {
+                self.pads.insert(
+                    start,
+                    PadInfo {
+                        buffer_addr: allocation.addr,
+                        buffer_size: allocation.payload,
+                        side,
+                    },
+                );
+                self.stats.pads_watched += 1;
+            }
+        }
+
+        if self.config.uninit_reads {
+            // Per-line watches: a write initialises only the lines it
+            // touches; reads of other never-written lines still trap.
+            let (start, len) = self.payload_region(allocation);
+            let mut line_addr = start;
+            while line_addr < start + len {
+                if os.watch_memory(line_addr, self.line).is_ok() {
+                    self.uninit.insert(line_addr, allocation.addr);
+                }
+                line_addr += self.line;
+            }
+        }
+    }
+
+    /// Wraps `free`: disarms the paddings and watches the freed payload
+    /// until reallocation.
+    pub fn on_free(&mut self, os: &mut Os, allocation: &Allocation) {
+        let (front, _, back, _) = self.pad_regions(allocation);
+        for region in [front, back] {
+            if self.pads.remove(&region).is_some() {
+                os.disable_watch_memory(region).expect("pad was watched");
+                self.stats.pads_watched -= 1;
+            }
+        }
+        let (start, len) = self.payload_region(allocation);
+        // Pending uninitialised-read watches are replaced by the freed watch.
+        let mut line_addr = start;
+        while line_addr < start + len {
+            if self.uninit.remove(&line_addr).is_some() {
+                os.disable_watch_memory(line_addr).expect("uninit line was watched");
+            }
+            line_addr += self.line;
+        }
+        if self.watch_or_degrade(os, start, len) {
+            self.freed.insert(
+                start,
+                FreedInfo {
+                    buffer_addr: allocation.addr,
+                    buffer_size: allocation.payload,
+                    base: allocation.base,
+                },
+            );
+            self.freed_by_base.insert(allocation.base, start);
+            self.stats.freed_watched += 1;
+        }
+    }
+
+    /// Arms a watch region, degrading gracefully when pinned memory runs
+    /// out (the buffer goes unguarded and is counted). Other failures are
+    /// tool bugs and panic.
+    fn watch_or_degrade(&mut self, os: &mut Os, start: u64, len: u64) -> bool {
+        match os.watch_memory(start, len) {
+            Ok(()) => true,
+            Err(OsError::OutOfMemory | OsError::AlreadyWatched { .. }) => {
+                self.stats.unguarded += 1;
+                false
+            }
+            Err(e) => panic!("unexpected watch failure: {e}"),
+        }
+    }
+
+    fn pad_regions(&self, allocation: &Allocation) -> (u64, u64, u64, u64) {
+        let front = allocation.base;
+        let front_len = allocation.pad_before();
+        let back_len = allocation.pad_after() - self.payload_rounding(allocation);
+        let back = allocation.base + allocation.stride - back_len;
+        (front, front_len, back, back_len)
+    }
+
+    /// Bytes between the payload end and the back pad (line rounding).
+    fn payload_rounding(&self, allocation: &Allocation) -> u64 {
+        allocation.payload.div_ceil(self.line) * self.line - allocation.payload
+    }
+
+    /// The line-rounded payload region (for freed/uninit watches).
+    fn payload_region(&self, allocation: &Allocation) -> (u64, u64) {
+        (allocation.addr, allocation.payload.div_ceil(self.line) * self.line)
+    }
+
+    /// Handles an ECC fault whose watched region starts at
+    /// `fault.region_vaddr`. Returns `true` if the region belonged to this
+    /// detector (a bug was recorded and the watch disabled so execution can
+    /// continue — the simulated analogue of pausing for the debugger).
+    pub fn handle_fault(&mut self, os: &mut Os, fault: &UserEccFault) -> bool {
+        let region = fault.region_vaddr;
+        if let Some(pad) = self.pads.remove(&region) {
+            os.disable_watch_memory(region).expect("pad was watched");
+            self.stats.pads_watched -= 1;
+            self.stats.overflows += 1;
+            self.reports.push(BugReport::Overflow {
+                buffer_addr: pad.buffer_addr,
+                buffer_size: pad.buffer_size,
+                access_vaddr: fault.access_vaddr,
+                access: fault.access,
+                side: pad.side,
+            });
+            return true;
+        }
+        if let Some(freed) = self.freed.remove(&region) {
+            self.freed_by_base.remove(&freed.base);
+            os.disable_watch_memory(region).expect("freed region was watched");
+            self.stats.freed_watched -= 1;
+            self.stats.use_after_free += 1;
+            self.reports.push(BugReport::UseAfterFree {
+                buffer_addr: freed.buffer_addr,
+                buffer_size: freed.buffer_size,
+                access_vaddr: fault.access_vaddr,
+                access: fault.access,
+            });
+            return true;
+        }
+        if let Some(buffer_addr) = self.uninit.remove(&region) {
+            os.disable_watch_memory(region).expect("uninit region was watched");
+            // First write is initialisation; first read is the bug.
+            if fault.access == AccessKind::Read {
+                self.stats.uninit_reads += 1;
+                self.reports.push(BugReport::UninitRead {
+                    buffer_addr,
+                    access_vaddr: fault.access_vaddr,
+                });
+            }
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safemem_alloc::{Heap, LayoutPolicy};
+    use safemem_os::OsFault;
+
+    fn setup() -> (Os, Heap, CorruptionDetector) {
+        let mut os = Os::with_defaults(1 << 22);
+        os.register_ecc_fault_handler();
+        let heap = Heap::new(LayoutPolicy::LinePadded);
+        let det = CorruptionDetector::new(CorruptionConfig::default(), 64);
+        (os, heap, det)
+    }
+
+    fn expect_ecc(fault: OsFault) -> UserEccFault {
+        match fault {
+            OsFault::Ecc(user) => user,
+            other => panic!("expected ECC fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_past_end_is_reported() {
+        let (mut os, mut heap, mut det) = setup();
+        let a = heap.alloc(&mut os, 100).unwrap();
+        det.on_alloc(&mut os, &a);
+        // In-bounds accesses are free of faults.
+        os.vwrite(a.addr, &[1u8; 100]).unwrap();
+        // One byte past the line-rounded end lands in the back pad.
+        let over = a.addr + 128;
+        let fault = expect_ecc(os.vwrite(over, &[9]).unwrap_err());
+        assert!(det.handle_fault(&mut os, &fault));
+        assert!(matches!(
+            det.reports()[0],
+            BugReport::Overflow { side: OverflowSide::After, buffer_addr, .. } if buffer_addr == a.addr
+        ));
+        // Execution continues after the report.
+        os.vwrite(over, &[9]).unwrap();
+    }
+
+    #[test]
+    fn underflow_before_start_is_reported() {
+        let (mut os, mut heap, mut det) = setup();
+        let a = heap.alloc(&mut os, 64).unwrap();
+        det.on_alloc(&mut os, &a);
+        let under = a.addr - 8;
+        let fault = expect_ecc(os.vread(under, &mut [0u8; 4]).unwrap_err());
+        assert!(det.handle_fault(&mut os, &fault));
+        assert!(matches!(
+            det.reports()[0],
+            BugReport::Overflow { side: OverflowSide::Before, .. }
+        ));
+    }
+
+    #[test]
+    fn use_after_free_is_reported_until_reallocation() {
+        let (mut os, mut heap, mut det) = setup();
+        let a = heap.alloc(&mut os, 64).unwrap();
+        det.on_alloc(&mut os, &a);
+        os.vwrite(a.addr, &[5u8; 64]).unwrap();
+        let record = heap.free(&mut os, a.addr).unwrap();
+        det.on_free(&mut os, &record);
+        let fault = expect_ecc(os.vread(a.addr, &mut [0u8; 8]).unwrap_err());
+        assert!(det.handle_fault(&mut os, &fault));
+        assert!(matches!(det.reports()[0], BugReport::UseAfterFree { .. }));
+    }
+
+    #[test]
+    fn reallocation_disables_freed_watch() {
+        let (mut os, mut heap, mut det) = setup();
+        let a = heap.alloc(&mut os, 64).unwrap();
+        det.on_alloc(&mut os, &a);
+        let record = heap.free(&mut os, a.addr).unwrap();
+        det.on_free(&mut os, &record);
+        // Reallocate the same block: the freed watch must be disabled so the
+        // new owner can use it fault-free.
+        let b = heap.alloc(&mut os, 64).unwrap();
+        assert_eq!(b.base, a.base, "free-list reuse expected");
+        det.on_alloc(&mut os, &b);
+        os.vwrite(b.addr, &[1u8; 64]).unwrap();
+        os.vread(b.addr, &mut [0u8; 64]).unwrap();
+        assert!(det.reports().is_empty());
+    }
+
+    #[test]
+    fn frees_disarm_pads() {
+        let (mut os, mut heap, mut det) = setup();
+        let a = heap.alloc(&mut os, 64).unwrap();
+        det.on_alloc(&mut os, &a);
+        let watched_before = os.watched_region_count();
+        let record = heap.free(&mut os, a.addr).unwrap();
+        det.on_free(&mut os, &record);
+        // 2 pads disarmed, 1 freed-region watch armed.
+        assert_eq!(os.watched_region_count(), watched_before - 1);
+    }
+
+    #[test]
+    fn uninit_read_extension() {
+        let mut os = Os::with_defaults(1 << 22);
+        os.register_ecc_fault_handler();
+        let mut heap = Heap::new(LayoutPolicy::LinePadded);
+        let mut det = CorruptionDetector::new(CorruptionConfig { uninit_reads: true }, 64);
+        // Buffer A: read before any write → bug.
+        let a = heap.alloc(&mut os, 64).unwrap();
+        det.on_alloc(&mut os, &a);
+        let fault = expect_ecc(os.vread(a.addr, &mut [0u8; 8]).unwrap_err());
+        assert!(det.handle_fault(&mut os, &fault));
+        assert_eq!(det.stats().uninit_reads, 1);
+        // Buffer B: write first → no bug, watch silently cleared.
+        let b = heap.alloc(&mut os, 64).unwrap();
+        det.on_alloc(&mut os, &b);
+        let fault = expect_ecc(os.vwrite(b.addr, &[1u8; 8]).unwrap_err());
+        assert!(det.handle_fault(&mut os, &fault));
+        os.vwrite(b.addr, &[1u8; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        os.vread(b.addr, &mut buf).unwrap();
+        assert_eq!(det.stats().uninit_reads, 1, "no new report for buffer B");
+    }
+
+    #[test]
+    fn multi_line_buffers_pad_correctly() {
+        let (mut os, mut heap, mut det) = setup();
+        let a = heap.alloc(&mut os, 300).unwrap(); // rounds to 320? no: 5 lines = 320
+        det.on_alloc(&mut os, &a);
+        // Whole rounded payload accessible.
+        os.vwrite(a.addr, &[3u8; 300]).unwrap();
+        let mut buf = [0u8; 300];
+        os.vread(a.addr, &mut buf).unwrap();
+        // Past the rounded end faults.
+        let rounded = 300u64.div_ceil(64) * 64;
+        assert!(os.vread(a.addr + rounded, &mut [0u8; 1]).is_err());
+    }
+
+    #[test]
+    fn pinned_memory_exhaustion_degrades_gracefully() {
+        // Tiny physical memory under the pinning policy: most buffers
+        // cannot be guarded, but nothing panics and guarded buffers still
+        // detect overflows.
+        let mut os = Os::with_defaults(6 * 4096);
+        os.register_ecc_fault_handler();
+        let mut heap = Heap::new(LayoutPolicy::LinePadded);
+        let mut det = CorruptionDetector::new(CorruptionConfig::default(), 64);
+        let mut allocs = Vec::new();
+        for _ in 0..64 {
+            let a = heap.alloc(&mut os, 4096).unwrap();
+            det.on_alloc(&mut os, &a);
+            allocs.push(a);
+        }
+        assert!(det.stats().unguarded > 0, "pressure must bite");
+        assert!(det.stats().pads_watched > 0, "early buffers are guarded");
+    }
+
+    #[test]
+    #[should_panic(expected = "LinePadded")]
+    fn wrong_layout_is_rejected() {
+        let mut os = Os::with_defaults(1 << 22);
+        let mut heap = Heap::new(LayoutPolicy::Natural);
+        let mut det = CorruptionDetector::new(CorruptionConfig::default(), 64);
+        let a = heap.alloc(&mut os, 64).unwrap();
+        det.on_alloc(&mut os, &a);
+    }
+}

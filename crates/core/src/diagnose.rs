@@ -1,0 +1,259 @@
+//! Programmer-facing diagnosis of a run's bug reports.
+//!
+//! The paper motivates precise, actionable output ("allow programmers to
+//! attach an interactive debugger…", "provide programmers with precise
+//! information regarding the occurred bugs", §2.2.1/§2.2.3). This module
+//! turns a raw report stream into that output: reports are de-duplicated,
+//! grouped by allocation site, ranked by severity, and rendered as a
+//! summary a human can act on.
+
+use crate::report::{BugReport, LeakKind, OverflowSide};
+use crate::signature::GroupKey;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Severity ranking used to order the summary (most urgent first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Writes past buffer bounds: the classic exploitable class.
+    Critical,
+    /// Reads of stale/foreign memory: wrong behaviour, possible info leak.
+    High,
+    /// Continuous leaks: eventual resource exhaustion.
+    Medium,
+    /// Hygiene issues (wild frees, uninitialised reads).
+    Low,
+    /// Not a software bug (hardware error on a watched line).
+    Informational,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Critical => write!(f, "CRITICAL"),
+            Severity::High => write!(f, "HIGH"),
+            Severity::Medium => write!(f, "MEDIUM"),
+            Severity::Low => write!(f, "LOW"),
+            Severity::Informational => write!(f, "INFO"),
+        }
+    }
+}
+
+/// Classifies one report.
+#[must_use]
+pub fn severity_of(report: &BugReport) -> Severity {
+    match report {
+        BugReport::Overflow { access: safemem_os::AccessKind::Write, .. } => Severity::Critical,
+        BugReport::UseAfterFree { access: safemem_os::AccessKind::Write, .. } => Severity::Critical,
+        BugReport::Overflow { .. } | BugReport::UseAfterFree { .. } => Severity::High,
+        BugReport::Leak { .. } => Severity::Medium,
+        BugReport::UninitRead { .. } | BugReport::WildFree { .. } => Severity::Low,
+        BugReport::HardwareError { .. } => Severity::Informational,
+    }
+}
+
+/// One line of actionable advice per report class.
+#[must_use]
+pub fn advice_for(report: &BugReport) -> &'static str {
+    match report {
+        BugReport::Overflow { side: OverflowSide::After, .. } => {
+            "check the length computation guarding writes/reads at this site; the access ran past the buffer end"
+        }
+        BugReport::Overflow { side: OverflowSide::Before, .. } => {
+            "check for negative indices or pointer arithmetic stepping before the buffer start"
+        }
+        BugReport::UseAfterFree { .. } => {
+            "a reference outlived free(); audit ownership on the path that freed this buffer"
+        }
+        BugReport::Leak { kind: LeakKind::ALeak, .. } => {
+            "no execution path frees this group; add the missing free (or confirm the growth is intended and bounded)"
+        }
+        BugReport::Leak { kind: LeakKind::SLeak, .. } => {
+            "some execution path skips the free; audit early returns and error paths after this allocation site"
+        }
+        BugReport::UninitRead { .. } => "the buffer is read before any write; initialise it or fix the fill logic",
+        BugReport::WildFree { .. } => "free() of a pointer that is not a live allocation (double free or stray pointer)",
+        BugReport::HardwareError { .. } => {
+            "a genuine memory hardware error was detected and contained; no code change needed"
+        }
+    }
+}
+
+/// Aggregated findings for one bucket (allocation site or address).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Severity of the bucket (the max over its reports).
+    pub severity: Severity,
+    /// A representative report.
+    pub example: BugReport,
+    /// How many raw reports collapsed into this finding.
+    pub occurrences: usize,
+    /// The allocation-site group, when the report class carries one.
+    pub group: Option<GroupKey>,
+}
+
+/// A run's diagnosis: de-duplicated, ranked findings.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnosis {
+    findings: Vec<Finding>,
+}
+
+impl Diagnosis {
+    /// Builds a diagnosis from a raw report stream.
+    #[must_use]
+    pub fn from_reports(reports: &[BugReport]) -> Self {
+        // Bucket key: distinguish classes, then the buffer/site involved.
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        enum Key {
+            Leak(GroupKey),
+            Overflow(u64),
+            UseAfterFree(u64),
+            UninitRead(u64),
+            WildFree(u64),
+            Hardware(u64),
+        }
+        let mut buckets: BTreeMap<Key, Finding> = BTreeMap::new();
+        for report in reports {
+            let (key, group) = match report {
+                BugReport::Leak { group, .. } => (Key::Leak(*group), Some(*group)),
+                BugReport::Overflow { buffer_addr, .. } => (Key::Overflow(*buffer_addr), None),
+                BugReport::UseAfterFree { buffer_addr, .. } => {
+                    (Key::UseAfterFree(*buffer_addr), None)
+                }
+                BugReport::UninitRead { buffer_addr, .. } => (Key::UninitRead(*buffer_addr), None),
+                BugReport::WildFree { addr } => (Key::WildFree(*addr), None),
+                BugReport::HardwareError { line_vaddr } => (Key::Hardware(*line_vaddr), None),
+            };
+            let severity = severity_of(report);
+            buckets
+                .entry(key)
+                .and_modify(|f| {
+                    f.occurrences += 1;
+                    if severity < f.severity {
+                        f.severity = severity;
+                        f.example = *report;
+                    }
+                })
+                .or_insert(Finding { severity, example: *report, occurrences: 1, group });
+        }
+        let mut findings: Vec<Finding> = buckets.into_values().collect();
+        findings.sort_by_key(|f| f.severity);
+        Diagnosis { findings }
+    }
+
+    /// The ranked findings (most severe first).
+    #[must_use]
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Findings at or above a severity.
+    #[must_use]
+    pub fn at_least(&self, severity: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity <= severity).count()
+    }
+
+    /// Renders the human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "no findings: the run was clean");
+            return out;
+        }
+        let _ = writeln!(out, "{} finding(s):", self.findings.len());
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = writeln!(out, "\n#{} [{}] ×{}", i + 1, f.severity, f.occurrences);
+            let _ = writeln!(out, "   {}", f.example);
+            if let Some(group) = f.group {
+                let _ = writeln!(out, "   allocation site: {group}");
+            }
+            let _ = writeln!(out, "   advice: {}", advice_for(&f.example));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safemem_os::AccessKind;
+
+    fn overflow(addr: u64, access: AccessKind) -> BugReport {
+        BugReport::Overflow {
+            buffer_addr: addr,
+            buffer_size: 64,
+            access_vaddr: addr + 64,
+            access,
+            side: OverflowSide::After,
+        }
+    }
+
+    #[test]
+    fn severity_ordering_is_sane() {
+        assert!(Severity::Critical < Severity::High);
+        assert_eq!(severity_of(&overflow(0x10, AccessKind::Write)), Severity::Critical);
+        assert_eq!(severity_of(&overflow(0x10, AccessKind::Read)), Severity::High);
+        assert_eq!(
+            severity_of(&BugReport::HardwareError { line_vaddr: 0 }),
+            Severity::Informational
+        );
+    }
+
+    #[test]
+    fn duplicate_reports_collapse_with_counts() {
+        let reports =
+            vec![overflow(0x100, AccessKind::Read), overflow(0x100, AccessKind::Read), overflow(0x200, AccessKind::Write)];
+        let d = Diagnosis::from_reports(&reports);
+        assert_eq!(d.findings().len(), 2);
+        // Most severe first: the write overflow at 0x200.
+        assert_eq!(d.findings()[0].severity, Severity::Critical);
+        assert_eq!(d.findings()[1].occurrences, 2);
+    }
+
+    #[test]
+    fn escalation_within_a_bucket() {
+        // A read then a write on the same buffer: the bucket escalates.
+        let reports = vec![overflow(0x100, AccessKind::Read), overflow(0x100, AccessKind::Write)];
+        let d = Diagnosis::from_reports(&reports);
+        assert_eq!(d.findings().len(), 1);
+        assert_eq!(d.findings()[0].severity, Severity::Critical);
+        assert_eq!(d.findings()[0].occurrences, 2);
+    }
+
+    #[test]
+    fn render_contains_advice_and_sites() {
+        let reports = vec![BugReport::Leak {
+            addr: 0x50,
+            size: 96,
+            group: GroupKey { size: 96, signature: 0xBEEF },
+            kind: LeakKind::SLeak,
+            at_cpu_cycles: 42,
+        }];
+        let text = Diagnosis::from_reports(&reports).render();
+        assert!(text.contains("MEDIUM"), "{text}");
+        assert!(text.contains("0xbeef"), "{text}");
+        assert!(text.contains("error paths"), "{text}");
+    }
+
+    #[test]
+    fn empty_run_is_clean() {
+        let d = Diagnosis::from_reports(&[]);
+        assert!(d.render().contains("clean"));
+        assert_eq!(d.at_least(Severity::Informational), 0);
+    }
+
+    #[test]
+    fn at_least_counts_thresholds() {
+        let reports = vec![
+            overflow(0x1, AccessKind::Write),
+            overflow(0x2, AccessKind::Read),
+            BugReport::WildFree { addr: 0x3 },
+        ];
+        let d = Diagnosis::from_reports(&reports);
+        assert_eq!(d.at_least(Severity::Critical), 1);
+        assert_eq!(d.at_least(Severity::High), 2);
+        assert_eq!(d.at_least(Severity::Low), 3);
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-group memory-usage behaviour statistics (paper §3.2.1).
+//!
+//! For every memory object group SafeMem records *lifetime information* (the
+//! current maximal lifetime and how long it has been stable) and *memory
+//! usage information* (live object count, last allocation time, total bytes),
+//! plus an allocation-ordered index of live objects so the oldest few can be
+//! checked cheaply at detection time.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Statistics for one memory object group.
+#[derive(Debug, Clone)]
+pub struct GroupStats {
+    /// Largest observed lifetime of any freed object (CPU cycles).
+    pub max_lifetime: u64,
+    /// Accumulated CPU time since `max_lifetime` last grew beyond tolerance.
+    pub stable_time: u64,
+    /// CPU time of the most recent allocation in this group.
+    pub last_alloc_time: u64,
+    /// CPU time when `max_lifetime` last changed — the group's WarmUpTime
+    /// once it stops changing (drives Figure 3).
+    pub max_changed_at: u64,
+    /// Total allocations ever made in this group.
+    pub total_allocs: u64,
+    /// Total frees ever made in this group.
+    pub total_frees: u64,
+    /// Current live payload bytes in this group.
+    pub live_bytes: u64,
+    /// Suppress re-suspecting this group until this CPU time (set after an
+    /// ECC prune showed a false positive).
+    pub cooldown_until: u64,
+    /// Log₂-bucketed histogram of observed lifetimes (bucket *i* counts
+    /// frees with lifetime in `[2^i, 2^(i+1))` cycles; bucket 0 includes 0).
+    histogram: [u64; 48],
+    /// CPU time when the stability bookkeeping was last updated.
+    last_update: u64,
+    /// Live objects ordered by allocation time: (alloc_time, addr).
+    live: BTreeSet<(u64, u64)>,
+    /// addr → alloc_time for the live objects.
+    alloc_times: HashMap<u64, u64>,
+}
+
+impl Default for GroupStats {
+    fn default() -> Self {
+        GroupStats {
+            max_lifetime: 0,
+            stable_time: 0,
+            last_alloc_time: 0,
+            max_changed_at: 0,
+            total_allocs: 0,
+            total_frees: 0,
+            live_bytes: 0,
+            cooldown_until: 0,
+            histogram: [0; 48],
+            last_update: 0,
+            live: BTreeSet::new(),
+            alloc_times: HashMap::new(),
+        }
+    }
+}
+
+impl GroupStats {
+    /// Whether any object of this group has ever been freed — the switch
+    /// between ALeak and SLeak detection (paper §3.2.2).
+    #[must_use]
+    pub fn has_freed(&self) -> bool {
+        self.total_frees > 0
+    }
+
+    /// Number of live objects.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The oldest live objects, as `(alloc_time, addr)`, up to `n`.
+    #[must_use]
+    pub fn oldest_live(&self, n: usize) -> Vec<(u64, u64)> {
+        self.live.iter().take(n).copied().collect()
+    }
+
+    /// The allocation time of a live object, if it belongs to this group.
+    #[must_use]
+    pub fn alloc_time_of(&self, addr: u64) -> Option<u64> {
+        self.alloc_times.get(&addr).copied()
+    }
+
+    /// Records an allocation at CPU time `now`.
+    pub fn on_alloc(&mut self, addr: u64, size: u64, now: u64) {
+        self.total_allocs += 1;
+        self.live_bytes += size;
+        self.last_alloc_time = now;
+        self.live.insert((now, addr));
+        self.alloc_times.insert(addr, now);
+    }
+
+    /// Records a free at CPU time `now`, updating the maximal-lifetime
+    /// stability bookkeeping. `tolerance` is the fraction by which a
+    /// lifetime may exceed the current maximum without resetting stability.
+    ///
+    /// Returns the freed object's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a live object of this group (the caller
+    /// routes frees by group).
+    pub fn on_free(&mut self, addr: u64, size: u64, now: u64, tolerance: f64) -> u64 {
+        let alloc_time = self
+            .alloc_times
+            .remove(&addr)
+            .expect("free routed to the owning group");
+        self.live.remove(&(alloc_time, addr));
+        self.total_frees += 1;
+        self.live_bytes = self.live_bytes.saturating_sub(size);
+        let lifetime = now - alloc_time;
+        let bucket = (64 - lifetime.max(1).leading_zeros() - 1).min(47) as usize;
+        self.histogram[bucket] += 1;
+        let tolerated = (self.max_lifetime as f64 * (1.0 + tolerance)) as u64;
+        if lifetime <= tolerated.max(self.max_lifetime) {
+            // Within expectation: stability grows by the elapsed CPU time.
+            self.stable_time += now - self.last_update;
+        } else {
+            self.max_lifetime = lifetime;
+            self.stable_time = 0;
+            self.max_changed_at = now;
+        }
+        self.last_update = now;
+        lifetime
+    }
+
+    /// Raises the expected maximal lifetime after a pruned false positive
+    /// (paper §3.2.3): the suspect lived `observed` and was then accessed,
+    /// so similar lifetimes must no longer look anomalous.
+    pub fn raise_max_lifetime(&mut self, observed: u64, now: u64) {
+        if observed > self.max_lifetime {
+            self.max_lifetime = observed;
+            self.max_changed_at = now;
+            self.stable_time = 0;
+            self.last_update = now;
+        }
+    }
+
+    /// The log₂-bucketed lifetime histogram (bucket *i* counts lifetimes in
+    /// `[2^i, 2^(i+1))` cycles).
+    #[must_use]
+    pub fn lifetime_histogram(&self) -> &[u64; 48] {
+        &self.histogram
+    }
+
+    /// An upper bound on the `p`-th percentile lifetime (0 < p ≤ 100): the
+    /// top of the histogram bucket containing that rank. `None` before any
+    /// free.
+    #[must_use]
+    pub fn lifetime_percentile(&self, p: f64) -> Option<u64> {
+        let total: u64 = self.histogram.iter().sum();
+        if total == 0 || !(0.0..=100.0).contains(&p) || p <= 0.0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &count) in self.histogram.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        None
+    }
+
+    /// Removes a live object without lifetime bookkeeping (used when an
+    /// object is retired for reasons other than `free`, e.g. program end).
+    pub fn forget(&mut self, addr: u64) {
+        if let Some(t) = self.alloc_times.remove(&addr) {
+            self.live.remove(&(t, addr));
+        }
+    }
+
+    /// Resets a live object's allocation time to `now` (applied when a leak
+    /// suspect turns out to be live — paper §3.2.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not live in this group.
+    pub fn reset_alloc_time(&mut self, addr: u64, now: u64) {
+        let old = self
+            .alloc_times
+            .insert(addr, now)
+            .expect("suspect is a live object");
+        self.live.remove(&(old, addr));
+        self.live.insert((now, addr));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_lifecycle() {
+        let mut g = GroupStats::default();
+        g.on_alloc(0x100, 32, 1000);
+        g.on_alloc(0x200, 32, 2000);
+        assert_eq!(g.live_count(), 2);
+        assert_eq!(g.live_bytes, 64);
+        assert!(!g.has_freed());
+        let lifetime = g.on_free(0x100, 32, 5000, 0.2);
+        assert_eq!(lifetime, 4000);
+        assert!(g.has_freed());
+        assert_eq!(g.max_lifetime, 4000);
+        assert_eq!(g.live_count(), 1);
+    }
+
+    #[test]
+    fn stability_grows_within_tolerance_resets_beyond() {
+        let mut g = GroupStats::default();
+        g.on_alloc(1, 8, 0);
+        g.on_free(1, 8, 100, 0.2); // max = 100
+        assert_eq!(g.stable_time, 0);
+        g.on_alloc(2, 8, 200);
+        g.on_free(2, 8, 310, 0.2); // lifetime 110 <= 120 tolerated
+        assert_eq!(g.max_lifetime, 100);
+        assert_eq!(g.stable_time, 210);
+        g.on_alloc(3, 8, 400);
+        g.on_free(3, 8, 700, 0.2); // lifetime 300 > tolerated
+        assert_eq!(g.max_lifetime, 300);
+        assert_eq!(g.stable_time, 0);
+        assert_eq!(g.max_changed_at, 700);
+    }
+
+    #[test]
+    fn oldest_live_is_allocation_ordered() {
+        let mut g = GroupStats::default();
+        g.on_alloc(0xB, 8, 20);
+        g.on_alloc(0xA, 8, 10);
+        g.on_alloc(0xC, 8, 30);
+        assert_eq!(g.oldest_live(2), vec![(10, 0xA), (20, 0xB)]);
+    }
+
+    #[test]
+    fn reset_alloc_time_moves_object_to_youngest() {
+        let mut g = GroupStats::default();
+        g.on_alloc(0xA, 8, 10);
+        g.on_alloc(0xB, 8, 20);
+        g.reset_alloc_time(0xA, 99);
+        assert_eq!(g.oldest_live(1), vec![(20, 0xB)]);
+        assert_eq!(g.alloc_time_of(0xA), Some(99));
+    }
+
+    #[test]
+    fn raise_max_lifetime_only_raises() {
+        let mut g = GroupStats::default();
+        g.on_alloc(1, 8, 0);
+        g.on_free(1, 8, 500, 0.0);
+        g.raise_max_lifetime(300, 600);
+        assert_eq!(g.max_lifetime, 500, "must not lower");
+        g.raise_max_lifetime(900, 700);
+        assert_eq!(g.max_lifetime, 900);
+        assert_eq!(g.stable_time, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut g = GroupStats::default();
+        // Lifetimes: 100 (bucket 6), 1000 (bucket 9), 1000, 100_000 (16).
+        let mut t = 0;
+        for lifetime in [100u64, 1000, 1000, 100_000] {
+            g.on_alloc(0xA, 8, t);
+            g.on_free(0xA, 8, t + lifetime, 0.0);
+            t += lifetime + 1;
+        }
+        let h = g.lifetime_histogram();
+        assert_eq!(h[6], 1);
+        assert_eq!(h[9], 2);
+        assert_eq!(h[16], 1);
+        assert_eq!(h.iter().sum::<u64>(), 4);
+        // p50 falls in the 1000-bucket; p100 in the 100k one.
+        assert_eq!(g.lifetime_percentile(50.0), Some(1 << 10));
+        assert_eq!(g.lifetime_percentile(100.0), Some(1 << 17));
+        assert_eq!(g.lifetime_percentile(0.0), None);
+        assert_eq!(GroupStats::default().lifetime_percentile(50.0), None);
+    }
+
+    #[test]
+    fn forget_drops_without_stats() {
+        let mut g = GroupStats::default();
+        g.on_alloc(1, 8, 0);
+        g.forget(1);
+        assert_eq!(g.live_count(), 0);
+        assert_eq!(g.total_frees, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # SafeMem — ECC-memory-based detection of leaks and corruption
+//!
+//! This crate is the core of the reproduction of *"SafeMem: Exploiting
+//! ECC-Memory for Detecting Memory Leaks and Memory Corruption During
+//! Production Runs"* (Qin, Lu, Zhou — HPCA 2005): a low-overhead,
+//! production-run bug detector that repurposes commodity ECC memory as a
+//! cache-line-granularity watchpoint mechanism.
+//!
+//! ## How it works
+//!
+//! * **Memory-leak detection** ([`leak`]): memory objects are grouped by
+//!   `(size, call-site signature)`; each group's *maximal lifetime*
+//!   stabilises quickly (Figure 3 of the paper), so objects that outlive it
+//!   by 2× are leak suspects. Suspects are ECC-watched: the first access
+//!   prunes a false positive, prolonged silence confirms the leak.
+//! * **Memory-corruption detection** ([`corruption`]): buffers are padded
+//!   with watched guard lines (overflow) and watched after free
+//!   (use-after-free). ECC's cache-line granularity wastes 64–74× less
+//!   memory than page-protection guards (Table 4).
+//! * Both rely on the OS/hardware substrate in the `safemem-os`,
+//!   `safemem-machine`, `safemem-cache` and `safemem-ecc` crates: the
+//!   scramble trick arms a line, the first memory access raises an
+//!   uncorrectable ECC fault, and a user-level handler dispatches it.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use safemem_core::{CallStack, MemTool, SafeMem};
+//! use safemem_os::Os;
+//!
+//! let mut os = Os::with_defaults(1 << 22);
+//! let mut tool = SafeMem::builder().build(&mut os);
+//!
+//! let site = CallStack::new(&[0x401000]);
+//! let buf = tool.malloc(&mut os, 100, &site);
+//! tool.write(&mut os, buf, &[0u8; 100]);
+//!
+//! // Walking off the end lands in the watched padding — caught.
+//! tool.write(&mut os, buf + 126, &[1, 2, 3, 4]);
+//! assert!(tool.all_reports().iter().any(|r| r.is_corruption()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corruption;
+pub mod diagnose;
+pub mod groups;
+pub mod leak;
+pub mod null_tool;
+pub mod report;
+pub mod safemem_tool;
+pub mod signature;
+pub mod tool;
+
+pub use corruption::{CorruptionConfig, CorruptionDetector, CorruptionStats};
+pub use diagnose::{Diagnosis, Finding, Severity};
+pub use groups::GroupStats;
+pub use leak::{LeakConfig, LeakDetector, LeakStats};
+pub use null_tool::NullTool;
+pub use report::{BugReport, LeakKind, OverflowSide};
+pub use safemem_tool::{SafeMem, SafeMemBuilder};
+pub use signature::{CallStack, GroupKey};
+pub use tool::MemTool;

@@ -1,0 +1,106 @@
+//! The uninstrumented baseline tool.
+
+use crate::report::BugReport;
+use crate::signature::CallStack;
+use crate::tool::MemTool;
+use safemem_alloc::{Heap, LayoutPolicy};
+use safemem_os::Os;
+
+/// No monitoring at all: a plain allocator and raw accesses. This is the
+/// denominator of every overhead figure in Table 3.
+///
+/// Buggy accesses do what they do on real unprotected hardware: silently
+/// read or corrupt neighbouring memory.
+#[derive(Debug)]
+pub struct NullTool {
+    heap: Heap,
+    reports: Vec<BugReport>,
+}
+
+impl NullTool {
+    /// Creates the baseline tool.
+    #[must_use]
+    pub fn new() -> Self {
+        NullTool { heap: Heap::new(LayoutPolicy::Natural), reports: Vec::new() }
+    }
+}
+
+impl Default for NullTool {
+    fn default() -> Self {
+        NullTool::new()
+    }
+}
+
+impl MemTool for NullTool {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    fn malloc(&mut self, os: &mut Os, size: u64, _stack: &CallStack) -> u64 {
+        self.heap.alloc(os, size).expect("heap exhausted").addr
+    }
+
+    fn free(&mut self, os: &mut Os, addr: u64) {
+        // Real free() on a wild pointer corrupts the heap; the baseline just
+        // ignores it, as the bug is invisible without a tool.
+        let _ = self.heap.free(os, addr);
+    }
+
+    fn realloc(&mut self, os: &mut Os, addr: u64, new_size: u64, _stack: &CallStack) -> u64 {
+        match self.heap.realloc(os, addr, new_size) {
+            Ok((_, new)) => new.addr,
+            Err(_) => self.heap.alloc(os, new_size).expect("heap exhausted").addr,
+        }
+    }
+
+    fn read(&mut self, os: &mut Os, addr: u64, buf: &mut [u8]) {
+        os.vread(addr, buf).expect("baseline access cannot fault");
+    }
+
+    fn write(&mut self, os: &mut Os, addr: u64, data: &[u8]) {
+        os.vwrite(addr, data).expect("baseline access cannot fault");
+    }
+
+    fn finish(&mut self, _os: &mut Os) {}
+
+    fn reports(&self) -> Vec<BugReport> {
+        self.reports.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_allocates_and_accesses() {
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = NullTool::new();
+        let stack = CallStack::default();
+        let a = tool.malloc(&mut os, 100, &stack);
+        tool.write(&mut os, a, &[1u8; 100]);
+        let mut buf = [0u8; 100];
+        tool.read(&mut os, a, &mut buf);
+        assert_eq!(buf, [1u8; 100]);
+        tool.free(&mut os, a);
+        assert!(tool.reports().is_empty());
+    }
+
+    #[test]
+    fn baseline_overflow_is_silent() {
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = NullTool::new();
+        let stack = CallStack::default();
+        let a = tool.malloc(&mut os, 16, &stack);
+        let b = tool.malloc(&mut os, 16, &stack);
+        // Overflow a into b: silently corrupts, exactly like real life.
+        tool.write(&mut os, a, &[0xEE; 40]);
+        let mut buf = [0u8; 1];
+        tool.read(&mut os, b, &mut buf);
+        assert!(tool.reports().is_empty(), "no tool, no report");
+    }
+}

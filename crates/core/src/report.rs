@@ -1,0 +1,191 @@
+//! Bug reports emitted by the detection tools.
+
+use crate::signature::GroupKey;
+use safemem_os::AccessKind;
+use std::fmt;
+
+/// Which continuous-leak class a leak report belongs to (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LeakKind {
+    /// "Always leak": the group is never freed on any path.
+    ALeak,
+    /// "Sometimes leak": some paths free, some leak.
+    SLeak,
+}
+
+impl fmt::Display for LeakKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeakKind::ALeak => write!(f, "always-leak"),
+            LeakKind::SLeak => write!(f, "sometimes-leak"),
+        }
+    }
+}
+
+/// Which side of a buffer an overflow touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OverflowSide {
+    /// Underflow: the padding before the buffer.
+    Before,
+    /// Overflow: the padding after the buffer.
+    After,
+}
+
+impl fmt::Display for OverflowSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverflowSide::Before => write!(f, "before (underflow)"),
+            OverflowSide::After => write!(f, "after (overflow)"),
+        }
+    }
+}
+
+/// A bug found by a tool during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BugReport {
+    /// A memory object outlived every expectation and was never accessed
+    /// while watched: a continuous memory leak (paper §3).
+    Leak {
+        /// Payload address of the leaked object.
+        addr: u64,
+        /// Requested size of the leaked object.
+        size: u64,
+        /// The object group it belongs to.
+        group: GroupKey,
+        /// ALeak or SLeak.
+        kind: LeakKind,
+        /// Process CPU time (cycles) when reported.
+        at_cpu_cycles: u64,
+    },
+    /// An access hit the guard padding of a live buffer (paper §4).
+    Overflow {
+        /// Payload address of the buffer whose padding was hit.
+        buffer_addr: u64,
+        /// Requested size of that buffer.
+        buffer_size: u64,
+        /// The faulting virtual address.
+        access_vaddr: u64,
+        /// Load or store.
+        access: AccessKind,
+        /// Which side of the buffer.
+        side: OverflowSide,
+    },
+    /// An access hit a freed buffer before it was reallocated (paper §4).
+    UseAfterFree {
+        /// Payload address of the freed buffer.
+        buffer_addr: u64,
+        /// Its size when freed.
+        buffer_size: u64,
+        /// The faulting virtual address.
+        access_vaddr: u64,
+        /// Load or store.
+        access: AccessKind,
+    },
+    /// A read from a buffer that was never written (the §4 extension).
+    UninitRead {
+        /// Payload address of the buffer.
+        buffer_addr: u64,
+        /// The faulting virtual address.
+        access_vaddr: u64,
+    },
+    /// `free` of an address that is not a live allocation.
+    WildFree {
+        /// The address passed to `free`.
+        addr: u64,
+    },
+    /// A genuine hardware memory error detected on a watched line (the
+    /// scramble signature did not match — paper §2.2.2 differentiation).
+    HardwareError {
+        /// The affected virtual line address.
+        line_vaddr: u64,
+    },
+}
+
+impl BugReport {
+    /// `true` for the leak variant.
+    #[must_use]
+    pub fn is_leak(&self) -> bool {
+        matches!(self, BugReport::Leak { .. })
+    }
+
+    /// `true` for the memory-corruption variants (overflow, use-after-free,
+    /// uninitialised read).
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            BugReport::Overflow { .. } | BugReport::UseAfterFree { .. } | BugReport::UninitRead { .. }
+        )
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugReport::Leak { addr, size, group, kind, .. } => write!(
+                f,
+                "{kind} leak: object {addr:#x} ({size} B) of group (size={}, callsite={:#x})",
+                group.size, group.signature
+            ),
+            BugReport::Overflow { buffer_addr, buffer_size, access_vaddr, access, side } => write!(
+                f,
+                "buffer overflow: {access} at {access_vaddr:#x}, {side} buffer {buffer_addr:#x} ({buffer_size} B)"
+            ),
+            BugReport::UseAfterFree { buffer_addr, buffer_size, access_vaddr, access } => write!(
+                f,
+                "access to freed memory: {access} at {access_vaddr:#x} in freed buffer {buffer_addr:#x} ({buffer_size} B)"
+            ),
+            BugReport::UninitRead { buffer_addr, access_vaddr } => write!(
+                f,
+                "read of uninitialised memory at {access_vaddr:#x} in buffer {buffer_addr:#x}"
+            ),
+            BugReport::WildFree { addr } => write!(f, "free of non-allocated address {addr:#x}"),
+            BugReport::HardwareError { line_vaddr } => {
+                write!(f, "hardware memory error on line {line_vaddr:#x}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::GroupKey;
+
+    #[test]
+    fn classification_helpers() {
+        let leak = BugReport::Leak {
+            addr: 0x10,
+            size: 8,
+            group: GroupKey { size: 8, signature: 0xABC },
+            kind: LeakKind::ALeak,
+            at_cpu_cycles: 0,
+        };
+        assert!(leak.is_leak());
+        assert!(!leak.is_corruption());
+        let overflow = BugReport::Overflow {
+            buffer_addr: 0x20,
+            buffer_size: 64,
+            access_vaddr: 0x60,
+            access: AccessKind::Write,
+            side: OverflowSide::After,
+        };
+        assert!(overflow.is_corruption());
+        assert!(!overflow.is_leak());
+    }
+
+    #[test]
+    fn displays_mention_addresses() {
+        let uaf = BugReport::UseAfterFree {
+            buffer_addr: 0x1000,
+            buffer_size: 32,
+            access_vaddr: 0x1008,
+            access: AccessKind::Read,
+        };
+        let s = uaf.to_string();
+        assert!(s.contains("0x1000") && s.contains("freed"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Call-stack signatures and memory-object group keys.
+//!
+//! SafeMem groups memory objects by the tuple `(size, call-stack signature)`
+//! where the signature is computed "by individually applying the
+//! exclusive-or and rotate functions to the return addresses of the most
+//! recent four functions in the current stack" (paper §3, footnote 1).
+
+/// A (simulated) call stack at an allocation site.
+///
+/// Workloads push synthetic return addresses that identify their allocation
+/// sites, exactly the information a real stack walk would provide.
+///
+/// # Example
+///
+/// ```
+/// use safemem_core::CallStack;
+///
+/// let stack = CallStack::new(&[0x40_1000, 0x40_2340, 0x40_5678]);
+/// let same = CallStack::new(&[0x40_1000, 0x40_2340, 0x40_5678]);
+/// assert_eq!(stack.signature(), same.signature());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CallStack {
+    frames: Vec<u64>,
+}
+
+impl CallStack {
+    /// Builds a call stack from return addresses, oldest first.
+    #[must_use]
+    pub fn new(frames: &[u64]) -> Self {
+        CallStack { frames: frames.to_vec() }
+    }
+
+    /// Pushes a callee's return address (entering a function).
+    pub fn push(&mut self, return_addr: u64) {
+        self.frames.push(return_addr);
+    }
+
+    /// Pops the most recent frame (returning from a function).
+    pub fn pop(&mut self) -> Option<u64> {
+        self.frames.pop()
+    }
+
+    /// The return addresses, oldest first.
+    #[must_use]
+    pub fn frames(&self) -> &[u64] {
+        &self.frames
+    }
+
+    /// The paper's signature: XOR-and-rotate over the most recent four
+    /// return addresses.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        let start = self.frames.len().saturating_sub(4);
+        self.frames[start..]
+            .iter()
+            .fold(0u64, |sig, &addr| sig.rotate_left(13) ^ addr)
+    }
+}
+
+impl From<&[u64]> for CallStack {
+    fn from(frames: &[u64]) -> Self {
+        CallStack::new(frames)
+    }
+}
+
+/// The key identifying a memory object group: `(size, signature)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroupKey {
+    /// Requested object size in bytes.
+    pub size: u64,
+    /// Call-stack signature of the allocation site.
+    pub signature: u64,
+}
+
+impl GroupKey {
+    /// Builds the key for an allocation of `size` bytes at `stack`.
+    #[must_use]
+    pub fn new(size: u64, stack: &CallStack) -> Self {
+        GroupKey { size, signature: stack.signature() }
+    }
+}
+
+impl std::fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(size={}, callsite={:#x})", self.size, self.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_uses_only_last_four_frames() {
+        let a = CallStack::new(&[1, 2, 3, 4, 5]);
+        let b = CallStack::new(&[99, 2, 3, 4, 5]);
+        assert_eq!(a.signature(), b.signature(), "5th-oldest frame must not matter");
+        let c = CallStack::new(&[1, 2, 3, 4, 6]);
+        assert_ne!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn signature_is_order_sensitive() {
+        let a = CallStack::new(&[10, 20]);
+        let b = CallStack::new(&[20, 10]);
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut stack = CallStack::new(&[1, 2]);
+        let before = stack.signature();
+        stack.push(3);
+        assert_ne!(stack.signature(), before);
+        assert_eq!(stack.pop(), Some(3));
+        assert_eq!(stack.signature(), before);
+    }
+
+    #[test]
+    fn empty_stack_has_stable_signature() {
+        assert_eq!(CallStack::default().signature(), 0);
+    }
+
+    #[test]
+    fn group_key_distinguishes_size_and_site() {
+        let stack = CallStack::new(&[0x100]);
+        let a = GroupKey::new(32, &stack);
+        let b = GroupKey::new(64, &stack);
+        assert_ne!(a, b);
+        let other = CallStack::new(&[0x200]);
+        assert_ne!(a, GroupKey::new(32, &other));
+        assert_eq!(a, GroupKey::new(32, &CallStack::new(&[0x100])));
+    }
+}

@@ -1,0 +1,74 @@
+//! The interface between workloads and memory tools.
+//!
+//! A [`MemTool`] stands where the C library and the monitoring tool meet:
+//! workloads allocate, free, and access memory exclusively through it. The
+//! uninstrumented baseline, SafeMem, and the comparison tools (Purify-like,
+//! page-guard) all implement this trait, so the benchmark harness can run
+//! identical workloads under each and compare simulated CPU time — exactly
+//! the methodology of the paper's Table 3.
+
+use crate::report::BugReport;
+use crate::signature::CallStack;
+use safemem_alloc::Heap;
+use safemem_os::Os;
+
+/// A memory-monitoring tool wrapping the allocator and all memory accesses.
+///
+/// Buggy accesses (overflows, use-after-free) are *recorded*, not panicked
+/// on: production-run tools must let the program continue so the run can be
+/// observed end to end (the paper's SafeMem pauses for a debugger; the
+/// simulation records and resumes).
+pub trait MemTool {
+    /// Short human-readable tool name ("none", "safemem", "purify", ...).
+    fn name(&self) -> &'static str;
+
+    /// The tool's heap (placement records and space statistics — Table 4).
+    fn heap(&self) -> &Heap;
+
+    /// `malloc(size)` at the given call stack. Returns the payload address.
+    fn malloc(&mut self, os: &mut Os, size: u64, stack: &CallStack) -> u64;
+
+    /// `calloc(size)`: allocate and zero.
+    fn calloc(&mut self, os: &mut Os, size: u64, stack: &CallStack) -> u64 {
+        let addr = self.malloc(os, size, stack);
+        let zeros = vec![0u8; size.max(1) as usize];
+        self.write(os, addr, &zeros);
+        addr
+    }
+
+    /// `free(addr)`.
+    fn free(&mut self, os: &mut Os, addr: u64);
+
+    /// `realloc(addr, new_size)`. Returns the new payload address.
+    fn realloc(&mut self, os: &mut Os, addr: u64, new_size: u64, stack: &CallStack) -> u64;
+
+    /// An application load of `buf.len()` bytes.
+    fn read(&mut self, os: &mut Os, addr: u64, buf: &mut [u8]);
+
+    /// An application store of `data`.
+    fn write(&mut self, os: &mut Os, addr: u64, data: &[u8]);
+
+    /// Models application CPU work: `cycles` of computation containing
+    /// `mem_accesses` memory instructions (loads/stores to registers,
+    /// stack, globals — the instruction stream, not the explicit buffer
+    /// operations above).
+    ///
+    /// SafeMem and the baseline run this at native speed; a Purify-class
+    /// tool instruments *every* memory access and charges per-access
+    /// checking here — the source of its orders-of-magnitude slowdown
+    /// (paper §5, Table 3).
+    fn compute(&mut self, os: &mut Os, cycles: u64, mem_accesses: u64) {
+        let _ = mem_accesses;
+        os.compute(cycles);
+    }
+
+    /// Called once when the workload completes (final leak pass, etc.).
+    fn finish(&mut self, os: &mut Os);
+
+    /// All bugs recorded so far.
+    fn reports(&self) -> Vec<BugReport>;
+}
+
+/// Retry budget for access loops: a single access can fault at most once per
+/// watched line it spans, so anything past this is a handler bug.
+pub(crate) const MAX_FAULT_RETRIES: usize = 1024;

@@ -1,0 +1,184 @@
+//! Property tests for the detectors: soundness invariants of leak and
+//! corruption detection that must hold for any workload.
+
+use proptest::prelude::*;
+use safemem_core::{
+    BugReport, CallStack, CorruptionConfig, CorruptionDetector, LeakConfig, LeakDetector,
+    MemTool, SafeMem,
+};
+use safemem_alloc::{Heap, LayoutPolicy};
+use safemem_os::{Os, OsFault};
+
+fn quick_leak_config() -> LeakConfig {
+    LeakConfig {
+        check_period: 2_000,
+        warmup: 0,
+        aleak_live_threshold: 10,
+        sleak_stable_threshold: 2_000,
+        report_after: 300_000,
+        prune_cooldown: 50_000,
+        ..LeakConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Soundness of the freed-object rule: an object that is eventually
+    /// freed is NEVER reported as a leak, no matter how long it lived or
+    /// how suspicious it looked in between.
+    #[test]
+    fn prop_freed_objects_never_reported(
+        lifetimes in proptest::collection::vec(1_000u64..500_000, 4..24),
+    ) {
+        let mut os = Os::with_defaults(1 << 23);
+        os.register_ecc_fault_handler();
+        let mut det = LeakDetector::new(quick_leak_config(), 64);
+        let stack = CallStack::new(&[0x1]);
+
+        // Objects with wildly varying lifetimes, all eventually freed.
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (addr, free_at)
+        for (i, &lifetime) in lifetimes.iter().enumerate() {
+            let addr = safemem_os::HEAP_BASE + (i as u64) * 128;
+            det.on_alloc(&mut os, addr, 64, &stack);
+            live.push((addr, os.cpu_cycles() + lifetime));
+        }
+        // March time forward, freeing on schedule.
+        let mut remaining = live;
+        while !remaining.is_empty() {
+            os.compute(10_000);
+            let now = os.cpu_cycles();
+            let (due, rest): (Vec<_>, Vec<_>) = remaining.into_iter().partition(|&(_, t)| t <= now);
+            for (addr, _) in due {
+                det.on_free(&mut os, addr);
+            }
+            remaining = rest;
+        }
+        os.compute(1_000_000);
+        det.finish(&mut os);
+        prop_assert!(
+            det.reports().is_empty(),
+            "freed objects misreported: {:?}",
+            det.reports()
+        );
+    }
+
+    /// Soundness of pruning: an object that is touched at least once per
+    /// interval shorter than `report_after` is never reported, while a
+    /// never-touched immortal object from the same group eventually is.
+    #[test]
+    fn prop_touched_objects_survive_detection(touch_period in 20u64..60) {
+        let mut os = Os::with_defaults(1 << 23);
+        os.register_ecc_fault_handler();
+        let mut det = LeakDetector::new(quick_leak_config(), 64);
+        let stack = CallStack::new(&[0x2]);
+        let touched = safemem_os::HEAP_BASE;
+        let immortal = safemem_os::HEAP_BASE + 128;
+        os.vwrite(touched, &[1u8; 64]).unwrap();
+        det.on_alloc(&mut os, touched, 64, &stack);
+        det.on_alloc(&mut os, immortal, 64, &stack);
+
+        for round in 0..600u64 {
+            let addr = safemem_os::HEAP_BASE + 4096 + (round % 32) * 128;
+            det.on_alloc(&mut os, addr, 64, &stack);
+            os.compute(3_000);
+            det.on_free(&mut os, addr);
+            if round % touch_period == 0 {
+                // The live object is used; a watchpoint hit prunes it.
+                let mut buf = [0u8; 8];
+                match os.vread(touched, &mut buf) {
+                    Ok(()) => {}
+                    Err(OsFault::Ecc(user)) => {
+                        prop_assert!(det.handle_fault(&mut os, user.region_vaddr));
+                        os.vread(touched, &mut buf).expect("clean after prune");
+                    }
+                    Err(other) => panic!("unexpected fault {other:?}"),
+                }
+            }
+        }
+        det.finish(&mut os);
+        let reported: Vec<u64> = det
+            .reports()
+            .iter()
+            .filter_map(|r| match r {
+                BugReport::Leak { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        prop_assert!(!reported.contains(&touched), "live object misreported");
+        prop_assert!(reported.contains(&immortal), "immortal object missed: {reported:?}");
+    }
+
+    /// Corruption detector completeness + soundness over random in-bounds /
+    /// out-of-bounds accesses: a report appears iff the access left the
+    /// line-rounded payload.
+    #[test]
+    fn prop_corruption_iff_out_of_bounds(
+        size in 1u64..1500,
+        offsets in proptest::collection::vec(0u64..2000, 1..16),
+    ) {
+        let mut os = Os::with_defaults(1 << 23);
+        os.register_ecc_fault_handler();
+        let mut heap = Heap::new(LayoutPolicy::LinePadded);
+        let mut det = CorruptionDetector::new(CorruptionConfig::default(), 64);
+        let a = heap.alloc(&mut os, size).unwrap();
+        det.on_alloc(&mut os, &a);
+        let rounded = size.div_ceil(64) * 64;
+
+        let mut expected_reports = 0usize;
+        let mut disarmed_front = false;
+        let mut disarmed_back = false;
+        for &off in &offsets {
+            let addr = a.addr + off;
+            let out_back = off >= rounded && off < rounded + 64;
+            match os.vwrite(addr, &[1]) {
+                Ok(()) => {
+                    // In bounds, or a pad already disarmed by an earlier hit.
+                    prop_assert!(
+                        off < rounded || (out_back && disarmed_back) || off >= rounded + 64,
+                        "unexpected clean store at offset {off} (size {size})"
+                    );
+                }
+                Err(OsFault::Ecc(user)) => {
+                    prop_assert!(det.handle_fault(&mut os, &user), "unowned fault");
+                    expected_reports += 1;
+                    if out_back {
+                        disarmed_back = true;
+                    } else {
+                        disarmed_front = true;
+                    }
+                    os.vwrite(addr, &[1]).expect("clean after report");
+                }
+                Err(other) => panic!("unexpected fault {other:?}"),
+            }
+        }
+        let _ = disarmed_front;
+        prop_assert_eq!(det.reports().len(), expected_reports);
+        prop_assert!(det.reports().iter().all(|r| r.is_corruption()));
+    }
+
+    /// SafeMem's allocator behaviour matches the baseline bit-for-bit: the
+    /// same program stores and reloads identical data under both tools.
+    #[test]
+    fn prop_safemem_and_baseline_agree_on_data(
+        writes in proptest::collection::vec((1u64..500, any::<u8>()), 1..20),
+    ) {
+        let run = |tool: &mut dyn MemTool| {
+            let mut os = Os::with_defaults(1 << 23);
+            let stack = CallStack::new(&[0x3]);
+            let mut out = Vec::new();
+            for &(size, fill) in &writes {
+                let addr = tool.malloc(&mut os, size, &stack);
+                tool.write(&mut os, addr, &vec![fill; size as usize]);
+                let mut buf = vec![0u8; size as usize];
+                tool.read(&mut os, addr, &mut buf);
+                out.push(buf);
+            }
+            out
+        };
+        let mut os_tmp = Os::with_defaults(1 << 20);
+        let mut safemem = SafeMem::builder().build(&mut os_tmp);
+        let mut baseline = safemem_core::NullTool::new();
+        prop_assert_eq!(run(&mut safemem), run(&mut baseline));
+    }
+}

@@ -1,0 +1,281 @@
+//! A register-level chipset facade over the ECC controller.
+//!
+//! Paper §2.2.3: *"most ECC memory controllers export a narrow, limited
+//! interface to OS"* — the prototype's ECC library is device-specific. This
+//! module models that narrow interface in the style of an E7500-class
+//! chipset: a handful of memory-mapped configuration registers with
+//! read-to-clear error logging, driven by register reads/writes rather than
+//! method calls. The OS layer could be ported to sit on top of this facade
+//! unchanged on "another chipset" by remapping register offsets — which is
+//! precisely the portability pain the paper argues a standardised
+//! software-friendly interface would remove.
+
+use crate::controller::{EccController, EccMode};
+use crate::fault::EccFault;
+
+/// Register map (byte offsets, in the style of PCI config-space registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Register {
+    /// DRB — mode control: 0 disabled, 1 check-only, 2 correct, 3 scrub.
+    ModeControl = 0x50,
+    /// ERRSTS — error status; read-to-clear. Bit 0: single-bit error seen,
+    /// bit 1: multi-bit error seen, bit 8: error log valid.
+    ErrorStatus = 0x52,
+    /// EAP — address of the most recent logged error (group-aligned).
+    ErrorAddress = 0x58,
+    /// ERRSYN — syndrome of the most recent logged error.
+    ErrorSyndrome = 0x5C,
+    /// SCRUBCTL — bit 0: scrub enable (requires scrub-capable mode).
+    ScrubControl = 0x60,
+    /// MCHCFG — bit 0: master ECC enable, bit 1: bus lock.
+    GlobalConfig = 0x64,
+}
+
+/// ERRSTS bit: a single-bit error was observed.
+pub const ERRSTS_SINGLE: u64 = 1 << 0;
+/// ERRSTS bit: a multi-bit error was observed.
+pub const ERRSTS_MULTI: u64 = 1 << 1;
+/// ERRSTS bit: the error address/syndrome registers hold a valid log.
+pub const ERRSTS_LOG_VALID: u64 = 1 << 8;
+
+/// The chipset facade. Owns the controller; the raw controller remains
+/// reachable through [`Chipset::controller_mut`] for the data path.
+#[derive(Debug)]
+pub struct Chipset {
+    controller: EccController,
+    /// Latched error log (first error wins until cleared, like real
+    /// chipsets' read-to-clear semantics).
+    logged: Option<EccFault>,
+    saw_single: bool,
+    saw_multi: bool,
+    /// Counter snapshot used to detect new corrections.
+    last_corrected: u64,
+}
+
+impl Chipset {
+    /// Wraps a fresh controller over `size` bytes of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn new(size: u64) -> Self {
+        Chipset {
+            controller: EccController::new(size),
+            logged: None,
+            saw_single: false,
+            saw_multi: false,
+            last_corrected: 0,
+        }
+    }
+
+    /// The underlying controller (data path: reads, writes, scrub).
+    #[must_use]
+    pub fn controller_mut(&mut self) -> &mut EccController {
+        &mut self.controller
+    }
+
+    /// Shared access to the underlying controller.
+    #[must_use]
+    pub fn controller(&self) -> &EccController {
+        &self.controller
+    }
+
+    /// Latches any newly observed errors into the status bits/log.
+    fn sync(&mut self) {
+        let stats = self.controller.stats();
+        if stats.corrected_single_bit + stats.reported_single_bit > self.last_corrected {
+            self.saw_single = true;
+            self.last_corrected = stats.corrected_single_bit + stats.reported_single_bit;
+        }
+        for fault in self.controller.take_faults() {
+            self.saw_multi = true;
+            self.logged.get_or_insert(fault);
+        }
+    }
+
+    /// Reads a register. `ErrorStatus` is read-to-clear, like the hardware.
+    pub fn read_register(&mut self, reg: Register) -> u64 {
+        self.sync();
+        match reg {
+            Register::ModeControl => match self.controller.mode() {
+                EccMode::Disabled => 0,
+                EccMode::CheckOnly => 1,
+                EccMode::CorrectError => 2,
+                EccMode::CorrectAndScrub => 3,
+            },
+            Register::ErrorStatus => {
+                let mut v = 0;
+                if self.saw_single {
+                    v |= ERRSTS_SINGLE;
+                }
+                if self.saw_multi {
+                    v |= ERRSTS_MULTI;
+                }
+                if self.logged.is_some() {
+                    v |= ERRSTS_LOG_VALID;
+                }
+                // Read-to-clear.
+                self.saw_single = false;
+                self.saw_multi = false;
+                v
+            }
+            Register::ErrorAddress => self.logged.map_or(0, |f| f.group_addr),
+            Register::ErrorSyndrome => {
+                let v = self.logged.map_or(0, |f| u64::from(f.syndrome));
+                self.logged = None; // reading the syndrome releases the log
+                v
+            }
+            Register::ScrubControl => u64::from(self.controller.mode() == EccMode::CorrectAndScrub),
+            Register::GlobalConfig => {
+                u64::from(self.controller.is_enabled())
+                    | (u64::from(self.controller.is_bus_locked()) << 1)
+            }
+        }
+    }
+
+    /// Writes a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid mode value or on a bus-lock protocol violation
+    /// (double lock / unlock while unlocked), as the hardware would hang.
+    pub fn write_register(&mut self, reg: Register, value: u64) {
+        match reg {
+            Register::ModeControl => {
+                let mode = match value & 0b11 {
+                    0 => EccMode::Disabled,
+                    1 => EccMode::CheckOnly,
+                    2 => EccMode::CorrectError,
+                    _ => EccMode::CorrectAndScrub,
+                };
+                self.controller.set_mode(mode);
+            }
+            Register::ErrorStatus => {
+                // Writing 1s clears the corresponding sticky bits.
+                if value & ERRSTS_SINGLE != 0 {
+                    self.saw_single = false;
+                }
+                if value & ERRSTS_MULTI != 0 {
+                    self.saw_multi = false;
+                }
+                if value & ERRSTS_LOG_VALID != 0 {
+                    self.logged = None;
+                }
+            }
+            Register::ErrorAddress | Register::ErrorSyndrome => {
+                // Log registers are read-only; hardware ignores writes.
+            }
+            Register::ScrubControl => {
+                // Scrub enable is a view of the mode; direct writes select
+                // between Correct and CorrectAndScrub.
+                if value & 1 != 0 {
+                    self.controller.set_mode(EccMode::CorrectAndScrub);
+                } else if self.controller.mode() == EccMode::CorrectAndScrub {
+                    self.controller.set_mode(EccMode::CorrectError);
+                }
+            }
+            Register::GlobalConfig => {
+                self.controller.set_enabled(value & 1 != 0);
+                let want_lock = value & 2 != 0;
+                if want_lock != self.controller.is_bus_locked() {
+                    if want_lock {
+                        self.controller.lock_bus();
+                    } else {
+                        self.controller.unlock_bus();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scramble::ScrambleScheme;
+
+    #[test]
+    fn mode_register_roundtrip() {
+        let mut chip = Chipset::new(1 << 16);
+        for (value, mode) in [
+            (0u64, EccMode::Disabled),
+            (1, EccMode::CheckOnly),
+            (2, EccMode::CorrectError),
+            (3, EccMode::CorrectAndScrub),
+        ] {
+            chip.write_register(Register::ModeControl, value);
+            assert_eq!(chip.controller().mode(), mode);
+            assert_eq!(chip.read_register(Register::ModeControl), value);
+        }
+    }
+
+    #[test]
+    fn error_status_is_read_to_clear() {
+        let mut chip = Chipset::new(1 << 16);
+        chip.controller_mut().write(0x100, &7u64.to_le_bytes());
+        chip.controller_mut().inject_data_error(0x100, 4);
+        let mut buf = [0u8; 8];
+        chip.controller_mut().read(0x100, &mut buf).unwrap();
+        let status = chip.read_register(Register::ErrorStatus);
+        assert_ne!(status & ERRSTS_SINGLE, 0, "single-bit error latched");
+        assert_eq!(chip.read_register(Register::ErrorStatus) & ERRSTS_SINGLE, 0, "cleared by read");
+    }
+
+    #[test]
+    fn multi_bit_error_logs_address_and_syndrome() {
+        let mut chip = Chipset::new(1 << 16);
+        chip.controller_mut().write(0x240, &1u64.to_le_bytes());
+        chip.controller_mut().inject_multi_bit_error(0x240);
+        let _ = chip.controller_mut().read(0x240, &mut [0u8; 8]);
+        let status = chip.read_register(Register::ErrorStatus);
+        assert_ne!(status & ERRSTS_MULTI, 0);
+        assert_ne!(status & ERRSTS_LOG_VALID, 0);
+        assert_eq!(chip.read_register(Register::ErrorAddress), 0x240);
+        assert_ne!(chip.read_register(Register::ErrorSyndrome), 0);
+        // Reading the syndrome releases the log.
+        assert_eq!(chip.read_register(Register::ErrorStatus) & ERRSTS_LOG_VALID, 0);
+    }
+
+    #[test]
+    fn first_error_wins_until_cleared() {
+        let mut chip = Chipset::new(1 << 16);
+        for addr in [0x300u64, 0x400] {
+            chip.controller_mut().write(addr, &1u64.to_le_bytes());
+            chip.controller_mut().inject_multi_bit_error(addr);
+            let _ = chip.controller_mut().read(addr, &mut [0u8; 8]);
+        }
+        assert_eq!(chip.read_register(Register::ErrorAddress), 0x300, "first logged");
+    }
+
+    #[test]
+    fn global_config_drives_the_scramble_sequence() {
+        // The full WatchMemory arm sequence, expressed purely through the
+        // narrow register interface + data path.
+        let mut chip = Chipset::new(1 << 16);
+        let scheme = ScrambleScheme::default();
+        let original = 0xFACE_u64;
+        chip.controller_mut().write(0x500, &original.to_le_bytes());
+
+        chip.write_register(Register::GlobalConfig, 0b11); // ECC on + bus lock
+        chip.write_register(Register::GlobalConfig, 0b10); // ECC off, keep lock
+        chip.controller_mut().write(0x500, &scheme.apply(original).to_le_bytes());
+        chip.write_register(Register::GlobalConfig, 0b11); // ECC back on
+        chip.write_register(Register::GlobalConfig, 0b01); // release bus
+
+        let fault = chip.controller_mut().read(0x500, &mut [0u8; 8]).unwrap_err();
+        assert_eq!(fault.syndrome, scheme.syndrome());
+        assert_eq!(chip.read_register(Register::GlobalConfig), 0b01);
+    }
+
+    #[test]
+    fn scrub_control_toggles_scrub_mode() {
+        let mut chip = Chipset::new(1 << 16);
+        chip.write_register(Register::ModeControl, 2);
+        chip.write_register(Register::ScrubControl, 1);
+        assert_eq!(chip.controller().mode(), EccMode::CorrectAndScrub);
+        chip.write_register(Register::ScrubControl, 0);
+        assert_eq!(chip.controller().mode(), EccMode::CorrectError);
+    }
+}

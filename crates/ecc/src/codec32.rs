@@ -1,0 +1,252 @@
+//! SEC-DED (39,32) Hsiao code — the narrower ECC grouping of paper §2.1:
+//! *"ECC uses larger groupings: 7 bits to protect 32 bits, or 8 bits to
+//! protect 64 bits"*.
+//!
+//! Structurally identical to the 64-bit [`Codec`](crate::codec::Codec) the
+//! controller uses (that one models the E7500's 64-bit bus); this variant
+//! exists for 32-bit-bus chipsets and to document that the scramble trick
+//! carries over: any odd-weight multi-bit flip whose syndrome matches no
+//! column is an uncorrectable signature here too.
+
+/// Number of data bits per 32-bit ECC group.
+pub const DATA_BITS_32: u32 = 32;
+/// Number of check bits per 32-bit ECC group.
+pub const CHECK_BITS_32: u32 = 7;
+
+/// Outcome of decoding a 32-bit (data, code) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decoded32 {
+    /// Data and code are consistent.
+    Clean,
+    /// One flipped data bit, corrected.
+    CorrectedData {
+        /// The corrected word.
+        data: u32,
+        /// The flipped position (0..32).
+        bit: u8,
+    },
+    /// One flipped check bit; data intact.
+    CorrectedCheck {
+        /// The flipped check-bit position (0..7).
+        bit: u8,
+    },
+    /// Two or more flipped bits: uncorrectable.
+    Uncorrectable {
+        /// The raw 7-bit syndrome.
+        syndrome: u8,
+    },
+}
+
+impl Decoded32 {
+    /// Returns `true` for the uncorrectable variant.
+    #[must_use]
+    pub fn is_uncorrectable(&self) -> bool {
+        matches!(self, Decoded32::Uncorrectable { .. })
+    }
+}
+
+/// Data columns: the 32 lexicographically first odd-weight 7-bit vectors of
+/// weight ≥ 3 (there are C(7,3) = 35 of weight 3 alone, so 32 fit).
+const fn build_columns_32() -> [u8; 32] {
+    let mut cols = [0u8; 32];
+    let mut n = 0usize;
+    let mut v: u16 = 0;
+    while v < 128 && n < 32 {
+        if (v as u8).count_ones() == 3 {
+            cols[n] = v as u8;
+            n += 1;
+        }
+        v += 1;
+    }
+    cols
+}
+
+/// Per-data-bit columns of the (39,32) parity-check matrix.
+pub const COLUMNS_32: [u8; 32] = build_columns_32();
+
+const fn build_row_masks_32() -> [u32; 7] {
+    let mut masks = [0u32; 7];
+    let mut i = 0usize;
+    while i < 32 {
+        let col = COLUMNS_32[i];
+        let mut j = 0usize;
+        while j < 7 {
+            if col & (1 << j) != 0 {
+                masks[j] |= 1u32 << i;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    masks
+}
+
+/// For each of the 7 check bits, the set of data bits it covers.
+pub const ROW_MASKS_32: [u32; 7] = build_row_masks_32();
+
+/// The SEC-DED (39,32) codec.
+///
+/// # Example
+///
+/// ```
+/// use safemem_ecc::codec32::{Codec32, Decoded32};
+///
+/// let codec = Codec32::new();
+/// let code = codec.encode(0xDEAD_BEEF);
+/// assert_eq!(codec.decode(0xDEAD_BEEF, code), Decoded32::Clean);
+/// assert_eq!(
+///     codec.decode(0xDEAD_BEEF ^ 4, code),
+///     Decoded32::CorrectedData { data: 0xDEAD_BEEF, bit: 2 }
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Codec32(());
+
+impl Codec32 {
+    /// Creates the codec.
+    #[must_use]
+    pub fn new() -> Self {
+        Codec32(())
+    }
+
+    /// Computes the 7 check bits for a 32-bit word.
+    #[must_use]
+    pub fn encode(&self, data: u32) -> u8 {
+        let mut code = 0u8;
+        for (j, mask) in ROW_MASKS_32.iter().enumerate() {
+            code |= (((data & mask).count_ones() & 1) as u8) << j;
+        }
+        code
+    }
+
+    /// The syndrome of a stored (data, code) pair (0 = consistent).
+    #[must_use]
+    pub fn syndrome(&self, data: u32, code: u8) -> u8 {
+        self.encode(data) ^ code
+    }
+
+    /// Verifies and corrects a stored (data, code) pair.
+    #[must_use]
+    pub fn decode(&self, data: u32, code: u8) -> Decoded32 {
+        let syndrome = self.syndrome(data, code);
+        if syndrome == 0 {
+            return Decoded32::Clean;
+        }
+        if syndrome.count_ones() % 2 == 0 {
+            return Decoded32::Uncorrectable { syndrome };
+        }
+        if syndrome.count_ones() == 1 {
+            return Decoded32::CorrectedCheck { bit: syndrome.trailing_zeros() as u8 };
+        }
+        match COLUMNS_32.iter().position(|&c| c == syndrome) {
+            Some(bit) => Decoded32::CorrectedData { data: data ^ (1u32 << bit), bit: bit as u8 },
+            None => Decoded32::Uncorrectable { syndrome },
+        }
+    }
+
+    /// Searches for a 3-bit scramble triple with an uncorrectable syndrome
+    /// (the 32-bit analogue of
+    /// [`ScrambleScheme`](crate::scramble::ScrambleScheme)).
+    #[must_use]
+    pub fn find_scramble_triple(&self) -> Option<[u8; 3]> {
+        for a in 0..32u8 {
+            for b in (a + 1)..32 {
+                for c in (b + 1)..32 {
+                    let syn =
+                        COLUMNS_32[a as usize] ^ COLUMNS_32[b as usize] ^ COLUMNS_32[c as usize];
+                    let correctable = syn == 0
+                        || (syn.count_ones() % 2 == 1
+                            && (syn.count_ones() == 1 || COLUMNS_32.contains(&syn)));
+                    if !correctable {
+                        return Some([a, b, c]);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_distinct_odd_weight_3() {
+        for (i, &c) in COLUMNS_32.iter().enumerate() {
+            assert_eq!(c.count_ones(), 3, "column {i}");
+            assert!(c < 128, "7-bit vectors only");
+            for &d in &COLUMNS_32[i + 1..] {
+                assert_ne!(c, d);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let codec = Codec32::new();
+        for data in [0u32, 1, u32::MAX, 0xDEAD_BEEF, 0x1234_5678] {
+            assert_eq!(codec.decode(data, codec.encode(data)), Decoded32::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_corrected() {
+        let codec = Codec32::new();
+        let data = 0xA5A5_0F0F_u32;
+        let code = codec.encode(data);
+        for bit in 0..32 {
+            assert_eq!(
+                codec.decode(data ^ (1u32 << bit), code),
+                Decoded32::CorrectedData { data, bit },
+                "data bit {bit}"
+            );
+        }
+        for bit in 0..7 {
+            assert_eq!(codec.decode(data, code ^ (1u8 << bit)), Decoded32::CorrectedCheck { bit });
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_detected() {
+        // Exhaustive over all C(39,2) = 741 double flips.
+        let codec = Codec32::new();
+        let data = 0x0F1E_2D3C_u32;
+        let code = codec.encode(data);
+        for a in 0..39u32 {
+            for b in (a + 1)..39 {
+                let mut d = data;
+                let mut c = code;
+                for &bit in &[a, b] {
+                    if bit < 32 {
+                        d ^= 1u32 << bit;
+                    } else {
+                        c ^= 1u8 << (bit - 32);
+                    }
+                }
+                assert!(codec.decode(d, c).is_uncorrectable(), "bits ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn a_scramble_triple_exists_and_faults() {
+        let codec = Codec32::new();
+        let triple = codec.find_scramble_triple().expect("triple exists");
+        let mask = triple.iter().fold(0u32, |m, &b| m | (1 << b));
+        for data in [0u32, u32::MAX, 0xCAFE_F00D] {
+            let code = codec.encode(data);
+            assert!(
+                codec.decode(data ^ mask, code).is_uncorrectable(),
+                "scramble must be uncorrectable for {data:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_bits_match_the_paper_ratio() {
+        // §2.1: 7 bits protect 32; 8 bits protect 64.
+        assert_eq!(CHECK_BITS_32, 7);
+        assert_eq!(crate::codec::CHECK_BITS, 8);
+    }
+}

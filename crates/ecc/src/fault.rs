@@ -1,0 +1,91 @@
+//! ECC fault events, the simulated analogue of the controller's interrupt.
+//!
+//! Real ECC controllers report uncorrectable errors to the processor with an
+//! interrupt; the operating system then decides what to do (stock kernels
+//! panic, SafeMem's patched kernel routes watched-line faults to a user-level
+//! handler). In the simulation the controller returns an [`EccFault`] from the
+//! failing read and queues a copy in its fault outbox, which the machine layer
+//! drains and delivers upward.
+
+use std::error::Error;
+use std::fmt;
+
+/// The kind of event reported by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultKind {
+    /// The syndrome is inconsistent with any single-bit error: the data in
+    /// this ECC group cannot be trusted. This is the interrupt-raising case,
+    /// and the case the SafeMem scramble trick deliberately triggers.
+    UncorrectableData,
+    /// A single-bit error was detected while the controller is in
+    /// [`CheckOnly`](crate::EccMode::CheckOnly) mode, which reports but does
+    /// not correct.
+    UnrepairedSingleBit,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::UncorrectableData => write!(f, "uncorrectable multi-bit ECC error"),
+            FaultKind::UnrepairedSingleBit => write!(f, "unrepaired single-bit ECC error"),
+        }
+    }
+}
+
+/// An ECC fault raised by the memory controller.
+///
+/// # Example
+///
+/// ```
+/// use safemem_ecc::{EccFault, FaultKind};
+///
+/// let fault = EccFault { group_addr: 0x1000, syndrome: 0x17, kind: FaultKind::UncorrectableData };
+/// assert_eq!(fault.group_addr % 8, 0);
+/// println!("{fault}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EccFault {
+    /// Physical address of the 8-byte ECC group that faulted (group-aligned).
+    pub group_addr: u64,
+    /// The raw syndrome observed.
+    pub syndrome: u8,
+    /// What the controller concluded.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for EccFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at physical group {:#x} (syndrome {:#04x})",
+            self.kind, self.group_addr, self.syndrome
+        )
+    }
+}
+
+impl Error for EccFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let fault = EccFault {
+            group_addr: 0x40,
+            syndrome: 0x0b,
+            kind: FaultKind::UncorrectableData,
+        };
+        let s = fault.to_string();
+        assert!(s.contains("0x40"));
+        assert!(s.contains("uncorrectable"));
+    }
+
+    #[test]
+    fn fault_is_error_trait_object_compatible() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EccFault>();
+    }
+}

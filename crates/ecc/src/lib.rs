@@ -1,0 +1,72 @@
+//! Simulated ECC memory for the SafeMem reproduction.
+//!
+//! This crate models the piece of hardware the SafeMem paper (HPCA 2005)
+//! repurposes: an off-the-shelf ECC memory controller in the style of the
+//! Intel E7500 chipset. It provides:
+//!
+//! * a real **SEC-DED (72,64) Hsiao code** ([`codec`]) — 8 check bits protect
+//!   each 64-bit *ECC group*, correcting any single-bit error and detecting
+//!   any double-bit error;
+//! * a sparse, byte-accurate **physical memory** ([`memory`]) that stores both
+//!   data and the per-group check codes, so that writes performed while ECC is
+//!   disabled leave *stale* codes behind exactly like the real hardware;
+//! * a **memory controller** ([`controller`]) with the four standard modes
+//!   (`Disabled`, `CheckOnly`, `CorrectError`, `CorrectAndScrub`), bus
+//!   locking, error injection, scrubbing, and an interrupt-style fault outbox;
+//! * the paper's **data-scrambling trick** ([`scramble`]): flip 3 fixed data
+//!   bits of a watched word while ECC is disabled so that the first memory
+//!   access to it raises an *uncorrectable* (multi-bit) ECC fault with a
+//!   recognisable signature.
+//!
+//! # Example
+//!
+//! ```
+//! use safemem_ecc::{EccController, EccMode, ScrambleScheme, FaultKind};
+//!
+//! let mut ctl = EccController::new(1 << 20); // 1 MiB of physical memory
+//! ctl.set_mode(EccMode::CorrectError);
+//!
+//! // Normal operation: write, then read back.
+//! ctl.write(0x100, &42u64.to_le_bytes());
+//! let mut buf = [0u8; 8];
+//! ctl.read(0x100, &mut buf).unwrap();
+//! assert_eq!(u64::from_le_bytes(buf), 42);
+//!
+//! // A single-bit hardware error is corrected transparently.
+//! ctl.inject_data_error(0x100, 5);
+//! ctl.read(0x100, &mut buf).unwrap();
+//! assert_eq!(u64::from_le_bytes(buf), 42);
+//! assert_eq!(ctl.stats().corrected_single_bit, 1);
+//!
+//! // The SafeMem scramble trick: rewrite the word with 3 bits flipped while
+//! // ECC is disabled, leaving the stale code in place ...
+//! let scheme = ScrambleScheme::default();
+//! ctl.set_enabled(false);
+//! ctl.write(0x100, &scheme.apply(42).to_le_bytes());
+//! ctl.set_enabled(true);
+//!
+//! // ... so the next read faults with an uncorrectable error.
+//! let fault = ctl.read(0x100, &mut buf).unwrap_err();
+//! assert_eq!(fault.kind, FaultKind::UncorrectableData);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chipset;
+pub mod codec;
+pub mod codec32;
+pub mod controller;
+pub mod fault;
+pub mod memory;
+pub mod parity;
+pub mod scramble;
+
+pub use chipset::{Chipset, Register};
+pub use codec::{Codec, Decoded};
+pub use codec32::{Codec32, Decoded32};
+pub use controller::{ControllerStats, EccController, EccMode};
+pub use fault::{EccFault, FaultKind};
+pub use memory::{EccMemory, GROUP_BYTES};
+pub use parity::{ParityCheck, ParityMemory};
+pub use scramble::ScrambleScheme;

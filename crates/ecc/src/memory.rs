@@ -1,0 +1,285 @@
+//! Sparse physical memory with per-group ECC code storage.
+//!
+//! Memory is organised in 4 KiB *frames* allocated lazily, each holding 4096
+//! data bytes and 512 stored check codes (one per 8-byte ECC group). Keeping
+//! the stored codes separate from the data is what lets the simulation
+//! reproduce the paper's scramble trick: writing data while ECC is disabled
+//! leaves the *old* code in place, and a later verification observes the
+//! mismatch.
+
+use crate::codec::Codec;
+
+/// Bytes per ECC group (64 data bits).
+pub const GROUP_BYTES: u64 = 8;
+/// Bytes per lazily-allocated physical frame.
+pub const FRAME_BYTES: u64 = 4096;
+const GROUPS_PER_FRAME: usize = (FRAME_BYTES / GROUP_BYTES) as usize;
+
+#[derive(Clone)]
+struct Frame {
+    data: Box<[u8]>,
+    codes: Box<[u8]>,
+}
+
+impl Frame {
+    fn new() -> Self {
+        // A zero word encodes to a zero check code, so fresh frames are clean.
+        Frame {
+            data: vec![0u8; FRAME_BYTES as usize].into_boxed_slice(),
+            codes: vec![0u8; GROUPS_PER_FRAME].into_boxed_slice(),
+        }
+    }
+}
+
+/// Byte-accurate sparse physical memory with stored ECC codes.
+///
+/// This type is deliberately "dumb": it stores exactly what it is told and
+/// never verifies. Policy (when to encode, when to verify, what to do on a
+/// mismatch) lives in [`EccController`](crate::EccController).
+///
+/// # Example
+///
+/// ```
+/// use safemem_ecc::memory::EccMemory;
+///
+/// let mut mem = EccMemory::new(1 << 16);
+/// mem.write_group(0x38, 7, 0x12);
+/// assert_eq!(mem.read_group(0x38), (7, 0x12));
+/// ```
+pub struct EccMemory {
+    frames: std::collections::HashMap<u64, Frame>,
+    size: u64,
+    codec: Codec,
+}
+
+impl std::fmt::Debug for EccMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EccMemory")
+            .field("size", &self.size)
+            .field("resident_frames", &self.frames.len())
+            .finish()
+    }
+}
+
+impl EccMemory {
+    /// Creates a physical memory of `size` bytes (rounded up to a whole
+    /// number of frames). Frames are allocated on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0, "physical memory size must be non-zero");
+        let size = size.div_ceil(FRAME_BYTES) * FRAME_BYTES;
+        EccMemory {
+            frames: std::collections::HashMap::new(),
+            size,
+            codec: Codec::new(),
+        }
+    }
+
+    /// Total addressable bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of frames currently resident (touched at least once).
+    #[must_use]
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Addresses of all resident frames, in unspecified order. Used by the
+    /// scrubber to avoid scanning untouched memory.
+    #[must_use]
+    pub fn resident_frame_addrs(&self) -> Vec<u64> {
+        self.frames.keys().copied().collect()
+    }
+
+    fn check_range(&self, addr: u64, len: u64) {
+        assert!(
+            addr.checked_add(len).is_some_and(|end| end <= self.size),
+            "physical access out of range: addr={addr:#x} len={len}"
+        );
+    }
+
+    fn frame(&mut self, frame_addr: u64) -> &mut Frame {
+        self.frames.entry(frame_addr).or_insert_with(Frame::new)
+    }
+
+    /// Reads the data word and stored code of the group containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group lies outside physical memory.
+    #[must_use]
+    pub fn read_group(&self, addr: u64) -> (u64, u8) {
+        self.check_range(addr & !(GROUP_BYTES - 1), GROUP_BYTES);
+        let group_addr = addr & !(GROUP_BYTES - 1);
+        let frame_addr = group_addr & !(FRAME_BYTES - 1);
+        match self.frames.get(&frame_addr) {
+            None => (0, 0),
+            Some(frame) => {
+                let off = (group_addr - frame_addr) as usize;
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&frame.data[off..off + 8]);
+                let code = frame.codes[off / GROUP_BYTES as usize];
+                (u64::from_le_bytes(bytes), code)
+            }
+        }
+    }
+
+    /// Stores a data word together with an explicit code for the group
+    /// containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group lies outside physical memory.
+    pub fn write_group(&mut self, addr: u64, data: u64, code: u8) {
+        self.check_range(addr & !(GROUP_BYTES - 1), GROUP_BYTES);
+        let group_addr = addr & !(GROUP_BYTES - 1);
+        let frame_addr = group_addr & !(FRAME_BYTES - 1);
+        let frame = self.frame(frame_addr);
+        let off = (group_addr - frame_addr) as usize;
+        frame.data[off..off + 8].copy_from_slice(&data.to_le_bytes());
+        frame.codes[off / GROUP_BYTES as usize] = code;
+    }
+
+    /// Stores only the data word of a group, leaving the stored code
+    /// untouched. This is what a write with ECC disabled does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group lies outside physical memory.
+    pub fn write_group_data_only(&mut self, addr: u64, data: u64) {
+        let (_, code) = self.read_group(addr);
+        self.write_group(addr, data, code);
+    }
+
+    /// Recomputes and stores the correct code for a group from its current
+    /// data (used when correcting, or when re-arming a group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group lies outside physical memory.
+    pub fn rewrite_code(&mut self, addr: u64) {
+        let (data, _) = self.read_group(addr);
+        let code = self.codec.encode(data);
+        self.write_group(addr, data, code);
+    }
+
+    /// Flips a single stored *data* bit without touching the code — a
+    /// hardware-fault injection hook for tests and experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64` or the group lies outside physical memory.
+    pub fn flip_data_bit(&mut self, addr: u64, bit: u8) {
+        assert!(bit < 64, "data bit out of range");
+        let (data, code) = self.read_group(addr);
+        self.write_group(addr, data ^ (1u64 << bit), code);
+    }
+
+    /// Flips a single stored *check* bit without touching the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 8` or the group lies outside physical memory.
+    pub fn flip_code_bit(&mut self, addr: u64, bit: u8) {
+        assert!(bit < 8, "check bit out of range");
+        let (data, code) = self.read_group(addr);
+        self.write_group(addr, data, code ^ (1u8 << bit));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_rounds_up_to_frames() {
+        let mem = EccMemory::new(1);
+        assert_eq!(mem.size(), FRAME_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = EccMemory::new(0);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero_clean() {
+        let mem = EccMemory::new(1 << 16);
+        assert_eq!(mem.read_group(0x1000), (0, 0));
+        assert_eq!(mem.resident_frames(), 0);
+    }
+
+    #[test]
+    fn group_roundtrip_with_unaligned_addr() {
+        let mut mem = EccMemory::new(1 << 16);
+        mem.write_group(0x43, 0xABCD, 0x55); // group address is 0x40
+        assert_eq!(mem.read_group(0x40), (0xABCD, 0x55));
+        assert_eq!(mem.read_group(0x47), (0xABCD, 0x55));
+    }
+
+    #[test]
+    fn data_only_write_preserves_stale_code() {
+        let mut mem = EccMemory::new(1 << 16);
+        mem.write_group(0x80, 1, 0x13);
+        mem.write_group_data_only(0x80, 2);
+        assert_eq!(mem.read_group(0x80), (2, 0x13));
+    }
+
+    #[test]
+    fn rewrite_code_makes_group_consistent() {
+        let mut mem = EccMemory::new(1 << 16);
+        mem.write_group(0x80, 99, 0xFF);
+        mem.rewrite_code(0x80);
+        let (data, code) = mem.read_group(0x80);
+        assert_eq!(data, 99);
+        assert_eq!(Codec::new().syndrome(data, code), 0);
+    }
+
+    #[test]
+    fn bit_flips_touch_only_their_target() {
+        let mut mem = EccMemory::new(1 << 16);
+        mem.write_group(0x100, 0, 0);
+        mem.flip_data_bit(0x100, 63);
+        assert_eq!(mem.read_group(0x100), (1u64 << 63, 0));
+        mem.flip_code_bit(0x100, 0);
+        assert_eq!(mem.read_group(0x100), (1u64 << 63, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_access_panics() {
+        let mem = EccMemory::new(1 << 12);
+        let _ = mem.read_group(1 << 12);
+    }
+
+    #[test]
+    fn groups_on_frame_boundaries_are_independent() {
+        let mut mem = EccMemory::new(1 << 16);
+        // Last group of frame 0 and first group of frame 1.
+        mem.write_group(FRAME_BYTES - 8, 0xAAAA, 0x11);
+        mem.write_group(FRAME_BYTES, 0xBBBB, 0x22);
+        assert_eq!(mem.read_group(FRAME_BYTES - 8), (0xAAAA, 0x11));
+        assert_eq!(mem.read_group(FRAME_BYTES), (0xBBBB, 0x22));
+        assert_eq!(mem.resident_frames(), 2);
+    }
+
+    #[test]
+    fn resident_frames_tracks_touched_frames() {
+        let mut mem = EccMemory::new(1 << 16);
+        mem.write_group(0x0, 1, 0);
+        mem.write_group(0x8, 2, 0); // same frame
+        mem.write_group(0x1000, 3, 0); // new frame
+        assert_eq!(mem.resident_frames(), 2);
+        let mut addrs = mem.resident_frame_addrs();
+        addrs.sort_unstable();
+        assert_eq!(addrs, vec![0x0, 0x1000]);
+    }
+}

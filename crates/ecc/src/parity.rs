@@ -1,0 +1,218 @@
+//! Simple parity memory — the technology ECC *extends* (paper §2.1).
+//!
+//! Parity memory keeps one check bit per byte: it detects any single-bit
+//! error but corrects nothing and misses every even-weight error. The model
+//! exists to make the paper's implicit argument testable: **SafeMem's trick
+//! needs ECC, not parity**, because
+//!
+//! 1. a parity fault cannot be corrected, so a watchpoint could never be
+//!    "transparent" for hardware errors; and
+//! 2. the scramble must flip an *odd* number of bits per check unit to be
+//!    detected at all, yet a single-bit flip is exactly what real memory
+//!    errors look like — parity has no uncorrectable/correctable distinction
+//!    to hide behind, and a 3-bit flip *within one byte* is detected while
+//!    e.g. 2 bits are silently missed. There is no signature space left to
+//!    distinguish watchpoints from faults.
+
+/// One parity check bit per this many data bits (a byte), per §2.1: "parity
+/// memory ... uses a single bit to provide protection to eight bits".
+pub const PARITY_GROUP_BITS: u32 = 8;
+
+/// Outcome of verifying a byte against its stored parity bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParityCheck {
+    /// Parity matches. Note this does **not** imply the data is intact —
+    /// any even number of flipped bits passes.
+    Consistent,
+    /// Parity mismatch: an odd number of bits flipped. The error cannot be
+    /// corrected, only reported.
+    Mismatch,
+}
+
+/// A byte-granularity parity memory.
+///
+/// # Example
+///
+/// ```
+/// use safemem_ecc::parity::{ParityCheck, ParityMemory};
+///
+/// let mut mem = ParityMemory::new(1024);
+/// mem.write(0, &[0xAB]);
+/// assert_eq!(mem.check(0), ParityCheck::Consistent);
+/// mem.flip_data_bit(0, 3);
+/// assert_eq!(mem.check(0), ParityCheck::Mismatch); // detected, not corrected
+/// mem.flip_data_bit(0, 5);
+/// assert_eq!(mem.check(0), ParityCheck::Consistent); // double error: missed!
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParityMemory {
+    data: Vec<u8>,
+    parity: Vec<bool>,
+}
+
+impl ParityMemory {
+    /// Creates a parity memory of `size` bytes, zero-initialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "memory size must be non-zero");
+        ParityMemory { data: vec![0; size], parity: vec![false; size] }
+    }
+
+    /// Total bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    fn parity_of(byte: u8) -> bool {
+        byte.count_ones() % 2 == 1
+    }
+
+    /// Writes bytes, updating parity (parity cannot be disabled on real
+    /// parity modules — there is no controller-level enable like ECC's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds memory.
+    pub fn write(&mut self, addr: usize, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.data[addr + i] = b;
+            self.parity[addr + i] = Self::parity_of(b);
+        }
+    }
+
+    /// Reads bytes and reports whether every byte's parity was consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds memory.
+    pub fn read(&self, addr: usize, buf: &mut [u8]) -> ParityCheck {
+        let mut status = ParityCheck::Consistent;
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = self.data[addr + i];
+            if self.check(addr + i) == ParityCheck::Mismatch {
+                status = ParityCheck::Mismatch;
+            }
+        }
+        status
+    }
+
+    /// Verifies one byte against its stored parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds memory.
+    #[must_use]
+    pub fn check(&self, addr: usize) -> ParityCheck {
+        if Self::parity_of(self.data[addr]) == self.parity[addr] {
+            ParityCheck::Consistent
+        } else {
+            ParityCheck::Mismatch
+        }
+    }
+
+    /// Injects a hardware error: flips one stored data bit, leaving the
+    /// parity bit as it was.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds memory or `bit >= 8`.
+    pub fn flip_data_bit(&mut self, addr: usize, bit: u8) {
+        assert!(bit < 8, "bit out of range");
+        self.data[addr] ^= 1 << bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Codec, Decoded};
+    use crate::scramble::ScrambleScheme;
+
+    #[test]
+    fn detects_all_single_bit_errors() {
+        for bit in 0..8 {
+            let mut mem = ParityMemory::new(16);
+            mem.write(5, &[0x3C]);
+            mem.flip_data_bit(5, bit);
+            assert_eq!(mem.check(5), ParityCheck::Mismatch, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn misses_all_double_bit_errors() {
+        for a in 0..8u8 {
+            for b in (a + 1)..8 {
+                let mut mem = ParityMemory::new(16);
+                mem.write(0, &[0xF0]);
+                mem.flip_data_bit(0, a);
+                mem.flip_data_bit(0, b);
+                assert_eq!(mem.check(0), ParityCheck::Consistent, "bits {a},{b} must slip through");
+            }
+        }
+    }
+
+    #[test]
+    fn cannot_correct_anything() {
+        // Parity knows *that* a byte is bad but not *which bit*: the read
+        // still delivers the damaged value.
+        let mut mem = ParityMemory::new(16);
+        mem.write(0, &[0b0000_0001]);
+        mem.flip_data_bit(0, 0);
+        let mut buf = [0u8; 1];
+        assert_eq!(mem.read(0, &mut buf), ParityCheck::Mismatch);
+        assert_eq!(buf[0], 0, "damaged data delivered as-is");
+    }
+
+    /// The reason SafeMem needs ECC and not parity, demonstrated: under
+    /// SEC-DED the scramble signature occupies a syndrome region *disjoint*
+    /// from every single-bit error, so watchpoint faults and correctable
+    /// hardware errors are distinguishable. Parity has exactly one failure
+    /// signal, already fully used by (odd) hardware errors.
+    #[test]
+    fn parity_cannot_host_the_safemem_trick() {
+        // ECC: single-bit error → corrected (invisible); scramble →
+        // uncorrectable fault (visible). Two distinct outcomes.
+        let codec = Codec::new();
+        let scheme = ScrambleScheme::default();
+        let word = 0x1234_5678u64;
+        let code = codec.encode(word);
+        assert!(matches!(codec.decode(word ^ 1, code), Decoded::CorrectedData { .. }));
+        assert!(codec.decode(scheme.apply(word), code).is_uncorrectable());
+
+        // Parity: the only observable signal is Mismatch, and a plain
+        // hardware error raises it too — a parity-based "watchpoint" could
+        // never tell the two apart, and even-weight scrambles are invisible.
+        let mut mem = ParityMemory::new(8);
+        mem.write(0, &[0xAA]);
+        mem.flip_data_bit(0, 0); // hardware error
+        let hw_signal = mem.check(0);
+        let mut mem2 = ParityMemory::new(8);
+        mem2.write(0, &[0xAA]);
+        mem2.flip_data_bit(0, 1);
+        mem2.flip_data_bit(0, 4);
+        mem2.flip_data_bit(0, 6); // a 3-bit "scramble" within the byte
+        let scramble_signal = mem2.check(0);
+        assert_eq!(hw_signal, scramble_signal, "indistinguishable signals");
+    }
+
+    #[test]
+    fn write_refreshes_parity() {
+        let mut mem = ParityMemory::new(4);
+        mem.write(1, &[0xFF]);
+        mem.flip_data_bit(1, 2);
+        assert_eq!(mem.check(1), ParityCheck::Mismatch);
+        mem.write(1, &[0x00]); // overwrite heals the inconsistency
+        assert_eq!(mem.check(1), ParityCheck::Consistent);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = ParityMemory::new(0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The SafeMem data-scrambling scheme (paper §2.2.2, Figure 2).
+//!
+//! Commercial ECC controllers do not let software write the stored code
+//! directly, so SafeMem arms a watchpoint by rewriting the watched data with
+//! **3 fixed bits flipped while ECC is disabled**: the stale code then
+//! mismatches the scrambled data. The 3 positions are chosen so that
+//!
+//! 1. the resulting syndrome is **uncorrectable** — most controllers silently
+//!    fix single-bit errors, so the scramble must not alias to one; and
+//! 2. the flip pattern is a **fixed signature**, letting the fault handler
+//!    distinguish an access to a watched word (current == original ⊕ mask)
+//!    from a genuine hardware error.
+
+use crate::codec::{Codec, COLUMNS};
+
+/// A 3-bit scramble pattern with the guarantees described in the module docs.
+///
+/// # Example
+///
+/// ```
+/// use safemem_ecc::ScrambleScheme;
+///
+/// let scheme = ScrambleScheme::default();
+/// let original = 0xCAFE_F00D_u64;
+/// let scrambled = scheme.apply(original);
+/// assert_eq!(scrambled.count_ones().abs_diff(original.count_ones()) % 2, 1);
+/// assert!(scheme.matches(original, scrambled));
+/// assert_eq!(scheme.apply(scrambled), original); // involution
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScrambleScheme {
+    bits: [u8; 3],
+}
+
+impl Default for ScrambleScheme {
+    /// The canonical scheme: the lexicographically first valid bit triple.
+    fn default() -> Self {
+        Self::find_valid().expect("a valid 3-bit scramble triple always exists for this code")
+    }
+}
+
+impl ScrambleScheme {
+    /// Creates a scheme from explicit data-bit positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidScrambleError`] if the positions are out of range,
+    /// not distinct, or produce a syndrome the controller would *correct*
+    /// (i.e. one that aliases to a single-bit error).
+    pub fn new(bits: [u8; 3]) -> Result<Self, InvalidScrambleError> {
+        if bits.iter().any(|&b| b >= 64) {
+            return Err(InvalidScrambleError::OutOfRange);
+        }
+        if bits[0] == bits[1] || bits[0] == bits[2] || bits[1] == bits[2] {
+            return Err(InvalidScrambleError::NotDistinct);
+        }
+        let syndrome = COLUMNS[bits[0] as usize] ^ COLUMNS[bits[1] as usize] ^ COLUMNS[bits[2] as usize];
+        if Codec::new().syndrome_is_correctable(syndrome) {
+            return Err(InvalidScrambleError::Correctable { syndrome });
+        }
+        Ok(ScrambleScheme { bits })
+    }
+
+    /// Searches for the lexicographically first valid triple.
+    #[must_use]
+    pub fn find_valid() -> Option<Self> {
+        for a in 0..64u8 {
+            for b in (a + 1)..64 {
+                for c in (b + 1)..64 {
+                    if let Ok(s) = Self::new([a, b, c]) {
+                        return Some(s);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The three data-bit positions this scheme flips.
+    #[must_use]
+    pub fn bits(&self) -> [u8; 3] {
+        self.bits
+    }
+
+    /// The XOR mask applied to a data word.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        (1u64 << self.bits[0]) | (1u64 << self.bits[1]) | (1u64 << self.bits[2])
+    }
+
+    /// The syndrome the controller observes when reading a scrambled group
+    /// against its stale code. Guaranteed uncorrectable.
+    #[must_use]
+    pub fn syndrome(&self) -> u8 {
+        COLUMNS[self.bits[0] as usize]
+            ^ COLUMNS[self.bits[1] as usize]
+            ^ COLUMNS[self.bits[2] as usize]
+    }
+
+    /// Scrambles (or unscrambles — the operation is an involution) a word.
+    #[must_use]
+    pub fn apply(&self, data: u64) -> u64 {
+        data ^ self.mask()
+    }
+
+    /// Checks the scramble signature: is `current` exactly `original` with
+    /// the scheme's 3 bits flipped? The SafeMem fault handler uses this to
+    /// distinguish an access fault from a real hardware error (paper §2.2.2).
+    #[must_use]
+    pub fn matches(&self, original: u64, current: u64) -> bool {
+        original ^ current == self.mask()
+    }
+}
+
+/// Why a proposed scramble triple was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvalidScrambleError {
+    /// A position was ≥ 64.
+    OutOfRange,
+    /// The three positions were not pairwise distinct.
+    NotDistinct,
+    /// The triple's syndrome aliases to a single-bit error the controller
+    /// would silently correct, so no fault would ever be raised.
+    Correctable {
+        /// The offending syndrome.
+        syndrome: u8,
+    },
+}
+
+impl std::fmt::Display for InvalidScrambleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidScrambleError::OutOfRange => write!(f, "scramble bit position out of range"),
+            InvalidScrambleError::NotDistinct => write!(f, "scramble bit positions not distinct"),
+            InvalidScrambleError::Correctable { syndrome } => write!(
+                f,
+                "scramble syndrome {syndrome:#04x} aliases to a correctable single-bit error"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvalidScrambleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Codec, Decoded};
+
+    #[test]
+    fn default_scheme_exists_and_is_stable() {
+        let a = ScrambleScheme::default();
+        let b = ScrambleScheme::default();
+        assert_eq!(a, b, "default scheme must be deterministic");
+    }
+
+    #[test]
+    fn default_scheme_produces_uncorrectable_fault() {
+        let codec = Codec::new();
+        let scheme = ScrambleScheme::default();
+        for data in [0u64, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            let stale_code = codec.encode(data);
+            let decoded = codec.decode(scheme.apply(data), stale_code);
+            assert!(
+                matches!(decoded, Decoded::Uncorrectable { syndrome } if syndrome == scheme.syndrome()),
+                "scrambled word must decode as uncorrectable, got {decoded:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_is_involution() {
+        let scheme = ScrambleScheme::default();
+        let data = 0xFEED_FACE_DEAD_BEEF;
+        assert_eq!(scheme.apply(scheme.apply(data)), data);
+    }
+
+    #[test]
+    fn signature_match_rejects_other_corruption() {
+        let scheme = ScrambleScheme::default();
+        let original = 0x42;
+        assert!(scheme.matches(original, scheme.apply(original)));
+        // A random hardware error (different flip pattern) must not match.
+        assert!(!scheme.matches(original, original ^ 1));
+        assert!(!scheme.matches(original, original));
+    }
+
+    #[test]
+    fn consecutive_low_bits_rejected_as_correctable_or_valid() {
+        // Bits {0,1,2} of this particular column layout alias to a
+        // single-check-bit syndrome and must be rejected.
+        assert_eq!(
+            ScrambleScheme::new([0, 1, 2]),
+            Err(InvalidScrambleError::Correctable { syndrome: 0x01 })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert_eq!(ScrambleScheme::new([0, 1, 64]), Err(InvalidScrambleError::OutOfRange));
+        assert_eq!(ScrambleScheme::new([5, 5, 6]), Err(InvalidScrambleError::NotDistinct));
+    }
+
+    #[test]
+    fn all_valid_triples_yield_odd_noncolumn_syndromes() {
+        // Spot-check the first handful of valid schemes. (Triples whose
+        // columns all lie in the low bit positions XOR to small odd-weight
+        // values, which are all themselves columns — so the scan must cover
+        // the full range to find valid ones.)
+        let mut found = 0;
+        'outer: for a in 0..64u8 {
+            for b in (a + 1)..64 {
+                for c in (b + 1)..64 {
+                    if let Ok(s) = ScrambleScheme::new([a, b, c]) {
+                        let syn = s.syndrome();
+                        assert_eq!(syn.count_ones() % 2, 1);
+                        assert!(!COLUMNS.contains(&syn));
+                        assert!(syn.count_ones() > 1);
+                        found += 1;
+                        if found > 20 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found > 0, "expected at least one valid triple among low bits");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property test: the chipset register facade always agrees with a shadow
+//! model of its architectural state under random register programs.
+
+use proptest::prelude::*;
+use safemem_ecc::chipset::{Chipset, Register};
+use safemem_ecc::EccMode;
+
+#[derive(Debug, Clone, Copy)]
+enum RegOp {
+    WriteMode(u64),
+    WriteScrub(u64),
+    WriteConfig(u64),
+    ReadMode,
+    ReadScrub,
+    ReadConfig,
+    ClearStatus,
+}
+
+fn ops() -> impl Strategy<Value = Vec<RegOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..4).prop_map(RegOp::WriteMode),
+            (0u64..2).prop_map(RegOp::WriteScrub),
+            (0u64..4).prop_map(RegOp::WriteConfig),
+            Just(RegOp::ReadMode),
+            Just(RegOp::ReadScrub),
+            Just(RegOp::ReadConfig),
+            Just(RegOp::ClearStatus),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_registers_track_architectural_state(ops in ops()) {
+        let mut chip = Chipset::new(1 << 14);
+        // Shadow model.
+        let mut mode = 2u64; // CorrectError reset value
+        let mut enabled = true;
+        let mut locked = false;
+
+        for op in ops {
+            match op {
+                RegOp::WriteMode(v) => {
+                    chip.write_register(Register::ModeControl, v);
+                    mode = v & 0b11;
+                }
+                RegOp::WriteScrub(v) => {
+                    chip.write_register(Register::ScrubControl, v);
+                    if v & 1 != 0 {
+                        mode = 3;
+                    } else if mode == 3 {
+                        mode = 2;
+                    }
+                }
+                RegOp::WriteConfig(v) => {
+                    chip.write_register(Register::GlobalConfig, v);
+                    enabled = v & 1 != 0;
+                    locked = v & 2 != 0;
+                }
+                RegOp::ReadMode => {
+                    prop_assert_eq!(chip.read_register(Register::ModeControl), mode);
+                }
+                RegOp::ReadScrub => {
+                    prop_assert_eq!(chip.read_register(Register::ScrubControl), u64::from(mode == 3));
+                }
+                RegOp::ReadConfig => {
+                    let v = chip.read_register(Register::GlobalConfig);
+                    prop_assert_eq!(v & 1 != 0, enabled);
+                    prop_assert_eq!(v & 2 != 0, locked);
+                }
+                RegOp::ClearStatus => {
+                    chip.write_register(Register::ErrorStatus, u64::MAX);
+                    prop_assert_eq!(chip.read_register(Register::ErrorStatus), 0);
+                }
+            }
+            // The underlying controller always agrees with the shadow.
+            let expected_mode = match mode {
+                0 => EccMode::Disabled,
+                1 => EccMode::CheckOnly,
+                2 => EccMode::CorrectError,
+                _ => EccMode::CorrectAndScrub,
+            };
+            prop_assert_eq!(chip.controller().mode(), expected_mode);
+            prop_assert_eq!(chip.controller().is_enabled(), enabled);
+            prop_assert_eq!(chip.controller().is_bus_locked(), locked);
+        }
+    }
+}

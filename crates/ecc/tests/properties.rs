@@ -1,0 +1,114 @@
+//! Property-based tests for the ECC substrate.
+
+use proptest::prelude::*;
+use safemem_ecc::codec::{Codec, Decoded};
+use safemem_ecc::{EccController, EccMode, ScrambleScheme};
+
+proptest! {
+    /// Encoding then decoding any word is clean.
+    #[test]
+    fn prop_roundtrip_clean(data: u64) {
+        let codec = Codec::new();
+        prop_assert_eq!(codec.decode(data, codec.encode(data)), Decoded::Clean);
+    }
+
+    /// Any single flipped data bit is corrected back to the original word.
+    #[test]
+    fn prop_single_data_bit_corrected(data: u64, bit in 0u8..64) {
+        let codec = Codec::new();
+        let code = codec.encode(data);
+        prop_assert_eq!(
+            codec.decode(data ^ (1u64 << bit), code),
+            Decoded::CorrectedData { data, bit }
+        );
+    }
+
+    /// Any double data-bit flip is detected as uncorrectable (never silently
+    /// miscorrected).
+    #[test]
+    fn prop_double_data_bits_detected(data: u64, a in 0u8..64, b in 0u8..64) {
+        prop_assume!(a != b);
+        let codec = Codec::new();
+        let code = codec.encode(data);
+        let damaged = data ^ (1u64 << a) ^ (1u64 << b);
+        prop_assert!(codec.decode(damaged, code).is_uncorrectable());
+    }
+
+    /// A data flip plus a check flip is detected as uncorrectable.
+    #[test]
+    fn prop_mixed_double_detected(data: u64, a in 0u8..64, b in 0u8..8) {
+        let codec = Codec::new();
+        let code = codec.encode(data);
+        let decoded = codec.decode(data ^ (1u64 << a), code ^ (1u8 << b));
+        prop_assert!(decoded.is_uncorrectable());
+    }
+
+    /// The default scramble faults with its fixed signature for every word.
+    #[test]
+    fn prop_scramble_always_uncorrectable(data: u64) {
+        let codec = Codec::new();
+        let scheme = ScrambleScheme::default();
+        let decoded = codec.decode(scheme.apply(data), codec.encode(data));
+        prop_assert_eq!(decoded, Decoded::Uncorrectable { syndrome: scheme.syndrome() });
+    }
+
+    /// Controller read returns exactly what was last written, for arbitrary
+    /// (addr, payload) pairs, including unaligned group-straddling spans.
+    #[test]
+    fn prop_controller_roundtrip(addr in 0u64..60_000, payload in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let mut c = EccController::new(1 << 16);
+        c.write(addr, &payload);
+        let mut buf = vec![0u8; payload.len()];
+        c.read(addr, &mut buf).unwrap();
+        prop_assert_eq!(buf, payload);
+    }
+
+    /// Overlapping writes behave like a plain byte array (last write wins per
+    /// byte), regardless of ECC bookkeeping.
+    #[test]
+    fn prop_controller_matches_shadow_array(
+        writes in proptest::collection::vec(
+            (0u64..4000, proptest::collection::vec(any::<u8>(), 1..64)),
+            1..20
+        )
+    ) {
+        let mut c = EccController::new(1 << 16);
+        let mut shadow = vec![0u8; 8192];
+        for (addr, data) in &writes {
+            c.write(*addr, data);
+            shadow[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        }
+        let mut buf = vec![0u8; 8192];
+        c.read(0, &mut buf).unwrap();
+        prop_assert_eq!(buf, shadow);
+    }
+
+    /// A random single-bit hardware error anywhere in a written region is
+    /// transparently healed by a read in CorrectError mode.
+    #[test]
+    fn prop_hardware_single_bit_healed(word: u64, bit in 0u8..64, group in 0u64..64) {
+        let mut c = EccController::new(1 << 16);
+        let addr = group * 8;
+        c.write(addr, &word.to_le_bytes());
+        c.inject_data_error(addr, bit);
+        let mut buf = [0u8; 8];
+        c.read(addr, &mut buf).unwrap();
+        prop_assert_eq!(u64::from_le_bytes(buf), word);
+    }
+
+    /// Scrubbing an arbitrary set of damaged groups repairs all of them
+    /// within one full pass, in CorrectAndScrub mode.
+    #[test]
+    fn prop_scrub_heals_everything(damage in proptest::collection::btree_set(0u64..512, 1..20)) {
+        let mut c = EccController::new(4096);
+        c.set_mode(EccMode::CorrectAndScrub);
+        for g in &damage {
+            c.write(g * 8, &0xABCDu64.to_le_bytes());
+            c.inject_data_error(g * 8, (g % 64) as u8);
+        }
+        c.scrub_step(512);
+        for g in &damage {
+            prop_assert_eq!(c.memory().read_group(g * 8).0, 0xABCD);
+        }
+    }
+}

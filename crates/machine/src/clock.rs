@@ -1,0 +1,119 @@
+//! The simulated CPU clock.
+
+/// A monotonically advancing cycle counter with nanosecond conversion.
+///
+/// All simulated time in the reproduction derives from this clock; overhead
+/// percentages in the evaluation are ratios of cycle counts, which keeps the
+/// results independent of host machine speed.
+///
+/// # Example
+///
+/// ```
+/// use safemem_machine::Clock;
+///
+/// let mut clock = Clock::new(2_400_000_000); // 2.4 GHz, the paper's P4
+/// clock.advance(4800);
+/// assert_eq!(clock.nanos(), 2000); // 2.0 µs — the cost of WatchMemory
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clock {
+    cycles: u64,
+    hz: u64,
+}
+
+impl Clock {
+    /// Creates a clock for a CPU running at `hz` cycles per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    #[must_use]
+    pub fn new(hz: u64) -> Self {
+        assert!(hz > 0, "CPU frequency must be non-zero");
+        Clock { cycles: 0, hz }
+    }
+
+    /// Elapsed cycles since the clock was created.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The CPU frequency in Hz.
+    #[must_use]
+    pub fn hz(&self) -> u64 {
+        self.hz
+    }
+
+    /// Elapsed simulated nanoseconds.
+    #[must_use]
+    pub fn nanos(&self) -> u64 {
+        // cycles * 1e9 / hz, computed in u128 to avoid overflow.
+        (u128::from(self.cycles) * 1_000_000_000 / u128::from(self.hz)) as u64
+    }
+
+    /// Elapsed simulated microseconds (fractional).
+    #[must_use]
+    pub fn micros_f64(&self) -> f64 {
+        self.cycles as f64 / self.hz as f64 * 1e6
+    }
+
+    /// Advances the clock by `cycles`.
+    pub fn advance(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Converts a cycle count to nanoseconds at this clock's frequency.
+    #[must_use]
+    pub fn cycles_to_nanos(&self, cycles: u64) -> u64 {
+        (u128::from(cycles) * 1_000_000_000 / u128::from(self.hz)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = Clock::new(1_000_000_000);
+        assert_eq!(c.cycles(), 0);
+        assert_eq!(c.nanos(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new(1_000_000_000);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.cycles(), 15);
+        assert_eq!(c.nanos(), 15);
+    }
+
+    #[test]
+    fn nanos_at_2_4_ghz() {
+        let mut c = Clock::new(2_400_000_000);
+        c.advance(2448);
+        assert_eq!(c.nanos(), 1020); // 1.02 µs — the cost of mprotect
+    }
+
+    #[test]
+    fn micros_f64_matches_nanos() {
+        let mut c = Clock::new(2_400_000_000);
+        c.advance(3600);
+        assert!((c.micros_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_overflow_for_large_counts() {
+        let mut c = Clock::new(2_400_000_000);
+        c.advance(u64::MAX / 2);
+        let _ = c.nanos();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_hz_rejected() {
+        let _ = Clock::new(0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the machine: the cached access path (with flushes,
+//! uncached kernel writes, scrubbing and prefetching interleaved) must be
+//! byte-transparent against a flat reference model, and time must advance
+//! monotonically with every operation.
+
+use proptest::prelude::*;
+use safemem_cache::default_two_level;
+use safemem_ecc::EccMode;
+use safemem_machine::{CostModel, Machine};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read { addr: u64, len: usize },
+    Write { addr: u64, data: Vec<u8> },
+    WriteUncached { addr: u64, data: Vec<u8> },
+    FlushRange { addr: u64, len: u64 },
+    FlushAll,
+    Scrub,
+}
+
+const MEM: u64 = 1 << 16;
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let max = MEM - 512;
+    proptest::collection::vec(
+        prop_oneof![
+            ((0..max), 1usize..256).prop_map(|(addr, len)| Op::Read { addr, len }),
+            ((0..max), proptest::collection::vec(any::<u8>(), 1..256))
+                .prop_map(|(addr, data)| Op::Write { addr, data }),
+            ((0..max), proptest::collection::vec(any::<u8>(), 1..128))
+                .prop_map(|(addr, data)| Op::WriteUncached { addr, data }),
+            ((0..max), 1u64..512).prop_map(|(addr, len)| Op::FlushRange { addr, len }),
+            Just(Op::FlushAll),
+            Just(Op::Scrub),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every interleaving of cached/uncached writes, reads, flushes and
+    /// scrub steps observes flat-array semantics, and the clock never goes
+    /// backwards.
+    #[test]
+    fn prop_machine_is_transparent(ops in ops()) {
+        let mut m = Machine::new(MEM, default_two_level(), CostModel::default());
+        m.controller_mut().set_mode(EccMode::CorrectAndScrub);
+        let mut shadow = vec![0u8; MEM as usize];
+        let mut last_cycles = 0u64;
+
+        for op in &ops {
+            match op {
+                Op::Read { addr, len } => {
+                    let mut buf = vec![0u8; *len];
+                    m.read(*addr, &mut buf).expect("no faults in a clean machine");
+                    prop_assert_eq!(&buf[..], &shadow[*addr as usize..*addr as usize + len]);
+                }
+                Op::Write { addr, data } => {
+                    m.write(*addr, data).expect("no faults");
+                    shadow[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+                }
+                Op::WriteUncached { addr, data } => {
+                    // The kernel path must be coherent with the caches: the
+                    // OS flushes the target first, as the syscalls do.
+                    m.flush_range(*addr, data.len() as u64);
+                    m.write_uncached(*addr, data);
+                    shadow[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+                }
+                Op::FlushRange { addr, len } => m.flush_range(*addr, *len),
+                Op::FlushAll => m.flush_all_caches(),
+                Op::Scrub => {
+                    m.scrub_step(128);
+                }
+            }
+            let now = m.clock().cycles();
+            prop_assert!(now >= last_cycles, "clock must be monotone");
+            last_cycles = now;
+        }
+
+        // Final sweep: everything readable and equal to the shadow.
+        let mut buf = vec![0u8; 4096];
+        for chunk in 0..(MEM / 4096) {
+            m.read(chunk * 4096, &mut buf).expect("clean");
+            prop_assert_eq!(&buf[..], &shadow[(chunk * 4096) as usize..(chunk * 4096 + 4096) as usize]);
+        }
+    }
+
+    /// With the prefetcher on, the same transparency holds (prefetches are
+    /// hints, never semantics).
+    #[test]
+    fn prop_prefetcher_preserves_semantics(ops in ops()) {
+        let mut m = Machine::new(MEM, default_two_level(), CostModel::default());
+        m.set_prefetch(true);
+        let mut shadow = vec![0u8; MEM as usize];
+        for op in &ops {
+            match op {
+                Op::Read { addr, len } => {
+                    let mut buf = vec![0u8; *len];
+                    m.read(*addr, &mut buf).expect("no faults");
+                    prop_assert_eq!(&buf[..], &shadow[*addr as usize..*addr as usize + len]);
+                }
+                Op::Write { addr, data } => {
+                    m.write(*addr, data).expect("no faults");
+                    shadow[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+                }
+                Op::WriteUncached { addr, data } => {
+                    m.flush_range(*addr, data.len() as u64);
+                    m.write_uncached(*addr, data);
+                    shadow[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+                }
+                Op::FlushRange { addr, len } => m.flush_range(*addr, *len),
+                Op::FlushAll => m.flush_all_caches(),
+                Op::Scrub => {}
+            }
+        }
+        let mut buf = vec![0u8; 4096];
+        for chunk in 0..(MEM / 4096) {
+            m.read(chunk * 4096, &mut buf).expect("clean");
+            prop_assert_eq!(&buf[..], &shadow[(chunk * 4096) as usize..(chunk * 4096 + 4096) as usize]);
+        }
+    }
+
+    /// Random single-bit hardware errors sprinkled between operations are
+    /// always healed: the program still observes flat-array semantics.
+    #[test]
+    fn prop_single_bit_errors_invisible(
+        ops in ops(),
+        errors in proptest::collection::vec(((0u64..MEM/8), 0u8..64), 1..8),
+    ) {
+        let mut m = Machine::new(MEM, default_two_level(), CostModel::default());
+        let mut shadow = vec![0u8; MEM as usize];
+        let mut err_iter = errors.into_iter();
+        for (i, op) in ops.iter().enumerate() {
+            // Inject an error every few ops, on data that is IN MEMORY
+            // (not cached dirty), mimicking random bit decay.
+            if i % 7 == 3 {
+                if let Some((group, bit)) = err_iter.next() {
+                    let addr = group * 8;
+                    m.flush_range(addr, 8);
+                    m.controller_mut().inject_data_error(addr, bit);
+                }
+            }
+            match op {
+                Op::Read { addr, len } => {
+                    let mut buf = vec![0u8; *len];
+                    m.read(*addr, &mut buf).expect("single-bit errors are corrected");
+                    prop_assert_eq!(&buf[..], &shadow[*addr as usize..*addr as usize + len]);
+                }
+                Op::Write { addr, data } => {
+                    m.write(*addr, data).expect("no faults");
+                    shadow[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+                }
+                _ => {}
+            }
+        }
+    }
+}

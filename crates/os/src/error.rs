@@ -1,0 +1,176 @@
+//! OS-level errors and fault descriptions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Whether a faulting access was a load or a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// An ECC fault routed to the registered user-level handler — the payload of
+/// the paper's `RegisterECCFaultHandler` callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UserEccFault {
+    /// Start address of the watched region the fault falls in.
+    pub region_vaddr: u64,
+    /// The watched (line-aligned) virtual address that faulted.
+    pub line_vaddr: u64,
+    /// The virtual address the program was accessing when the fault hit.
+    pub access_vaddr: u64,
+    /// Load or store.
+    pub access: AccessKind,
+    /// `true` when the faulted line matches the scramble signature, i.e.
+    /// this is an access fault to a watched location; `false` means the data
+    /// differs from `original ⊕ mask`, i.e. a genuine hardware error
+    /// corrupted a watched line (paper §2.2.2 differentiation).
+    pub signature_ok: bool,
+}
+
+impl fmt::Display for UserEccFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ECC {} fault at {:#x} (watched line {:#x}, region {:#x}, signature {})",
+            self.access,
+            self.access_vaddr,
+            self.line_vaddr,
+            self.region_vaddr,
+            if self.signature_ok { "matched" } else { "MISMATCH: hardware error" }
+        )
+    }
+}
+
+/// A fault raised by a virtual memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OsFault {
+    /// An uncorrectable ECC error on a *watched* line: delivered to the
+    /// user-level handler registered with `RegisterECCFaultHandler`.
+    Ecc(UserEccFault),
+    /// A page-protection violation (the page-guard baseline's signal).
+    Segv {
+        /// The faulting virtual address.
+        vaddr: u64,
+        /// Load or store.
+        access: AccessKind,
+    },
+    /// An uncorrectable ECC error on an *unwatched* line. A stock kernel
+    /// panics here (paper §2.1); the simulation surfaces it instead.
+    HardwareError {
+        /// The faulting virtual address.
+        vaddr: u64,
+        /// The faulting physical group address.
+        group_addr: u64,
+    },
+}
+
+impl fmt::Display for OsFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsFault::Ecc(fault) => write!(f, "{fault}"),
+            OsFault::Segv { vaddr, access } => {
+                write!(f, "segmentation fault: {access} at {vaddr:#x}")
+            }
+            OsFault::HardwareError { vaddr, group_addr } => write!(
+                f,
+                "kernel panic: uncorrectable memory error at {vaddr:#x} (phys group {group_addr:#x})"
+            ),
+        }
+    }
+}
+
+impl Error for OsFault {}
+
+/// Errors returned by OS services (syscalls, memory management).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OsError {
+    /// Address or size not aligned as the call requires (watched regions
+    /// must be cache-line aligned; protections page-aligned).
+    Misaligned {
+        /// The offending address or size.
+        value: u64,
+        /// The required alignment.
+        required: u64,
+    },
+    /// Address range outside the virtual address space.
+    OutOfRange {
+        /// The offending virtual address.
+        vaddr: u64,
+    },
+    /// No physical frame available and nothing evictable (everything pinned).
+    OutOfMemory,
+    /// The region overlaps an already-watched region.
+    AlreadyWatched {
+        /// Start of the conflicting existing region.
+        existing: u64,
+    },
+    /// `DisableWatchMemory` on an address that is not a watched region start.
+    NotWatched {
+        /// The address passed in.
+        vaddr: u64,
+    },
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::Misaligned { value, required } => {
+                write!(f, "value {value:#x} not aligned to {required} bytes")
+            }
+            OsError::OutOfRange { vaddr } => write!(f, "address {vaddr:#x} out of range"),
+            OsError::OutOfMemory => write!(f, "out of physical memory (all pages pinned)"),
+            OsError::AlreadyWatched { existing } => {
+                write!(f, "region overlaps watched region at {existing:#x}")
+            }
+            OsError::NotWatched { vaddr } => {
+                write!(f, "no watched region starts at {vaddr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for OsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let fault = OsFault::Segv { vaddr: 0x1234, access: AccessKind::Write };
+        assert!(fault.to_string().contains("0x1234"));
+        let err = OsError::Misaligned { value: 0x7, required: 64 };
+        assert!(err.to_string().contains("64"));
+        let hw = OsFault::HardwareError { vaddr: 0x10, group_addr: 0x20 };
+        assert!(hw.to_string().contains("panic"));
+    }
+
+    #[test]
+    fn user_fault_display_flags_hardware_errors() {
+        let fault = UserEccFault {
+            region_vaddr: 0x100,
+            line_vaddr: 0x140,
+            access_vaddr: 0x148,
+            access: AccessKind::Read,
+            signature_ok: false,
+        };
+        assert!(fault.to_string().contains("hardware error"));
+    }
+}

@@ -1,0 +1,211 @@
+//! A kernel event log (dmesg-style ring buffer).
+//!
+//! The paper notes that with a software-friendly ECC interface "SafeMem
+//! could provide programmers with precise information regarding the
+//! occurred bugs" (§2.2.3). The simulated kernel keeps that record: every
+//! watch/unwatch, delivered fault, hardware panic, scrub cycle and swap
+//! event is timestamped and kept in a bounded ring, inspectable by tools,
+//! tests and the CLI.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One kernel log event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum KernelEvent {
+    /// `WatchMemory` armed a region.
+    Watched {
+        /// Region start (virtual).
+        vaddr: u64,
+        /// Region size.
+        size: u64,
+    },
+    /// `DisableWatchMemory` disarmed a region.
+    Unwatched {
+        /// Region start (virtual).
+        vaddr: u64,
+    },
+    /// An ECC fault was delivered to the user-level handler.
+    FaultDelivered {
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// Whether the scramble signature matched (access fault) or not
+        /// (hardware error on a watched line).
+        signature_ok: bool,
+    },
+    /// An uncorrectable error hit unwatched memory (stock-kernel panic).
+    Panic {
+        /// Faulting physical group.
+        group_addr: u64,
+    },
+    /// A coordinated scrub cycle ran.
+    ScrubCycle {
+        /// Watched lines that were disarmed/re-armed around the scan.
+        watched_lines: u64,
+    },
+    /// A page was evicted to swap.
+    SwapOut {
+        /// Virtual page number.
+        vpn: u64,
+    },
+    /// A page returned from swap.
+    SwapIn {
+        /// Virtual page number.
+        vpn: u64,
+    },
+}
+
+impl fmt::Display for KernelEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelEvent::Watched { vaddr, size } => {
+                write!(f, "ecc: watch region {vaddr:#x} (+{size})")
+            }
+            KernelEvent::Unwatched { vaddr } => write!(f, "ecc: unwatch region {vaddr:#x}"),
+            KernelEvent::FaultDelivered { vaddr, signature_ok } => write!(
+                f,
+                "ecc: fault at {vaddr:#x} → user handler ({})",
+                if *signature_ok { "access" } else { "hardware" }
+            ),
+            KernelEvent::Panic { group_addr } => {
+                write!(f, "panic: uncorrectable memory error at group {group_addr:#x}")
+            }
+            KernelEvent::ScrubCycle { watched_lines } => {
+                write!(f, "ecc: scrub cycle ({watched_lines} watched lines coordinated)")
+            }
+            KernelEvent::SwapOut { vpn } => write!(f, "vm: page {vpn:#x} → swap"),
+            KernelEvent::SwapIn { vpn } => write!(f, "vm: page {vpn:#x} ← swap"),
+        }
+    }
+}
+
+/// A timestamped log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LogEntry {
+    /// Simulated cycle count when the event occurred.
+    pub cycles: u64,
+    /// The event.
+    pub event: KernelEvent,
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>14}] {}", self.cycles, self.event)
+    }
+}
+
+/// A bounded ring of kernel events.
+#[derive(Debug, Clone)]
+pub struct KernelLog {
+    entries: VecDeque<LogEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for KernelLog {
+    fn default() -> Self {
+        KernelLog::with_capacity(4096)
+    }
+}
+
+impl KernelLog {
+    /// Creates a log holding at most `capacity` entries (older entries are
+    /// dropped, counted in [`KernelLog::dropped`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "log capacity must be non-zero");
+        KernelLog { entries: VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// Appends an event at simulated time `cycles`.
+    pub fn push(&mut self, cycles: u64, event: KernelEvent) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(LogEntry { cycles, event });
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the whole log, dmesg-style.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier events dropped ...", self.dropped);
+        }
+        for entry in &self.entries {
+            let _ = writeln!(out, "{entry}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut log = KernelLog::with_capacity(2);
+        log.push(1, KernelEvent::SwapOut { vpn: 1 });
+        log.push(2, KernelEvent::SwapOut { vpn: 2 });
+        log.push(3, KernelEvent::SwapOut { vpn: 3 });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        let vpns: Vec<u64> = log
+            .entries()
+            .map(|e| match e.event {
+                KernelEvent::SwapOut { vpn } => vpn,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vpns, vec![2, 3]);
+    }
+
+    #[test]
+    fn render_is_dmesg_like() {
+        let mut log = KernelLog::default();
+        log.push(12345, KernelEvent::Watched { vaddr: 0x1000, size: 64 });
+        log.push(23456, KernelEvent::FaultDelivered { vaddr: 0x1008, signature_ok: true });
+        let text = log.render();
+        assert!(text.contains("watch region 0x1000"));
+        assert!(text.contains("access"));
+        assert!(text.contains("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = KernelLog::with_capacity(0);
+    }
+}

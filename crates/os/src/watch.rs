@@ -1,0 +1,230 @@
+//! Bookkeeping for ECC-watched memory regions.
+//!
+//! The kernel half of SafeMem keeps, for every watched cache line, the
+//! original data (to differentiate access faults from hardware errors and to
+//! restore the line on unwatch) and the current physical placement (to route
+//! ECC faults back to virtual addresses). The arm/disarm *sequences* live in
+//! the [`Os`](crate::Os) layer; this module is pure bookkeeping.
+
+use std::collections::HashMap;
+
+/// One watched cache line.
+#[derive(Debug, Clone)]
+pub struct WatchedLine {
+    /// Start of the watched region this line belongs to.
+    pub region_vaddr: u64,
+    /// Line-aligned virtual address.
+    pub vline: u64,
+    /// Current line-aligned physical address (`None` while the page is
+    /// swapped out under the swap-aware extension).
+    pub phys_line: Option<u64>,
+    /// The original (unscrambled) contents, saved in SafeMem's private
+    /// memory (paper §2.2.2).
+    pub original: Vec<u8>,
+}
+
+/// Registry of watched regions and their lines.
+#[derive(Debug, Default)]
+pub struct WatchRegistry {
+    /// Region start → size.
+    regions: HashMap<u64, u64>,
+    /// Line-aligned vaddr → line record.
+    lines: HashMap<u64, WatchedLine>,
+    /// Line-aligned physical addr → vline (for fault routing).
+    by_phys: HashMap<u64, u64>,
+}
+
+impl WatchRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of watched regions.
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of watched lines.
+    #[must_use]
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns the start of an existing region overlapping
+    /// `[vaddr, vaddr + size)`, if any.
+    #[must_use]
+    pub fn overlapping_region(&self, vaddr: u64, size: u64) -> Option<u64> {
+        self.regions
+            .iter()
+            .find(|&(&start, &len)| start < vaddr + size && vaddr < start + len)
+            .map(|(&start, _)| start)
+    }
+
+    /// The region `(start, size)` containing `vaddr`, if any.
+    #[must_use]
+    pub fn region_containing(&self, vaddr: u64) -> Option<(u64, u64)> {
+        self.regions
+            .iter()
+            .find(|&(&start, &len)| (start..start + len).contains(&vaddr))
+            .map(|(&start, &len)| (start, len))
+    }
+
+    /// The size of the region starting exactly at `vaddr`, if any.
+    #[must_use]
+    pub fn region_at(&self, vaddr: u64) -> Option<u64> {
+        self.regions.get(&vaddr).copied()
+    }
+
+    /// All region starts (unspecified order).
+    #[must_use]
+    pub fn region_starts(&self) -> Vec<u64> {
+        self.regions.keys().copied().collect()
+    }
+
+    /// Records a region (the caller has validated alignment and overlap).
+    pub fn insert_region(&mut self, vaddr: u64, size: u64) {
+        let prev = self.regions.insert(vaddr, size);
+        debug_assert!(prev.is_none(), "caller must check overlap first");
+    }
+
+    /// Records one armed line.
+    pub fn insert_line(&mut self, line: WatchedLine) {
+        if let Some(phys) = line.phys_line {
+            self.by_phys.insert(phys, line.vline);
+        }
+        self.lines.insert(line.vline, line);
+    }
+
+    /// Removes a region and returns its line records.
+    pub fn remove_region(&mut self, vaddr: u64) -> Option<(u64, Vec<WatchedLine>)> {
+        let size = self.regions.remove(&vaddr)?;
+        let vlines: Vec<u64> = self
+            .lines
+            .values()
+            .filter(|l| l.region_vaddr == vaddr)
+            .map(|l| l.vline)
+            .collect();
+        let mut removed = Vec::with_capacity(vlines.len());
+        for vline in vlines {
+            let line = self.lines.remove(&vline).expect("line listed");
+            if let Some(phys) = line.phys_line {
+                self.by_phys.remove(&phys);
+            }
+            removed.push(line);
+        }
+        Some((size, removed))
+    }
+
+    /// Looks up the watched line covering physical address `phys_line`.
+    #[must_use]
+    pub fn line_by_phys(&self, phys_line: u64) -> Option<&WatchedLine> {
+        self.by_phys.get(&phys_line).and_then(|v| self.lines.get(v))
+    }
+
+    /// Looks up a watched line by its virtual address.
+    #[must_use]
+    pub fn line_by_vaddr(&self, vline: u64) -> Option<&WatchedLine> {
+        self.lines.get(&vline)
+    }
+
+    /// All watched lines whose virtual page number is `vpn` (used by the
+    /// swap-aware extension when a page moves).
+    #[must_use]
+    pub fn vlines_in_page(&self, vpn: u64, page_bytes: u64) -> Vec<u64> {
+        self.lines
+            .keys()
+            .filter(|&&v| v / page_bytes == vpn)
+            .copied()
+            .collect()
+    }
+
+    /// Updates a line's physical placement (swap-aware extension: `None`
+    /// when its page is evicted, `Some(new)` when it returns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not registered.
+    pub fn set_line_phys(&mut self, vline: u64, phys_line: Option<u64>) {
+        let line = self.lines.get_mut(&vline).expect("line registered");
+        if let Some(old) = line.phys_line.take() {
+            self.by_phys.remove(&old);
+        }
+        line.phys_line = phys_line;
+        if let Some(new) = phys_line {
+            self.by_phys.insert(new, vline);
+        }
+    }
+
+    /// Iterates over all watched lines.
+    pub fn lines(&self) -> impl Iterator<Item = &WatchedLine> {
+        self.lines.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(region: u64, vline: u64, phys: u64) -> WatchedLine {
+        WatchedLine {
+            region_vaddr: region,
+            vline,
+            phys_line: Some(phys),
+            original: vec![0; 64],
+        }
+    }
+
+    #[test]
+    fn region_lifecycle() {
+        let mut reg = WatchRegistry::new();
+        reg.insert_region(0x1000, 128);
+        reg.insert_line(line(0x1000, 0x1000, 0x8000));
+        reg.insert_line(line(0x1000, 0x1040, 0x8040));
+        assert_eq!(reg.region_count(), 1);
+        assert_eq!(reg.line_count(), 2);
+        assert_eq!(reg.region_containing(0x1050), Some((0x1000, 128)));
+        assert_eq!(reg.region_containing(0x1080), None);
+        let (size, lines) = reg.remove_region(0x1000).unwrap();
+        assert_eq!(size, 128);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(reg.line_count(), 0);
+        assert!(reg.line_by_phys(0x8000).is_none());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut reg = WatchRegistry::new();
+        reg.insert_region(0x1000, 128);
+        assert_eq!(reg.overlapping_region(0x1040, 64), Some(0x1000));
+        assert_eq!(reg.overlapping_region(0x1080, 64), None);
+        assert_eq!(reg.overlapping_region(0x0FC0, 64), None);
+        assert_eq!(reg.overlapping_region(0x0FC0, 65), Some(0x1000));
+    }
+
+    #[test]
+    fn phys_routing_follows_placement_updates() {
+        let mut reg = WatchRegistry::new();
+        reg.insert_region(0x2000, 64);
+        reg.insert_line(line(0x2000, 0x2000, 0x9000));
+        assert_eq!(reg.line_by_phys(0x9000).unwrap().vline, 0x2000);
+        reg.set_line_phys(0x2000, None);
+        assert!(reg.line_by_phys(0x9000).is_none());
+        reg.set_line_phys(0x2000, Some(0xA000));
+        assert_eq!(reg.line_by_phys(0xA000).unwrap().vline, 0x2000);
+    }
+
+    #[test]
+    fn vlines_in_page_filters_by_vpn() {
+        let mut reg = WatchRegistry::new();
+        reg.insert_region(0x1000, 0x2000);
+        reg.insert_line(line(0x1000, 0x1000, 0x8000));
+        reg.insert_line(line(0x1000, 0x1FC0, 0x8FC0));
+        reg.insert_line(line(0x1000, 0x2000, 0x9000));
+        let mut v = reg.vlines_in_page(1, 4096);
+        v.sort_unstable();
+        assert_eq!(v, vec![0x1000, 0x1FC0]);
+    }
+}

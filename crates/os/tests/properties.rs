@@ -1,0 +1,172 @@
+//! Property tests for the OS layer: watch/unwatch/access sequences against
+//! a reference model, paging transparency, and protection enforcement.
+
+use proptest::prelude::*;
+use safemem_os::{Os, OsConfig, OsFault, Prot, SwapPolicy, HEAP_BASE, PAGE_BYTES};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { slot: u64, fill: u8 },
+    Read { slot: u64 },
+    Watch { slot: u64 },
+    Unwatch { slot: u64 },
+}
+
+const SLOTS: u64 = 48;
+
+fn slot_addr(slot: u64) -> u64 {
+    HEAP_BASE + slot * 64
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0..SLOTS), any::<u8>()).prop_map(|(slot, fill)| Op::Write { slot, fill }),
+        (0..SLOTS).prop_map(|slot| Op::Read { slot }),
+        (0..SLOTS).prop_map(|slot| Op::Watch { slot }),
+        (0..SLOTS).prop_map(|slot| Op::Unwatch { slot }),
+    ]
+}
+
+/// Runs a random op sequence under a given OS configuration, maintaining a
+/// reference model: contents per slot and the watched set. Invariants:
+/// an access to a watched slot faults with the right region and a valid
+/// signature; after handling it (unwatch), the retried access sees exactly
+/// the reference contents; unwatched slots never fault.
+fn check(os: &mut Os, ops: &[Op]) {
+    os.register_ecc_fault_handler();
+    let mut contents: HashMap<u64, u8> = HashMap::new();
+    let mut watched: HashSet<u64> = HashSet::new();
+
+    for op in ops {
+        match *op {
+            Op::Write { slot, fill } => {
+                let addr = slot_addr(slot);
+                match os.vwrite(addr, &[fill; 64]) {
+                    Ok(()) => {
+                        assert!(!watched.contains(&slot), "watched write must fault first");
+                        contents.insert(slot, fill);
+                    }
+                    Err(OsFault::Ecc(user)) => {
+                        assert!(watched.contains(&slot));
+                        assert!(user.signature_ok);
+                        assert_eq!(user.region_vaddr, addr);
+                        os.disable_watch_memory(addr).expect("watched");
+                        watched.remove(&slot);
+                        os.vwrite(addr, &[fill; 64]).expect("retry clean");
+                        contents.insert(slot, fill);
+                    }
+                    Err(other) => panic!("unexpected fault: {other:?}"),
+                }
+            }
+            Op::Read { slot } => {
+                let addr = slot_addr(slot);
+                let mut buf = [0u8; 64];
+                match os.vread(addr, &mut buf) {
+                    Ok(()) => {
+                        assert!(!watched.contains(&slot), "watched read must fault first");
+                        let expected = contents.get(&slot).copied().unwrap_or(0);
+                        assert_eq!(buf, [expected; 64], "slot {slot}");
+                    }
+                    Err(OsFault::Ecc(user)) => {
+                        assert!(watched.contains(&slot));
+                        assert!(user.signature_ok);
+                        os.disable_watch_memory(addr).expect("watched");
+                        watched.remove(&slot);
+                        os.vread(addr, &mut buf).expect("retry clean");
+                        let expected = contents.get(&slot).copied().unwrap_or(0);
+                        assert_eq!(buf, [expected; 64], "slot {slot} after unwatch");
+                    }
+                    Err(other) => panic!("unexpected fault: {other:?}"),
+                }
+            }
+            Op::Watch { slot } => {
+                let addr = slot_addr(slot);
+                if watched.contains(&slot) {
+                    assert!(os.watch_memory(addr, 64).is_err(), "double watch rejected");
+                } else if os.watch_memory(addr, 64).is_ok() {
+                    watched.insert(slot);
+                }
+            }
+            Op::Unwatch { slot } => {
+                let addr = slot_addr(slot);
+                if watched.remove(&slot) {
+                    os.disable_watch_memory(addr).expect("was watched");
+                } else {
+                    assert!(os.disable_watch_memory(addr).is_err());
+                }
+            }
+        }
+    }
+
+    // Teardown: unwatch everything, verify all contents.
+    for slot in watched {
+        os.disable_watch_memory(slot_addr(slot)).expect("watched");
+    }
+    for (slot, fill) in contents {
+        let mut buf = [0u8; 64];
+        os.vread(slot_addr(slot), &mut buf).expect("clean after teardown");
+        assert_eq!(buf, [fill; 64]);
+    }
+    assert_eq!(os.watched_region_count(), 0);
+    assert_eq!(os.stats().hardware_panics, 0, "no kernel panics in a clean run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The watchpoint state machine is correct under arbitrary interleaving
+    /// of watches, unwatches, reads and writes (pinning policy).
+    #[test]
+    fn prop_watch_state_machine(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut os = Os::with_defaults(1 << 22);
+        check(&mut os, &ops);
+    }
+
+    /// Same invariants with the swap-aware policy under real paging
+    /// pressure (physical memory smaller than the working set).
+    #[test]
+    fn prop_watch_state_machine_swap_aware(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut os = Os::new(OsConfig {
+            // The slots live on one page; add pressure from elsewhere.
+            phys_bytes: 8 * PAGE_BYTES,
+            swap_policy: SwapPolicy::SwapAware,
+            ..OsConfig::default()
+        });
+        os.register_ecc_fault_handler();
+        // Interleave background traffic to force evictions.
+        for i in 0..16u64 {
+            os.vwrite(HEAP_BASE + (i + 8) * PAGE_BYTES, &[i as u8; 32]).unwrap();
+        }
+        check(&mut os, &ops);
+    }
+
+    /// mprotect is enforced exactly: reads/writes conform to the protection
+    /// of the page they land on, for arbitrary protection layouts.
+    #[test]
+    fn prop_mprotect_enforced(
+        prots in proptest::collection::vec(0u8..3, 8),
+        accesses in proptest::collection::vec(((0u64..8), any::<bool>()), 1..40),
+    ) {
+        let mut os = Os::with_defaults(1 << 22);
+        let to_prot = |p: u8| match p {
+            0 => Prot::NONE,
+            1 => Prot::READ,
+            _ => Prot::READ_WRITE,
+        };
+        for (i, &p) in prots.iter().enumerate() {
+            os.mprotect(HEAP_BASE + i as u64 * PAGE_BYTES, PAGE_BYTES, to_prot(p)).unwrap();
+        }
+        for (page, is_write) in accesses {
+            let addr = HEAP_BASE + page * PAGE_BYTES + 128;
+            let prot = to_prot(prots[page as usize]);
+            let result = if is_write {
+                os.vwrite(addr, &[1])
+            } else {
+                os.vread(addr, &mut [0u8; 1])
+            };
+            let allowed = if is_write { prot.write } else { prot.read };
+            prop_assert_eq!(result.is_ok(), allowed, "page {} write={}", page, is_write);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! `gzip`: a compression utility with a **heap buffer overflow** (Table 1).
+//!
+//! Block compression streams input through a window buffer with a
+//! compute-heavy inner loop (the highest memory-access density of the seven
+//! apps — gzip is the workload Purify slows down by ~45×). A crafted input
+//! block makes the copy loop run past the window's end.
+
+use crate::driver::{AppSpec, BugClass, Ctx, InputMode, RunConfig, Workload};
+use safemem_core::{GroupKey, MemTool};
+use safemem_os::Os;
+
+const APP_ID: u64 = 5;
+const SITE_WINDOW: u64 = 1;
+const SITE_OUT: u64 = 2;
+const WINDOW_SIZE: u64 = 8192;
+const OUT_SIZE: u64 = 4096;
+
+/// The gzip model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gzip;
+
+impl Workload for Gzip {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "gzip",
+            loc: 8_900,
+            description: "a compression utility",
+            bug: BugClass::Overflow,
+        }
+    }
+
+    fn default_requests(&self) -> u64 {
+        60 // input blocks
+    }
+
+    fn true_leak_groups(&self) -> Vec<GroupKey> {
+        Vec::new()
+    }
+
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
+        let mut ctx = Ctx::new(os, tool, APP_ID, cfg.seed);
+        let blocks = cfg.requests.unwrap_or_else(|| self.default_requests());
+        let bad_block = blocks / 2;
+
+        for block in 0..blocks {
+            // Read the input block.
+            ctx.io(60_000);
+            let window = ctx.alloc(SITE_WINDOW, WINDOW_SIZE);
+            let out = ctx.alloc(SITE_OUT, OUT_SIZE);
+
+            // The match-finding loop: hash-table walks on nearly every
+            // cycle — gzip's signature memory-access density.
+            for chunk in 0..8u64 {
+                ctx.fill(window, 1024, chunk as u8);
+                ctx.work(350_000, 750);
+            }
+
+            // The bug: a crafted block's back-reference copy runs past the
+            // window's end.
+            if cfg.input == InputMode::Buggy && block == bad_block {
+                let overrun_start = window + WINDOW_SIZE - 512;
+                ctx.fill(overrun_start, 512 + 256, 0xBD); // 256 B past the end
+            }
+
+            // Emit the compressed block.
+            ctx.fill(out, 2048, 0xC0);
+            ctx.work(200_000, 750);
+            ctx.touch(out, 2048);
+            ctx.io(40_000);
+
+            ctx.free(out);
+            ctx.free(window);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_under;
+    use safemem_core::{BugReport, OverflowSide, SafeMem};
+
+    #[test]
+    fn safemem_detects_the_window_overflow() {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(10),
+            ..RunConfig::default()
+        };
+        let result = run_under(&Gzip, &mut os, &mut tool, &cfg);
+        assert!(
+            result.reports.iter().any(|r| matches!(
+                r,
+                BugReport::Overflow { side: OverflowSide::After, buffer_size: WINDOW_SIZE, .. }
+            )),
+            "{:?}",
+            result.reports
+        );
+    }
+
+    #[test]
+    fn normal_compression_is_clean() {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { requests: Some(10), ..RunConfig::default() };
+        let result = run_under(&Gzip, &mut os, &mut tool, &cfg);
+        assert!(result.reports.is_empty(), "{:?}", result.reports);
+        assert_eq!(result.heap_stats.live_payload, 0, "all buffers freed");
+    }
+}

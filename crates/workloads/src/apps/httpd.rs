@@ -1,0 +1,134 @@
+//! `httpd`: an extension workload beyond the paper's Table 1.
+//!
+//! The paper's future work says "we have evaluated SafeMem with a limited
+//! number (only seven) of applications" — this model adds an eighth in the
+//! same style: an HTTP server containing **both** bug classes at once (a
+//! session-state leak *and* a header-parsing overflow), exercising combined
+//! ML+MC detection in a single run.
+
+use crate::driver::{group_of, AppSpec, BugClass, Ctx, FpPool, InputMode, RunConfig, Workload};
+use safemem_core::{GroupKey, MemTool};
+use safemem_os::Os;
+
+const APP_ID: u64 = 8;
+const SITE_HEADER: u64 = 1;
+const SITE_BODY: u64 = 2;
+const SITE_SESSION: u64 = 0x30;
+const SITE_FP: u64 = 0x40;
+const HEADER_SIZE: u64 = 256;
+const SESSION_SIZE: u64 = 192;
+
+/// The httpd model (extension; both a leak and an overflow when buggy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Httpd;
+
+impl Workload for Httpd {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "httpd",
+            loc: 0,
+            description: "an HTTP server (extension workload: leak + overflow)",
+            bug: BugClass::SLeak, // primary class; also plants an overflow
+        }
+    }
+
+    fn default_requests(&self) -> u64 {
+        800
+    }
+
+    fn true_leak_groups(&self) -> Vec<GroupKey> {
+        vec![group_of(APP_ID, SITE_SESSION, SESSION_SIZE)]
+    }
+
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
+        let mut ctx = Ctx::new(os, tool, APP_ID, cfg.seed);
+        let requests = cfg.requests.unwrap_or_else(|| self.default_requests());
+        let fp = FpPool::init(&mut ctx, SITE_FP, 3, 160, 18, 0);
+        let overflow_at = requests / 3;
+
+        for req in 0..requests {
+            ctx.io(25_000);
+            ctx.work(300_000, 250);
+
+            // Parse the request line + headers into a fixed buffer.
+            let header = ctx.alloc(SITE_HEADER, HEADER_SIZE);
+            let header_len = (40 + ctx.rand(180)) as usize;
+            ctx.fill(header, header_len, 0x48);
+            // Bug #1: a crafted request with an oversized header field is
+            // copied without bounds checking.
+            if cfg.input == InputMode::Buggy && req == overflow_at {
+                ctx.fill(header, HEADER_SIZE as usize + 80, 0x58);
+            }
+
+            // Session lookup/creation: ~10 % of requests start a session.
+            if ctx.chance(100) {
+                let session = ctx.alloc(SITE_SESSION, SESSION_SIZE);
+                ctx.fill(session, SESSION_SIZE as usize, 0x53);
+                // Bug #2: the keep-alive teardown path forgets the session
+                // object (buggy input only; normal inputs close it).
+                let leaked = cfg.input == InputMode::Buggy && ctx.chance(400);
+                if !leaked {
+                    ctx.work(60_000, 250);
+                    ctx.touch(session, 64);
+                    ctx.free(session);
+                }
+            }
+
+            // Serve the response body.
+            let body = ctx.alloc(SITE_BODY, 2048);
+            ctx.fill(body, 1024, 0x42);
+            ctx.work(250_000, 250);
+            ctx.touch(body, 512);
+            ctx.io(40_000);
+            ctx.free(body);
+
+            ctx.touch(header, header_len.min(HEADER_SIZE as usize));
+            ctx.free(header);
+
+            fp.churn(&mut ctx, req);
+            fp.touch(&mut ctx, req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_under;
+    use safemem_core::{BugReport, SafeMem};
+
+    #[test]
+    fn both_bug_classes_detected_in_one_run() {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(600),
+            ..RunConfig::default()
+        };
+        let result = run_under(&Httpd, &mut os, &mut tool, &cfg);
+        assert!(
+            result.reports.iter().any(|r| matches!(
+                r,
+                BugReport::Overflow { buffer_size: HEADER_SIZE, .. }
+            )),
+            "overflow found: {:?}",
+            result.reports
+        );
+        assert!(
+            result.true_leaks(&Httpd.true_leak_groups()) >= 1,
+            "session leak found: {:?}",
+            result.reports
+        );
+        assert_eq!(result.false_leaks(&Httpd.true_leak_groups()), 0, "{:?}", result.reports);
+    }
+
+    #[test]
+    fn normal_runs_are_clean() {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { requests: Some(300), ..RunConfig::default() };
+        let result = run_under(&Httpd, &mut os, &mut tool, &cfg);
+        assert!(result.reports.is_empty(), "{:?}", result.reports);
+    }
+}

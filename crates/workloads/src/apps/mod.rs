@@ -1,0 +1,27 @@
+//! Behavioural models of the seven evaluated applications (Table 1).
+//!
+//! Each model reproduces the allocation/access *behaviour* that drives the
+//! paper's results: object-group structure, lifetime distributions, bug
+//! paths (triggered only under [`InputMode::Buggy`]), long-lived objects
+//! that generate leak false positives, and a per-app memory-access density
+//! that spreads the Purify slowdowns the way Table 3 reports.
+//!
+//! [`InputMode::Buggy`]: crate::driver::InputMode::Buggy
+
+pub mod gzip;
+pub mod httpd;
+pub mod proftpd;
+pub mod squid1;
+pub mod squid2;
+pub mod tar;
+pub mod ypserv1;
+pub mod ypserv2;
+
+pub use gzip::Gzip;
+pub use httpd::Httpd;
+pub use proftpd::Proftpd;
+pub use squid1::Squid1;
+pub use squid2::Squid2;
+pub use tar::Tar;
+pub use ypserv1::Ypserv1;
+pub use ypserv2::Ypserv2;

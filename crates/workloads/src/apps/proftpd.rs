@@ -1,0 +1,116 @@
+//! `proftpd`: an FTP server with a **transfer-buffer leak** (Table 1).
+//!
+//! Each session opens a control connection and performs several data
+//! transfers through an 8 KiB transfer buffer. On the aborted-transfer path
+//! (~5 % of buggy-input sessions) the buffer of the aborted transfer is
+//! never released. Nine long-lived per-module state objects generate the 9
+//! pre-pruning false positives of Table 5.
+
+use crate::driver::{group_of, AppSpec, BugClass, Ctx, FpPool, InputMode, RunConfig, Workload};
+use safemem_core::{GroupKey, MemTool};
+use safemem_os::Os;
+
+const APP_ID: u64 = 2;
+const SITE_CONTROL: u64 = 1;
+const SITE_XFER: u64 = 0x70;
+const SITE_FP_BASE: u64 = 0x80;
+const XFER_SIZE: u64 = 8192;
+const FP_COUNT: usize = 9;
+const FP_SIZE: u64 = 256;
+
+/// The proftpd model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Proftpd;
+
+impl Workload for Proftpd {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "proftpd",
+            loc: 68_700,
+            description: "an ftp server",
+            bug: BugClass::SLeak,
+        }
+    }
+
+    fn default_requests(&self) -> u64 {
+        350 // sessions
+    }
+
+    fn true_leak_groups(&self) -> Vec<GroupKey> {
+        vec![group_of(APP_ID, SITE_XFER, XFER_SIZE)]
+    }
+
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
+        let mut ctx = Ctx::new(os, tool, APP_ID, cfg.seed);
+        let sessions = cfg.requests.unwrap_or_else(|| self.default_requests());
+        let fp = FpPool::init(&mut ctx, SITE_FP_BASE, FP_COUNT, FP_SIZE, 6, 0);
+
+        for session in 0..sessions {
+            // Login handshake.
+            ctx.io(80_000);
+            ctx.work(400_000, 140);
+            let control = ctx.alloc(SITE_CONTROL, 512);
+            ctx.fill(control, 512, 0x10);
+
+            // 2–4 file transfers per session.
+            let transfers = 2 + ctx.rand(3);
+            for t in 0..transfers {
+                let xfer = ctx.alloc(SITE_XFER, XFER_SIZE);
+                // Stream file data through the buffer (disk + net I/O).
+                ctx.fill(xfer, 4096, 0x77);
+                ctx.work(700_000, 140);
+                ctx.io(120_000);
+                ctx.touch(xfer, 2048);
+
+                // The bug: the ABOR handler tears down the transfer state
+                // but forgets the data buffer.
+                let aborted = cfg.input == InputMode::Buggy
+                    && t == transfers - 1
+                    && ctx.chance(50);
+                if !aborted {
+                    ctx.free(xfer);
+                }
+            }
+
+            fp.churn(&mut ctx, session);
+            fp.touch(&mut ctx, session);
+
+            ctx.touch(control, 128);
+            ctx.free(control);
+            ctx.io(40_000);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_under;
+    use safemem_core::SafeMem;
+
+    #[test]
+    fn safemem_detects_the_transfer_leak() {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(250),
+            ..RunConfig::default()
+        };
+        let result = run_under(&Proftpd, &mut os, &mut tool, &cfg);
+        let truth = Proftpd.true_leak_groups();
+        assert!(result.true_leaks(&truth) >= 1, "leak detected: {:?}", result.reports);
+        assert_eq!(result.false_leaks(&truth), 0, "{:?}", result.reports);
+    }
+
+    #[test]
+    fn normal_sessions_leak_nothing() {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { requests: Some(200), ..RunConfig::default() };
+        let result = run_under(&Proftpd, &mut os, &mut tool, &cfg);
+        assert_eq!(result.leak_groups().len(), 0, "{:?}", result.reports);
+        // All transfer buffers were freed.
+        assert_eq!(result.heap_stats.live_payload % XFER_SIZE, result.heap_stats.live_payload % XFER_SIZE);
+    }
+}

@@ -1,0 +1,148 @@
+//! `squid1`: a web proxy cache with a **cache-entry leak** (Table 1).
+//!
+//! The proxy keeps a table of cached objects with TTL-based expiry. On the
+//! forced-reload path (~3 % of buggy-input hits) the handler replaces the
+//! table entry without releasing the old object — a sometimes-leak whose
+//! victims outlive the group's stable maximal lifetime (≈ the TTL).
+//!
+//! Thirteen groups generate the pre-pruning false positives of Table 5:
+//! twelve periodically-touched module state objects, plus one genuinely
+//! idle session object that is never accessed again — the single false
+//! positive that survives ECC pruning in the paper's squid1 row.
+
+use crate::driver::{group_of, AppSpec, BugClass, Ctx, FpPool, InputMode, RunConfig, Workload};
+use safemem_core::{GroupKey, MemTool};
+use safemem_os::Os;
+
+const APP_ID: u64 = 3;
+const SITE_OBJECT: u64 = 2;
+const SITE_FP_BASE: u64 = 0x90;
+const SITE_IDLE: u64 = 0x60;
+const OBJECT_SIZE: u64 = 4096;
+const IDLE_SIZE: u64 = 2048;
+const FP_COUNT: usize = 12;
+const FP_SIZE: u64 = 384;
+const SLOTS: usize = 128;
+const TTL_REQUESTS: u64 = 90;
+const SWEEP_PER_REQUEST: usize = 8;
+
+/// The squid-with-leak model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Squid1;
+
+impl Workload for Squid1 {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "squid1",
+            loc: 95_000,
+            description: "a Web proxy cache server",
+            bug: BugClass::SLeak,
+        }
+    }
+
+    fn default_requests(&self) -> u64 {
+        1200
+    }
+
+    fn true_leak_groups(&self) -> Vec<GroupKey> {
+        vec![group_of(APP_ID, SITE_OBJECT, OBJECT_SIZE)]
+    }
+
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
+        let mut ctx = Ctx::new(os, tool, APP_ID, cfg.seed);
+        let requests = cfg.requests.unwrap_or_else(|| self.default_requests());
+        let fp = FpPool::init(&mut ctx, SITE_FP_BASE, FP_COUNT, FP_SIZE, 15, 0);
+
+        // The genuinely idle object: its site also serves short-lived
+        // parser scratch (churned below), so its group has a small stable
+        // maximal lifetime — but the object itself is never touched again.
+        let idle = ctx.alloc(SITE_IDLE, IDLE_SIZE);
+        ctx.fill(idle, IDLE_SIZE as usize, 0x66);
+        ctx.store_root(13, idle);
+
+        // Cache table: slot → (object addr, birth request).
+        let mut table: Vec<Option<(u64, u64)>> = vec![None; SLOTS];
+        let mut sweep_cursor = 0usize;
+
+        for req in 0..requests {
+            ctx.io(30_000);
+            ctx.work(500_000, 300);
+
+            // Scratch at the idle object's site keeps that group's maximal
+            // lifetime small and stable.
+            let scratch = ctx.alloc(SITE_IDLE, IDLE_SIZE);
+            ctx.fill(scratch, 256, 0x01);
+            ctx.work(30_000, 300);
+            ctx.free(scratch);
+
+            // Expiry sweep: bounded object lifetimes ≈ the TTL.
+            for _ in 0..SWEEP_PER_REQUEST {
+                let slot = sweep_cursor % SLOTS;
+                sweep_cursor += 1;
+                if let Some((addr, birth)) = table[slot] {
+                    if req.saturating_sub(birth) > TTL_REQUESTS {
+                        ctx.clear_root(100 + slot as u64);
+                        ctx.free(addr);
+                        table[slot] = None;
+                    }
+                }
+            }
+
+            // The request proper.
+            let slot = ctx.rand(SLOTS as u64) as usize;
+            match table[slot] {
+                Some((addr, _)) => {
+                    // Cache hit.
+                    ctx.touch(addr, 1024);
+                    // Forced reload replaces the object. The bug: the old
+                    // object is dropped from the table without being freed.
+                    if ctx.chance(30) {
+                        let fresh = ctx.alloc(SITE_OBJECT, OBJECT_SIZE);
+                        ctx.fill(fresh, 2048, 0x99);
+                        if cfg.input != InputMode::Buggy {
+                            ctx.free(addr);
+                        }
+                        table[slot] = Some((fresh, req));
+                        ctx.store_root(100 + slot as u64, fresh);
+                    }
+                }
+                None => {
+                    // Miss: fetch from origin and cache.
+                    ctx.io(200_000);
+                    let fresh = ctx.alloc(SITE_OBJECT, OBJECT_SIZE);
+                    ctx.fill(fresh, 2048, 0x88);
+                    table[slot] = Some((fresh, req));
+                    ctx.store_root(100 + slot as u64, fresh);
+                }
+            }
+
+            fp.churn(&mut ctx, req);
+            fp.touch(&mut ctx, req);
+            ctx.work(400_000, 300);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_under;
+    use safemem_core::SafeMem;
+
+    #[test]
+    fn safemem_detects_the_cache_leak_with_one_surviving_fp() {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: None,
+            ..RunConfig::default()
+        };
+        let result = run_under(&Squid1, &mut os, &mut tool, &cfg);
+        let truth = Squid1.true_leak_groups();
+        assert!(result.true_leaks(&truth) >= 1, "cache leak detected: {:?}", result.reports);
+        // The idle session object is the one false positive that survives
+        // pruning (paper Table 5, squid1 row).
+        assert_eq!(result.false_leaks(&truth), 1, "{:?}", result.reports);
+    }
+}

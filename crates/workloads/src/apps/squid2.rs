@@ -1,0 +1,136 @@
+//! `squid2`: a web proxy version with an **access to freed memory**
+//! (Table 1).
+//!
+//! A refcounting slip on the object-timeout path releases a cached object
+//! while a stale reference to it remains in a pending-request list; a later
+//! request follows the stale reference into the freed buffer.
+
+use crate::driver::{AppSpec, BugClass, Ctx, InputMode, RunConfig, Workload};
+use safemem_core::{GroupKey, MemTool};
+use safemem_os::Os;
+
+const APP_ID: u64 = 7;
+const SITE_OBJECT: u64 = 2;
+const SITE_VICTIM: u64 = 9;
+/// Deliberately unusual size: its free-list class stays untouched between
+/// the buggy free and the stale access, like the real bug's rare object type.
+const VICTIM_SIZE: u64 = 5000;
+const SLOTS: usize = 64;
+
+/// The squid-with-use-after-free model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Squid2;
+
+impl Workload for Squid2 {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "squid2",
+            loc: 93_000,
+            description: "a Web proxy cache server",
+            bug: BugClass::UseAfterFree,
+        }
+    }
+
+    fn default_requests(&self) -> u64 {
+        700
+    }
+
+    fn true_leak_groups(&self) -> Vec<GroupKey> {
+        Vec::new()
+    }
+
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
+        let mut ctx = Ctx::new(os, tool, APP_ID, cfg.seed);
+        let requests = cfg.requests.unwrap_or_else(|| self.default_requests());
+        let timeout_at = requests / 3;
+        let stale_hit_at = timeout_at + 10;
+
+        // The victim object: cached early, referenced by a pending request.
+        let victim = ctx.alloc(SITE_VICTIM, VICTIM_SIZE);
+        ctx.fill(victim, VICTIM_SIZE as usize, 0x5A);
+        ctx.store_root(0, victim);
+        let mut victim_freed = false;
+
+        let mut table: Vec<Option<u64>> = vec![None; SLOTS];
+        for req in 0..requests {
+            ctx.io(30_000);
+            ctx.work(280_000, 300);
+
+            // Ordinary cache churn.
+            let slot = ctx.rand(SLOTS as u64) as usize;
+            match table[slot] {
+                Some(addr) => {
+                    ctx.touch(addr, 512);
+                    if ctx.chance(200) {
+                        ctx.clear_root(100 + slot as u64);
+                        ctx.free(addr);
+                        table[slot] = None;
+                    }
+                }
+                None => {
+                    let fresh = ctx.alloc(SITE_OBJECT, 1536);
+                    ctx.fill(fresh, 1024, 0x42);
+                    ctx.store_root(100 + slot as u64, fresh);
+                    table[slot] = Some(fresh);
+                }
+            }
+
+            // The bug, part 1: the timeout handler drops the last reference
+            // and frees the victim — but the pending-request list still
+            // holds a stale pointer.
+            if cfg.input == InputMode::Buggy && req == timeout_at {
+                ctx.free(victim);
+                victim_freed = true;
+            }
+            // The bug, part 2: the pending request completes and follows
+            // the stale pointer.
+            if cfg.input == InputMode::Buggy && req == stale_hit_at {
+                ctx.touch(victim, 256);
+            }
+
+            ctx.work(160_000, 300);
+        }
+
+        // Normal shutdown releases the victim properly.
+        if !victim_freed {
+            ctx.clear_root(0);
+            ctx.free(victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_under;
+    use safemem_core::{BugReport, SafeMem};
+
+    #[test]
+    fn safemem_detects_the_use_after_free() {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(120),
+            ..RunConfig::default()
+        };
+        let result = run_under(&Squid2, &mut os, &mut tool, &cfg);
+        assert!(
+            result.reports.iter().any(|r| matches!(
+                r,
+                BugReport::UseAfterFree { buffer_size: VICTIM_SIZE, .. }
+            )),
+            "{:?}",
+            result.reports
+        );
+    }
+
+    #[test]
+    fn normal_run_is_clean_and_balanced() {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { requests: Some(120), ..RunConfig::default() };
+        let result = run_under(&Squid2, &mut os, &mut tool, &cfg);
+        assert!(!result.corruption_detected(), "{:?}", result.reports);
+    }
+}

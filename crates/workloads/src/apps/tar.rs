@@ -1,0 +1,106 @@
+//! `tar`: an archiving utility with a **name-buffer overflow** (Table 1).
+//!
+//! Archive creation processes one file per iteration: a header record and a
+//! fixed 100-byte name buffer (the classic tar name field). One crafted
+//! entry carries an oversized name that the copy writes past the buffer.
+
+use crate::driver::{AppSpec, BugClass, Ctx, InputMode, RunConfig, Workload};
+use safemem_core::{GroupKey, MemTool};
+use safemem_os::Os;
+
+const APP_ID: u64 = 6;
+const SITE_HEADER: u64 = 1;
+const SITE_NAME: u64 = 2;
+const NAME_SIZE: u64 = 100;
+const LONG_NAME: usize = 160; // spills past the 128-byte line rounding
+
+/// The tar model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tar;
+
+impl Workload for Tar {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "tar",
+            loc: 34_000,
+            description: "an archiving utility",
+            bug: BugClass::Overflow,
+        }
+    }
+
+    fn default_requests(&self) -> u64 {
+        250 // files archived
+    }
+
+    fn true_leak_groups(&self) -> Vec<GroupKey> {
+        Vec::new()
+    }
+
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
+        let mut ctx = Ctx::new(os, tool, APP_ID, cfg.seed);
+        let files = cfg.requests.unwrap_or_else(|| self.default_requests());
+        let bad_file = files / 2;
+
+        for file in 0..files {
+            // stat() + open the file.
+            ctx.io(50_000);
+            let header = ctx.alloc(SITE_HEADER, 512);
+            let name = ctx.alloc(SITE_NAME, NAME_SIZE);
+
+            // Copy the file name into the fixed-size field. The bug: a
+            // crafted long path is copied without length checking.
+            let name_len = if cfg.input == InputMode::Buggy && file == bad_file {
+                LONG_NAME
+            } else {
+                (12 + ctx.rand(80)) as usize
+            };
+            ctx.fill(name, name_len, 0x2F);
+
+            // Checksum + write header and file data blocks.
+            ctx.fill(header, 512, 0x00);
+            ctx.work(400_000, 500);
+            ctx.touch(name, name_len.min(32));
+            ctx.touch(header, 512);
+            ctx.io(90_000);
+
+            ctx.free(name);
+            ctx.free(header);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_under;
+    use safemem_core::{BugReport, SafeMem};
+
+    #[test]
+    fn safemem_detects_the_name_overflow() {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(20),
+            ..RunConfig::default()
+        };
+        let result = run_under(&Tar, &mut os, &mut tool, &cfg);
+        assert!(
+            result.reports.iter().any(|r| matches!(
+                r,
+                BugReport::Overflow { buffer_size: NAME_SIZE, .. }
+            )),
+            "{:?}",
+            result.reports
+        );
+    }
+
+    #[test]
+    fn short_names_never_fault() {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { requests: Some(30), ..RunConfig::default() };
+        let result = run_under(&Tar, &mut os, &mut tool, &cfg);
+        assert!(result.reports.is_empty(), "{:?}", result.reports);
+    }
+}

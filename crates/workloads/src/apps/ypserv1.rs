@@ -1,0 +1,126 @@
+//! `ypserv1`: a NIS server with an **always-leak** (Table 1).
+//!
+//! Every request allocates a map-entry record that is stored into an
+//! in-memory map and — on every execution path — never freed: the classic
+//! ALeak. The group's live count grows one object per request while the
+//! group keeps allocating, which is exactly the paper's ALeak signature
+//! (§3.2.2). Seven long-lived pool objects at churned sites generate the
+//! 7 pre-pruning false positives of Table 5.
+
+use crate::driver::{group_of, AppSpec, BugClass, Ctx, FpPool, InputMode, RunConfig, Workload};
+use safemem_core::{GroupKey, MemTool};
+use safemem_os::Os;
+
+const APP_ID: u64 = 1;
+const SITE_REQ_BUF: u64 = 1;
+const SITE_MAP_ENTRY: u64 = 0x20;
+const SITE_FP_BASE: u64 = 0x30;
+const MAP_ENTRY_SIZE: u64 = 96;
+const FP_COUNT: usize = 7;
+const FP_SIZE: u64 = 128;
+
+/// The ypserv-with-ALeak model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ypserv1;
+
+impl Workload for Ypserv1 {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "ypserv1",
+            loc: 11_200,
+            description: "a NIS server",
+            bug: BugClass::ALeak,
+        }
+    }
+
+    fn default_requests(&self) -> u64 {
+        800
+    }
+
+    fn true_leak_groups(&self) -> Vec<GroupKey> {
+        vec![group_of(APP_ID, SITE_MAP_ENTRY, MAP_ENTRY_SIZE)]
+    }
+
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
+        let mut ctx = Ctx::new(os, tool, APP_ID, cfg.seed);
+        let requests = cfg.requests.unwrap_or_else(|| self.default_requests());
+        let fp = FpPool::init(&mut ctx, SITE_FP_BASE, FP_COUNT, FP_SIZE, 20, 0);
+        let mut map_entries: Vec<u64> = Vec::new();
+
+        for req in 0..requests {
+            // Receive the NIS lookup (network I/O, not CPU time).
+            ctx.io(20_000);
+            // Parse + hash the key.
+            ctx.work(300_000, 65);
+
+            // Scratch buffer for the reply.
+            let reply = ctx.alloc(SITE_REQ_BUF, 256);
+            ctx.fill(reply, 256, 0x11);
+
+            // The buggy path: a map entry is (re)built for the lookup and
+            // inserted, but no path ever frees the previous one.
+            let entry = ctx.alloc(SITE_MAP_ENTRY, MAP_ENTRY_SIZE);
+            ctx.fill(entry, MAP_ENTRY_SIZE as usize, 0x22);
+            if cfg.input == InputMode::Buggy {
+                map_entries.push(entry); // kept forever, never touched again
+            } else {
+                // Normal inputs exercise the cached-lookup path where the
+                // entry is consumed and released within the request.
+                ctx.touch(entry, MAP_ENTRY_SIZE as usize);
+                ctx.free(entry);
+            }
+
+            fp.churn(&mut ctx, req);
+            fp.touch(&mut ctx, req);
+
+            // Encode + send the reply.
+            ctx.work(300_000, 65);
+            ctx.touch(reply, 64);
+            ctx.free(reply);
+            ctx.io(15_000);
+        }
+        // Server keeps running; drop nothing at "exit" — a snapshot run.
+        let _ = map_entries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_under;
+    use safemem_core::{NullTool, SafeMem};
+
+    #[test]
+    fn baseline_run_is_clean() {
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = NullTool::new();
+        let cfg = RunConfig { requests: Some(100), ..RunConfig::default() };
+        let result = run_under(&Ypserv1, &mut os, &mut tool, &cfg);
+        assert!(result.reports.is_empty());
+        assert!(result.cpu_cycles > 0);
+    }
+
+    #[test]
+    fn safemem_detects_the_aleak_with_no_false_positives() {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(400),
+            ..RunConfig::default()
+        };
+        let result = run_under(&Ypserv1, &mut os, &mut tool, &cfg);
+        let truth = Ypserv1.true_leak_groups();
+        assert!(result.true_leaks(&truth) >= 1, "ALeak detected: {:?}", result.reports);
+        assert_eq!(result.false_leaks(&truth), 0, "no FPs after pruning: {:?}", result.reports);
+    }
+
+    #[test]
+    fn normal_input_produces_no_leak_reports() {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { requests: Some(400), ..RunConfig::default() };
+        let result = run_under(&Ypserv1, &mut os, &mut tool, &cfg);
+        assert_eq!(result.leak_groups().len(), 0, "{:?}", result.reports);
+    }
+}

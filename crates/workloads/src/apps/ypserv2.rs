@@ -1,0 +1,111 @@
+//! `ypserv2`: a NIS server version with a **sometimes-leak** (Table 1).
+//!
+//! Most requests free their lookup record, so the record group develops a
+//! small, stable maximal lifetime; a rare error path (taken on ~3 % of
+//! buggy-input requests) returns early without the free. The leaked records
+//! outlive the stable maximum by orders of magnitude — the SLeak signature
+//! of §3.2.2. Two pool objects generate the 2 pre-pruning false positives
+//! of Table 5.
+
+use crate::driver::{group_of, AppSpec, BugClass, Ctx, FpPool, InputMode, RunConfig, Workload};
+use safemem_core::{GroupKey, MemTool};
+use safemem_os::Os;
+
+const APP_ID: u64 = 4;
+const SITE_RECORD: u64 = 0x40;
+const SITE_REPLY: u64 = 2;
+const SITE_FP_BASE: u64 = 0x50;
+const RECORD_SIZE: u64 = 64;
+const FP_COUNT: usize = 2;
+const FP_SIZE: u64 = 192;
+
+/// The ypserv-with-SLeak model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ypserv2;
+
+impl Workload for Ypserv2 {
+    fn spec(&self) -> AppSpec {
+        AppSpec {
+            name: "ypserv2",
+            loc: 9_700,
+            description: "a NIS server",
+            bug: BugClass::SLeak,
+        }
+    }
+
+    fn default_requests(&self) -> u64 {
+        900
+    }
+
+    fn true_leak_groups(&self) -> Vec<GroupKey> {
+        vec![group_of(APP_ID, SITE_RECORD, RECORD_SIZE)]
+    }
+
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
+        let mut ctx = Ctx::new(os, tool, APP_ID, cfg.seed);
+        let requests = cfg.requests.unwrap_or_else(|| self.default_requests());
+        let fp = FpPool::init(&mut ctx, SITE_FP_BASE, FP_COUNT, FP_SIZE, 25, 0);
+
+        for req in 0..requests {
+            ctx.io(25_000);
+            ctx.work(350_000, 70);
+
+            let record = ctx.alloc(SITE_RECORD, RECORD_SIZE);
+            ctx.fill(record, RECORD_SIZE as usize, 0x33);
+
+            let reply = ctx.alloc(SITE_REPLY, 320);
+            ctx.fill(reply, 320, 0x44);
+            ctx.work(250_000, 70);
+            ctx.touch(reply, 128);
+            ctx.free(reply);
+
+            // The bug: a malformed-map error path returns early and skips
+            // freeing the record.
+            let error_path = cfg.input == InputMode::Buggy && ctx.chance(30);
+            if !error_path {
+                ctx.touch(record, RECORD_SIZE as usize);
+                ctx.free(record);
+            }
+
+            fp.churn(&mut ctx, req);
+            fp.touch(&mut ctx, req);
+            ctx.io(15_000);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_under;
+    use safemem_core::{NullTool, SafeMem};
+
+    #[test]
+    fn safemem_detects_the_sleak() {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(500),
+            ..RunConfig::default()
+        };
+        let result = run_under(&Ypserv2, &mut os, &mut tool, &cfg);
+        let truth = Ypserv2.true_leak_groups();
+        assert!(result.true_leaks(&truth) >= 1, "SLeak detected: {:?}", result.reports);
+        assert_eq!(result.false_leaks(&truth), 0, "{:?}", result.reports);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_op_sequences() {
+        // The overhead methodology requires run determinism.
+        let run = |seed| {
+            let mut os = Os::with_defaults(1 << 24);
+            let mut tool = NullTool::new();
+            // Buggy input exercises the seeded random error path.
+            let cfg = RunConfig { input: InputMode::Buggy, requests: Some(60), seed, ..RunConfig::default() };
+            run_under(&Ypserv2, &mut os, &mut tool, &cfg).cpu_cycles
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds take different paths");
+    }
+}

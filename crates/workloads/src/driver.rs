@@ -1,0 +1,414 @@
+//! Workload driver: the harness that runs an application model under a
+//! memory tool and collects the measurements the paper's tables need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safemem_alloc::HeapStats;
+use safemem_core::{BugReport, CallStack, GroupKey, MemTool};
+use safemem_os::{Os, STATIC_BASE};
+use std::fmt;
+
+/// Whether a run uses normal inputs (bug dormant — overhead measurements)
+/// or buggy inputs (bug triggered — detection measurements), per §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum InputMode {
+    /// Bug-free inputs: the program runs correctly to completion.
+    #[default]
+    Normal,
+    /// Bug-triggering inputs.
+    Buggy,
+}
+
+/// Parameters of one run.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunConfig {
+    /// Input mode.
+    pub input: InputMode,
+    /// Number of requests/iterations (`None` = the app's default scale).
+    pub requests: Option<u64>,
+    /// RNG seed — runs with equal seeds perform identical op sequences, so
+    /// overhead comparisons across tools are apples-to-apples.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { input: InputMode::Normal, requests: None, seed: 0x5AFE_3E3 }
+    }
+}
+
+/// The bug class an application contains (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BugClass {
+    /// An always-leak (never freed on any path).
+    ALeak,
+    /// A sometimes-leak (freed on most paths).
+    SLeak,
+    /// A heap buffer overflow.
+    Overflow,
+    /// An access to freed memory.
+    UseAfterFree,
+}
+
+impl BugClass {
+    /// Whether this is one of the memory-leak classes.
+    #[must_use]
+    pub fn is_leak(self) -> bool {
+        matches!(self, BugClass::ALeak | BugClass::SLeak)
+    }
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugClass::ALeak => write!(f, "memory leak (ALeak)"),
+            BugClass::SLeak => write!(f, "memory leak (SLeak)"),
+            BugClass::Overflow => write!(f, "buffer overflow"),
+            BugClass::UseAfterFree => write!(f, "access to freed memory"),
+        }
+    }
+}
+
+/// Static description of a tested application (Table 1 row).
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AppSpec {
+    /// Application name as used in the paper (e.g. "ypserv1").
+    pub name: &'static str,
+    /// Lines of code of the real application (Table 1; descriptive only).
+    pub loc: u32,
+    /// One-line description.
+    pub description: &'static str,
+    /// The bug the buggy version contains.
+    pub bug: BugClass,
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunResult {
+    /// Process CPU cycles consumed (the overhead metric of Table 3).
+    pub cpu_cycles: u64,
+    /// All bug reports the tool produced.
+    pub reports: Vec<BugReport>,
+    /// The tool's allocator statistics (the space metric of Table 4).
+    pub heap_stats: HeapStats,
+}
+
+impl RunResult {
+    /// Leak reports whose group is in `truth` (true positives).
+    #[must_use]
+    pub fn true_leaks(&self, truth: &[GroupKey]) -> usize {
+        self.leak_groups().iter().filter(|g| truth.contains(g)).count()
+    }
+
+    /// Leak reports whose group is *not* in `truth` (false positives — the
+    /// quantity of Table 5).
+    #[must_use]
+    pub fn false_leaks(&self, truth: &[GroupKey]) -> usize {
+        self.leak_groups().iter().filter(|g| !truth.contains(g)).count()
+    }
+
+    /// Distinct groups reported as leaks.
+    #[must_use]
+    pub fn leak_groups(&self) -> Vec<GroupKey> {
+        let mut groups: Vec<GroupKey> = self
+            .reports
+            .iter()
+            .filter_map(|r| match r {
+                BugReport::Leak { group, .. } => Some(*group),
+                _ => None,
+            })
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups
+    }
+
+    /// Whether any corruption bug was reported.
+    #[must_use]
+    pub fn corruption_detected(&self) -> bool {
+        self.reports.iter().any(BugReport::is_corruption)
+    }
+}
+
+/// An application model: a deterministic program driving the allocator and
+/// the simulated memory system through a [`MemTool`].
+pub trait Workload {
+    /// The Table 1 row for this application.
+    fn spec(&self) -> AppSpec;
+
+    /// Default request count for a representative run.
+    fn default_requests(&self) -> u64;
+
+    /// Runs the application under `tool`. Implementations must be
+    /// deterministic in (`cfg.input`, `cfg.requests`, `cfg.seed`).
+    fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig);
+
+    /// The object groups the injected bug actually leaks (empty for
+    /// corruption apps). Used to separate true from false positives.
+    fn true_leak_groups(&self) -> Vec<GroupKey>;
+}
+
+/// Runs a workload to completion under a tool and collects the result.
+pub fn run_under(workload: &dyn Workload, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) -> RunResult {
+    workload.run(os, tool, cfg);
+    tool.finish(os);
+    RunResult {
+        cpu_cycles: os.cpu_cycles(),
+        reports: tool.reports(),
+        heap_stats: tool.heap().stats(),
+    }
+}
+
+/// The group key of an allocation of `size` bytes at `site` inside app
+/// `app_id` — the standalone twin of [`Ctx::group`], used by workloads to
+/// declare their ground-truth leak groups without a live context.
+#[must_use]
+pub fn group_of(app_id: u64, site: u64, size: u64) -> GroupKey {
+    let frame = 0x40_0000 + app_id * 0x1_0000;
+    GroupKey::new(size, &CallStack::new(&[frame, frame + 0x100 + site]))
+}
+
+/// Per-app execution context: bundles the OS, the tool, a seeded RNG, and
+/// the synthetic call-stack machinery.
+pub struct Ctx<'a> {
+    /// The simulated OS.
+    pub os: &'a mut Os,
+    /// The tool under test.
+    pub tool: &'a mut dyn MemTool,
+    /// Deterministic randomness.
+    pub rng: StdRng,
+    app_frame: u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context for application `app_id` (distinct ids keep call
+    /// sites of different apps distinct).
+    pub fn new(os: &'a mut Os, tool: &'a mut dyn MemTool, app_id: u64, seed: u64) -> Self {
+        Ctx { os, tool, rng: StdRng::seed_from_u64(seed ^ app_id), app_frame: 0x40_0000 + app_id * 0x1_0000 }
+    }
+
+    /// The synthetic call stack for allocation site `site`.
+    #[must_use]
+    pub fn stack(&self, site: u64) -> CallStack {
+        CallStack::new(&[self.app_frame, self.app_frame + 0x100 + site])
+    }
+
+    /// The group key an allocation of `size` at `site` belongs to.
+    #[must_use]
+    pub fn group(&self, site: u64, size: u64) -> GroupKey {
+        GroupKey::new(size, &self.stack(site))
+    }
+
+    /// `malloc(size)` at `site`.
+    pub fn alloc(&mut self, site: u64, size: u64) -> u64 {
+        let stack = self.stack(site);
+        self.tool.malloc(self.os, size, &stack)
+    }
+
+    /// `free(addr)`.
+    pub fn free(&mut self, addr: u64) {
+        self.tool.free(self.os, addr);
+    }
+
+    /// Writes `len` bytes of pattern data at `addr`.
+    pub fn fill(&mut self, addr: u64, len: usize, byte: u8) {
+        let data = vec![byte; len];
+        self.tool.write(self.os, addr, &data);
+    }
+
+    /// Reads `len` bytes at `addr` (a "use" of the buffer).
+    pub fn touch(&mut self, addr: u64, len: usize) {
+        let mut buf = vec![0u8; len];
+        self.tool.read(self.os, addr, &mut buf);
+    }
+
+    /// Application computation: `cycles` of work with roughly
+    /// `density_permille` memory-access instructions per 1000 cycles.
+    pub fn work(&mut self, cycles: u64, density_permille: u64) {
+        let accesses = cycles * density_permille / 1000;
+        self.tool.compute(self.os, cycles, accesses);
+    }
+
+    /// Blocking I/O (excluded from CPU time).
+    pub fn io(&mut self, ns: u64) {
+        self.os.io_wait_ns(ns);
+    }
+
+    /// Stores a long-lived pointer into the static root table (slot index),
+    /// making the target reachable for conservative leak scanners.
+    pub fn store_root(&mut self, slot: u64, ptr: u64) {
+        self.tool.write(self.os, STATIC_BASE + slot * 8, &ptr.to_le_bytes());
+    }
+
+    /// Clears a root slot (the target becomes unreachable).
+    pub fn clear_root(&mut self, slot: u64) {
+        self.tool.write(self.os, STATIC_BASE + slot * 8, &0u64.to_le_bytes());
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn rand(&mut self, bound: u64) -> u64 {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Bernoulli draw with probability `permille`/1000.
+    pub fn chance(&mut self, permille: u64) -> bool {
+        self.rng.gen_range(0..1000) < permille
+    }
+}
+
+/// A pool of long-lived objects that generate leak *false positives*: each
+/// shares its allocation site (and size) with short-lived churn objects, so
+/// its group develops a small, stable maximal lifetime that the pool object
+/// vastly exceeds — flagging it as a suspect. Periodic touches then prove
+/// it alive, exercising SafeMem's ECC pruning (Table 5).
+pub struct FpPool {
+    sites: Vec<u64>,
+    objs: Vec<u64>,
+    size: u64,
+    touch_every: u64,
+    root_base: u64,
+}
+
+impl FpPool {
+    /// Allocates `n` pool objects of `size` bytes at sites
+    /// `site_base..site_base + n`, rooted at root slots
+    /// `root_base..root_base + n`, touched every `touch_every` requests.
+    pub fn init(ctx: &mut Ctx<'_>, site_base: u64, n: usize, size: u64, touch_every: u64, root_base: u64) -> Self {
+        let mut sites = Vec::with_capacity(n);
+        let mut objs = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let site = site_base + i;
+            let addr = ctx.alloc(site, size);
+            ctx.fill(addr, size as usize, 0xA0 + i as u8);
+            ctx.store_root(root_base + i, addr);
+            sites.push(site);
+            objs.push(addr);
+        }
+        FpPool { sites, objs, size, touch_every, root_base }
+    }
+
+    /// Per-request churn: a short-lived allocation from one pool site, so
+    /// the group's maximal lifetime stays small and stable.
+    pub fn churn(&self, ctx: &mut Ctx<'_>, request: u64) {
+        let site = self.sites[(request % self.sites.len() as u64) as usize];
+        let tmp = ctx.alloc(site, self.size);
+        ctx.fill(tmp, self.size as usize, 0x55);
+        ctx.work(20_000, 100);
+        ctx.free(tmp);
+    }
+
+    /// Periodic touches proving the pool objects live.
+    pub fn touch(&self, ctx: &mut Ctx<'_>, request: u64) {
+        if request > 0 && request % self.touch_every == 0 {
+            for &obj in &self.objs {
+                ctx.touch(obj, 16);
+            }
+        }
+    }
+
+    /// Tears the pool down (free everything) — used in normal-exit paths.
+    pub fn teardown(&self, ctx: &mut Ctx<'_>) {
+        for (i, &obj) in self.objs.iter().enumerate() {
+            ctx.clear_root(self.root_base + i as u64);
+            ctx.free(obj);
+        }
+    }
+
+    /// The group keys of the pool objects (the *potential* false positives).
+    #[must_use]
+    pub fn groups(&self, ctx: &Ctx<'_>) -> Vec<GroupKey> {
+        self.sites.iter().map(|&s| ctx.group(s, self.size)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safemem_core::{NullTool, SafeMem};
+    use safemem_os::Os;
+
+    #[test]
+    fn group_of_matches_ctx_group() {
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = NullTool::new();
+        let ctx = Ctx::new(&mut os, &mut tool, 3, 42);
+        assert_eq!(ctx.group(0x20, 96), group_of(3, 0x20, 96));
+        assert_ne!(group_of(3, 0x20, 96), group_of(4, 0x20, 96), "apps are distinct");
+        assert_ne!(group_of(3, 0x20, 96), group_of(3, 0x21, 96), "sites are distinct");
+    }
+
+    #[test]
+    fn run_result_classifies_leaks() {
+        use safemem_core::{BugReport, GroupKey, LeakKind};
+        let g1 = GroupKey { size: 8, signature: 1 };
+        let g2 = GroupKey { size: 8, signature: 2 };
+        let leak = |group| BugReport::Leak { addr: 0, size: 8, group, kind: LeakKind::SLeak, at_cpu_cycles: 0 };
+        let result = RunResult {
+            cpu_cycles: 1,
+            reports: vec![leak(g1), leak(g1), leak(g2)],
+            heap_stats: safemem_alloc::HeapStats::default(),
+        };
+        assert_eq!(result.leak_groups().len(), 2, "deduplicated by group");
+        assert_eq!(result.true_leaks(&[g1]), 1);
+        assert_eq!(result.false_leaks(&[g1]), 1);
+        assert!(!result.corruption_detected());
+    }
+
+    #[test]
+    fn fp_pool_objects_survive_and_prune() {
+        // A pool object watched as a suspect is pruned by its periodic
+        // touch and survives the run unreported.
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder()
+            .corruption_detection(false)
+            .leak_config(safemem_core::LeakConfig {
+                check_period: 10_000,
+                warmup: 0,
+                sleak_stable_threshold: 10_000,
+                report_after: 3_000_000,
+                ..safemem_core::LeakConfig::default()
+            })
+            .build(&mut os);
+        let mut ctx = Ctx::new(&mut os, &mut tool, 9, 1);
+        let pool = FpPool::init(&mut ctx, 0x10, 3, 128, 5, 0);
+        for req in 0..200 {
+            pool.churn(&mut ctx, req);
+            pool.touch(&mut ctx, req);
+            ctx.work(50_000, 100);
+        }
+        let stats = ctx.tool.reports();
+        assert!(
+            !stats.iter().any(safemem_core::BugReport::is_leak),
+            "pool objects must not be reported: {stats:?}"
+        );
+        pool.teardown(&mut ctx);
+    }
+
+    #[test]
+    fn ctx_roots_are_reachable_words() {
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = NullTool::new();
+        let mut ctx = Ctx::new(&mut os, &mut tool, 9, 1);
+        ctx.store_root(4, 0xABCD_1234);
+        assert_eq!(ctx.os.read_u64(safemem_os::STATIC_BASE + 32).unwrap(), 0xABCD_1234);
+        ctx.clear_root(4);
+        assert_eq!(ctx.os.read_u64(safemem_os::STATIC_BASE + 32).unwrap(), 0);
+    }
+
+    #[test]
+    fn chance_and_rand_are_bounded() {
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = NullTool::new();
+        let mut ctx = Ctx::new(&mut os, &mut tool, 9, 1);
+        for _ in 0..200 {
+            assert!(ctx.rand(7) < 7);
+        }
+        assert!((0..200).all(|_| !ctx.chance(0)), "0 permille never fires");
+        assert!((0..200).all(|_| ctx.chance(1000)), "1000 permille always fires");
+    }
+}

@@ -1,0 +1,77 @@
+//! The application registry: Table 1 as code.
+
+use crate::apps::{Gzip, Httpd, Proftpd, Squid1, Squid2, Tar, Ypserv1, Ypserv2};
+use crate::driver::Workload;
+
+/// All seven evaluated applications in the paper's Table 1/3 order:
+/// the memory-leak group first, then the memory-corruption group.
+#[must_use]
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Ypserv1),
+        Box::new(Proftpd),
+        Box::new(Squid1),
+        Box::new(Ypserv2),
+        Box::new(Gzip),
+        Box::new(Tar),
+        Box::new(Squid2),
+    ]
+}
+
+/// Extension workloads beyond the paper's Table 1 (the future-work
+/// direction of evaluating more applications).
+#[must_use]
+pub fn extension_workloads() -> Vec<Box<dyn Workload>> {
+    vec![Box::new(Httpd)]
+}
+
+/// Looks an application up by name, searching Table 1 first, then the
+/// extension workloads.
+#[must_use]
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads()
+        .into_iter()
+        .chain(extension_workloads())
+        .find(|w| w.spec().name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::BugClass;
+
+    #[test]
+    fn registry_matches_table_1() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 7);
+        let names: Vec<&str> = all.iter().map(|w| w.spec().name).collect();
+        assert_eq!(names, ["ypserv1", "proftpd", "squid1", "ypserv2", "gzip", "tar", "squid2"]);
+        let leaks = all.iter().filter(|w| w.spec().bug.is_leak()).count();
+        assert_eq!(leaks, 4, "four leak apps, three corruption apps");
+    }
+
+    #[test]
+    fn leak_apps_declare_ground_truth() {
+        for w in all_workloads() {
+            if w.spec().bug.is_leak() {
+                assert!(!w.true_leak_groups().is_empty(), "{}", w.spec().name);
+            } else {
+                assert!(w.true_leak_groups().is_empty(), "{}", w.spec().name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("gzip").is_some());
+        assert!(workload_by_name("nginx").is_none());
+        assert_eq!(workload_by_name("squid2").unwrap().spec().bug, BugClass::UseAfterFree);
+    }
+
+    #[test]
+    fn extensions_are_separate_from_table_1() {
+        assert_eq!(all_workloads().len(), 7, "Table 1 stays authoritative");
+        assert!(extension_workloads().iter().any(|w| w.spec().name == "httpd"));
+        assert!(workload_by_name("httpd").is_some(), "but reachable by name");
+    }
+}

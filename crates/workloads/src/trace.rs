@@ -1,0 +1,458 @@
+//! Allocation-trace record and replay.
+//!
+//! The paper's methodology depends on repeatable runs ("we use normal
+//! inputs so the memory leak bugs do not occur"). This module makes that a
+//! first-class artefact: a [`Trace`] is a serialisable list of the
+//! allocator/access operations a workload performed, which can be replayed
+//! against *any* tool — useful for regression-testing detector changes
+//! against frozen inputs, and for comparing tools on bit-identical op
+//! sequences without rerunning the workload logic.
+//!
+//! A [`Recorder`] wraps any [`MemTool`] and captures the op stream; replay
+//! re-issues it through another tool, translating recorded buffer ids to
+//! the replay tool's addresses (placements differ across layout policies).
+
+use crate::driver::RunResult;
+use safemem_core::{CallStack, MemTool};
+use safemem_os::Os;
+use std::collections::HashMap;
+
+/// One recorded operation. Buffers are identified by a dense id assigned at
+/// `Malloc` time, because absolute addresses differ across layout policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TraceOp {
+    /// `malloc(size)` with the given call-stack frames; binds the next id.
+    Malloc {
+        /// Requested size.
+        size: u64,
+        /// Call-stack frames (oldest first).
+        frames: Vec<u64>,
+    },
+    /// `free` of buffer `id`.
+    Free {
+        /// Buffer id from the corresponding `Malloc`.
+        id: u32,
+    },
+    /// Read of `len` bytes at `offset` within buffer `id`.
+    Read {
+        /// Buffer id.
+        id: u32,
+        /// Byte offset within the buffer (may exceed the payload for
+        /// recorded buggy accesses).
+        offset: i64,
+        /// Length.
+        len: u32,
+    },
+    /// Write of `len` bytes of `fill` at `offset` within buffer `id`.
+    Write {
+        /// Buffer id.
+        id: u32,
+        /// Byte offset within the buffer (may be negative or past the end
+        /// for recorded buggy accesses).
+        offset: i64,
+        /// Length.
+        len: u32,
+        /// Fill byte (traces store patterns, not payloads).
+        fill: u8,
+    },
+    /// CPU work: `cycles` with `mem_accesses` memory instructions.
+    Compute {
+        /// Cycles of work.
+        cycles: u64,
+        /// Memory-access instructions within.
+        mem_accesses: u64,
+    },
+    /// Blocking I/O of `ns` nanoseconds.
+    Io {
+        /// Nanoseconds of wait.
+        ns: u64,
+    },
+}
+
+/// A recorded operation stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Trace {
+    ops: Vec<TraceOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// The recorded operations.
+    #[must_use]
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends an operation (used by [`Recorder`]; also handy for building
+    /// synthetic traces in tests).
+    pub fn push(&mut self, op: TraceOp) {
+        self.ops.push(op);
+    }
+
+    /// Serialises to a compact line-oriented text format (one op per line).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for op in &self.ops {
+            match op {
+                TraceOp::Malloc { size, frames } => {
+                    let _ = write!(out, "M {size}");
+                    for f in frames {
+                        let _ = write!(out, " {f:#x}");
+                    }
+                    let _ = writeln!(out);
+                }
+                TraceOp::Free { id } => {
+                    let _ = writeln!(out, "F {id}");
+                }
+                TraceOp::Read { id, offset, len } => {
+                    let _ = writeln!(out, "R {id} {offset} {len}");
+                }
+                TraceOp::Write { id, offset, len, fill } => {
+                    let _ = writeln!(out, "W {id} {offset} {len} {fill}");
+                }
+                TraceOp::Compute { cycles, mem_accesses } => {
+                    let _ = writeln!(out, "C {cycles} {mem_accesses}");
+                }
+                TraceOp::Io { ns } => {
+                    let _ = writeln!(out, "I {ns}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Trace::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut trace = Trace::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let tag = parts.next().expect("non-empty line");
+            let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            let mut num = |what: &'static str| -> Result<u64, String> {
+                let tok = parts.next().ok_or_else(|| err(what))?;
+                match tok.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).map_err(|_| err(what)),
+                    None => tok.parse::<u64>().map_err(|_| err(what)),
+                }
+            };
+            match tag {
+                "M" => {
+                    let size = num("size")?;
+                    let mut frames = Vec::new();
+                    for tok in parts.by_ref() {
+                        let hex = tok.strip_prefix("0x").unwrap_or(tok);
+                        frames.push(u64::from_str_radix(hex, 16).map_err(|_| err("frame"))?);
+                    }
+                    trace.push(TraceOp::Malloc { size, frames });
+                }
+                "F" => trace.push(TraceOp::Free { id: num("id")? as u32 }),
+                "R" => {
+                    let id = num("id")? as u32;
+                    let offset = parts
+                        .next()
+                        .and_then(|t| t.parse::<i64>().ok())
+                        .ok_or_else(|| err("offset"))?;
+                    let len = parts
+                        .next()
+                        .and_then(|t| t.parse::<u32>().ok())
+                        .ok_or_else(|| err("len"))?;
+                    trace.push(TraceOp::Read { id, offset, len });
+                }
+                "W" => {
+                    let id = num("id")? as u32;
+                    let offset = parts
+                        .next()
+                        .and_then(|t| t.parse::<i64>().ok())
+                        .ok_or_else(|| err("offset"))?;
+                    let len = parts
+                        .next()
+                        .and_then(|t| t.parse::<u32>().ok())
+                        .ok_or_else(|| err("len"))?;
+                    let fill = parts
+                        .next()
+                        .and_then(|t| t.parse::<u8>().ok())
+                        .ok_or_else(|| err("fill"))?;
+                    trace.push(TraceOp::Write { id, offset, len, fill });
+                }
+                "C" => {
+                    let cycles = num("cycles")?;
+                    let mem = num("mem_accesses")?;
+                    trace.push(TraceOp::Compute { cycles, mem_accesses: mem });
+                }
+                "I" => trace.push(TraceOp::Io { ns: num("ns")? }),
+                _ => return Err(err("unknown op tag")),
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Replays the trace against a tool. Accesses whose buffer was freed or
+    /// never allocated are skipped (a trace replayed under a different
+    /// layout has no meaningful address for them).
+    pub fn replay(&self, os: &mut Os, tool: &mut dyn MemTool) -> RunResult {
+        let mut addrs: HashMap<u32, u64> = HashMap::new();
+        let mut next_id: u32 = 0;
+        for op in &self.ops {
+            match op {
+                TraceOp::Malloc { size, frames } => {
+                    let stack = CallStack::new(frames);
+                    let addr = tool.malloc(os, *size, &stack);
+                    addrs.insert(next_id, addr);
+                    next_id += 1;
+                }
+                TraceOp::Free { id } => {
+                    if let Some(addr) = addrs.remove(id) {
+                        tool.free(os, addr);
+                    }
+                }
+                TraceOp::Read { id, offset, len } => {
+                    if let Some(&addr) = addrs.get(id) {
+                        let mut buf = vec![0u8; *len as usize];
+                        tool.read(os, addr.wrapping_add_signed(*offset), &mut buf);
+                    }
+                }
+                TraceOp::Write { id, offset, len, fill } => {
+                    if let Some(&addr) = addrs.get(id) {
+                        let data = vec![*fill; *len as usize];
+                        tool.write(os, addr.wrapping_add_signed(*offset), &data);
+                    }
+                }
+                TraceOp::Compute { cycles, mem_accesses } => {
+                    tool.compute(os, *cycles, *mem_accesses);
+                }
+                TraceOp::Io { ns } => os.io_wait_ns(*ns),
+            }
+        }
+        tool.finish(os);
+        RunResult {
+            cpu_cycles: os.cpu_cycles(),
+            reports: tool.reports(),
+            heap_stats: tool.heap().stats(),
+        }
+    }
+}
+
+/// A [`MemTool`] wrapper that records every operation into a [`Trace`]
+/// while forwarding to the inner tool.
+pub struct Recorder<'a> {
+    inner: &'a mut dyn MemTool,
+    trace: Trace,
+    ids: HashMap<u64, u32>,
+    next_id: u32,
+}
+
+impl<'a> Recorder<'a> {
+    /// Wraps a tool.
+    pub fn new(inner: &'a mut dyn MemTool) -> Self {
+        Recorder { inner, trace: Trace::new(), ids: HashMap::new(), next_id: 0 }
+    }
+
+    /// Consumes the recorder, returning the captured trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// The buffer id and base address containing `addr`, if known. Accesses
+    /// outside every recorded buffer (e.g. to static roots) are recorded
+    /// relative to the nearest buffer at or below the address; accesses
+    /// before the first buffer are dropped from the trace.
+    fn locate(&self, addr: u64) -> Option<(u32, i64)> {
+        // Exact base match first, then containment via the inner heap.
+        if let Some(&id) = self.ids.get(&addr) {
+            return Some((id, 0));
+        }
+        let owner = self
+            .ids
+            .iter()
+            .filter(|(&base, _)| base <= addr)
+            .max_by_key(|(&base, _)| base)?;
+        Some((*owner.1, (addr - owner.0) as i64))
+    }
+}
+
+impl MemTool for Recorder<'_> {
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+
+    fn heap(&self) -> &safemem_alloc::Heap {
+        self.inner.heap()
+    }
+
+    fn malloc(&mut self, os: &mut Os, size: u64, stack: &CallStack) -> u64 {
+        let addr = self.inner.malloc(os, size, stack);
+        self.trace.push(TraceOp::Malloc { size, frames: stack.frames().to_vec() });
+        self.ids.insert(addr, self.next_id);
+        self.next_id += 1;
+        addr
+    }
+
+    fn free(&mut self, os: &mut Os, addr: u64) {
+        if let Some(id) = self.ids.remove(&addr) {
+            self.trace.push(TraceOp::Free { id });
+        }
+        self.inner.free(os, addr);
+    }
+
+    fn realloc(&mut self, os: &mut Os, addr: u64, new_size: u64, stack: &CallStack) -> u64 {
+        // Forward to the inner tool; record as malloc + free (the data copy
+        // is an artefact of the tools, not of the program).
+        let new_addr = self.inner.realloc(os, addr, new_size, stack);
+        self.trace.push(TraceOp::Malloc { size: new_size, frames: stack.frames().to_vec() });
+        let new_id = self.next_id;
+        self.next_id += 1;
+        if let Some(old_id) = self.ids.remove(&addr) {
+            self.trace.push(TraceOp::Free { id: old_id });
+        }
+        self.ids.insert(new_addr, new_id);
+        new_addr
+    }
+
+    fn read(&mut self, os: &mut Os, addr: u64, buf: &mut [u8]) {
+        if let Some((id, offset)) = self.locate(addr) {
+            self.trace.push(TraceOp::Read { id, offset, len: buf.len() as u32 });
+        }
+        self.inner.read(os, addr, buf);
+    }
+
+    fn write(&mut self, os: &mut Os, addr: u64, data: &[u8]) {
+        if let Some((id, offset)) = self.locate(addr) {
+            self.trace.push(TraceOp::Write {
+                id,
+                offset,
+                len: data.len() as u32,
+                fill: data.first().copied().unwrap_or(0),
+            });
+        }
+        self.inner.write(os, addr, data);
+    }
+
+    fn compute(&mut self, os: &mut Os, cycles: u64, mem_accesses: u64) {
+        self.trace.push(TraceOp::Compute { cycles, mem_accesses });
+        self.inner.compute(os, cycles, mem_accesses);
+    }
+
+    fn finish(&mut self, os: &mut Os) {
+        self.inner.finish(os);
+    }
+
+    fn reports(&self) -> Vec<safemem_core::BugReport> {
+        self.inner.reports()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{InputMode, RunConfig};
+    use safemem_core::{NullTool, SafeMem};
+
+    #[test]
+    fn text_roundtrip() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Malloc { size: 100, frames: vec![0x401000, 0x402000] });
+        t.push(TraceOp::Write { id: 0, offset: 0, len: 100, fill: 7 });
+        t.push(TraceOp::Read { id: 0, offset: 10, len: 20 });
+        t.push(TraceOp::Compute { cycles: 5000, mem_accesses: 100 });
+        t.push(TraceOp::Io { ns: 2000 });
+        t.push(TraceOp::Free { id: 0 });
+        let text = t.to_text();
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::from_text("X 1 2 3").is_err());
+        assert!(Trace::from_text("F notanumber").is_err());
+        assert!(Trace::from_text("# comment only\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn recorded_overflow_replays_against_safemem() {
+        // Record a buggy run under the baseline (which sees nothing)...
+        let mut os = Os::with_defaults(1 << 22);
+        let mut base = NullTool::new();
+        let mut recorder = Recorder::new(&mut base);
+        let stack = CallStack::new(&[0x1]);
+        let a = recorder.malloc(&mut os, 100, &stack);
+        recorder.write(&mut os, a, &[1u8; 100]);
+        recorder.write(&mut os, a + 130, &[9u8; 4]); // overflow
+        recorder.free(&mut os, a);
+        assert!(recorder.reports().is_empty(), "baseline sees nothing");
+        let trace = recorder.into_trace();
+
+        // ...then replay the identical ops under SafeMem: bug caught.
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+        let result = trace.replay(&mut os, &mut tool);
+        assert!(result.corruption_detected(), "{:?}", result.reports);
+    }
+
+    #[test]
+    fn workload_trace_replay_detects_same_bug() {
+        // Record gzip (buggy) through the recorder, replay under SafeMem.
+        let gzip = crate::registry::workload_by_name("gzip").unwrap();
+        let mut os = Os::with_defaults(1 << 25);
+        let mut base = NullTool::new();
+        let mut recorder = Recorder::new(&mut base);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(6),
+            ..RunConfig::default()
+        };
+        gzip.run(&mut os, &mut recorder, &cfg);
+        let trace = recorder.into_trace();
+        assert!(trace.len() > 50, "non-trivial trace: {} ops", trace.len());
+
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+        let result = trace.replay(&mut os, &mut tool);
+        assert!(result.corruption_detected(), "{:?}", result.reports);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Malloc { size: 64, frames: vec![0x1] });
+        t.push(TraceOp::Write { id: 0, offset: 0, len: 64, fill: 3 });
+        t.push(TraceOp::Compute { cycles: 10_000, mem_accesses: 500 });
+        t.push(TraceOp::Free { id: 0 });
+        let run = |t: &Trace| {
+            let mut os = Os::with_defaults(1 << 22);
+            let mut tool = SafeMem::builder().build(&mut os);
+            t.replay(&mut os, &mut tool).cpu_cycles
+        };
+        assert_eq!(run(&t), run(&t));
+    }
+}

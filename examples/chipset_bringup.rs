@@ -1,0 +1,70 @@
+//! Bringing SafeMem up on a "new chipset" through the narrow register
+//! interface real ECC controllers expose (paper §2.2.3: the prototype's ECC
+//! library is device-specific because controllers export a narrow, limited
+//! interface).
+//!
+//! Drives the whole WatchMemory arm/fault/diagnose/disarm cycle using only
+//! memory-mapped registers plus the data path — the sequence a port of
+//! SafeMem's kernel module performs on hardware.
+//!
+//! ```sh
+//! cargo run --release --example chipset_bringup
+//! ```
+
+use safemem::ecc::chipset::{Register, ERRSTS_LOG_VALID, ERRSTS_MULTI};
+use safemem::ecc::{Chipset, ScrambleScheme};
+
+fn main() {
+    println!("== chipset bring-up: SafeMem through the register interface ==\n");
+    let mut chip = Chipset::new(1 << 20);
+    let scheme = ScrambleScheme::default();
+
+    // 1. Probe the device: mode register, scrub capability.
+    chip.write_register(Register::ModeControl, 2); // Correct-Error
+    println!("mode register      : {:#x} (correct-error)", chip.read_register(Register::ModeControl));
+
+    // 2. Program data and arm a watchpoint with the Figure-2 sequence,
+    //    expressed purely as register writes around the data path.
+    let addr = 0x4000u64;
+    let original = 0x0123_4567_89AB_CDEFu64;
+    chip.controller_mut().write(addr, &original.to_le_bytes());
+
+    chip.write_register(Register::GlobalConfig, 0b11); // bus lock, ECC on
+    chip.write_register(Register::GlobalConfig, 0b10); // ECC off (lock held)
+    chip.controller_mut().write(addr, &scheme.apply(original).to_le_bytes());
+    chip.write_register(Register::GlobalConfig, 0b11); // ECC on
+    chip.write_register(Register::GlobalConfig, 0b01); // release bus
+    println!("watchpoint armed   : line {addr:#x}, bits {:?} flipped under stale code", scheme.bits());
+
+    // 3. The "program" touches the line: the access faults.
+    let mut buf = [0u8; 8];
+    let fault = chip.controller_mut().read(addr, &mut buf).unwrap_err();
+    println!("\nfirst access       : {fault}");
+
+    // 4. The interrupt handler reads the error log registers.
+    let status = chip.read_register(Register::ErrorStatus);
+    assert_ne!(status & ERRSTS_MULTI, 0);
+    assert_ne!(status & ERRSTS_LOG_VALID, 0);
+    let err_addr = chip.read_register(Register::ErrorAddress);
+    let syndrome = chip.read_register(Register::ErrorSyndrome);
+    println!("ERRSTS             : {status:#06x} (multi-bit, log valid)");
+    println!("ERRADDR / ERRSYN   : {err_addr:#x} / {syndrome:#04x}");
+    assert_eq!(syndrome as u8, scheme.syndrome(), "the scramble signature");
+
+    // 5. Signature check against the saved original, then disarm.
+    let raw = u64::from_le_bytes(chip.controller_mut().peek(addr, 8).try_into().expect("8 bytes"));
+    println!(
+        "signature check    : stored == original ⊕ mask → {}",
+        if scheme.matches(original, raw) { "ACCESS FAULT (watchpoint hit)" } else { "hardware error" }
+    );
+    chip.controller_mut().write(addr, &original.to_le_bytes());
+    chip.controller_mut().read(addr, &mut buf).expect("disarmed");
+    assert_eq!(u64::from_le_bytes(buf), original);
+    println!("disarmed           : original data restored, reads clean");
+
+    println!(
+        "\nEverything above used only {} registers — the portability surface a\n\
+         standardised software-friendly ECC interface (paper §2.2.3) would fix.",
+        5
+    );
+}

@@ -1,0 +1,66 @@
+//! ECC memory keeps doing its day job while SafeMem borrows it.
+//!
+//! Injects real memory faults — correctable single-bit flips and an
+//! uncorrectable multi-bit error on a *watched* line — during a monitored
+//! run, and shows that (1) single-bit errors are healed invisibly,
+//! (2) SafeMem distinguishes the multi-bit hardware error from its own
+//! watchpoint faults via the scramble signature (§2.2.2), and (3) the
+//! monitored program never sees corrupted data.
+//!
+//! ```sh
+//! cargo run --release --example hardware_errors
+//! ```
+
+use safemem::prelude::*;
+
+fn main() {
+    let mut os = Os::with_defaults(1 << 22);
+    let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+    let stack = CallStack::new(&[0x50_1000]);
+
+    println!("== hardware faults during a monitored run ==\n");
+
+    // A working set the 'program' keeps using.
+    let buffers: Vec<u64> = (0..8).map(|_| tool.malloc(&mut os, 512, &stack)).collect();
+    for (i, &b) in buffers.iter().enumerate() {
+        tool.write(&mut os, b, &vec![i as u8 + 1; 512]);
+    }
+
+    // Cosmic ray #1: a single-bit flip in live program data.
+    let victim = buffers[3];
+    let phys = os.vm().translate_resident(victim).expect("resident");
+    os.machine_mut().flush_range(phys, 64);
+    os.machine_mut().controller_mut().inject_data_error(phys, 17);
+    println!("injected 1-bit fault into buffer 3 …");
+
+    // Cosmic ray #2: a multi-bit burst right on one of SafeMem's own
+    // watched guard pads (scrambled data!).
+    let pad_phys = os.vm().translate_resident(buffers[5] - 64).expect("pad resident");
+    os.machine_mut().controller_mut().inject_multi_bit_error(pad_phys);
+    println!("injected 2-bit fault into the watched pad of buffer 5 …\n");
+
+    // The program keeps running: all data reads back intact.
+    for (i, &b) in buffers.iter().enumerate() {
+        let mut buf = vec![0u8; 512];
+        tool.read(&mut os, b, &mut buf);
+        assert!(buf.iter().all(|&x| x == i as u8 + 1), "buffer {i} corrupted!");
+    }
+    let ctl = os.machine().controller().stats();
+    println!("all 8 buffers verified intact.");
+    println!("  single-bit errors corrected transparently: {}", ctl.corrected_single_bit);
+
+    // The damaged pad: the program now (buggily) underflows into it. SafeMem
+    // sees an uncorrectable fault whose bits do NOT match the scramble
+    // signature and reports a hardware error alongside the overflow.
+    tool.read(&mut os, buffers[5] - 8, &mut [0u8; 4]);
+    for report in tool.all_reports() {
+        println!("  report: {report}");
+    }
+
+    let reports = tool.all_reports();
+    assert!(reports.iter().any(|r| matches!(r, BugReport::HardwareError { .. })));
+    println!(
+        "\nSafeMem distinguished the genuine hardware error from its own \
+         watchpoint faults\nusing the saved original + scramble signature — paper §2.2.2."
+    );
+}

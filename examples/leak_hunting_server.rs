@@ -1,0 +1,52 @@
+//! Leak hunting on a production server.
+//!
+//! Runs the `squid1` proxy model (buggy build) under SafeMem and shows the
+//! full §3 pipeline in action: lifetime learning, suspects, ECC pruning of
+//! false positives, and the final leak report — plus what the same run
+//! costs compared to an uninstrumented server.
+//!
+//! ```sh
+//! cargo run --release --example leak_hunting_server
+//! ```
+
+use safemem::prelude::*;
+
+fn main() {
+    let squid = workload_by_name("squid1").expect("registered workload");
+    println!("== hunting the {} leak ({}) ==\n", squid.spec().name, squid.spec().bug);
+
+    // Reference run: no tool, normal inputs.
+    let mut os = Os::with_defaults(1 << 26);
+    let mut baseline = NullTool::new();
+    let normal = RunConfig::default();
+    let base = run_under(squid.as_ref(), &mut os, &mut baseline, &normal);
+
+    // Production run: SafeMem, buggy inputs (the leak path is live).
+    let mut os = Os::with_defaults(1 << 26);
+    let mut tool = SafeMem::builder().build(&mut os);
+    let buggy = RunConfig { input: InputMode::Buggy, ..RunConfig::default() };
+    squid.run(&mut os, &mut tool, &buggy);
+    tool.finish(&mut os);
+
+    let stats = tool.leak_stats().expect("leak detection enabled");
+    println!("requests served, lifetime statistics learned:");
+    println!("  detection passes      : {}", stats.checks);
+    println!("  suspects ECC-watched  : {}", stats.suspects_flagged);
+    println!("  pruned on first access: {} (false positives avoided)", stats.suspects_pruned);
+    println!("  leaks reported        : {}\n", stats.leaks_reported);
+
+    let truth = squid.true_leak_groups();
+    for report in tool.all_reports().iter().filter(|r| r.is_leak()) {
+        let veridical = match report {
+            BugReport::Leak { group, .. } => truth.contains(group),
+            _ => false,
+        };
+        println!("  {report}  [{}]", if veridical { "TRUE LEAK" } else { "false positive" });
+    }
+
+    let overhead = (os.cpu_cycles() as f64 / base.cpu_cycles as f64 - 1.0) * 100.0;
+    println!(
+        "\nmonitoring cost vs uninstrumented run: ~{overhead:.1}% CPU \
+         (the paper reports 1.6–14.4% across its applications)"
+    );
+}

@@ -1,0 +1,55 @@
+//! Guarding a compression pipeline against overflows: ECC lines vs guard
+//! pages vs Purify-style shadow memory.
+//!
+//! Runs the `gzip` model (crafted input) under all three tools and compares
+//! what each catches and what each costs — the essence of Tables 3 and 4.
+//!
+//! ```sh
+//! cargo run --release --example overflow_guard
+//! ```
+
+use safemem::prelude::*;
+
+fn main() {
+    let gzip = workload_by_name("gzip").expect("registered workload");
+    let buggy = RunConfig { input: InputMode::Buggy, ..RunConfig::default() };
+    let normal = RunConfig::default();
+
+    println!("== {} with a crafted input block ==\n", gzip.spec().name);
+
+    // Baseline cost (normal input: identical op sequence, bug dormant).
+    let mut os = Os::with_defaults(1 << 26);
+    let mut tool = NullTool::new();
+    let base = run_under(gzip.as_ref(), &mut os, &mut tool, &normal);
+
+    let show = |name: &str, detected: bool, cycles: u64, waste: f64, base_cycles: u64| {
+        println!(
+            "  {name:<22} caught: {:<5} cost: {:>7.2}x   memory waste: {waste:>8.1}%",
+            if detected { "YES" } else { "no" },
+            cycles as f64 / base_cycles as f64,
+        );
+    };
+
+    // SafeMem: two watched cache lines around every buffer.
+    let mut os = Os::with_defaults(1 << 26);
+    let mut safemem = SafeMem::builder().build(&mut os);
+    let r = run_under(gzip.as_ref(), &mut os, &mut safemem, &buggy);
+    show("safemem (ECC lines)", r.corruption_detected(), r.cpu_cycles, r.heap_stats.overhead_percent(), base.cpu_cycles);
+
+    // Page guard: two PROT_NONE pages around every buffer.
+    let mut os = Os::with_defaults(1 << 26);
+    let mut pg = PageGuard::new();
+    let r = run_under(gzip.as_ref(), &mut os, &mut pg, &buggy);
+    show("page guard (mprotect)", r.corruption_detected(), r.cpu_cycles, r.heap_stats.overhead_percent(), base.cpu_cycles);
+
+    // Purify: every access checked against byte-granular shadow state.
+    let mut os = Os::with_defaults(1 << 26);
+    let mut purify = Purify::new();
+    let r = run_under(gzip.as_ref(), &mut os, &mut purify, &buggy);
+    show("purify (shadow mem)", r.corruption_detected(), r.cpu_cycles, r.heap_stats.overhead_percent(), base.cpu_cycles);
+
+    println!(
+        "\nAll three catch the overflow; only SafeMem does it at production-run \
+         cost\nwith cache-line-sized (not page-sized) memory waste."
+    );
+}

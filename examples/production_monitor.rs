@@ -1,0 +1,57 @@
+//! The headline experiment as a single program: deploy SafeMem on all seven
+//! buggy applications and verify every bug is found at production-run cost.
+//!
+//! ```sh
+//! cargo run --release --example production_monitor
+//! ```
+
+use safemem::prelude::*;
+
+fn main() {
+    println!("== SafeMem production monitoring: the seven applications ==\n");
+    println!(
+        "{:<10} {:<28} {:>9} {:>12} {:>10}",
+        "app", "bug", "detected", "overhead %", "FPs"
+    );
+
+    for app in all_workloads() {
+        let spec = app.spec();
+        let scale = |n: u64| Some(n / 2); // half-length runs keep the demo quick
+        let requests = scale(app.default_requests());
+
+        // Cost on normal inputs, vs the uninstrumented baseline.
+        let mut os = Os::with_defaults(1 << 26);
+        let mut baseline = NullTool::new();
+        let normal = RunConfig { requests, ..RunConfig::default() };
+        let base = run_under(app.as_ref(), &mut os, &mut baseline, &normal);
+
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let monitored = run_under(app.as_ref(), &mut os, &mut tool, &normal);
+        let overhead = (monitored.cpu_cycles as f64 / base.cpu_cycles as f64 - 1.0) * 100.0;
+
+        // Detection on buggy inputs.
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let buggy = RunConfig { input: InputMode::Buggy, requests, ..RunConfig::default() };
+        let result = run_under(app.as_ref(), &mut os, &mut tool, &buggy);
+
+        let truth = app.true_leak_groups();
+        let detected = if spec.bug.is_leak() {
+            result.true_leaks(&truth) > 0
+        } else {
+            result.corruption_detected()
+        };
+
+        println!(
+            "{:<10} {:<28} {:>9} {:>12.1} {:>10}",
+            spec.name,
+            spec.bug.to_string(),
+            if detected { "YES" } else { "NO" },
+            overhead,
+            result.false_leaks(&truth),
+        );
+    }
+
+    println!("\n(the paper's Table 3: all seven detected, 1.6–14.4% overhead)");
+}

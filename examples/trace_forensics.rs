@@ -1,0 +1,48 @@
+//! Forensics workflow: record a production incident, replay it in the lab.
+//!
+//! A production box runs uninstrumented (no overhead budget at all) but
+//! records the allocation/access trace. When a corruption incident is
+//! suspected, the trace ships to a lab machine where SafeMem replays it —
+//! catching the exact overflow — and the diagnosis module turns the reports
+//! into an actionable summary.
+//!
+//! ```sh
+//! cargo run --release --example trace_forensics
+//! ```
+
+use safemem::core::Diagnosis;
+use safemem::prelude::*;
+use safemem::workloads::Recorder;
+
+fn main() {
+    println!("== production: uninstrumented run, trace recorded ==\n");
+    let app = workload_by_name("httpd").expect("extension workload");
+    let mut os = Os::with_defaults(1 << 26);
+    let mut baseline = NullTool::new();
+    let mut recorder = Recorder::new(&mut baseline);
+    let cfg = RunConfig {
+        input: InputMode::Buggy,
+        requests: Some(300),
+        ..RunConfig::default()
+    };
+    app.run(&mut os, &mut recorder, &cfg);
+    let trace = recorder.into_trace();
+    println!("recorded {} operations; baseline saw {} reports (it checks nothing)", trace.len(), baseline.reports().len());
+
+    // The trace serialises to a shippable text artefact.
+    let text = trace.to_text();
+    println!("trace artefact: {} bytes of text\n", text.len());
+
+    println!("== lab: replay under SafeMem ==\n");
+    let trace = safemem::workloads::Trace::from_text(&text).expect("artefact parses");
+    let mut os = Os::with_defaults(1 << 26);
+    let mut tool = SafeMem::builder().build(&mut os);
+    let result = trace.replay(&mut os, &mut tool);
+
+    let diagnosis = Diagnosis::from_reports(&result.reports);
+    print!("{}", diagnosis.render());
+
+    assert!(result.corruption_detected(), "the incident reproduces");
+    println!("\nThe header overflow reproduced from the trace alone — no access to");
+    println!("the production machine, inputs, or timing needed.");
+}

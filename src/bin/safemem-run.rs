@@ -1,0 +1,29 @@
+//! `safemem-run`: run any Table-1 application under any memory tool from
+//! the command line. See `safemem-run --help`.
+
+use safemem::cli::Cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match cli.execute() {
+        Ok((result, summary)) => {
+            print!("{summary}");
+            if !cli.verbose {
+                for report in &result.reports {
+                    println!("  {report}");
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

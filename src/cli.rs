@@ -1,0 +1,330 @@
+//! Command-line interface of the `safemem-run` binary: run any of the seven
+//! evaluated applications under any tool, record/replay traces, and print
+//! reports and statistics.
+
+use crate::baselines::{Memcheck, PageGuard, Purify};
+use crate::core::{MemTool, NullTool, SafeMem};
+use crate::os::{Os, STATIC_BASE};
+use crate::workloads::{
+    all_workloads, run_under, workload_by_name, InputMode, Recorder, RunConfig, RunResult, Trace,
+};
+use std::fmt;
+
+/// Which tool to run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToolChoice {
+    /// Uninstrumented baseline.
+    None,
+    /// SafeMem with both detectors.
+    SafeMem,
+    /// SafeMem, leak detection only.
+    SafeMemMl,
+    /// SafeMem, corruption detection only.
+    SafeMemMc,
+    /// The Purify-class checker.
+    Purify,
+    /// The Memcheck-class checker.
+    Memcheck,
+    /// The page-guard tool.
+    PageGuard,
+}
+
+impl ToolChoice {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        Ok(match s {
+            "none" | "baseline" => ToolChoice::None,
+            "safemem" => ToolChoice::SafeMem,
+            "safemem-ml" => ToolChoice::SafeMemMl,
+            "safemem-mc" => ToolChoice::SafeMemMc,
+            "purify" => ToolChoice::Purify,
+            "memcheck" => ToolChoice::Memcheck,
+            "pageguard" | "page-guard" => ToolChoice::PageGuard,
+            other => return Err(CliError(format!("unknown tool {other:?}"))),
+        })
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Application name from Table 1.
+    pub app: String,
+    /// Tool to run under.
+    pub tool: ToolChoice,
+    /// Input mode.
+    pub input: InputMode,
+    /// Request count override.
+    pub requests: Option<u64>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Write the recorded op trace to this file.
+    pub trace_out: Option<String>,
+    /// Replay a trace file instead of running the app.
+    pub replay: Option<String>,
+    /// Print per-report details.
+    pub verbose: bool,
+    /// Print the kernel /proc snapshot after the run.
+    pub stats: bool,
+}
+
+/// A command-line parsing error, with usage guidance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text for `safemem-run`.
+#[must_use]
+pub fn usage() -> String {
+    let apps: Vec<&str> = all_workloads().iter().map(|w| w.spec().name).collect();
+    format!(
+        "safemem-run — run a Table-1 application under a memory tool\n\
+         \n\
+         USAGE:\n  safemem-run --app <name> [options]\n  safemem-run --replay <trace-file> [--tool <tool>]\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --app <name>        one of: {apps}\n\
+         \x20 --tool <tool>       none | safemem | safemem-ml | safemem-mc | purify | memcheck | pageguard (default safemem)\n\
+         \x20 --input <mode>      normal | buggy (default normal)\n\
+         \x20 --requests <n>      request count (default: the app's)\n\
+         \x20 --seed <n>          RNG seed (default 0x5AFE3E3)\n\
+         \x20 --trace-out <file>  record the op trace to <file>\n\
+         \x20 --replay <file>     replay a recorded trace instead of an app\n\
+         \x20 --verbose           print every report\n\
+         \x20 --stats             print the kernel /proc snapshot after the run\n\
+         \x20 --list              list the available applications\n",
+        apps = apps.join(" | ")
+    )
+}
+
+impl Cli {
+    /// Parses arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for unknown flags, missing values, or bad
+    /// numbers; the message explains which.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut cli = Cli {
+            app: String::new(),
+            tool: ToolChoice::SafeMem,
+            input: InputMode::Normal,
+            requests: None,
+            seed: 0x5AFE_3E3,
+            trace_out: None,
+            replay: None,
+            verbose: false,
+            stats: false,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
+            };
+            match arg.as_str() {
+                "--app" => cli.app = value("--app")?,
+                "--tool" => cli.tool = ToolChoice::parse(&value("--tool")?)?,
+                "--input" => {
+                    cli.input = match value("--input")?.as_str() {
+                        "normal" => InputMode::Normal,
+                        "buggy" => InputMode::Buggy,
+                        other => return Err(CliError(format!("unknown input mode {other:?}"))),
+                    }
+                }
+                "--requests" => {
+                    cli.requests = Some(
+                        value("--requests")?
+                            .parse()
+                            .map_err(|_| CliError("--requests needs an integer".into()))?,
+                    );
+                }
+                "--seed" => {
+                    cli.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| CliError("--seed needs an integer".into()))?;
+                }
+                "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
+                "--replay" => cli.replay = Some(value("--replay")?),
+                "--verbose" | "-v" => cli.verbose = true,
+                "--stats" => cli.stats = true,
+                "--list" => {
+                    let mut msg = String::from("applications:\n");
+                    for w in all_workloads().into_iter().chain(crate::workloads::extension_workloads()) {
+                        let s = w.spec();
+                        msg.push_str(&format!("  {:<10} {:<28} {}\n", s.name, s.bug.to_string(), s.description));
+                    }
+                    return Err(CliError(msg));
+                }
+                "--help" | "-h" => return Err(CliError(usage())),
+                other => return Err(CliError(format!("unknown flag {other:?}\n\n{}", usage()))),
+            }
+        }
+        if cli.app.is_empty() && cli.replay.is_none() {
+            return Err(CliError(format!("--app or --replay is required\n\n{}", usage())));
+        }
+        Ok(cli)
+    }
+
+    fn build_tool(&self, os: &mut Os) -> Box<dyn MemTool> {
+        match self.tool {
+            ToolChoice::None => Box::new(NullTool::new()),
+            ToolChoice::SafeMem => Box::new(SafeMem::builder().build(os)),
+            ToolChoice::SafeMemMl => {
+                Box::new(SafeMem::builder().corruption_detection(false).build(os))
+            }
+            ToolChoice::SafeMemMc => Box::new(SafeMem::builder().leak_detection(false).build(os)),
+            ToolChoice::Purify => {
+                let mut tool = Purify::new();
+                tool.add_root_range(STATIC_BASE, 4096);
+                Box::new(tool)
+            }
+            ToolChoice::Memcheck => {
+                let mut tool = Memcheck::new();
+                tool.add_root_range(STATIC_BASE, 4096);
+                Box::new(tool)
+            }
+            ToolChoice::PageGuard => Box::new(PageGuard::new()),
+        }
+    }
+
+    /// Executes the parsed command, returning the run's result and a
+    /// human-readable summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for unknown apps or unreadable/invalid traces.
+    pub fn execute(&self) -> Result<(RunResult, String), CliError> {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = self.build_tool(&mut os);
+
+        let result = if let Some(path) = &self.replay {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let trace = Trace::from_text(&text).map_err(CliError)?;
+            trace.replay(&mut os, tool.as_mut())
+        } else {
+            let workload = workload_by_name(&self.app)
+                .ok_or_else(|| CliError(format!("unknown app {:?}\n\n{}", self.app, usage())))?;
+            let cfg = RunConfig { input: self.input, requests: self.requests, seed: self.seed };
+            if let Some(path) = &self.trace_out {
+                let mut recorder = Recorder::new(tool.as_mut());
+                workload.run(&mut os, &mut recorder, &cfg);
+                let trace = recorder.into_trace();
+                std::fs::write(path, trace.to_text())
+                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                tool.finish(&mut os);
+                RunResult {
+                    cpu_cycles: os.cpu_cycles(),
+                    reports: tool.reports(),
+                    heap_stats: tool.heap().stats(),
+                }
+            } else {
+                run_under(workload.as_ref(), &mut os, tool.as_mut(), &cfg)
+            }
+        };
+
+        let mut summary = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            summary,
+            "cpu time: {:.3} ms simulated | allocs: {} | live: {} B | space overhead: {:.2}%",
+            os.cpu_ns() as f64 / 1e6,
+            result.heap_stats.allocs,
+            result.heap_stats.live_payload,
+            result.heap_stats.overhead_percent(),
+        );
+        let _ = writeln!(summary, "reports: {}", result.reports.len());
+        if self.stats {
+            let _ = write!(summary, "{}", safemem_os::procfs::snapshot(&os));
+        }
+        if self.verbose {
+            let _ = write!(summary, "{}", safemem_core::Diagnosis::from_reports(&result.reports).render());
+            let _ = writeln!(summary, "\n--- kernel log (tail) ---");
+            let entries: Vec<_> = os.kernel_log().entries().collect();
+            let tail = entries.len().saturating_sub(10);
+            for entry in &entries[tail..] {
+                let _ = writeln!(summary, "{entry}");
+            }
+        }
+        Ok((result, summary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, CliError> {
+        Cli::parse(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let cli = parse(&[
+            "--app", "gzip", "--tool", "purify", "--input", "buggy", "--requests", "42",
+            "--seed", "7", "--verbose",
+        ])
+        .unwrap();
+        assert_eq!(cli.app, "gzip");
+        assert_eq!(cli.tool, ToolChoice::Purify);
+        assert_eq!(cli.input, InputMode::Buggy);
+        assert_eq!(cli.requests, Some(42));
+        assert_eq!(cli.seed, 7);
+        assert!(cli.verbose);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--app"]).is_err());
+        assert!(parse(&["--app", "gzip", "--tool", "asan"]).is_err());
+        assert!(parse(&["--app", "gzip", "--requests", "many"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn executes_a_buggy_run_end_to_end() {
+        let cli = parse(&[
+            "--app", "tar", "--tool", "safemem", "--input", "buggy", "--requests", "20",
+        ])
+        .unwrap();
+        let (result, summary) = cli.execute().unwrap();
+        assert!(result.corruption_detected());
+        assert!(summary.contains("reports:"));
+    }
+
+    #[test]
+    fn unknown_app_is_a_clean_error() {
+        let cli = parse(&["--app", "nginx"]).unwrap();
+        assert!(cli.execute().is_err());
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("safemem-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gzip.trace");
+        let path_str = path.to_str().unwrap().to_string();
+
+        // Record a buggy gzip run under the baseline.
+        let record = parse(&[
+            "--app", "gzip", "--tool", "none", "--input", "buggy", "--requests", "6",
+            "--trace-out", &path_str,
+        ])
+        .unwrap();
+        let (base_result, _) = record.execute().unwrap();
+        assert!(base_result.reports.is_empty(), "baseline sees nothing");
+
+        // Replay under SafeMem: the recorded overflow is caught.
+        let replay = parse(&["--replay", &path_str, "--tool", "safemem-mc"]).unwrap();
+        let (result, _) = replay.execute().unwrap();
+        assert!(result.corruption_detected(), "{:?}", result.reports);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,65 @@
+//! # SafeMem — a full reproduction of the HPCA 2005 paper
+//!
+//! *"SafeMem: Exploiting ECC-Memory for Detecting Memory Leaks and Memory
+//! Corruption During Production Runs"* (Feng Qin, Shan Lu, Yuanyuan Zhou).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`ecc`] | `safemem-ecc` | SEC-DED(72,64) codec, ECC memory + controller, scramble trick |
+//! | [`cache`] | `safemem-cache` | exclusive write-back cache hierarchy |
+//! | [`machine`] | `safemem-machine` | clock + cost model + physical access path |
+//! | [`os`] | `safemem-os` | virtual memory, the three SafeMem syscalls, fault routing |
+//! | [`alloc`] | `safemem-alloc` | heap allocator with the four layout policies |
+//! | [`core`] | `safemem-core` | **the paper's contribution**: leak + corruption detection |
+//! | [`baselines`] | `safemem-baselines` | Purify-class checker, page-guard tool |
+//! | [`workloads`] | `safemem-workloads` | the seven evaluated applications |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use safemem::prelude::*;
+//!
+//! // A simulated machine with ECC memory, and SafeMem watching the heap.
+//! let mut os = Os::with_defaults(1 << 22);
+//! let mut tool = SafeMem::builder().build(&mut os);
+//!
+//! // A 100-byte buffer...
+//! let site = CallStack::new(&[0x401000]);
+//! let buf = tool.malloc(&mut os, 100, &site);
+//! tool.write(&mut os, buf, &[0u8; 100]);
+//!
+//! // ...and a classic off-by-N overflow: caught by the watched padding.
+//! tool.write(&mut os, buf + 120, &[1u8; 16]);
+//! assert!(tool.all_reports().iter().any(|r| r.is_corruption()));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and the `safemem-bench` crate for
+//! the code regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use safemem_alloc as alloc;
+pub use safemem_baselines as baselines;
+pub use safemem_cache as cache;
+pub use safemem_core as core;
+pub use safemem_ecc as ecc;
+pub use safemem_machine as machine;
+pub use safemem_os as os;
+pub use safemem_workloads as workloads;
+
+/// The most commonly used items, for `use safemem::prelude::*`.
+pub mod prelude {
+    pub use safemem_baselines::{PageGuard, Purify};
+    pub use safemem_core::{
+        BugReport, CallStack, GroupKey, LeakConfig, LeakKind, MemTool, NullTool, SafeMem,
+    };
+    pub use safemem_os::{Os, OsConfig, OsFault, SwapPolicy};
+    pub use safemem_workloads::{
+        all_workloads, run_under, workload_by_name, InputMode, RunConfig, Workload,
+    };
+}

@@ -1,0 +1,153 @@
+//! The headline result as an integration test: SafeMem detects all seven
+//! bugs (Table 3's "Detected?" column), with false positives matching
+//! Table 5, while the baseline and the dormant (normal-input) runs stay
+//! silent.
+
+use safemem::prelude::*;
+
+fn half_scale(app: &dyn Workload) -> Option<u64> {
+    Some(app.default_requests() / 2)
+}
+
+#[test]
+fn safemem_detects_every_bug_in_table_1() {
+    for app in all_workloads() {
+        let spec = app.spec();
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: half_scale(app.as_ref()),
+            ..RunConfig::default()
+        };
+        let result = run_under(app.as_ref(), &mut os, &mut tool, &cfg);
+        let truth = app.true_leak_groups();
+        let detected = if spec.bug.is_leak() {
+            result.true_leaks(&truth) > 0
+        } else {
+            result.corruption_detected()
+        };
+        assert!(detected, "{} bug not detected: {:?}", spec.name, result.reports);
+    }
+}
+
+#[test]
+fn normal_inputs_never_report_corruption() {
+    for app in all_workloads() {
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { requests: half_scale(app.as_ref()), ..RunConfig::default() };
+        let result = run_under(app.as_ref(), &mut os, &mut tool, &cfg);
+        assert!(
+            !result.corruption_detected(),
+            "{}: corruption FP on normal input: {:?}",
+            app.spec().name,
+            result.reports
+        );
+    }
+}
+
+#[test]
+fn false_positive_counts_match_table_5_shape() {
+    // ECC pruning removes (nearly) all false positives; without it every
+    // long-lived-but-live object is misreported.
+    for app in all_workloads() {
+        if !app.spec().bug.is_leak() {
+            continue;
+        }
+        let truth = app.true_leak_groups();
+
+        let mut os = Os::with_defaults(1 << 26);
+        let mut with_pruning = SafeMem::builder().build(&mut os);
+        let cfg = RunConfig { input: InputMode::Buggy, ..RunConfig::default() };
+        let after = run_under(app.as_ref(), &mut os, &mut with_pruning, &cfg);
+
+        let mut os = Os::with_defaults(1 << 26);
+        let mut without = SafeMem::builder()
+            .leak_config(LeakConfig { prune_with_ecc: false, ..LeakConfig::default() })
+            .build(&mut os);
+        let before = run_under(app.as_ref(), &mut os, &mut without, &cfg);
+
+        let name = app.spec().name;
+        assert!(
+            before.false_leaks(&truth) >= 2,
+            "{name}: expected several FPs without pruning, got {}",
+            before.false_leaks(&truth)
+        );
+        assert!(
+            after.false_leaks(&truth) <= 1,
+            "{name}: pruning must remove almost all FPs, got {}",
+            after.false_leaks(&truth)
+        );
+        assert!(
+            after.false_leaks(&truth) < before.false_leaks(&truth),
+            "{name}: pruning must strictly help"
+        );
+    }
+}
+
+#[test]
+fn purify_also_detects_the_corruption_bugs() {
+    for name in ["gzip", "tar", "squid2"] {
+        let app = workload_by_name(name).unwrap();
+        let mut os = Os::with_defaults(1 << 26);
+        let mut tool = Purify::new();
+        tool.add_root_range(safemem_os::STATIC_BASE, 4096);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: half_scale(app.as_ref()),
+            ..RunConfig::default()
+        };
+        let result = run_under(app.as_ref(), &mut os, &mut tool, &cfg);
+        assert!(result.corruption_detected(), "{name}: {:?}", result.reports);
+    }
+}
+
+#[test]
+fn safemem_is_orders_of_magnitude_cheaper_than_purify() {
+    // The core Table 3 claim, as an invariant.
+    let app = workload_by_name("gzip").unwrap();
+    let cfg = RunConfig { requests: Some(15), ..RunConfig::default() };
+
+    let mut os = Os::with_defaults(1 << 26);
+    let mut null = NullTool::new();
+    let base = run_under(app.as_ref(), &mut os, &mut null, &cfg);
+
+    let mut os = Os::with_defaults(1 << 26);
+    let mut sm = SafeMem::builder().build(&mut os);
+    let safemem = run_under(app.as_ref(), &mut os, &mut sm, &cfg);
+
+    let mut os = Os::with_defaults(1 << 26);
+    let mut pf = Purify::new();
+    let purify = run_under(app.as_ref(), &mut os, &mut pf, &cfg);
+
+    let sm_overhead = safemem.cpu_cycles as f64 / base.cpu_cycles as f64 - 1.0;
+    let pf_overhead = purify.cpu_cycles as f64 / base.cpu_cycles as f64 - 1.0;
+    assert!(sm_overhead < 0.20, "SafeMem overhead {sm_overhead:.3} too high");
+    assert!(pf_overhead > 4.0, "Purify overhead {pf_overhead:.2} too low");
+    assert!(
+        pf_overhead / sm_overhead > 50.0,
+        "reduction factor {:.0} below 2 orders of magnitude",
+        pf_overhead / sm_overhead
+    );
+}
+
+#[test]
+fn ecc_wastes_far_less_space_than_page_protection() {
+    // The core Table 4 claim, as an invariant.
+    for name in ["proftpd", "gzip"] {
+        let app = workload_by_name(name).unwrap();
+        let cfg = RunConfig { requests: half_scale(app.as_ref()), ..RunConfig::default() };
+
+        let mut os = Os::with_defaults(1 << 26);
+        let mut sm = SafeMem::builder().build(&mut os);
+        let ecc = run_under(app.as_ref(), &mut os, &mut sm, &cfg);
+
+        let mut os = Os::with_defaults(1 << 26);
+        let mut pg = PageGuard::new();
+        let page = run_under(app.as_ref(), &mut os, &mut pg, &cfg);
+
+        let ratio = page.heap_stats.overhead_percent() / ecc.heap_stats.overhead_percent();
+        assert!(ratio > 30.0, "{name}: waste reduction only {ratio:.0}x");
+    }
+}

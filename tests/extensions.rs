@@ -1,0 +1,185 @@
+//! Integration tests for the features the paper proposes as extensions or
+//! future work, and for the additional baselines.
+
+use safemem::baselines::Memcheck;
+use safemem::prelude::*;
+use safemem_os::STATIC_BASE;
+
+/// §4's uninitialised-read extension, end to end: a workload-sized scenario
+/// where a parser reads a field that was never written.
+#[test]
+fn uninit_read_extension_end_to_end() {
+    let mut os = Os::with_defaults(1 << 24);
+    let mut tool = SafeMem::builder()
+        .leak_detection(false)
+        .uninit_detection(true)
+        .build(&mut os);
+    let stack = CallStack::new(&[0x1]);
+
+    // A "message" buffer where only the header is filled in...
+    let msg = tool.malloc(&mut os, 256, &stack);
+    tool.write(&mut os, msg, &[0xAB; 64]);
+    // ...reading the header is fine (the first write disarmed those lines)...
+    let mut hdr = [0u8; 64];
+    tool.read(&mut os, msg, &mut hdr);
+    assert_eq!(hdr, [0xAB; 64]);
+    let before = tool.all_reports().len();
+    // ...but reading the never-written body is the bug.
+    let mut body = [0u8; 8];
+    tool.read(&mut os, msg + 128, &mut body);
+    let reports = tool.all_reports();
+    assert!(reports.len() > before);
+    assert!(
+        reports.iter().any(|r| matches!(r, BugReport::UninitRead { buffer_addr, .. } if *buffer_addr == msg)),
+        "{reports:?}"
+    );
+}
+
+/// Wider paddings (§4: "could easily use longer paddings") catch overflows
+/// that skip past a single guard line.
+#[test]
+fn wide_paddings_catch_skipping_overflows() {
+    let skip = 130u64; // lands beyond a 64-byte pad, inside a 256-byte one
+
+    let mut os = Os::with_defaults(1 << 24);
+    let mut narrow = SafeMem::builder().leak_detection(false).pad_lines(1).build(&mut os);
+    let stack = CallStack::new(&[0x2]);
+    let a = narrow.malloc(&mut os, 64, &stack);
+    narrow.write(&mut os, a + 64 + skip, &[1]);
+    assert!(
+        !narrow.all_reports().iter().any(|r| r.is_corruption()),
+        "a 1-line pad must miss a {skip}-byte skip"
+    );
+
+    let mut os = Os::with_defaults(1 << 24);
+    let mut wide = SafeMem::builder().leak_detection(false).pad_lines(4).build(&mut os);
+    let b = wide.malloc(&mut os, 64, &stack);
+    wide.write(&mut os, b + 64 + skip, &[1]);
+    assert!(
+        wide.all_reports().iter().any(|r| r.is_corruption()),
+        "a 4-line pad must catch it: {:?}",
+        wide.all_reports()
+    );
+}
+
+/// The Memcheck baseline detects the corruption apps' bugs too, at an even
+/// higher cost than Purify's on low-density workloads.
+#[test]
+fn memcheck_detects_and_costs_more() {
+    let gzip = workload_by_name("gzip").unwrap();
+    let cfg = RunConfig {
+        input: InputMode::Buggy,
+        requests: Some(12),
+        ..RunConfig::default()
+    };
+    let mut os = Os::with_defaults(1 << 26);
+    let mut tool = Memcheck::new();
+    tool.add_root_range(STATIC_BASE, 4096);
+    let result = run_under(gzip.as_ref(), &mut os, &mut tool, &cfg);
+    assert!(result.corruption_detected(), "{:?}", result.reports);
+
+    // Cost comparison on the low-density ypserv1 (where interpretation
+    // dominates): memcheck must exceed purify.
+    let ypserv = workload_by_name("ypserv1").unwrap();
+    let cfg = RunConfig { requests: Some(60), ..RunConfig::default() };
+
+    let mut os = Os::with_defaults(1 << 26);
+    let mut null = NullTool::new();
+    let base = run_under(ypserv.as_ref(), &mut os, &mut null, &cfg);
+
+    let mut os = Os::with_defaults(1 << 26);
+    let mut purify = Purify::new();
+    let p = run_under(ypserv.as_ref(), &mut os, &mut purify, &cfg);
+
+    let mut os = Os::with_defaults(1 << 26);
+    let mut memcheck = Memcheck::new();
+    let m = run_under(ypserv.as_ref(), &mut os, &mut memcheck, &cfg);
+
+    let px = p.cpu_cycles as f64 / base.cpu_cycles as f64;
+    let mx = m.cpu_cycles as f64 / base.cpu_cycles as f64;
+    assert!(mx > px, "memcheck {mx:.1}x should exceed purify {px:.1}x here");
+    assert!(mx > 10.0);
+}
+
+/// The swap-aware watch policy sustains leak detection when the pinning
+/// policy would refuse to watch (all memory pinned).
+#[test]
+fn swap_aware_leak_detection_under_pressure() {
+    let config = OsConfig {
+        phys_bytes: 96 * 4096,
+        swap_policy: SwapPolicy::SwapAware,
+        ..OsConfig::default()
+    };
+    let mut os = Os::new(config);
+    let mut tool = SafeMem::builder()
+        .corruption_detection(false)
+        .leak_config(LeakConfig {
+            check_period: 50_000,
+            warmup: 0,
+            sleak_stable_threshold: 50_000,
+            report_after: 3_000_000,
+            ..LeakConfig::default()
+        })
+        .build(&mut os);
+    let stack = CallStack::new(&[0x3]);
+
+    // A leak plus enough live data to outgrow physical memory.
+    let leaked = tool.malloc(&mut os, 64, &stack);
+    let ballast: Vec<u64> = (0..128).map(|_| tool.malloc(&mut os, 4096, &CallStack::new(&[0x4]))).collect();
+    for &b in &ballast {
+        tool.write(&mut os, b, &[1u8; 4096]);
+    }
+    for _ in 0..200 {
+        let t = tool.malloc(&mut os, 64, &stack);
+        os.compute(100_000);
+        tool.free(&mut os, t);
+    }
+    os.compute(6_000_000);
+    tool.finish(&mut os);
+
+    assert!(os.vm().stats().swap_outs > 0, "memory pressure must be real");
+    assert!(
+        tool.all_reports()
+            .iter()
+            .any(|r| matches!(r, BugReport::Leak { addr, .. } if *addr == leaked)),
+        "{:?}",
+        tool.all_reports()
+    );
+}
+
+/// The breakpoint facility freezes the first corruption across a whole
+/// workload run.
+#[test]
+fn breakpoint_set_on_workload_bug() {
+    let tar = workload_by_name("tar").unwrap();
+    let mut os = Os::with_defaults(1 << 26);
+    let mut tool = SafeMem::builder().build(&mut os);
+    let cfg = RunConfig {
+        input: InputMode::Buggy,
+        requests: Some(30),
+        ..RunConfig::default()
+    };
+    tar.run(&mut os, &mut tool, &cfg);
+    let bp = tool.breakpoint().expect("bug hit → breakpoint set");
+    assert!(bp.is_corruption());
+}
+
+/// With the `serde` feature, the data-structure types implement
+/// Serialize/Deserialize (guideline C-SERDE).
+#[cfg(feature = "serde")]
+#[test]
+fn serde_impls_exist() {
+    fn check<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    check::<safemem::core::BugReport>();
+    check::<safemem::core::GroupKey>();
+    check::<safemem::core::LeakConfig>();
+    check::<safemem::alloc::HeapStats>();
+    check::<safemem::os::OsStats>();
+    check::<safemem::os::KernelEvent>();
+    check::<safemem::ecc::EccFault>();
+    check::<safemem::ecc::ControllerStats>();
+    check::<safemem::cache::CacheConfig>();
+    check::<safemem::machine::CostModel>();
+    check::<safemem::workloads::Trace>();
+    check::<safemem::workloads::RunResult>();
+}

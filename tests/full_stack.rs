@@ -1,0 +1,144 @@
+//! Integration tests across the whole stack: codec → controller → cache →
+//! machine → OS → detectors, exercised together.
+
+use safemem::prelude::*;
+use safemem_os::{HEAP_BASE, PAGE_BYTES};
+
+/// A watchpoint armed through the OS must survive a full scrub pass, a
+/// hardware single-bit error next door, and cache pressure — and still trap
+/// exactly the first access.
+#[test]
+fn watchpoint_survives_hostile_environment() {
+    let mut os = Os::with_defaults(1 << 22);
+    os.register_ecc_fault_handler();
+    os.machine_mut()
+        .controller_mut()
+        .set_mode(safemem::ecc::EccMode::CorrectAndScrub);
+
+    os.vwrite(HEAP_BASE, &[0x42; 64]).unwrap();
+    os.watch_memory(HEAP_BASE, 64).unwrap();
+
+    // Hardware error on a *different* line: corrected invisibly.
+    os.vwrite(HEAP_BASE + 4096, &[7; 64]).unwrap();
+    let phys = os.vm().translate_resident(HEAP_BASE + 4096).unwrap();
+    os.machine_mut().flush_range(phys, 64);
+    os.machine_mut().controller_mut().inject_data_error(phys, 3);
+    let mut buf = [0u8; 64];
+    os.vread(HEAP_BASE + 4096, &mut buf).unwrap();
+    assert_eq!(buf, [7; 64]);
+
+    // A scrub cycle (disarm → scan → re-arm).
+    os.run_scrub_cycle();
+
+    // Cache pressure: stream through far more data than the caches hold.
+    for i in 0..512u64 {
+        os.vwrite(HEAP_BASE + 64 * 1024 + i * 64, &[i as u8; 64]).unwrap();
+    }
+
+    // The watchpoint still fires on the first touch, with a clean signature.
+    let fault = os.vread(HEAP_BASE + 8, &mut [0u8; 4]).unwrap_err();
+    match fault {
+        OsFault::Ecc(user) => {
+            assert!(user.signature_ok);
+            assert_eq!(user.region_vaddr, HEAP_BASE);
+        }
+        other => panic!("expected ECC fault, got {other:?}"),
+    }
+
+    // And disarming restores the data bit-exactly.
+    os.disable_watch_memory(HEAP_BASE).unwrap();
+    let mut buf = [0u8; 64];
+    os.vread(HEAP_BASE, &mut buf).unwrap();
+    assert_eq!(buf, [0x42; 64]);
+}
+
+/// The swap-aware extension keeps SafeMem working under memory pressure
+/// that would defeat the pinning policy.
+#[test]
+fn safemem_detects_overflow_under_swap_pressure() {
+    let config = OsConfig {
+        phys_bytes: 20 * PAGE_BYTES,
+        swap_policy: SwapPolicy::SwapAware,
+        ..OsConfig::default()
+    };
+    let mut os = Os::new(config);
+    let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+    let stack = CallStack::new(&[0x1]);
+
+    // Allocate and keep alive more buffers than physical memory holds.
+    let buffers: Vec<u64> = (0..24).map(|_| tool.malloc(&mut os, 4096, &stack)).collect();
+    for (i, &b) in buffers.iter().enumerate() {
+        tool.write(&mut os, b, &vec![i as u8; 4096]);
+    }
+    assert!(os.vm().stats().swap_outs > 0, "swap must actually occur");
+
+    // Every buffer's contents survived swap round trips.
+    for (i, &b) in buffers.iter().enumerate() {
+        let mut buf = vec![0u8; 4096];
+        tool.read(&mut os, b, &mut buf);
+        assert_eq!(buf, vec![i as u8; 4096], "buffer {i}");
+    }
+
+    // An overflow into a (possibly swapped and re-armed) pad is still caught.
+    tool.write(&mut os, buffers[0] + 4096, &[0xFF; 8]);
+    assert!(tool.all_reports().iter().any(|r| r.is_corruption()));
+}
+
+/// A real hardware error on a watched pad is distinguished from an access
+/// fault and reported as such, end to end.
+#[test]
+fn hardware_error_differentiation_end_to_end() {
+    let mut os = Os::with_defaults(1 << 22);
+    let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+    let stack = CallStack::new(&[0x2]);
+    let buf = tool.malloc(&mut os, 64, &stack);
+
+    // Corrupt the scrambled back pad with additional flips.
+    let pad = buf + 64;
+    let phys = os.vm().translate_resident(pad).unwrap();
+    os.machine_mut().controller_mut().inject_multi_bit_error(phys);
+
+    // The overflowing access reports both the hardware error and the bug.
+    tool.write(&mut os, pad, &[1]);
+    let reports = tool.all_reports();
+    assert!(
+        reports.iter().any(|r| matches!(r, BugReport::HardwareError { .. })),
+        "{reports:?}"
+    );
+}
+
+/// The three syscalls validate their arguments per the paper's contract.
+#[test]
+fn syscall_contracts() {
+    let mut os = Os::with_defaults(1 << 22);
+    os.register_ecc_fault_handler();
+    // Must be line-aligned.
+    assert!(os.watch_memory(HEAP_BASE + 4, 64).is_err());
+    assert!(os.watch_memory(HEAP_BASE, 65).is_err());
+    // Whole-region disable only.
+    os.watch_memory(HEAP_BASE, 128).unwrap();
+    assert!(os.disable_watch_memory(HEAP_BASE + 64).is_err());
+    os.disable_watch_memory(HEAP_BASE).unwrap();
+    // Watching uses pinned pages; unwatch releases them.
+    assert_eq!(os.vm().stats().pinned_pages, 0);
+}
+
+/// CPU-time accounting excludes I/O as §3 requires: a server that idles
+/// between requests shows the same CPU time as a busy one doing equal work.
+#[test]
+fn cpu_time_excludes_idle_periods() {
+    let run = |idle_ns: u64| {
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let stack = CallStack::new(&[0x3]);
+        for _ in 0..50 {
+            let a = tool.malloc(&mut os, 128, &stack);
+            tool.write(&mut os, a, &[1; 128]);
+            os.compute(10_000);
+            os.io_wait_ns(idle_ns);
+            tool.free(&mut os, a);
+        }
+        os.cpu_cycles()
+    };
+    assert_eq!(run(0), run(1_000_000), "idle time must not affect CPU time");
+}

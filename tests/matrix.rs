@@ -1,0 +1,110 @@
+//! The full tool × application matrix, at reduced scale: every tool must
+//! run every workload to completion (both input modes) without panicking,
+//! and cross-tool invariants must hold on every cell.
+
+use safemem::baselines::Memcheck;
+use safemem::prelude::*;
+use safemem_os::STATIC_BASE;
+
+fn run_cell(tool_name: &str, app: &dyn Workload, input: InputMode) -> safemem::workloads::RunResult {
+    let mut os = Os::with_defaults(1 << 26);
+    let cfg = RunConfig {
+        input,
+        requests: Some((app.default_requests() / 6).max(20)),
+        ..RunConfig::default()
+    };
+    match tool_name {
+        "none" => {
+            let mut tool = NullTool::new();
+            run_under(app, &mut os, &mut tool, &cfg)
+        }
+        "safemem" => {
+            let mut tool = SafeMem::builder().build(&mut os);
+            run_under(app, &mut os, &mut tool, &cfg)
+        }
+        "purify" => {
+            let mut tool = Purify::new();
+            tool.add_root_range(STATIC_BASE, 4096);
+            run_under(app, &mut os, &mut tool, &cfg)
+        }
+        "memcheck" => {
+            let mut tool = Memcheck::new();
+            tool.add_root_range(STATIC_BASE, 4096);
+            run_under(app, &mut os, &mut tool, &cfg)
+        }
+        "pageguard" => {
+            let mut tool = PageGuard::new();
+            run_under(app, &mut os, &mut tool, &cfg)
+        }
+        other => panic!("unknown tool {other}"),
+    }
+}
+
+#[test]
+fn every_tool_completes_every_app() {
+    for app in all_workloads() {
+        for tool in ["none", "safemem", "purify", "memcheck", "pageguard"] {
+            for input in [InputMode::Normal, InputMode::Buggy] {
+                let result = run_cell(tool, app.as_ref(), input);
+                assert!(result.cpu_cycles > 0, "{tool}/{}/{input:?}", app.spec().name);
+            }
+        }
+    }
+}
+
+#[test]
+fn allocation_counts_agree_across_tools_on_normal_input() {
+    // Same seed + same request count ⇒ identical op sequences, so every
+    // tool's allocator must see the same number of allocations.
+    for app in all_workloads() {
+        let reference = run_cell("none", app.as_ref(), InputMode::Normal).heap_stats.allocs;
+        for tool in ["safemem", "purify", "pageguard"] {
+            let allocs = run_cell(tool, app.as_ref(), InputMode::Normal).heap_stats.allocs;
+            assert_eq!(allocs, reference, "{tool} on {}", app.spec().name);
+        }
+    }
+}
+
+#[test]
+fn baseline_is_always_cheapest_and_purify_always_heaviest() {
+    for app in all_workloads() {
+        let name = app.spec().name;
+        let base = run_cell("none", app.as_ref(), InputMode::Normal).cpu_cycles;
+        let safemem = run_cell("safemem", app.as_ref(), InputMode::Normal).cpu_cycles;
+        let purify = run_cell("purify", app.as_ref(), InputMode::Normal).cpu_cycles;
+        assert!(base <= safemem, "{name}: baseline ≤ safemem");
+        assert!(safemem < purify, "{name}: safemem < purify");
+    }
+}
+
+#[test]
+fn normal_inputs_are_corruption_clean_under_every_checker() {
+    for app in all_workloads() {
+        for tool in ["safemem", "purify", "memcheck", "pageguard"] {
+            let result = run_cell(tool, app.as_ref(), InputMode::Normal);
+            assert!(
+                !result.corruption_detected(),
+                "{tool} false positive on {}: {:?}",
+                app.spec().name,
+                result.reports
+            );
+        }
+    }
+}
+
+#[test]
+fn corruption_bugs_found_by_byte_granular_checkers_too() {
+    // Purify and Memcheck check at byte granularity, so they catch the
+    // corruption bugs SafeMem catches (Table 3's comparison premise).
+    for name in ["gzip", "tar", "squid2"] {
+        let app = workload_by_name(name).unwrap();
+        for tool in ["safemem", "purify", "memcheck"] {
+            let result = run_cell(tool, app.as_ref(), InputMode::Buggy);
+            assert!(
+                result.corruption_detected(),
+                "{tool} missed the {name} bug: {:?}",
+                result.reports
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Workspace-level property tests: SafeMem must be *transparent* to correct
+//! programs (no false corruption reports, bit-exact data) and its heap must
+//! behave identically to the baseline's from the program's point of view.
+
+use proptest::prelude::*;
+use safemem::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { site: u64, size: u64 },
+    /// Free the i-th oldest live buffer.
+    Free(usize),
+    /// Write a pattern somewhere strictly inside the i-th live buffer.
+    Write { which: usize, offset_permille: u16, len_permille: u16 },
+    /// Read back and check a prefix of the i-th live buffer.
+    Check(usize),
+    Compute(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            ((1u64..8), (1u64..2000)).prop_map(|(site, size)| Op::Alloc { site, size }),
+            (0usize..32).prop_map(Op::Free),
+            ((0usize..32), (0u16..1000), (1u16..1000))
+                .prop_map(|(which, offset_permille, len_permille)| Op::Write {
+                    which,
+                    offset_permille,
+                    len_permille
+                }),
+            (0usize..32).prop_map(Op::Check),
+            (1_000u64..100_000).prop_map(Op::Compute),
+        ],
+        1..60,
+    )
+}
+
+fn execute(tool: &mut dyn MemTool, os: &mut Os, ops: &[Op]) -> Vec<(u64, Vec<u8>)> {
+    let mut live: Vec<(u64, u64, u8)> = Vec::new(); // (addr, size, fill)
+    let mut fill = 0u8;
+    for op in ops {
+        match *op {
+            Op::Alloc { site, size } => {
+                let stack = CallStack::new(&[0x400_000, site]);
+                let addr = tool.malloc(os, size, &stack);
+                fill = fill.wrapping_add(1);
+                tool.write(os, addr, &vec![fill; size as usize]);
+                live.push((addr, size, fill));
+            }
+            Op::Free(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (addr, _, _) = live.remove(i % live.len());
+                tool.free(os, addr);
+            }
+            Op::Write { which, offset_permille, len_permille } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = which % live.len();
+                let (addr, size, _) = live[idx];
+                let offset = u64::from(offset_permille) * size / 1000;
+                let len = (u64::from(len_permille) * (size - offset) / 1000).max(1);
+                fill = fill.wrapping_add(1);
+                tool.write(os, addr + offset, &vec![fill; len as usize]);
+                // Restore a uniform fill so Check stays simple.
+                tool.write(os, addr, &vec![fill; size as usize]);
+                live[idx].2 = fill;
+            }
+            Op::Check(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (addr, size, expected) = live[i % live.len()];
+                let mut buf = vec![0u8; size as usize];
+                tool.read(os, addr, &mut buf);
+                assert!(buf.iter().all(|&b| b == expected), "data corrupted");
+            }
+            Op::Compute(cycles) => tool.compute(os, cycles, cycles / 4),
+        }
+    }
+    live.iter()
+        .map(|&(addr, size, fill)| (addr, vec![fill; size as usize]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A correct random program under full SafeMem: zero corruption
+    /// reports, zero hardware panics, bit-exact data.
+    #[test]
+    fn prop_safemem_transparent_to_correct_programs(ops in ops()) {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let live = execute(&mut tool, &mut os, &ops);
+        for (addr, expected) in live {
+            let mut buf = vec![0u8; expected.len()];
+            tool.read(&mut os, addr, &mut buf);
+            prop_assert_eq!(buf, expected);
+        }
+        prop_assert!(
+            !tool.all_reports().iter().any(|r| r.is_corruption()),
+            "false corruption report: {:?}",
+            tool.all_reports()
+        );
+        prop_assert_eq!(os.stats().hardware_panics, 0);
+    }
+
+    /// The same program under the Purify model is also clean (the two tools
+    /// agree on correct programs).
+    #[test]
+    fn prop_purify_agrees_on_correct_programs(ops in ops()) {
+        let mut os = Os::with_defaults(1 << 25);
+        let mut tool = Purify::new();
+        let _ = execute(&mut tool, &mut os, &ops);
+        prop_assert!(
+            !tool.reports().iter().any(|r| r.is_corruption()),
+            "false report: {:?}",
+            tool.reports()
+        );
+    }
+
+    /// SafeMem's overhead is essentially never negative. (A small credit is
+    /// tolerated: SafeMem's cache-line-aligned layout can genuinely improve
+    /// cache behaviour over the baseline's 16-byte alignment, so a run
+    /// dominated by accesses to small unaligned buffers may come out
+    /// marginally ahead before the monitoring costs are added.)
+    #[test]
+    fn prop_overhead_is_essentially_nonnegative(ops in ops()) {
+        let mut os_a = Os::with_defaults(1 << 25);
+        let mut base = NullTool::new();
+        execute(&mut base, &mut os_a, &ops);
+
+        let mut os_b = Os::with_defaults(1 << 25);
+        let mut tool = SafeMem::builder().build(&mut os_b);
+        execute(&mut tool, &mut os_b, &ops);
+
+        prop_assert!(os_b.cpu_cycles() as f64 >= os_a.cpu_cycles() as f64 * 0.95);
+    }
+
+    /// Overflows of every size ≥ the line-rounding slack are caught, at any
+    /// buffer size.
+    #[test]
+    fn prop_overflow_beyond_rounding_always_caught(
+        size in 1u64..3000,
+        overflow in 1u64..64,
+    ) {
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+        let stack = CallStack::new(&[0x9]);
+        let addr = tool.malloc(&mut os, size, &stack);
+        let rounded = size.div_ceil(64) * 64;
+        // First byte past the rounded payload is in the watched pad.
+        tool.write(&mut os, addr + rounded + overflow - 1, &[0xEE]);
+        prop_assert!(
+            tool.all_reports().iter().any(|r| r.is_corruption()),
+            "overflow at rounded+{overflow} missed for size {size}"
+        );
+    }
+}
