@@ -189,11 +189,10 @@ impl Memcheck {
             .live_allocations()
             .filter(|a| !marked.contains(&a.addr) && !quarantined.contains(&a.addr))
             .map(|a| {
-                let group = self
-                    .groups
-                    .get(&a.addr)
-                    .copied()
-                    .unwrap_or(GroupKey { size: a.payload, signature: 0 });
+                let group = self.groups.get(&a.addr).copied().unwrap_or(GroupKey {
+                    size: a.payload,
+                    signature: 0,
+                });
                 (a.addr, a.payload, group)
             })
             .collect();
@@ -230,7 +229,8 @@ impl MemTool for Memcheck {
 
     fn malloc(&mut self, os: &mut Os, size: u64, stack: &CallStack) -> u64 {
         let allocation = self.heap.alloc(os, size).expect("heap exhausted");
-        self.groups.insert(allocation.addr, GroupKey::new(size, stack));
+        self.groups
+            .insert(allocation.addr, GroupKey::new(size, stack));
         self.charge_access(os, size as usize);
         allocation.addr
     }
@@ -267,12 +267,14 @@ impl MemTool for Memcheck {
 
     fn read(&mut self, os: &mut Os, addr: u64, buf: &mut [u8]) {
         self.check_access(os, addr, buf.len(), AccessKind::Read);
-        os.vread(addr, buf).expect("memcheck runs without watchpoints");
+        os.vread(addr, buf)
+            .expect("memcheck runs without watchpoints");
     }
 
     fn write(&mut self, os: &mut Os, addr: u64, data: &[u8]) {
         self.check_access(os, addr, data.len(), AccessKind::Write);
-        os.vwrite(addr, data).expect("memcheck runs without watchpoints");
+        os.vwrite(addr, data)
+            .expect("memcheck runs without watchpoints");
     }
 
     fn compute(&mut self, os: &mut Os, cycles: u64, mem_accesses: u64) {
@@ -298,7 +300,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (Os, Memcheck, CallStack) {
-        (Os::with_defaults(1 << 24), Memcheck::new(), CallStack::new(&[0x400_000]))
+        (
+            Os::with_defaults(1 << 24),
+            Memcheck::new(),
+            CallStack::new(&[0x400_000]),
+        )
     }
 
     #[test]
@@ -314,7 +320,10 @@ mod tests {
         }
         let mut buf = [0u8; 8];
         tool.read(&mut os, a, &mut buf);
-        assert!(tool.reports().iter().any(|r| matches!(r, BugReport::UseAfterFree { .. })));
+        assert!(tool
+            .reports()
+            .iter()
+            .any(|r| matches!(r, BugReport::UseAfterFree { .. })));
     }
 
     #[test]
@@ -330,7 +339,10 @@ mod tests {
             reused |= t == a;
             tool.free(&mut os, t);
         }
-        assert!(reused, "block must eventually leave quarantine and be reused");
+        assert!(
+            reused,
+            "block must eventually leave quarantine and be reused"
+        );
     }
 
     #[test]
@@ -339,7 +351,10 @@ mod tests {
         let a = tool.malloc(&mut os, 32, &stack);
         tool.free(&mut os, a);
         tool.free(&mut os, a);
-        assert!(tool.reports().iter().any(|r| matches!(r, BugReport::WildFree { .. })));
+        assert!(tool
+            .reports()
+            .iter()
+            .any(|r| matches!(r, BugReport::WildFree { .. })));
     }
 
     #[test]
@@ -347,7 +362,10 @@ mod tests {
         let (mut os, mut tool, stack) = setup();
         let a = tool.malloc(&mut os, 20, &stack);
         tool.write(&mut os, a, &[1u8; 21]);
-        assert!(tool.reports().iter().any(|r| matches!(r, BugReport::Overflow { .. })));
+        assert!(tool
+            .reports()
+            .iter()
+            .any(|r| matches!(r, BugReport::Overflow { .. })));
     }
 
     #[test]
@@ -357,7 +375,10 @@ mod tests {
         tool.compute(&mut os, 1_000, 100);
         let spent = os.cpu_cycles() - t0;
         let cfg = MemcheckConfig::default();
-        assert_eq!(spent, 1_000 * cfg.interpretation_factor + 100 * cfg.check_cycles_per_access);
+        assert_eq!(
+            spent,
+            1_000 * cfg.interpretation_factor + 100 * cfg.check_cycles_per_access
+        );
     }
 
     #[test]

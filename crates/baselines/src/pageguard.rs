@@ -64,7 +64,8 @@ impl PageGuard {
     fn handle_segv(&mut self, os: &mut Os, vaddr: u64, access: safemem_os::AccessKind) -> bool {
         let page = vaddr & !(PAGE_BYTES - 1);
         if let Some(info) = self.guards.remove(&page) {
-            os.mprotect(page, PAGE_BYTES, Prot::READ_WRITE).expect("guard page unprotect");
+            os.mprotect(page, PAGE_BYTES, Prot::READ_WRITE)
+                .expect("guard page unprotect");
             self.reports.push(BugReport::Overflow {
                 buffer_addr: info.buffer_addr,
                 buffer_size: info.buffer_size,
@@ -84,7 +85,8 @@ impl PageGuard {
             .map(|(&start, &info)| (start, info));
         if let Some((start, (addr, size, base))) = hit {
             let len = size.div_ceil(PAGE_BYTES) * PAGE_BYTES;
-            os.mprotect(start, len, Prot::READ_WRITE).expect("freed unprotect");
+            os.mprotect(start, len, Prot::READ_WRITE)
+                .expect("freed unprotect");
             self.freed.remove(&start);
             self.freed_by_base.remove(&base);
             self.reports.push(BugReport::UseAfterFree {
@@ -120,11 +122,13 @@ impl MemTool for PageGuard {
         if let Some(start) = self.freed_by_base.remove(&allocation.base) {
             if let Some((_, fsize, _)) = self.freed.remove(&start) {
                 let len = fsize.div_ceil(PAGE_BYTES) * PAGE_BYTES;
-                os.mprotect(start, len, Prot::READ_WRITE).expect("freed unprotect");
+                os.mprotect(start, len, Prot::READ_WRITE)
+                    .expect("freed unprotect");
             }
         }
         let (front, back) = Self::guard_pages(&allocation);
-        os.mprotect(front, PAGE_BYTES, Prot::NONE).expect("front guard");
+        os.mprotect(front, PAGE_BYTES, Prot::NONE)
+            .expect("front guard");
         self.guards.insert(
             front,
             GuardInfo {
@@ -133,7 +137,8 @@ impl MemTool for PageGuard {
                 side: OverflowSide::Before,
             },
         );
-        os.mprotect(back, PAGE_BYTES, Prot::NONE).expect("back guard");
+        os.mprotect(back, PAGE_BYTES, Prot::NONE)
+            .expect("back guard");
         self.guards.insert(
             back,
             GuardInfo {
@@ -153,12 +158,14 @@ impl MemTool for PageGuard {
         let (front, back) = Self::guard_pages(&record);
         for page in [front, back] {
             if self.guards.remove(&page).is_some() {
-                os.mprotect(page, PAGE_BYTES, Prot::READ_WRITE).expect("guard unprotect");
+                os.mprotect(page, PAGE_BYTES, Prot::READ_WRITE)
+                    .expect("guard unprotect");
             }
         }
         let (start, len) = Self::payload_pages(&record);
         os.mprotect(start, len, Prot::NONE).expect("freed protect");
-        self.freed.insert(start, (record.addr, record.payload, record.base));
+        self.freed
+            .insert(start, (record.addr, record.payload, record.base));
         self.freed_by_base.insert(record.base, start);
     }
 
@@ -181,7 +188,10 @@ impl MemTool for PageGuard {
             match os.vread(addr, buf) {
                 Ok(()) => return,
                 Err(OsFault::Segv { vaddr, access }) => {
-                    assert!(self.handle_segv(os, vaddr, access), "unowned SEGV at {vaddr:#x}");
+                    assert!(
+                        self.handle_segv(os, vaddr, access),
+                        "unowned SEGV at {vaddr:#x}"
+                    );
                 }
                 Err(fault) => panic!("unexpected fault under pageguard: {fault}"),
             }
@@ -194,7 +204,10 @@ impl MemTool for PageGuard {
             match os.vwrite(addr, data) {
                 Ok(()) => return,
                 Err(OsFault::Segv { vaddr, access }) => {
-                    assert!(self.handle_segv(os, vaddr, access), "unowned SEGV at {vaddr:#x}");
+                    assert!(
+                        self.handle_segv(os, vaddr, access),
+                        "unowned SEGV at {vaddr:#x}"
+                    );
                 }
                 Err(fault) => panic!("unexpected fault under pageguard: {fault}"),
             }
@@ -214,7 +227,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (Os, PageGuard, CallStack) {
-        (Os::with_defaults(1 << 24), PageGuard::new(), CallStack::new(&[0x400_000]))
+        (
+            Os::with_defaults(1 << 24),
+            PageGuard::new(),
+            CallStack::new(&[0x400_000]),
+        )
     }
 
     #[test]
@@ -224,10 +241,13 @@ mod tests {
         tool.write(&mut os, a, &[1u8; 100]);
         // Page-guard granularity: the bug must reach the guard *page*.
         tool.write(&mut os, a + PAGE_BYTES, &[9]);
-        assert!(tool
-            .reports()
-            .iter()
-            .any(|r| matches!(r, BugReport::Overflow { side: OverflowSide::After, .. })));
+        assert!(tool.reports().iter().any(|r| matches!(
+            r,
+            BugReport::Overflow {
+                side: OverflowSide::After,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -236,10 +256,13 @@ mod tests {
         let a = tool.malloc(&mut os, 100, &stack);
         let mut buf = [0u8; 1];
         tool.read(&mut os, a - 1, &mut buf);
-        assert!(tool
-            .reports()
-            .iter()
-            .any(|r| matches!(r, BugReport::Overflow { side: OverflowSide::Before, .. })));
+        assert!(tool.reports().iter().any(|r| matches!(
+            r,
+            BugReport::Overflow {
+                side: OverflowSide::Before,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -250,7 +273,10 @@ mod tests {
         tool.free(&mut os, a);
         let mut buf = [0u8; 8];
         tool.read(&mut os, a, &mut buf);
-        assert!(tool.reports().iter().any(|r| matches!(r, BugReport::UseAfterFree { .. })));
+        assert!(tool
+            .reports()
+            .iter()
+            .any(|r| matches!(r, BugReport::UseAfterFree { .. })));
         // Reuse lifts the protection.
         let b = tool.malloc(&mut os, 64, &stack);
         assert_eq!(b, a, "free-list reuse expected");

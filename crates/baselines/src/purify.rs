@@ -190,7 +190,10 @@ impl Purify {
             })
         });
         if uninit {
-            self.reports.push(BugReport::UninitRead { buffer_addr: alloc_addr, access_vaddr: addr });
+            self.reports.push(BugReport::UninitRead {
+                buffer_addr: alloc_addr,
+                access_vaddr: addr,
+            });
         }
     }
 
@@ -239,10 +242,13 @@ impl Purify {
             .live_allocations()
             .filter(|a| !marked.contains(&a.addr))
             .map(|a| {
-                let group = self
-                    .shadow
-                    .get(&a.addr)
-                    .map_or(GroupKey { size: a.payload, signature: 0 }, |s| s.group);
+                let group = self.shadow.get(&a.addr).map_or(
+                    GroupKey {
+                        size: a.payload,
+                        signature: 0,
+                    },
+                    |s| s.group,
+                );
                 (a.addr, a.payload, group)
             })
             .collect();
@@ -294,7 +300,10 @@ impl MemTool for Purify {
         let words = allocation.payload.div_ceil(8).div_ceil(64) as usize;
         self.shadow.insert(
             allocation.addr,
-            ShadowInfo { group: GroupKey::new(size, stack), init: vec![0; words.max(1)] },
+            ShadowInfo {
+                group: GroupKey::new(size, stack),
+                init: vec![0; words.max(1)],
+            },
         );
         // Shadow-state updates for the whole buffer.
         self.charge_access(os, allocation.payload as usize);
@@ -331,12 +340,14 @@ impl MemTool for Purify {
 
     fn read(&mut self, os: &mut Os, addr: u64, buf: &mut [u8]) {
         self.check_access(os, addr, buf.len(), AccessKind::Read);
-        os.vread(addr, buf).expect("purify runs without ECC watchpoints");
+        os.vread(addr, buf)
+            .expect("purify runs without ECC watchpoints");
     }
 
     fn write(&mut self, os: &mut Os, addr: u64, data: &[u8]) {
         self.check_access(os, addr, data.len(), AccessKind::Write);
-        os.vwrite(addr, data).expect("purify runs without ECC watchpoints");
+        os.vwrite(addr, data)
+            .expect("purify runs without ECC watchpoints");
     }
 
     fn compute(&mut self, os: &mut Os, cycles: u64, mem_accesses: u64) {
@@ -358,7 +369,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (Os, Purify, CallStack) {
-        (Os::with_defaults(1 << 23), Purify::new(), CallStack::new(&[0x400_000]))
+        (
+            Os::with_defaults(1 << 23),
+            Purify::new(),
+            CallStack::new(&[0x400_000]),
+        )
     }
 
     #[test]
@@ -366,7 +381,10 @@ mod tests {
         let (mut os, mut tool, stack) = setup();
         let a = tool.malloc(&mut os, 20, &stack);
         tool.write(&mut os, a, &[1u8; 24]); // 4 bytes past the end
-        assert!(tool.reports().iter().any(|r| matches!(r, BugReport::Overflow { .. })));
+        assert!(tool
+            .reports()
+            .iter()
+            .any(|r| matches!(r, BugReport::Overflow { .. })));
     }
 
     #[test]
@@ -377,7 +395,10 @@ mod tests {
         tool.free(&mut os, a);
         let mut buf = [0u8; 8];
         tool.read(&mut os, a, &mut buf);
-        assert!(tool.reports().iter().any(|r| matches!(r, BugReport::UseAfterFree { .. })));
+        assert!(tool
+            .reports()
+            .iter()
+            .any(|r| matches!(r, BugReport::UseAfterFree { .. })));
     }
 
     #[test]
@@ -386,7 +407,10 @@ mod tests {
         let a = tool.malloc(&mut os, 64, &stack);
         let mut buf = [0u8; 8];
         tool.read(&mut os, a, &mut buf);
-        assert!(tool.reports().iter().any(|r| matches!(r, BugReport::UninitRead { .. })));
+        assert!(tool
+            .reports()
+            .iter()
+            .any(|r| matches!(r, BugReport::UninitRead { .. })));
         let b = tool.malloc(&mut os, 64, &stack);
         tool.write(&mut os, b, &[1u8; 64]);
         let n = tool.reports().len();
@@ -436,7 +460,10 @@ mod tests {
         let t0 = os.cpu_cycles();
         tool.compute(&mut os, 1_000, 300);
         let spent = os.cpu_cycles() - t0;
-        assert_eq!(spent, 1_000 + 300 * PurifyConfig::default().check_cycles_per_access);
+        assert_eq!(
+            spent,
+            1_000 + 300 * PurifyConfig::default().check_cycles_per_access
+        );
     }
 
     #[test]

@@ -22,7 +22,12 @@ fn bench_codec(c: &mut Criterion) {
     });
     let scheme = ScrambleScheme::default();
     c.bench_function("codec/decode_scrambled", |b| {
-        b.iter(|| codec.decode(black_box(scheme.apply(0xDEAD_BEEF)), black_box(codec.encode(0xDEAD_BEEF))))
+        b.iter(|| {
+            codec.decode(
+                black_box(scheme.apply(0xDEAD_BEEF)),
+                black_box(codec.encode(0xDEAD_BEEF)),
+            )
+        })
     });
 }
 
@@ -79,7 +84,7 @@ fn bench_detectors(c: &mut Criterion) {
 }
 
 fn bench_workload_throughput(c: &mut Criterion) {
-    use safemem_workloads::{run_under, RunConfig, Workload};
+    use safemem_workloads::{run_under, RunConfig};
     // Host-side speed of simulating one monitored ypserv1 request
     // (everything: cache model, ECC codes, detectors).
     c.bench_function("simulate/ypserv1_request_under_safemem", |b| {
@@ -88,7 +93,10 @@ fn bench_workload_throughput(c: &mut Criterion) {
             let requests = iters.max(1);
             let mut os = Os::with_defaults(1 << 26);
             let mut tool = SafeMem::builder().build(&mut os);
-            let cfg = RunConfig { requests: Some(requests), ..RunConfig::default() };
+            let cfg = RunConfig {
+                requests: Some(requests),
+                ..RunConfig::default()
+            };
             let start = std::time::Instant::now();
             let _ = run_under(w.as_ref(), &mut os, &mut tool, &cfg);
             start.elapsed()

@@ -10,14 +10,21 @@ fn main() {
     let scale: f64 = std::env::var("SAFEMEM_BENCH_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(if std::env::args().any(|a| a == "--quick") { 0.2 } else { 1.0 });
+        .unwrap_or(if std::env::args().any(|a| a == "--quick") {
+            0.2
+        } else {
+            1.0
+        });
 
     println!("SafeMem reproduction — full evaluation (scale {scale})\n");
     println!("{}", reports::table1());
     println!("{}", reports::table2());
     println!("{}", reports::table3(scale));
     println!("{}", reports::table3_extended(scale));
-    println!("{}", reports::table3_variance(scale * 0.5, &[1, 7, 42, 1234, 0x5AFE_3E3]));
+    println!(
+        "{}",
+        reports::table3_variance(scale * 0.5, &[1, 7, 42, 1234, 0x05AF_E3E3])
+    );
     println!("{}", reports::table4(scale));
     println!("{}", reports::table5(scale));
     println!("{}", reports::fig1());

@@ -1,6 +1,9 @@
 //! Regenerates the paper's ablation_granularity exhibit. See DESIGN.md §5.
 //! Pass a scale factor (default 1.0) to shrink run lengths for quick looks.
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     println!("{}", safemem_bench::reports::ablation_granularity(scale));
 }

@@ -1,5 +1,8 @@
 //! Prefetcher-vs-watchpoints ablation. See DESIGN.md §5.
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     println!("{}", safemem_bench::reports::ablation_prefetch(scale));
 }

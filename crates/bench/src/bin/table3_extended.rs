@@ -1,6 +1,9 @@
 //! Extended tool comparison (SafeMem vs Purify vs Memcheck vs hypothetical
 //! hardware watchpoints). See DESIGN.md §5.
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     println!("{}", safemem_bench::reports::table3_extended(scale));
 }

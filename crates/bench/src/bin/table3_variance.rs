@@ -1,5 +1,11 @@
 //! Seed-sensitivity check for the Table 3 overheads. See DESIGN.md §5.
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
-    println!("{}", safemem_bench::reports::table3_variance(scale, &[1, 7, 42, 1234, 0x5AFE_3E3]));
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    println!(
+        "{}",
+        safemem_bench::reports::table3_variance(scale, &[1, 7, 42, 1234, 0x05AF_E3E3])
+    );
 }

@@ -59,7 +59,11 @@ pub fn run_app(
     requests: Option<u64>,
 ) -> RunResult {
     let mut os = Os::with_defaults(PHYS_BYTES);
-    let cfg = RunConfig { input, requests, ..RunConfig::default() };
+    let cfg = RunConfig {
+        input,
+        requests,
+        ..RunConfig::default()
+    };
     match kind {
         ToolKind::Baseline => {
             let mut tool = NullTool::new();
@@ -85,7 +89,10 @@ pub fn run_app(
         }
         ToolKind::SafeMemNoPrune => {
             let mut tool = SafeMem::builder()
-                .leak_config(LeakConfig { prune_with_ecc: false, ..LeakConfig::default() })
+                .leak_config(LeakConfig {
+                    prune_with_ecc: false,
+                    ..LeakConfig::default()
+                })
                 .build(&mut os);
             run_under(workload, &mut os, &mut tool, &cfg)
         }
@@ -122,9 +129,7 @@ pub fn slowdown(tool_cycles: u64, base_cycles: u64) -> f64 {
 #[must_use]
 pub fn bug_detected(workload: &dyn Workload, result: &RunResult) -> bool {
     match workload.spec().bug {
-        BugClass::ALeak | BugClass::SLeak => {
-            result.true_leaks(&workload.true_leak_groups()) > 0
-        }
+        BugClass::ALeak | BugClass::SLeak => result.true_leaks(&workload.true_leak_groups()) > 0,
         BugClass::Overflow => result
             .reports
             .iter()
@@ -150,7 +155,12 @@ mod tests {
     #[test]
     fn gzip_detection_under_full_safemem() {
         let w = workload_by_name("gzip").unwrap();
-        let result = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Buggy, Some(10));
+        let result = run_app(
+            w.as_ref(),
+            ToolKind::SafeMemFull,
+            InputMode::Buggy,
+            Some(10),
+        );
         assert!(bug_detected(w.as_ref(), &result));
     }
 
@@ -158,7 +168,12 @@ mod tests {
     fn tools_share_the_op_sequence() {
         let w = workload_by_name("tar").unwrap();
         let base = run_app(w.as_ref(), ToolKind::Baseline, InputMode::Normal, Some(20));
-        let tool = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Normal, Some(20));
+        let tool = run_app(
+            w.as_ref(),
+            ToolKind::SafeMemFull,
+            InputMode::Normal,
+            Some(20),
+        );
         assert_eq!(base.heap_stats.allocs, tool.heap_stats.allocs);
         assert!(tool.cpu_cycles > base.cpu_cycles);
     }

@@ -18,11 +18,19 @@ pub fn table1() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 1: Tested Applications");
     let _ = writeln!(out, "{:—<72}", "");
-    let _ = writeln!(out, "{:<12} {:<10} {:>8}  {}", "Bug", "App", "LOC", "Description");
+    let _ = writeln!(out, "{:<12} {:<10} {:>8}  Description", "Bug", "App", "LOC");
     for w in all_workloads() {
         let s = w.spec();
-        let class = if s.bug.is_leak() { "Leak" } else { "Corruption" };
-        let _ = writeln!(out, "{:<12} {:<10} {:>8}  {}", class, s.name, s.loc, s.description);
+        let class = if s.bug.is_leak() {
+            "Leak"
+        } else {
+            "Corruption"
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<10} {:>8}  {}",
+            class, s.name, s.loc, s.description
+        );
     }
     out
 }
@@ -60,10 +68,35 @@ pub fn table2() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 2: Time for the ECC system calls (vs paper)");
     let _ = writeln!(out, "{:—<64}", "");
-    let _ = writeln!(out, "{:<18} {:<22} {:>9} {:>9}", "", "Call", "µs (sim)", "µs paper");
-    let _ = writeln!(out, "{:<18} {:<22} {:>9.2} {:>9}", "ECC Protection", "WatchMemory", us(watch_cycles), "2.0");
-    let _ = writeln!(out, "{:<18} {:<22} {:>9.2} {:>9}", "", "DisableWatchMemory", us(disable_cycles), "1.5");
-    let _ = writeln!(out, "{:<18} {:<22} {:>9.2} {:>9}", "Page Protection", "mprotect", us(mprotect_cycles), "1.02");
+    let _ = writeln!(
+        out,
+        "{:<18} {:<22} {:>9} {:>9}",
+        "", "Call", "µs (sim)", "µs paper"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:<22} {:>9.2} {:>9}",
+        "ECC Protection",
+        "WatchMemory",
+        us(watch_cycles),
+        "2.0"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:<22} {:>9.2} {:>9}",
+        "",
+        "DisableWatchMemory",
+        us(disable_cycles),
+        "1.5"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:<22} {:>9.2} {:>9}",
+        "Page Protection",
+        "mprotect",
+        us(mprotect_cycles),
+        "1.02"
+    );
     out
 }
 
@@ -73,7 +106,10 @@ pub fn table2() -> String {
 #[must_use]
 pub fn table3(scale: f64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 3: Time overhead (%) comparison between SafeMem and Purify");
+    let _ = writeln!(
+        out,
+        "Table 3: Time overhead (%) comparison between SafeMem and Purify"
+    );
     let _ = writeln!(out, "{:—<100}", "");
     let _ = writeln!(
         out,
@@ -85,9 +121,19 @@ pub fn table3(scale: f64) -> String {
         let base = run_app(w.as_ref(), ToolKind::Baseline, InputMode::Normal, requests);
         let ml = run_app(w.as_ref(), ToolKind::SafeMemMl, InputMode::Normal, requests);
         let mc = run_app(w.as_ref(), ToolKind::SafeMemMc, InputMode::Normal, requests);
-        let full = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Normal, requests);
+        let full = run_app(
+            w.as_ref(),
+            ToolKind::SafeMemFull,
+            InputMode::Normal,
+            requests,
+        );
         let purify = run_app(w.as_ref(), ToolKind::Purify, InputMode::Normal, requests);
-        let detect = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Buggy, requests);
+        let detect = run_app(
+            w.as_ref(),
+            ToolKind::SafeMemFull,
+            InputMode::Buggy,
+            requests,
+        );
 
         let full_oh = overhead_percent(full.cpu_cycles, base.cpu_cycles);
         let purify_x = slowdown(purify.cpu_cycles, base.cpu_cycles);
@@ -96,7 +142,11 @@ pub fn table3(scale: f64) -> String {
             out,
             "{:<10} {:>9} {:>10.1} {:>10.1} {:>10.1} {:>11.1}X {:>11.0}X",
             w.spec().name,
-            if bug_detected(w.as_ref(), &detect) { "YES" } else { "NO" },
+            if bug_detected(w.as_ref(), &detect) {
+                "YES"
+            } else {
+                "NO"
+            },
             overhead_percent(ml.cpu_cycles, base.cpu_cycles),
             overhead_percent(mc.cpu_cycles, base.cpu_cycles),
             full_oh,
@@ -112,7 +162,10 @@ pub fn table3(scale: f64) -> String {
 #[must_use]
 pub fn table4(scale: f64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 4: Space overhead (%) of ECC-protection vs page-protection");
+    let _ = writeln!(
+        out,
+        "Table 4: Space overhead (%) of ECC-protection vs page-protection"
+    );
     let _ = writeln!(out, "{:—<64}", "");
     let _ = writeln!(
         out,
@@ -121,7 +174,12 @@ pub fn table4(scale: f64) -> String {
     );
     for w in all_workloads() {
         let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
-        let ecc = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Normal, requests);
+        let ecc = run_app(
+            w.as_ref(),
+            ToolKind::SafeMemFull,
+            InputMode::Normal,
+            requests,
+        );
         let page = run_app(w.as_ref(), ToolKind::PageGuard, InputMode::Normal, requests);
         let ecc_oh = ecc.heap_stats.overhead_percent();
         let page_oh = page.heap_stats.overhead_percent();
@@ -134,7 +192,10 @@ pub fn table4(scale: f64) -> String {
             page_oh / ecc_oh.max(0.001),
         );
     }
-    let _ = writeln!(out, "(paper: reduction 64×–74×; overhead computed over all bytes allocated)");
+    let _ = writeln!(
+        out,
+        "(paper: reduction 64×–74×; overhead computed over all bytes allocated)"
+    );
     out
 }
 
@@ -142,18 +203,40 @@ pub fn table4(scale: f64) -> String {
 #[must_use]
 pub fn table5(scale: f64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 5: False memory leaks reported before/after ECC pruning");
+    let _ = writeln!(
+        out,
+        "Table 5: False memory leaks reported before/after ECC pruning"
+    );
     let _ = writeln!(out, "{:—<56}", "");
-    let _ = writeln!(out, "{:<10} {:>16} {:>16}", "App", "Before Pruning", "After Pruning");
-    let paper = [("ypserv1", 7, 0), ("proftpd", 9, 0), ("squid1", 13, 1), ("ypserv2", 2, 0)];
+    let _ = writeln!(
+        out,
+        "{:<10} {:>16} {:>16}",
+        "App", "Before Pruning", "After Pruning"
+    );
+    let paper = [
+        ("ypserv1", 7, 0),
+        ("proftpd", 9, 0),
+        ("squid1", 13, 1),
+        ("ypserv2", 2, 0),
+    ];
     for w in all_workloads() {
         if !w.spec().bug.is_leak() {
             continue;
         }
         let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
         let truth = w.true_leak_groups();
-        let before = run_app(w.as_ref(), ToolKind::SafeMemNoPrune, InputMode::Buggy, requests);
-        let after = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Buggy, requests);
+        let before = run_app(
+            w.as_ref(),
+            ToolKind::SafeMemNoPrune,
+            InputMode::Buggy,
+            requests,
+        );
+        let after = run_app(
+            w.as_ref(),
+            ToolKind::SafeMemFull,
+            InputMode::Buggy,
+            requests,
+        );
         let row = paper.iter().find(|(n, _, _)| *n == w.spec().name);
         let _ = writeln!(
             out,
@@ -165,7 +248,10 @@ pub fn table5(scale: f64) -> String {
             row.map_or(0, |r| r.2),
         );
     }
-    let _ = writeln!(out, "(paper values in parentheses; no corruption false positives by construction)");
+    let _ = writeln!(
+        out,
+        "(paper values in parentheses; no corruption false positives by construction)"
+    );
     out
 }
 
@@ -173,7 +259,10 @@ pub fn table5(scale: f64) -> String {
 #[must_use]
 pub fn fig1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 1: Read/Write operations for ECC memory (event trace)");
+    let _ = writeln!(
+        out,
+        "Figure 1: Read/Write operations for ECC memory (event trace)"
+    );
     let _ = writeln!(out, "{:—<72}", "");
     let mut ctl = EccController::new(1 << 16);
     ctl.set_mode(EccMode::CorrectError);
@@ -181,7 +270,10 @@ pub fn fig1() -> String {
     // (a) Write: the controller encodes the group and stores data + code.
     ctl.write(0x100, &0xDEAD_BEEF_u64.to_le_bytes());
     let (data, code) = ctl.memory().read_group(0x100);
-    let _ = writeln!(out, "(a) write 0xdeadbeef  → stored data={data:#018x} code={code:#04x}");
+    let _ = writeln!(
+        out,
+        "(a) write 0xdeadbeef  → stored data={data:#018x} code={code:#04x}"
+    );
 
     // (b) Clean read: recomputed code matches.
     let mut buf = [0u8; 8];
@@ -214,9 +306,15 @@ pub fn fig2() -> String {
     let mut os = Os::with_defaults(1 << 22);
     os.register_ecc_fault_handler();
     let scheme = ScrambleScheme::default();
-    let _ = writeln!(out, "scramble scheme: flip data bits {:?} (syndrome {:#04x})", scheme.bits(), scheme.syndrome());
+    let _ = writeln!(
+        out,
+        "scramble scheme: flip data bits {:?} (syndrome {:#04x})",
+        scheme.bits(),
+        scheme.syndrome()
+    );
 
-    os.vwrite(HEAP_BASE, &0xCAFE_F00D_u64.to_le_bytes()).unwrap();
+    os.vwrite(HEAP_BASE, &0xCAFE_F00D_u64.to_le_bytes())
+        .unwrap();
     os.machine_mut().flush_range(0, PHYS_BYTES.min(1 << 22)); // settle caches for a clean peek
     let phys = os.vm().translate_resident(HEAP_BASE).unwrap();
     let show = |os: &Os, label: &str, out: &mut String| {
@@ -236,7 +334,11 @@ pub fn fig2() -> String {
     show(&os, "after DisableWatchMemory", &mut out);
     let mut buf = [0u8; 8];
     os.vread(HEAP_BASE, &mut buf).unwrap();
-    let _ = writeln!(out, "re-read                            → {:#x} (original restored)", u64::from_le_bytes(buf));
+    let _ = writeln!(
+        out,
+        "re-read                            → {:#x} (original restored)",
+        u64::from_le_bytes(buf)
+    );
     out
 }
 
@@ -246,7 +348,10 @@ pub fn fig2() -> String {
 #[must_use]
 pub fn fig3(scale: f64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 3: Stability of maximal lifetime (CDF of WarmUpTime)");
+    let _ = writeln!(
+        out,
+        "Figure 3: Stability of maximal lifetime (CDF of WarmUpTime)"
+    );
     let _ = writeln!(out, "{:—<72}", "");
     for name in ["ypserv1", "proftpd", "squid1"] {
         let w = safemem_workloads::workload_by_name(name).expect("registered");
@@ -263,7 +368,10 @@ pub fn fig3(scale: f64) -> String {
                 ..LeakConfig::default()
             })
             .build(&mut os);
-        let cfg = RunConfig { requests: Some(requests), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(requests),
+            ..RunConfig::default()
+        };
         w.run(&mut os, &mut tool, &cfg);
         tool.finish(&mut os);
 
@@ -279,7 +387,11 @@ pub fn fig3(scale: f64) -> String {
         warmups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let n = warmups.len().max(1) as f64;
 
-        let _ = writeln!(out, "\n  {name}  ({} groups, {total_s:.3}s simulated CPU time)", warmups.len());
+        let _ = writeln!(
+            out,
+            "\n  {name}  ({} groups, {total_s:.3}s simulated CPU time)",
+            warmups.len()
+        );
         let _ = writeln!(out, "  {:>12} {:>22}", "time (s)", "% stabilised MOG");
         for (i, t) in warmups.iter().enumerate() {
             let pct = (i + 1) as f64 / n * 100.0;
@@ -304,14 +416,26 @@ pub fn table3_variance(scale: f64, seeds: &[u64]) -> String {
     use safemem_core::NullTool;
 
     let mut out = String::new();
-    let _ = writeln!(out, "Seed sensitivity: SafeMem ML+MC overhead (%) across {} seeds", seeds.len());
+    let _ = writeln!(
+        out,
+        "Seed sensitivity: SafeMem ML+MC overhead (%) across {} seeds",
+        seeds.len()
+    );
     let _ = writeln!(out, "{:—<64}", "");
-    let _ = writeln!(out, "{:<10} {:>10} {:>10} {:>10}", "App", "min", "mean", "max");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>10}",
+        "App", "min", "mean", "max"
+    );
     for w in all_workloads() {
         let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
         let mut samples = Vec::with_capacity(seeds.len());
         for &seed in seeds {
-            let cfg = RunConfig { requests, seed, ..RunConfig::default() };
+            let cfg = RunConfig {
+                requests,
+                seed,
+                ..RunConfig::default()
+            };
             let mut os = Os::with_defaults(PHYS_BYTES);
             let mut base = NullTool::new();
             let b = safemem_workloads::run_under(w.as_ref(), &mut os, &mut base, &cfg);
@@ -323,9 +447,19 @@ pub fn table3_variance(scale: f64, seeds: &[u64]) -> String {
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let _ = writeln!(out, "{:<10} {:>10.2} {:>10.2} {:>10.2}", w.spec().name, min, mean, max);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10.2} {:>10.2} {:>10.2}",
+            w.spec().name,
+            min,
+            mean,
+            max
+        );
     }
-    let _ = writeln!(out, "(each seed drives a different request mix; tight bands back the single-seed tables)");
+    let _ = writeln!(
+        out,
+        "(each seed drives a different request mix; tight bands back the single-seed tables)"
+    );
     out
 }
 
@@ -339,7 +473,10 @@ pub fn table3_extended(scale: f64) -> String {
     use safemem_os::OsConfig;
 
     let mut out = String::new();
-    let _ = writeln!(out, "Extended comparison: slowdown factor over the uninstrumented run");
+    let _ = writeln!(
+        out,
+        "Extended comparison: slowdown factor over the uninstrumented run"
+    );
     let _ = writeln!(out, "{:—<84}", "");
     let _ = writeln!(
         out,
@@ -349,7 +486,12 @@ pub fn table3_extended(scale: f64) -> String {
     for w in all_workloads() {
         let requests = Some(((w.default_requests() as f64) * scale).max(10.0) as u64);
         let base = run_app(w.as_ref(), ToolKind::Baseline, InputMode::Normal, requests);
-        let full = run_app(w.as_ref(), ToolKind::SafeMemFull, InputMode::Normal, requests);
+        let full = run_app(
+            w.as_ref(),
+            ToolKind::SafeMemFull,
+            InputMode::Normal,
+            requests,
+        );
         let purify = run_app(w.as_ref(), ToolKind::Purify, InputMode::Normal, requests);
         let memcheck = run_app(w.as_ref(), ToolKind::Memcheck, InputMode::Normal, requests);
 
@@ -357,12 +499,14 @@ pub fn table3_extended(scale: f64) -> String {
         // cycles instead of microsecond syscalls, and faults dispatch in
         // hardware. Modelled by swapping the cost calibration.
         let hw = {
-            let mut cost = CostModel::default();
-            cost.watch_memory_cycles = 48;
-            cost.watch_extra_line_cycles = 4;
-            cost.disable_watch_cycles = 36;
-            cost.disable_extra_line_cycles = 4;
-            cost.fault_dispatch_cycles = 200;
+            let cost = CostModel {
+                watch_memory_cycles: 48,
+                watch_extra_line_cycles: 4,
+                disable_watch_cycles: 36,
+                disable_extra_line_cycles: 4,
+                fault_dispatch_cycles: 200,
+                ..CostModel::default()
+            };
             let mut os = Os::new(OsConfig {
                 phys_bytes: PHYS_BYTES,
                 caches: default_two_level(),
@@ -370,7 +514,10 @@ pub fn table3_extended(scale: f64) -> String {
                 ..OsConfig::default()
             });
             let mut tool = SafeMem::builder().build(&mut os);
-            let cfg = RunConfig { requests, ..RunConfig::default() };
+            let cfg = RunConfig {
+                requests,
+                ..RunConfig::default()
+            };
             safemem_workloads::run_under(w.as_ref(), &mut os, &mut tool, &cfg)
         };
 
@@ -397,7 +544,10 @@ pub fn table3_extended(scale: f64) -> String {
 #[must_use]
 pub fn fig3_detail(scale: f64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 3 detail: lifetime distributions (ypserv1, normal input)");
+    let _ = writeln!(
+        out,
+        "Figure 3 detail: lifetime distributions (ypserv1, normal input)"
+    );
     let _ = writeln!(out, "{:—<72}", "");
     let w = safemem_workloads::workload_by_name("ypserv1").expect("registered");
     let requests = ((w.default_requests() as f64) * scale).max(100.0) as u64;
@@ -410,7 +560,10 @@ pub fn fig3_detail(scale: f64) -> String {
             ..LeakConfig::default()
         })
         .build(&mut os);
-    let cfg = RunConfig { requests: Some(requests), ..RunConfig::default() };
+    let cfg = RunConfig {
+        requests: Some(requests),
+        ..RunConfig::default()
+    };
     w.run(&mut os, &mut tool, &cfg);
     tool.finish(&mut os);
 
@@ -453,7 +606,10 @@ pub fn fig3_detail(scale: f64) -> String {
 #[must_use]
 pub fn ablation_padding() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: padding width vs detectable overflow distance");
+    let _ = writeln!(
+        out,
+        "Ablation: padding width vs detectable overflow distance"
+    );
     let _ = writeln!(out, "{:—<72}", "");
     let _ = writeln!(
         out,
@@ -472,12 +628,18 @@ pub fn ablation_padding() -> String {
             let buf = tool.malloc(&mut os, 100, &stack);
             // Overflow exactly `distance` bytes past the rounded payload end.
             tool.write(&mut os, buf + 128 + distance - 1, &[0xEE]);
-            let caught = tool.all_reports().iter().any(safemem_core::BugReport::is_corruption);
+            let caught = tool
+                .all_reports()
+                .iter()
+                .any(safemem_core::BugReport::is_corruption);
             let _ = write!(row, " {:>10}", if caught { "caught" } else { "missed" });
         }
         let _ = writeln!(out, "{row}");
     }
-    let _ = writeln!(out, "(the paper uses 1 line and notes longer paddings are possible, §4)");
+    let _ = writeln!(
+        out,
+        "(the paper uses 1 line and notes longer paddings are possible, §4)"
+    );
     out
 }
 
@@ -485,7 +647,10 @@ pub fn ablation_padding() -> String {
 #[must_use]
 pub fn ablation_checking_period(scale: f64) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: checking period vs leak-detection overhead (ypserv1)");
+    let _ = writeln!(
+        out,
+        "Ablation: checking period vs leak-detection overhead (ypserv1)"
+    );
     let _ = writeln!(out, "{:—<56}", "");
     let w = safemem_workloads::workload_by_name("ypserv1").expect("registered");
     let requests = Some(((w.default_requests() as f64) * scale).max(50.0) as u64);
@@ -500,7 +665,10 @@ pub fn ablation_checking_period(scale: f64) -> String {
                 ..LeakConfig::default()
             })
             .build(&mut os);
-        let cfg = RunConfig { requests, ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests,
+            ..RunConfig::default()
+        };
         let result = run_under(w.as_ref(), &mut os, &mut tool, &cfg);
         let _ = writeln!(
             out,
@@ -521,7 +689,10 @@ pub fn ablation_granularity(scale: f64) -> String {
     use safemem_os::OsConfig;
 
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: watch granularity vs space overhead (ypserv2)");
+    let _ = writeln!(
+        out,
+        "Ablation: watch granularity vs space overhead (ypserv2)"
+    );
     let _ = writeln!(out, "{:—<56}", "");
     let _ = writeln!(out, "{:>12} {:>18}", "line bytes", "space overhead %");
     let w = safemem_workloads::workload_by_name("ypserv2").expect("registered");
@@ -530,17 +701,33 @@ pub fn ablation_granularity(scale: f64) -> String {
         let config = OsConfig {
             phys_bytes: PHYS_BYTES,
             caches: vec![
-                CacheConfig { line_size: line, sets: 32, ways: 4 },
-                CacheConfig { line_size: line, sets: 128, ways: 8 },
+                CacheConfig {
+                    line_size: line,
+                    sets: 32,
+                    ways: 4,
+                },
+                CacheConfig {
+                    line_size: line,
+                    sets: 128,
+                    ways: 8,
+                },
             ],
             cost: CostModel::default(),
             ..OsConfig::default()
         };
         let mut os = Os::new(config);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { requests, ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests,
+            ..RunConfig::default()
+        };
         let result = run_under(w.as_ref(), &mut os, &mut tool, &cfg);
-        let _ = writeln!(out, "{:>12} {:>18.2}", line, result.heap_stats.overhead_percent());
+        let _ = writeln!(
+            out,
+            "{:>12} {:>18.2}",
+            line,
+            result.heap_stats.overhead_percent()
+        );
     }
     let _ = writeln!(out, "(page protection corresponds to a 4096-byte 'line')");
     out
@@ -561,7 +748,10 @@ pub fn ablation_overhead_drivers() -> String {
 
     let run = |params: SyntheticParams, safemem: bool| -> f64 {
         let w = Synthetic::new(params);
-        let cfg = RunConfig { requests: Some(120), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(120),
+            ..RunConfig::default()
+        };
         let mut os = Os::with_defaults(PHYS_BYTES);
         let mut base = NullTool::new();
         let b = safemem_workloads::run_under(&w, &mut os, &mut base, &cfg);
@@ -577,18 +767,47 @@ pub fn ablation_overhead_drivers() -> String {
     };
 
     let _ = writeln!(out, "sweep A: allocation rate (density fixed at 200/1000)");
-    let _ = writeln!(out, "{:>16} {:>14} {:>12}", "allocs/request", "SafeMem", "Purify");
+    let _ = writeln!(
+        out,
+        "{:>16} {:>14} {:>12}",
+        "allocs/request", "SafeMem", "Purify"
+    );
     for allocs in [1u64, 2, 4, 8, 16] {
-        let p = SyntheticParams { allocs_per_request: allocs, ..SyntheticParams::default() };
-        let _ = writeln!(out, "{:>16} {:>13.3}x {:>11.1}x", allocs, run(p, true), run(p, false));
+        let p = SyntheticParams {
+            allocs_per_request: allocs,
+            ..SyntheticParams::default()
+        };
+        let _ = writeln!(
+            out,
+            "{:>16} {:>13.3}x {:>11.1}x",
+            allocs,
+            run(p, true),
+            run(p, false)
+        );
     }
 
-    let _ = writeln!(out, "
-sweep B: memory-access density (2 allocs/request fixed)");
-    let _ = writeln!(out, "{:>16} {:>14} {:>12}", "accesses/kcycle", "SafeMem", "Purify");
+    let _ = writeln!(
+        out,
+        "
+sweep B: memory-access density (2 allocs/request fixed)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>16} {:>14} {:>12}",
+        "accesses/kcycle", "SafeMem", "Purify"
+    );
     for density in [50u64, 200, 400, 800] {
-        let p = SyntheticParams { density_permille: density, ..SyntheticParams::default() };
-        let _ = writeln!(out, "{:>16} {:>13.3}x {:>11.1}x", density, run(p, true), run(p, false));
+        let p = SyntheticParams {
+            density_permille: density,
+            ..SyntheticParams::default()
+        };
+        let _ = writeln!(
+            out,
+            "{:>16} {:>13.3}x {:>11.1}x",
+            density,
+            run(p, true),
+            run(p, false)
+        );
     }
     let _ = writeln!(
         out,
@@ -607,7 +826,10 @@ pub fn ablation_swap_policy() -> String {
     use safemem_os::{OsConfig, SwapPolicy, PAGE_BYTES};
 
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: watched-page swap policy under memory pressure (squid1)");
+    let _ = writeln!(
+        out,
+        "Ablation: watched-page swap policy under memory pressure (squid1)"
+    );
     let _ = writeln!(out, "{:—<72}", "");
     let _ = writeln!(
         out,
@@ -665,20 +887,31 @@ pub fn ablation_prefetch(scale: f64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Ablation: next-line prefetcher vs SafeMem (tar)");
     let _ = writeln!(out, "{:—<64}", "");
-    let _ = writeln!(out, "{:>12} {:>14} {:>12} {:>12} {:>12}", "prefetch", "overhead %", "detected", "issued", "squashed");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>14} {:>12} {:>12} {:>12}",
+        "prefetch", "overhead %", "detected", "issued", "squashed"
+    );
     let w = safemem_workloads::workload_by_name("tar").expect("registered");
     let requests = Some(((w.default_requests() as f64) * scale).max(20.0) as u64);
     for prefetch in [false, true] {
         let mut os = Os::with_defaults(PHYS_BYTES);
         os.machine_mut().set_prefetch(prefetch);
         let mut base = NullTool::new();
-        let cfg = RunConfig { requests, ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests,
+            ..RunConfig::default()
+        };
         let b = safemem_workloads::run_under(w.as_ref(), &mut os, &mut base, &cfg);
 
         let mut os = Os::with_defaults(PHYS_BYTES);
         os.machine_mut().set_prefetch(prefetch);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { input: InputMode::Buggy, requests, ..RunConfig::default() };
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests,
+            ..RunConfig::default()
+        };
         let t = safemem_workloads::run_under(w.as_ref(), &mut os, &mut tool, &cfg);
         let (issued, squashed) = os.machine().hierarchy().prefetch_stats();
         let _ = writeln!(
@@ -708,9 +941,16 @@ pub fn ablation_prefetch(scale: f64) -> String {
         "
 direct check: demand miss adjacent to an armed pad → {squashed} prefetch squashed,
          0 false watchpoint hits: {}",
-        if tool.all_reports().is_empty() { "confirmed" } else { "FAILED" }
+        if tool.all_reports().is_empty() {
+            "confirmed"
+        } else {
+            "FAILED"
+        }
     );
-    let _ = writeln!(out, "(squashed = speculative refills of armed lines the hardware dropped)");
+    let _ = writeln!(
+        out,
+        "(squashed = speculative refills of armed lines the hardware dropped)"
+    );
     out
 }
 
@@ -728,7 +968,9 @@ pub fn ablation_scrub() -> String {
     for watched in [0u64, 16, 64, 256, 1024] {
         let mut os = Os::with_defaults(PHYS_BYTES);
         os.register_ecc_fault_handler();
-        os.machine_mut().controller_mut().set_mode(EccMode::CorrectAndScrub);
+        os.machine_mut()
+            .controller_mut()
+            .set_mode(EccMode::CorrectAndScrub);
         for i in 0..watched {
             os.vwrite(HEAP_BASE + i * 128, &[1u8; 64]).unwrap();
             os.watch_memory(HEAP_BASE + i * 128, 64).unwrap();
@@ -739,9 +981,15 @@ pub fn ablation_scrub() -> String {
         let us = os.machine().cost().cycles_to_micros(cost);
         // A scrub pass per second on a 2.4 GHz CPU:
         let per_second_pct = cost as f64 / 2.4e9 * 100.0;
-        let _ = writeln!(out, "{watched:>14} {cost:>16} {us:>20.1} {per_second_pct:>16.4}");
+        let _ = writeln!(
+            out,
+            "{watched:>14} {cost:>16} {us:>20.1} {per_second_pct:>16.4}"
+        );
     }
-    let _ = writeln!(out, "(scan itself is background time; the program is only charged for disarm/re-arm)");
+    let _ = writeln!(
+        out,
+        "(scan itself is background time; the program is only charged for disarm/re-arm)"
+    );
     out
 }
 
@@ -752,7 +1000,9 @@ mod tests {
     #[test]
     fn table1_lists_all_seven() {
         let t = table1();
-        for name in ["ypserv1", "proftpd", "squid1", "ypserv2", "gzip", "tar", "squid2"] {
+        for name in [
+            "ypserv1", "proftpd", "squid1", "ypserv2", "gzip", "tar", "squid2",
+        ] {
             assert!(t.contains(name), "{t}");
         }
     }

@@ -140,8 +140,14 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_size.is_power_of_two() && self.line_size >= 8, "bad line size");
-        assert!(self.sets.is_power_of_two() && self.sets > 0, "bad set count");
+        assert!(
+            self.line_size.is_power_of_two() && self.line_size >= 8,
+            "bad line size"
+        );
+        assert!(
+            self.sets.is_power_of_two() && self.sets > 0,
+            "bad set count"
+        );
         assert!(self.ways > 0, "bad associativity");
     }
 }
@@ -151,8 +157,16 @@ impl CacheConfig {
 #[must_use]
 pub fn default_two_level() -> Vec<CacheConfig> {
     vec![
-        CacheConfig { line_size: 64, sets: 32, ways: 4 },
-        CacheConfig { line_size: 64, sets: 128, ways: 8 },
+        CacheConfig {
+            line_size: 64,
+            sets: 32,
+            ways: 4,
+        },
+        CacheConfig {
+            line_size: 64,
+            sets: 128,
+            ways: 8,
+        },
     ]
 }
 
@@ -194,7 +208,11 @@ impl Traffic {
     /// An empty traffic record for a hierarchy with `levels` levels.
     #[must_use]
     pub fn new(levels: usize) -> Self {
-        Traffic { level_hits: vec![0; levels], memory_reads: 0, memory_writes: 0 }
+        Traffic {
+            level_hits: vec![0; levels],
+            memory_reads: 0,
+            memory_writes: 0,
+        }
     }
 }
 
@@ -326,7 +344,10 @@ impl Hierarchy {
         let line_size = configs[0].line_size;
         for c in &configs {
             c.validate();
-            assert_eq!(c.line_size, line_size, "line sizes must match across levels");
+            assert_eq!(
+                c.line_size, line_size,
+                "line sizes must match across levels"
+            );
         }
         Hierarchy {
             levels: configs.into_iter().map(CacheLevel::new).collect(),
@@ -449,7 +470,12 @@ impl Hierarchy {
                 let mut data = vec![0u8; self.line_size as usize].into_boxed_slice();
                 backing.read_line(line_addr, &mut data)?;
                 traffic.memory_reads += 1;
-                Line { tag: line_addr, dirty: false, lru: 0, data }
+                Line {
+                    tag: line_addr,
+                    dirty: false,
+                    lru: 0,
+                    data,
+                }
             }
         };
         // (Re)install at L1.
@@ -515,7 +541,12 @@ impl Hierarchy {
         match backing.read_line(line_addr, &mut data) {
             Ok(()) => {
                 traffic.memory_reads += 1;
-                let line = Line { tag: line_addr, dirty: false, lru: 0, data };
+                let line = Line {
+                    tag: line_addr,
+                    dirty: false,
+                    lru: 0,
+                    data,
+                };
                 if let Some(victim) = self.levels[0].install(line) {
                     self.cascade_install(1, victim, backing, traffic);
                 }
@@ -684,8 +715,16 @@ mod tests {
 
     fn small() -> Hierarchy {
         Hierarchy::new(vec![
-            CacheConfig { line_size: 64, sets: 2, ways: 2 },
-            CacheConfig { line_size: 64, sets: 4, ways: 2 },
+            CacheConfig {
+                line_size: 64,
+                sets: 2,
+                ways: 2,
+            },
+            CacheConfig {
+                line_size: 64,
+                sets: 4,
+                ways: 2,
+            },
         ])
     }
 
@@ -764,7 +803,10 @@ mod tests {
         let mut ram = Ram::new(1 << 16);
         let mut t = Traffic::new(2);
         h.write(64, &[0xAB; 8], &mut ram, &mut t).unwrap();
-        assert!(h.flush_line(70, &mut ram, &mut t), "dirty line written back");
+        assert!(
+            h.flush_line(70, &mut ram, &mut t),
+            "dirty line written back"
+        );
         assert_eq!(&ram.0[64..72], &[0xAB; 8]);
         assert_eq!(h.residency(64), None);
         // Next read goes to memory again.
@@ -843,29 +885,53 @@ mod tests {
 
     #[test]
     fn capacity_and_validation() {
-        assert_eq!(CacheConfig { line_size: 64, sets: 32, ways: 4 }.capacity(), 8192);
+        assert_eq!(
+            CacheConfig {
+                line_size: 64,
+                sets: 32,
+                ways: 4
+            }
+            .capacity(),
+            8192
+        );
     }
 
     #[test]
     #[should_panic(expected = "line sizes must match")]
     fn mismatched_line_sizes_rejected() {
         let _ = Hierarchy::new(vec![
-            CacheConfig { line_size: 64, sets: 2, ways: 2 },
-            CacheConfig { line_size: 32, sets: 2, ways: 2 },
+            CacheConfig {
+                line_size: 64,
+                sets: 2,
+                ways: 2,
+            },
+            CacheConfig {
+                line_size: 32,
+                sets: 2,
+                ways: 2,
+            },
         ]);
     }
 
     #[test]
     fn no_write_allocate_bypasses_cache_on_miss() {
         let mut h = Hierarchy::with_write_miss_policy(
-            vec![CacheConfig { line_size: 64, sets: 2, ways: 2 }],
+            vec![CacheConfig {
+                line_size: 64,
+                sets: 2,
+                ways: 2,
+            }],
             WriteMissPolicy::NoWriteAllocate,
         );
         let mut ram = Ram::new(1 << 12);
         let mut t = Traffic::new(1);
         h.write(100, &[1, 2, 3], &mut ram, &mut t).unwrap();
         assert_eq!(h.residency(100), None, "miss store must not allocate");
-        assert_eq!(&ram.0[100..103], &[1, 2, 3], "store reached memory directly");
+        assert_eq!(
+            &ram.0[100..103],
+            &[1, 2, 3],
+            "store reached memory directly"
+        );
         // A store that *hits* still goes to the cache.
         let mut b = [0u8; 1];
         h.read(100, &mut b, &mut ram, &mut t).unwrap();
@@ -881,10 +947,17 @@ mod tests {
         // no-write-allocate a store to a "watched" (poisoned) line performs
         // no read, so nothing faults — SafeMem requires write-allocate.
         let mut h = Hierarchy::with_write_miss_policy(
-            vec![CacheConfig { line_size: 64, sets: 2, ways: 2 }],
+            vec![CacheConfig {
+                line_size: 64,
+                sets: 2,
+                ways: 2,
+            }],
             WriteMissPolicy::NoWriteAllocate,
         );
-        let mut ram = FaultyRam { ram: Ram::new(1 << 12), poisoned: [64u64].into_iter().collect() };
+        let mut ram = FaultyRam {
+            ram: Ram::new(1 << 12),
+            poisoned: [64u64].into_iter().collect(),
+        };
         let mut t = Traffic::new(1);
         // write_through in the test backing defaults to checked RMW, which
         // would fault; the real controller's override does not. Model the
@@ -900,7 +973,8 @@ mod tests {
             }
             fn write_through(&mut self, addr: u64, data: &[u8]) -> Result<(), Self::Error> {
                 self.0.ram.write_line(addr & !63, &{
-                    let mut line = self.0.ram.0[(addr & !63) as usize..(addr & !63) as usize + 64].to_vec();
+                    let mut line =
+                        self.0.ram.0[(addr & !63) as usize..(addr & !63) as usize + 64].to_vec();
                     let off = (addr % 64) as usize;
                     line[off..off + data.len()].copy_from_slice(data);
                     line
@@ -914,7 +988,11 @@ mod tests {
             "the store slips past the watchpoint"
         );
         // Whereas a write-allocate hierarchy faults on the same store:
-        let mut h2 = Hierarchy::new(vec![CacheConfig { line_size: 64, sets: 2, ways: 2 }]);
+        let mut h2 = Hierarchy::new(vec![CacheConfig {
+            line_size: 64,
+            sets: 2,
+            ways: 2,
+        }]);
         ram = unchecked.0;
         ram.poisoned.insert(64);
         assert_eq!(h2.write(70, &[0xAA], &mut ram, &mut t), Err(64));

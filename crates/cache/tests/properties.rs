@@ -42,8 +42,16 @@ impl LineBacking for Ram {
 fn tiny_hierarchy(line_size: u32) -> Hierarchy {
     // Deliberately tiny so random workloads force constant evictions.
     Hierarchy::new(vec![
-        CacheConfig { line_size, sets: 2, ways: 2 },
-        CacheConfig { line_size, sets: 4, ways: 2 },
+        CacheConfig {
+            line_size,
+            sets: 2,
+            ways: 2,
+        },
+        CacheConfig {
+            line_size,
+            sets: 4,
+            ways: 2,
+        },
     ])
 }
 

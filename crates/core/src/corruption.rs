@@ -18,17 +18,11 @@ use safemem_os::{AccessKind, Os, OsError, UserEccFault};
 use std::collections::HashMap;
 
 /// Configuration for the corruption detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CorruptionConfig {
     /// Also detect reads of never-written buffers (the §4 extension).
     pub uninit_reads: bool,
-}
-
-impl Default for CorruptionConfig {
-    fn default() -> Self {
-        CorruptionConfig { uninit_reads: false }
-    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -179,7 +173,8 @@ impl CorruptionDetector {
         let mut line_addr = start;
         while line_addr < start + len {
             if self.uninit.remove(&line_addr).is_some() {
-                os.disable_watch_memory(line_addr).expect("uninit line was watched");
+                os.disable_watch_memory(line_addr)
+                    .expect("uninit line was watched");
             }
             line_addr += self.line;
         }
@@ -226,7 +221,10 @@ impl CorruptionDetector {
 
     /// The line-rounded payload region (for freed/uninit watches).
     fn payload_region(&self, allocation: &Allocation) -> (u64, u64) {
-        (allocation.addr, allocation.payload.div_ceil(self.line) * self.line)
+        (
+            allocation.addr,
+            allocation.payload.div_ceil(self.line) * self.line,
+        )
     }
 
     /// Handles an ECC fault whose watched region starts at
@@ -250,7 +248,8 @@ impl CorruptionDetector {
         }
         if let Some(freed) = self.freed.remove(&region) {
             self.freed_by_base.remove(&freed.base);
-            os.disable_watch_memory(region).expect("freed region was watched");
+            os.disable_watch_memory(region)
+                .expect("freed region was watched");
             self.stats.freed_watched -= 1;
             self.stats.use_after_free += 1;
             self.reports.push(BugReport::UseAfterFree {
@@ -262,7 +261,8 @@ impl CorruptionDetector {
             return true;
         }
         if let Some(buffer_addr) = self.uninit.remove(&region) {
-            os.disable_watch_memory(region).expect("uninit region was watched");
+            os.disable_watch_memory(region)
+                .expect("uninit region was watched");
             // First write is initialisation; first read is the bug.
             if fault.access == AccessKind::Read {
                 self.stats.uninit_reads += 1;
@@ -327,7 +327,10 @@ mod tests {
         assert!(det.handle_fault(&mut os, &fault));
         assert!(matches!(
             det.reports()[0],
-            BugReport::Overflow { side: OverflowSide::Before, .. }
+            BugReport::Overflow {
+                side: OverflowSide::Before,
+                ..
+            }
         ));
     }
 

@@ -43,8 +43,14 @@ impl fmt::Display for Severity {
 #[must_use]
 pub fn severity_of(report: &BugReport) -> Severity {
     match report {
-        BugReport::Overflow { access: safemem_os::AccessKind::Write, .. } => Severity::Critical,
-        BugReport::UseAfterFree { access: safemem_os::AccessKind::Write, .. } => Severity::Critical,
+        BugReport::Overflow {
+            access: safemem_os::AccessKind::Write,
+            ..
+        } => Severity::Critical,
+        BugReport::UseAfterFree {
+            access: safemem_os::AccessKind::Write,
+            ..
+        } => Severity::Critical,
         BugReport::Overflow { .. } | BugReport::UseAfterFree { .. } => Severity::High,
         BugReport::Leak { .. } => Severity::Medium,
         BugReport::UninitRead { .. } | BugReport::WildFree { .. } => Severity::Low,
@@ -134,7 +140,12 @@ impl Diagnosis {
                         f.example = *report;
                     }
                 })
-                .or_insert(Finding { severity, example: *report, occurrences: 1, group });
+                .or_insert(Finding {
+                    severity,
+                    example: *report,
+                    occurrences: 1,
+                    group,
+                });
         }
         let mut findings: Vec<Finding> = buckets.into_values().collect();
         findings.sort_by_key(|f| f.severity);
@@ -150,7 +161,10 @@ impl Diagnosis {
     /// Findings at or above a severity.
     #[must_use]
     pub fn at_least(&self, severity: Severity) -> usize {
-        self.findings.iter().filter(|f| f.severity <= severity).count()
+        self.findings
+            .iter()
+            .filter(|f| f.severity <= severity)
+            .count()
     }
 
     /// Renders the human-readable summary.
@@ -193,8 +207,14 @@ mod tests {
     #[test]
     fn severity_ordering_is_sane() {
         assert!(Severity::Critical < Severity::High);
-        assert_eq!(severity_of(&overflow(0x10, AccessKind::Write)), Severity::Critical);
-        assert_eq!(severity_of(&overflow(0x10, AccessKind::Read)), Severity::High);
+        assert_eq!(
+            severity_of(&overflow(0x10, AccessKind::Write)),
+            Severity::Critical
+        );
+        assert_eq!(
+            severity_of(&overflow(0x10, AccessKind::Read)),
+            Severity::High
+        );
         assert_eq!(
             severity_of(&BugReport::HardwareError { line_vaddr: 0 }),
             Severity::Informational
@@ -203,8 +223,11 @@ mod tests {
 
     #[test]
     fn duplicate_reports_collapse_with_counts() {
-        let reports =
-            vec![overflow(0x100, AccessKind::Read), overflow(0x100, AccessKind::Read), overflow(0x200, AccessKind::Write)];
+        let reports = vec![
+            overflow(0x100, AccessKind::Read),
+            overflow(0x100, AccessKind::Read),
+            overflow(0x200, AccessKind::Write),
+        ];
         let d = Diagnosis::from_reports(&reports);
         assert_eq!(d.findings().len(), 2);
         // Most severe first: the write overflow at 0x200.
@@ -215,7 +238,10 @@ mod tests {
     #[test]
     fn escalation_within_a_bucket() {
         // A read then a write on the same buffer: the bucket escalates.
-        let reports = vec![overflow(0x100, AccessKind::Read), overflow(0x100, AccessKind::Write)];
+        let reports = vec![
+            overflow(0x100, AccessKind::Read),
+            overflow(0x100, AccessKind::Write),
+        ];
         let d = Diagnosis::from_reports(&reports);
         assert_eq!(d.findings().len(), 1);
         assert_eq!(d.findings()[0].severity, Severity::Critical);
@@ -227,7 +253,10 @@ mod tests {
         let reports = vec![BugReport::Leak {
             addr: 0x50,
             size: 96,
-            group: GroupKey { size: 96, signature: 0xBEEF },
+            group: GroupKey {
+                size: 96,
+                signature: 0xBEEF,
+            },
             kind: LeakKind::SLeak,
             at_cpu_cycles: 42,
         }];

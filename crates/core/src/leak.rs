@@ -62,17 +62,17 @@ impl Default for LeakConfig {
         // Calibrated for workloads whose requests take tens of microseconds
         // of simulated CPU time (cycles at 2.4 GHz).
         LeakConfig {
-            check_period: 1_200_000,         // 0.5 ms
-            warmup: 2_400_000,               // 1 ms
+            check_period: 1_200_000, // 0.5 ms
+            warmup: 2_400_000,       // 1 ms
             tolerance: 0.3,
             aleak_live_threshold: 64,
-            aleak_recent_window: 4_800_000,  // 2 ms
+            aleak_recent_window: 4_800_000, // 2 ms
             aleak_sample: 4,
             sleak_factor: 2.0,
             sleak_stable_threshold: 2_400_000, // 1 ms
             sleak_sample: 4,
-            report_after: 24_000_000,        // 10 ms
-            prune_cooldown: 12_000_000,      // 5 ms
+            report_after: 24_000_000,   // 10 ms
+            prune_cooldown: 12_000_000, // 5 ms
             prune_with_ecc: true,
             update_cycles: 150,
             check_group_cycles: 40,
@@ -185,7 +185,7 @@ impl LeakDetector {
         // Line-aligned layouts guarantee the rounded region stays inside the
         // placement stride; for natural layouts only full interior lines are
         // safe, so require the object to start aligned.
-        if addr % self.line != 0 || end <= start {
+        if !addr.is_multiple_of(self.line) || end <= start {
             None
         } else {
             Some((start, end - start))
@@ -197,7 +197,10 @@ impl LeakDetector {
         os.compute(self.config.update_cycles);
         let now = os.cpu_cycles();
         let group = GroupKey::new(size, stack);
-        self.groups.entry(group).or_default().on_alloc(addr, size, now);
+        self.groups
+            .entry(group)
+            .or_default()
+            .on_alloc(addr, size, now);
         self.objects.insert(addr, ObjectInfo { group, size });
         self.maybe_check(os);
     }
@@ -205,7 +208,9 @@ impl LeakDetector {
     /// Records a deallocation (wraps `free`).
     pub fn on_free(&mut self, os: &mut Os, addr: u64) {
         os.compute(self.config.update_cycles);
-        let Some(info) = self.objects.remove(&addr) else { return };
+        let Some(info) = self.objects.remove(&addr) else {
+            return;
+        };
         // A watched suspect that gets freed is trivially not a leak.
         if let Some(region) = self.suspect_region_by_addr.remove(&addr) {
             self.suspects.remove(&region);
@@ -242,7 +247,8 @@ impl LeakDetector {
 
     fn maybe_check(&mut self, os: &mut Os) {
         let now = os.cpu_cycles();
-        if now < self.config.warmup || now.saturating_sub(self.last_check) < self.config.check_period
+        if now < self.config.warmup
+            || now.saturating_sub(self.last_check) < self.config.check_period
         {
             return;
         }
@@ -264,8 +270,8 @@ impl LeakDetector {
             }
             if !group.has_freed() {
                 // ALeak: many live objects and still actively growing.
-                let growing = now.saturating_sub(group.last_alloc_time)
-                    <= self.config.aleak_recent_window;
+                let growing =
+                    now.saturating_sub(group.last_alloc_time) <= self.config.aleak_recent_window;
                 if group.live_count() > self.config.aleak_live_threshold && growing {
                     for (_, addr) in group.oldest_live(self.config.aleak_sample) {
                         candidates.push((addr, LeakKind::ALeak));
@@ -322,7 +328,9 @@ impl LeakDetector {
         if self.suspect_region_by_addr.contains_key(&addr) {
             return;
         }
-        let Some(&info) = self.objects.get(&addr) else { return };
+        let Some(&info) = self.objects.get(&addr) else {
+            return;
+        };
         if self.reported_groups.contains(&info.group) {
             return;
         }
@@ -368,7 +376,9 @@ impl LeakDetector {
     /// a leak suspect, prunes the false positive (paper §3.2.3) and returns
     /// `true`.
     pub fn handle_fault(&mut self, os: &mut Os, region: u64) -> bool {
-        let Some(suspect) = self.suspects.remove(&region) else { return false };
+        let Some(suspect) = self.suspects.remove(&region) else {
+            return false;
+        };
         self.suspect_region_by_addr.remove(&suspect.addr);
         os.disable_watch_memory(region)
             .expect("suspect region was watched");
@@ -444,7 +454,13 @@ mod tests {
         os.compute(2_000_000);
         det.on_alloc(&mut os, addr_of(99), 64, &stack(0xA));
         assert_eq!(det.stats().leaks_reported, 1, "one report per group");
-        assert!(matches!(det.reports()[0], BugReport::Leak { kind: LeakKind::ALeak, .. }));
+        assert!(matches!(
+            det.reports()[0],
+            BugReport::Leak {
+                kind: LeakKind::ALeak,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -453,7 +469,7 @@ mod tests {
         let mut det = LeakDetector::new(quick_config(), LINE);
         let leaked = addr_of(1000);
         det.on_alloc(&mut os, leaked, 64, &stack(0xB)); // will never be freed
-        // Many normal alloc/free pairs with ~2k-cycle lifetimes.
+                                                        // Many normal alloc/free pairs with ~2k-cycle lifetimes.
         for i in 0..64 {
             det.on_alloc(&mut os, addr_of(i), 64, &stack(0xB));
             os.compute(2_000);
@@ -483,12 +499,17 @@ mod tests {
         }
         os.compute(50_000);
         det.run_check(&mut os);
-        assert!(det.stats().suspects_flagged > 0, "idle object becomes a suspect");
+        assert!(
+            det.stats().suspects_flagged > 0,
+            "idle object becomes a suspect"
+        );
 
         // The program touches the suspect: ECC fault → prune.
         let mut buf = [0u8; 8];
         let fault = os.vread(idle, &mut buf).unwrap_err();
-        let OsFault::Ecc(user) = fault else { panic!("expected ECC fault") };
+        let OsFault::Ecc(user) = fault else {
+            panic!("expected ECC fault")
+        };
         assert!(det.handle_fault(&mut os, user.region_vaddr));
         assert_eq!(det.stats().suspects_pruned, 1);
 
@@ -517,7 +538,11 @@ mod tests {
         }
         os.compute(50_000);
         det.run_check(&mut os);
-        assert_eq!(det.stats().leaks_reported, 1, "reported immediately, no watch");
+        assert_eq!(
+            det.stats().leaks_reported,
+            1,
+            "reported immediately, no watch"
+        );
         assert_eq!(os.watched_region_count(), 0);
     }
 

@@ -21,7 +21,10 @@ impl NullTool {
     /// Creates the baseline tool.
     #[must_use]
     pub fn new() -> Self {
-        NullTool { heap: Heap::new(LayoutPolicy::Natural), reports: Vec::new() }
+        NullTool {
+            heap: Heap::new(LayoutPolicy::Natural),
+            reports: Vec::new(),
+        }
     }
 }
 

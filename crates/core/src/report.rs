@@ -117,7 +117,9 @@ impl BugReport {
     pub fn is_corruption(&self) -> bool {
         matches!(
             self,
-            BugReport::Overflow { .. } | BugReport::UseAfterFree { .. } | BugReport::UninitRead { .. }
+            BugReport::Overflow { .. }
+                | BugReport::UseAfterFree { .. }
+                | BugReport::UninitRead { .. }
         )
     }
 }
@@ -160,7 +162,10 @@ mod tests {
         let leak = BugReport::Leak {
             addr: 0x10,
             size: 8,
-            group: GroupKey { size: 8, signature: 0xABC },
+            group: GroupKey {
+                size: 8,
+                signature: 0xABC,
+            },
             kind: LeakKind::ALeak,
             at_cpu_cycles: 0,
         };

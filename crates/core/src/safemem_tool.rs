@@ -110,7 +110,9 @@ impl SafeMemBuilder {
                 .then(|| LeakDetector::new(self.leak_config, os.line_size())),
             corruption: self.corruption.then(|| {
                 CorruptionDetector::new(
-                    CorruptionConfig { uninit_reads: self.uninit_reads },
+                    CorruptionConfig {
+                        uninit_reads: self.uninit_reads,
+                    },
                     os.line_size(),
                 )
             }),
@@ -188,7 +190,9 @@ impl SafeMem {
             // hardware error hit a watched line. Record it; the line's data
             // was never critical (it is padding or a leak suspect whose
             // original is saved), so disable the watch and continue.
-            self.reports.push(BugReport::HardwareError { line_vaddr: fault.line_vaddr });
+            self.reports.push(BugReport::HardwareError {
+                line_vaddr: fault.line_vaddr,
+            });
         }
         let region = fault.region_vaddr;
         if let Some(leak) = &mut self.leak {
@@ -348,10 +352,9 @@ mod tests {
         tool.free(&mut os, a);
         let mut buf = [0u8; 8];
         tool.read(&mut os, a, &mut buf);
-        assert!(tool
-            .all_reports()
-            .iter()
-            .any(|r| matches!(r, BugReport::UseAfterFree { buffer_addr, .. } if *buffer_addr == a)));
+        assert!(tool.all_reports().iter().any(
+            |r| matches!(r, BugReport::UseAfterFree { buffer_addr, .. } if *buffer_addr == a)
+        ));
     }
 
     #[test]
@@ -402,7 +405,9 @@ mod tests {
             "true leak must be reported: {reports:?}"
         );
         assert!(
-            !leaks.iter().any(|r| matches!(r, BugReport::Leak { addr, .. } if *addr == idle)),
+            !leaks
+                .iter()
+                .any(|r| matches!(r, BugReport::Leak { addr, .. } if *addr == idle)),
             "pruned false positive must not be reported: {reports:?}"
         );
         assert_eq!(tool.leak_stats().unwrap().suspects_pruned, 1);
@@ -418,8 +423,18 @@ mod tests {
         let first = tool.breakpoint().copied().expect("breakpoint set");
         let b = tool.malloc(&mut os, 64, &stack(8));
         tool.write(&mut os, b + 64, &[1]); // overflow #2
-        assert_eq!(tool.breakpoint().copied(), Some(first), "first bug stays frozen");
-        assert_eq!(tool.all_reports().iter().filter(|r| r.is_corruption()).count(), 2);
+        assert_eq!(
+            tool.breakpoint().copied(),
+            Some(first),
+            "first bug stays frozen"
+        );
+        assert_eq!(
+            tool.all_reports()
+                .iter()
+                .filter(|r| r.is_corruption())
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -427,7 +442,10 @@ mod tests {
         let mut os = os();
         let mut tool = SafeMem::builder().build(&mut os);
         tool.free(&mut os, 0xDEAD_0000);
-        assert!(matches!(tool.reports()[0], BugReport::WildFree { addr: 0xDEAD_0000 }));
+        assert!(matches!(
+            tool.reports()[0],
+            BugReport::WildFree { addr: 0xDEAD_0000 }
+        ));
     }
 
     #[test]
@@ -457,18 +475,24 @@ mod tests {
             // The pad page is pinned and resident; find its frame.
             os.vm().translate_resident(pad_vaddr).expect("pad resident")
         };
-        os.machine_mut().controller_mut().inject_multi_bit_error(phys);
+        os.machine_mut()
+            .controller_mut()
+            .inject_multi_bit_error(phys);
         // Touching the pad now reports a hardware error AND an overflow
         // (the access itself is still an overflow).
         tool.read(&mut os, pad_vaddr, &mut [0u8; 4]);
         let reports = tool.all_reports();
-        assert!(reports.iter().any(|r| matches!(r, BugReport::HardwareError { .. })));
+        assert!(reports
+            .iter()
+            .any(|r| matches!(r, BugReport::HardwareError { .. })));
     }
 
     #[test]
     fn leak_only_layout_is_line_aligned_not_padded() {
         let mut os = os();
-        let mut tool = SafeMem::builder().corruption_detection(false).build(&mut os);
+        let mut tool = SafeMem::builder()
+            .corruption_detection(false)
+            .build(&mut os);
         let a = tool.malloc(&mut os, 10, &stack(7));
         assert_eq!(a % 64, 0);
         let alloc = *tool.heap().allocation_at(a).unwrap();

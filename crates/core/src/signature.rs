@@ -29,7 +29,9 @@ impl CallStack {
     /// Builds a call stack from return addresses, oldest first.
     #[must_use]
     pub fn new(frames: &[u64]) -> Self {
-        CallStack { frames: frames.to_vec() }
+        CallStack {
+            frames: frames.to_vec(),
+        }
     }
 
     /// Pushes a callee's return address (entering a function).
@@ -79,7 +81,10 @@ impl GroupKey {
     /// Builds the key for an allocation of `size` bytes at `stack`.
     #[must_use]
     pub fn new(size: u64, stack: &CallStack) -> Self {
-        GroupKey { size, signature: stack.signature() }
+        GroupKey {
+            size,
+            signature: stack.signature(),
+        }
     }
 }
 
@@ -97,7 +102,11 @@ mod tests {
     fn signature_uses_only_last_four_frames() {
         let a = CallStack::new(&[1, 2, 3, 4, 5]);
         let b = CallStack::new(&[99, 2, 3, 4, 5]);
-        assert_eq!(a.signature(), b.signature(), "5th-oldest frame must not matter");
+        assert_eq!(
+            a.signature(),
+            b.signature(),
+            "5th-oldest frame must not matter"
+        );
         let c = CallStack::new(&[1, 2, 3, 4, 6]);
         assert_ne!(a.signature(), c.signature());
     }

@@ -2,11 +2,11 @@
 //! corruption detection that must hold for any workload.
 
 use proptest::prelude::*;
-use safemem_core::{
-    BugReport, CallStack, CorruptionConfig, CorruptionDetector, LeakConfig, LeakDetector,
-    MemTool, SafeMem,
-};
 use safemem_alloc::{Heap, LayoutPolicy};
+use safemem_core::{
+    BugReport, CallStack, CorruptionConfig, CorruptionDetector, LeakConfig, LeakDetector, MemTool,
+    SafeMem,
+};
 use safemem_os::{Os, OsFault};
 
 fn quick_leak_config() -> LeakConfig {

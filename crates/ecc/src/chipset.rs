@@ -220,7 +220,11 @@ mod tests {
         chip.controller_mut().read(0x100, &mut buf).unwrap();
         let status = chip.read_register(Register::ErrorStatus);
         assert_ne!(status & ERRSTS_SINGLE, 0, "single-bit error latched");
-        assert_eq!(chip.read_register(Register::ErrorStatus) & ERRSTS_SINGLE, 0, "cleared by read");
+        assert_eq!(
+            chip.read_register(Register::ErrorStatus) & ERRSTS_SINGLE,
+            0,
+            "cleared by read"
+        );
     }
 
     #[test]
@@ -235,7 +239,10 @@ mod tests {
         assert_eq!(chip.read_register(Register::ErrorAddress), 0x240);
         assert_ne!(chip.read_register(Register::ErrorSyndrome), 0);
         // Reading the syndrome releases the log.
-        assert_eq!(chip.read_register(Register::ErrorStatus) & ERRSTS_LOG_VALID, 0);
+        assert_eq!(
+            chip.read_register(Register::ErrorStatus) & ERRSTS_LOG_VALID,
+            0
+        );
     }
 
     #[test]
@@ -246,7 +253,11 @@ mod tests {
             chip.controller_mut().inject_multi_bit_error(addr);
             let _ = chip.controller_mut().read(addr, &mut [0u8; 8]);
         }
-        assert_eq!(chip.read_register(Register::ErrorAddress), 0x300, "first logged");
+        assert_eq!(
+            chip.read_register(Register::ErrorAddress),
+            0x300,
+            "first logged"
+        );
     }
 
     #[test]
@@ -260,11 +271,15 @@ mod tests {
 
         chip.write_register(Register::GlobalConfig, 0b11); // ECC on + bus lock
         chip.write_register(Register::GlobalConfig, 0b10); // ECC off, keep lock
-        chip.controller_mut().write(0x500, &scheme.apply(original).to_le_bytes());
+        chip.controller_mut()
+            .write(0x500, &scheme.apply(original).to_le_bytes());
         chip.write_register(Register::GlobalConfig, 0b11); // ECC back on
         chip.write_register(Register::GlobalConfig, 0b01); // release bus
 
-        let fault = chip.controller_mut().read(0x500, &mut [0u8; 8]).unwrap_err();
+        let fault = chip
+            .controller_mut()
+            .read(0x500, &mut [0u8; 8])
+            .unwrap_err();
         assert_eq!(fault.syndrome, scheme.syndrome());
         assert_eq!(chip.read_register(Register::GlobalConfig), 0b01);
     }

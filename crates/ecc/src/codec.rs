@@ -162,7 +162,7 @@ impl Codec {
         if syndrome == 0 {
             return Decoded::Clean;
         }
-        if syndrome.count_ones() % 2 == 0 {
+        if syndrome.count_ones().is_multiple_of(2) {
             // Even non-zero syndrome: an even number (>=2) of bit flips.
             return Decoded::Uncorrectable { syndrome };
         }
@@ -244,7 +244,10 @@ mod tests {
         let code = codec.encode(data);
         for bit in 0..8 {
             let damaged_code = code ^ (1u8 << bit);
-            assert_eq!(codec.decode(data, damaged_code), Decoded::CorrectedCheck { bit });
+            assert_eq!(
+                codec.decode(data, damaged_code),
+                Decoded::CorrectedCheck { bit }
+            );
         }
     }
 

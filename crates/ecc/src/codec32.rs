@@ -132,14 +132,19 @@ impl Codec32 {
         if syndrome == 0 {
             return Decoded32::Clean;
         }
-        if syndrome.count_ones() % 2 == 0 {
+        if syndrome.count_ones().is_multiple_of(2) {
             return Decoded32::Uncorrectable { syndrome };
         }
         if syndrome.count_ones() == 1 {
-            return Decoded32::CorrectedCheck { bit: syndrome.trailing_zeros() as u8 };
+            return Decoded32::CorrectedCheck {
+                bit: syndrome.trailing_zeros() as u8,
+            };
         }
         match COLUMNS_32.iter().position(|&c| c == syndrome) {
-            Some(bit) => Decoded32::CorrectedData { data: data ^ (1u32 << bit), bit: bit as u8 },
+            Some(bit) => Decoded32::CorrectedData {
+                data: data ^ (1u32 << bit),
+                bit: bit as u8,
+            },
             None => Decoded32::Uncorrectable { syndrome },
         }
     }
@@ -203,7 +208,10 @@ mod tests {
             );
         }
         for bit in 0..7 {
-            assert_eq!(codec.decode(data, code ^ (1u8 << bit)), Decoded32::CorrectedCheck { bit });
+            assert_eq!(
+                codec.decode(data, code ^ (1u8 << bit)),
+                Decoded32::CorrectedCheck { bit }
+            );
         }
     }
 

@@ -66,6 +66,14 @@ pub struct ControllerStats {
     pub scrub_corrections: u64,
     /// Complete passes the scrubber has made over resident memory.
     pub scrub_passes: u64,
+    /// Single-bit *data* errors planted through [`EccController::inject_data_error`].
+    pub injected_data_bits: u64,
+    /// Single-bit *check-code* errors planted through
+    /// [`EccController::inject_code_error`].
+    pub injected_code_bits: u64,
+    /// Multi-bit bursts planted through
+    /// [`EccController::inject_multi_bit_error`].
+    pub injected_multi_bit: u64,
 }
 
 /// A simulated commodity ECC memory controller.
@@ -204,7 +212,8 @@ impl EccController {
             Decoded::Clean => Ok(data),
             Decoded::CorrectedData { data: fixed, .. } => {
                 if self.effective_corrects() {
-                    self.mem.write_group(group_addr, fixed, self.codec.encode(fixed));
+                    self.mem
+                        .write_group(group_addr, fixed, self.codec.encode(fixed));
                     self.stats.corrected_single_bit += 1;
                     if during_scrub {
                         self.stats.scrub_corrections += 1;
@@ -348,12 +357,15 @@ impl EccController {
         out
     }
 
-    /// Injects a single-bit hardware error into stored *data* (test hook).
+    /// Injects a single-bit hardware error into stored *data*. This is the
+    /// hook the fault-injection campaign engine (`safemem-faultinject`)
+    /// drives; injections are counted in [`ControllerStats`].
     ///
     /// # Panics
     ///
     /// Panics if `bit >= 64` or the group lies outside physical memory.
     pub fn inject_data_error(&mut self, addr: u64, bit: u8) {
+        self.stats.injected_data_bits += 1;
         self.mem.flip_data_bit(addr, bit);
     }
 
@@ -363,6 +375,7 @@ impl EccController {
     ///
     /// Panics if `bit >= 8` or the group lies outside physical memory.
     pub fn inject_code_error(&mut self, addr: u64, bit: u8) {
+        self.stats.injected_code_bits += 1;
         self.mem.flip_code_bit(addr, bit);
     }
 
@@ -372,6 +385,7 @@ impl EccController {
     ///
     /// Panics if the group lies outside physical memory.
     pub fn inject_multi_bit_error(&mut self, addr: u64) {
+        self.stats.injected_multi_bit += 1;
         self.mem.flip_data_bit(addr, 0);
         self.mem.flip_data_bit(addr, 1);
     }

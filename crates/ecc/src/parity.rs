@@ -59,7 +59,10 @@ impl ParityMemory {
     #[must_use]
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "memory size must be non-zero");
-        ParityMemory { data: vec![0; size], parity: vec![false; size] }
+        ParityMemory {
+            data: vec![0; size],
+            parity: vec![false; size],
+        }
     }
 
     /// Total bytes.
@@ -151,7 +154,11 @@ mod tests {
                 mem.write(0, &[0xF0]);
                 mem.flip_data_bit(0, a);
                 mem.flip_data_bit(0, b);
-                assert_eq!(mem.check(0), ParityCheck::Consistent, "bits {a},{b} must slip through");
+                assert_eq!(
+                    mem.check(0),
+                    ParityCheck::Consistent,
+                    "bits {a},{b} must slip through"
+                );
             }
         }
     }
@@ -181,7 +188,10 @@ mod tests {
         let scheme = ScrambleScheme::default();
         let word = 0x1234_5678u64;
         let code = codec.encode(word);
-        assert!(matches!(codec.decode(word ^ 1, code), Decoded::CorrectedData { .. }));
+        assert!(matches!(
+            codec.decode(word ^ 1, code),
+            Decoded::CorrectedData { .. }
+        ));
         assert!(codec.decode(scheme.apply(word), code).is_uncorrectable());
 
         // Parity: the only observable signal is Mismatch, and a plain

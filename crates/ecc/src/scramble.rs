@@ -55,7 +55,8 @@ impl ScrambleScheme {
         if bits[0] == bits[1] || bits[0] == bits[2] || bits[1] == bits[2] {
             return Err(InvalidScrambleError::NotDistinct);
         }
-        let syndrome = COLUMNS[bits[0] as usize] ^ COLUMNS[bits[1] as usize] ^ COLUMNS[bits[2] as usize];
+        let syndrome =
+            COLUMNS[bits[0] as usize] ^ COLUMNS[bits[1] as usize] ^ COLUMNS[bits[2] as usize];
         if Codec::new().syndrome_is_correctable(syndrome) {
             return Err(InvalidScrambleError::Correctable { syndrome });
         }
@@ -198,8 +199,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_input() {
-        assert_eq!(ScrambleScheme::new([0, 1, 64]), Err(InvalidScrambleError::OutOfRange));
-        assert_eq!(ScrambleScheme::new([5, 5, 6]), Err(InvalidScrambleError::NotDistinct));
+        assert_eq!(
+            ScrambleScheme::new([0, 1, 64]),
+            Err(InvalidScrambleError::OutOfRange)
+        );
+        assert_eq!(
+            ScrambleScheme::new([5, 5, 6]),
+            Err(InvalidScrambleError::NotDistinct)
+        );
     }
 
     #[test]
@@ -225,6 +232,9 @@ mod tests {
                 }
             }
         }
-        assert!(found > 0, "expected at least one valid triple among low bits");
+        assert!(
+            found > 0,
+            "expected at least one valid triple among low bits"
+        );
     }
 }

@@ -1,0 +1,146 @@
+//! Property tests for the Hsiao SEC-DED codecs.
+//!
+//! The SEC-DED contract is exhaustive by nature: *every* single-bit flip —
+//! at any of the 72 positions of a (72,64) code word, or any of the 39
+//! positions of a (39,32) word — must be corrected, and *every* double-bit
+//! flip must be detected as uncorrectable. Each property therefore iterates
+//! all positions / position pairs for each randomly drawn data word, so a
+//! run covers the full position space many times over.
+
+use proptest::prelude::*;
+use safemem_ecc::codec::{CHECK_BITS, DATA_BITS};
+use safemem_ecc::codec32::{CHECK_BITS_32, DATA_BITS_32};
+use safemem_ecc::{Codec, Codec32, Decoded, Decoded32};
+
+/// A (72,64) code word with one bit flipped: data bit `pos` for `pos < 64`,
+/// check bit `pos - 64` otherwise.
+fn flip64(data: u64, code: u8, pos: u32) -> (u64, u8) {
+    if pos < DATA_BITS {
+        (data ^ (1u64 << pos), code)
+    } else {
+        (data, code ^ (1u8 << (pos - DATA_BITS)))
+    }
+}
+
+/// A (39,32) code word with one bit flipped, same layout.
+fn flip32(data: u32, code: u8, pos: u32) -> (u32, u8) {
+    if pos < DATA_BITS_32 {
+        (data ^ (1u32 << pos), code)
+    } else {
+        (data, code ^ (1u8 << (pos - DATA_BITS_32)))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lossless roundtrip: a freshly encoded word decodes clean.
+    #[test]
+    fn codec64_roundtrip_is_clean(data: u64) {
+        let codec = Codec::new();
+        let code = codec.encode(data);
+        prop_assert!(matches!(codec.decode(data, code), Decoded::Clean));
+        prop_assert_eq!(codec.syndrome(data, code), 0);
+    }
+
+    /// Every one of the 72 single-bit flips is corrected back to the
+    /// original data word.
+    #[test]
+    fn codec64_corrects_every_single_bit_position(data: u64) {
+        let codec = Codec::new();
+        let code = codec.encode(data);
+        for pos in 0..(DATA_BITS + CHECK_BITS) {
+            let (d, c) = flip64(data, code, pos);
+            match codec.decode(d, c) {
+                Decoded::CorrectedData { data: fixed, bit } => {
+                    prop_assert!(pos < DATA_BITS, "check-bit flip at {pos} decoded as data");
+                    prop_assert_eq!(fixed, data);
+                    prop_assert_eq!(u32::from(bit), pos);
+                }
+                Decoded::CorrectedCheck { bit } => {
+                    prop_assert!(pos >= DATA_BITS, "data flip at {pos} decoded as check");
+                    prop_assert_eq!(u32::from(bit), pos - DATA_BITS);
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "flip at {pos} not corrected: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Every one of the C(72,2) double-bit flips is detected as
+    /// uncorrectable — never miscorrected into wrong data.
+    #[test]
+    fn codec64_detects_every_double_bit_pair(data: u64) {
+        let codec = Codec::new();
+        let code = codec.encode(data);
+        let total = DATA_BITS + CHECK_BITS;
+        for a in 0..total {
+            for b in (a + 1)..total {
+                let (d, c) = flip64(data, code, a);
+                let (d, c) = flip64(d, c, b);
+                prop_assert!(
+                    codec.decode(d, c).is_uncorrectable(),
+                    "double flip ({a},{b}) not flagged: {:?}",
+                    codec.decode(d, c)
+                );
+            }
+        }
+    }
+
+    /// (39,32) roundtrip.
+    #[test]
+    fn codec32_roundtrip_is_clean(data: u32) {
+        let codec = Codec32::new();
+        let code = codec.encode(data);
+        prop_assert!(matches!(codec.decode(data, code), Decoded32::Clean));
+        prop_assert_eq!(codec.syndrome(data, code), 0);
+    }
+
+    /// All 39 single-bit flips of the (39,32) code are corrected.
+    #[test]
+    fn codec32_corrects_every_single_bit_position(data: u32) {
+        let codec = Codec32::new();
+        let code = codec.encode(data);
+        for pos in 0..(DATA_BITS_32 + CHECK_BITS_32) {
+            let (d, c) = flip32(data, code, pos);
+            match codec.decode(d, c) {
+                Decoded32::CorrectedData { data: fixed, bit } => {
+                    prop_assert!(pos < DATA_BITS_32, "check-bit flip at {pos} decoded as data");
+                    prop_assert_eq!(fixed, data);
+                    prop_assert_eq!(u32::from(bit), pos);
+                }
+                Decoded32::CorrectedCheck { bit } => {
+                    prop_assert!(pos >= DATA_BITS_32, "data flip at {pos} decoded as check");
+                    prop_assert_eq!(u32::from(bit), pos - DATA_BITS_32);
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "flip at {pos} not corrected: {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// All C(39,2) double-bit flips of the (39,32) code are detected.
+    #[test]
+    fn codec32_detects_every_double_bit_pair(data: u32) {
+        let codec = Codec32::new();
+        let code = codec.encode(data);
+        let total = DATA_BITS_32 + CHECK_BITS_32;
+        for a in 0..total {
+            for b in (a + 1)..total {
+                let (d, c) = flip32(data, code, a);
+                let (d, c) = flip32(d, c, b);
+                prop_assert!(
+                    codec.decode(d, c).is_uncorrectable(),
+                    "double flip ({a},{b}) not flagged: {:?}",
+                    codec.decode(d, c)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The injector: a [`MemTool`] wrapper that interleaves deterministic
+//! hardware-fault injections into a workload run.
+//!
+//! Between every operation the wrapped tool executes, the injector rolls the
+//! campaign's [`FaultMix`] rates against its seed-derived stream and, on a
+//! hit, perturbs the machine through the controller's injection hooks
+//! (`inject_data_error` / `inject_code_error` / `inject_multi_bit_error`),
+//! the OS scrub path, or a DMA engine. Every decision is a pure function of
+//! `(campaign seed, operation index)` — see DESIGN.md's determinism rules.
+
+use std::collections::BTreeMap;
+
+use safemem_core::{BugReport, CallStack, MemTool};
+use safemem_ecc::{Codec, Decoded, GROUP_BYTES};
+use safemem_machine::{DmaEngine, DmaStep, DmaTransfer};
+use safemem_os::{Os, OsFault};
+
+use crate::rng::SmRng;
+use crate::spec::FaultMix;
+
+/// What the injector actually did during a run — the ground truth the
+/// differential oracle scores detections against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionLog {
+    /// Operations observed (injection opportunities).
+    pub ops_seen: u64,
+    /// Correctable single-bit data flips planted.
+    pub data_bit_flips: u64,
+    /// Correctable check-bit flips planted.
+    pub code_bit_flips: u64,
+    /// Uncorrectable multi-bit bursts planted (each triggered and repaired
+    /// in place by the injector).
+    pub multi_bit_bursts: u64,
+    /// Bursts whose trigger access was classified as a hardware panic.
+    pub hardware_panics_triggered: u64,
+    /// Forced scrub cycles.
+    pub forced_scrub_cycles: u64,
+    /// DMA transfers completed.
+    pub dma_transfers: u64,
+    /// DMA transfers aborted by an ECC fault (armed or corrupted lines).
+    pub dma_faults: u64,
+    /// Injection opportunities dropped because no clean resident target
+    /// could be found.
+    pub skipped_no_target: u64,
+}
+
+/// The line size every layer of the simulator shares.
+const LINE_BYTES: u64 = 64;
+
+/// Attempts made to find a clean resident ECC group before giving up.
+const PICK_ATTEMPTS: usize = 8;
+
+/// A deterministic fault-injecting wrapper around a memory tool.
+pub struct Injector {
+    inner: Box<dyn MemTool>,
+    rng: SmRng,
+    mix: FaultMix,
+    codec: Codec,
+    /// Live payloads (addr -> size), ordered so index-based picking is
+    /// deterministic.
+    live: BTreeMap<u64, u64>,
+    dma: DmaEngine,
+    log: InjectionLog,
+}
+
+impl std::fmt::Debug for Injector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector")
+            .field("tool", &self.inner.name())
+            .field("mix", &self.mix)
+            .field("log", &self.log)
+            .finish()
+    }
+}
+
+impl Injector {
+    /// Wraps `inner`, deriving every future injection decision from `seed`.
+    #[must_use]
+    pub fn new(inner: Box<dyn MemTool>, mix: FaultMix, seed: u64) -> Self {
+        Injector {
+            inner,
+            // Domain-separate from other consumers of the campaign seed.
+            rng: SmRng::new(seed ^ 0xFA07_1213_5EED_0001),
+            mix,
+            codec: Codec::new(),
+            live: BTreeMap::new(),
+            dma: DmaEngine::new(),
+            log: InjectionLog::default(),
+        }
+    }
+
+    /// What was injected so far.
+    #[must_use]
+    pub fn log(&self) -> InjectionLog {
+        self.log
+    }
+
+    /// The wrapped tool.
+    #[must_use]
+    pub fn inner(&self) -> &dyn MemTool {
+        self.inner.as_ref()
+    }
+
+    /// Picks a live, resident, *clean* ECC group. Returns its group-aligned
+    /// virtual address and physical address.
+    ///
+    /// Cleanliness matters twice over: armed (watched) groups decode as
+    /// uncorrectable — injecting there would silently stack onto a
+    /// watchpoint — and a group already carrying an unread single-bit error
+    /// would turn uncorrectable under a second flip. Skipping non-clean
+    /// groups keeps "correctable single-bit injection" exactly that.
+    fn pick_clean_group(&mut self, os: &mut Os) -> Option<(u64, u64)> {
+        if self.live.is_empty() {
+            self.log.skipped_no_target += 1;
+            return None;
+        }
+        for _ in 0..PICK_ATTEMPTS {
+            let idx = self.rng.below(self.live.len() as u64) as usize;
+            let (&addr, &size) = self.live.iter().nth(idx).expect("idx < len");
+            let base = (addr + GROUP_BYTES - 1) & !(GROUP_BYTES - 1);
+            if base + GROUP_BYTES > addr + size {
+                continue; // too small to hold one aligned group
+            }
+            let groups = (addr + size - base) / GROUP_BYTES;
+            let vaddr = base + self.rng.below(groups) * GROUP_BYTES;
+            let Some(phys) = os.vm().translate_resident(vaddr) else {
+                continue; // swapped out
+            };
+            // Write back any cached copy so the stored group is current and
+            // the flip cannot be masked (or silently erased) by a later
+            // writeback.
+            os.machine_mut()
+                .flush_range(phys & !(LINE_BYTES - 1), LINE_BYTES);
+            let (data, code) = os.machine().controller().memory().read_group(phys);
+            if matches!(self.codec.decode(data, code), Decoded::Clean) {
+                return Some((vaddr, phys));
+            }
+        }
+        self.log.skipped_no_target += 1;
+        None
+    }
+
+    /// Plants a correctable single-bit error in a data word.
+    fn inject_data_bit(&mut self, os: &mut Os) {
+        let bit = self.rng.below(64) as u8;
+        if let Some((_, phys)) = self.pick_clean_group(os) {
+            os.machine_mut()
+                .controller_mut()
+                .inject_data_error(phys, bit);
+            self.log.data_bit_flips += 1;
+        }
+    }
+
+    /// Plants a correctable single-bit error in a check code.
+    fn inject_code_bit(&mut self, os: &mut Os) {
+        let bit = self.rng.below(8) as u8;
+        if let Some((_, phys)) = self.pick_clean_group(os) {
+            os.machine_mut()
+                .controller_mut()
+                .inject_code_error(phys, bit);
+            self.log.code_bit_flips += 1;
+        }
+    }
+
+    /// Plants an uncorrectable multi-bit burst, then immediately triggers it
+    /// with a kernel-visible access and repairs the group in place.
+    ///
+    /// Unwatched uncorrectable errors are fatal on real hardware (the OS
+    /// panics); tools model that by aborting on `OsFault::HardwareError`.
+    /// Consuming the fault here keeps the run alive while still exercising
+    /// the full detection path — the panic is visible in `OsStats` and in
+    /// this log. The repair is safe because a faulting refill never installs
+    /// the line in cache.
+    fn inject_multi_bit(&mut self, os: &mut Os) {
+        let Some((vaddr, phys)) = self.pick_clean_group(os) else {
+            return;
+        };
+        os.machine_mut()
+            .controller_mut()
+            .inject_multi_bit_error(phys);
+        self.log.multi_bit_bursts += 1;
+        let mut scratch = [0u8; GROUP_BYTES as usize];
+        if let Err(OsFault::HardwareError { .. }) = os.vread(vaddr, &mut scratch) {
+            self.log.hardware_panics_triggered += 1;
+        }
+        // Undo the burst: memory still holds original ^ 0b11 with the
+        // *original* (still valid) code, so xor-ing the bits back and
+        // re-encoding restores a clean group.
+        let raw = os.machine().peek(phys, GROUP_BYTES as usize);
+        let orig = u64::from_le_bytes(raw.try_into().expect("group is 8 bytes")) ^ 0b11;
+        os.machine_mut().write_uncached(phys, &orig.to_le_bytes());
+    }
+
+    /// Forces one background scrub cycle (timing perturbation).
+    fn force_scrub(&mut self, os: &mut Os) {
+        os.run_scrub_cycle();
+        self.log.forced_scrub_cycles += 1;
+    }
+
+    /// Runs one `src == dst` single-line DMA transfer over a live buffer.
+    ///
+    /// Reads of armed lines fault and abort the transfer *before* the write,
+    /// so watchpoints survive; unarmed lines are rewritten with identical
+    /// bytes. Either way the interference is observable only as bus traffic
+    /// and controller stats — exactly the property the campaign checks.
+    fn run_dma(&mut self, os: &mut Os) {
+        if self.live.is_empty() {
+            self.log.skipped_no_target += 1;
+            return;
+        }
+        let idx = self.rng.below(self.live.len() as u64) as usize;
+        let (&addr, &size) = self.live.iter().nth(idx).expect("idx < len");
+        let vaddr = (addr + self.rng.below(size.max(1))) & !(LINE_BYTES - 1);
+        let Some(phys) = os.vm().translate_resident(vaddr) else {
+            self.log.skipped_no_target += 1;
+            return;
+        };
+        let line = phys & !(LINE_BYTES - 1);
+        self.dma.enqueue(DmaTransfer {
+            src: line,
+            dst: line,
+            len: LINE_BYTES,
+        });
+        let ctl = os.machine_mut().controller_mut();
+        for _ in 0..16 {
+            match self.dma.step(ctl) {
+                DmaStep::Completed(_) => {
+                    self.log.dma_transfers += 1;
+                    break;
+                }
+                DmaStep::Faulted(_) => {
+                    self.log.dma_faults += 1;
+                    break;
+                }
+                DmaStep::Idle => break,
+                DmaStep::Stalled | DmaStep::Progress => {}
+            }
+        }
+        // The DMA engine reports faults through the controller outbox too;
+        // drain them so they cannot be mistaken for CPU-access faults later.
+        let _ = os.machine_mut().take_faults();
+    }
+
+    /// One injection opportunity: rolls every rate in a fixed order.
+    fn maybe_inject(&mut self, os: &mut Os) {
+        self.log.ops_seen += 1;
+        if self.mix.scrub_permille > 0 && self.rng.chance(self.mix.scrub_permille) {
+            self.force_scrub(os);
+        }
+        if self.mix.dma_permille > 0 && self.rng.chance(self.mix.dma_permille) {
+            self.run_dma(os);
+        }
+        if self.mix.data_bit_permille > 0 && self.rng.chance(self.mix.data_bit_permille) {
+            self.inject_data_bit(os);
+        }
+        if self.mix.code_bit_permille > 0 && self.rng.chance(self.mix.code_bit_permille) {
+            self.inject_code_bit(os);
+        }
+        if self.mix.multi_bit_permille > 0 && self.rng.chance(self.mix.multi_bit_permille) {
+            self.inject_multi_bit(os);
+        }
+    }
+}
+
+impl MemTool for Injector {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn heap(&self) -> &safemem_alloc::Heap {
+        self.inner.heap()
+    }
+
+    fn malloc(&mut self, os: &mut Os, size: u64, stack: &CallStack) -> u64 {
+        self.maybe_inject(os);
+        let addr = self.inner.malloc(os, size, stack);
+        self.live.insert(addr, size);
+        addr
+    }
+
+    fn free(&mut self, os: &mut Os, addr: u64) {
+        self.maybe_inject(os);
+        self.live.remove(&addr);
+        self.inner.free(os, addr);
+    }
+
+    fn realloc(&mut self, os: &mut Os, addr: u64, new_size: u64, stack: &CallStack) -> u64 {
+        self.maybe_inject(os);
+        self.live.remove(&addr);
+        let new_addr = self.inner.realloc(os, addr, new_size, stack);
+        self.live.insert(new_addr, new_size);
+        new_addr
+    }
+
+    fn read(&mut self, os: &mut Os, addr: u64, buf: &mut [u8]) {
+        self.maybe_inject(os);
+        self.inner.read(os, addr, buf);
+    }
+
+    fn write(&mut self, os: &mut Os, addr: u64, data: &[u8]) {
+        self.maybe_inject(os);
+        self.inner.write(os, addr, data);
+    }
+
+    fn compute(&mut self, os: &mut Os, cycles: u64, mem_accesses: u64) {
+        self.maybe_inject(os);
+        self.inner.compute(os, cycles, mem_accesses);
+    }
+
+    fn finish(&mut self, os: &mut Os) {
+        self.inner.finish(os);
+    }
+
+    fn reports(&self) -> Vec<BugReport> {
+        self.inner.reports()
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic fault-injection campaigns for the SafeMem reproduction.
+//!
+//! The SafeMem paper's central robustness claim (§2.1, §5) is *differential*:
+//! under realistic memory-fault conditions — correctable single-bit errors,
+//! background scrubbing, DMA traffic, swap pressure — SafeMem raises **no
+//! false alarms** while still catching the planted leaks and corruptions,
+//! and genuine uncorrectable errors are *attributed to hardware* rather than
+//! misreported as program bugs. This crate turns that claim into a testable
+//! harness:
+//!
+//! * [`spec::CampaignSpec`] — a fully deterministic campaign description:
+//!   seed, fault mix and rates, scrub timing, swap pressure, ECC mode;
+//! * [`inject::Injector`] — a [`MemTool`](safemem_core::MemTool) wrapper that
+//!   interleaves seed-derived injections into a workload's operation stream
+//!   through the ECC controller's injection hooks, the OS scrub path, and a
+//!   DMA engine;
+//! * [`oracle::run_campaign`] — records one ground-truth trace and replays it
+//!   through SafeMem, the three comparison baselines, and the uninstrumented
+//!   tool, classifying every report as true positive / false positive /
+//!   missed;
+//! * [`scorecard`] — byte-stable rendering, per campaign and aggregated.
+//!
+//! Determinism contract: no wall-clock, no global RNG; every injection
+//! decision is a pure function of `(campaign seed, operation index)`. The
+//! same spec therefore yields a byte-identical scorecard, which the
+//! regression tests assert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod oracle;
+pub mod rng;
+pub mod scorecard;
+pub mod spec;
+
+pub use inject::{InjectionLog, Injector};
+pub use oracle::{run_campaign, CampaignError, CampaignResult, GroundTruth, ToolScore, PANEL};
+pub use rng::SmRng;
+pub use scorecard::{render_aggregate, render_campaign};
+pub use spec::{CampaignSpec, FaultMix};

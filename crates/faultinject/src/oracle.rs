@@ -1,0 +1,286 @@
+//! The differential detection oracle.
+//!
+//! One campaign = one recorded workload trace replayed through SafeMem, the
+//! three comparison tools, and the uninstrumented baseline, each under the
+//! same deterministic fault injection. The oracle owns the ground truth
+//! (which bugs the workload plants, which faults the injector planted) and
+//! classifies every [`BugReport`] as a true positive, a false positive, or a
+//! miss.
+
+use safemem_baselines::{Memcheck, PageGuard, Purify};
+use safemem_core::{BugReport, GroupKey, MemTool, NullTool, SafeMem};
+use safemem_ecc::ControllerStats;
+use safemem_os::{Os, OsConfig, STATIC_BASE};
+use safemem_workloads::{workload_by_name, BugClass, InputMode, Recorder, RunConfig, Trace};
+
+use crate::inject::{InjectionLog, Injector};
+use crate::spec::CampaignSpec;
+
+/// A campaign-level error (bad spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError(pub String);
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// What the workload is known to plant — the reference every tool's reports
+/// are scored against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// The planted bug class.
+    pub bug: BugClass,
+    /// Allocation groups that genuinely leak (empty for corruption apps).
+    pub leak_groups: Vec<GroupKey>,
+    /// Whether a corruption bug (overflow / use-after-free) is planted.
+    pub expects_corruption: bool,
+    /// Operations in the recorded trace.
+    pub trace_ops: usize,
+}
+
+/// One tool's scored run within a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolScore {
+    /// Tool name ("safemem", "purify", ...).
+    pub tool: &'static str,
+    /// Simulated CPU cycles consumed.
+    pub cpu_cycles: u64,
+    /// Distinct planted leak groups the tool reported.
+    pub leaks_found: usize,
+    /// Planted leak groups the tool did not report.
+    pub leaks_missed: usize,
+    /// Leak reports naming groups that do not leak.
+    pub false_leaks: usize,
+    /// Whether the planted corruption (if any) was reported.
+    pub corruption_found: bool,
+    /// Corruption reports in a run with no planted corruption.
+    pub false_corruptions: usize,
+    /// `BugReport::HardwareError` count (watched-line signature mismatches).
+    pub hardware_reports: u64,
+    /// OS-level panics on unwatched uncorrectable errors.
+    pub hardware_panics: u64,
+    /// Hardware-error observations not explained by an injected
+    /// uncorrectable fault. Under a correctable-only mix every observation
+    /// counts — the controller corrected behind the scenes, so anything
+    /// surfacing as a hardware error was misattributed.
+    pub hardware_misattributions: u64,
+    /// Final controller counters (the delta for this run: each tool gets a
+    /// fresh machine).
+    pub controller: ControllerStats,
+    /// What the injector did during this run.
+    pub injected: InjectionLog,
+    /// Mirror of the campaign's `expects_corruption`, carried so the score
+    /// is self-contained.
+    pub expects_corruption: bool,
+}
+
+impl ToolScore {
+    /// Total false positives of any kind, including misattributed hardware
+    /// errors.
+    #[must_use]
+    pub fn false_positives(&self) -> u64 {
+        self.false_leaks as u64 + self.false_corruptions as u64 + self.hardware_misattributions
+    }
+
+    /// Whether every planted bug was reported.
+    #[must_use]
+    pub fn found_all_planted(&self) -> bool {
+        self.leaks_missed == 0 && (self.corruption_found || !self.expects_corruption)
+    }
+}
+
+/// A fully scored campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// The spec that produced this result.
+    pub spec: CampaignSpec,
+    /// The reference the tools were scored against.
+    pub truth: GroundTruth,
+    /// Per-tool scores, in the fixed order safemem, purify, memcheck,
+    /// pageguard, none.
+    pub tools: Vec<ToolScore>,
+}
+
+impl CampaignResult {
+    /// The score for a given tool name.
+    #[must_use]
+    pub fn tool(&self, name: &str) -> Option<&ToolScore> {
+        self.tools.iter().find(|t| t.tool == name)
+    }
+
+    /// The harsh-preset acceptance invariant: under a correctable-only
+    /// injection mix SafeMem reports **zero** false positives of any kind
+    /// and still catches every planted bug.
+    #[must_use]
+    pub fn harsh_invariant_holds(&self) -> bool {
+        let Some(s) = self.tool("safemem") else {
+            return false;
+        };
+        !self.spec.mix.injects_uncorrectable()
+            && s.false_positives() == 0
+            && s.hardware_panics == 0
+            && s.found_all_planted()
+    }
+}
+
+/// Builds the campaign's OS: memory size, swap policy, scrub interval, and
+/// controller mode all come from the spec.
+fn build_os(spec: &CampaignSpec) -> Os {
+    let mut os = Os::new(OsConfig {
+        phys_bytes: spec.phys_bytes,
+        swap_policy: spec.swap_policy,
+        scrub_interval_cycles: spec.scrub_interval_cycles,
+        ..OsConfig::default()
+    });
+    os.machine_mut().controller_mut().set_mode(spec.ecc_mode);
+    os
+}
+
+/// Builds one tool of the differential panel.
+fn build_tool(name: &str, os: &mut Os) -> Box<dyn MemTool> {
+    match name {
+        "safemem" => Box::new(SafeMem::builder().build(os)),
+        "purify" => {
+            let mut tool = Purify::new();
+            tool.add_root_range(STATIC_BASE, 4096);
+            Box::new(tool)
+        }
+        "memcheck" => {
+            let mut tool = Memcheck::new();
+            tool.add_root_range(STATIC_BASE, 4096);
+            Box::new(tool)
+        }
+        "pageguard" => Box::new(PageGuard::new()),
+        "none" => Box::new(NullTool::new()),
+        other => unreachable!("unknown panel tool {other}"),
+    }
+}
+
+/// The differential panel, in scorecard order.
+pub const PANEL: &[&str] = &["safemem", "purify", "memcheck", "pageguard", "none"];
+
+/// Runs one campaign: records the ground-truth trace, replays it through the
+/// whole panel under injection, and scores every tool.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the spec names an unknown workload.
+pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignResult, CampaignError> {
+    let workload = workload_by_name(&spec.workload)
+        .ok_or_else(|| CampaignError(format!("unknown workload {:?}", spec.workload)))?;
+    let cfg = RunConfig {
+        input: InputMode::Buggy,
+        requests: spec.requests,
+        seed: spec.workload_seed,
+    };
+
+    // Ground truth: record the op stream once, uninstrumented and
+    // uninjected, so every tool replays the identical program.
+    let trace = {
+        let mut os = build_os(spec);
+        let mut null = NullTool::new();
+        let mut recorder = Recorder::new(&mut null);
+        workload.run(&mut os, &mut recorder, &cfg);
+        recorder.into_trace()
+    };
+    let truth = GroundTruth {
+        bug: workload.spec().bug,
+        leak_groups: workload.true_leak_groups(),
+        expects_corruption: !workload.spec().bug.is_leak(),
+        trace_ops: trace.len(),
+    };
+
+    let mut tools = Vec::with_capacity(PANEL.len());
+    for &name in PANEL {
+        let mut os = build_os(spec);
+        let tool = build_tool(name, &mut os);
+        let mut injector = Injector::new(tool, spec.mix, spec.seed);
+        let result = trace.replay(&mut os, &mut injector);
+        tools.push(score(name, spec, &truth, &os, &result, injector.log()));
+    }
+
+    Ok(CampaignResult {
+        spec: spec.clone(),
+        truth,
+        tools,
+    })
+}
+
+/// Classifies one tool's reports against the ground truth.
+fn score(
+    tool: &'static str,
+    spec: &CampaignSpec,
+    truth: &GroundTruth,
+    os: &Os,
+    result: &safemem_workloads::RunResult,
+    injected: InjectionLog,
+) -> ToolScore {
+    let detected: Vec<GroupKey> = result
+        .leak_groups()
+        .into_iter()
+        .filter(|g| truth.leak_groups.contains(g))
+        .collect();
+    let leaks_found = detected.len();
+    let leaks_missed = truth.leak_groups.len() - leaks_found;
+    let false_leaks = result.false_leaks(&truth.leak_groups);
+
+    let corruption_found = result.corruption_detected();
+    let false_corruptions = if truth.expects_corruption {
+        0
+    } else {
+        result.reports.iter().filter(|r| r.is_corruption()).count()
+    };
+
+    let hardware_reports = result
+        .reports
+        .iter()
+        .filter(|r| matches!(r, BugReport::HardwareError { .. }))
+        .count() as u64;
+    let hardware_panics = os.stats().hardware_panics;
+    // Every injected burst is triggered exactly once by the injector itself;
+    // observations beyond that budget were misattributed.
+    let hardware_misattributions =
+        (hardware_reports + hardware_panics).saturating_sub(injected.multi_bit_bursts);
+
+    let _ = spec;
+    ToolScore {
+        tool,
+        cpu_cycles: result.cpu_cycles,
+        leaks_found,
+        leaks_missed,
+        false_leaks,
+        corruption_found,
+        false_corruptions,
+        hardware_reports,
+        hardware_panics,
+        hardware_misattributions,
+        controller: os.machine().controller().stats(),
+        injected,
+        expects_corruption: truth.expects_corruption,
+    }
+}
+
+/// Records the campaign trace only — exposed for tests that need the raw
+/// trace alongside [`run_campaign`].
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the spec names an unknown workload.
+pub fn record_trace(spec: &CampaignSpec) -> Result<Trace, CampaignError> {
+    let workload = workload_by_name(&spec.workload)
+        .ok_or_else(|| CampaignError(format!("unknown workload {:?}", spec.workload)))?;
+    let cfg = RunConfig {
+        input: InputMode::Buggy,
+        requests: spec.requests,
+        seed: spec.workload_seed,
+    };
+    let mut os = build_os(spec);
+    let mut null = NullTool::new();
+    let mut recorder = Recorder::new(&mut null);
+    workload.run(&mut os, &mut recorder, &cfg);
+    Ok(recorder.into_trace())
+}

@@ -1,0 +1,75 @@
+//! The campaign engine's private random stream.
+//!
+//! Determinism is the central contract of the fault injector (DESIGN.md):
+//! every injection decision must be a pure function of the campaign seed and
+//! the position in the operation stream. A tiny self-contained SplitMix64
+//! keeps that contract auditable — no global state, no wall-clock, no
+//! dependence on an external crate's stream evolution.
+
+/// SplitMix64: 64 bits of state, full-period, well mixed. Used for every
+/// injection decision the campaign engine makes.
+#[derive(Debug, Clone)]
+pub struct SmRng {
+    state: u64,
+}
+
+impl SmRng {
+    /// Creates a stream from a campaign seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SmRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (widening-multiply reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns `true` with probability `permille / 1000`.
+    pub fn chance(&mut self, permille: u16) -> bool {
+        self.below(1000) < u64::from(permille)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SmRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmRng::new(7);
+        let mut b = SmRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SmRng::new(1);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SmRng::new(3);
+        assert!(!(0..100).any(|_| r.chance(0)));
+        assert!((0..100).all(|_| r.chance(1000)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic scorecard rendering.
+//!
+//! Everything here formats already-sorted data with `{}`/`{:?}` on plain
+//! integers and derived enums — no floats beyond a fixed-precision rate, no
+//! hash-ordered iteration, no timestamps — so a campaign's rendering is
+//! byte-identical across runs and across machines.
+
+use std::fmt::Write as _;
+
+use crate::oracle::{CampaignResult, ToolScore};
+
+/// Renders one campaign as a multi-line scorecard.
+#[must_use]
+pub fn render_campaign(result: &CampaignResult) -> String {
+    let spec = &result.spec;
+    let truth = &result.truth;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign preset={} workload={} seed={:#018x}",
+        spec.preset, spec.workload, spec.seed
+    );
+    let _ = writeln!(
+        out,
+        "  mix permille: data={} code={} multi={} scrub={} dma={}",
+        spec.mix.data_bit_permille,
+        spec.mix.code_bit_permille,
+        spec.mix.multi_bit_permille,
+        spec.mix.scrub_permille,
+        spec.mix.dma_permille
+    );
+    let _ = writeln!(
+        out,
+        "  machine: phys={} swap={:?} scrub_interval={:?} ecc={:?}",
+        spec.phys_bytes, spec.swap_policy, spec.scrub_interval_cycles, spec.ecc_mode
+    );
+    let _ = writeln!(
+        out,
+        "  truth: bug={:?} leak_groups={} corruption={} trace_ops={}",
+        truth.bug,
+        truth.leak_groups.len(),
+        truth.expects_corruption,
+        truth.trace_ops
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>5} {:>5} {:>5} {:>5} {:>5} {:>7} {:>7} {:>8} {:>11} {:>9} {:>6}",
+        "tool",
+        "tpL",
+        "fpL",
+        "missL",
+        "corr",
+        "fpC",
+        "hwRep",
+        "hwPanic",
+        "misattr",
+        "inj(d/c/m)",
+        "corrected",
+        "fpAll"
+    );
+    for t in &result.tools {
+        let _ = writeln!(out, "  {}", render_tool_row(t));
+    }
+    out
+}
+
+fn render_tool_row(t: &ToolScore) -> String {
+    format!(
+        "{:<10} {:>5} {:>5} {:>5} {:>5} {:>5} {:>7} {:>7} {:>8} {:>4}/{:>2}/{:>2} {:>9} {:>6}",
+        t.tool,
+        t.leaks_found,
+        t.false_leaks,
+        t.leaks_missed,
+        if t.expects_corruption {
+            if t.corruption_found {
+                "yes"
+            } else {
+                "NO"
+            }
+        } else {
+            "-"
+        },
+        t.false_corruptions,
+        t.hardware_reports,
+        t.hardware_panics,
+        t.hardware_misattributions,
+        t.injected.data_bit_flips,
+        t.injected.code_bit_flips,
+        t.injected.multi_bit_bursts,
+        t.controller.corrected_single_bit,
+        t.false_positives()
+    )
+}
+
+/// Renders the cross-campaign aggregate table plus the acceptance verdict.
+#[must_use]
+pub fn render_aggregate(results: &[CampaignResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "aggregate over {} campaigns", results.len());
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>10}",
+        "tool", "tpL", "fpL", "missL", "corrTP", "fpC", "hwPanic", "misattr", "injected", "fpAll"
+    );
+    for (i, &name) in crate::oracle::PANEL.iter().enumerate() {
+        let scores = results.iter().filter_map(|r| r.tools.get(i));
+        let mut tp = 0usize;
+        let mut fp_l = 0usize;
+        let mut miss = 0usize;
+        let mut corr = 0usize;
+        let mut fp_c = 0usize;
+        let mut panics = 0u64;
+        let mut misattr = 0u64;
+        let mut injected = 0u64;
+        let mut fp_all = 0u64;
+        for s in scores {
+            debug_assert_eq!(s.tool, name);
+            tp += s.leaks_found;
+            fp_l += s.false_leaks;
+            miss += s.leaks_missed;
+            corr += usize::from(s.expects_corruption && s.corruption_found);
+            fp_c += s.false_corruptions;
+            panics += s.hardware_panics;
+            misattr += s.hardware_misattributions;
+            injected +=
+                s.injected.data_bit_flips + s.injected.code_bit_flips + s.injected.multi_bit_bursts;
+            fp_all += s.false_positives();
+        }
+        let _ = writeln!(
+            out,
+            "  {name:<10} {tp:>6} {fp_l:>6} {miss:>6} {corr:>6} {fp_c:>6} {panics:>8} {misattr:>8} {injected:>9} {fp_all:>10}"
+        );
+    }
+    let harsh: Vec<&CampaignResult> = results
+        .iter()
+        .filter(|r| !r.spec.mix.injects_uncorrectable())
+        .collect();
+    if !harsh.is_empty() {
+        let ok = harsh.iter().filter(|r| r.harsh_invariant_holds()).count();
+        let _ = writeln!(
+            out,
+            "  harsh invariant (safemem: zero FPs, all planted bugs found): {ok}/{} campaigns",
+            harsh.len()
+        );
+    }
+    out
+}

@@ -1,0 +1,167 @@
+//! Campaign specifications: what to inject, how often, and under which
+//! machine/OS configuration.
+
+use safemem_ecc::EccMode;
+use safemem_os::SwapPolicy;
+
+/// Per-operation injection rates, in permille (0..=1000). Each forwarded
+/// workload operation rolls each rate independently against the campaign's
+/// seed-derived stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultMix {
+    /// Correctable single-bit flips in stored *data* words.
+    pub data_bit_permille: u16,
+    /// Correctable single-bit flips in stored *check codes*.
+    pub code_bit_permille: u16,
+    /// Uncorrectable multi-bit bursts (triggered and repaired by the
+    /// injector itself; observable as hardware panics).
+    pub multi_bit_permille: u16,
+    /// Forced background scrub cycles (scrub-timing perturbation).
+    pub scrub_permille: u16,
+    /// Bus-interference DMA sweeps (`src == dst` single-line transfers).
+    pub dma_permille: u16,
+}
+
+impl FaultMix {
+    /// A mix that injects nothing (control campaigns).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultMix {
+            data_bit_permille: 0,
+            code_bit_permille: 0,
+            multi_bit_permille: 0,
+            scrub_permille: 0,
+            dma_permille: 0,
+        }
+    }
+
+    /// Whether the mix can produce an uncorrectable error.
+    #[must_use]
+    pub fn injects_uncorrectable(&self) -> bool {
+        self.multi_bit_permille > 0
+    }
+}
+
+/// One fault-injection campaign: a workload replayed under every tool while
+/// the injector perturbs the machine according to `mix`.
+///
+/// Everything that influences the run is in this struct; two campaigns with
+/// equal specs produce byte-identical scorecards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Preset name, echoed in the scorecard ("harsh", "mixed", "quiet").
+    pub preset: String,
+    /// Workload name, resolved through `safemem_workloads::workload_by_name`.
+    pub workload: String,
+    /// Campaign seed: drives every injection decision.
+    pub seed: u64,
+    /// Workload input seed. Deliberately *not* derived from `seed`: all
+    /// campaigns of a preset replay the identical trace, isolating the
+    /// injection mix as the only experimental variable.
+    pub workload_seed: u64,
+    /// Request count forwarded to the workload (None = its default).
+    pub requests: Option<u64>,
+    /// The injection rates.
+    pub mix: FaultMix,
+    /// Physical memory size — small values create swap pressure.
+    pub phys_bytes: u64,
+    /// How the OS treats watched pages under swap pressure.
+    pub swap_policy: SwapPolicy,
+    /// Periodic OS scrub interval in cycles (None = no periodic scrubbing).
+    pub scrub_interval_cycles: Option<u64>,
+    /// Controller operating mode for the campaign.
+    pub ecc_mode: EccMode,
+}
+
+/// Workload input seed shared by all presets (the same default the CLI
+/// runner uses), so preset traces are comparable across campaigns.
+pub const WORKLOAD_SEED: u64 = 0x05AF_E3E3;
+
+/// Request count the presets drive each workload with: large enough for the
+/// leak workloads' lifetime heuristic to trip under trace replay, small
+/// enough that a 32-seed × 5-workload campaign sweep finishes in about a
+/// minute.
+pub const HARSH_REQUESTS: u64 = 128;
+
+/// The workloads the preset campaigns sweep by default.
+///
+/// This is the subset of the registry whose planted bugs survive *trace
+/// replay* faithfully: `squid1`'s leak heuristic raises one false leak even
+/// with zero injection, and `squid2`'s use-after-free access is remapped by
+/// the trace recorder to the nearest live buffer (the freed buffer has no
+/// stable identity in a trace), so neither can anchor a zero-false-positive
+/// acceptance gate. Both remain runnable by naming them explicitly.
+pub const PRESET_WORKLOADS: &[&str] = &["ypserv1", "proftpd", "ypserv2", "gzip", "tar"];
+
+impl CampaignSpec {
+    /// The acceptance-gate preset: swap pressure, periodic and forced
+    /// scrubbing, DMA interference, and a steady rain of *correctable*
+    /// single-bit errors — but nothing uncorrectable. SafeMem must come out
+    /// with zero false positives and every planted bug detected.
+    #[must_use]
+    pub fn harsh(workload: &str, seed: u64) -> Self {
+        CampaignSpec {
+            preset: "harsh".into(),
+            workload: workload.into(),
+            seed,
+            workload_seed: WORKLOAD_SEED,
+            requests: Some(HARSH_REQUESTS),
+            mix: FaultMix {
+                data_bit_permille: 25,
+                code_bit_permille: 8,
+                multi_bit_permille: 0,
+                scrub_permille: 4,
+                dma_permille: 4,
+            },
+            phys_bytes: 1 << 22,
+            swap_policy: SwapPolicy::SwapAware,
+            scrub_interval_cycles: Some(250_000),
+            ecc_mode: EccMode::CorrectAndScrub,
+        }
+    }
+
+    /// Adds uncorrectable multi-bit bursts to the harsh mix. The injector
+    /// triggers and repairs each burst itself, so runs complete; the
+    /// scorecard accounts for every burst as a hardware panic.
+    #[must_use]
+    pub fn mixed(workload: &str, seed: u64) -> Self {
+        let mut spec = CampaignSpec::harsh(workload, seed);
+        spec.preset = "mixed".into();
+        spec.mix.data_bit_permille = 15;
+        spec.mix.multi_bit_permille = 3;
+        spec.phys_bytes = 1 << 23;
+        spec
+    }
+
+    /// The control preset: no injection, generous memory, default policies.
+    /// Establishes each tool's baseline detections for differential reading.
+    #[must_use]
+    pub fn quiet(workload: &str, seed: u64) -> Self {
+        CampaignSpec {
+            preset: "quiet".into(),
+            workload: workload.into(),
+            seed,
+            workload_seed: WORKLOAD_SEED,
+            requests: Some(HARSH_REQUESTS),
+            mix: FaultMix::none(),
+            phys_bytes: 1 << 24,
+            swap_policy: SwapPolicy::PinWatchedPages,
+            scrub_interval_cycles: None,
+            ecc_mode: EccMode::CorrectError,
+        }
+    }
+
+    /// Looks a preset up by name.
+    #[must_use]
+    pub fn preset(name: &str, workload: &str, seed: u64) -> Option<Self> {
+        match name {
+            "harsh" => Some(CampaignSpec::harsh(workload, seed)),
+            "mixed" => Some(CampaignSpec::mixed(workload, seed)),
+            "quiet" => Some(CampaignSpec::quiet(workload, seed)),
+            _ => None,
+        }
+    }
+
+    /// The preset names `preset` accepts.
+    pub const PRESETS: &'static [&'static str] = &["harsh", "mixed", "quiet"];
+}

@@ -208,7 +208,10 @@ impl Heap {
     /// Panics if `line_bytes` is not a power of two ≥ 8 or `pad_lines` is 0.
     #[must_use]
     pub fn with_options(policy: LayoutPolicy, line_bytes: u64, pad_lines: u64) -> Self {
-        assert!(line_bytes.is_power_of_two() && line_bytes >= 8, "bad line size");
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes >= 8,
+            "bad line size"
+        );
         assert!(pad_lines > 0, "at least one pad line");
         Heap {
             policy,
@@ -294,7 +297,7 @@ impl Heap {
         let (base, reused) = match self.free_lists.get_mut(&stride).and_then(Vec::pop) {
             Some(base) => (base, true),
             None => {
-                let base = Self::round_up(self.bump, stride.min(PAGE_BYTES).max(16));
+                let base = Self::round_up(self.bump, stride.clamp(16, PAGE_BYTES));
                 if base + stride > self.limit {
                     return Err(AllocError::OutOfHeap);
                 }
@@ -368,7 +371,11 @@ impl Heap {
             .iter()
             .map(|(stride, bases)| stride * bases.len() as u64)
             .sum();
-        let frag = if extent == 0 { 0.0 } else { parked as f64 / extent as f64 };
+        let frag = if extent == 0 {
+            0.0
+        } else {
+            parked as f64 / extent as f64
+        };
         (extent, parked, frag)
     }
 
@@ -386,12 +393,17 @@ impl Heap {
         addr: u64,
         new_size: u64,
     ) -> Result<(Allocation, Allocation), AllocError> {
-        let old = *self.live.get(&addr).ok_or(AllocError::NotAllocated { addr })?;
+        let old = *self
+            .live
+            .get(&addr)
+            .ok_or(AllocError::NotAllocated { addr })?;
         let new = self.alloc(os, new_size)?;
         let copy = old.payload.min(new.payload) as usize;
         let mut data = vec![0u8; copy];
-        os.vread(old.addr, &mut data).expect("realloc source readable");
-        os.vwrite(new.addr, &data).expect("realloc destination writable");
+        os.vread(old.addr, &mut data)
+            .expect("realloc source readable");
+        os.vwrite(new.addr, &data)
+            .expect("realloc destination writable");
         self.free(os, addr).expect("old block is live");
         Ok((old, new))
     }
@@ -447,7 +459,10 @@ mod tests {
             page.alloc(&mut os, size).unwrap();
         }
         let ratio = page.stats().overhead_percent() / ecc.stats().overhead_percent();
-        assert!(ratio > 20.0, "page/ECC waste ratio {ratio} unexpectedly small");
+        assert!(
+            ratio > 20.0,
+            "page/ECC waste ratio {ratio} unexpectedly small"
+        );
     }
 
     #[test]
@@ -464,7 +479,10 @@ mod tests {
             for i in 1..40u64 {
                 let a = h.alloc(&mut os, i * 7 % 300 + 1).unwrap();
                 for &(b, e) in &spans {
-                    assert!(a.base >= e || a.base + a.stride <= b, "overlap under {policy:?}");
+                    assert!(
+                        a.base >= e || a.base + a.stride <= b,
+                        "overlap under {policy:?}"
+                    );
                 }
                 spans.push((a.base, a.base + a.stride));
             }
@@ -488,7 +506,10 @@ mod tests {
         let mut h = Heap::new(LayoutPolicy::Natural);
         let a = h.alloc(&mut os, 8).unwrap();
         h.free(&mut os, a.addr).unwrap();
-        assert_eq!(h.free(&mut os, a.addr), Err(AllocError::NotAllocated { addr: a.addr }));
+        assert_eq!(
+            h.free(&mut os, a.addr),
+            Err(AllocError::NotAllocated { addr: a.addr })
+        );
     }
 
     #[test]
@@ -524,7 +545,10 @@ mod tests {
         let mut h = Heap::new(LayoutPolicy::LineAligned);
         let a = h.alloc(&mut os, 100).unwrap();
         assert_eq!(h.allocation_containing(a.addr + 50).unwrap().addr, a.addr);
-        assert!(h.allocation_containing(a.addr + 100).is_none(), "end is exclusive");
+        assert!(
+            h.allocation_containing(a.addr + 100).is_none(),
+            "end is exclusive"
+        );
         assert!(h.allocation_containing(a.addr.wrapping_sub(1)).is_none());
     }
 

@@ -143,7 +143,11 @@ mod tests {
         let data: Vec<u8> = (0..200u16).map(|i| i as u8).collect();
         ctl.write(0x1000, &data);
         let mut dma = DmaEngine::new();
-        dma.enqueue(DmaTransfer { src: 0x1000, dst: 0x4000, len: 200 });
+        dma.enqueue(DmaTransfer {
+            src: 0x1000,
+            dst: 0x4000,
+            len: 200,
+        });
         // 200 bytes = 4 bursts.
         assert_eq!(dma.step(&mut ctl), DmaStep::Progress);
         assert_eq!(dma.step(&mut ctl), DmaStep::Progress);
@@ -160,7 +164,11 @@ mod tests {
         let mut ctl = controller();
         ctl.write(0x1000, &[7u8; 64]);
         let mut dma = DmaEngine::new();
-        dma.enqueue(DmaTransfer { src: 0x1000, dst: 0x2000, len: 64 });
+        dma.enqueue(DmaTransfer {
+            src: 0x1000,
+            dst: 0x2000,
+            len: 64,
+        });
         ctl.lock_bus();
         assert_eq!(dma.step(&mut ctl), DmaStep::Stalled);
         assert_eq!(dma.step(&mut ctl), DmaStep::Stalled);
@@ -179,7 +187,11 @@ mod tests {
         ctl.write(0x1000, &[0xAB; 128]);
         ctl.write(0x3000, &0xFEED_u64.to_le_bytes()); // the future watchee
         let mut dma = DmaEngine::new();
-        dma.enqueue(DmaTransfer { src: 0x1000, dst: 0x2000, len: 128 });
+        dma.enqueue(DmaTransfer {
+            src: 0x1000,
+            dst: 0x2000,
+            len: 128,
+        });
         dma.step(&mut ctl); // first burst moves
 
         // Kernel arms a watchpoint: bus locked for the critical section.
@@ -209,7 +221,11 @@ mod tests {
         ctl.write(0x1000, &scheme.apply(0x0101_0101_0101_0101).to_le_bytes());
         ctl.set_enabled(true);
         let mut dma = DmaEngine::new();
-        dma.enqueue(DmaTransfer { src: 0x1000, dst: 0x2000, len: 64 });
+        dma.enqueue(DmaTransfer {
+            src: 0x1000,
+            dst: 0x2000,
+            len: 64,
+        });
         let step = dma.step(&mut ctl);
         assert!(matches!(step, DmaStep::Faulted(_)), "{step:?}");
         assert_eq!(dma.pending(), 0, "aborted transfer dequeued");
@@ -219,6 +235,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero-length")]
     fn zero_length_rejected() {
-        DmaEngine::new().enqueue(DmaTransfer { src: 0, dst: 0, len: 0 });
+        DmaEngine::new().enqueue(DmaTransfer {
+            src: 0,
+            dst: 0,
+            len: 0,
+        });
     }
 }

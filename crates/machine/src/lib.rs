@@ -125,7 +125,11 @@ impl Machine {
     /// Panics if `phys_bytes` is zero.
     #[must_use]
     pub fn with_defaults(phys_bytes: u64) -> Self {
-        Machine::new(phys_bytes, safemem_cache::default_two_level(), CostModel::default())
+        Machine::new(
+            phys_bytes,
+            safemem_cache::default_two_level(),
+            CostModel::default(),
+        )
     }
 
     /// The simulated clock.
@@ -204,9 +208,12 @@ impl Machine {
     /// Panics if the range exceeds physical memory.
     pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EccFault> {
         let mut traffic = Traffic::new(self.hierarchy.num_levels());
-        let result = self
-            .hierarchy
-            .read(addr, buf, &mut CtlBacking(&mut self.controller), &mut traffic);
+        let result = self.hierarchy.read(
+            addr,
+            buf,
+            &mut CtlBacking(&mut self.controller),
+            &mut traffic,
+        );
         self.charge(&traffic);
         if result.is_err() {
             self.clock.advance(self.cost.fault_detect_cycles);
@@ -228,9 +235,12 @@ impl Machine {
     /// Panics if the range exceeds physical memory.
     pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), EccFault> {
         let mut traffic = Traffic::new(self.hierarchy.num_levels());
-        let result = self
-            .hierarchy
-            .write(addr, buf, &mut CtlBacking(&mut self.controller), &mut traffic);
+        let result = self.hierarchy.write(
+            addr,
+            buf,
+            &mut CtlBacking(&mut self.controller),
+            &mut traffic,
+        );
         self.charge(&traffic);
         if result.is_err() {
             self.clock.advance(self.cost.fault_detect_cycles);
@@ -247,8 +257,12 @@ impl Machine {
     pub fn flush_range(&mut self, addr: u64, len: u64) {
         let mut traffic = Traffic::new(self.hierarchy.num_levels());
         let lines = len.div_ceil(self.line_size()).max(1);
-        self.hierarchy
-            .flush_range(addr, len, &mut CtlBacking(&mut self.controller), &mut traffic);
+        self.hierarchy.flush_range(
+            addr,
+            len,
+            &mut CtlBacking(&mut self.controller),
+            &mut traffic,
+        );
         self.charge(&traffic);
         self.clock.advance(lines * self.cost.flush_line_cycles);
     }
@@ -444,7 +458,8 @@ mod tests {
         // Demand access to the PREVIOUS line prefetches the watched one:
         // the prefetch is squashed silently, no fault surfaces.
         let mut buf = [0u8; 8];
-        m.read(addr - 64, &mut buf).expect("prefetch must not fault");
+        m.read(addr - 64, &mut buf)
+            .expect("prefetch must not fault");
         assert_eq!(m.hierarchy().residency(addr), None);
         // The watchpoint still fires on a demand access.
         assert!(m.read(addr, &mut buf).is_err());

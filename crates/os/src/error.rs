@@ -51,7 +51,11 @@ impl fmt::Display for UserEccFault {
             self.access_vaddr,
             self.line_vaddr,
             self.region_vaddr,
-            if self.signature_ok { "matched" } else { "MISMATCH: hardware error" }
+            if self.signature_ok {
+                "matched"
+            } else {
+                "MISMATCH: hardware error"
+            }
         )
     }
 }
@@ -154,11 +158,20 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let fault = OsFault::Segv { vaddr: 0x1234, access: AccessKind::Write };
+        let fault = OsFault::Segv {
+            vaddr: 0x1234,
+            access: AccessKind::Write,
+        };
         assert!(fault.to_string().contains("0x1234"));
-        let err = OsError::Misaligned { value: 0x7, required: 64 };
+        let err = OsError::Misaligned {
+            value: 0x7,
+            required: 64,
+        };
         assert!(err.to_string().contains("64"));
-        let hw = OsFault::HardwareError { vaddr: 0x10, group_addr: 0x20 };
+        let hw = OsFault::HardwareError {
+            vaddr: 0x10,
+            group_addr: 0x20,
+        };
         assert!(hw.to_string().contains("panic"));
     }
 

@@ -63,16 +63,25 @@ impl fmt::Display for KernelEvent {
                 write!(f, "ecc: watch region {vaddr:#x} (+{size})")
             }
             KernelEvent::Unwatched { vaddr } => write!(f, "ecc: unwatch region {vaddr:#x}"),
-            KernelEvent::FaultDelivered { vaddr, signature_ok } => write!(
+            KernelEvent::FaultDelivered {
+                vaddr,
+                signature_ok,
+            } => write!(
                 f,
                 "ecc: fault at {vaddr:#x} → user handler ({})",
                 if *signature_ok { "access" } else { "hardware" }
             ),
             KernelEvent::Panic { group_addr } => {
-                write!(f, "panic: uncorrectable memory error at group {group_addr:#x}")
+                write!(
+                    f,
+                    "panic: uncorrectable memory error at group {group_addr:#x}"
+                )
             }
             KernelEvent::ScrubCycle { watched_lines } => {
-                write!(f, "ecc: scrub cycle ({watched_lines} watched lines coordinated)")
+                write!(
+                    f,
+                    "ecc: scrub cycle ({watched_lines} watched lines coordinated)"
+                )
             }
             KernelEvent::SwapOut { vpn } => write!(f, "vm: page {vpn:#x} → swap"),
             KernelEvent::SwapIn { vpn } => write!(f, "vm: page {vpn:#x} ← swap"),
@@ -120,7 +129,11 @@ impl KernelLog {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "log capacity must be non-zero");
-        KernelLog { entries: VecDeque::new(), capacity, dropped: 0 }
+        KernelLog {
+            entries: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Appends an event at simulated time `cycles`.
@@ -195,8 +208,20 @@ mod tests {
     #[test]
     fn render_is_dmesg_like() {
         let mut log = KernelLog::default();
-        log.push(12345, KernelEvent::Watched { vaddr: 0x1000, size: 64 });
-        log.push(23456, KernelEvent::FaultDelivered { vaddr: 0x1008, signature_ok: true });
+        log.push(
+            12345,
+            KernelEvent::Watched {
+                vaddr: 0x1000,
+                size: 64,
+            },
+        );
+        log.push(
+            23456,
+            KernelEvent::FaultDelivered {
+                vaddr: 0x1008,
+                signature_ok: true,
+            },
+        );
         let text = log.render();
         assert!(text.contains("watch region 0x1000"));
         assert!(text.contains("access"));

@@ -188,7 +188,10 @@ impl Os {
     /// Panics if `phys_bytes` is zero.
     #[must_use]
     pub fn with_defaults(phys_bytes: u64) -> Self {
-        Os::new(OsConfig { phys_bytes, ..OsConfig::default() })
+        Os::new(OsConfig {
+            phys_bytes,
+            ..OsConfig::default()
+        })
     }
 
     /// The underlying machine (read access).
@@ -338,7 +341,10 @@ impl Os {
     fn translate_checked(&mut self, vaddr: u64, kind: AccessKind) -> Result<u64, OsFault> {
         if !self.vm.prot_of(vaddr).allows(kind) {
             self.stats.segv_delivered += 1;
-            return Err(OsFault::Segv { vaddr, access: kind });
+            return Err(OsFault::Segv {
+                vaddr,
+                access: kind,
+            });
         }
         let outcome = self.vm.translate(&mut self.machine, vaddr);
         self.drain_evictions();
@@ -351,7 +357,12 @@ impl Os {
             }
             Ok((phys, TranslateOutcome::SwapIn)) => {
                 let now = self.machine.clock().cycles();
-                self.klog.push(now, KernelEvent::SwapIn { vpn: vaddr / PAGE_BYTES });
+                self.klog.push(
+                    now,
+                    KernelEvent::SwapIn {
+                        vpn: vaddr / PAGE_BYTES,
+                    },
+                );
                 let cycles = self.machine.cost().page_fault_cycles;
                 self.machine.compute(cycles);
                 self.io_wait_ns(self.swap_io_ns);
@@ -362,7 +373,10 @@ impl Os {
             }
             Err(OsError::OutOfRange { .. }) => {
                 self.stats.segv_delivered += 1;
-                Err(OsFault::Segv { vaddr, access: kind })
+                Err(OsFault::Segv {
+                    vaddr,
+                    access: kind,
+                })
             }
             Err(e) => panic!("physical memory exhausted during access: {e}"),
         }
@@ -370,24 +384,23 @@ impl Os {
 
     /// Classifies an ECC fault raised by a physical access at `phys_group`,
     /// reached through virtual address `vaddr`.
-    fn classify_ecc_fault(
-        &mut self,
-        vaddr: u64,
-        kind: AccessKind,
-        group_addr: u64,
-    ) -> OsFault {
+    fn classify_ecc_fault(&mut self, vaddr: u64, kind: AccessKind, group_addr: u64) -> OsFault {
         let ls = self.line_size();
         let phys_line = group_addr & !(ls - 1);
         let Some(line) = self.watch.line_by_phys(phys_line) else {
             self.stats.hardware_panics += 1;
-            self.klog
-                .push(self.machine.clock().cycles(), KernelEvent::Panic { group_addr });
+            self.klog.push(
+                self.machine.clock().cycles(),
+                KernelEvent::Panic { group_addr },
+            );
             return OsFault::HardwareError { vaddr, group_addr };
         };
         if !self.handler_registered {
             self.stats.hardware_panics += 1;
-            self.klog
-                .push(self.machine.clock().cycles(), KernelEvent::Panic { group_addr });
+            self.klog.push(
+                self.machine.clock().cycles(),
+                KernelEvent::Panic { group_addr },
+            );
             return OsFault::HardwareError { vaddr, group_addr };
         }
         // Differentiate access fault from hardware error: the stored data
@@ -415,7 +428,10 @@ impl Os {
         self.stats.ecc_faults_delivered += 1;
         self.klog.push(
             self.machine.clock().cycles(),
-            KernelEvent::FaultDelivered { vaddr: user.access_vaddr, signature_ok },
+            KernelEvent::FaultDelivered {
+                vaddr: user.access_vaddr,
+                signature_ok,
+            },
         );
         OsFault::Ecc(user)
     }
@@ -537,14 +553,22 @@ impl Os {
     /// * [`OsError::OutOfRange`] if the region leaves the address space.
     pub fn watch_memory(&mut self, vaddr: u64, size: u64) -> Result<(), OsError> {
         let ls = self.line_size();
-        if vaddr % ls != 0 {
-            return Err(OsError::Misaligned { value: vaddr, required: ls });
+        if !vaddr.is_multiple_of(ls) {
+            return Err(OsError::Misaligned {
+                value: vaddr,
+                required: ls,
+            });
         }
-        if size == 0 || size % ls != 0 {
-            return Err(OsError::Misaligned { value: size, required: ls });
+        if size == 0 || !size.is_multiple_of(ls) {
+            return Err(OsError::Misaligned {
+                value: size,
+                required: ls,
+            });
         }
         if vaddr + size > VA_LIMIT {
-            return Err(OsError::OutOfRange { vaddr: vaddr + size });
+            return Err(OsError::OutOfRange {
+                vaddr: vaddr + size,
+            });
         }
         if let Some(existing) = self.watch.overlapping_region(vaddr, size) {
             return Err(OsError::AlreadyWatched { existing });
@@ -591,8 +615,10 @@ impl Os {
             });
         }
         self.stats.watch_calls += 1;
-        self.klog
-            .push(self.machine.clock().cycles(), KernelEvent::Watched { vaddr, size });
+        self.klog.push(
+            self.machine.clock().cycles(),
+            KernelEvent::Watched { vaddr, size },
+        );
         // Top up to the calibrated syscall cost (Table 2: 2.0 µs for a
         // one-line region; later lines cost only the marginal kernel work).
         let budget = self.machine.cost().watch_memory_cycles
@@ -637,8 +663,10 @@ impl Os {
             }
         }
         self.stats.disable_calls += 1;
-        self.klog
-            .push(self.machine.clock().cycles(), KernelEvent::Unwatched { vaddr });
+        self.klog.push(
+            self.machine.clock().cycles(),
+            KernelEvent::Unwatched { vaddr },
+        );
         let budget = self.machine.cost().disable_watch_cycles
             + n.saturating_sub(1) * self.machine.cost().disable_extra_line_cycles;
         let spent = self.machine.clock().cycles() - start_cycles;
@@ -677,7 +705,9 @@ impl Os {
 
     /// Runs a scheduled scrub cycle if the configured interval has elapsed.
     fn maybe_scrub(&mut self) {
-        let Some(interval) = self.scrub_interval else { return };
+        let Some(interval) = self.scrub_interval else {
+            return;
+        };
         let now = self.machine.clock().cycles();
         if now.saturating_sub(self.last_scrub) >= interval {
             self.run_scrub_cycle();
@@ -724,7 +754,9 @@ impl Os {
         self.last_scrub = self.machine.clock().cycles();
         self.klog.push(
             self.last_scrub,
-            KernelEvent::ScrubCycle { watched_lines: armed.len() as u64 },
+            KernelEvent::ScrubCycle {
+                watched_lines: armed.len() as u64,
+            },
         );
     }
 }
@@ -754,16 +786,24 @@ mod tests {
     fn prot_none_segfaults() {
         let mut os = os();
         os.vwrite(HEAP_BASE, &[1]).unwrap();
-        os.mprotect(HEAP_BASE & !(PAGE_BYTES - 1), PAGE_BYTES, Prot::NONE).unwrap();
+        os.mprotect(HEAP_BASE & !(PAGE_BYTES - 1), PAGE_BYTES, Prot::NONE)
+            .unwrap();
         assert!(matches!(
             os.vread(HEAP_BASE, &mut [0u8; 1]),
-            Err(OsFault::Segv { access: AccessKind::Read, .. })
+            Err(OsFault::Segv {
+                access: AccessKind::Read,
+                ..
+            })
         ));
         assert!(matches!(
             os.vwrite(HEAP_BASE, &[1]),
-            Err(OsFault::Segv { access: AccessKind::Write, .. })
+            Err(OsFault::Segv {
+                access: AccessKind::Write,
+                ..
+            })
         ));
-        os.mprotect(HEAP_BASE & !(PAGE_BYTES - 1), PAGE_BYTES, Prot::READ_WRITE).unwrap();
+        os.mprotect(HEAP_BASE & !(PAGE_BYTES - 1), PAGE_BYTES, Prot::READ_WRITE)
+            .unwrap();
         os.vread(HEAP_BASE, &mut [0u8; 1]).unwrap();
     }
 
@@ -771,7 +811,8 @@ mod tests {
     fn read_only_allows_reads_blocks_writes() {
         let mut os = os();
         os.vwrite(HEAP_BASE, &[7]).unwrap();
-        os.mprotect(HEAP_BASE & !(PAGE_BYTES - 1), PAGE_BYTES, Prot::READ).unwrap();
+        os.mprotect(HEAP_BASE & !(PAGE_BYTES - 1), PAGE_BYTES, Prot::READ)
+            .unwrap();
         let mut b = [0u8; 1];
         os.vread(HEAP_BASE, &mut b).unwrap();
         assert_eq!(b, [7]);
@@ -789,7 +830,10 @@ mod tests {
             os.watch_memory(HEAP_BASE, 63),
             Err(OsError::Misaligned { .. })
         ));
-        assert!(matches!(os.watch_memory(HEAP_BASE, 0), Err(OsError::Misaligned { .. })));
+        assert!(matches!(
+            os.watch_memory(HEAP_BASE, 0),
+            Err(OsError::Misaligned { .. })
+        ));
     }
 
     #[test]
@@ -798,7 +842,9 @@ mod tests {
         os.watch_memory(HEAP_BASE, 128).unwrap();
         assert_eq!(
             os.watch_memory(HEAP_BASE + 64, 64),
-            Err(OsError::AlreadyWatched { existing: HEAP_BASE })
+            Err(OsError::AlreadyWatched {
+                existing: HEAP_BASE
+            })
         );
     }
 
@@ -810,7 +856,9 @@ mod tests {
         assert!(os.vm().is_pinned(HEAP_BASE), "watched pages are pinned");
 
         let fault = os.vread(HEAP_BASE + 70, &mut [0u8; 4]).unwrap_err();
-        let OsFault::Ecc(user) = fault else { panic!("expected ECC fault, got {fault:?}") };
+        let OsFault::Ecc(user) = fault else {
+            panic!("expected ECC fault, got {fault:?}")
+        };
         assert!(user.signature_ok);
         assert_eq!(user.region_vaddr, HEAP_BASE);
         assert_eq!(user.line_vaddr, HEAP_BASE + 64);
@@ -830,7 +878,10 @@ mod tests {
         let fault = os.vwrite(HEAP_BASE + 8, &[1, 2]).unwrap_err();
         assert!(matches!(
             fault,
-            OsFault::Ecc(UserEccFault { access: AccessKind::Write, .. })
+            OsFault::Ecc(UserEccFault {
+                access: AccessKind::Write,
+                ..
+            })
         ));
     }
 
@@ -841,7 +892,9 @@ mod tests {
         // Find the physical placement, flush, and corrupt two bits.
         let phys = os.vm.translate_resident(HEAP_BASE).unwrap();
         os.machine_mut().flush_range(phys, 64);
-        os.machine_mut().controller_mut().inject_multi_bit_error(phys);
+        os.machine_mut()
+            .controller_mut()
+            .inject_multi_bit_error(phys);
         let fault = os.vread(HEAP_BASE, &mut [0u8; 8]).unwrap_err();
         assert!(matches!(fault, OsFault::HardwareError { .. }));
         assert_eq!(os.stats().hardware_panics, 1);
@@ -855,9 +908,13 @@ mod tests {
         // A real hardware error lands on the scrambled line: flip two MORE
         // bits so the content is scramble-mask ⊕ extra-bits ≠ signature.
         let phys = os.vm.translate_resident(HEAP_BASE).unwrap();
-        os.machine_mut().controller_mut().inject_multi_bit_error(phys);
+        os.machine_mut()
+            .controller_mut()
+            .inject_multi_bit_error(phys);
         let fault = os.vread(HEAP_BASE, &mut [0u8; 8]).unwrap_err();
-        let OsFault::Ecc(user) = fault else { panic!("expected routed fault") };
+        let OsFault::Ecc(user) = fault else {
+            panic!("expected routed fault")
+        };
         assert!(!user.signature_ok, "must be classified as hardware error");
     }
 
@@ -875,7 +932,9 @@ mod tests {
         os.vwrite(HEAP_BASE, &[9; 64]).unwrap();
         let phys = os.vm.translate_resident(HEAP_BASE).unwrap();
         os.machine_mut().flush_range(phys, 64);
-        os.machine_mut().controller_mut().inject_data_error(phys, 12);
+        os.machine_mut()
+            .controller_mut()
+            .inject_data_error(phys, 12);
         let mut buf = [0u8; 64];
         os.vread(HEAP_BASE, &mut buf).unwrap();
         assert_eq!(buf, [9; 64], "corrected transparently");
@@ -915,7 +974,10 @@ mod tests {
         // first program access still faults.
         assert!(matches!(
             os.vread(HEAP_BASE, &mut [0u8; 1]),
-            Err(OsFault::Ecc(UserEccFault { signature_ok: true, .. }))
+            Err(OsFault::Ecc(UserEccFault {
+                signature_ok: true,
+                ..
+            }))
         ));
         // And after unwatching, the data is intact.
         os.disable_watch_memory(HEAP_BASE).unwrap();
@@ -933,7 +995,11 @@ mod tests {
         os.vwrite(HEAP_BASE, &[3; 64]).unwrap();
         let cpu_before = os.cpu_cycles();
         os.run_scrub_cycle();
-        assert_eq!(os.cpu_cycles(), cpu_before, "no watched lines → pure background");
+        assert_eq!(
+            os.cpu_cycles(),
+            cpu_before,
+            "no watched lines → pure background"
+        );
     }
 
     #[test]
@@ -957,9 +1023,14 @@ mod tests {
         // Plenty of activity: the scheduled scrubs fire along the way.
         for i in 0..64u64 {
             os.compute(50_000);
-            os.vwrite(HEAP_BASE + 8192 + i * 64, &[i as u8; 64]).unwrap();
+            os.vwrite(HEAP_BASE + 8192 + i * 64, &[i as u8; 64])
+                .unwrap();
         }
-        assert!(os.stats().scrub_cycles >= 5, "scrubs ran: {}", os.stats().scrub_cycles);
+        assert!(
+            os.stats().scrub_cycles >= 5,
+            "scrubs ran: {}",
+            os.stats().scrub_cycles
+        );
         assert!(
             os.machine().controller().stats().scrub_corrections >= 1,
             "the latent error was repaired by scrubbing"
@@ -967,7 +1038,10 @@ mod tests {
         // The watchpoint survived every scrub cycle.
         assert!(matches!(
             os.vread(HEAP_BASE, &mut [0u8; 1]),
-            Err(OsFault::Ecc(UserEccFault { signature_ok: true, .. }))
+            Err(OsFault::Ecc(UserEccFault {
+                signature_ok: true,
+                ..
+            }))
         ));
     }
 
@@ -987,13 +1061,20 @@ mod tests {
 
         // Blow through physical memory so the watched page gets evicted.
         for i in 0..32u64 {
-            os.vwrite(HEAP_BASE + (i + 4) * PAGE_BYTES, &[i as u8; 32]).unwrap();
+            os.vwrite(HEAP_BASE + (i + 4) * PAGE_BYTES, &[i as u8; 32])
+                .unwrap();
         }
         assert!(!os.vm().is_resident(HEAP_BASE), "watched page evicted");
 
         // Touching the watched data swaps the page in, re-arms, and faults.
         let fault = os.vread(HEAP_BASE, &mut [0u8; 4]).unwrap_err();
-        assert!(matches!(fault, OsFault::Ecc(UserEccFault { signature_ok: true, .. })));
+        assert!(matches!(
+            fault,
+            OsFault::Ecc(UserEccFault {
+                signature_ok: true,
+                ..
+            })
+        ));
 
         // Unwatch and verify contents survived the round trip.
         os.disable_watch_memory(HEAP_BASE).unwrap();
@@ -1055,7 +1136,9 @@ mod tests {
         let _ = os.vread(HEAP_BASE, &mut [0u8; 1]);
         let faults = os.machine_mut().take_faults();
         assert!(!faults.is_empty());
-        assert!(faults.iter().all(|f| f.kind == FaultKind::UncorrectableData));
+        assert!(faults
+            .iter()
+            .all(|f| f.kind == FaultKind::UncorrectableData));
     }
 
     #[test]

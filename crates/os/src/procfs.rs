@@ -49,7 +49,11 @@ pub fn eccinfo(os: &Os) -> String {
     let c = os.machine().controller().stats();
     let s = os.stats();
     let mut out = String::new();
-    let _ = writeln!(out, "Mode:              {:?}", os.machine().controller().mode());
+    let _ = writeln!(
+        out,
+        "Mode:              {:?}",
+        os.machine().controller().mode()
+    );
     let _ = writeln!(out, "GroupsVerified:    {:>12}", c.groups_verified);
     let _ = writeln!(out, "CorrectedSingle:   {:>12}", c.corrected_single_bit);
     let _ = writeln!(out, "Uncorrectable:     {:>12}", c.uncorrectable);

@@ -30,11 +30,20 @@ pub struct Prot {
 
 impl Prot {
     /// No access (guard page).
-    pub const NONE: Prot = Prot { read: false, write: false };
+    pub const NONE: Prot = Prot {
+        read: false,
+        write: false,
+    };
     /// Read-only.
-    pub const READ: Prot = Prot { read: true, write: false };
+    pub const READ: Prot = Prot {
+        read: true,
+        write: false,
+    };
     /// Read-write (the default).
-    pub const READ_WRITE: Prot = Prot { read: true, write: true };
+    pub const READ_WRITE: Prot = Prot {
+        read: true,
+        write: true,
+    };
 
     /// Whether an access of `kind` is permitted.
     #[must_use]
@@ -62,7 +71,12 @@ struct PageEntry {
 
 impl Default for PageEntry {
     fn default() -> Self {
-        PageEntry { frame: None, prot: Prot::READ_WRITE, pinned: 0, last_use: 0 }
+        PageEntry {
+            frame: None,
+            prot: Prot::READ_WRITE,
+            pinned: 0,
+            last_use: 0,
+        }
     }
 }
 
@@ -161,8 +175,11 @@ impl VirtualMemory {
     /// Returns [`OsError::Misaligned`] if `vaddr` is not page-aligned, or
     /// [`OsError::OutOfRange`] if the range leaves the address space.
     pub fn set_prot(&mut self, vaddr: u64, len: u64, prot: Prot) -> Result<(), OsError> {
-        if vaddr % PAGE_BYTES != 0 {
-            return Err(OsError::Misaligned { value: vaddr, required: PAGE_BYTES });
+        if !vaddr.is_multiple_of(PAGE_BYTES) {
+            return Err(OsError::Misaligned {
+                value: vaddr,
+                required: PAGE_BYTES,
+            });
         }
         if vaddr + len > VA_LIMIT {
             return Err(OsError::OutOfRange { vaddr: vaddr + len });
@@ -207,20 +224,28 @@ impl VirtualMemory {
             .pages
             .get_mut(&Self::vpn(vaddr))
             .expect("unpin of unmapped page");
-        assert!(entry.pinned > 0, "unbalanced unpin of page {:#x}", vaddr / PAGE_BYTES);
+        assert!(
+            entry.pinned > 0,
+            "unbalanced unpin of page {:#x}",
+            vaddr / PAGE_BYTES
+        );
         entry.pinned -= 1;
     }
 
     /// Whether the page containing `vaddr` is currently pinned.
     #[must_use]
     pub fn is_pinned(&self, vaddr: u64) -> bool {
-        self.pages.get(&Self::vpn(vaddr)).is_some_and(|p| p.pinned > 0)
+        self.pages
+            .get(&Self::vpn(vaddr))
+            .is_some_and(|p| p.pinned > 0)
     }
 
     /// Whether the page containing `vaddr` is resident.
     #[must_use]
     pub fn is_resident(&self, vaddr: u64) -> bool {
-        self.pages.get(&Self::vpn(vaddr)).is_some_and(|p| p.frame.is_some())
+        self.pages
+            .get(&Self::vpn(vaddr))
+            .is_some_and(|p| p.frame.is_some())
     }
 
     /// Evicts the least-recently-used unpinned resident page, writing its
@@ -446,7 +471,10 @@ mod tests {
         vm.translate(&mut m, HEAP_BASE).unwrap();
         vm.translate(&mut m, HEAP_BASE + 3 * PAGE_BYTES).unwrap();
         assert!(vm.is_resident(HEAP_BASE), "recently used survives");
-        assert!(!vm.is_resident(HEAP_BASE + PAGE_BYTES), "LRU victim evicted");
+        assert!(
+            !vm.is_resident(HEAP_BASE + PAGE_BYTES),
+            "LRU victim evicted"
+        );
     }
 
     #[test]
@@ -460,7 +488,11 @@ mod tests {
         vm.translate(&mut m, HEAP_BASE + 2 * PAGE_BYTES).unwrap();
         assert!(!vm.is_resident(HEAP_BASE));
         vm.translate(&mut m, HEAP_BASE).unwrap();
-        assert_eq!(vm.prot_of(HEAP_BASE), Prot::READ, "prot is per-VMA, not per-frame");
+        assert_eq!(
+            vm.prot_of(HEAP_BASE),
+            Prot::READ,
+            "prot is per-VMA, not per-frame"
+        );
     }
 
     #[test]

@@ -105,11 +105,16 @@ fn check(os: &mut Os, ops: &[Op]) {
     }
     for (slot, fill) in contents {
         let mut buf = [0u8; 64];
-        os.vread(slot_addr(slot), &mut buf).expect("clean after teardown");
+        os.vread(slot_addr(slot), &mut buf)
+            .expect("clean after teardown");
         assert_eq!(buf, [fill; 64]);
     }
     assert_eq!(os.watched_region_count(), 0);
-    assert_eq!(os.stats().hardware_panics, 0, "no kernel panics in a clean run");
+    assert_eq!(
+        os.stats().hardware_panics,
+        0,
+        "no kernel panics in a clean run"
+    );
 }
 
 proptest! {

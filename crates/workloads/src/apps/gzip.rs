@@ -93,7 +93,11 @@ mod tests {
         assert!(
             result.reports.iter().any(|r| matches!(
                 r,
-                BugReport::Overflow { side: OverflowSide::After, buffer_size: WINDOW_SIZE, .. }
+                BugReport::Overflow {
+                    side: OverflowSide::After,
+                    buffer_size: WINDOW_SIZE,
+                    ..
+                }
             )),
             "{:?}",
             result.reports
@@ -104,7 +108,10 @@ mod tests {
     fn normal_compression_is_clean() {
         let mut os = Os::with_defaults(1 << 25);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { requests: Some(10), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(10),
+            ..RunConfig::default()
+        };
         let result = run_under(&Gzip, &mut os, &mut tool, &cfg);
         assert!(result.reports.is_empty(), "{:?}", result.reports);
         assert_eq!(result.heap_stats.live_payload, 0, "all buffers freed");

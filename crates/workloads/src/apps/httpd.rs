@@ -110,7 +110,10 @@ mod tests {
         assert!(
             result.reports.iter().any(|r| matches!(
                 r,
-                BugReport::Overflow { buffer_size: HEADER_SIZE, .. }
+                BugReport::Overflow {
+                    buffer_size: HEADER_SIZE,
+                    ..
+                }
             )),
             "overflow found: {:?}",
             result.reports
@@ -120,14 +123,22 @@ mod tests {
             "session leak found: {:?}",
             result.reports
         );
-        assert_eq!(result.false_leaks(&Httpd.true_leak_groups()), 0, "{:?}", result.reports);
+        assert_eq!(
+            result.false_leaks(&Httpd.true_leak_groups()),
+            0,
+            "{:?}",
+            result.reports
+        );
     }
 
     #[test]
     fn normal_runs_are_clean() {
         let mut os = Os::with_defaults(1 << 26);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { requests: Some(300), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(300),
+            ..RunConfig::default()
+        };
         let result = run_under(&Httpd, &mut os, &mut tool, &cfg);
         assert!(result.reports.is_empty(), "{:?}", result.reports);
     }

@@ -64,9 +64,7 @@ impl Workload for Proftpd {
 
                 // The bug: the ABOR handler tears down the transfer state
                 // but forgets the data buffer.
-                let aborted = cfg.input == InputMode::Buggy
-                    && t == transfers - 1
-                    && ctx.chance(50);
+                let aborted = cfg.input == InputMode::Buggy && t == transfers - 1 && ctx.chance(50);
                 if !aborted {
                     ctx.free(xfer);
                 }
@@ -99,7 +97,11 @@ mod tests {
         };
         let result = run_under(&Proftpd, &mut os, &mut tool, &cfg);
         let truth = Proftpd.true_leak_groups();
-        assert!(result.true_leaks(&truth) >= 1, "leak detected: {:?}", result.reports);
+        assert!(
+            result.true_leaks(&truth) >= 1,
+            "leak detected: {:?}",
+            result.reports
+        );
         assert_eq!(result.false_leaks(&truth), 0, "{:?}", result.reports);
     }
 
@@ -107,10 +109,16 @@ mod tests {
     fn normal_sessions_leak_nothing() {
         let mut os = Os::with_defaults(1 << 26);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { requests: Some(200), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(200),
+            ..RunConfig::default()
+        };
         let result = run_under(&Proftpd, &mut os, &mut tool, &cfg);
         assert_eq!(result.leak_groups().len(), 0, "{:?}", result.reports);
         // All transfer buffers were freed.
-        assert_eq!(result.heap_stats.live_payload % XFER_SIZE, result.heap_stats.live_payload % XFER_SIZE);
+        assert_eq!(
+            result.heap_stats.live_payload % XFER_SIZE,
+            result.heap_stats.live_payload % XFER_SIZE
+        );
     }
 }

@@ -140,7 +140,11 @@ mod tests {
         };
         let result = run_under(&Squid1, &mut os, &mut tool, &cfg);
         let truth = Squid1.true_leak_groups();
-        assert!(result.true_leaks(&truth) >= 1, "cache leak detected: {:?}", result.reports);
+        assert!(
+            result.true_leaks(&truth) >= 1,
+            "cache leak detected: {:?}",
+            result.reports
+        );
         // The idle session object is the one false positive that survives
         // pruning (paper Table 5, squid1 row).
         assert_eq!(result.false_leaks(&truth), 1, "{:?}", result.reports);

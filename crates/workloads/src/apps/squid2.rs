@@ -118,7 +118,10 @@ mod tests {
         assert!(
             result.reports.iter().any(|r| matches!(
                 r,
-                BugReport::UseAfterFree { buffer_size: VICTIM_SIZE, .. }
+                BugReport::UseAfterFree {
+                    buffer_size: VICTIM_SIZE,
+                    ..
+                }
             )),
             "{:?}",
             result.reports
@@ -129,7 +132,10 @@ mod tests {
     fn normal_run_is_clean_and_balanced() {
         let mut os = Os::with_defaults(1 << 26);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { requests: Some(120), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(120),
+            ..RunConfig::default()
+        };
         let result = run_under(&Squid2, &mut os, &mut tool, &cfg);
         assert!(!result.corruption_detected(), "{:?}", result.reports);
     }

@@ -88,7 +88,10 @@ mod tests {
         assert!(
             result.reports.iter().any(|r| matches!(
                 r,
-                BugReport::Overflow { buffer_size: NAME_SIZE, .. }
+                BugReport::Overflow {
+                    buffer_size: NAME_SIZE,
+                    ..
+                }
             )),
             "{:?}",
             result.reports
@@ -99,7 +102,10 @@ mod tests {
     fn short_names_never_fault() {
         let mut os = Os::with_defaults(1 << 25);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { requests: Some(30), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(30),
+            ..RunConfig::default()
+        };
         let result = run_under(&Tar, &mut os, &mut tool, &cfg);
         assert!(result.reports.is_empty(), "{:?}", result.reports);
     }

@@ -94,7 +94,10 @@ mod tests {
     fn baseline_run_is_clean() {
         let mut os = Os::with_defaults(1 << 24);
         let mut tool = NullTool::new();
-        let cfg = RunConfig { requests: Some(100), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(100),
+            ..RunConfig::default()
+        };
         let result = run_under(&Ypserv1, &mut os, &mut tool, &cfg);
         assert!(result.reports.is_empty());
         assert!(result.cpu_cycles > 0);
@@ -111,15 +114,27 @@ mod tests {
         };
         let result = run_under(&Ypserv1, &mut os, &mut tool, &cfg);
         let truth = Ypserv1.true_leak_groups();
-        assert!(result.true_leaks(&truth) >= 1, "ALeak detected: {:?}", result.reports);
-        assert_eq!(result.false_leaks(&truth), 0, "no FPs after pruning: {:?}", result.reports);
+        assert!(
+            result.true_leaks(&truth) >= 1,
+            "ALeak detected: {:?}",
+            result.reports
+        );
+        assert_eq!(
+            result.false_leaks(&truth),
+            0,
+            "no FPs after pruning: {:?}",
+            result.reports
+        );
     }
 
     #[test]
     fn normal_input_produces_no_leak_reports() {
         let mut os = Os::with_defaults(1 << 25);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { requests: Some(400), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: Some(400),
+            ..RunConfig::default()
+        };
         let result = run_under(&Ypserv1, &mut os, &mut tool, &cfg);
         assert_eq!(result.leak_groups().len(), 0, "{:?}", result.reports);
     }

@@ -91,7 +91,11 @@ mod tests {
         };
         let result = run_under(&Ypserv2, &mut os, &mut tool, &cfg);
         let truth = Ypserv2.true_leak_groups();
-        assert!(result.true_leaks(&truth) >= 1, "SLeak detected: {:?}", result.reports);
+        assert!(
+            result.true_leaks(&truth) >= 1,
+            "SLeak detected: {:?}",
+            result.reports
+        );
         assert_eq!(result.false_leaks(&truth), 0, "{:?}", result.reports);
     }
 
@@ -102,7 +106,11 @@ mod tests {
             let mut os = Os::with_defaults(1 << 24);
             let mut tool = NullTool::new();
             // Buggy input exercises the seeded random error path.
-            let cfg = RunConfig { input: InputMode::Buggy, requests: Some(60), seed, ..RunConfig::default() };
+            let cfg = RunConfig {
+                input: InputMode::Buggy,
+                requests: Some(60),
+                seed,
+            };
             run_under(&Ypserv2, &mut os, &mut tool, &cfg).cpu_cycles
         };
         assert_eq!(run(7), run(7));

@@ -35,7 +35,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { input: InputMode::Normal, requests: None, seed: 0x5AFE_3E3 }
+        RunConfig {
+            input: InputMode::Normal,
+            requests: None,
+            seed: 0x05AF_E3E3,
+        }
     }
 }
 
@@ -102,14 +106,20 @@ impl RunResult {
     /// Leak reports whose group is in `truth` (true positives).
     #[must_use]
     pub fn true_leaks(&self, truth: &[GroupKey]) -> usize {
-        self.leak_groups().iter().filter(|g| truth.contains(g)).count()
+        self.leak_groups()
+            .iter()
+            .filter(|g| truth.contains(g))
+            .count()
     }
 
     /// Leak reports whose group is *not* in `truth` (false positives — the
     /// quantity of Table 5).
     #[must_use]
     pub fn false_leaks(&self, truth: &[GroupKey]) -> usize {
-        self.leak_groups().iter().filter(|g| !truth.contains(g)).count()
+        self.leak_groups()
+            .iter()
+            .filter(|g| !truth.contains(g))
+            .count()
     }
 
     /// Distinct groups reported as leaks.
@@ -154,7 +164,12 @@ pub trait Workload {
 }
 
 /// Runs a workload to completion under a tool and collects the result.
-pub fn run_under(workload: &dyn Workload, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) -> RunResult {
+pub fn run_under(
+    workload: &dyn Workload,
+    os: &mut Os,
+    tool: &mut dyn MemTool,
+    cfg: &RunConfig,
+) -> RunResult {
     workload.run(os, tool, cfg);
     tool.finish(os);
     RunResult {
@@ -189,7 +204,12 @@ impl<'a> Ctx<'a> {
     /// Creates a context for application `app_id` (distinct ids keep call
     /// sites of different apps distinct).
     pub fn new(os: &'a mut Os, tool: &'a mut dyn MemTool, app_id: u64, seed: u64) -> Self {
-        Ctx { os, tool, rng: StdRng::seed_from_u64(seed ^ app_id), app_frame: 0x40_0000 + app_id * 0x1_0000 }
+        Ctx {
+            os,
+            tool,
+            rng: StdRng::seed_from_u64(seed ^ app_id),
+            app_frame: 0x40_0000 + app_id * 0x1_0000,
+        }
     }
 
     /// The synthetic call stack for allocation site `site`.
@@ -242,12 +262,14 @@ impl<'a> Ctx<'a> {
     /// Stores a long-lived pointer into the static root table (slot index),
     /// making the target reachable for conservative leak scanners.
     pub fn store_root(&mut self, slot: u64, ptr: u64) {
-        self.tool.write(self.os, STATIC_BASE + slot * 8, &ptr.to_le_bytes());
+        self.tool
+            .write(self.os, STATIC_BASE + slot * 8, &ptr.to_le_bytes());
     }
 
     /// Clears a root slot (the target becomes unreachable).
     pub fn clear_root(&mut self, slot: u64) {
-        self.tool.write(self.os, STATIC_BASE + slot * 8, &0u64.to_le_bytes());
+        self.tool
+            .write(self.os, STATIC_BASE + slot * 8, &0u64.to_le_bytes());
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -257,7 +279,7 @@ impl<'a> Ctx<'a> {
 
     /// Bernoulli draw with probability `permille`/1000.
     pub fn chance(&mut self, permille: u64) -> bool {
-        self.rng.gen_range(0..1000) < permille
+        self.rng.gen_range(0u64..1000) < permille
     }
 }
 
@@ -278,7 +300,14 @@ impl FpPool {
     /// Allocates `n` pool objects of `size` bytes at sites
     /// `site_base..site_base + n`, rooted at root slots
     /// `root_base..root_base + n`, touched every `touch_every` requests.
-    pub fn init(ctx: &mut Ctx<'_>, site_base: u64, n: usize, size: u64, touch_every: u64, root_base: u64) -> Self {
+    pub fn init(
+        ctx: &mut Ctx<'_>,
+        site_base: u64,
+        n: usize,
+        size: u64,
+        touch_every: u64,
+        root_base: u64,
+    ) -> Self {
         let mut sites = Vec::with_capacity(n);
         let mut objs = Vec::with_capacity(n);
         for i in 0..n as u64 {
@@ -289,7 +318,13 @@ impl FpPool {
             sites.push(site);
             objs.push(addr);
         }
-        FpPool { sites, objs, size, touch_every, root_base }
+        FpPool {
+            sites,
+            objs,
+            size,
+            touch_every,
+            root_base,
+        }
     }
 
     /// Per-request churn: a short-lived allocation from one pool site, so
@@ -304,7 +339,7 @@ impl FpPool {
 
     /// Periodic touches proving the pool objects live.
     pub fn touch(&self, ctx: &mut Ctx<'_>, request: u64) {
-        if request > 0 && request % self.touch_every == 0 {
+        if request > 0 && request.is_multiple_of(self.touch_every) {
             for &obj in &self.objs {
                 ctx.touch(obj, 16);
             }
@@ -322,7 +357,10 @@ impl FpPool {
     /// The group keys of the pool objects (the *potential* false positives).
     #[must_use]
     pub fn groups(&self, ctx: &Ctx<'_>) -> Vec<GroupKey> {
-        self.sites.iter().map(|&s| ctx.group(s, self.size)).collect()
+        self.sites
+            .iter()
+            .map(|&s| ctx.group(s, self.size))
+            .collect()
     }
 }
 
@@ -338,16 +376,36 @@ mod tests {
         let mut tool = NullTool::new();
         let ctx = Ctx::new(&mut os, &mut tool, 3, 42);
         assert_eq!(ctx.group(0x20, 96), group_of(3, 0x20, 96));
-        assert_ne!(group_of(3, 0x20, 96), group_of(4, 0x20, 96), "apps are distinct");
-        assert_ne!(group_of(3, 0x20, 96), group_of(3, 0x21, 96), "sites are distinct");
+        assert_ne!(
+            group_of(3, 0x20, 96),
+            group_of(4, 0x20, 96),
+            "apps are distinct"
+        );
+        assert_ne!(
+            group_of(3, 0x20, 96),
+            group_of(3, 0x21, 96),
+            "sites are distinct"
+        );
     }
 
     #[test]
     fn run_result_classifies_leaks() {
         use safemem_core::{BugReport, GroupKey, LeakKind};
-        let g1 = GroupKey { size: 8, signature: 1 };
-        let g2 = GroupKey { size: 8, signature: 2 };
-        let leak = |group| BugReport::Leak { addr: 0, size: 8, group, kind: LeakKind::SLeak, at_cpu_cycles: 0 };
+        let g1 = GroupKey {
+            size: 8,
+            signature: 1,
+        };
+        let g2 = GroupKey {
+            size: 8,
+            signature: 2,
+        };
+        let leak = |group| BugReport::Leak {
+            addr: 0,
+            size: 8,
+            group,
+            kind: LeakKind::SLeak,
+            at_cpu_cycles: 0,
+        };
         let result = RunResult {
             cpu_cycles: 1,
             reports: vec![leak(g1), leak(g1), leak(g2)],
@@ -395,7 +453,10 @@ mod tests {
         let mut tool = NullTool::new();
         let mut ctx = Ctx::new(&mut os, &mut tool, 9, 1);
         ctx.store_root(4, 0xABCD_1234);
-        assert_eq!(ctx.os.read_u64(safemem_os::STATIC_BASE + 32).unwrap(), 0xABCD_1234);
+        assert_eq!(
+            ctx.os.read_u64(safemem_os::STATIC_BASE + 32).unwrap(),
+            0xABCD_1234
+        );
         ctx.clear_root(4);
         assert_eq!(ctx.os.read_u64(safemem_os::STATIC_BASE + 32).unwrap(), 0);
     }
@@ -409,6 +470,9 @@ mod tests {
             assert!(ctx.rand(7) < 7);
         }
         assert!((0..200).all(|_| !ctx.chance(0)), "0 permille never fires");
-        assert!((0..200).all(|_| ctx.chance(1000)), "1000 permille always fires");
+        assert!(
+            (0..200).all(|_| ctx.chance(1000)),
+            "1000 permille always fires"
+        );
     }
 }

@@ -45,7 +45,10 @@ mod tests {
         let all = all_workloads();
         assert_eq!(all.len(), 7);
         let names: Vec<&str> = all.iter().map(|w| w.spec().name).collect();
-        assert_eq!(names, ["ypserv1", "proftpd", "squid1", "ypserv2", "gzip", "tar", "squid2"]);
+        assert_eq!(
+            names,
+            ["ypserv1", "proftpd", "squid1", "ypserv2", "gzip", "tar", "squid2"]
+        );
         let leaks = all.iter().filter(|w| w.spec().bug.is_leak()).count();
         assert_eq!(leaks, 4, "four leak apps, three corruption apps");
     }
@@ -65,13 +68,18 @@ mod tests {
     fn lookup_by_name() {
         assert!(workload_by_name("gzip").is_some());
         assert!(workload_by_name("nginx").is_none());
-        assert_eq!(workload_by_name("squid2").unwrap().spec().bug, BugClass::UseAfterFree);
+        assert_eq!(
+            workload_by_name("squid2").unwrap().spec().bug,
+            BugClass::UseAfterFree
+        );
     }
 
     #[test]
     fn extensions_are_separate_from_table_1() {
         assert_eq!(all_workloads().len(), 7, "Table 1 stays authoritative");
-        assert!(extension_workloads().iter().any(|w| w.spec().name == "httpd"));
+        assert!(extension_workloads()
+            .iter()
+            .any(|w| w.spec().name == "httpd"));
         assert!(workload_by_name("httpd").is_some(), "but reachable by name");
     }
 }

@@ -84,7 +84,11 @@ impl Workload for Synthetic {
     }
 
     fn true_leak_groups(&self) -> Vec<GroupKey> {
-        vec![crate::driver::group_of(APP_ID, SITE_LEAK, self.params.object_bytes)]
+        vec![crate::driver::group_of(
+            APP_ID,
+            SITE_LEAK,
+            self.params.object_bytes,
+        )]
     }
 
     fn run(&self, os: &mut Os, tool: &mut dyn MemTool, cfg: &RunConfig) {
@@ -123,9 +127,15 @@ mod tests {
     #[test]
     fn overhead_grows_with_allocation_rate() {
         let overhead = |allocs: u64| {
-            let params = SyntheticParams { allocs_per_request: allocs, ..SyntheticParams::default() };
+            let params = SyntheticParams {
+                allocs_per_request: allocs,
+                ..SyntheticParams::default()
+            };
             let w = Synthetic::new(params);
-            let cfg = RunConfig { requests: Some(80), ..RunConfig::default() };
+            let cfg = RunConfig {
+                requests: Some(80),
+                ..RunConfig::default()
+            };
             let mut os = Os::with_defaults(1 << 24);
             let mut base = NullTool::new();
             let b = run_under(&w, &mut os, &mut base, &cfg);
@@ -136,7 +146,10 @@ mod tests {
         };
         let low = overhead(1);
         let high = overhead(16);
-        assert!(high > 2.0 * low, "alloc-rate scaling: {low:.4} vs {high:.4}");
+        assert!(
+            high > 2.0 * low,
+            "alloc-rate scaling: {low:.4} vs {high:.4}"
+        );
     }
 
     #[test]
@@ -150,6 +163,10 @@ mod tests {
         let mut os = Os::with_defaults(1 << 25);
         let mut tool = SafeMem::builder().build(&mut os);
         let result = run_under(&w, &mut os, &mut tool, &cfg);
-        assert!(result.true_leaks(&w.true_leak_groups()) >= 1, "{:?}", result.reports);
+        assert!(
+            result.true_leaks(&w.true_leak_groups()) >= 1,
+            "{:?}",
+            result.reports
+        );
     }
 }

@@ -128,10 +128,18 @@ impl Trace {
                 TraceOp::Read { id, offset, len } => {
                     let _ = writeln!(out, "R {id} {offset} {len}");
                 }
-                TraceOp::Write { id, offset, len, fill } => {
+                TraceOp::Write {
+                    id,
+                    offset,
+                    len,
+                    fill,
+                } => {
                     let _ = writeln!(out, "W {id} {offset} {len} {fill}");
                 }
-                TraceOp::Compute { cycles, mem_accesses } => {
+                TraceOp::Compute {
+                    cycles,
+                    mem_accesses,
+                } => {
                     let _ = writeln!(out, "C {cycles} {mem_accesses}");
                 }
                 TraceOp::Io { ns } => {
@@ -174,7 +182,9 @@ impl Trace {
                     }
                     trace.push(TraceOp::Malloc { size, frames });
                 }
-                "F" => trace.push(TraceOp::Free { id: num("id")? as u32 }),
+                "F" => trace.push(TraceOp::Free {
+                    id: num("id")? as u32,
+                }),
                 "R" => {
                     let id = num("id")? as u32;
                     let offset = parts
@@ -201,12 +211,20 @@ impl Trace {
                         .next()
                         .and_then(|t| t.parse::<u8>().ok())
                         .ok_or_else(|| err("fill"))?;
-                    trace.push(TraceOp::Write { id, offset, len, fill });
+                    trace.push(TraceOp::Write {
+                        id,
+                        offset,
+                        len,
+                        fill,
+                    });
                 }
                 "C" => {
                     let cycles = num("cycles")?;
                     let mem = num("mem_accesses")?;
-                    trace.push(TraceOp::Compute { cycles, mem_accesses: mem });
+                    trace.push(TraceOp::Compute {
+                        cycles,
+                        mem_accesses: mem,
+                    });
                 }
                 "I" => trace.push(TraceOp::Io { ns: num("ns")? }),
                 _ => return Err(err("unknown op tag")),
@@ -240,13 +258,21 @@ impl Trace {
                         tool.read(os, addr.wrapping_add_signed(*offset), &mut buf);
                     }
                 }
-                TraceOp::Write { id, offset, len, fill } => {
+                TraceOp::Write {
+                    id,
+                    offset,
+                    len,
+                    fill,
+                } => {
                     if let Some(&addr) = addrs.get(id) {
                         let data = vec![*fill; *len as usize];
                         tool.write(os, addr.wrapping_add_signed(*offset), &data);
                     }
                 }
-                TraceOp::Compute { cycles, mem_accesses } => {
+                TraceOp::Compute {
+                    cycles,
+                    mem_accesses,
+                } => {
                     tool.compute(os, *cycles, *mem_accesses);
                 }
                 TraceOp::Io { ns } => os.io_wait_ns(*ns),
@@ -273,7 +299,12 @@ pub struct Recorder<'a> {
 impl<'a> Recorder<'a> {
     /// Wraps a tool.
     pub fn new(inner: &'a mut dyn MemTool) -> Self {
-        Recorder { inner, trace: Trace::new(), ids: HashMap::new(), next_id: 0 }
+        Recorder {
+            inner,
+            trace: Trace::new(),
+            ids: HashMap::new(),
+            next_id: 0,
+        }
     }
 
     /// Consumes the recorder, returning the captured trace.
@@ -311,7 +342,10 @@ impl MemTool for Recorder<'_> {
 
     fn malloc(&mut self, os: &mut Os, size: u64, stack: &CallStack) -> u64 {
         let addr = self.inner.malloc(os, size, stack);
-        self.trace.push(TraceOp::Malloc { size, frames: stack.frames().to_vec() });
+        self.trace.push(TraceOp::Malloc {
+            size,
+            frames: stack.frames().to_vec(),
+        });
         self.ids.insert(addr, self.next_id);
         self.next_id += 1;
         addr
@@ -328,7 +362,10 @@ impl MemTool for Recorder<'_> {
         // Forward to the inner tool; record as malloc + free (the data copy
         // is an artefact of the tools, not of the program).
         let new_addr = self.inner.realloc(os, addr, new_size, stack);
-        self.trace.push(TraceOp::Malloc { size: new_size, frames: stack.frames().to_vec() });
+        self.trace.push(TraceOp::Malloc {
+            size: new_size,
+            frames: stack.frames().to_vec(),
+        });
         let new_id = self.next_id;
         self.next_id += 1;
         if let Some(old_id) = self.ids.remove(&addr) {
@@ -340,7 +377,11 @@ impl MemTool for Recorder<'_> {
 
     fn read(&mut self, os: &mut Os, addr: u64, buf: &mut [u8]) {
         if let Some((id, offset)) = self.locate(addr) {
-            self.trace.push(TraceOp::Read { id, offset, len: buf.len() as u32 });
+            self.trace.push(TraceOp::Read {
+                id,
+                offset,
+                len: buf.len() as u32,
+            });
         }
         self.inner.read(os, addr, buf);
     }
@@ -358,7 +399,10 @@ impl MemTool for Recorder<'_> {
     }
 
     fn compute(&mut self, os: &mut Os, cycles: u64, mem_accesses: u64) {
-        self.trace.push(TraceOp::Compute { cycles, mem_accesses });
+        self.trace.push(TraceOp::Compute {
+            cycles,
+            mem_accesses,
+        });
         self.inner.compute(os, cycles, mem_accesses);
     }
 
@@ -380,10 +424,25 @@ mod tests {
     #[test]
     fn text_roundtrip() {
         let mut t = Trace::new();
-        t.push(TraceOp::Malloc { size: 100, frames: vec![0x401000, 0x402000] });
-        t.push(TraceOp::Write { id: 0, offset: 0, len: 100, fill: 7 });
-        t.push(TraceOp::Read { id: 0, offset: 10, len: 20 });
-        t.push(TraceOp::Compute { cycles: 5000, mem_accesses: 100 });
+        t.push(TraceOp::Malloc {
+            size: 100,
+            frames: vec![0x401000, 0x402000],
+        });
+        t.push(TraceOp::Write {
+            id: 0,
+            offset: 0,
+            len: 100,
+            fill: 7,
+        });
+        t.push(TraceOp::Read {
+            id: 0,
+            offset: 10,
+            len: 20,
+        });
+        t.push(TraceOp::Compute {
+            cycles: 5000,
+            mem_accesses: 100,
+        });
         t.push(TraceOp::Io { ns: 2000 });
         t.push(TraceOp::Free { id: 0 });
         let text = t.to_text();
@@ -444,9 +503,20 @@ mod tests {
     #[test]
     fn replay_is_deterministic() {
         let mut t = Trace::new();
-        t.push(TraceOp::Malloc { size: 64, frames: vec![0x1] });
-        t.push(TraceOp::Write { id: 0, offset: 0, len: 64, fill: 3 });
-        t.push(TraceOp::Compute { cycles: 10_000, mem_accesses: 500 });
+        t.push(TraceOp::Malloc {
+            size: 64,
+            frames: vec![0x1],
+        });
+        t.push(TraceOp::Write {
+            id: 0,
+            offset: 0,
+            len: 64,
+            fill: 3,
+        });
+        t.push(TraceOp::Compute {
+            cycles: 10_000,
+            mem_accesses: 500,
+        });
         t.push(TraceOp::Free { id: 0 });
         let run = |t: &Trace| {
             let mut os = Os::with_defaults(1 << 22);

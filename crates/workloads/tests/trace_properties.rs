@@ -9,15 +9,29 @@ use safemem_workloads::{Trace, TraceOp};
 
 fn trace_op() -> impl Strategy<Value = TraceOp> {
     prop_oneof![
-        ((1u64..4096), proptest::collection::vec(1u64..u64::MAX, 1..5))
+        (
+            (1u64..4096),
+            proptest::collection::vec(1u64..u64::MAX, 1..5)
+        )
             .prop_map(|(size, frames)| TraceOp::Malloc { size, frames }),
         (0u32..64).prop_map(|id| TraceOp::Free { id }),
-        ((0u32..64), (0i64..4096), (1u32..512))
-            .prop_map(|(id, offset, len)| TraceOp::Read { id, offset, len }),
-        ((0u32..64), (0i64..4096), (1u32..512), any::<u8>())
-            .prop_map(|(id, offset, len, fill)| TraceOp::Write { id, offset, len, fill }),
-        ((1u64..1_000_000), (0u64..100_000))
-            .prop_map(|(cycles, mem_accesses)| TraceOp::Compute { cycles, mem_accesses }),
+        ((0u32..64), (0i64..4096), (1u32..512)).prop_map(|(id, offset, len)| TraceOp::Read {
+            id,
+            offset,
+            len
+        }),
+        ((0u32..64), (0i64..4096), (1u32..512), any::<u8>()).prop_map(|(id, offset, len, fill)| {
+            TraceOp::Write {
+                id,
+                offset,
+                len,
+                fill,
+            }
+        }),
+        ((1u64..1_000_000), (0u64..100_000)).prop_map(|(cycles, mem_accesses)| TraceOp::Compute {
+            cycles,
+            mem_accesses
+        }),
         (1u64..10_000_000).prop_map(|ns| TraceOp::Io { ns }),
     ]
 }

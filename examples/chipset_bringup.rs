@@ -21,7 +21,10 @@ fn main() {
 
     // 1. Probe the device: mode register, scrub capability.
     chip.write_register(Register::ModeControl, 2); // Correct-Error
-    println!("mode register      : {:#x} (correct-error)", chip.read_register(Register::ModeControl));
+    println!(
+        "mode register      : {:#x} (correct-error)",
+        chip.read_register(Register::ModeControl)
+    );
 
     // 2. Program data and arm a watchpoint with the Figure-2 sequence,
     //    expressed purely as register writes around the data path.
@@ -31,10 +34,14 @@ fn main() {
 
     chip.write_register(Register::GlobalConfig, 0b11); // bus lock, ECC on
     chip.write_register(Register::GlobalConfig, 0b10); // ECC off (lock held)
-    chip.controller_mut().write(addr, &scheme.apply(original).to_le_bytes());
+    chip.controller_mut()
+        .write(addr, &scheme.apply(original).to_le_bytes());
     chip.write_register(Register::GlobalConfig, 0b11); // ECC on
     chip.write_register(Register::GlobalConfig, 0b01); // release bus
-    println!("watchpoint armed   : line {addr:#x}, bits {:?} flipped under stale code", scheme.bits());
+    println!(
+        "watchpoint armed   : line {addr:#x}, bits {:?} flipped under stale code",
+        scheme.bits()
+    );
 
     // 3. The "program" touches the line: the access faults.
     let mut buf = [0u8; 8];
@@ -52,13 +59,24 @@ fn main() {
     assert_eq!(syndrome as u8, scheme.syndrome(), "the scramble signature");
 
     // 5. Signature check against the saved original, then disarm.
-    let raw = u64::from_le_bytes(chip.controller_mut().peek(addr, 8).try_into().expect("8 bytes"));
+    let raw = u64::from_le_bytes(
+        chip.controller_mut()
+            .peek(addr, 8)
+            .try_into()
+            .expect("8 bytes"),
+    );
     println!(
         "signature check    : stored == original ⊕ mask → {}",
-        if scheme.matches(original, raw) { "ACCESS FAULT (watchpoint hit)" } else { "hardware error" }
+        if scheme.matches(original, raw) {
+            "ACCESS FAULT (watchpoint hit)"
+        } else {
+            "hardware error"
+        }
     );
     chip.controller_mut().write(addr, &original.to_le_bytes());
-    chip.controller_mut().read(addr, &mut buf).expect("disarmed");
+    chip.controller_mut()
+        .read(addr, &mut buf)
+        .expect("disarmed");
     assert_eq!(u64::from_le_bytes(buf), original);
     println!("disarmed           : original data restored, reads clean");
 

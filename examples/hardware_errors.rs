@@ -30,24 +30,37 @@ fn main() {
     let victim = buffers[3];
     let phys = os.vm().translate_resident(victim).expect("resident");
     os.machine_mut().flush_range(phys, 64);
-    os.machine_mut().controller_mut().inject_data_error(phys, 17);
+    os.machine_mut()
+        .controller_mut()
+        .inject_data_error(phys, 17);
     println!("injected 1-bit fault into buffer 3 …");
 
     // Cosmic ray #2: a multi-bit burst right on one of SafeMem's own
     // watched guard pads (scrambled data!).
-    let pad_phys = os.vm().translate_resident(buffers[5] - 64).expect("pad resident");
-    os.machine_mut().controller_mut().inject_multi_bit_error(pad_phys);
+    let pad_phys = os
+        .vm()
+        .translate_resident(buffers[5] - 64)
+        .expect("pad resident");
+    os.machine_mut()
+        .controller_mut()
+        .inject_multi_bit_error(pad_phys);
     println!("injected 2-bit fault into the watched pad of buffer 5 …\n");
 
     // The program keeps running: all data reads back intact.
     for (i, &b) in buffers.iter().enumerate() {
         let mut buf = vec![0u8; 512];
         tool.read(&mut os, b, &mut buf);
-        assert!(buf.iter().all(|&x| x == i as u8 + 1), "buffer {i} corrupted!");
+        assert!(
+            buf.iter().all(|&x| x == i as u8 + 1),
+            "buffer {i} corrupted!"
+        );
     }
     let ctl = os.machine().controller().stats();
     println!("all 8 buffers verified intact.");
-    println!("  single-bit errors corrected transparently: {}", ctl.corrected_single_bit);
+    println!(
+        "  single-bit errors corrected transparently: {}",
+        ctl.corrected_single_bit
+    );
 
     // The damaged pad: the program now (buggily) underflows into it. SafeMem
     // sees an uncorrectable fault whose bits do NOT match the scramble
@@ -58,7 +71,9 @@ fn main() {
     }
 
     let reports = tool.all_reports();
-    assert!(reports.iter().any(|r| matches!(r, BugReport::HardwareError { .. })));
+    assert!(reports
+        .iter()
+        .any(|r| matches!(r, BugReport::HardwareError { .. })));
     println!(
         "\nSafeMem distinguished the genuine hardware error from its own \
          watchpoint faults\nusing the saved original + scramble signature — paper §2.2.2."

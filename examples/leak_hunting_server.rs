@@ -13,7 +13,11 @@ use safemem::prelude::*;
 
 fn main() {
     let squid = workload_by_name("squid1").expect("registered workload");
-    println!("== hunting the {} leak ({}) ==\n", squid.spec().name, squid.spec().bug);
+    println!(
+        "== hunting the {} leak ({}) ==\n",
+        squid.spec().name,
+        squid.spec().bug
+    );
 
     // Reference run: no tool, normal inputs.
     let mut os = Os::with_defaults(1 << 26);
@@ -24,7 +28,10 @@ fn main() {
     // Production run: SafeMem, buggy inputs (the leak path is live).
     let mut os = Os::with_defaults(1 << 26);
     let mut tool = SafeMem::builder().build(&mut os);
-    let buggy = RunConfig { input: InputMode::Buggy, ..RunConfig::default() };
+    let buggy = RunConfig {
+        input: InputMode::Buggy,
+        ..RunConfig::default()
+    };
     squid.run(&mut os, &mut tool, &buggy);
     tool.finish(&mut os);
 
@@ -32,7 +39,10 @@ fn main() {
     println!("requests served, lifetime statistics learned:");
     println!("  detection passes      : {}", stats.checks);
     println!("  suspects ECC-watched  : {}", stats.suspects_flagged);
-    println!("  pruned on first access: {} (false positives avoided)", stats.suspects_pruned);
+    println!(
+        "  pruned on first access: {} (false positives avoided)",
+        stats.suspects_pruned
+    );
     println!("  leaks reported        : {}\n", stats.leaks_reported);
 
     let truth = squid.true_leak_groups();
@@ -41,7 +51,14 @@ fn main() {
             BugReport::Leak { group, .. } => truth.contains(group),
             _ => false,
         };
-        println!("  {report}  [{}]", if veridical { "TRUE LEAK" } else { "false positive" });
+        println!(
+            "  {report}  [{}]",
+            if veridical {
+                "TRUE LEAK"
+            } else {
+                "false positive"
+            }
+        );
     }
 
     let overhead = (os.cpu_cycles() as f64 / base.cpu_cycles as f64 - 1.0) * 100.0;

@@ -12,7 +12,10 @@ use safemem::prelude::*;
 
 fn main() {
     let gzip = workload_by_name("gzip").expect("registered workload");
-    let buggy = RunConfig { input: InputMode::Buggy, ..RunConfig::default() };
+    let buggy = RunConfig {
+        input: InputMode::Buggy,
+        ..RunConfig::default()
+    };
     let normal = RunConfig::default();
 
     println!("== {} with a crafted input block ==\n", gzip.spec().name);
@@ -34,19 +37,37 @@ fn main() {
     let mut os = Os::with_defaults(1 << 26);
     let mut safemem = SafeMem::builder().build(&mut os);
     let r = run_under(gzip.as_ref(), &mut os, &mut safemem, &buggy);
-    show("safemem (ECC lines)", r.corruption_detected(), r.cpu_cycles, r.heap_stats.overhead_percent(), base.cpu_cycles);
+    show(
+        "safemem (ECC lines)",
+        r.corruption_detected(),
+        r.cpu_cycles,
+        r.heap_stats.overhead_percent(),
+        base.cpu_cycles,
+    );
 
     // Page guard: two PROT_NONE pages around every buffer.
     let mut os = Os::with_defaults(1 << 26);
     let mut pg = PageGuard::new();
     let r = run_under(gzip.as_ref(), &mut os, &mut pg, &buggy);
-    show("page guard (mprotect)", r.corruption_detected(), r.cpu_cycles, r.heap_stats.overhead_percent(), base.cpu_cycles);
+    show(
+        "page guard (mprotect)",
+        r.corruption_detected(),
+        r.cpu_cycles,
+        r.heap_stats.overhead_percent(),
+        base.cpu_cycles,
+    );
 
     // Purify: every access checked against byte-granular shadow state.
     let mut os = Os::with_defaults(1 << 26);
     let mut purify = Purify::new();
     let r = run_under(gzip.as_ref(), &mut os, &mut purify, &buggy);
-    show("purify (shadow mem)", r.corruption_detected(), r.cpu_cycles, r.heap_stats.overhead_percent(), base.cpu_cycles);
+    show(
+        "purify (shadow mem)",
+        r.corruption_detected(),
+        r.cpu_cycles,
+        r.heap_stats.overhead_percent(),
+        base.cpu_cycles,
+    );
 
     println!(
         "\nAll three catch the overflow; only SafeMem does it at production-run \

@@ -22,7 +22,10 @@ fn main() {
         // Cost on normal inputs, vs the uninstrumented baseline.
         let mut os = Os::with_defaults(1 << 26);
         let mut baseline = NullTool::new();
-        let normal = RunConfig { requests, ..RunConfig::default() };
+        let normal = RunConfig {
+            requests,
+            ..RunConfig::default()
+        };
         let base = run_under(app.as_ref(), &mut os, &mut baseline, &normal);
 
         let mut os = Os::with_defaults(1 << 26);
@@ -33,7 +36,11 @@ fn main() {
         // Detection on buggy inputs.
         let mut os = Os::with_defaults(1 << 26);
         let mut tool = SafeMem::builder().build(&mut os);
-        let buggy = RunConfig { input: InputMode::Buggy, requests, ..RunConfig::default() };
+        let buggy = RunConfig {
+            input: InputMode::Buggy,
+            requests,
+            ..RunConfig::default()
+        };
         let result = run_under(app.as_ref(), &mut os, &mut tool, &buggy);
 
         let truth = app.true_leak_groups();

@@ -30,7 +30,10 @@ fn main() {
     let buf = tool.malloc(&mut os, 100, &site);
     tool.write(&mut os, buf, &[0xAA; 100]); // in bounds: silent
     tool.write(&mut os, buf + 126, &[1, 2, 3, 4]); // crosses the padding
-    println!("overflow demo      → {}", tool.all_reports().last().unwrap());
+    println!(
+        "overflow demo      → {}",
+        tool.all_reports().last().unwrap()
+    );
 
     // 3. Use-after-free: the freed buffer stays ECC-watched until reuse.
     let buf2 = tool.malloc(&mut os, 64, &CallStack::new(&[0x402000]));
@@ -38,7 +41,10 @@ fn main() {
     tool.free(&mut os, buf2);
     let mut stale = [0u8; 8];
     tool.read(&mut os, buf2, &mut stale);
-    println!("use-after-free demo → {}", tool.all_reports().last().unwrap());
+    println!(
+        "use-after-free demo → {}",
+        tool.all_reports().last().unwrap()
+    );
 
     // 4. Memory leak: one allocation site frees its objects quickly — except
     //    one object that silently outlives them all and is never touched.

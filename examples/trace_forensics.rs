@@ -27,7 +27,11 @@ fn main() {
     };
     app.run(&mut os, &mut recorder, &cfg);
     let trace = recorder.into_trace();
-    println!("recorded {} operations; baseline saw {} reports (it checks nothing)", trace.len(), baseline.reports().len());
+    println!(
+        "recorded {} operations; baseline saw {} reports (it checks nothing)",
+        trace.len(),
+        baseline.reports().len()
+    );
 
     // The trace serialises to a shippable text artefact.
     let text = trace.to_text();

@@ -1,0 +1,32 @@
+//! `safemem-campaign`: fan out deterministic fault-injection campaigns and
+//! print the differential oracle's scorecards. See `safemem-campaign --help`.
+//!
+//! Exit status: 0 if every campaign upheld its preset's invariant, 1 if the
+//! harsh zero-false-positive gate was violated or the sweep failed, 2 on a
+//! command-line error.
+
+use safemem::cli::CampaignCli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match CampaignCli::parse(args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match cli.execute() {
+        Ok((report, ok)) => {
+            print!("{report}");
+            if !ok {
+                eprintln!("FAIL: a campaign violated the zero-false-positive invariant");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -116,7 +116,7 @@ impl Cli {
             tool: ToolChoice::SafeMem,
             input: InputMode::Normal,
             requests: None,
-            seed: 0x5AFE_3E3,
+            seed: 0x05AF_E3E3,
             trace_out: None,
             replay: None,
             verbose: false,
@@ -125,7 +125,8 @@ impl Cli {
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let mut value = |flag: &str| {
-                args.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
+                args.next()
+                    .ok_or_else(|| CliError(format!("{flag} needs a value")))
             };
             match arg.as_str() {
                 "--app" => cli.app = value("--app")?,
@@ -155,9 +156,17 @@ impl Cli {
                 "--stats" => cli.stats = true,
                 "--list" => {
                     let mut msg = String::from("applications:\n");
-                    for w in all_workloads().into_iter().chain(crate::workloads::extension_workloads()) {
+                    for w in all_workloads()
+                        .into_iter()
+                        .chain(crate::workloads::extension_workloads())
+                    {
                         let s = w.spec();
-                        msg.push_str(&format!("  {:<10} {:<28} {}\n", s.name, s.bug.to_string(), s.description));
+                        msg.push_str(&format!(
+                            "  {:<10} {:<28} {}\n",
+                            s.name,
+                            s.bug.to_string(),
+                            s.description
+                        ));
                     }
                     return Err(CliError(msg));
                 }
@@ -166,7 +175,10 @@ impl Cli {
             }
         }
         if cli.app.is_empty() && cli.replay.is_none() {
-            return Err(CliError(format!("--app or --replay is required\n\n{}", usage())));
+            return Err(CliError(format!(
+                "--app or --replay is required\n\n{}",
+                usage()
+            )));
         }
         Ok(cli)
     }
@@ -211,7 +223,11 @@ impl Cli {
         } else {
             let workload = workload_by_name(&self.app)
                 .ok_or_else(|| CliError(format!("unknown app {:?}\n\n{}", self.app, usage())))?;
-            let cfg = RunConfig { input: self.input, requests: self.requests, seed: self.seed };
+            let cfg = RunConfig {
+                input: self.input,
+                requests: self.requests,
+                seed: self.seed,
+            };
             if let Some(path) = &self.trace_out {
                 let mut recorder = Recorder::new(tool.as_mut());
                 workload.run(&mut os, &mut recorder, &cfg);
@@ -244,7 +260,11 @@ impl Cli {
             let _ = write!(summary, "{}", safemem_os::procfs::snapshot(&os));
         }
         if self.verbose {
-            let _ = write!(summary, "{}", safemem_core::Diagnosis::from_reports(&result.reports).render());
+            let _ = write!(
+                summary,
+                "{}",
+                safemem_core::Diagnosis::from_reports(&result.reports).render()
+            );
             let _ = writeln!(summary, "\n--- kernel log (tail) ---");
             let entries: Vec<_> = os.kernel_log().entries().collect();
             let tail = entries.len().saturating_sub(10);
@@ -253,6 +273,153 @@ impl Cli {
             }
         }
         Ok((result, summary))
+    }
+}
+
+/// Usage text for `safemem-campaign`.
+#[must_use]
+pub fn campaign_usage() -> String {
+    format!(
+        "safemem-campaign — deterministic fault-injection campaigns with a differential oracle\n\
+         \n\
+         USAGE:\n  safemem-campaign [--preset <name>] [--seeds <n>] [options]\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --preset <name>     {presets} (default harsh)\n\
+         \x20 --seeds <n>         number of campaign seeds to fan out (default 8)\n\
+         \x20 --seed0 <n>         first seed (default 0)\n\
+         \x20 --workloads <a,b>   comma-separated workload names (default: {workloads})\n\
+         \x20 --requests <n>      request count override\n\
+         \x20 --verbose           print every per-campaign scorecard, not just the aggregate\n",
+        presets = crate::faultinject::CampaignSpec::PRESETS.join(" | "),
+        workloads = crate::faultinject::spec::PRESET_WORKLOADS.join(","),
+    )
+}
+
+/// A parsed `safemem-campaign` command line.
+#[derive(Debug, Clone)]
+pub struct CampaignCli {
+    /// Campaign preset name.
+    pub preset: String,
+    /// Number of seeds to fan out.
+    pub seeds: u64,
+    /// First seed.
+    pub seed0: u64,
+    /// Workloads to sweep.
+    pub workloads: Vec<String>,
+    /// Request count override (None = the preset's).
+    pub requests: Option<u64>,
+    /// Print per-campaign scorecards.
+    pub verbose: bool,
+}
+
+impl CampaignCli {
+    /// Parses arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for unknown flags, missing values, or bad
+    /// numbers; the message explains which.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut cli = CampaignCli {
+            preset: "harsh".into(),
+            seeds: 8,
+            seed0: 0,
+            workloads: crate::faultinject::spec::PRESET_WORKLOADS
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            requests: None,
+            verbose: false,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| CliError(format!("{flag} needs a value")))
+            };
+            match arg.as_str() {
+                "--preset" => cli.preset = value("--preset")?,
+                "--seeds" => {
+                    cli.seeds = value("--seeds")?
+                        .parse()
+                        .map_err(|_| CliError("--seeds needs an integer".into()))?;
+                }
+                "--seed0" => {
+                    cli.seed0 = value("--seed0")?
+                        .parse()
+                        .map_err(|_| CliError("--seed0 needs an integer".into()))?;
+                }
+                "--workloads" => {
+                    cli.workloads = value("--workloads")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect();
+                }
+                "--requests" => {
+                    cli.requests = Some(
+                        value("--requests")?
+                            .parse()
+                            .map_err(|_| CliError("--requests needs an integer".into()))?,
+                    );
+                }
+                "--verbose" | "-v" => cli.verbose = true,
+                "--help" | "-h" => return Err(CliError(campaign_usage())),
+                other => {
+                    return Err(CliError(format!(
+                        "unknown flag {other:?}\n\n{}",
+                        campaign_usage()
+                    )))
+                }
+            }
+        }
+        if cli.seeds == 0 {
+            return Err(CliError("--seeds must be at least 1".into()));
+        }
+        Ok(cli)
+    }
+
+    /// Runs the campaign sweep. Returns the rendered report and whether
+    /// every campaign upheld the preset's invariant (always `true` for
+    /// presets that inject uncorrectable errors — they have no
+    /// zero-false-positive guarantee to check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError`] for an unknown preset or workload.
+    pub fn execute(&self) -> Result<(String, bool), CliError> {
+        use crate::faultinject::{render_aggregate, render_campaign, run_campaign, CampaignSpec};
+
+        let mut results = Vec::new();
+        let mut report = String::new();
+        for i in 0..self.seeds {
+            let seed = self.seed0 + i;
+            for workload in &self.workloads {
+                let mut spec =
+                    CampaignSpec::preset(&self.preset, workload, seed).ok_or_else(|| {
+                        CliError(format!(
+                            "unknown preset {:?} (expected one of {})",
+                            self.preset,
+                            CampaignSpec::PRESETS.join(", ")
+                        ))
+                    })?;
+                if self.requests.is_some() {
+                    spec.requests = self.requests;
+                }
+                let result = run_campaign(&spec).map_err(|e| CliError(e.0))?;
+                if self.verbose {
+                    report.push_str(&render_campaign(&result));
+                    report.push('\n');
+                }
+                results.push(result);
+            }
+        }
+        report.push_str(&render_aggregate(&results));
+        let ok = results
+            .iter()
+            .filter(|r| !r.spec.mix.injects_uncorrectable())
+            .all(crate::faultinject::CampaignResult::harsh_invariant_holds);
+        Ok((report, ok))
     }
 }
 
@@ -267,8 +434,17 @@ mod tests {
     #[test]
     fn parses_a_full_command_line() {
         let cli = parse(&[
-            "--app", "gzip", "--tool", "purify", "--input", "buggy", "--requests", "42",
-            "--seed", "7", "--verbose",
+            "--app",
+            "gzip",
+            "--tool",
+            "purify",
+            "--input",
+            "buggy",
+            "--requests",
+            "42",
+            "--seed",
+            "7",
+            "--verbose",
         ])
         .unwrap();
         assert_eq!(cli.app, "gzip");
@@ -291,7 +467,14 @@ mod tests {
     #[test]
     fn executes_a_buggy_run_end_to_end() {
         let cli = parse(&[
-            "--app", "tar", "--tool", "safemem", "--input", "buggy", "--requests", "20",
+            "--app",
+            "tar",
+            "--tool",
+            "safemem",
+            "--input",
+            "buggy",
+            "--requests",
+            "20",
         ])
         .unwrap();
         let (result, summary) = cli.execute().unwrap();
@@ -314,8 +497,16 @@ mod tests {
 
         // Record a buggy gzip run under the baseline.
         let record = parse(&[
-            "--app", "gzip", "--tool", "none", "--input", "buggy", "--requests", "6",
-            "--trace-out", &path_str,
+            "--app",
+            "gzip",
+            "--tool",
+            "none",
+            "--input",
+            "buggy",
+            "--requests",
+            "6",
+            "--trace-out",
+            &path_str,
         ])
         .unwrap();
         let (base_result, _) = record.execute().unwrap();

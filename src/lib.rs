@@ -15,6 +15,7 @@
 //! | [`core`] | `safemem-core` | **the paper's contribution**: leak + corruption detection |
 //! | [`baselines`] | `safemem-baselines` | Purify-class checker, page-guard tool |
 //! | [`workloads`] | `safemem-workloads` | the seven evaluated applications |
+//! | [`faultinject`] | `safemem-faultinject` | deterministic fault-injection campaigns + differential oracle |
 //!
 //! ## Quick start
 //!
@@ -48,6 +49,7 @@ pub use safemem_baselines as baselines;
 pub use safemem_cache as cache;
 pub use safemem_core as core;
 pub use safemem_ecc as ecc;
+pub use safemem_faultinject as faultinject;
 pub use safemem_machine as machine;
 pub use safemem_os as os;
 pub use safemem_workloads as workloads;

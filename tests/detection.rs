@@ -27,7 +27,11 @@ fn safemem_detects_every_bug_in_table_1() {
         } else {
             result.corruption_detected()
         };
-        assert!(detected, "{} bug not detected: {:?}", spec.name, result.reports);
+        assert!(
+            detected,
+            "{} bug not detected: {:?}",
+            spec.name, result.reports
+        );
     }
 }
 
@@ -36,7 +40,10 @@ fn normal_inputs_never_report_corruption() {
     for app in all_workloads() {
         let mut os = Os::with_defaults(1 << 26);
         let mut tool = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { requests: half_scale(app.as_ref()), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: half_scale(app.as_ref()),
+            ..RunConfig::default()
+        };
         let result = run_under(app.as_ref(), &mut os, &mut tool, &cfg);
         assert!(
             !result.corruption_detected(),
@@ -59,12 +66,18 @@ fn false_positive_counts_match_table_5_shape() {
 
         let mut os = Os::with_defaults(1 << 26);
         let mut with_pruning = SafeMem::builder().build(&mut os);
-        let cfg = RunConfig { input: InputMode::Buggy, ..RunConfig::default() };
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            ..RunConfig::default()
+        };
         let after = run_under(app.as_ref(), &mut os, &mut with_pruning, &cfg);
 
         let mut os = Os::with_defaults(1 << 26);
         let mut without = SafeMem::builder()
-            .leak_config(LeakConfig { prune_with_ecc: false, ..LeakConfig::default() })
+            .leak_config(LeakConfig {
+                prune_with_ecc: false,
+                ..LeakConfig::default()
+            })
             .build(&mut os);
         let before = run_under(app.as_ref(), &mut os, &mut without, &cfg);
 
@@ -107,7 +120,10 @@ fn purify_also_detects_the_corruption_bugs() {
 fn safemem_is_orders_of_magnitude_cheaper_than_purify() {
     // The core Table 3 claim, as an invariant.
     let app = workload_by_name("gzip").unwrap();
-    let cfg = RunConfig { requests: Some(15), ..RunConfig::default() };
+    let cfg = RunConfig {
+        requests: Some(15),
+        ..RunConfig::default()
+    };
 
     let mut os = Os::with_defaults(1 << 26);
     let mut null = NullTool::new();
@@ -123,8 +139,14 @@ fn safemem_is_orders_of_magnitude_cheaper_than_purify() {
 
     let sm_overhead = safemem.cpu_cycles as f64 / base.cpu_cycles as f64 - 1.0;
     let pf_overhead = purify.cpu_cycles as f64 / base.cpu_cycles as f64 - 1.0;
-    assert!(sm_overhead < 0.20, "SafeMem overhead {sm_overhead:.3} too high");
-    assert!(pf_overhead > 4.0, "Purify overhead {pf_overhead:.2} too low");
+    assert!(
+        sm_overhead < 0.20,
+        "SafeMem overhead {sm_overhead:.3} too high"
+    );
+    assert!(
+        pf_overhead > 4.0,
+        "Purify overhead {pf_overhead:.2} too low"
+    );
     assert!(
         pf_overhead / sm_overhead > 50.0,
         "reduction factor {:.0} below 2 orders of magnitude",
@@ -137,7 +159,10 @@ fn ecc_wastes_far_less_space_than_page_protection() {
     // The core Table 4 claim, as an invariant.
     for name in ["proftpd", "gzip"] {
         let app = workload_by_name(name).unwrap();
-        let cfg = RunConfig { requests: half_scale(app.as_ref()), ..RunConfig::default() };
+        let cfg = RunConfig {
+            requests: half_scale(app.as_ref()),
+            ..RunConfig::default()
+        };
 
         let mut os = Os::with_defaults(1 << 26);
         let mut sm = SafeMem::builder().build(&mut os);

@@ -30,7 +30,9 @@ fn uninit_read_extension_end_to_end() {
     let reports = tool.all_reports();
     assert!(reports.len() > before);
     assert!(
-        reports.iter().any(|r| matches!(r, BugReport::UninitRead { buffer_addr, .. } if *buffer_addr == msg)),
+        reports
+            .iter()
+            .any(|r| matches!(r, BugReport::UninitRead { buffer_addr, .. } if *buffer_addr == msg)),
         "{reports:?}"
     );
 }
@@ -42,7 +44,10 @@ fn wide_paddings_catch_skipping_overflows() {
     let skip = 130u64; // lands beyond a 64-byte pad, inside a 256-byte one
 
     let mut os = Os::with_defaults(1 << 24);
-    let mut narrow = SafeMem::builder().leak_detection(false).pad_lines(1).build(&mut os);
+    let mut narrow = SafeMem::builder()
+        .leak_detection(false)
+        .pad_lines(1)
+        .build(&mut os);
     let stack = CallStack::new(&[0x2]);
     let a = narrow.malloc(&mut os, 64, &stack);
     narrow.write(&mut os, a + 64 + skip, &[1]);
@@ -52,7 +57,10 @@ fn wide_paddings_catch_skipping_overflows() {
     );
 
     let mut os = Os::with_defaults(1 << 24);
-    let mut wide = SafeMem::builder().leak_detection(false).pad_lines(4).build(&mut os);
+    let mut wide = SafeMem::builder()
+        .leak_detection(false)
+        .pad_lines(4)
+        .build(&mut os);
     let b = wide.malloc(&mut os, 64, &stack);
     wide.write(&mut os, b + 64 + skip, &[1]);
     assert!(
@@ -81,7 +89,10 @@ fn memcheck_detects_and_costs_more() {
     // Cost comparison on the low-density ypserv1 (where interpretation
     // dominates): memcheck must exceed purify.
     let ypserv = workload_by_name("ypserv1").unwrap();
-    let cfg = RunConfig { requests: Some(60), ..RunConfig::default() };
+    let cfg = RunConfig {
+        requests: Some(60),
+        ..RunConfig::default()
+    };
 
     let mut os = Os::with_defaults(1 << 26);
     let mut null = NullTool::new();
@@ -97,7 +108,10 @@ fn memcheck_detects_and_costs_more() {
 
     let px = p.cpu_cycles as f64 / base.cpu_cycles as f64;
     let mx = m.cpu_cycles as f64 / base.cpu_cycles as f64;
-    assert!(mx > px, "memcheck {mx:.1}x should exceed purify {px:.1}x here");
+    assert!(
+        mx > px,
+        "memcheck {mx:.1}x should exceed purify {px:.1}x here"
+    );
     assert!(mx > 10.0);
 }
 
@@ -125,7 +139,9 @@ fn swap_aware_leak_detection_under_pressure() {
 
     // A leak plus enough live data to outgrow physical memory.
     let leaked = tool.malloc(&mut os, 64, &stack);
-    let ballast: Vec<u64> = (0..128).map(|_| tool.malloc(&mut os, 4096, &CallStack::new(&[0x4]))).collect();
+    let ballast: Vec<u64> = (0..128)
+        .map(|_| tool.malloc(&mut os, 4096, &CallStack::new(&[0x4])))
+        .collect();
     for &b in &ballast {
         tool.write(&mut os, b, &[1u8; 4096]);
     }
@@ -137,7 +153,10 @@ fn swap_aware_leak_detection_under_pressure() {
     os.compute(6_000_000);
     tool.finish(&mut os);
 
-    assert!(os.vm().stats().swap_outs > 0, "memory pressure must be real");
+    assert!(
+        os.vm().stats().swap_outs > 0,
+        "memory pressure must be real"
+    );
     assert!(
         tool.all_reports()
             .iter()

@@ -32,7 +32,8 @@ fn watchpoint_survives_hostile_environment() {
 
     // Cache pressure: stream through far more data than the caches hold.
     for i in 0..512u64 {
-        os.vwrite(HEAP_BASE + 64 * 1024 + i * 64, &[i as u8; 64]).unwrap();
+        os.vwrite(HEAP_BASE + 64 * 1024 + i * 64, &[i as u8; 64])
+            .unwrap();
     }
 
     // The watchpoint still fires on the first touch, with a clean signature.
@@ -66,7 +67,9 @@ fn safemem_detects_overflow_under_swap_pressure() {
     let stack = CallStack::new(&[0x1]);
 
     // Allocate and keep alive more buffers than physical memory holds.
-    let buffers: Vec<u64> = (0..24).map(|_| tool.malloc(&mut os, 4096, &stack)).collect();
+    let buffers: Vec<u64> = (0..24)
+        .map(|_| tool.malloc(&mut os, 4096, &stack))
+        .collect();
     for (i, &b) in buffers.iter().enumerate() {
         tool.write(&mut os, b, &vec![i as u8; 4096]);
     }
@@ -96,13 +99,17 @@ fn hardware_error_differentiation_end_to_end() {
     // Corrupt the scrambled back pad with additional flips.
     let pad = buf + 64;
     let phys = os.vm().translate_resident(pad).unwrap();
-    os.machine_mut().controller_mut().inject_multi_bit_error(phys);
+    os.machine_mut()
+        .controller_mut()
+        .inject_multi_bit_error(phys);
 
     // The overflowing access reports both the hardware error and the bug.
     tool.write(&mut os, pad, &[1]);
     let reports = tool.all_reports();
     assert!(
-        reports.iter().any(|r| matches!(r, BugReport::HardwareError { .. })),
+        reports
+            .iter()
+            .any(|r| matches!(r, BugReport::HardwareError { .. })),
         "{reports:?}"
     );
 }
@@ -141,4 +148,101 @@ fn cpu_time_excludes_idle_periods() {
         os.cpu_cycles()
     };
     assert_eq!(run(0), run(1_000_000), "idle time must not affect CPU time");
+}
+
+/// The EccMode × fault-kind matrix: for every checking controller mode,
+/// (a) an access to a watched line raises a fault whose scramble signature
+/// checks out (`signature_ok`), (b) correctable single-bit data and
+/// check-bit errors on unwatched lines never surface to the program,
+/// (c) an uncorrectable burst on an unwatched line is a hardware panic, and
+/// (d) an uncorrectable burst on a *watched* line fails the signature check
+/// and SafeMem classifies it as `BugReport::HardwareError`.
+#[test]
+fn ecc_mode_fault_kind_matrix() {
+    use safemem::ecc::EccMode;
+
+    for mode in [
+        EccMode::CheckOnly,
+        EccMode::CorrectError,
+        EccMode::CorrectAndScrub,
+    ] {
+        // (a) Pure access fault: signature intact.
+        let mut os = Os::with_defaults(1 << 22);
+        os.register_ecc_fault_handler();
+        os.machine_mut().controller_mut().set_mode(mode);
+        os.vwrite(HEAP_BASE, &[0x42; 64]).unwrap();
+        os.watch_memory(HEAP_BASE, 64).unwrap();
+        let mut buf = [0u8; 8];
+        match os.vread(HEAP_BASE, &mut buf).unwrap_err() {
+            OsFault::Ecc(fault) => {
+                assert!(
+                    fault.signature_ok,
+                    "{mode:?}: access fault must keep the signature"
+                )
+            }
+            other => panic!("{mode:?}: expected ECC fault, got {other}"),
+        }
+        os.disable_watch_memory(HEAP_BASE).unwrap();
+
+        // (b) Correctable single-bit errors on an unwatched line: the
+        // program never notices (in CheckOnly the error is only reported).
+        let quiet = HEAP_BASE + 8 * 4096;
+        os.vwrite(quiet, &[7; 64]).unwrap();
+        let phys = os.vm().translate_resident(quiet).unwrap();
+        os.machine_mut().flush_range(phys, 64);
+        os.machine_mut()
+            .controller_mut()
+            .inject_data_error(phys, 13);
+        os.vread(quiet, &mut buf).unwrap();
+        os.machine_mut().flush_range(phys + 8, 8);
+        os.machine_mut()
+            .controller_mut()
+            .inject_code_error(phys + 8, 3);
+        os.vread(quiet + 8, &mut buf).unwrap();
+        let stats = os.machine().controller().stats();
+        if mode.corrects() {
+            assert!(stats.corrected_single_bit >= 2, "{mode:?}: {stats:?}");
+        } else {
+            assert!(stats.reported_single_bit >= 2, "{mode:?}: {stats:?}");
+        }
+        assert_eq!(os.stats().hardware_panics, 0, "{mode:?}");
+
+        // (c) Uncorrectable burst on an unwatched line: hardware panic.
+        let doomed = quiet + 4096;
+        os.vwrite(doomed, &[9; 64]).unwrap();
+        let phys = os.vm().translate_resident(doomed).unwrap();
+        os.machine_mut().flush_range(phys, 64);
+        os.machine_mut()
+            .controller_mut()
+            .inject_multi_bit_error(phys);
+        match os.vread(doomed, &mut buf).unwrap_err() {
+            OsFault::HardwareError { .. } => {}
+            other => panic!("{mode:?}: expected hardware error, got {other}"),
+        }
+        assert_eq!(os.stats().hardware_panics, 1, "{mode:?}");
+
+        // (d) Uncorrectable burst on a *watched* line: the signature check
+        // fails and SafeMem attributes the fault to hardware.
+        let mut os = Os::with_defaults(1 << 22);
+        os.machine_mut().controller_mut().set_mode(mode);
+        let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+        let stack = CallStack::new(&[0x7]);
+        let buf_addr = tool.malloc(&mut os, 64, &stack);
+        let pad = buf_addr + 64;
+        let phys = os.vm().translate_resident(pad).unwrap();
+        os.machine_mut()
+            .controller_mut()
+            .inject_multi_bit_error(phys);
+        tool.write(&mut os, pad, &[1]);
+        let reports = tool.all_reports();
+        assert!(
+            reports
+                .iter()
+                .any(|r| matches!(r, BugReport::HardwareError { .. })),
+            "{mode:?}: {reports:?}"
+        );
+        // The injection hooks are themselves accounted for.
+        let stats = os.machine().controller().stats();
+        assert_eq!(stats.injected_multi_bit, 1, "{mode:?}");
+    }
 }

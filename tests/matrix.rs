@@ -6,7 +6,11 @@ use safemem::baselines::Memcheck;
 use safemem::prelude::*;
 use safemem_os::STATIC_BASE;
 
-fn run_cell(tool_name: &str, app: &dyn Workload, input: InputMode) -> safemem::workloads::RunResult {
+fn run_cell(
+    tool_name: &str,
+    app: &dyn Workload,
+    input: InputMode,
+) -> safemem::workloads::RunResult {
     let mut os = Os::with_defaults(1 << 26);
     let cfg = RunConfig {
         input,
@@ -46,7 +50,11 @@ fn every_tool_completes_every_app() {
         for tool in ["none", "safemem", "purify", "memcheck", "pageguard"] {
             for input in [InputMode::Normal, InputMode::Buggy] {
                 let result = run_cell(tool, app.as_ref(), input);
-                assert!(result.cpu_cycles > 0, "{tool}/{}/{input:?}", app.spec().name);
+                assert!(
+                    result.cpu_cycles > 0,
+                    "{tool}/{}/{input:?}",
+                    app.spec().name
+                );
             }
         }
     }
@@ -57,9 +65,13 @@ fn allocation_counts_agree_across_tools_on_normal_input() {
     // Same seed + same request count ⇒ identical op sequences, so every
     // tool's allocator must see the same number of allocations.
     for app in all_workloads() {
-        let reference = run_cell("none", app.as_ref(), InputMode::Normal).heap_stats.allocs;
+        let reference = run_cell("none", app.as_ref(), InputMode::Normal)
+            .heap_stats
+            .allocs;
         for tool in ["safemem", "purify", "pageguard"] {
-            let allocs = run_cell(tool, app.as_ref(), InputMode::Normal).heap_stats.allocs;
+            let allocs = run_cell(tool, app.as_ref(), InputMode::Normal)
+                .heap_stats
+                .allocs;
             assert_eq!(allocs, reference, "{tool} on {}", app.spec().name);
         }
     }

@@ -7,11 +7,18 @@ use safemem::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Alloc { site: u64, size: u64 },
+    Alloc {
+        site: u64,
+        size: u64,
+    },
     /// Free the i-th oldest live buffer.
     Free(usize),
     /// Write a pattern somewhere strictly inside the i-th live buffer.
-    Write { which: usize, offset_permille: u16, len_permille: u16 },
+    Write {
+        which: usize,
+        offset_permille: u16,
+        len_permille: u16,
+    },
     /// Read back and check a prefix of the i-th live buffer.
     Check(usize),
     Compute(u64),
@@ -22,12 +29,13 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
         prop_oneof![
             ((1u64..8), (1u64..2000)).prop_map(|(site, size)| Op::Alloc { site, size }),
             (0usize..32).prop_map(Op::Free),
-            ((0usize..32), (0u16..1000), (1u16..1000))
-                .prop_map(|(which, offset_permille, len_permille)| Op::Write {
+            ((0usize..32), (0u16..1000), (1u16..1000)).prop_map(
+                |(which, offset_permille, len_permille)| Op::Write {
                     which,
                     offset_permille,
                     len_permille
-                }),
+                }
+            ),
             (0usize..32).prop_map(Op::Check),
             (1_000u64..100_000).prop_map(Op::Compute),
         ],
@@ -54,7 +62,11 @@ fn execute(tool: &mut dyn MemTool, os: &mut Os, ops: &[Op]) -> Vec<(u64, Vec<u8>
                 let (addr, _, _) = live.remove(i % live.len());
                 tool.free(os, addr);
             }
-            Op::Write { which, offset_permille, len_permille } => {
+            Op::Write {
+                which,
+                offset_permille,
+                len_permille,
+            } => {
                 if live.is_empty() {
                     continue;
                 }

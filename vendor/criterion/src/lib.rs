@@ -1,0 +1,129 @@
+//! A minimal, offline stand-in for the `criterion` 0.5 API surface used by
+//! `crates/bench/benches/micro.rs`.
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! just enough of criterion to compile and *run* the benchmarks:
+//! `bench_function`, `Bencher::iter`/`iter_custom`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. There is no statistical
+//! engine — each benchmark runs a fixed warm-up then a timed batch and
+//! prints mean time per iteration. Numbers are indicative, not
+//! publication-grade; the point is that `cargo bench` works offline and the
+//! bench code stays upstream-compatible.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations used to size the timed batch.
+const WARMUP_ITERS: u64 = 1_000;
+/// Minimum wall time the timed batch aims for.
+const TARGET_BATCH: Duration = Duration::from_millis(200);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: WARMUP_ITERS,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up pass: also measures roughly how long one iteration takes.
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos().max(1) / u128::from(b.iters);
+        let timed_iters = (TARGET_BATCH.as_nanos() / per_iter.max(1)).clamp(10, 10_000_000) as u64;
+        b.iters = timed_iters;
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        let mean_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{name:<50} {:>12} iters  {mean_ns:>14.1} ns/iter", b.iters);
+        self
+    }
+}
+
+/// Hands the closure under test its iteration count.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time itself: it receives the iteration count and
+    /// returns the elapsed wall time for that many iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Collects benchmark functions into a runner function, mirroring
+/// criterion's macro of the same name (configuration forms unsupported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(
+            calls > WARMUP_ITERS,
+            "warm-up plus timed batch ran: {calls}"
+        );
+    }
+
+    #[test]
+    fn iter_custom_receives_iteration_count() {
+        let mut c = Criterion::default();
+        let mut seen = Vec::new();
+        c.bench_function("shim/custom", |b| {
+            b.iter_custom(|iters| {
+                seen.push(iters);
+                Duration::from_micros(iters)
+            })
+        });
+        assert_eq!(seen.len(), 2, "warm-up and timed batch");
+        assert!(seen.iter().all(|&n| n >= 10));
+    }
+}

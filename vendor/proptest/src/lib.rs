@@ -1,0 +1,195 @@
+//! A minimal, deterministic stand-in for the `proptest` 1.x API surface
+//! used by this workspace.
+//!
+//! The build environment is fully offline, so the workspace vendors a small
+//! property-testing engine with the same spelling as upstream proptest:
+//! [`proptest!`], `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! [`prop_oneof!`], `any::<T>()`, integer-range strategies, `Just`,
+//! `.prop_map`, and `proptest::collection::{vec, btree_set}`.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports its generated inputs and the
+//!   per-case seed instead; cases are small enough here that shrinking is a
+//!   nice-to-have, not a necessity.
+//! - **Fully deterministic.** Case seeds derive from the test's module path
+//!   and name plus the case index — never from the OS or the clock — so a
+//!   failure reproduces by just re-running the test. This matches the
+//!   repo-wide determinism rules (see DESIGN.md).
+//! - **Strategies are generators**, not value trees: `Strategy` has one
+//!   required method, `generate`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the test files import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Supports the two upstream parameter forms the
+/// workspace uses: `name in strategy` and `name: Type` (via `any::<Type>()`),
+/// plus an optional leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __runner = $crate::test_runner::TestRunner::new(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            __runner.run(|__rng| {
+                let mut __inputs: ::std::vec::Vec<::std::string::String> = ::std::vec::Vec::new();
+                $crate::__proptest_bind!(__rng, __inputs, $($params)*);
+                let __case = ::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+                match ::std::panic::catch_unwind(__case) {
+                    ::std::result::Result::Ok(__outcome) => __outcome.map_err(|__e| {
+                        __e.with_inputs(&__inputs)
+                    }),
+                    ::std::result::Result::Err(__payload) => {
+                        ::std::eprintln!(
+                            "proptest case panicked with inputs:\n  {}",
+                            __inputs.join("\n  "),
+                        );
+                        ::std::panic::resume_unwind(__payload)
+                    }
+                }
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Binds each parameter: generates a value from its strategy and records a
+/// debug rendering for failure reports.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $inputs:ident $(,)?) => {};
+    ($rng:ident, $inputs:ident, $pat:pat in $strat:expr) => {
+        $crate::__proptest_bind!($rng, $inputs, $pat in $strat,);
+    };
+    ($rng:ident, $inputs:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let __value = $crate::strategy::Strategy::generate(&$strat, $rng);
+        $inputs.push(::std::format!(concat!(stringify!($pat), " = {:?}"), __value));
+        let $pat = __value;
+        $crate::__proptest_bind!($rng, $inputs, $($rest)*);
+    };
+    ($rng:ident, $inputs:ident, $name:ident : $ty:ty) => {
+        $crate::__proptest_bind!($rng, $inputs, $name : $ty,);
+    };
+    ($rng:ident, $inputs:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+        $inputs.push(::std::format!(concat!(stringify!($name), " = {:?}"), $name));
+        $crate::__proptest_bind!($rng, $inputs, $($rest)*);
+    };
+}
+
+/// Fails the current case (without panicking through the harness) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)*),
+            left,
+            right,
+        );
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold; the runner
+/// retries with a fresh seed (bounded by `ProptestConfig::max_rejects`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

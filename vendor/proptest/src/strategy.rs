@@ -1,0 +1,193 @@
+//! Value-generation strategies: the trait, integer ranges, `Just`, `Map`,
+//! `Union` (behind `prop_oneof!`), and tuples.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest this is a plain generator (no shrink tree); it
+/// is object-safe so heterogeneous strategies can share a `BoxedStrategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value, consuming randomness from `rng` only.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::unnecessary_cast, clippy::cast_possible_truncation)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Widths are computed in the unsigned domain so signed
+                // ranges (and full-width unsigned ones) wrap correctly.
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                let offset = if width == 0 { rng.next_u64() } else { rng.below(width) };
+                (self.start as u64).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies of the same value type; built by
+/// `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates the union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                // Left to right, so a tuple's stream layout is stable.
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..1000 {
+            let v = (10u8..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let s = (-8i64..8).generate(&mut rng);
+            assert!((-8..8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn just_and_map_compose() {
+        let mut rng = TestRng::new(4);
+        let strat = Just(21u32).prop_map(|x| x * 2);
+        assert_eq!(strat.generate(&mut rng), 42);
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = TestRng::new(5);
+        let strat = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::new(6);
+        let (a, b, c) = (Just(1u8), 0u16..4, Just("x")).generate(&mut rng);
+        assert_eq!(a, 1);
+        assert!(b < 4);
+        assert_eq!(c, "x");
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic case runner: configuration, per-case RNG, and failure
+//! plumbing.
+
+/// Runner configuration. Only the knobs the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Total `prop_assume!` rejections tolerated before the run aborts.
+    pub max_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than upstream's 256: the workspace's properties loop over
+        // exhaustive sub-spaces inside each case, so case count buys
+        // diversity of the random part only.
+        ProptestConfig {
+            cases: 64,
+            max_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// How a single case ended, when it did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the runner draws a fresh case.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Appends the generated inputs to a failure message (no-op for
+    /// rejections). Used by the `proptest!` expansion.
+    #[must_use]
+    pub fn with_inputs(self, inputs: &[String]) -> Self {
+        match self {
+            TestCaseError::Reject => TestCaseError::Reject,
+            TestCaseError::Fail(msg) => {
+                TestCaseError::Fail(format!("{msg}\ninputs:\n  {}", inputs.join("\n  ")))
+            }
+        }
+    }
+}
+
+/// The per-case random source handed to strategies: SplitMix64, seeded
+/// deterministically by the runner.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one case.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Drives one property: derives case seeds, counts rejections, panics with
+/// a reproducible report on failure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+}
+
+/// FNV-1a, the seed's only input besides the case counter: stable across
+/// runs, platforms, and re-orderings of other tests.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property (name is typically
+    /// `module_path!() :: test_name`).
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let base_seed = fnv1a(name.as_bytes());
+        TestRunner {
+            config,
+            name,
+            base_seed,
+        }
+    }
+
+    /// Runs the property until `config.cases` cases succeed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or the rejection budget is exhausted.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        let mut stream = 0u64;
+        while passed < self.config.cases {
+            // Every attempt (pass or reject) advances the stream, so the
+            // seed of case N is independent of how many rejections earlier
+            // cases took -- but still a pure function of (name, attempt#).
+            let seed = self.base_seed ^ stream.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            stream += 1;
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_rejects,
+                        "proptest {}: too many prop_assume! rejections ({rejects})",
+                        self.name,
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {passed} (seed {seed:#018x}):\n{msg}",
+                        self.name,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_in_bounds_and_covers() {
+        let mut rng = TestRng::new(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut first = Vec::new();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "det");
+        runner.run(|rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "det");
+        runner.run(|rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics_with_context() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4), "boom");
+        runner.run(|_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn rejections_retry_with_fresh_seeds() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8), "retry");
+        let mut attempts = 0;
+        runner.run(|rng| {
+            attempts += 1;
+            if rng.below(2) == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            Ok(())
+        });
+        assert!(attempts >= 8);
+    }
+}

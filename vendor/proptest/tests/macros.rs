@@ -1,0 +1,77 @@
+//! End-to-end exercise of the `proptest!` macro surface this shim provides,
+//! mirroring how the workspace's test files use it.
+
+use proptest::prelude::*;
+
+fn small_vecs() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..16, 1..10)
+}
+
+proptest! {
+    #[test]
+    fn typed_params_draw_full_domain(x: u64, flag in any::<bool>()) {
+        // x is an arbitrary u64; nothing to constrain beyond type checks.
+        let _ = flag;
+        prop_assert_eq!(x.wrapping_add(0), x);
+    }
+
+    #[test]
+    fn range_and_tuple_params(a in 1u64..100, (lo, hi) in (0u32..50, 50u32..100)) {
+        prop_assert!((1..100).contains(&a));
+        prop_assert!(lo < hi, "tuple halves ordered: {} vs {}", lo, hi);
+    }
+
+    #[test]
+    fn assume_retries(a in 0u8..8, b in 0u8..8) {
+        prop_assume!(a != b);
+        prop_assert!(a != b);
+    }
+
+    #[test]
+    fn oneof_and_map_cover_arms(v in prop_oneof![
+        Just(0usize),
+        (1usize..4).prop_map(|x| x * 10),
+    ]) {
+        prop_assert!(v == 0 || (10..40).contains(&v));
+    }
+
+    #[test]
+    fn collection_strategies_work(v in small_vecs(), s in proptest::collection::btree_set(0u64..64, 1..5)) {
+        prop_assert!(!v.is_empty() && v.len() < 10);
+        prop_assert!(!s.is_empty() && s.len() < 5);
+        prop_assert!(s.iter().all(|&x| x < 64));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    #[test]
+    fn config_case_count_is_honoured(_x in 0u8..4) {
+        // Counting happens via the outer static below.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static CASES: AtomicU32 = AtomicU32::new(0);
+        let n = CASES.fetch_add(1, Ordering::SeqCst) + 1;
+        prop_assert!(n <= 17, "ran more cases than configured: {}", n);
+    }
+}
+
+#[test]
+fn same_property_generates_identical_streams() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::{ProptestConfig, TestRunner};
+    let collect = |name: &'static str| {
+        let mut out = Vec::new();
+        TestRunner::new(ProptestConfig::with_cases(12), name).run(|rng| {
+            out.push((0u64..1_000_000).generate(rng));
+            Ok(())
+        });
+        out
+    };
+    assert_eq!(collect("stream"), collect("stream"));
+    assert_ne!(
+        collect("stream"),
+        collect("other"),
+        "name perturbs the stream"
+    );
+}

@@ -1,0 +1,63 @@
+//! A marker-trait stand-in for `serde`, vendored because the build
+//! environment has no crates registry.
+//!
+//! The workspace's `serde` feature promises that its data-structure types
+//! *implement* `Serialize`/`Deserialize` (see `tests/extensions.rs`); no
+//! code in the repo actually serialises anything yet. This shim keeps that
+//! contract checkable offline: the traits exist, the derives exist, and the
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`
+//! annotations compile — so the moment a real serializer is needed, only
+//! this vendor crate has to be replaced with upstream serde, not the
+//! annotations.
+//!
+//! The traits are deliberately empty: there is no data format to drive them
+//! and no `Serializer`/`Deserializer` machinery here.
+
+/// A type that can be serialized.
+pub trait Serialize {}
+
+/// A type that can be deserialized with lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserialization-related items, mirroring `serde::de`.
+pub mod de {
+    /// A type deserializable from any lifetime, i.e. owning its data.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_for_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_for_primitives!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn owned_primitives_satisfy_deserialize_owned() {
+        fn check<T: crate::Serialize + crate::de::DeserializeOwned>() {}
+        check::<u64>();
+        check::<Vec<u8>>();
+        check::<Option<String>>();
+    }
+}

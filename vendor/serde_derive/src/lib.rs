@@ -1,0 +1,59 @@
+//! Derive-macro stand-ins for `serde_derive`, vendored for the offline
+//! build. Each derive emits an *empty* marker-trait impl for the annotated
+//! type (the vendored `serde` traits have no methods). Parsing is done by
+//! hand on the raw token stream — no `syn`/`quote`, since those also live
+//! in the unreachable registry.
+//!
+//! Limitation: generic types get no impl (emitting correctly-bounded
+//! generic impls needs a real parser). Every type the workspace derives on
+//! is concrete, and the `tests/extensions.rs` contract only checks concrete
+//! types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the name of the `struct`/`enum`/`union` being derived and whether
+/// it has a generic parameter list.
+fn type_name(input: &TokenStream) -> Option<(String, bool)> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(ident) = &tokens[i] {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.get(i + 1) {
+                    let generic = matches!(
+                        tokens.get(i + 2),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+                return None;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Derives the vendored `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        // Generic or unparseable: emit nothing rather than a wrong impl.
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        _ => TokenStream::new(),
+    }
+}
