@@ -601,6 +601,120 @@ mod tests {
     }
 
     #[test]
+    fn empty_group_after_full_churn_is_inert() {
+        // Boundary: a group whose every object has been freed. It stays in
+        // the statistics (lifetime histogram, max lifetime) but a detection
+        // pass must find nothing to sample, watch, or report.
+        let mut os = os();
+        let mut det = LeakDetector::new(quick_config(), LINE);
+        for i in 0..16 {
+            det.on_alloc(&mut os, addr_of(i), 64, &stack(0x10));
+            os.compute(2_000);
+            det.on_free(&mut os, addr_of(i));
+        }
+        os.compute(2_000_000);
+        det.run_check(&mut os);
+        assert_eq!(det.stats().suspects_flagged, 0, "nothing live to suspect");
+        assert_eq!(det.stats().leaks_reported, 0);
+        assert_eq!(os.watched_region_count(), 0);
+        let (_, group) = det.groups().next().expect("group statistics persist");
+        assert_eq!(group.live_count(), 0);
+        assert!(group.has_freed());
+    }
+
+    #[test]
+    fn single_allocation_group_is_not_suspected() {
+        // Boundary: one object, never freed. The ALeak rule needs a live
+        // count *above* the threshold and the SLeak rule needs a free-path
+        // lifetime history, so a lone long-lived object (a singleton, say)
+        // must never be flagged no matter how long it sits.
+        let mut os = os();
+        let mut det = LeakDetector::new(quick_config(), LINE);
+        det.on_alloc(&mut os, addr_of(0), 64, &stack(0x11));
+        for _ in 0..8 {
+            os.compute(5_000_000);
+            det.run_check(&mut os);
+        }
+        assert_eq!(det.stats().suspects_flagged, 0);
+        assert_eq!(det.stats().leaks_reported, 0);
+        assert!(det.stats().checks >= 8, "passes actually ran");
+    }
+
+    #[test]
+    fn lifetime_exactly_at_the_sleak_limit_is_not_an_outlier() {
+        // Boundary: the SLeak rule flags objects *strictly older* than
+        // sleak_factor x the stable maximal lifetime. An object exactly at
+        // the limit is still within expectation; one cycle past it is not.
+        let mut os = os();
+        let mut det = LeakDetector::new(quick_config(), LINE);
+        // Establish a stable lifetime profile first.
+        for i in 0..64 {
+            det.on_alloc(&mut os, addr_of(i), 64, &stack(0x12));
+            os.compute(2_000);
+            det.on_free(&mut os, addr_of(i));
+        }
+        let victim = addr_of(500);
+        det.on_alloc(&mut os, victim, 64, &stack(0x12));
+        let (max_lifetime, alloc_time, stable_time) = {
+            let (_, g) = det.groups().next().expect("one group");
+            (
+                g.max_lifetime,
+                g.alloc_time_of(victim).expect("victim is live"),
+                g.stable_time,
+            )
+        };
+        let cfg = quick_config();
+        assert!(
+            stable_time >= cfg.sleak_stable_threshold,
+            "profile is stable ({stable_time} cycles)"
+        );
+        let limit = (max_lifetime as f64 * cfg.sleak_factor) as u64;
+
+        // run_check charges check_group_cycles per group *before* reading
+        // the clock; compensate so `now` lands exactly on alloc_time+limit.
+        let overhead = cfg.check_group_cycles; // one group
+        let target_pre = alloc_time + limit - overhead;
+        os.compute(target_pre - os.cpu_cycles());
+        det.run_check(&mut os);
+        assert_eq!(os.cpu_cycles(), alloc_time + limit, "clock math holds");
+        assert_eq!(
+            det.stats().suspects_flagged,
+            0,
+            "age == limit is within expectation"
+        );
+
+        // The next pass advances the clock past the limit: now a suspect.
+        det.run_check(&mut os);
+        assert!(os.cpu_cycles() > alloc_time + limit);
+        assert_eq!(det.stats().suspects_flagged, 1, "age > limit is an outlier");
+    }
+
+    #[test]
+    fn sub_threshold_stability_gates_sleak_outliers() {
+        // Boundary: an obvious outlier must NOT be flagged while the group's
+        // stable_time is still below sleak_stable_threshold — the lifetime
+        // estimate is not trusted yet.
+        let mut os = os();
+        let mut cfg = quick_config();
+        cfg.sleak_stable_threshold = 1_000_000_000; // never reached here
+        let mut det = LeakDetector::new(cfg, LINE);
+        let victim = addr_of(500);
+        det.on_alloc(&mut os, victim, 64, &stack(0x13));
+        for i in 0..64 {
+            det.on_alloc(&mut os, addr_of(i), 64, &stack(0x13));
+            os.compute(2_000);
+            det.on_free(&mut os, addr_of(i));
+        }
+        os.compute(2_000_000);
+        det.run_check(&mut os);
+        assert_eq!(
+            det.stats().suspects_flagged,
+            0,
+            "unstable profile must not produce suspects"
+        );
+    }
+
+    #[test]
     fn warmup_gates_detection() {
         let mut os = os();
         let mut cfg = quick_config();

@@ -1,0 +1,127 @@
+//! Property tests for the SafeMem scramble trick (paper §2.2.2, Figure 2).
+//!
+//! The trick's whole contract, end to end: for *any* stored data word at
+//! *any* group address, rewriting the word with the scheme's 3 fixed bits
+//! flipped **while ECC is disabled** leaves a stale code that decodes as an
+//! uncorrectable multi-bit error on the next verified read — never a
+//! silently-corrected single-bit error — with exactly the scheme's fixed
+//! syndrome signature; and unscrambling (the same 3-bit flip, ECC still
+//! disabled) restores the original word to a clean, readable group.
+
+use proptest::prelude::*;
+use safemem_ecc::{Codec, Decoded, EccController, FaultKind, ScrambleScheme, GROUP_BYTES};
+
+/// Controller size used by the address-sweeping properties.
+const MEM_BYTES: u64 = 1 << 16;
+
+/// A group-aligned physical address strategy covering the whole controller.
+fn group_addr() -> impl Strategy<Value = u64> {
+    (0..MEM_BYTES / GROUP_BYTES).prop_map(|g| g * GROUP_BYTES)
+}
+
+/// Any valid 3-bit scramble triple, not just the canonical default: the
+/// drawn positions are deterministically repaired to the nearest valid
+/// triple (distinct positions whose syndrome the controller cannot
+/// correct), so every case still lands on a different scheme.
+fn valid_scheme() -> impl Strategy<Value = ScrambleScheme> {
+    (0u8..64, 0u8..64, 0u8..64).prop_map(|(a, b, c)| {
+        for step in 0u8..64 {
+            let candidate = [
+                a,
+                b.wrapping_add(step) % 64,
+                c.wrapping_add(step.wrapping_mul(2)).wrapping_add(1) % 64,
+            ];
+            if let Ok(scheme) = ScrambleScheme::new(candidate) {
+                return scheme;
+            }
+        }
+        ScrambleScheme::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Codec level: a scrambled word against its stale code is always an
+    /// uncorrectable syndrome — the scheme's own fixed signature — and the
+    /// scramble is an involution that restores the original word.
+    #[test]
+    fn scramble_always_decodes_uncorrectable_and_unscramble_restores(data: u64) {
+        let codec = Codec::new();
+        let scheme = ScrambleScheme::default();
+        let stale_code = codec.encode(data);
+        let scrambled = scheme.apply(data);
+        prop_assert_eq!(scrambled.count_ones().abs_diff(data.count_ones()) % 2, 1,
+            "3 flips always change parity");
+        match codec.decode(scrambled, stale_code) {
+            Decoded::Uncorrectable { syndrome } => {
+                prop_assert_eq!(syndrome, scheme.syndrome(), "fixed signature");
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "scrambled word decoded as {other:?} — the controller would hide the watchpoint"
+            ))),
+        }
+        let restored = scheme.apply(scrambled);
+        prop_assert_eq!(restored, data, "involution");
+        prop_assert!(matches!(codec.decode(restored, stale_code), Decoded::Clean),
+            "the stale code is the *original* code, so the restored word is clean");
+    }
+
+    /// The same holds for every valid triple, not just the canonical one —
+    /// the validity check in `ScrambleScheme::new` is exactly what makes the
+    /// trick sound.
+    #[test]
+    fn every_valid_triple_is_a_sound_scramble(data: u64, scheme in valid_scheme()) {
+        let codec = Codec::new();
+        let stale_code = codec.encode(data);
+        match codec.decode(scheme.apply(data), stale_code) {
+            Decoded::Uncorrectable { syndrome } => {
+                prop_assert_eq!(syndrome, scheme.syndrome());
+            }
+            other => return Err(TestCaseError::fail(format!("decoded as {other:?}"))),
+        }
+        prop_assert!(scheme.matches(data, scheme.apply(data)));
+        prop_assert_eq!(scheme.apply(scheme.apply(data)), data);
+    }
+
+    /// Controller level, arbitrary data at an arbitrary group address: the
+    /// full arm / trip / disarm sequence through the ECC-disable window.
+    #[test]
+    fn armed_group_faults_on_next_read_then_unscrambling_restores(
+        data: u64,
+        addr in group_addr(),
+    ) {
+        let scheme = ScrambleScheme::default();
+        let mut ctl = EccController::new(MEM_BYTES);
+
+        // Store the word normally: data and matching code.
+        ctl.write(addr, &data.to_le_bytes());
+
+        // Arm: flip the 3 scramble bits while ECC is disabled — the stored
+        // code goes stale on purpose.
+        ctl.set_enabled(false);
+        ctl.write(addr, &scheme.apply(data).to_le_bytes());
+        ctl.set_enabled(true);
+
+        // The next verified read must raise an uncorrectable fault carrying
+        // the scheme's signature, at exactly this group.
+        let mut buf = [0u8; GROUP_BYTES as usize];
+        let fault = ctl.read(addr, &mut buf).expect_err("armed group must fault");
+        prop_assert_eq!(fault.kind, FaultKind::UncorrectableData);
+        prop_assert_eq!(fault.group_addr, addr);
+        prop_assert_eq!(fault.syndrome, scheme.syndrome());
+        // Hardware delivers the raw (scrambled) bytes with the fault, and
+        // the handler can verify the signature from them.
+        let delivered = u64::from_le_bytes(buf);
+        prop_assert!(scheme.matches(data, delivered), "signature check identifies the watchpoint");
+
+        // Disarm: flip the same 3 bits back while ECC is disabled. The stale
+        // code was never rewritten, so the group is clean again.
+        ctl.set_enabled(false);
+        ctl.write(addr, &scheme.apply(delivered).to_le_bytes());
+        ctl.set_enabled(true);
+        let mut restored = [0u8; GROUP_BYTES as usize];
+        ctl.read(addr, &mut restored).expect("disarmed group reads clean");
+        prop_assert_eq!(u64::from_le_bytes(restored), data, "original word restored");
+    }
+}

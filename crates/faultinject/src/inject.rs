@@ -50,6 +50,10 @@ const LINE_BYTES: u64 = 64;
 /// Attempts made to find a clean resident ECC group before giving up.
 const PICK_ATTEMPTS: usize = 8;
 
+/// Stream tag domain-separating the injector's decisions from every other
+/// consumer of a campaign seed (see [`SmRng::keyed`]).
+const INJECTOR_STREAM: u64 = 0xFA07_1213_5EED_0001;
+
 /// A deterministic fault-injecting wrapper around a memory tool.
 pub struct Injector {
     inner: Box<dyn MemTool>,
@@ -79,8 +83,7 @@ impl Injector {
     pub fn new(inner: Box<dyn MemTool>, mix: FaultMix, seed: u64) -> Self {
         Injector {
             inner,
-            // Domain-separate from other consumers of the campaign seed.
-            rng: SmRng::new(seed ^ 0xFA07_1213_5EED_0001),
+            rng: SmRng::keyed(seed, INJECTOR_STREAM),
             mix,
             codec: Codec::new(),
             live: BTreeMap::new(),

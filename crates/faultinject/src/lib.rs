@@ -18,12 +18,15 @@
 //!   through SafeMem, the three comparison baselines, and the uninstrumented
 //!   tool, classifying every report as true positive / false positive /
 //!   missed;
+//! * [`runner::run_matrix`] — shards a seeds × workloads campaign matrix
+//!   across a scoped worker pool; results reassemble in cell order, so the
+//!   aggregate scorecard is byte-identical for any thread count;
 //! * [`scorecard`] — byte-stable rendering, per campaign and aggregated.
 //!
 //! Determinism contract: no wall-clock, no global RNG; every injection
 //! decision is a pure function of `(campaign seed, operation index)`. The
-//! same spec therefore yields a byte-identical scorecard, which the
-//! regression tests assert.
+//! same spec therefore yields a byte-identical scorecard — for any worker
+//! count and scheduling order — which the regression tests assert.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,11 +34,16 @@
 pub mod inject;
 pub mod oracle;
 pub mod rng;
+pub mod runner;
 pub mod scorecard;
 pub mod spec;
 
 pub use inject::{InjectionLog, Injector};
 pub use oracle::{run_campaign, CampaignError, CampaignResult, GroundTruth, ToolScore, PANEL};
 pub use rng::SmRng;
-pub use scorecard::{render_aggregate, render_campaign};
+pub use runner::{
+    default_threads, expand_matrix, render_bench_json, run_matrix, BenchRun, MatrixReport,
+    WorkerReport,
+};
+pub use scorecard::{render_aggregate, render_campaign, render_workers};
 pub use spec::{CampaignSpec, FaultMix};

@@ -1,0 +1,350 @@
+//! Sharded campaign execution: a hand-rolled scoped worker pool that fans a
+//! seeds × workloads campaign matrix across N threads **without giving up
+//! byte-identical scorecards**.
+//!
+//! # The determinism-under-parallelism invariant
+//!
+//! Every campaign cell is a *pure function of its spec*: [`run_campaign`]
+//! builds a private machine, OS, controller, and injector per cell, and the
+//! injector derives its decision stream from the cell's campaign seed alone
+//! (see [`SmRng::keyed`](crate::rng::SmRng::keyed)). Workers therefore share
+//! **no** mutable simulation state — the only shared object is an atomic
+//! cursor handing out cell indices. Scheduling decides *when* a cell runs,
+//! never *what* it computes, and results are re-assembled in cell-index
+//! order before aggregation. The aggregate scorecard is byte-identical for
+//! any thread count and any interleaving; `tests/parallel_determinism.rs`
+//! pins this for 1, 2, and 8 threads.
+//!
+//! Per-worker timing and injection counters ([`WorkerReport`]) are the one
+//! deliberately schedule-dependent output: they describe the execution, not
+//! the experiment, and are rendered separately from the scorecard.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use safemem_workloads::workload_by_name;
+
+use crate::oracle::{run_campaign, CampaignError, CampaignResult};
+use crate::spec::CampaignSpec;
+
+/// The worker count used when the caller does not pin one: the host's
+/// available parallelism (1 if it cannot be determined).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Expands a seeds × workloads matrix into campaign specs, in the canonical
+/// cell order: seed-major, workload-minor (`cell = row * workloads + col`).
+/// This is the single place the cell order is defined; the runner and every
+/// scorecard consumer inherit it.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] for an unknown preset or workload name — the
+/// whole matrix is validated up front so a sweep never dies mid-flight on a
+/// typo.
+pub fn expand_matrix(
+    preset: &str,
+    workloads: &[String],
+    seeds: u64,
+    seed0: u64,
+    requests: Option<u64>,
+) -> Result<Vec<CampaignSpec>, CampaignError> {
+    if seeds == 0 {
+        return Err(CampaignError("matrix needs at least one seed".into()));
+    }
+    if workloads.is_empty() {
+        return Err(CampaignError("matrix needs at least one workload".into()));
+    }
+    for name in workloads {
+        if workload_by_name(name).is_none() {
+            return Err(CampaignError(format!("unknown workload {name:?}")));
+        }
+    }
+    let mut specs = Vec::with_capacity(usize::try_from(seeds).unwrap_or(usize::MAX));
+    for i in 0..seeds {
+        let seed = seed0.wrapping_add(i);
+        for workload in workloads {
+            let mut spec = CampaignSpec::preset(preset, workload, seed)
+                .ok_or_else(|| CampaignError(format!("unknown preset {preset:?}")))?;
+            if requests.is_some() {
+                spec.requests = requests;
+            }
+            specs.push(spec);
+        }
+    }
+    Ok(specs)
+}
+
+/// What one worker did during a matrix run. Which cells land on which worker
+/// depends on scheduling, so these numbers are *not* part of the
+/// deterministic scorecard — they exist to show shard balance and measured
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Campaign cells this worker executed.
+    pub campaigns: usize,
+    /// Wall time this worker spent inside `run_campaign`.
+    pub busy: Duration,
+    /// Total injection events across this worker's cells (bit flips, bursts,
+    /// forced scrubs, DMA transfers and DMA faults, summed over the panel).
+    pub injection_events: u64,
+}
+
+/// A completed matrix run: deterministic results in cell order plus the
+/// schedule-dependent execution telemetry.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Campaign results in canonical cell order — identical for every thread
+    /// count.
+    pub results: Vec<CampaignResult>,
+    /// Per-worker execution telemetry, sorted by worker index.
+    pub workers: Vec<WorkerReport>,
+    /// Worker threads actually spawned (the requested count, capped at the
+    /// cell count).
+    pub threads: usize,
+    /// Wall time for the whole matrix.
+    pub wall: Duration,
+}
+
+/// Sums a campaign's injection events over the whole panel.
+fn injection_events(result: &CampaignResult) -> u64 {
+    result
+        .tools
+        .iter()
+        .map(|t| {
+            let log = t.injected;
+            log.data_bit_flips
+                + log.code_bit_flips
+                + log.multi_bit_bursts
+                + log.forced_scrub_cycles
+                + log.dma_transfers
+                + log.dma_faults
+        })
+        .sum()
+}
+
+/// Runs every spec in the matrix across `threads` workers and reassembles
+/// the results in cell order.
+///
+/// Work is distributed by an atomic cursor (dynamic self-scheduling), so an
+/// expensive cell does not stall a whole stripe; determinism is unaffected
+/// because cells share no state (see the module docs).
+///
+/// # Errors
+///
+/// Returns the lowest-cell-index [`CampaignError`] if any cell fails (the
+/// remaining cells still run), so the reported error does not depend on
+/// scheduling either.
+pub fn run_matrix(specs: &[CampaignSpec], threads: usize) -> Result<MatrixReport, CampaignError> {
+    let threads = threads.max(1).min(specs.len().max(1));
+    let start = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let cells: Mutex<Vec<(usize, Result<CampaignResult, CampaignError>)>> =
+        Mutex::new(Vec::with_capacity(specs.len()));
+    let workers: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::with_capacity(threads));
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let cursor = &cursor;
+            let cells = &cells;
+            let workers = &workers;
+            scope.spawn(move || {
+                let mut mine = Vec::new();
+                let mut report = WorkerReport {
+                    worker,
+                    campaigns: 0,
+                    busy: Duration::ZERO,
+                    injection_events: 0,
+                };
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(index) else {
+                        break;
+                    };
+                    let t0 = Instant::now();
+                    let result = run_campaign(spec);
+                    report.busy += t0.elapsed();
+                    report.campaigns += 1;
+                    if let Ok(r) = &result {
+                        report.injection_events += injection_events(r);
+                    }
+                    mine.push((index, result));
+                }
+                cells
+                    .lock()
+                    .expect("no panics hold the cell lock")
+                    .extend(mine);
+                workers
+                    .lock()
+                    .expect("no panics hold the worker lock")
+                    .push(report);
+            });
+        }
+    });
+
+    let mut cells = cells.into_inner().expect("scope joined all workers");
+    cells.sort_by_key(|(index, _)| *index);
+    let mut results = Vec::with_capacity(cells.len());
+    for (_, result) in cells {
+        results.push(result?);
+    }
+    let mut workers = workers.into_inner().expect("scope joined all workers");
+    workers.sort_by_key(|w| w.worker);
+
+    Ok(MatrixReport {
+        results,
+        workers,
+        threads,
+        wall: start.elapsed(),
+    })
+}
+
+/// One timed matrix run inside a thread-scaling measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchRun {
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Wall time for the whole matrix at this thread count.
+    pub wall: Duration,
+    /// Campaign cells executed.
+    pub campaigns: usize,
+}
+
+/// Renders thread-scaling measurements as the `BENCH_campaign.json` schema:
+/// one record per thread count with wall time, throughput, and speedup
+/// relative to the first run (conventionally 1 thread). `host_threads`
+/// records the machine's available parallelism so a flat curve on a
+/// single-core host is self-explaining.
+#[must_use]
+pub fn render_bench_json(preset: &str, requests: Option<u64>, runs: &[BenchRun]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"safemem-campaign\",");
+    let _ = writeln!(out, "  \"preset\": \"{preset}\",");
+    match requests {
+        Some(n) => {
+            let _ = writeln!(out, "  \"requests\": {n},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"requests\": null,");
+        }
+    }
+    let _ = writeln!(out, "  \"host_threads\": {},", default_threads());
+    let _ = writeln!(out, "  \"runs\": [");
+    let base = runs.first().map(|r| r.wall);
+    for (i, run) in runs.iter().enumerate() {
+        let wall_ms = run.wall.as_secs_f64() * 1e3;
+        let per_sec = if run.wall.is_zero() {
+            0.0
+        } else {
+            run.campaigns as f64 / run.wall.as_secs_f64()
+        };
+        let speedup = match base {
+            Some(b) if !run.wall.is_zero() => b.as_secs_f64() / run.wall.as_secs_f64(),
+            _ => 1.0,
+        };
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"threads\": {}, \"campaigns\": {}, \"wall_ms\": {wall_ms:.1}, \
+             \"campaigns_per_sec\": {per_sec:.2}, \"speedup_vs_first\": {speedup:.2}}}{comma}",
+            run.threads, run.campaigns
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_specs() -> Vec<CampaignSpec> {
+        let workloads = vec!["ypserv2".to_string(), "tar".to_string()];
+        expand_matrix("harsh", &workloads, 2, 0, Some(24)).expect("valid matrix")
+    }
+
+    #[test]
+    fn expand_matrix_is_seed_major_workload_minor() {
+        let workloads = vec!["ypserv2".to_string(), "tar".to_string()];
+        let specs = expand_matrix("harsh", &workloads, 2, 5, None).expect("valid matrix");
+        let cells: Vec<(u64, &str)> = specs
+            .iter()
+            .map(|s| (s.seed, s.workload.as_str()))
+            .collect();
+        assert_eq!(
+            cells,
+            vec![(5, "ypserv2"), (5, "tar"), (6, "ypserv2"), (6, "tar")]
+        );
+    }
+
+    #[test]
+    fn expand_matrix_validates_up_front() {
+        let good = vec!["tar".to_string()];
+        let bad = vec!["tar".to_string(), "nginx".to_string()];
+        assert!(
+            expand_matrix("harsh", &good, 0, 0, None).is_err(),
+            "0 seeds"
+        );
+        assert!(
+            expand_matrix("harsh", &[], 1, 0, None).is_err(),
+            "no workloads"
+        );
+        assert!(
+            expand_matrix("brutal", &good, 1, 0, None).is_err(),
+            "bad preset"
+        );
+        assert!(
+            expand_matrix("harsh", &bad, 1, 0, None).is_err(),
+            "bad workload"
+        );
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once_and_in_order() {
+        let specs = fast_specs();
+        let report = run_matrix(&specs, 3).expect("matrix runs");
+        assert_eq!(report.results.len(), specs.len());
+        for (result, spec) in report.results.iter().zip(&specs) {
+            assert_eq!(&result.spec, spec, "results come back in cell order");
+        }
+        let total: usize = report.workers.iter().map(|w| w.campaigns).sum();
+        assert_eq!(total, specs.len(), "workers account for every cell");
+    }
+
+    #[test]
+    fn oversubscribed_pool_caps_at_cell_count() {
+        let specs = fast_specs();
+        let report = run_matrix(&specs, 64).expect("matrix runs");
+        assert_eq!(report.threads, specs.len());
+        assert_eq!(report.workers.len(), specs.len());
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let runs = [
+            BenchRun {
+                threads: 1,
+                wall: Duration::from_millis(400),
+                campaigns: 8,
+            },
+            BenchRun {
+                threads: 4,
+                wall: Duration::from_millis(100),
+                campaigns: 8,
+            },
+        ];
+        let json = render_bench_json("harsh", Some(128), &runs);
+        assert!(json.contains("\"speedup_vs_first\": 4.00"), "{json}");
+        assert!(json.contains("\"campaigns_per_sec\": 20.00"), "{json}");
+        assert!(json.contains("\"requests\": 128"), "{json}");
+        assert_eq!(json.matches("\"threads\"").count(), 2, "{json}");
+    }
+}

@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 
 use crate::oracle::{CampaignResult, ToolScore};
+use crate::runner::MatrixReport;
 
 /// Renders one campaign as a multi-line scorecard.
 #[must_use]
@@ -131,6 +132,47 @@ pub fn render_aggregate(results: &[CampaignResult]) -> String {
             "  {name:<10} {tp:>6} {fp_l:>6} {miss:>6} {corr:>6} {fp_c:>6} {panics:>8} {misattr:>8} {injected:>9} {fp_all:>10}"
         );
     }
+    render_harsh_verdict(&mut out, results);
+    out
+}
+
+/// Renders the execution telemetry of a sharded matrix run: per-worker cell
+/// counts, busy time, and injection-event totals.
+///
+/// Unlike every other renderer in this module, this output is **not**
+/// deterministic — which cells land on which worker, and how long they take,
+/// depend on host scheduling. It is therefore never part of the scorecard
+/// that `tests/parallel_determinism.rs` compares byte-for-byte; callers
+/// print it after the aggregate, clearly separated.
+#[must_use]
+pub fn render_workers(report: &MatrixReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "execution: {} campaigns on {} worker threads, wall {:.1} ms (host timing; not part of the scorecard)",
+        report.results.len(),
+        report.threads,
+        report.wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  {:<7} {:>9} {:>10} {:>10}",
+        "worker", "campaigns", "busy_ms", "injEvents"
+    );
+    for w in &report.workers {
+        let _ = writeln!(
+            out,
+            "  {:<7} {:>9} {:>10.1} {:>10}",
+            w.worker,
+            w.campaigns,
+            w.busy.as_secs_f64() * 1e3,
+            w.injection_events
+        );
+    }
+    out
+}
+
+fn render_harsh_verdict(out: &mut String, results: &[CampaignResult]) {
     let harsh: Vec<&CampaignResult> = results
         .iter()
         .filter(|r| !r.spec.mix.injects_uncorrectable())
@@ -143,5 +185,4 @@ pub fn render_aggregate(results: &[CampaignResult]) -> String {
             harsh.len()
         );
     }
-    out
 }

@@ -1,0 +1,69 @@
+//! Golden-scorecard regression gate: the exact harsh-preset results — every
+//! per-campaign card and the aggregate TP/FP/missed table, for 8 fixed seeds
+//! over one leak workload (`ypserv2`) and one corruption workload (`tar`) —
+//! are pinned as a checked-in snapshot. Any change to the injection
+//! schedule, the detectors, the oracle's scoring, or the renderers shows up
+//! here as a readable text diff instead of silently shifting the paper's
+//! headline numbers.
+//!
+//! Regenerate after an *intentional* change with:
+//! `UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard`
+
+use safemem_faultinject::{expand_matrix, render_aggregate, render_campaign, run_matrix};
+
+/// The 8 fixed seeds are 0..8; request count matches the fast suites so the
+/// snapshot stays cheap to check on every run.
+const SEEDS: u64 = 8;
+const FAST_REQUESTS: u64 = 48;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/harsh_scorecard.txt"
+);
+
+fn current_scorecard() -> String {
+    let workloads = vec!["ypserv2".to_string(), "tar".to_string()];
+    let specs =
+        expand_matrix("harsh", &workloads, SEEDS, 0, Some(FAST_REQUESTS)).expect("valid matrix");
+    // Two workers: the golden path exercises the sharded runner, and the
+    // parallel-determinism suite guarantees the count cannot matter.
+    let report = run_matrix(&specs, 2).expect("matrix runs");
+    let mut out = String::new();
+    for result in &report.results {
+        out.push_str(&render_campaign(result));
+        out.push('\n');
+    }
+    out.push_str(&render_aggregate(&report.results));
+    out
+}
+
+#[test]
+fn harsh_scorecard_matches_the_checked_in_golden() {
+    let current = current_scorecard();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &current).expect("golden snapshot is writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden snapshot exists; regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard",
+    );
+    assert!(
+        golden == current,
+        "harsh scorecard drifted from the golden snapshot.\n\
+         If the change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard\n\
+         and commit the diff.\n\n--- golden ---\n{golden}\n--- current ---\n{current}"
+    );
+}
+
+#[test]
+fn golden_snapshot_pins_the_zero_false_positive_verdict() {
+    // Belt and braces: the snapshot itself must assert the paper's claim, so
+    // a regenerated golden can never quietly bless a false positive.
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden snapshot exists");
+    assert!(
+        golden.contains("harsh invariant (safemem: zero FPs, all planted bugs found): 16/16"),
+        "golden must show all 16 campaigns upholding the invariant"
+    );
+}

@@ -1,0 +1,91 @@
+//! The correctness centerpiece of the sharded runner: the scorecard must be
+//! a pure function of the campaign matrix, never of the thread count or of
+//! which worker happened to run which cell.
+//!
+//! The harsh preset is the one whose aggregate anchors the paper's
+//! zero-false-positive claim, so that is the one pinned across 1, 2, and 8
+//! workers (8 oversubscribes this matrix, forcing the cap-and-reassemble
+//! path too).
+
+use safemem_faultinject::{
+    expand_matrix, render_aggregate, render_campaign, run_matrix, CampaignSpec, MatrixReport,
+};
+
+/// Small request counts keep each campaign to tens of milliseconds while
+/// still tripping the leak workloads' lifetime heuristic.
+const FAST_REQUESTS: u64 = 48;
+
+fn harsh_matrix() -> Vec<CampaignSpec> {
+    let workloads = vec!["ypserv2".to_string(), "tar".to_string()];
+    expand_matrix("harsh", &workloads, 2, 0, Some(FAST_REQUESTS)).expect("valid matrix")
+}
+
+/// The full deterministic rendering of a matrix run: every per-campaign
+/// scorecard in cell order, then the aggregate. Worker telemetry is
+/// deliberately excluded — it is the one schedule-dependent output.
+fn scorecard(report: &MatrixReport) -> String {
+    let mut out = String::new();
+    for result in &report.results {
+        out.push_str(&render_campaign(result));
+        out.push('\n');
+    }
+    out.push_str(&render_aggregate(&report.results));
+    out
+}
+
+#[test]
+fn scorecards_are_byte_identical_for_1_2_and_8_threads() {
+    let specs = harsh_matrix();
+    let t1 = run_matrix(&specs, 1).expect("matrix runs");
+    let t2 = run_matrix(&specs, 2).expect("matrix runs");
+    let t8 = run_matrix(&specs, 8).expect("matrix runs");
+
+    let (s1, s2, s8) = (scorecard(&t1), scorecard(&t2), scorecard(&t8));
+    assert!(!s1.is_empty());
+    assert_eq!(s1, s2, "2 workers changed the scorecard");
+    assert_eq!(s1, s8, "8 workers changed the scorecard");
+
+    // The invariant covers structured results too, not just the rendering.
+    assert_eq!(t1.results, t2.results);
+    assert_eq!(t1.results, t8.results);
+}
+
+#[test]
+fn sharded_harsh_run_keeps_the_zero_false_positive_gate() {
+    let specs = harsh_matrix();
+    let report = run_matrix(&specs, 4).expect("matrix runs");
+    for result in &report.results {
+        assert!(
+            result.harsh_invariant_holds(),
+            "sharding broke the invariant:\n{}",
+            render_campaign(result)
+        );
+    }
+}
+
+#[test]
+fn worker_telemetry_accounts_for_every_cell_and_event() {
+    let specs = harsh_matrix();
+    let report = run_matrix(&specs, 2).expect("matrix runs");
+    let cells: usize = report.workers.iter().map(|w| w.campaigns).sum();
+    assert_eq!(cells, specs.len(), "every cell executed exactly once");
+
+    // Per-worker injection events are schedule-dependent, but their total
+    // must equal the deterministic per-campaign logs.
+    let telemetry: u64 = report.workers.iter().map(|w| w.injection_events).sum();
+    let logged: u64 = report
+        .results
+        .iter()
+        .flat_map(|r| r.tools.iter())
+        .map(|t| {
+            t.injected.data_bit_flips
+                + t.injected.code_bit_flips
+                + t.injected.multi_bit_bursts
+                + t.injected.forced_scrub_cycles
+                + t.injected.dma_transfers
+                + t.injected.dma_faults
+        })
+        .sum();
+    assert_eq!(telemetry, logged);
+    assert!(logged > 0, "the harsh preset actually injects");
+}

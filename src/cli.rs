@@ -290,6 +290,12 @@ pub fn campaign_usage() -> String {
          \x20 --seed0 <n>         first seed (default 0)\n\
          \x20 --workloads <a,b>   comma-separated workload names (default: {workloads})\n\
          \x20 --requests <n>      request count override\n\
+         \x20 --threads <n>       worker threads sharding the campaign matrix\n\
+         \x20                     (default: available parallelism; the scorecard is\n\
+         \x20                     byte-identical for every thread count)\n\
+         \x20 --bench-threads <a,b> run the matrix once per thread count, cross-check\n\
+         \x20                     the scorecards are identical, and report the speedup\n\
+         \x20 --bench-json <file> write the measured thread-scaling numbers as JSON\n\
          \x20 --verbose           print every per-campaign scorecard, not just the aggregate\n",
         presets = crate::faultinject::CampaignSpec::PRESETS.join(" | "),
         workloads = crate::faultinject::spec::PRESET_WORKLOADS.join(","),
@@ -309,6 +315,13 @@ pub struct CampaignCli {
     pub workloads: Vec<String>,
     /// Request count override (None = the preset's).
     pub requests: Option<u64>,
+    /// Worker threads sharding the matrix (None = available parallelism).
+    pub threads: Option<usize>,
+    /// Thread counts to measure the same matrix at (empty = run once at
+    /// `threads`). Every run's scorecard is cross-checked byte-identical.
+    pub bench_threads: Vec<usize>,
+    /// Write measured thread-scaling numbers to this file as JSON.
+    pub bench_json: Option<String>,
     /// Print per-campaign scorecards.
     pub verbose: bool,
 }
@@ -330,6 +343,9 @@ impl CampaignCli {
                 .map(|s| (*s).to_string())
                 .collect(),
             requests: None,
+            threads: None,
+            bench_threads: Vec::new(),
+            bench_json: None,
             verbose: false,
         };
         let mut args = args.into_iter();
@@ -363,6 +379,38 @@ impl CampaignCli {
                             .map_err(|_| CliError("--requests needs an integer".into()))?,
                     );
                 }
+                "--threads" => {
+                    let n: usize = value("--threads")?
+                        .parse()
+                        .map_err(|_| CliError("--threads needs an integer".into()))?;
+                    if n == 0 {
+                        return Err(CliError(
+                            "--threads must be at least 1 (omit it for auto)".into(),
+                        ));
+                    }
+                    cli.threads = Some(n);
+                }
+                "--bench-threads" => {
+                    cli.bench_threads = value("--bench-threads")?
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .ok_or_else(|| {
+                                    CliError(
+                                        "--bench-threads needs comma-separated positive integers"
+                                            .into(),
+                                    )
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if cli.bench_threads.is_empty() {
+                        return Err(CliError("--bench-threads needs at least one count".into()));
+                    }
+                }
+                "--bench-json" => cli.bench_json = Some(value("--bench-json")?),
                 "--verbose" | "-v" => cli.verbose = true,
                 "--help" | "-h" => return Err(CliError(campaign_usage())),
                 other => {
@@ -379,43 +427,105 @@ impl CampaignCli {
         Ok(cli)
     }
 
-    /// Runs the campaign sweep. Returns the rendered report and whether
-    /// every campaign upheld the preset's invariant (always `true` for
-    /// presets that inject uncorrectable errors — they have no
-    /// zero-false-positive guarantee to check).
+    /// Runs the campaign sweep, sharded across worker threads. Returns the
+    /// rendered report and whether every campaign upheld the preset's
+    /// invariant (always `true` for presets that inject uncorrectable
+    /// errors — they have no zero-false-positive guarantee to check).
+    ///
+    /// The report has two parts: the deterministic scorecard (per-campaign
+    /// cards with `--verbose`, then the aggregate), which is byte-identical
+    /// for every `--threads` value, followed by schedule-dependent execution
+    /// telemetry (worker balance, wall time, thread-scaling measurements).
     ///
     /// # Errors
     ///
-    /// Returns [`CliError`] for an unknown preset or workload.
+    /// Returns [`CliError`] for an unknown preset or workload, an unwritable
+    /// `--bench-json` path, or — defensively — if a `--bench-threads`
+    /// cross-check ever catches two thread counts disagreeing on the
+    /// scorecard.
     pub fn execute(&self) -> Result<(String, bool), CliError> {
-        use crate::faultinject::{render_aggregate, render_campaign, run_campaign, CampaignSpec};
+        use crate::faultinject::{
+            default_threads, expand_matrix, render_aggregate, render_bench_json, render_campaign,
+            render_workers, run_matrix, BenchRun,
+        };
 
-        let mut results = Vec::new();
-        let mut report = String::new();
-        for i in 0..self.seeds {
-            let seed = self.seed0 + i;
-            for workload in &self.workloads {
-                let mut spec =
-                    CampaignSpec::preset(&self.preset, workload, seed).ok_or_else(|| {
-                        CliError(format!(
-                            "unknown preset {:?} (expected one of {})",
-                            self.preset,
-                            CampaignSpec::PRESETS.join(", ")
-                        ))
-                    })?;
-                if self.requests.is_some() {
-                    spec.requests = self.requests;
+        let specs = expand_matrix(
+            &self.preset,
+            &self.workloads,
+            self.seeds,
+            self.seed0,
+            self.requests,
+        )
+        .map_err(|e| CliError(e.0))?;
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let thread_counts = if self.bench_threads.is_empty() {
+            vec![threads]
+        } else {
+            self.bench_threads.clone()
+        };
+
+        let mut runs = Vec::with_capacity(thread_counts.len());
+        let mut first: Option<(crate::faultinject::MatrixReport, String)> = None;
+        for &t in &thread_counts {
+            let matrix = run_matrix(&specs, t).map_err(|e| CliError(e.0))?;
+            let aggregate = render_aggregate(&matrix.results);
+            runs.push(BenchRun {
+                threads: t,
+                wall: matrix.wall,
+                campaigns: matrix.results.len(),
+            });
+            match &first {
+                None => first = Some((matrix, aggregate)),
+                Some((_, reference)) => {
+                    if aggregate != *reference {
+                        return Err(CliError(format!(
+                            "determinism violation: {t} threads produced a different \
+                             scorecard than {} threads",
+                            thread_counts[0]
+                        )));
+                    }
                 }
-                let result = run_campaign(&spec).map_err(|e| CliError(e.0))?;
-                if self.verbose {
-                    report.push_str(&render_campaign(&result));
-                    report.push('\n');
-                }
-                results.push(result);
             }
         }
-        report.push_str(&render_aggregate(&results));
-        let ok = results
+        let (matrix, aggregate) = first.expect("at least one thread count runs");
+
+        let mut report = String::new();
+        if self.verbose {
+            for result in &matrix.results {
+                report.push_str(&render_campaign(result));
+                report.push('\n');
+            }
+        }
+        report.push_str(&aggregate);
+        report.push_str(&render_workers(&matrix));
+        if thread_counts.len() > 1 {
+            use std::fmt::Write as _;
+            let base = runs[0].wall;
+            for run in &runs[1..] {
+                let speedup = if run.wall.is_zero() {
+                    1.0
+                } else {
+                    base.as_secs_f64() / run.wall.as_secs_f64()
+                };
+                let _ = writeln!(
+                    report,
+                    "  scaling: {} threads {:.1} ms vs {} threads {:.1} ms — speedup {speedup:.2}x \
+                     (scorecards byte-identical)",
+                    run.threads,
+                    run.wall.as_secs_f64() * 1e3,
+                    runs[0].threads,
+                    base.as_secs_f64() * 1e3,
+                );
+            }
+        }
+        if let Some(path) = &self.bench_json {
+            let json = render_bench_json(&self.preset, self.requests, &runs);
+            std::fs::write(path, json)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        }
+
+        let ok = matrix
+            .results
             .iter()
             .filter(|r| !r.spec.mix.injects_uncorrectable())
             .all(crate::faultinject::CampaignResult::harsh_invariant_holds);
@@ -486,6 +596,68 @@ mod tests {
     fn unknown_app_is_a_clean_error() {
         let cli = parse(&["--app", "nginx"]).unwrap();
         assert!(cli.execute().is_err());
+    }
+
+    fn parse_campaign(args: &[&str]) -> Result<CampaignCli, CliError> {
+        CampaignCli::parse(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn campaign_cli_parses_thread_flags() {
+        let cli = parse_campaign(&[
+            "--preset",
+            "harsh",
+            "--threads",
+            "4",
+            "--bench-threads",
+            "1,4",
+            "--bench-json",
+            "out.json",
+        ])
+        .unwrap();
+        assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.bench_threads, vec![1, 4]);
+        assert_eq!(cli.bench_json.as_deref(), Some("out.json"));
+        // Omitted --threads means auto (available parallelism).
+        assert_eq!(parse_campaign(&[]).unwrap().threads, None);
+    }
+
+    #[test]
+    fn campaign_cli_rejects_bad_thread_flags() {
+        assert!(parse_campaign(&["--threads", "0"]).is_err());
+        assert!(parse_campaign(&["--threads", "many"]).is_err());
+        assert!(parse_campaign(&["--bench-threads", "1,0"]).is_err());
+        assert!(parse_campaign(&["--bench-threads", ""]).is_err());
+    }
+
+    #[test]
+    fn campaign_scorecard_is_identical_across_thread_counts() {
+        let strip_execution = |report: &str| {
+            report
+                .split("execution:")
+                .next()
+                .expect("report has a scorecard part")
+                .to_string()
+        };
+        let run = |threads: &str| {
+            let cli = parse_campaign(&[
+                "--preset",
+                "harsh",
+                "--seeds",
+                "2",
+                "--workloads",
+                "tar",
+                "--requests",
+                "24",
+                "--threads",
+                threads,
+            ])
+            .unwrap();
+            let (report, ok) = cli.execute().unwrap();
+            assert!(ok, "harsh invariant holds:\n{report}");
+            strip_execution(&report)
+        };
+        assert_eq!(run("1"), run("3"));
     }
 
     #[test]

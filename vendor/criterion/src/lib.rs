@@ -14,8 +14,13 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Iterations used to size the timed batch.
+/// Iterations used to size the timed batch for fast (sub-microsecond)
+/// benchmarks, once a single probe iteration has shown they are fast.
 const WARMUP_ITERS: u64 = 1_000;
+/// A probe iteration at least this slow skips the batched warm-up entirely —
+/// heavyweight benchmarks (whole campaign matrices) would otherwise spend
+/// minutes warming up.
+const HEAVY_PROBE: Duration = Duration::from_millis(1);
 /// Minimum wall time the timed batch aims for.
 const TARGET_BATCH: Duration = Duration::from_millis(200);
 
@@ -31,14 +36,23 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        // Single-iteration probe: cheap for micro benches, and keeps heavy
+        // benches (hundreds of milliseconds per iteration) from running a
+        // thousand warm-up iterations.
         let mut b = Bencher {
-            iters: WARMUP_ITERS,
+            iters: 1,
             elapsed: Duration::ZERO,
         };
-        // Warm-up pass: also measures roughly how long one iteration takes.
         f(&mut b);
+        if b.elapsed < HEAVY_PROBE {
+            // Fast benchmark: a batched warm-up gives a stable estimate that
+            // one timer-resolution-bound iteration cannot.
+            b.iters = WARMUP_ITERS;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+        }
         let per_iter = b.elapsed.as_nanos().max(1) / u128::from(b.iters);
-        let timed_iters = (TARGET_BATCH.as_nanos() / per_iter.max(1)).clamp(10, 10_000_000) as u64;
+        let timed_iters = (TARGET_BATCH.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
         b.iters = timed_iters;
         b.elapsed = Duration::ZERO;
         f(&mut b);
@@ -123,7 +137,8 @@ mod tests {
                 Duration::from_micros(iters)
             })
         });
-        assert_eq!(seen.len(), 2, "warm-up and timed batch");
-        assert!(seen.iter().all(|&n| n >= 10));
+        assert_eq!(seen.len(), 3, "probe, warm-up, and timed batch");
+        assert_eq!(seen[0], 1, "single-iteration probe");
+        assert!(seen[1..].iter().all(|&n| n >= 10));
     }
 }
