@@ -105,6 +105,85 @@ const fn build_row_masks() -> [u64; 8] {
 /// For each check bit, the set of data bits it covers.
 pub const ROW_MASKS: [u64; 8] = build_row_masks();
 
+/// Builds the per-byte parity-contribution table: `ENCODE_LUT[i][v]` is the
+/// XOR of the H-matrix columns of every set bit of byte `i` holding value
+/// `v`. Encoding a word is then the XOR of 8 table lookups instead of 8
+/// masked popcounts — the check code of a word is, by linearity, the XOR of
+/// the columns of its set data bits.
+const fn build_encode_lut() -> [[u8; 256]; 8] {
+    let mut lut = [[0u8; 256]; 8];
+    let mut byte = 0usize;
+    while byte < 8 {
+        let mut v = 0usize;
+        while v < 256 {
+            let mut contrib = 0u8;
+            let mut b = 0usize;
+            while b < 8 {
+                if v & (1 << b) != 0 {
+                    contrib ^= COLUMNS[byte * 8 + b];
+                }
+                b += 1;
+            }
+            lut[byte][v] = contrib;
+            v += 1;
+        }
+        byte += 1;
+    }
+    lut
+}
+
+/// Per-byte parity contributions: the check code of a 64-bit word (little-
+/// endian bytes `b0..b7`) is `ENCODE_LUT[0][b0] ^ ... ^ ENCODE_LUT[7][b7]`.
+pub const ENCODE_LUT: [[u8; 256]; 8] = build_encode_lut();
+
+/// Classification of one 8-bit syndrome, independent of the data word it was
+/// observed against. Precomputed for all 256 syndromes in
+/// [`SYNDROME_TABLE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyndromeClass {
+    /// The zero syndrome: data and code are consistent.
+    Clean,
+    /// The syndrome matches data column `bit`: a single flipped data bit.
+    Data(u8),
+    /// The syndrome is a single check-bit column: a flipped check bit.
+    Check(u8),
+    /// No single-bit pattern produces this syndrome: ≥2 bits are wrong.
+    Uncorrectable,
+}
+
+/// Builds the 256-entry syndrome classifier from [`COLUMNS`], encoding the
+/// same decision procedure `decode` used to perform per word: zero → clean,
+/// even weight → uncorrectable, weight 1 → check bit, other odd weights →
+/// data bit if some column matches, else uncorrectable.
+const fn build_syndrome_table() -> [SyndromeClass; 256] {
+    let mut table = [SyndromeClass::Uncorrectable; 256];
+    table[0] = SyndromeClass::Clean;
+    let mut s = 1usize;
+    while s < 256 {
+        let syndrome = s as u8;
+        if syndrome.count_ones() % 2 == 1 {
+            if syndrome.count_ones() == 1 {
+                table[s] = SyndromeClass::Check(syndrome.trailing_zeros() as u8);
+            } else {
+                let mut bit = 0usize;
+                while bit < 64 {
+                    if COLUMNS[bit] == syndrome {
+                        table[s] = SyndromeClass::Data(bit as u8);
+                        break;
+                    }
+                    bit += 1;
+                }
+            }
+        }
+        s += 1;
+    }
+    table
+}
+
+/// Maps every syndrome directly to its [`SyndromeClass`], replacing the
+/// popcount chain and linear [`COLUMNS`] scan on the decode path.
+pub const SYNDROME_TABLE: [SyndromeClass; 256] = build_syndrome_table();
+
 /// The SEC-DED (72,64) codec.
 ///
 /// The codec is a zero-sized strategy type: all state lives in constants, and
@@ -139,12 +218,22 @@ impl Codec {
     /// Computes the 8 check bits for a 64-bit data word.
     #[must_use]
     pub fn encode(&self, data: u64) -> u8 {
-        let mut code = 0u8;
-        for (j, mask) in ROW_MASKS.iter().enumerate() {
-            let parity = (data & mask).count_ones() & 1;
-            code |= (parity as u8) << j;
-        }
-        code
+        self.encode_bytes(&data.to_le_bytes())
+    }
+
+    /// Computes the check bits of a group directly from its 8 little-endian
+    /// stored bytes, without assembling a `u64` first — the form the bulk
+    /// memory paths use when encoding straight out of a frame slice.
+    #[must_use]
+    pub fn encode_bytes(&self, bytes: &[u8; 8]) -> u8 {
+        ENCODE_LUT[0][bytes[0] as usize]
+            ^ ENCODE_LUT[1][bytes[1] as usize]
+            ^ ENCODE_LUT[2][bytes[2] as usize]
+            ^ ENCODE_LUT[3][bytes[3] as usize]
+            ^ ENCODE_LUT[4][bytes[4] as usize]
+            ^ ENCODE_LUT[5][bytes[5] as usize]
+            ^ ENCODE_LUT[6][bytes[6] as usize]
+            ^ ENCODE_LUT[7][bytes[7] as usize]
     }
 
     /// Computes the syndrome of a stored (data, code) pair.
@@ -155,31 +244,24 @@ impl Codec {
         self.encode(data) ^ code
     }
 
+    /// Computes the syndrome of a group straight from its 8 stored bytes.
+    #[must_use]
+    pub fn syndrome_bytes(&self, bytes: &[u8; 8], code: u8) -> u8 {
+        self.encode_bytes(bytes) ^ code
+    }
+
     /// Verifies and, where possible, corrects a stored (data, code) pair.
     #[must_use]
     pub fn decode(&self, data: u64, code: u8) -> Decoded {
         let syndrome = self.syndrome(data, code);
-        if syndrome == 0 {
-            return Decoded::Clean;
-        }
-        if syndrome.count_ones().is_multiple_of(2) {
-            // Even non-zero syndrome: an even number (>=2) of bit flips.
-            return Decoded::Uncorrectable { syndrome };
-        }
-        if syndrome.count_ones() == 1 {
-            // A flipped check bit; data is intact.
-            return Decoded::CorrectedCheck {
-                bit: syndrome.trailing_zeros() as u8,
-            };
-        }
-        // Odd-weight (3 or 5) syndrome: either exactly one data bit flipped
-        // (syndrome equals its column) or >=3 flips that alias to no column.
-        match COLUMNS.iter().position(|&c| c == syndrome) {
-            Some(bit) => Decoded::CorrectedData {
+        match SYNDROME_TABLE[syndrome as usize] {
+            SyndromeClass::Clean => Decoded::Clean,
+            SyndromeClass::Data(bit) => Decoded::CorrectedData {
                 data: data ^ (1u64 << bit),
-                bit: bit as u8,
+                bit,
             },
-            None => Decoded::Uncorrectable { syndrome },
+            SyndromeClass::Check(bit) => Decoded::CorrectedCheck { bit },
+            SyndromeClass::Uncorrectable => Decoded::Uncorrectable { syndrome },
         }
     }
 
@@ -187,9 +269,10 @@ impl Codec {
     /// single-bit (correctable) error.
     #[must_use]
     pub fn syndrome_is_correctable(&self, syndrome: u8) -> bool {
-        syndrome != 0
-            && syndrome.count_ones() % 2 == 1
-            && (syndrome.count_ones() == 1 || COLUMNS.contains(&syndrome))
+        matches!(
+            SYNDROME_TABLE[syndrome as usize],
+            SyndromeClass::Data(_) | SyndromeClass::Check(_)
+        )
     }
 }
 

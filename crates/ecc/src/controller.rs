@@ -89,6 +89,12 @@ pub struct EccController {
     enabled: bool,
     bus_locked: bool,
     scrub_cursor: u64,
+    /// Sorted resident-frame plan the scrubber walks, rebuilt only when the
+    /// memory's allocation epoch moves (frames are never freed, so an equal
+    /// epoch guarantees an identical plan).
+    scrub_plan: Vec<u64>,
+    /// Allocation epoch `scrub_plan` was built at; `u64::MAX` = never built.
+    scrub_plan_epoch: u64,
     stats: ControllerStats,
     outbox: Vec<EccFault>,
 }
@@ -121,6 +127,8 @@ impl EccController {
             enabled: true,
             bus_locked: false,
             scrub_cursor: 0,
+            scrub_plan: Vec::new(),
+            scrub_plan_epoch: u64::MAX,
             stats: ControllerStats::default(),
             outbox: Vec::new(),
         }
@@ -206,8 +214,21 @@ impl EccController {
     /// Verifies one group, applying mode policy. Returns the (possibly
     /// corrected) data word, or the fault if uncorrectable.
     fn verify_group(&mut self, group_addr: u64, during_scrub: bool) -> Result<u64, EccFault> {
-        let (data, code) = self.mem.read_group(group_addr);
         self.stats.groups_verified += 1;
+        self.resolve_group(group_addr, during_scrub)
+    }
+
+    /// The policy half of [`EccController::verify_group`]: decode, correct,
+    /// count, report. Split out so the bulk read path (which has already
+    /// counted its groups as verified during the syndrome scan) can resolve
+    /// just the non-clean ones without double counting.
+    fn resolve_group(&mut self, group_addr: u64, during_scrub: bool) -> Result<u64, EccFault> {
+        let (data, code) = self.mem.read_group(group_addr);
+        // The overwhelmingly common case is a clean group: settle it from the
+        // syndrome alone, before constructing a `Decoded`.
+        if self.codec.syndrome(data, code) == 0 {
+            return Ok(data);
+        }
         match self.codec.decode(data, code) {
             Decoded::Clean => Ok(data),
             Decoded::CorrectedData { data: fixed, .. } => {
@@ -269,31 +290,65 @@ impl EccController {
     ///
     /// # Panics
     ///
-    /// Panics if the range exceeds physical memory.
+    /// Panics if the range exceeds physical memory (validated up front, so a
+    /// huge `addr` cannot wrap past the bounds check in release builds).
     pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EccFault> {
-        let mut first_fault = None;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.mem.check_range(addr, buf.len() as u64);
+        if !self.effective_checks() {
+            self.mem.read_range(addr, buf);
+            return Ok(());
+        }
         let end = addr + buf.len() as u64;
-        let mut group = addr & !(GROUP_BYTES - 1);
-        while group < end {
-            let word = if self.effective_checks() {
-                match self.verify_group(group, false) {
-                    Ok(w) => w,
-                    Err(f) => {
-                        first_fault.get_or_insert(f);
-                        self.mem.read_group(group).0
+        // Fast path: copy frame-at-a-time, scanning syndromes straight off
+        // the frame slices. Groups with a non-zero syndrome are rare; they
+        // are collected and resolved through the full policy path below.
+        // (Does not allocate unless a non-clean group is found.)
+        let mut dirty: Vec<u64> = Vec::new();
+        let mut frame_addr = addr & !(FRAME_BYTES - 1);
+        while frame_addr < end {
+            let lo = frame_addr.max(addr);
+            let hi = (frame_addr + FRAME_BYTES).min(end);
+            let group_lo = lo & !(GROUP_BYTES - 1);
+            let group_hi = GROUP_BYTES * hi.div_ceil(GROUP_BYTES);
+            self.stats.groups_verified += (group_hi - group_lo) / GROUP_BYTES;
+            let dst = &mut buf[(lo - addr) as usize..(hi - addr) as usize];
+            match self.mem.frame_slices(frame_addr) {
+                // Untouched frame: all-zero data with all-zero codes — every
+                // group is clean by construction.
+                None => dst.fill(0),
+                Some((data, codes)) => {
+                    let off = (lo - frame_addr) as usize;
+                    dst.copy_from_slice(&data[off..off + dst.len()]);
+                    let mut group = group_lo;
+                    while group < group_hi {
+                        let o = (group - frame_addr) as usize;
+                        let bytes: &[u8; 8] = data[o..o + 8].try_into().expect("group is 8 bytes");
+                        let code = codes[o / GROUP_BYTES as usize];
+                        if self.codec.syndrome_bytes(bytes, code) != 0 {
+                            dirty.push(group);
+                        }
+                        group += GROUP_BYTES;
                     }
                 }
-            } else {
-                self.mem.read_group(group).0
-            };
-            let bytes = word.to_le_bytes();
-            // Copy the overlap of [group, group+8) with [addr, end).
+            }
+            frame_addr += FRAME_BYTES;
+        }
+        let mut first_fault = None;
+        for group in dirty {
+            if let Err(f) = self.resolve_group(group, false) {
+                first_fault.get_or_insert(f);
+            }
+            // Re-copy whatever the group now holds: the corrected word when
+            // a single-bit error was repaired, the raw stored bytes when the
+            // error was only reported (CheckOnly) or uncorrectable.
+            let bytes = self.mem.read_group(group).0.to_le_bytes();
             let lo = group.max(addr);
             let hi = (group + GROUP_BYTES).min(end);
-            for a in lo..hi {
-                buf[(a - addr) as usize] = bytes[(a - group) as usize];
-            }
-            group += GROUP_BYTES;
+            buf[(lo - addr) as usize..(hi - addr) as usize]
+                .copy_from_slice(&bytes[(lo - group) as usize..(hi - group) as usize]);
         }
         match first_fault {
             None => Ok(()),
@@ -309,26 +364,21 @@ impl EccController {
     ///
     /// # Panics
     ///
-    /// Panics if the range exceeds physical memory.
+    /// Panics if the range exceeds physical memory (validated up front, so a
+    /// huge `addr` cannot wrap past the bounds check in release builds).
     pub fn write(&mut self, addr: u64, buf: &[u8]) {
-        let end = addr + buf.len() as u64;
-        let mut group = addr & !(GROUP_BYTES - 1);
-        while group < end {
-            let (old, _) = self.mem.read_group(group);
-            let mut bytes = old.to_le_bytes();
-            let lo = group.max(addr);
-            let hi = (group + GROUP_BYTES).min(end);
-            for a in lo..hi {
-                bytes[(a - group) as usize] = buf[(a - addr) as usize];
-            }
-            let word = u64::from_le_bytes(bytes);
-            if self.enabled && self.mode.checks() {
-                self.mem.write_group(group, word, self.codec.encode(word));
-                self.stats.groups_encoded += 1;
-            } else {
-                self.mem.write_group_data_only(group, word);
-            }
-            group += GROUP_BYTES;
+        if buf.is_empty() {
+            return;
+        }
+        self.mem.check_range(addr, buf.len() as u64);
+        if self.enabled && self.mode.checks() {
+            self.mem.write_range_encoded(addr, buf);
+            let end = addr + buf.len() as u64;
+            let group_lo = addr & !(GROUP_BYTES - 1);
+            let group_hi = GROUP_BYTES * end.div_ceil(GROUP_BYTES);
+            self.stats.groups_encoded += (group_hi - group_lo) / GROUP_BYTES;
+        } else {
+            self.mem.write_range_data_only(addr, buf);
         }
     }
 
@@ -338,21 +388,14 @@ impl EccController {
     ///
     /// # Panics
     ///
-    /// Panics if the range exceeds physical memory.
+    /// Panics if the range exceeds physical memory (validated up front, so a
+    /// huge `addr` cannot wrap past the bounds check in release builds).
     #[must_use]
     pub fn peek(&self, addr: u64, len: usize) -> Vec<u8> {
         let mut out = vec![0u8; len];
-        let end = addr + len as u64;
-        let mut group = addr & !(GROUP_BYTES - 1);
-        while group < end {
-            let (word, _) = self.mem.read_group(group);
-            let bytes = word.to_le_bytes();
-            let lo = group.max(addr);
-            let hi = (group + GROUP_BYTES).min(end);
-            for a in lo..hi {
-                out[(a - addr) as usize] = bytes[(a - group) as usize];
-            }
-            group += GROUP_BYTES;
+        if len > 0 {
+            self.mem.check_range(addr, len as u64);
+            self.mem.read_range(addr, &mut out);
         }
         out
     }
@@ -399,20 +442,25 @@ impl EccController {
         if !self.enabled || !self.mode.scrubs() || self.bus_locked {
             return 0;
         }
-        let mut frames = self.mem.resident_frame_addrs();
-        if frames.is_empty() {
+        // `resident_frame_addrs` is already in ascending address order; the
+        // plan only changes when a frame is first touched, so rebuild it only
+        // when the allocation epoch has moved since it was last built.
+        if self.scrub_plan_epoch != self.mem.allocation_epoch() {
+            self.scrub_plan = self.mem.resident_frame_addrs();
+            self.scrub_plan_epoch = self.mem.allocation_epoch();
+        }
+        if self.scrub_plan.is_empty() {
             return 0;
         }
-        frames.sort_unstable();
         let groups_per_frame = FRAME_BYTES / GROUP_BYTES;
-        let total_groups = frames.len() as u64 * groups_per_frame;
+        let total_groups = self.scrub_plan.len() as u64 * groups_per_frame;
         let mut done = 0;
         while done < max_groups {
             if self.scrub_cursor >= total_groups {
                 self.scrub_cursor = 0;
                 self.stats.scrub_passes += 1;
             }
-            let frame = frames[(self.scrub_cursor / groups_per_frame) as usize];
+            let frame = self.scrub_plan[(self.scrub_cursor / groups_per_frame) as usize];
             let group_addr = frame + (self.scrub_cursor % groups_per_frame) * GROUP_BYTES;
             // Scrub ignores uncorrectable groups beyond reporting them.
             let _ = self.verify_group(group_addr, true);

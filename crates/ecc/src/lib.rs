@@ -7,9 +7,10 @@
 //! * a real **SEC-DED (72,64) Hsiao code** ([`codec`]) — 8 check bits protect
 //!   each 64-bit *ECC group*, correcting any single-bit error and detecting
 //!   any double-bit error;
-//! * a sparse, byte-accurate **physical memory** ([`memory`]) that stores both
-//!   data and the per-group check codes, so that writes performed while ECC is
-//!   disabled leave *stale* codes behind exactly like the real hardware;
+//! * a lazily-populated, byte-accurate **physical memory** ([`memory`]) that
+//!   stores both data and the per-group check codes, so that writes performed
+//!   while ECC is disabled leave *stale* codes behind exactly like the real
+//!   hardware;
 //! * a **memory controller** ([`controller`]) with the four standard modes
 //!   (`Disabled`, `CheckOnly`, `CorrectError`, `CorrectAndScrub`), bus
 //!   locking, error injection, scrubbing, and an interrupt-style fault outbox;
@@ -63,7 +64,7 @@ pub mod parity;
 pub mod scramble;
 
 pub use chipset::{Chipset, Register};
-pub use codec::{Codec, Decoded};
+pub use codec::{Codec, Decoded, SyndromeClass, ENCODE_LUT, SYNDROME_TABLE};
 pub use codec32::{Codec32, Decoded32};
 pub use controller::{ControllerStats, EccController, EccMode};
 pub use fault::{EccFault, FaultKind};

@@ -1,4 +1,4 @@
-//! Sparse physical memory with per-group ECC code storage.
+//! Dense physical memory with per-group ECC code storage.
 //!
 //! Memory is organised in 4 KiB *frames* allocated lazily, each holding 4096
 //! data bytes and 512 stored check codes (one per 8-byte ECC group). Keeping
@@ -6,6 +6,13 @@
 //! reproduce the paper's scramble trick: writing data while ECC is disabled
 //! leaves the *old* code in place, and a later verification observes the
 //! mismatch.
+//!
+//! The frame table is a dense `Vec<Option<Box<Frame>>>` indexed by frame
+//! number — the memory size is fixed at construction, so a frame lookup is
+//! one bounds-checked index instead of a hash probe. An *allocation epoch*
+//! counter increments whenever a frame is first touched; callers that derive
+//! plans from the resident-frame set (the controller's scrubber) key their
+//! caches on it.
 
 use crate::codec::Codec;
 
@@ -15,23 +22,22 @@ pub const GROUP_BYTES: u64 = 8;
 pub const FRAME_BYTES: u64 = 4096;
 const GROUPS_PER_FRAME: usize = (FRAME_BYTES / GROUP_BYTES) as usize;
 
-#[derive(Clone)]
 struct Frame {
-    data: Box<[u8]>,
-    codes: Box<[u8]>,
+    data: [u8; FRAME_BYTES as usize],
+    codes: [u8; GROUPS_PER_FRAME],
 }
 
 impl Frame {
-    fn new() -> Self {
+    fn new_boxed() -> Box<Self> {
         // A zero word encodes to a zero check code, so fresh frames are clean.
-        Frame {
-            data: vec![0u8; FRAME_BYTES as usize].into_boxed_slice(),
-            codes: vec![0u8; GROUPS_PER_FRAME].into_boxed_slice(),
-        }
+        Box::new(Frame {
+            data: [0u8; FRAME_BYTES as usize],
+            codes: [0u8; GROUPS_PER_FRAME],
+        })
     }
 }
 
-/// Byte-accurate sparse physical memory with stored ECC codes.
+/// Byte-accurate lazily-populated physical memory with stored ECC codes.
 ///
 /// This type is deliberately "dumb": it stores exactly what it is told and
 /// never verifies. Policy (when to encode, when to verify, what to do on a
@@ -47,8 +53,10 @@ impl Frame {
 /// assert_eq!(mem.read_group(0x38), (7, 0x12));
 /// ```
 pub struct EccMemory {
-    frames: std::collections::HashMap<u64, Frame>,
+    frames: Vec<Option<Box<Frame>>>,
     size: u64,
+    resident: usize,
+    epoch: u64,
     codec: Codec,
 }
 
@@ -56,7 +64,8 @@ impl std::fmt::Debug for EccMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EccMemory")
             .field("size", &self.size)
-            .field("resident_frames", &self.frames.len())
+            .field("resident_frames", &self.resident)
+            .field("allocation_epoch", &self.epoch)
             .finish()
     }
 }
@@ -72,9 +81,12 @@ impl EccMemory {
     pub fn new(size: u64) -> Self {
         assert!(size > 0, "physical memory size must be non-zero");
         let size = size.div_ceil(FRAME_BYTES) * FRAME_BYTES;
+        let frame_count = (size / FRAME_BYTES) as usize;
         EccMemory {
-            frames: std::collections::HashMap::new(),
+            frames: (0..frame_count).map(|_| None).collect(),
             size,
+            resident: 0,
+            epoch: 0,
             codec: Codec::new(),
         }
     }
@@ -88,25 +100,65 @@ impl EccMemory {
     /// Number of frames currently resident (touched at least once).
     #[must_use]
     pub fn resident_frames(&self) -> usize {
-        self.frames.len()
+        self.resident
     }
 
-    /// Addresses of all resident frames, in unspecified order. Used by the
+    /// Monotonic counter that increments each time a frame becomes resident.
+    /// Frames are never freed, so two equal epochs guarantee an identical
+    /// resident-frame set — the controller keys its cached scrub plan on it.
+    #[must_use]
+    pub fn allocation_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Addresses of all resident frames, in ascending order. Used by the
     /// scrubber to avoid scanning untouched memory.
     #[must_use]
     pub fn resident_frame_addrs(&self) -> Vec<u64> {
-        self.frames.keys().copied().collect()
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|_| i as u64 * FRAME_BYTES))
+            .collect()
     }
 
-    fn check_range(&self, addr: u64, len: u64) {
+    /// Panics with the physical-access message unless `[addr, addr+len)`
+    /// lies within memory. Public so the controller can validate a whole
+    /// span up front instead of wrapping at the group loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overflows or exceeds physical memory.
+    pub fn check_range(&self, addr: u64, len: u64) {
         assert!(
             addr.checked_add(len).is_some_and(|end| end <= self.size),
             "physical access out of range: addr={addr:#x} len={len}"
         );
     }
 
-    fn frame(&mut self, frame_addr: u64) -> &mut Frame {
-        self.frames.entry(frame_addr).or_insert_with(Frame::new)
+    #[inline]
+    fn frame_index(addr: u64) -> usize {
+        (addr / FRAME_BYTES) as usize
+    }
+
+    /// Returns the frame containing `addr`, allocating it on first touch.
+    fn frame_mut(&mut self, addr: u64) -> &mut Frame {
+        let slot = &mut self.frames[Self::frame_index(addr)];
+        if slot.is_none() {
+            *slot = Some(Frame::new_boxed());
+            self.resident += 1;
+            self.epoch += 1;
+        }
+        slot.as_mut().expect("slot populated above")
+    }
+
+    /// Data and code slices of the frame starting at `frame_addr`, or `None`
+    /// if the frame has never been touched (all-zero, clean). The fast read
+    /// path scans syndromes straight off these slices.
+    pub(crate) fn frame_slices(&self, frame_addr: u64) -> Option<(&[u8], &[u8])> {
+        self.frames[Self::frame_index(frame_addr)]
+            .as_deref()
+            .map(|f| (&f.data[..], &f.codes[..]))
     }
 
     /// Reads the data word and stored code of the group containing `addr`.
@@ -116,13 +168,12 @@ impl EccMemory {
     /// Panics if the group lies outside physical memory.
     #[must_use]
     pub fn read_group(&self, addr: u64) -> (u64, u8) {
-        self.check_range(addr & !(GROUP_BYTES - 1), GROUP_BYTES);
         let group_addr = addr & !(GROUP_BYTES - 1);
-        let frame_addr = group_addr & !(FRAME_BYTES - 1);
-        match self.frames.get(&frame_addr) {
+        self.check_range(group_addr, GROUP_BYTES);
+        match &self.frames[Self::frame_index(group_addr)] {
             None => (0, 0),
             Some(frame) => {
-                let off = (group_addr - frame_addr) as usize;
+                let off = (group_addr % FRAME_BYTES) as usize;
                 let mut bytes = [0u8; 8];
                 bytes.copy_from_slice(&frame.data[off..off + 8]);
                 let code = frame.codes[off / GROUP_BYTES as usize];
@@ -138,11 +189,10 @@ impl EccMemory {
     ///
     /// Panics if the group lies outside physical memory.
     pub fn write_group(&mut self, addr: u64, data: u64, code: u8) {
-        self.check_range(addr & !(GROUP_BYTES - 1), GROUP_BYTES);
         let group_addr = addr & !(GROUP_BYTES - 1);
-        let frame_addr = group_addr & !(FRAME_BYTES - 1);
-        let frame = self.frame(frame_addr);
-        let off = (group_addr - frame_addr) as usize;
+        self.check_range(group_addr, GROUP_BYTES);
+        let frame = self.frame_mut(group_addr);
+        let off = (group_addr % FRAME_BYTES) as usize;
         frame.data[off..off + 8].copy_from_slice(&data.to_le_bytes());
         frame.codes[off / GROUP_BYTES as usize] = code;
     }
@@ -154,8 +204,11 @@ impl EccMemory {
     ///
     /// Panics if the group lies outside physical memory.
     pub fn write_group_data_only(&mut self, addr: u64, data: u64) {
-        let (_, code) = self.read_group(addr);
-        self.write_group(addr, data, code);
+        let group_addr = addr & !(GROUP_BYTES - 1);
+        self.check_range(group_addr, GROUP_BYTES);
+        let frame = self.frame_mut(group_addr);
+        let off = (group_addr % FRAME_BYTES) as usize;
+        frame.data[off..off + 8].copy_from_slice(&data.to_le_bytes());
     }
 
     /// Recomputes and stores the correct code for a group from its current
@@ -165,9 +218,15 @@ impl EccMemory {
     ///
     /// Panics if the group lies outside physical memory.
     pub fn rewrite_code(&mut self, addr: u64) {
-        let (data, _) = self.read_group(addr);
-        let code = self.codec.encode(data);
-        self.write_group(addr, data, code);
+        let group_addr = addr & !(GROUP_BYTES - 1);
+        self.check_range(group_addr, GROUP_BYTES);
+        let codec = self.codec;
+        let frame = self.frame_mut(group_addr);
+        let off = (group_addr % FRAME_BYTES) as usize;
+        let bytes: &[u8; 8] = frame.data[off..off + 8]
+            .try_into()
+            .expect("group is 8 bytes");
+        frame.codes[off / GROUP_BYTES as usize] = codec.encode_bytes(bytes);
     }
 
     /// Flips a single stored *data* bit without touching the code — a
@@ -178,8 +237,11 @@ impl EccMemory {
     /// Panics if `bit >= 64` or the group lies outside physical memory.
     pub fn flip_data_bit(&mut self, addr: u64, bit: u8) {
         assert!(bit < 64, "data bit out of range");
-        let (data, code) = self.read_group(addr);
-        self.write_group(addr, data ^ (1u64 << bit), code);
+        let group_addr = addr & !(GROUP_BYTES - 1);
+        self.check_range(group_addr, GROUP_BYTES);
+        let frame = self.frame_mut(group_addr);
+        let off = (group_addr % FRAME_BYTES) as usize + (bit / 8) as usize;
+        frame.data[off] ^= 1u8 << (bit % 8);
     }
 
     /// Flips a single stored *check* bit without touching the data.
@@ -189,8 +251,91 @@ impl EccMemory {
     /// Panics if `bit >= 8` or the group lies outside physical memory.
     pub fn flip_code_bit(&mut self, addr: u64, bit: u8) {
         assert!(bit < 8, "check bit out of range");
-        let (data, code) = self.read_group(addr);
-        self.write_group(addr, data, code ^ (1u8 << bit));
+        let group_addr = addr & !(GROUP_BYTES - 1);
+        self.check_range(group_addr, GROUP_BYTES);
+        let frame = self.frame_mut(group_addr);
+        frame.codes[(group_addr % FRAME_BYTES) as usize / GROUP_BYTES as usize] ^= 1u8 << bit;
+    }
+
+    /// Copies `buf.len()` raw stored data bytes starting at `addr` into
+    /// `buf`, frame by frame with slice copies. Untouched frames read as
+    /// zeros. Stored codes are neither read nor checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds physical memory.
+    pub fn read_range(&self, addr: u64, buf: &mut [u8]) {
+        self.check_range(addr, buf.len() as u64);
+        let end = addr + buf.len() as u64;
+        let mut frame_addr = addr & !(FRAME_BYTES - 1);
+        while frame_addr < end {
+            let lo = frame_addr.max(addr);
+            let hi = (frame_addr + FRAME_BYTES).min(end);
+            let dst = &mut buf[(lo - addr) as usize..(hi - addr) as usize];
+            match &self.frames[Self::frame_index(frame_addr)] {
+                None => dst.fill(0),
+                Some(frame) => {
+                    let off = (lo - frame_addr) as usize;
+                    dst.copy_from_slice(&frame.data[off..off + dst.len()]);
+                }
+            }
+            frame_addr += FRAME_BYTES;
+        }
+    }
+
+    /// Writes `buf` at `addr` and recomputes the stored code of every
+    /// touched group from its (merged) post-write contents — the bulk
+    /// equivalent of a per-group encode-and-store loop, but with one frame
+    /// lookup and one slice copy per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds physical memory.
+    pub fn write_range_encoded(&mut self, addr: u64, buf: &[u8]) {
+        self.check_range(addr, buf.len() as u64);
+        let codec = self.codec;
+        let end = addr + buf.len() as u64;
+        let mut frame_addr = addr & !(FRAME_BYTES - 1);
+        while frame_addr < end {
+            let lo = frame_addr.max(addr);
+            let hi = (frame_addr + FRAME_BYTES).min(end);
+            let frame = self.frame_mut(frame_addr);
+            let off = (lo - frame_addr) as usize;
+            frame.data[off..off + (hi - lo) as usize]
+                .copy_from_slice(&buf[(lo - addr) as usize..(hi - addr) as usize]);
+            // Re-encode every group the span overlaps, including partially
+            // covered first/last groups (their code reflects the merged word).
+            let gs = (lo & !(GROUP_BYTES - 1)) - frame_addr;
+            let ge = ((hi - frame_addr) as usize).div_ceil(GROUP_BYTES as usize);
+            for g in (gs / GROUP_BYTES) as usize..ge {
+                let o = g * GROUP_BYTES as usize;
+                let bytes: &[u8; 8] = frame.data[o..o + 8].try_into().expect("group is 8 bytes");
+                frame.codes[g] = codec.encode_bytes(bytes);
+            }
+            frame_addr += FRAME_BYTES;
+        }
+    }
+
+    /// Writes `buf` at `addr` leaving every stored code untouched — the bulk
+    /// equivalent of [`EccMemory::write_group_data_only`] per group, used for
+    /// writes while ECC is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds physical memory.
+    pub fn write_range_data_only(&mut self, addr: u64, buf: &[u8]) {
+        self.check_range(addr, buf.len() as u64);
+        let end = addr + buf.len() as u64;
+        let mut frame_addr = addr & !(FRAME_BYTES - 1);
+        while frame_addr < end {
+            let lo = frame_addr.max(addr);
+            let hi = (frame_addr + FRAME_BYTES).min(end);
+            let frame = self.frame_mut(frame_addr);
+            let off = (lo - frame_addr) as usize;
+            frame.data[off..off + (hi - lo) as usize]
+                .copy_from_slice(&buf[(lo - addr) as usize..(hi - addr) as usize]);
+            frame_addr += FRAME_BYTES;
+        }
     }
 }
 
@@ -278,8 +423,62 @@ mod tests {
         mem.write_group(0x8, 2, 0); // same frame
         mem.write_group(0x1000, 3, 0); // new frame
         assert_eq!(mem.resident_frames(), 2);
-        let mut addrs = mem.resident_frame_addrs();
-        addrs.sort_unstable();
-        assert_eq!(addrs, vec![0x0, 0x1000]);
+        assert_eq!(mem.resident_frame_addrs(), vec![0x0, 0x1000]);
+    }
+
+    #[test]
+    fn allocation_epoch_counts_first_touches_only() {
+        let mut mem = EccMemory::new(1 << 16);
+        assert_eq!(mem.allocation_epoch(), 0);
+        mem.write_group(0x0, 1, 0);
+        mem.write_group(0x8, 2, 0); // same frame: no new allocation
+        assert_eq!(mem.allocation_epoch(), 1);
+        mem.write_group(0x2000, 3, 0);
+        assert_eq!(mem.allocation_epoch(), 2);
+        let _ = mem.read_group(0x3000); // reads never allocate
+        assert_eq!(mem.allocation_epoch(), 2);
+    }
+
+    #[test]
+    fn read_range_matches_group_reads_across_frames() {
+        let mut mem = EccMemory::new(1 << 16);
+        mem.write_group(FRAME_BYTES - 8, u64::from_le_bytes(*b"ABCDEFGH"), 0);
+        mem.write_group(FRAME_BYTES, u64::from_le_bytes(*b"IJKLMNOP"), 0);
+        let mut buf = [0u8; 12];
+        mem.read_range(FRAME_BYTES - 6, &mut buf);
+        assert_eq!(&buf, b"CDEFGHIJKLMN");
+    }
+
+    #[test]
+    fn read_range_zero_fills_untouched_frames() {
+        let mut mem = EccMemory::new(1 << 16);
+        mem.write_group(0x0, u64::MAX, 0xFF);
+        let mut buf = [0xAAu8; 16];
+        mem.read_range(FRAME_BYTES - 8, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn write_range_encoded_matches_per_group_encode() {
+        let codec = Codec::new();
+        let mut mem = EccMemory::new(1 << 16);
+        // Unaligned span partially covering first and last groups.
+        let payload: Vec<u8> = (0..29u8).map(|i| i.wrapping_mul(37)).collect();
+        mem.write_range_encoded(0x103, &payload);
+        for g in (0x100..0x128).step_by(8) {
+            let (data, code) = mem.read_group(g);
+            assert_eq!(code, codec.encode(data), "group {g:#x} code mismatch");
+        }
+        let mut back = vec![0u8; payload.len()];
+        mem.read_range(0x103, &mut back);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn write_range_data_only_leaves_codes_stale() {
+        let mut mem = EccMemory::new(1 << 16);
+        mem.write_group(0x40, 5, 0x3C);
+        mem.write_range_data_only(0x40, &[9, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(mem.read_group(0x40), (9, 0x3C));
     }
 }

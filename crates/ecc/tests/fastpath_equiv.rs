@@ -1,0 +1,502 @@
+//! Differential equivalence suite for the fast-path memory pipeline.
+//!
+//! The controller/memory/codec rewrite (table-driven codec, dense frames,
+//! bulk ranges, cached scrub plan) must be *byte-identical* in observable
+//! behaviour to the original per-group implementation. This suite retains
+//! that original implementation — `HashMap` frames, masked-popcount encode,
+//! linear column-scan decode, one `read_group`/`write_group` round trip per
+//! group — as a naive reference model, then drives both through random
+//! operation sequences: unaligned reads and writes, error injections,
+//! scrub steps, mode and enable toggles, and full scramble arm/fault/restore
+//! sequences. After every operation the returned data and faults must match;
+//! at the end, `ControllerStats`, the drained fault sequences, and the raw
+//! stored bytes + codes of every group must match.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use safemem_ecc::codec::{COLUMNS, ROW_MASKS};
+use safemem_ecc::{
+    ControllerStats, EccController, EccFault, EccMode, FaultKind, ScrambleScheme, GROUP_BYTES,
+};
+
+const MEM_BYTES: u64 = 1 << 15; // 8 frames
+const FRAME_BYTES: u64 = 4096;
+
+// ---------------------------------------------------------------------------
+// Naive reference: the pre-fast-path implementation, preserved verbatim in
+// structure (per-group loops, hash-probed frames, popcount codec).
+// ---------------------------------------------------------------------------
+
+fn ref_encode(data: u64) -> u8 {
+    let mut code = 0u8;
+    for (j, mask) in ROW_MASKS.iter().enumerate() {
+        let parity = (data & mask).count_ones() & 1;
+        code |= (parity as u8) << j;
+    }
+    code
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefDecoded {
+    Clean,
+    CorrectedData { data: u64, bit: u8 },
+    CorrectedCheck,
+    Uncorrectable { syndrome: u8 },
+}
+
+fn ref_decode(data: u64, code: u8) -> RefDecoded {
+    let syndrome = ref_encode(data) ^ code;
+    if syndrome == 0 {
+        return RefDecoded::Clean;
+    }
+    if syndrome.count_ones().is_multiple_of(2) {
+        return RefDecoded::Uncorrectable { syndrome };
+    }
+    if syndrome.count_ones() == 1 {
+        return RefDecoded::CorrectedCheck;
+    }
+    match COLUMNS.iter().position(|&c| c == syndrome) {
+        Some(bit) => RefDecoded::CorrectedData {
+            data: data ^ (1u64 << bit),
+            bit: bit as u8,
+        },
+        None => RefDecoded::Uncorrectable { syndrome },
+    }
+}
+
+struct RefMemory {
+    frames: HashMap<u64, (Vec<u8>, Vec<u8>)>,
+    size: u64,
+}
+
+impl RefMemory {
+    fn new(size: u64) -> Self {
+        RefMemory {
+            frames: HashMap::new(),
+            size: size.div_ceil(FRAME_BYTES) * FRAME_BYTES,
+        }
+    }
+
+    fn check_range(&self, addr: u64, len: u64) {
+        assert!(
+            addr.checked_add(len).is_some_and(|end| end <= self.size),
+            "physical access out of range: addr={addr:#x} len={len}"
+        );
+    }
+
+    fn read_group(&self, addr: u64) -> (u64, u8) {
+        let group_addr = addr & !(GROUP_BYTES - 1);
+        self.check_range(group_addr, GROUP_BYTES);
+        let frame_addr = group_addr & !(FRAME_BYTES - 1);
+        match self.frames.get(&frame_addr) {
+            None => (0, 0),
+            Some((data, codes)) => {
+                let off = (group_addr - frame_addr) as usize;
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&data[off..off + 8]);
+                (u64::from_le_bytes(bytes), codes[off / 8])
+            }
+        }
+    }
+
+    fn write_group(&mut self, addr: u64, data: u64, code: u8) {
+        let group_addr = addr & !(GROUP_BYTES - 1);
+        self.check_range(group_addr, GROUP_BYTES);
+        let frame_addr = group_addr & !(FRAME_BYTES - 1);
+        let (fdata, fcodes) = self
+            .frames
+            .entry(frame_addr)
+            .or_insert_with(|| (vec![0u8; FRAME_BYTES as usize], vec![0u8; 512]));
+        let off = (group_addr - frame_addr) as usize;
+        fdata[off..off + 8].copy_from_slice(&data.to_le_bytes());
+        fcodes[off / 8] = code;
+    }
+
+    fn resident_frame_addrs(&self) -> Vec<u64> {
+        self.frames.keys().copied().collect()
+    }
+}
+
+struct RefController {
+    mem: RefMemory,
+    mode: EccMode,
+    enabled: bool,
+    bus_locked: bool,
+    scrub_cursor: u64,
+    stats: ControllerStats,
+    outbox: Vec<EccFault>,
+}
+
+impl RefController {
+    fn new(size: u64) -> Self {
+        RefController {
+            mem: RefMemory::new(size),
+            mode: EccMode::CorrectError,
+            enabled: true,
+            bus_locked: false,
+            scrub_cursor: 0,
+            stats: ControllerStats::default(),
+            outbox: Vec::new(),
+        }
+    }
+
+    fn effective_checks(&self) -> bool {
+        self.enabled && self.mode.checks()
+    }
+
+    fn effective_corrects(&self) -> bool {
+        self.enabled && self.mode.corrects()
+    }
+
+    fn verify_group(&mut self, group_addr: u64, during_scrub: bool) -> Result<u64, EccFault> {
+        let (data, code) = self.mem.read_group(group_addr);
+        self.stats.groups_verified += 1;
+        match ref_decode(data, code) {
+            RefDecoded::Clean => Ok(data),
+            RefDecoded::CorrectedData { data: fixed, .. } => {
+                if self.effective_corrects() {
+                    self.mem.write_group(group_addr, fixed, ref_encode(fixed));
+                    self.stats.corrected_single_bit += 1;
+                    if during_scrub {
+                        self.stats.scrub_corrections += 1;
+                    }
+                    Ok(fixed)
+                } else {
+                    self.stats.reported_single_bit += 1;
+                    self.outbox.push(EccFault {
+                        group_addr,
+                        syndrome: ref_encode(data) ^ code,
+                        kind: FaultKind::UnrepairedSingleBit,
+                    });
+                    Ok(data)
+                }
+            }
+            RefDecoded::CorrectedCheck => {
+                if self.effective_corrects() {
+                    self.mem.write_group(group_addr, data, ref_encode(data));
+                    self.stats.corrected_single_bit += 1;
+                    if during_scrub {
+                        self.stats.scrub_corrections += 1;
+                    }
+                } else {
+                    self.stats.reported_single_bit += 1;
+                }
+                Ok(data)
+            }
+            RefDecoded::Uncorrectable { syndrome } => {
+                self.stats.uncorrectable += 1;
+                let fault = EccFault {
+                    group_addr,
+                    syndrome,
+                    kind: FaultKind::UncorrectableData,
+                };
+                self.outbox.push(fault);
+                Err(fault)
+            }
+        }
+    }
+
+    fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EccFault> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.mem.check_range(addr, buf.len() as u64);
+        let mut first_fault = None;
+        let end = addr + buf.len() as u64;
+        let mut group = addr & !(GROUP_BYTES - 1);
+        while group < end {
+            let word = if self.effective_checks() {
+                match self.verify_group(group, false) {
+                    Ok(w) => w,
+                    Err(f) => {
+                        first_fault.get_or_insert(f);
+                        self.mem.read_group(group).0
+                    }
+                }
+            } else {
+                self.mem.read_group(group).0
+            };
+            let bytes = word.to_le_bytes();
+            let lo = group.max(addr);
+            let hi = (group + GROUP_BYTES).min(end);
+            for a in lo..hi {
+                buf[(a - addr) as usize] = bytes[(a - group) as usize];
+            }
+            group += GROUP_BYTES;
+        }
+        match first_fault {
+            None => Ok(()),
+            Some(f) => Err(f),
+        }
+    }
+
+    fn write(&mut self, addr: u64, buf: &[u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        self.mem.check_range(addr, buf.len() as u64);
+        let end = addr + buf.len() as u64;
+        let mut group = addr & !(GROUP_BYTES - 1);
+        while group < end {
+            let (old, old_code) = self.mem.read_group(group);
+            let mut bytes = old.to_le_bytes();
+            let lo = group.max(addr);
+            let hi = (group + GROUP_BYTES).min(end);
+            for a in lo..hi {
+                bytes[(a - group) as usize] = buf[(a - addr) as usize];
+            }
+            let word = u64::from_le_bytes(bytes);
+            if self.enabled && self.mode.checks() {
+                self.mem.write_group(group, word, ref_encode(word));
+                self.stats.groups_encoded += 1;
+            } else {
+                self.mem.write_group(group, word, old_code);
+            }
+            group += GROUP_BYTES;
+        }
+    }
+
+    fn peek(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        if len == 0 {
+            return out;
+        }
+        self.mem.check_range(addr, len as u64);
+        let end = addr + len as u64;
+        let mut group = addr & !(GROUP_BYTES - 1);
+        while group < end {
+            let (word, _) = self.mem.read_group(group);
+            let bytes = word.to_le_bytes();
+            let lo = group.max(addr);
+            let hi = (group + GROUP_BYTES).min(end);
+            for a in lo..hi {
+                out[(a - addr) as usize] = bytes[(a - group) as usize];
+            }
+            group += GROUP_BYTES;
+        }
+        out
+    }
+
+    fn inject_data_error(&mut self, addr: u64, bit: u8) {
+        self.stats.injected_data_bits += 1;
+        let (data, code) = self.mem.read_group(addr);
+        self.mem.write_group(addr, data ^ (1u64 << bit), code);
+    }
+
+    fn inject_code_error(&mut self, addr: u64, bit: u8) {
+        self.stats.injected_code_bits += 1;
+        let (data, code) = self.mem.read_group(addr);
+        self.mem.write_group(addr, data, code ^ (1u8 << bit));
+    }
+
+    fn inject_multi_bit_error(&mut self, addr: u64) {
+        self.stats.injected_multi_bit += 1;
+        let (data, code) = self.mem.read_group(addr);
+        self.mem.write_group(addr, data ^ 0b11, code);
+    }
+
+    fn scrub_step(&mut self, max_groups: u64) -> u64 {
+        if !self.enabled || !self.mode.scrubs() || self.bus_locked {
+            return 0;
+        }
+        let mut frames = self.mem.resident_frame_addrs();
+        if frames.is_empty() {
+            return 0;
+        }
+        frames.sort_unstable();
+        let groups_per_frame = FRAME_BYTES / GROUP_BYTES;
+        let total_groups = frames.len() as u64 * groups_per_frame;
+        let mut done = 0;
+        while done < max_groups {
+            if self.scrub_cursor >= total_groups {
+                self.scrub_cursor = 0;
+                self.stats.scrub_passes += 1;
+            }
+            let frame = frames[(self.scrub_cursor / groups_per_frame) as usize];
+            let group_addr = frame + (self.scrub_cursor % groups_per_frame) * GROUP_BYTES;
+            let _ = self.verify_group(group_addr, true);
+            self.stats.scrubbed_groups += 1;
+            self.scrub_cursor += 1;
+            done += 1;
+        }
+        done
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operation language and strategies
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write {
+        addr: u64,
+        seed: u8,
+        len: usize,
+    },
+    Read {
+        addr: u64,
+        len: usize,
+    },
+    Peek {
+        addr: u64,
+        len: usize,
+    },
+    InjectData {
+        addr: u64,
+        bit: u8,
+    },
+    InjectCode {
+        addr: u64,
+        bit: u8,
+    },
+    InjectMulti {
+        addr: u64,
+    },
+    Scrub {
+        max_groups: u64,
+    },
+    SetMode(EccMode),
+    SetEnabled(bool),
+    /// The full kernel WatchMemory sequence: lock bus, ECC off, rewrite the
+    /// watched word scrambled, ECC on, unlock.
+    ScrambleArm {
+        addr: u64,
+    },
+    /// Un-watch: restore the scrambled word's de-scrambled value with ECC on.
+    ScrambleRestore {
+        addr: u64,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let addr = 0u64..MEM_BYTES - 256;
+    let group = (0u64..(MEM_BYTES / GROUP_BYTES) - 1).prop_map(|g| g * GROUP_BYTES);
+    prop_oneof![
+        (addr.clone(), any::<u8>(), 1usize..128).prop_map(|(addr, seed, len)| Op::Write {
+            addr,
+            seed,
+            len
+        }),
+        (addr.clone(), 1usize..128).prop_map(|(addr, len)| Op::Read { addr, len }),
+        (addr, 1usize..128).prop_map(|(addr, len)| Op::Peek { addr, len }),
+        (group.clone(), 0u8..64).prop_map(|(addr, bit)| Op::InjectData { addr, bit }),
+        (group.clone(), 0u8..8).prop_map(|(addr, bit)| Op::InjectCode { addr, bit }),
+        group.clone().prop_map(|addr| Op::InjectMulti { addr }),
+        (1u64..600).prop_map(|max_groups| Op::Scrub { max_groups }),
+        prop_oneof![
+            Just(EccMode::Disabled),
+            Just(EccMode::CheckOnly),
+            Just(EccMode::CorrectError),
+            Just(EccMode::CorrectAndScrub),
+        ]
+        .prop_map(Op::SetMode),
+        any::<bool>().prop_map(Op::SetEnabled),
+        group.clone().prop_map(|addr| Op::ScrambleArm { addr }),
+        group.prop_map(|addr| Op::ScrambleRestore { addr }),
+    ]
+}
+
+/// Deterministic fill pattern so writes carry varied bytes without hauling
+/// whole vectors through the strategy.
+fn pattern(seed: u8, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| seed.wrapping_add((i as u8).wrapping_mul(167)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random op sequences drive the fast controller and the naive reference
+    /// in lockstep; every observable — returned data, per-op faults, final
+    /// stats, drained fault log, and raw stored state — must be identical.
+    #[test]
+    fn fast_path_is_byte_identical_to_naive_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let scheme = ScrambleScheme::default();
+        let mut fast = EccController::new(MEM_BYTES);
+        let mut naive = RefController::new(MEM_BYTES);
+        for op in &ops {
+            match *op {
+                Op::Write { addr, seed, len } => {
+                    let buf = pattern(seed, len);
+                    fast.write(addr, &buf);
+                    naive.write(addr, &buf);
+                }
+                Op::Read { addr, len } => {
+                    let mut fb = vec![0u8; len];
+                    let mut nb = vec![0u8; len];
+                    let fr = fast.read(addr, &mut fb);
+                    let nr = naive.read(addr, &mut nb);
+                    prop_assert_eq!(fr, nr, "read fault mismatch at {:#x}", addr);
+                    prop_assert_eq!(&fb, &nb, "read data mismatch at {:#x}", addr);
+                }
+                Op::Peek { addr, len } => {
+                    prop_assert_eq!(fast.peek(addr, len), naive.peek(addr, len));
+                }
+                Op::InjectData { addr, bit } => {
+                    fast.inject_data_error(addr, bit);
+                    naive.inject_data_error(addr, bit);
+                }
+                Op::InjectCode { addr, bit } => {
+                    fast.inject_code_error(addr, bit);
+                    naive.inject_code_error(addr, bit);
+                }
+                Op::InjectMulti { addr } => {
+                    fast.inject_multi_bit_error(addr);
+                    naive.inject_multi_bit_error(addr);
+                }
+                Op::Scrub { max_groups } => {
+                    prop_assert_eq!(fast.scrub_step(max_groups), naive.scrub_step(max_groups));
+                }
+                Op::SetMode(mode) => {
+                    fast.set_mode(mode);
+                    naive.mode = mode;
+                }
+                Op::SetEnabled(enabled) => {
+                    fast.set_enabled(enabled);
+                    naive.enabled = enabled;
+                }
+                Op::ScrambleArm { addr } => {
+                    // Arm both models from their (identical) current value.
+                    let word = u64::from_le_bytes(fast.peek(addr, 8).try_into().unwrap());
+                    let scrambled = scheme.apply(word).to_le_bytes();
+                    let was_enabled = fast.is_enabled();
+                    fast.lock_bus();
+                    fast.set_enabled(false);
+                    fast.write(addr, &scrambled);
+                    fast.set_enabled(was_enabled);
+                    fast.unlock_bus();
+                    naive.bus_locked = true;
+                    naive.enabled = false;
+                    naive.write(addr, &scrambled);
+                    naive.enabled = was_enabled;
+                    naive.bus_locked = false;
+                }
+                Op::ScrambleRestore { addr } => {
+                    let word = u64::from_le_bytes(fast.peek(addr, 8).try_into().unwrap());
+                    let restored = scheme.apply(word).to_le_bytes(); // involution
+                    fast.write(addr, &restored);
+                    naive.write(addr, &restored);
+                }
+            }
+            prop_assert_eq!(
+                fast.stats(), naive.stats,
+                "stats diverged after {:?}", op
+            );
+        }
+        // Fault sequences must match in content *and order*.
+        prop_assert_eq!(fast.take_faults(), std::mem::take(&mut naive.outbox));
+        // Raw stored state: every group's data word and stored code.
+        for group in (0..MEM_BYTES).step_by(GROUP_BYTES as usize) {
+            prop_assert_eq!(
+                fast.memory().read_group(group),
+                naive.mem.read_group(group),
+                "stored group {:#x} diverged", group
+            );
+        }
+    }
+}

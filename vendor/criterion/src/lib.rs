@@ -24,13 +24,53 @@ const HEAVY_PROBE: Duration = Duration::from_millis(1);
 /// Minimum wall time the timed batch aims for.
 const TARGET_BATCH: Duration = Duration::from_millis(200);
 
+/// One finished benchmark: its name and measured mean time per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// The name passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Mean wall time per iteration over the timed batch, in nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations in the timed batch.
+    pub iters: u64,
+}
+
 /// The benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
+    /// Results of every benchmark run so far, in execution order. Custom
+    /// bench mains use this to emit machine-readable records (see
+    /// [`Criterion::write_json`]).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the collected results as a JSON record:
+    /// `{"bench": <label>, "results": [{"name", "mean_ns", "iters"}, ...]}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-write error.
+    pub fn write_json(&self, label: &str, path: &str) -> std::io::Result<()> {
+        let mut body = String::new();
+        body.push_str(&format!(
+            "{{\n  \"bench\": \"{label}\",\n  \"results\": [\n"
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 < self.results.len() { "," } else { "" };
+            body.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{sep}\n",
+                r.name, r.mean_ns, r.iters
+            ));
+        }
+        body.push_str("  ]\n}\n");
+        std::fs::write(path, body)
+    }
+
     /// Registers and immediately runs one benchmark.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
@@ -58,6 +98,11 @@ impl Criterion {
         f(&mut b);
         let mean_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
         println!("{name:<50} {:>12} iters  {mean_ns:>14.1} ns/iter", b.iters);
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            mean_ns,
+            iters: b.iters,
+        });
         self
     }
 }
