@@ -214,6 +214,14 @@ impl Traffic {
             memory_writes: 0,
         }
     }
+
+    /// Zeroes all counters in place, so one record can be reused across
+    /// accesses without reallocating the per-level vector.
+    pub fn reset(&mut self) {
+        self.level_hits.fill(0);
+        self.memory_reads = 0;
+        self.memory_writes = 0;
+    }
 }
 
 struct CacheLevel {
@@ -251,6 +259,23 @@ impl CacheLevel {
             self.stats.misses += 1;
             None
         }
+    }
+
+    /// Hit fast path: refreshes the line in place instead of extracting and
+    /// reinstalling it. Counter-equivalent to `lookup` + `extract` +
+    /// `install` on a hit (tick advances twice, LRU takes the final tick,
+    /// one hit recorded); only the line's position within its set Vec
+    /// differs, which nothing observable depends on — LRU values stay
+    /// unique, so eviction victims are position-independent. Returns `None`
+    /// without touching any counter on a miss.
+    fn touch(&mut self, line_addr: u64) -> Option<&mut Line> {
+        let set = self.set_index(line_addr);
+        let pos = self.sets[set].iter().position(|l| l.tag == line_addr)?;
+        self.tick += 2;
+        self.stats.hits += 1;
+        let line = &mut self.sets[set][pos];
+        line.lru = self.tick;
+        Some(line)
     }
 
     /// Removes the line if present, returning it.
@@ -506,10 +531,20 @@ impl Hierarchy {
         let end = addr + buf.len() as u64;
         let mut line_addr = self.line_addr(addr);
         while line_addr < end {
-            let missed = self.residency(line_addr).is_none();
-            let line = self.ensure_in_l1(line_addr, backing, traffic)?;
             let lo = line_addr.max(addr);
             let hi = (line_addr + ls).min(end);
+            // L1 hit fast path: the overwhelmingly common case needs no
+            // level scan, no extract/reinstall, and no prefetch decision.
+            if let Some(line) = self.levels[0].touch(line_addr) {
+                traffic.level_hits[0] += 1;
+                buf[(lo - addr) as usize..(hi - addr) as usize].copy_from_slice(
+                    &line.data[(lo - line_addr) as usize..(hi - line_addr) as usize],
+                );
+                line_addr += ls;
+                continue;
+            }
+            let missed = self.residency(line_addr).is_none();
+            let line = self.ensure_in_l1(line_addr, backing, traffic)?;
             buf[(lo - addr) as usize..(hi - addr) as usize]
                 .copy_from_slice(&line.data[(lo - line_addr) as usize..(hi - line_addr) as usize]);
             if missed {
@@ -576,6 +611,16 @@ impl Hierarchy {
             let lo = line_addr.max(addr);
             let hi = (line_addr + ls).min(end);
             let chunk = &data[(lo - addr) as usize..(hi - addr) as usize];
+            // L1 hit fast path (policy-independent: a hit never consults the
+            // write-miss policy and never prefetches).
+            if let Some(line) = self.levels[0].touch(line_addr) {
+                traffic.level_hits[0] += 1;
+                line.data[(lo - line_addr) as usize..(hi - line_addr) as usize]
+                    .copy_from_slice(chunk);
+                line.dirty = true;
+                line_addr += ls;
+                continue;
+            }
             let cached = self.residency(line_addr).is_some();
             if cached || self.write_miss == WriteMissPolicy::WriteAllocate {
                 let line = self.ensure_in_l1(line_addr, backing, traffic)?;

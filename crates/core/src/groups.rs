@@ -85,6 +85,14 @@ impl GroupStats {
         self.alloc_times.get(&addr).copied()
     }
 
+    /// Allocation time of the oldest live object, if any — the object the
+    /// SLeak rule would age-test first (drives the incremental check
+    /// scheduler's deadline computation).
+    #[must_use]
+    pub fn oldest_alloc_time(&self) -> Option<u64> {
+        self.live.iter().next().map(|&(t, _)| t)
+    }
+
     /// Records an allocation at CPU time `now`.
     pub fn on_alloc(&mut self, addr: u64, size: u64, now: u64) {
         self.total_allocs += 1;

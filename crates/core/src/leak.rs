@@ -16,7 +16,7 @@ use crate::groups::GroupStats;
 use crate::report::{BugReport, LeakKind};
 use crate::signature::{CallStack, GroupKey};
 use safemem_os::{Os, OsError};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Tuning parameters for the leak detector. All times are CPU cycles of the
 /// monitored process (the paper measures lifetimes in CPU time, §3.1).
@@ -55,6 +55,12 @@ pub struct LeakConfig {
     pub update_cycles: u64,
     /// Cycles charged per group examined in a detection pass.
     pub check_group_cycles: u64,
+    /// `true` — detection passes consult a deadline schedule and examine
+    /// only groups that could cross an ALeak/SLeak threshold. `false` —
+    /// rescan every group each pass (the differential reference). Both
+    /// modes produce byte-identical reports, statistics, and simulated
+    /// cycle charges; the schedule saves host time only.
+    pub incremental_check: bool,
 }
 
 impl Default for LeakConfig {
@@ -76,6 +82,7 @@ impl Default for LeakConfig {
             prune_with_ecc: true,
             update_cycles: 150,
             check_group_cycles: 40,
+            incremental_check: true,
         }
     }
 }
@@ -126,6 +133,13 @@ pub struct LeakDetector {
     reports: Vec<BugReport>,
     last_check: u64,
     stats: LeakStats,
+    /// Incremental-check schedule: `(deadline, group)` ordered by the
+    /// earliest CPU time a detection pass could flag a candidate from that
+    /// group. Groups without an entry cannot fire until a stat-changing
+    /// event (alloc/free/prune) reschedules them.
+    schedule: BTreeSet<(u64, GroupKey)>,
+    /// Current schedule entry per group, for O(log n) replacement.
+    deadlines: HashMap<GroupKey, u64>,
 }
 
 impl LeakDetector {
@@ -143,6 +157,8 @@ impl LeakDetector {
             reports: Vec::new(),
             last_check: 0,
             stats: LeakStats::default(),
+            schedule: BTreeSet::new(),
+            deadlines: HashMap::new(),
         }
     }
 
@@ -192,6 +208,97 @@ impl LeakDetector {
         }
     }
 
+    /// The earliest CPU time a detection pass could flag a candidate from
+    /// `group`, or `None` if no future pass can until an alloc/free/prune
+    /// changes the statistics (every such event reschedules).
+    ///
+    /// The bound is conservative: examining a group whose condition does
+    /// not actually hold is side-effect-free (the per-group check simply
+    /// produces no candidates), so a stale-but-early deadline costs host
+    /// time, never correctness. What must hold — and does, case by case —
+    /// is that whenever the naive scan would produce a candidate at time
+    /// `t`, this group's schedule entry satisfies `deadline <= t`.
+    fn deadline_of(group: &GroupStats, config: &LeakConfig, now: u64) -> Option<u64> {
+        if !group.has_freed() {
+            // ALeak fires while live_count > threshold (changes only on
+            // alloc/free) and the group allocated within the recency
+            // window: t ∈ [cooldown_until, last_alloc_time + window].
+            if group.live_count() <= config.aleak_live_threshold {
+                return None;
+            }
+            let window_end = group
+                .last_alloc_time
+                .saturating_add(config.aleak_recent_window);
+            if window_end < now || group.cooldown_until > window_end {
+                return None; // window already closed (or fully cooled down)
+            }
+            Some(group.cooldown_until)
+        } else {
+            // SLeak needs a trusted lifetime profile (changes only on
+            // free/prune) and fires once the oldest live object's age
+            // strictly exceeds the limit.
+            if group.stable_time < config.sleak_stable_threshold || group.max_lifetime == 0 {
+                return None;
+            }
+            let oldest = group.oldest_alloc_time()?;
+            let limit = (group.max_lifetime as f64 * config.sleak_factor) as u64;
+            Some(
+                oldest
+                    .saturating_add(limit)
+                    .saturating_add(1)
+                    .max(group.cooldown_until),
+            )
+        }
+    }
+
+    /// Recomputes `key`'s deadline and replaces its schedule entry.
+    fn reschedule(&mut self, key: GroupKey, now: u64) {
+        let deadline = self
+            .groups
+            .get(&key)
+            .and_then(|g| Self::deadline_of(g, &self.config, now));
+        if let Some(old) = self.deadlines.remove(&key) {
+            self.schedule.remove(&(old, key));
+        }
+        if let Some(d) = deadline {
+            self.deadlines.insert(key, d);
+            self.schedule.insert((d, key));
+        }
+    }
+
+    /// The per-group half of a detection pass (paper §3.2.2), shared
+    /// verbatim by the naive scan and the incremental schedule so the two
+    /// modes cannot diverge.
+    fn collect_candidates(
+        group: &GroupStats,
+        config: &LeakConfig,
+        now: u64,
+        candidates: &mut Vec<(u64, LeakKind)>,
+    ) {
+        if now < group.cooldown_until {
+            return;
+        }
+        if !group.has_freed() {
+            // ALeak: many live objects and still actively growing.
+            let growing = now.saturating_sub(group.last_alloc_time) <= config.aleak_recent_window;
+            if group.live_count() > config.aleak_live_threshold && growing {
+                for (_, addr) in group.oldest_live(config.aleak_sample) {
+                    candidates.push((addr, LeakKind::ALeak));
+                }
+            }
+        } else if group.stable_time >= config.sleak_stable_threshold && group.max_lifetime > 0 {
+            // SLeak: objects alive far beyond the stable maximum.
+            let limit = (group.max_lifetime as f64 * config.sleak_factor) as u64;
+            for (alloc_time, addr) in group.oldest_live(config.sleak_sample) {
+                if now.saturating_sub(alloc_time) > limit {
+                    candidates.push((addr, LeakKind::SLeak));
+                } else {
+                    break; // allocation-ordered: the rest are younger
+                }
+            }
+        }
+    }
+
     /// Records an allocation (wraps `malloc`/`calloc`, paper §3.2.1).
     pub fn on_alloc(&mut self, os: &mut Os, addr: u64, size: u64, stack: &CallStack) {
         os.compute(self.config.update_cycles);
@@ -202,6 +309,7 @@ impl LeakDetector {
             .or_default()
             .on_alloc(addr, size, now);
         self.objects.insert(addr, ObjectInfo { group, size });
+        self.reschedule(group, now);
         self.maybe_check(os);
     }
 
@@ -242,6 +350,7 @@ impl LeakDetector {
                 self.stats.suspects_flagged -= 1;
             }
         }
+        self.reschedule(info.group, now);
         self.maybe_check(os);
     }
 
@@ -256,6 +365,11 @@ impl LeakDetector {
     }
 
     /// Runs one detection pass (paper §3.2.2) immediately.
+    ///
+    /// The simulated charge is `groups × check_group_cycles` in both check
+    /// modes — it models what the paper's detector pays, and the
+    /// incremental schedule is a host-side shortcut, not a change to the
+    /// modelled cost.
     pub fn run_check(&mut self, os: &mut Os) {
         os.compute(self.groups.len() as u64 * self.config.check_group_cycles);
         let now = os.cpu_cycles();
@@ -264,31 +378,24 @@ impl LeakDetector {
 
         // Gather candidates first (borrow discipline), then act.
         let mut candidates: Vec<(u64, LeakKind)> = Vec::new();
-        for (_, group) in self.groups.iter() {
-            if now < group.cooldown_until {
-                continue;
+        if self.config.incremental_check {
+            // Only groups whose deadline has arrived can produce a
+            // candidate; examine those with the shared per-group check and
+            // refresh their deadlines.
+            let due: Vec<GroupKey> = self
+                .schedule
+                .iter()
+                .take_while(|&&(deadline, _)| deadline <= now)
+                .map(|&(_, key)| key)
+                .collect();
+            for key in due {
+                let group = &self.groups[&key];
+                Self::collect_candidates(group, &self.config, now, &mut candidates);
+                self.reschedule(key, now);
             }
-            if !group.has_freed() {
-                // ALeak: many live objects and still actively growing.
-                let growing =
-                    now.saturating_sub(group.last_alloc_time) <= self.config.aleak_recent_window;
-                if group.live_count() > self.config.aleak_live_threshold && growing {
-                    for (_, addr) in group.oldest_live(self.config.aleak_sample) {
-                        candidates.push((addr, LeakKind::ALeak));
-                    }
-                }
-            } else if group.stable_time >= self.config.sleak_stable_threshold
-                && group.max_lifetime > 0
-            {
-                // SLeak: objects alive far beyond the stable maximum.
-                let limit = (group.max_lifetime as f64 * self.config.sleak_factor) as u64;
-                for (alloc_time, addr) in group.oldest_live(self.config.sleak_sample) {
-                    if now.saturating_sub(alloc_time) > limit {
-                        candidates.push((addr, LeakKind::SLeak));
-                    } else {
-                        break; // allocation-ordered: the rest are younger
-                    }
-                }
+        } else {
+            for (_, group) in self.groups.iter() {
+                Self::collect_candidates(group, &self.config, now, &mut candidates);
             }
         }
         for (addr, kind) in candidates {
@@ -393,6 +500,7 @@ impl LeakDetector {
         group.raise_max_lifetime(now.saturating_sub(suspect.alloc_time), now);
         group.reset_alloc_time(suspect.addr, now);
         group.cooldown_until = now + self.config.prune_cooldown;
+        self.reschedule(suspect.group, now);
         true
     }
 
@@ -712,6 +820,73 @@ mod tests {
             0,
             "unstable profile must not produce suspects"
         );
+    }
+
+    #[test]
+    fn incremental_and_naive_checks_are_byte_identical() {
+        // Drive two detectors — one per check mode — through the same
+        // scripted mixture of ALeak growth, SLeak churn with planted
+        // leaks, quiescent groups, and forced passes. Reports, counters,
+        // watched regions, and the simulated clock must all agree.
+        let run = |incremental: bool| {
+            let mut os = os();
+            let mut cfg = quick_config();
+            cfg.incremental_check = incremental;
+            let mut det = LeakDetector::new(cfg, LINE);
+            // Growing never-freed group (ALeak).
+            for i in 0..32 {
+                os.compute(500);
+                det.on_alloc(&mut os, addr_of(i), 64, &stack(0xA1));
+            }
+            // Churn group with two planted leaks (SLeak).
+            det.on_alloc(&mut os, addr_of(600), 64, &stack(0xA2));
+            det.on_alloc(&mut os, addr_of(601), 64, &stack(0xA2));
+            for i in 100..164 {
+                det.on_alloc(&mut os, addr_of(i), 64, &stack(0xA2));
+                os.compute(2_000);
+                det.on_free(&mut os, addr_of(i));
+            }
+            // Quiescent group that must never fire.
+            for i in 200..208 {
+                det.on_alloc(&mut os, addr_of(i), 32, &stack(0xA3));
+            }
+            os.compute(2_000_000);
+            det.run_check(&mut os);
+            os.compute(2_000_000);
+            det.on_alloc(&mut os, addr_of(900), 64, &stack(0xA1));
+            det.run_check(&mut os);
+            det.finish(&mut os);
+            // Which address of a multi-suspect group gets the (single)
+            // report depends on the suspects HashMap's per-instance hash
+            // seed — nondeterministic even between two *naive* detectors.
+            // Compare the order-insensitive observables the campaign layer
+            // consumes: the (group, kind, time) set, counters, watch count,
+            // and the simulated clock.
+            let mut leaks: Vec<(GroupKey, LeakKind, u64)> = det
+                .reports()
+                .iter()
+                .filter_map(|r| match r {
+                    BugReport::Leak {
+                        group,
+                        kind,
+                        at_cpu_cycles,
+                        ..
+                    } => Some((*group, *kind, *at_cpu_cycles)),
+                    _ => None,
+                })
+                .collect();
+            leaks.sort_unstable();
+            (
+                leaks,
+                det.stats(),
+                os.watched_region_count(),
+                os.cpu_cycles(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+        let (leaks, stats, _, _) = run(true);
+        assert!(stats.leaks_reported > 0, "the script actually detects");
+        assert!(!leaks.is_empty());
     }
 
     #[test]

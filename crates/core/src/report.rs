@@ -5,7 +5,7 @@ use safemem_os::AccessKind;
 use std::fmt;
 
 /// Which continuous-leak class a leak report belongs to (paper §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LeakKind {
     /// "Always leak": the group is never freed on any path.

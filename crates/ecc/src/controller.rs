@@ -211,17 +211,10 @@ impl EccController {
         self.enabled && self.mode.corrects()
     }
 
-    /// Verifies one group, applying mode policy. Returns the (possibly
-    /// corrected) data word, or the fault if uncorrectable.
-    fn verify_group(&mut self, group_addr: u64, during_scrub: bool) -> Result<u64, EccFault> {
-        self.stats.groups_verified += 1;
-        self.resolve_group(group_addr, during_scrub)
-    }
-
-    /// The policy half of [`EccController::verify_group`]: decode, correct,
-    /// count, report. Split out so the bulk read path (which has already
-    /// counted its groups as verified during the syndrome scan) can resolve
-    /// just the non-clean ones without double counting.
+    /// The policy half of group verification: decode, correct, count,
+    /// report. The bulk read and scrub paths count their groups as verified
+    /// during the syndrome scan and resolve just the non-clean ones here,
+    /// so this deliberately does not touch `groups_verified`.
     fn resolve_group(&mut self, group_addr: u64, during_scrub: bool) -> Result<u64, EccFault> {
         let (data, code) = self.mem.read_group(group_addr);
         // The overwhelmingly common case is a clean group: settle it from the
@@ -315,6 +308,7 @@ impl EccController {
             let group_hi = GROUP_BYTES * hi.div_ceil(GROUP_BYTES);
             self.stats.groups_verified += (group_hi - group_lo) / GROUP_BYTES;
             let dst = &mut buf[(lo - addr) as usize..(hi - addr) as usize];
+            let scan = self.mem.frame_maybe_dirty(frame_addr);
             match self.mem.frame_slices(frame_addr) {
                 // Untouched frame: all-zero data with all-zero codes — every
                 // group is clean by construction.
@@ -322,15 +316,20 @@ impl EccController {
                 Some((data, codes)) => {
                     let off = (lo - frame_addr) as usize;
                     dst.copy_from_slice(&data[off..off + dst.len()]);
-                    let mut group = group_lo;
-                    while group < group_hi {
-                        let o = (group - frame_addr) as usize;
-                        let bytes: &[u8; 8] = data[o..o + 8].try_into().expect("group is 8 bytes");
-                        let code = codes[o / GROUP_BYTES as usize];
-                        if self.codec.syndrome_bytes(bytes, code) != 0 {
-                            dirty.push(group);
+                    // A frame whose dirty flag is clear is *guaranteed* clean,
+                    // so the per-group syndrome scan would find nothing.
+                    if scan {
+                        let mut group = group_lo;
+                        while group < group_hi {
+                            let o = (group - frame_addr) as usize;
+                            let bytes: &[u8; 8] =
+                                data[o..o + 8].try_into().expect("group is 8 bytes");
+                            let code = codes[o / GROUP_BYTES as usize];
+                            if self.codec.syndrome_bytes(bytes, code) != 0 {
+                                dirty.push(group);
+                            }
+                            group += GROUP_BYTES;
                         }
-                        group += GROUP_BYTES;
                     }
                 }
             }
@@ -455,18 +454,49 @@ impl EccController {
         let groups_per_frame = FRAME_BYTES / GROUP_BYTES;
         let total_groups = self.scrub_plan.len() as u64 * groups_per_frame;
         let mut done = 0;
+        let mut dirty: Vec<u64> = Vec::new();
         while done < max_groups {
             if self.scrub_cursor >= total_groups {
                 self.scrub_cursor = 0;
                 self.stats.scrub_passes += 1;
             }
+            // Process the rest of the current frame as one chunk.
             let frame = self.scrub_plan[(self.scrub_cursor / groups_per_frame) as usize];
-            let group_addr = frame + (self.scrub_cursor % groups_per_frame) * GROUP_BYTES;
-            // Scrub ignores uncorrectable groups beyond reporting them.
-            let _ = self.verify_group(group_addr, true);
-            self.stats.scrubbed_groups += 1;
-            self.scrub_cursor += 1;
-            done += 1;
+            let first = self.scrub_cursor % groups_per_frame;
+            let n = (groups_per_frame - first).min(max_groups - done);
+            if self.mem.frame_maybe_dirty(frame) {
+                // Scan the chunk's syndromes straight off the frame slices;
+                // only non-clean groups go through the full policy path.
+                dirty.clear();
+                let (data, codes) = self
+                    .mem
+                    .frame_slices(frame)
+                    .expect("scrub plan only holds resident frames");
+                for g in first..first + n {
+                    let o = (g * GROUP_BYTES) as usize;
+                    let bytes: &[u8; 8] = data[o..o + 8].try_into().expect("group is 8 bytes");
+                    if self.codec.syndrome_bytes(bytes, codes[g as usize]) != 0 {
+                        dirty.push(frame + g * GROUP_BYTES);
+                    }
+                }
+                self.stats.groups_verified += n;
+                let mut uncorrectable = false;
+                for &group_addr in &dirty {
+                    // Scrub ignores uncorrectable groups beyond reporting them.
+                    uncorrectable |= self.resolve_group(group_addr, true).is_err();
+                }
+                // A full-frame chunk that repaired every inconsistency proves
+                // the frame clean; future passes settle it in O(1).
+                if first == 0 && n == groups_per_frame && !uncorrectable {
+                    self.mem.mark_frame_clean(frame);
+                }
+            } else {
+                // Clean frame: every group verifies trivially.
+                self.stats.groups_verified += n;
+            }
+            self.stats.scrubbed_groups += n;
+            self.scrub_cursor += n;
+            done += n;
         }
         done
     }
@@ -646,6 +676,52 @@ mod tests {
         c.scrub_step(512);
         c.scrub_step(1);
         assert_eq!(c.stats().scrub_passes, 1);
+    }
+
+    #[test]
+    fn clean_frame_scrub_counts_like_a_scanned_one() {
+        // The O(1) clean-frame shortcut must keep every counter identical to
+        // the full per-group walk.
+        let mut c = ctl();
+        c.set_mode(EccMode::CorrectAndScrub);
+        c.write(0x0, &[7u8; 64]);
+        c.scrub_step(512); // first pass may scan; frame is provably clean after
+        let before = c.stats();
+        c.scrub_step(512);
+        let after = c.stats();
+        assert_eq!(after.scrubbed_groups - before.scrubbed_groups, 512);
+        assert_eq!(after.groups_verified - before.groups_verified, 512);
+        assert_eq!(after.scrub_passes - before.scrub_passes, 1);
+        assert_eq!(after.scrub_corrections, before.scrub_corrections);
+    }
+
+    #[test]
+    fn error_injected_after_clean_pass_is_still_repaired() {
+        // The dirty flag must be re-raised by injection so a later scrub
+        // does not skip the frame.
+        let mut c = ctl();
+        c.set_mode(EccMode::CorrectAndScrub);
+        c.write(0x8, &3u64.to_le_bytes());
+        c.scrub_step(512); // frame proven clean
+        c.inject_data_error(0x8, 5);
+        c.scrub_step(512);
+        assert_eq!(c.stats().scrub_corrections, 1);
+        assert_eq!(c.memory().read_group(0x8).0, 3);
+    }
+
+    #[test]
+    fn uncorrectable_group_keeps_the_frame_under_scrutiny() {
+        let mut c = ctl();
+        c.set_mode(EccMode::CorrectAndScrub);
+        c.write(0x10, &1u64.to_le_bytes());
+        c.inject_multi_bit_error(0x10);
+        c.scrub_step(512);
+        let faults = c.take_faults();
+        assert_eq!(faults.len(), 1, "scrub reports the uncorrectable group");
+        // A second pass still examines the frame and reports again — the
+        // frame is never marked clean while an uncorrectable error persists.
+        c.scrub_step(512);
+        assert_eq!(c.take_faults().len(), 1);
     }
 
     #[test]

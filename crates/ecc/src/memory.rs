@@ -25,6 +25,12 @@ const GROUPS_PER_FRAME: usize = (FRAME_BYTES / GROUP_BYTES) as usize;
 struct Frame {
     data: [u8; FRAME_BYTES as usize],
     codes: [u8; GROUPS_PER_FRAME],
+    /// Conservative syndrome tracking: `false` guarantees every group in the
+    /// frame decodes clean, so verification can settle the whole frame in
+    /// O(1). Set on any operation that can leave a stored code inconsistent
+    /// (fault injection, data-only writes, explicit-code writes); cleared
+    /// only by the scrubber after it proves the frame clean again.
+    maybe_dirty: bool,
 }
 
 impl Frame {
@@ -33,6 +39,7 @@ impl Frame {
         Box::new(Frame {
             data: [0u8; FRAME_BYTES as usize],
             codes: [0u8; GROUPS_PER_FRAME],
+            maybe_dirty: false,
         })
     }
 }
@@ -161,6 +168,24 @@ impl EccMemory {
             .map(|f| (&f.data[..], &f.codes[..]))
     }
 
+    /// Whether the frame containing `frame_addr` *may* hold a group with a
+    /// non-zero syndrome. `false` is a guarantee of cleanliness (untouched
+    /// frames are clean by construction); `true` is conservative.
+    pub(crate) fn frame_maybe_dirty(&self, frame_addr: u64) -> bool {
+        self.frames[Self::frame_index(frame_addr)]
+            .as_deref()
+            .is_some_and(|f| f.maybe_dirty)
+    }
+
+    /// Records that every group of the frame has been verified clean (the
+    /// scrubber calls this after a full-frame pass found and repaired every
+    /// inconsistency).
+    pub(crate) fn mark_frame_clean(&mut self, frame_addr: u64) {
+        if let Some(frame) = self.frames[Self::frame_index(frame_addr)].as_deref_mut() {
+            frame.maybe_dirty = false;
+        }
+    }
+
     /// Reads the data word and stored code of the group containing `addr`.
     ///
     /// # Panics
@@ -195,6 +220,8 @@ impl EccMemory {
         let off = (group_addr % FRAME_BYTES) as usize;
         frame.data[off..off + 8].copy_from_slice(&data.to_le_bytes());
         frame.codes[off / GROUP_BYTES as usize] = code;
+        // The caller chose the code; it may not match the data.
+        frame.maybe_dirty = true;
     }
 
     /// Stores only the data word of a group, leaving the stored code
@@ -209,6 +236,7 @@ impl EccMemory {
         let frame = self.frame_mut(group_addr);
         let off = (group_addr % FRAME_BYTES) as usize;
         frame.data[off..off + 8].copy_from_slice(&data.to_le_bytes());
+        frame.maybe_dirty = true;
     }
 
     /// Recomputes and stores the correct code for a group from its current
@@ -242,6 +270,7 @@ impl EccMemory {
         let frame = self.frame_mut(group_addr);
         let off = (group_addr % FRAME_BYTES) as usize + (bit / 8) as usize;
         frame.data[off] ^= 1u8 << (bit % 8);
+        frame.maybe_dirty = true;
     }
 
     /// Flips a single stored *check* bit without touching the data.
@@ -255,6 +284,7 @@ impl EccMemory {
         self.check_range(group_addr, GROUP_BYTES);
         let frame = self.frame_mut(group_addr);
         frame.codes[(group_addr % FRAME_BYTES) as usize / GROUP_BYTES as usize] ^= 1u8 << bit;
+        frame.maybe_dirty = true;
     }
 
     /// Copies `buf.len()` raw stored data bytes starting at `addr` into
@@ -334,6 +364,7 @@ impl EccMemory {
             let off = (lo - frame_addr) as usize;
             frame.data[off..off + (hi - lo) as usize]
                 .copy_from_slice(&buf[(lo - addr) as usize..(hi - addr) as usize]);
+            frame.maybe_dirty = true;
             frame_addr += FRAME_BYTES;
         }
     }

@@ -17,9 +17,11 @@
 //! * [`oracle::run_campaign`] — records one ground-truth trace and replays it
 //!   through SafeMem, the three comparison baselines, and the uninstrumented
 //!   tool, classifying every report as true positive / false positive /
-//!   missed;
+//!   missed (split into [`oracle::record_trace`] and [`oracle::replay_panel`]
+//!   so a shared trace can serve many cells);
 //! * [`runner::run_matrix`] — shards a seeds × workloads campaign matrix
-//!   across a scoped worker pool; results reassemble in cell order, so the
+//!   across a scoped worker pool, recording each unique trace once
+//!   ([`runner::TraceMode`]); results reassemble in cell order, so the
 //!   aggregate scorecard is byte-identical for any thread count;
 //! * [`scorecard`] — byte-stable rendering, per campaign and aggregated.
 //!
@@ -39,11 +41,14 @@ pub mod scorecard;
 pub mod spec;
 
 pub use inject::{InjectionLog, Injector};
-pub use oracle::{run_campaign, CampaignError, CampaignResult, GroundTruth, ToolScore, PANEL};
+pub use oracle::{
+    record_trace, replay_panel, replay_panel_with, run_campaign, CampaignError, CampaignResult,
+    GroundTruth, ToolScore, PANEL,
+};
 pub use rng::SmRng;
 pub use runner::{
-    default_threads, expand_matrix, render_bench_json, run_matrix, BenchRun, MatrixReport,
-    WorkerReport,
+    default_threads, expand_matrix, render_bench_json, run_matrix, run_matrix_with, BenchRun,
+    MatrixReport, TraceKey, TraceMode, WorkerReport,
 };
 pub use scorecard::{render_aggregate, render_campaign, render_workers};
 pub use spec::{CampaignSpec, FaultMix};

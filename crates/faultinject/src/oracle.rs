@@ -11,7 +11,10 @@ use safemem_baselines::{Memcheck, PageGuard, Purify};
 use safemem_core::{BugReport, GroupKey, MemTool, NullTool, SafeMem};
 use safemem_ecc::ControllerStats;
 use safemem_os::{Os, OsConfig, STATIC_BASE};
-use safemem_workloads::{workload_by_name, BugClass, InputMode, Recorder, RunConfig, Trace};
+use safemem_workloads::{
+    workload_by_name, BugClass, InputMode, Recorder, Replayer, RunConfig, Trace,
+};
+use std::collections::HashSet;
 
 use crate::inject::{InjectionLog, Injector};
 use crate::spec::CampaignSpec;
@@ -166,41 +169,66 @@ pub const PANEL: &[&str] = &["safemem", "purify", "memcheck", "pageguard", "none
 /// Runs one campaign: records the ground-truth trace, replays it through the
 /// whole panel under injection, and scores every tool.
 ///
+/// Equivalent to [`record_trace`] followed by [`replay_panel`]; the matrix
+/// runner uses the split halves so cells sharing a trace record it once.
+///
 /// # Errors
 ///
 /// Returns [`CampaignError`] if the spec names an unknown workload.
 pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignResult, CampaignError> {
+    let trace = record_trace(spec)?;
+    replay_panel(spec, &trace)
+}
+
+/// Replays an already-recorded campaign trace through the whole panel under
+/// injection and scores every tool. The trace is only borrowed, so one
+/// recording can serve every cell that shares it.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the spec names an unknown workload.
+pub fn replay_panel(spec: &CampaignSpec, trace: &Trace) -> Result<CampaignResult, CampaignError> {
+    replay_panel_with(spec, trace, &mut Replayer::new())
+}
+
+/// [`replay_panel`] with a caller-owned [`Replayer`], so a worker thread
+/// replaying many cells reuses its scratch buffers across all of them.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the spec names an unknown workload.
+pub fn replay_panel_with(
+    spec: &CampaignSpec,
+    trace: &Trace,
+    replayer: &mut Replayer,
+) -> Result<CampaignResult, CampaignError> {
     let workload = workload_by_name(&spec.workload)
         .ok_or_else(|| CampaignError(format!("unknown workload {:?}", spec.workload)))?;
-    let cfg = RunConfig {
-        input: InputMode::Buggy,
-        requests: spec.requests,
-        seed: spec.workload_seed,
-    };
-
-    // Ground truth: record the op stream once, uninstrumented and
-    // uninjected, so every tool replays the identical program.
-    let trace = {
-        let mut os = build_os(spec);
-        let mut null = NullTool::new();
-        let mut recorder = Recorder::new(&mut null);
-        workload.run(&mut os, &mut recorder, &cfg);
-        recorder.into_trace()
-    };
     let truth = GroundTruth {
         bug: workload.spec().bug,
         leak_groups: workload.true_leak_groups(),
         expects_corruption: !workload.spec().bug.is_leak(),
         trace_ops: trace.len(),
     };
+    // One membership set per campaign, not one linear scan per reported
+    // group.
+    let truth_set: HashSet<GroupKey> = truth.leak_groups.iter().copied().collect();
 
     let mut tools = Vec::with_capacity(PANEL.len());
     for &name in PANEL {
         let mut os = build_os(spec);
         let tool = build_tool(name, &mut os);
         let mut injector = Injector::new(tool, spec.mix, spec.seed);
-        let result = trace.replay(&mut os, &mut injector);
-        tools.push(score(name, spec, &truth, &os, &result, injector.log()));
+        let result = replayer.replay(trace, &mut os, &mut injector);
+        tools.push(score(
+            name,
+            spec,
+            &truth,
+            &truth_set,
+            &os,
+            &result,
+            injector.log(),
+        ));
     }
 
     Ok(CampaignResult {
@@ -215,18 +243,23 @@ fn score(
     tool: &'static str,
     spec: &CampaignSpec,
     truth: &GroundTruth,
+    truth_set: &HashSet<GroupKey>,
     os: &Os,
     result: &safemem_workloads::RunResult,
     injected: InjectionLog,
 ) -> ToolScore {
-    let detected: Vec<GroupKey> = result
-        .leak_groups()
-        .into_iter()
-        .filter(|g| truth.leak_groups.contains(g))
-        .collect();
-    let leaks_found = detected.len();
+    // `leak_groups()` is already deduped, so one pass partitions it into
+    // true and false positives.
+    let mut leaks_found = 0usize;
+    let mut false_leaks = 0usize;
+    for g in result.leak_groups() {
+        if truth_set.contains(&g) {
+            leaks_found += 1;
+        } else {
+            false_leaks += 1;
+        }
+    }
     let leaks_missed = truth.leak_groups.len() - leaks_found;
-    let false_leaks = result.false_leaks(&truth.leak_groups);
 
     let corruption_found = result.corruption_detected();
     let false_corruptions = if truth.expects_corruption {

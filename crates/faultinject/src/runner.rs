@@ -4,28 +4,45 @@
 //!
 //! # The determinism-under-parallelism invariant
 //!
-//! Every campaign cell is a *pure function of its spec*: [`run_campaign`]
+//! Every campaign cell is a *pure function of its spec*:
+//! [`run_campaign`](crate::oracle::run_campaign)
 //! builds a private machine, OS, controller, and injector per cell, and the
 //! injector derives its decision stream from the cell's campaign seed alone
 //! (see [`SmRng::keyed`](crate::rng::SmRng::keyed)). Workers therefore share
-//! **no** mutable simulation state — the only shared object is an atomic
-//! cursor handing out cell indices. Scheduling decides *when* a cell runs,
+//! **no** mutable simulation state — the shared objects are atomic cursors
+//! handing out work indices and, under [`TraceMode::Memoized`], *immutable*
+//! recorded traces behind `Arc`. Scheduling decides *when* a cell runs,
 //! never *what* it computes, and results are re-assembled in cell-index
 //! order before aggregation. The aggregate scorecard is byte-identical for
 //! any thread count and any interleaving; `tests/parallel_determinism.rs`
 //! pins this for 1, 2, and 8 threads.
 //!
+//! # Record once, replay many
+//!
+//! A recorded trace is a pure function of the spec fields that feed the
+//! recording run ([`TraceKey`]: workload, workload seed, request count, and
+//! the OS/controller shape). Within a preset sweep every seed shares those
+//! fields, so a harsh 32 × 5 matrix has only 5 distinct traces. The runner
+//! exploits this in two phases: phase one shards the *unique* trace keys
+//! across the workers and records each exactly once; after a barrier, phase
+//! two shards the cells, each replaying its panel against the shared
+//! `Arc<Trace>`. [`TraceMode::FreshRecord`] disables the sharing and records
+//! per cell — the CI determinism gate diffs the two modes' scorecards.
+//!
 //! Per-worker timing and injection counters ([`WorkerReport`]) are the one
 //! deliberately schedule-dependent output: they describe the execution, not
 //! the experiment, and are rendered separately from the scorecard.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use safemem_workloads::workload_by_name;
+use safemem_ecc::EccMode;
+use safemem_os::SwapPolicy;
+use safemem_workloads::{workload_by_name, Replayer, Trace};
 
-use crate::oracle::{run_campaign, CampaignError, CampaignResult};
+use crate::oracle::{record_trace, replay_panel_with, CampaignError, CampaignResult};
 use crate::spec::CampaignSpec;
 
 /// The worker count used when the caller does not pin one: the host's
@@ -78,6 +95,56 @@ pub fn expand_matrix(
     Ok(specs)
 }
 
+/// Whether a matrix run shares recorded traces between cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record each distinct [`TraceKey`] once and replay it for every cell
+    /// that shares it (the default — same results, less work).
+    #[default]
+    Memoized,
+    /// Record a private trace per cell, exactly as `run_campaign` does. The
+    /// reference mode the memoized path is diffed against.
+    FreshRecord,
+}
+
+/// The spec fields that determine a recorded trace. Two cells with equal
+/// keys replay byte-identical op streams, so the runner records the trace
+/// once per key. The campaign seed and fault mix are deliberately absent:
+/// recording runs uninstrumented and uninjected.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Workload name.
+    pub workload: String,
+    /// Workload input seed.
+    pub workload_seed: u64,
+    /// Request count forwarded to the workload.
+    pub requests: Option<u64>,
+    /// Physical memory size of the recording OS.
+    pub phys_bytes: u64,
+    /// Swap policy of the recording OS.
+    pub swap_policy: SwapPolicy,
+    /// Periodic scrub interval of the recording OS.
+    pub scrub_interval_cycles: Option<u64>,
+    /// Controller mode of the recording machine.
+    pub ecc_mode: EccMode,
+}
+
+impl TraceKey {
+    /// Extracts the trace-determining fields of a spec.
+    #[must_use]
+    pub fn of(spec: &CampaignSpec) -> TraceKey {
+        TraceKey {
+            workload: spec.workload.clone(),
+            workload_seed: spec.workload_seed,
+            requests: spec.requests,
+            phys_bytes: spec.phys_bytes,
+            swap_policy: spec.swap_policy,
+            scrub_interval_cycles: spec.scrub_interval_cycles,
+            ecc_mode: spec.ecc_mode,
+        }
+    }
+}
+
 /// What one worker did during a matrix run. Which cells land on which worker
 /// depends on scheduling, so these numbers are *not* part of the
 /// deterministic scorecard — they exist to show shard balance and measured
@@ -88,7 +155,10 @@ pub struct WorkerReport {
     pub worker: usize,
     /// Campaign cells this worker executed.
     pub campaigns: usize,
-    /// Wall time this worker spent inside `run_campaign`.
+    /// Traces this worker recorded (unique keys in the memoized phase, one
+    /// per cell under [`TraceMode::FreshRecord`]).
+    pub traces_recorded: usize,
+    /// Wall time this worker spent recording and replaying campaigns.
     pub busy: Duration,
     /// Total injection events across this worker's cells (bit flips, bursts,
     /// forced scrubs, DMA transfers and DMA faults, summed over the panel).
@@ -129,11 +199,7 @@ fn injection_events(result: &CampaignResult) -> u64 {
 }
 
 /// Runs every spec in the matrix across `threads` workers and reassembles
-/// the results in cell order.
-///
-/// Work is distributed by an atomic cursor (dynamic self-scheduling), so an
-/// expensive cell does not stall a whole stripe; determinism is unaffected
-/// because cells share no state (see the module docs).
+/// the results in cell order, sharing recorded traces ([`TraceMode::Memoized`]).
 ///
 /// # Errors
 ///
@@ -141,33 +207,118 @@ fn injection_events(result: &CampaignResult) -> u64 {
 /// remaining cells still run), so the reported error does not depend on
 /// scheduling either.
 pub fn run_matrix(specs: &[CampaignSpec], threads: usize) -> Result<MatrixReport, CampaignError> {
+    run_matrix_with(specs, threads, TraceMode::default())
+}
+
+/// Runs every spec in the matrix across `threads` workers and reassembles
+/// the results in cell order.
+///
+/// Under [`TraceMode::Memoized`] the workers first shard the matrix's
+/// *unique* [`TraceKey`]s and record each once; a barrier then releases the
+/// replay phase, where an atomic cursor hands out cells (dynamic
+/// self-scheduling, so an expensive cell does not stall a whole stripe) and
+/// each cell replays the shared `Arc<Trace>` for its key. Determinism is
+/// unaffected because the shared traces are immutable and each equals what
+/// the cell would have recorded privately (see the module docs).
+///
+/// # Errors
+///
+/// Returns the lowest-cell-index [`CampaignError`] if any cell fails (the
+/// remaining cells still run), so the reported error does not depend on
+/// scheduling either. A failed *recording* fails every cell that shares the
+/// key, which includes the lowest-indexed one.
+pub fn run_matrix_with(
+    specs: &[CampaignSpec],
+    threads: usize,
+    mode: TraceMode,
+) -> Result<MatrixReport, CampaignError> {
     let threads = threads.max(1).min(specs.len().max(1));
     let start = Instant::now();
-    let cursor = AtomicUsize::new(0);
+
+    // Map each cell to its trace slot. Under FreshRecord the table is empty
+    // and every cell records privately in phase two.
+    let mut key_index: HashMap<TraceKey, usize> = HashMap::new();
+    let mut slot_of_cell: Vec<usize> = Vec::new();
+    let mut slot_spec: Vec<&CampaignSpec> = Vec::new();
+    if mode == TraceMode::Memoized {
+        slot_of_cell.reserve(specs.len());
+        for spec in specs {
+            let next = key_index.len();
+            let slot = *key_index.entry(TraceKey::of(spec)).or_insert(next);
+            if slot == next {
+                slot_spec.push(spec);
+            }
+            slot_of_cell.push(slot);
+        }
+    }
+    let slots: Vec<OnceLock<Result<Arc<Trace>, CampaignError>>> =
+        (0..slot_spec.len()).map(|_| OnceLock::new()).collect();
+
+    let record_cursor = AtomicUsize::new(0);
+    let cell_cursor = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
     let cells: Mutex<Vec<(usize, Result<CampaignResult, CampaignError>)>> =
         Mutex::new(Vec::with_capacity(specs.len()));
     let workers: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::with_capacity(threads));
 
     std::thread::scope(|scope| {
         for worker in 0..threads {
-            let cursor = &cursor;
+            let record_cursor = &record_cursor;
+            let cell_cursor = &cell_cursor;
+            let barrier = &barrier;
             let cells = &cells;
             let workers = &workers;
+            let slots = &slots;
+            let slot_spec = &slot_spec;
+            let slot_of_cell = &slot_of_cell;
             scope.spawn(move || {
                 let mut mine = Vec::new();
+                let mut replayer = Replayer::new();
                 let mut report = WorkerReport {
                     worker,
                     campaigns: 0,
+                    traces_recorded: 0,
                     busy: Duration::ZERO,
                     injection_events: 0,
                 };
+
+                // Phase one: record each unique trace exactly once.
                 loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let slot = record_cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = slot_spec.get(slot).copied() else {
+                        break;
+                    };
+                    let t0 = Instant::now();
+                    let recorded = record_trace(spec).map(Arc::new);
+                    report.busy += t0.elapsed();
+                    report.traces_recorded += 1;
+                    slots[slot]
+                        .set(recorded)
+                        .expect("the cursor hands each slot to one worker");
+                }
+                barrier.wait();
+
+                // Phase two: replay the panel for every cell.
+                loop {
+                    let index = cell_cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(index) else {
                         break;
                     };
                     let t0 = Instant::now();
-                    let result = run_campaign(spec);
+                    let result = match mode {
+                        TraceMode::Memoized => {
+                            let slot = &slots[slot_of_cell[index]];
+                            match slot.get().expect("phase one filled every slot") {
+                                Ok(trace) => replay_panel_with(spec, trace, &mut replayer),
+                                Err(e) => Err(e.clone()),
+                            }
+                        }
+                        TraceMode::FreshRecord => {
+                            report.traces_recorded += 1;
+                            record_trace(spec)
+                                .and_then(|trace| replay_panel_with(spec, &trace, &mut replayer))
+                        }
+                    };
                     report.busy += t0.elapsed();
                     report.campaigns += 1;
                     if let Ok(r) = &result {
@@ -317,6 +468,33 @@ mod tests {
         }
         let total: usize = report.workers.iter().map(|w| w.campaigns).sum();
         assert_eq!(total, specs.len(), "workers account for every cell");
+    }
+
+    #[test]
+    fn memoized_and_fresh_record_agree_cell_for_cell() {
+        let specs = fast_specs();
+        let memo = run_matrix_with(&specs, 2, TraceMode::Memoized).expect("matrix runs");
+        let fresh = run_matrix_with(&specs, 2, TraceMode::FreshRecord).expect("matrix runs");
+        assert_eq!(memo.results, fresh.results);
+    }
+
+    #[test]
+    fn memoized_run_records_one_trace_per_unique_key() {
+        let specs = fast_specs(); // 2 seeds × 2 workloads → 2 unique traces
+        let memo = run_matrix_with(&specs, 3, TraceMode::Memoized).expect("matrix runs");
+        let recorded: usize = memo.workers.iter().map(|w| w.traces_recorded).sum();
+        assert_eq!(recorded, 2, "one recording per (workload, os-shape) key");
+        let fresh = run_matrix_with(&specs, 3, TraceMode::FreshRecord).expect("matrix runs");
+        let recorded: usize = fresh.workers.iter().map(|w| w.traces_recorded).sum();
+        assert_eq!(recorded, specs.len(), "fresh mode records per cell");
+    }
+
+    #[test]
+    fn unknown_workload_fails_the_memoized_matrix_too() {
+        let mut specs = fast_specs();
+        specs[1].workload = "nginx".into();
+        let err = run_matrix_with(&specs, 2, TraceMode::Memoized).expect_err("bad cell");
+        assert!(err.0.contains("nginx"), "{err}");
     }
 
     #[test]

@@ -156,15 +156,16 @@ pub fn render_workers(report: &MatrixReport) -> String {
     );
     let _ = writeln!(
         out,
-        "  {:<7} {:>9} {:>10} {:>10}",
-        "worker", "campaigns", "busy_ms", "injEvents"
+        "  {:<7} {:>9} {:>7} {:>10} {:>10}",
+        "worker", "campaigns", "traces", "busy_ms", "injEvents"
     );
     for w in &report.workers {
         let _ = writeln!(
             out,
-            "  {:<7} {:>9} {:>10.1} {:>10}",
+            "  {:<7} {:>9} {:>7} {:>10.1} {:>10}",
             w.worker,
             w.campaigns,
+            w.traces_recorded,
             w.busy.as_secs_f64() * 1e3,
             w.injection_events
         );

@@ -1,0 +1,169 @@
+//! Differential suite for the record-once/replay-many pipeline.
+//!
+//! Three equivalences are pinned here:
+//!
+//! 1. **Memoized vs fresh-record campaigns** — sharing one recorded trace
+//!    across every cell with the same [`TraceKey`] must produce
+//!    byte-identical `CampaignResult`s to re-recording per cell, over the
+//!    same 8-seed harsh matrix the golden scorecard freezes.
+//! 2. **Incremental vs naive leak checks** — replaying a real recorded
+//!    trace through SafeMem with the deadline-scheduled detector must match
+//!    the full-scan reference detector result-for-result.
+//! 3. **Replayer vs naive replay** — the allocation-free [`Replayer`] must
+//!    agree with the self-contained `Trace::replay_naive` on arbitrary
+//!    well-formed synthetic traces.
+
+use proptest::prelude::*;
+use safemem_core::{LeakConfig, SafeMem};
+use safemem_faultinject::{expand_matrix, record_trace, run_matrix_with, CampaignSpec, TraceMode};
+use safemem_os::{Os, OsConfig};
+use safemem_workloads::{Replayer, Trace, TraceOp};
+
+fn golden_matrix() -> Vec<CampaignSpec> {
+    // Mirror of the golden-scorecard harness: one leak and one corruption
+    // workload, 8 seeds, shortened request stream.
+    let workloads = vec!["ypserv2".to_string(), "tar".to_string()];
+    expand_matrix("harsh", &workloads, 8, 0, Some(48)).expect("golden matrix expands")
+}
+
+fn os_for(spec: &CampaignSpec) -> Os {
+    let mut os = Os::new(OsConfig {
+        phys_bytes: spec.phys_bytes,
+        swap_policy: spec.swap_policy,
+        scrub_interval_cycles: spec.scrub_interval_cycles,
+        ..OsConfig::default()
+    });
+    os.machine_mut().controller_mut().set_mode(spec.ecc_mode);
+    os
+}
+
+/// Trace sharing is invisible in the results: the memoized pipeline and the
+/// per-cell recording pipeline score every cell identically.
+#[test]
+fn memoized_and_fresh_record_campaigns_are_byte_identical() {
+    let specs = golden_matrix();
+    let memo = run_matrix_with(&specs, 2, TraceMode::Memoized).expect("memoized run");
+    let fresh = run_matrix_with(&specs, 2, TraceMode::FreshRecord).expect("fresh run");
+    assert_eq!(memo.results.len(), fresh.results.len());
+    for (m, f) in memo.results.iter().zip(&fresh.results) {
+        assert_eq!(
+            m, f,
+            "cell diverged: {} seed {}",
+            m.spec.workload, m.spec.seed
+        );
+    }
+}
+
+/// The deadline-scheduled leak detector and the naive full-scan reference
+/// produce the same run outcome on real recorded workload traces.
+#[test]
+fn incremental_and_naive_leak_checks_agree_on_recorded_traces() {
+    for workload in ["ypserv1", "ypserv2", "proftpd", "gzip", "tar"] {
+        let mut spec = CampaignSpec::harsh(workload, 0);
+        spec.requests = Some(48);
+        let trace = record_trace(&spec).expect("record");
+
+        let replay = |incremental: bool| {
+            let mut os = os_for(&spec);
+            let cfg = LeakConfig {
+                incremental_check: incremental,
+                ..LeakConfig::default()
+            };
+            let mut tool = SafeMem::builder().leak_config(cfg).build(&mut os);
+            Replayer::new().replay(&trace, &mut os, &mut tool)
+        };
+        let incremental = replay(true);
+        let naive = replay(false);
+        assert_eq!(incremental, naive, "leak scheduling diverged on {workload}");
+    }
+}
+
+fn trace_op(live_ids: u32) -> impl Strategy<Value = TraceOp> {
+    prop_oneof![
+        (
+            (1u64..2048),
+            proptest::collection::vec(1u64..u64::MAX, 1..4)
+        )
+            .prop_map(|(size, frames)| TraceOp::Malloc { size, frames }),
+        (0..live_ids).prop_map(|id| TraceOp::Free { id }),
+        ((0..live_ids), (0i64..1024), (1u32..256)).prop_map(|(id, offset, len)| TraceOp::Read {
+            id,
+            offset,
+            len
+        }),
+        ((0..live_ids), (0i64..1024), (1u32..256), any::<u8>()).prop_map(
+            |(id, offset, len, fill)| TraceOp::Write {
+                id,
+                offset,
+                len,
+                fill,
+            }
+        ),
+        ((1u64..500_000), (0u64..50_000)).prop_map(|(cycles, mem_accesses)| TraceOp::Compute {
+            cycles,
+            mem_accesses
+        }),
+        (1u64..5_000_000).prop_map(|ns| TraceOp::Io { ns }),
+    ]
+}
+
+/// Keeps only ops that reference buffers a replay will actually have bound
+/// and not yet freed, so both replay paths exercise their happy paths
+/// instead of both skipping unknown ids.
+fn well_formed(ops: Vec<TraceOp>) -> Trace {
+    let mut trace = Trace::new();
+    let mut bound: u32 = 0;
+    let mut live: Vec<bool> = Vec::new();
+    for op in ops {
+        match op {
+            TraceOp::Malloc { .. } => {
+                live.push(true);
+                bound += 1;
+                trace.push(op);
+            }
+            TraceOp::Free { id } => {
+                if id < bound && live[id as usize] {
+                    live[id as usize] = false;
+                    trace.push(op);
+                }
+            }
+            TraceOp::Read { id, .. } | TraceOp::Write { id, .. } => {
+                if id < bound && live[id as usize] {
+                    trace.push(op);
+                }
+            }
+            TraceOp::Compute { .. } | TraceOp::Io { .. } => trace.push(op),
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The scratch-reusing replayer and the naive HashMap-per-run replay
+    /// agree on arbitrary synthetic traces — including a second replay on
+    /// the *same* replayer, which must not leak state across runs.
+    #[test]
+    fn prop_replayer_matches_naive_replay(
+        ops in proptest::collection::vec(trace_op(24), 0..80),
+    ) {
+        let trace = well_formed(ops);
+
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let naive = trace.replay_naive(&mut os, &mut tool);
+
+        let mut replayer = Replayer::new();
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let fast = replayer.replay(&trace, &mut os, &mut tool);
+        prop_assert_eq!(&naive, &fast);
+
+        // Reuse the same replayer: stale slot state must not bleed through.
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let again = replayer.replay(&trace, &mut os, &mut tool);
+        prop_assert_eq!(&fast, &again);
+    }
+}

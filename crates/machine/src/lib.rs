@@ -70,6 +70,9 @@ pub struct Machine {
     clock: Clock,
     cost: CostModel,
     scramble: ScrambleScheme,
+    /// Per-access traffic scratch, reset before every access instead of
+    /// reallocating the per-level counter vector on the hot path.
+    traffic: Traffic,
 }
 
 impl std::fmt::Debug for Machine {
@@ -109,12 +112,15 @@ impl Machine {
     ) -> Self {
         let mut controller = EccController::new(phys_bytes);
         controller.set_mode(EccMode::CorrectError);
+        let hierarchy = Hierarchy::with_write_miss_policy(caches, policy);
+        let traffic = Traffic::new(hierarchy.num_levels());
         Machine {
             controller,
-            hierarchy: Hierarchy::with_write_miss_policy(caches, policy),
+            hierarchy,
             clock: Clock::new(cost.cpu_hz),
             cost,
             scramble: ScrambleScheme::default(),
+            traffic,
         }
     }
 
@@ -184,13 +190,10 @@ impl Machine {
         self.hierarchy.set_prefetch_limit(self.controller.size());
     }
 
-    fn charge(&mut self, traffic: &Traffic) {
-        let mut cycles = 0;
-        for (level, &hits) in traffic.level_hits.iter().enumerate() {
-            cycles += hits * self.cost.level_hit_cycles(level);
-        }
-        cycles += traffic.memory_reads * self.cost.memory_read_cycles;
-        cycles += traffic.memory_writes * self.cost.memory_write_cycles;
+    /// Charges the scratch traffic record accumulated by the last access
+    /// in one batch (see [`CostModel::traffic_cycles`]).
+    fn charge(&mut self) {
+        let cycles = self.cost.traffic_cycles(&self.traffic);
         self.clock.advance(cycles);
     }
 
@@ -207,14 +210,14 @@ impl Machine {
     ///
     /// Panics if the range exceeds physical memory.
     pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EccFault> {
-        let mut traffic = Traffic::new(self.hierarchy.num_levels());
+        self.traffic.reset();
         let result = self.hierarchy.read(
             addr,
             buf,
             &mut CtlBacking(&mut self.controller),
-            &mut traffic,
+            &mut self.traffic,
         );
-        self.charge(&traffic);
+        self.charge();
         if result.is_err() {
             self.clock.advance(self.cost.fault_detect_cycles);
         }
@@ -234,14 +237,14 @@ impl Machine {
     ///
     /// Panics if the range exceeds physical memory.
     pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), EccFault> {
-        let mut traffic = Traffic::new(self.hierarchy.num_levels());
+        self.traffic.reset();
         let result = self.hierarchy.write(
             addr,
             buf,
             &mut CtlBacking(&mut self.controller),
-            &mut traffic,
+            &mut self.traffic,
         );
-        self.charge(&traffic);
+        self.charge();
         if result.is_err() {
             self.clock.advance(self.cost.fault_detect_cycles);
         }
@@ -255,24 +258,24 @@ impl Machine {
     ///
     /// Panics if the range exceeds physical memory.
     pub fn flush_range(&mut self, addr: u64, len: u64) {
-        let mut traffic = Traffic::new(self.hierarchy.num_levels());
+        self.traffic.reset();
         let lines = len.div_ceil(self.line_size()).max(1);
         self.hierarchy.flush_range(
             addr,
             len,
             &mut CtlBacking(&mut self.controller),
-            &mut traffic,
+            &mut self.traffic,
         );
-        self.charge(&traffic);
+        self.charge();
         self.clock.advance(lines * self.cost.flush_line_cycles);
     }
 
     /// Writes back and empties the entire cache hierarchy.
     pub fn flush_all_caches(&mut self) {
-        let mut traffic = Traffic::new(self.hierarchy.num_levels());
+        self.traffic.reset();
         self.hierarchy
-            .flush_all(&mut CtlBacking(&mut self.controller), &mut traffic);
-        self.charge(&traffic);
+            .flush_all(&mut CtlBacking(&mut self.controller), &mut self.traffic);
+        self.charge();
     }
 
     /// Writes physical memory directly, bypassing the cache hierarchy — the

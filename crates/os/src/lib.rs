@@ -63,7 +63,7 @@ use safemem_machine::{CostModel, Machine};
 use vm::TranslateOutcome;
 
 /// How watched pages interact with page replacement.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SwapPolicy {
     /// Pin every page holding a watched line (the paper's implemented

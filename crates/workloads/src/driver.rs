@@ -91,7 +91,7 @@ pub struct AppSpec {
 }
 
 /// Everything measured in one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunResult {
     /// Process CPU cycles consumed (the overhead metric of Table 3).

@@ -37,4 +37,4 @@ pub use driver::{
 };
 pub use registry::{all_workloads, extension_workloads, workload_by_name};
 pub use synthetic::{Synthetic, SyntheticParams};
-pub use trace::{Recorder, Trace, TraceOp};
+pub use trace::{Recorder, Replayer, Trace, TraceOp};

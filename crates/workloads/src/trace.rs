@@ -233,10 +233,23 @@ impl Trace {
         Ok(trace)
     }
 
-    /// Replays the trace against a tool. Accesses whose buffer was freed or
-    /// never allocated are skipped (a trace replayed under a different
-    /// layout has no meaningful address for them).
+    /// Replays the trace against a tool. Accesses whose buffer was freed
+    /// are skipped (a trace replayed under a different layout has no
+    /// meaningful address for them); accesses naming an id no `Malloc` ever
+    /// bound trip a debug assertion — see [`Replayer::replay`].
+    ///
+    /// Equivalent to `Replayer::new().replay(self, os, tool)`; campaign
+    /// loops that replay many traces should hold one [`Replayer`] and reuse
+    /// its buffers instead.
     pub fn replay(&self, os: &mut Os, tool: &mut dyn MemTool) -> RunResult {
+        Replayer::new().replay(self, os, tool)
+    }
+
+    /// The original per-op-allocating replay, retained as a differential
+    /// reference for the [`Replayer`] fast path (equivalence tests and the
+    /// `replay` benchmark compare the two). New code should call
+    /// [`Trace::replay`].
+    pub fn replay_naive(&self, os: &mut Os, tool: &mut dyn MemTool) -> RunResult {
         let mut addrs: HashMap<u32, u64> = HashMap::new();
         let mut next_id: u32 = 0;
         for op in &self.ops {
@@ -267,6 +280,131 @@ impl Trace {
                     if let Some(&addr) = addrs.get(id) {
                         let data = vec![*fill; *len as usize];
                         tool.write(os, addr.wrapping_add_signed(*offset), &data);
+                    }
+                }
+                TraceOp::Compute {
+                    cycles,
+                    mem_accesses,
+                } => {
+                    tool.compute(os, *cycles, *mem_accesses);
+                }
+                TraceOp::Io { ns } => os.io_wait_ns(*ns),
+            }
+        }
+        tool.finish(os);
+        RunResult {
+            cpu_cycles: os.cpu_cycles(),
+            reports: tool.reports(),
+            heap_stats: tool.heap().stats(),
+        }
+    }
+}
+
+/// Sentinel in the [`Replayer`] slot map marking a freed buffer. Replay
+/// addresses are heap virtual addresses well below the address-space top,
+/// so the value cannot collide with a live buffer.
+const FREED: u64 = u64::MAX;
+
+/// Allocation-free trace replay engine.
+///
+/// Replaying is the campaign hot loop: every cell replays one trace five
+/// times (once per panel tool), and the original [`Trace::replay_naive`]
+/// heap-allocated a scratch `Vec` for every `Read`/`Write` op and
+/// translated ids through a `HashMap`. Ids are assigned densely at `Malloc`
+/// time, so a `Vec<u64>` slot map (with [`FREED`] marking dead slots)
+/// replaces the hash table, and one grow-only scratch buffer serves every
+/// payload. The struct is reusable across traces: buffers are cleared, not
+/// dropped, so a worker thread replaying an entire campaign shard touches
+/// the allocator only when a trace's largest access grows the scratch.
+#[derive(Debug, Default)]
+pub struct Replayer {
+    /// Slot map from dense buffer id to replay-tool address.
+    addrs: Vec<u64>,
+    /// Scratch payload reused for every `Read`/`Write`.
+    scratch: Vec<u8>,
+}
+
+impl Replayer {
+    /// Creates a replayer with empty buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Replayer::default()
+    }
+
+    /// Ensures the scratch buffer can hold `len` bytes and returns it.
+    /// Contents are whatever the previous op left behind — `Read` payloads
+    /// are pure out-params and `Write` fills the prefix it sends.
+    fn scratch_mut(&mut self, len: usize) -> &mut [u8] {
+        if self.scratch.len() < len {
+            self.scratch.resize(len, 0);
+        }
+        &mut self.scratch[..len]
+    }
+
+    /// Replays `trace` against a tool, reusing this replayer's buffers.
+    ///
+    /// Behaviour is identical to the retained [`Trace::replay_naive`]
+    /// reference, with one tightening: an access naming an id that no
+    /// `Malloc` ever bound indicates a recorder (or synthetic-trace) bug,
+    /// and trips a debug assertion instead of silently shrinking the replay
+    /// to an empty run. Accesses to *freed* ids are still skipped, matching
+    /// the reference.
+    pub fn replay(&mut self, trace: &Trace, os: &mut Os, tool: &mut dyn MemTool) -> RunResult {
+        self.addrs.clear();
+        for op in &trace.ops {
+            match op {
+                TraceOp::Malloc { size, frames } => {
+                    let stack = CallStack::new(frames);
+                    self.addrs.push(tool.malloc(os, *size, &stack));
+                }
+                TraceOp::Free { id } => {
+                    debug_assert!(
+                        (*id as usize) < self.addrs.len(),
+                        "trace frees id {id} but only {} ids were bound",
+                        self.addrs.len()
+                    );
+                    if let Some(slot) = self.addrs.get_mut(*id as usize) {
+                        let addr = *slot;
+                        if addr != FREED {
+                            *slot = FREED;
+                            tool.free(os, addr);
+                        }
+                    }
+                }
+                TraceOp::Read { id, offset, len } => {
+                    debug_assert!(
+                        (*id as usize) < self.addrs.len(),
+                        "trace reads id {id} but only {} ids were bound",
+                        self.addrs.len()
+                    );
+                    match self.addrs.get(*id as usize).copied() {
+                        Some(addr) if addr != FREED => {
+                            let addr = addr.wrapping_add_signed(*offset);
+                            let buf = self.scratch_mut(*len as usize);
+                            tool.read(os, addr, buf);
+                        }
+                        _ => {}
+                    }
+                }
+                TraceOp::Write {
+                    id,
+                    offset,
+                    len,
+                    fill,
+                } => {
+                    debug_assert!(
+                        (*id as usize) < self.addrs.len(),
+                        "trace writes id {id} but only {} ids were bound",
+                        self.addrs.len()
+                    );
+                    match self.addrs.get(*id as usize).copied() {
+                        Some(addr) if addr != FREED => {
+                            let addr = addr.wrapping_add_signed(*offset);
+                            let data = self.scratch_mut(*len as usize);
+                            data.fill(*fill);
+                            tool.write(os, addr, data);
+                        }
+                        _ => {}
                     }
                 }
                 TraceOp::Compute {
@@ -498,6 +636,107 @@ mod tests {
         let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
         let result = trace.replay(&mut os, &mut tool);
         assert!(result.corruption_detected(), "{:?}", result.reports);
+    }
+
+    #[test]
+    fn replayer_matches_naive_reference_on_a_recorded_workload() {
+        let gzip = crate::registry::workload_by_name("gzip").unwrap();
+        let mut os = Os::with_defaults(1 << 25);
+        let mut base = NullTool::new();
+        let mut recorder = Recorder::new(&mut base);
+        let cfg = RunConfig {
+            input: InputMode::Buggy,
+            requests: Some(6),
+            ..RunConfig::default()
+        };
+        gzip.run(&mut os, &mut recorder, &cfg);
+        let trace = recorder.into_trace();
+
+        let naive = {
+            let mut os = Os::with_defaults(1 << 25);
+            let mut tool = SafeMem::builder().build(&mut os);
+            trace.replay_naive(&mut os, &mut tool)
+        };
+        let fast = {
+            let mut os = Os::with_defaults(1 << 25);
+            let mut tool = SafeMem::builder().build(&mut os);
+            Replayer::new().replay(&trace, &mut os, &mut tool)
+        };
+        assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn replayer_reuse_across_traces_is_clean() {
+        // A replayer carried across traces must not leak slot-map state from
+        // the previous trace into the next (ids restart at 0 per trace).
+        let mut a = Trace::new();
+        a.push(TraceOp::Malloc {
+            size: 64,
+            frames: vec![0x1],
+        });
+        a.push(TraceOp::Free { id: 0 });
+        let mut b = Trace::new();
+        b.push(TraceOp::Malloc {
+            size: 32,
+            frames: vec![0x2],
+        });
+        b.push(TraceOp::Write {
+            id: 0,
+            offset: 0,
+            len: 32,
+            fill: 5,
+        });
+        b.push(TraceOp::Free { id: 0 });
+
+        let mut replayer = Replayer::new();
+        let fresh = {
+            let mut os = Os::with_defaults(1 << 22);
+            let mut tool = SafeMem::builder().build(&mut os);
+            b.replay(&mut os, &mut tool)
+        };
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = SafeMem::builder().build(&mut os);
+        replayer.replay(&a, &mut os, &mut tool);
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let reused = replayer.replay(&b, &mut os, &mut tool);
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn use_after_free_in_a_trace_is_skipped_not_asserted() {
+        // Freed ids are a legitimate layout artefact; only never-bound ids
+        // are recorder bugs.
+        let mut t = Trace::new();
+        t.push(TraceOp::Malloc {
+            size: 16,
+            frames: vec![0x1],
+        });
+        t.push(TraceOp::Free { id: 0 });
+        t.push(TraceOp::Read {
+            id: 0,
+            offset: 0,
+            len: 8,
+        });
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = NullTool::new();
+        let result = t.replay(&mut os, &mut tool);
+        assert!(result.reports.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ids were bound")]
+    #[cfg(debug_assertions)]
+    fn never_bound_id_trips_the_debug_assertion() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Read {
+            id: 7,
+            offset: 0,
+            len: 8,
+        });
+        let mut os = Os::with_defaults(1 << 22);
+        let mut tool = NullTool::new();
+        t.replay(&mut os, &mut tool);
     }
 
     #[test]

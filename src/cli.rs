@@ -296,6 +296,9 @@ pub fn campaign_usage() -> String {
          \x20 --bench-threads <a,b> run the matrix once per thread count, cross-check\n\
          \x20                     the scorecards are identical, and report the speedup\n\
          \x20 --bench-json <file> write the measured thread-scaling numbers as JSON\n\
+         \x20 --fresh-record      record a private trace per cell instead of sharing\n\
+         \x20                     one recording per unique (workload, os-shape) key;\n\
+         \x20                     the scorecard is byte-identical either way\n\
          \x20 --verbose           print every per-campaign scorecard, not just the aggregate\n",
         presets = crate::faultinject::CampaignSpec::PRESETS.join(" | "),
         workloads = crate::faultinject::spec::PRESET_WORKLOADS.join(","),
@@ -322,6 +325,11 @@ pub struct CampaignCli {
     pub bench_threads: Vec<usize>,
     /// Write measured thread-scaling numbers to this file as JSON.
     pub bench_json: Option<String>,
+    /// Record a private trace per cell ([`TraceMode::FreshRecord`]) instead
+    /// of sharing one recording per unique trace key.
+    ///
+    /// [`TraceMode::FreshRecord`]: crate::faultinject::TraceMode::FreshRecord
+    pub fresh_record: bool,
     /// Print per-campaign scorecards.
     pub verbose: bool,
 }
@@ -346,6 +354,7 @@ impl CampaignCli {
             threads: None,
             bench_threads: Vec::new(),
             bench_json: None,
+            fresh_record: false,
             verbose: false,
         };
         let mut args = args.into_iter();
@@ -411,6 +420,7 @@ impl CampaignCli {
                     }
                 }
                 "--bench-json" => cli.bench_json = Some(value("--bench-json")?),
+                "--fresh-record" => cli.fresh_record = true,
                 "--verbose" | "-v" => cli.verbose = true,
                 "--help" | "-h" => return Err(CliError(campaign_usage())),
                 other => {
@@ -446,7 +456,7 @@ impl CampaignCli {
     pub fn execute(&self) -> Result<(String, bool), CliError> {
         use crate::faultinject::{
             default_threads, expand_matrix, render_aggregate, render_bench_json, render_campaign,
-            render_workers, run_matrix, BenchRun,
+            render_workers, run_matrix_with, BenchRun, TraceMode,
         };
 
         let specs = expand_matrix(
@@ -464,10 +474,15 @@ impl CampaignCli {
             self.bench_threads.clone()
         };
 
+        let mode = if self.fresh_record {
+            TraceMode::FreshRecord
+        } else {
+            TraceMode::Memoized
+        };
         let mut runs = Vec::with_capacity(thread_counts.len());
         let mut first: Option<(crate::faultinject::MatrixReport, String)> = None;
         for &t in &thread_counts {
-            let matrix = run_matrix(&specs, t).map_err(|e| CliError(e.0))?;
+            let matrix = run_matrix_with(&specs, t, mode).map_err(|e| CliError(e.0))?;
             let aggregate = render_aggregate(&matrix.results);
             runs.push(BenchRun {
                 threads: t,
