@@ -138,6 +138,15 @@ pub fn bug_detected(workload: &dyn Workload, result: &RunResult) -> bool {
             .reports
             .iter()
             .any(|r| matches!(r, safemem_core::BugReport::UseAfterFree { .. })),
+        // Without free-history (recovery off) a repeated free can only be
+        // diagnosed as a wild free; either report counts as detection.
+        BugClass::DoubleFree => result.reports.iter().any(|r| {
+            matches!(
+                r,
+                safemem_core::BugReport::DoubleFree { .. }
+                    | safemem_core::BugReport::WildFree { .. }
+            )
+        }),
     }
 }
 

@@ -26,17 +26,46 @@ pub struct CorruptionConfig {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct PadInfo {
+pub(crate) struct PadInfo {
     buffer_addr: u64,
     buffer_size: u64,
     side: OverflowSide,
+    len: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct FreedInfo {
+pub(crate) struct FreedInfo {
     buffer_addr: u64,
     buffer_size: u64,
     base: u64,
+    len: u64,
+}
+
+/// A watch disarmed by a fault that recovery mode wants re-armed once the
+/// faulting access has completed. Queued by [`CorruptionDetector::handle_fault`]
+/// and drained by the embedding tool *after* its access retry loop — re-arming
+/// inside the handler would make the retried access fault forever.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PendingHeal {
+    /// A guard padding hit by an overflow.
+    Pad { region: u64, info: PadInfo },
+    /// A freed region hit by a use-after-free.
+    Freed { region: u64, info: FreedInfo },
+}
+
+impl PendingHeal {
+    /// Payload address of the buffer the healed watch guards.
+    pub(crate) fn buffer_addr(&self) -> u64 {
+        match self {
+            PendingHeal::Pad { info, .. } => info.buffer_addr,
+            PendingHeal::Freed { info, .. } => info.buffer_addr,
+        }
+    }
+
+    /// `true` for the freed-region variant.
+    pub(crate) fn is_freed(&self) -> bool {
+        matches!(self, PendingHeal::Freed { .. })
+    }
 }
 
 /// Corruption-detector counters.
@@ -75,6 +104,10 @@ pub struct CorruptionDetector {
     uninit: HashMap<u64, u64>,
     reports: Vec<BugReport>,
     stats: CorruptionStats,
+    /// Recovery mode: faults queue a [`PendingHeal`] so the disarmed watch
+    /// is re-armed after the access completes. Off by default.
+    recovery: bool,
+    pending: Vec<PendingHeal>,
 }
 
 impl CorruptionDetector {
@@ -90,6 +123,40 @@ impl CorruptionDetector {
             uninit: HashMap::new(),
             reports: Vec::new(),
             stats: CorruptionStats::default(),
+            recovery: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Enables recovery mode: faults queue re-arms instead of permanently
+    /// retiring the watch.
+    pub(crate) fn set_recovery(&mut self, on: bool) {
+        self.recovery = on;
+    }
+
+    /// Drains the queued re-arms (empty unless recovery mode is on and a
+    /// fault just fired).
+    pub(crate) fn take_pending_heals(&mut self) -> Vec<PendingHeal> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Re-arms a healed watch and restores its bookkeeping. Degrades
+    /// gracefully under pinned-memory pressure like any other arm.
+    pub(crate) fn rearm(&mut self, os: &mut Os, heal: PendingHeal) {
+        match heal {
+            PendingHeal::Pad { region, info } => {
+                if self.watch_or_degrade(os, region, info.len) {
+                    self.pads.insert(region, info);
+                    self.stats.pads_watched += 1;
+                }
+            }
+            PendingHeal::Freed { region, info } => {
+                if self.watch_or_degrade(os, region, info.len) {
+                    self.freed.insert(region, info);
+                    self.freed_by_base.insert(info.base, region);
+                    self.stats.freed_watched += 1;
+                }
+            }
         }
     }
 
@@ -138,6 +205,7 @@ impl CorruptionDetector {
                         buffer_addr: allocation.addr,
                         buffer_size: allocation.payload,
                         side,
+                        len,
                     },
                 );
                 self.stats.pads_watched += 1;
@@ -185,6 +253,7 @@ impl CorruptionDetector {
                     buffer_addr: allocation.addr,
                     buffer_size: allocation.payload,
                     base: allocation.base,
+                    len,
                 },
             );
             self.freed_by_base.insert(allocation.base, start);
@@ -244,6 +313,9 @@ impl CorruptionDetector {
                 access: fault.access,
                 side: pad.side,
             });
+            if self.recovery {
+                self.pending.push(PendingHeal::Pad { region, info: pad });
+            }
             return true;
         }
         if let Some(freed) = self.freed.remove(&region) {
@@ -258,6 +330,12 @@ impl CorruptionDetector {
                 access_vaddr: fault.access_vaddr,
                 access: fault.access,
             });
+            if self.recovery {
+                self.pending.push(PendingHeal::Freed {
+                    region,
+                    info: freed,
+                });
+            }
             return true;
         }
         if let Some(buffer_addr) = self.uninit.remove(&region) {

@@ -52,6 +52,7 @@ pub fn severity_of(report: &BugReport) -> Severity {
             ..
         } => Severity::Critical,
         BugReport::Overflow { .. } | BugReport::UseAfterFree { .. } => Severity::High,
+        BugReport::DoubleFree { .. } => Severity::High,
         BugReport::Leak { .. } => Severity::Medium,
         BugReport::UninitRead { .. } | BugReport::WildFree { .. } => Severity::Low,
         BugReport::HardwareError { .. } => Severity::Informational,
@@ -79,6 +80,9 @@ pub fn advice_for(report: &BugReport) -> &'static str {
         }
         BugReport::UninitRead { .. } => "the buffer is read before any write; initialise it or fix the fill logic",
         BugReport::WildFree { .. } => "free() of a pointer that is not a live allocation (double free or stray pointer)",
+        BugReport::DoubleFree { .. } => {
+            "free() of an already-freed block; audit ownership on the paths that both free this buffer"
+        }
         BugReport::HardwareError { .. } => {
             "a genuine memory hardware error was detected and contained; no code change needed"
         }
@@ -116,6 +120,7 @@ impl Diagnosis {
             UseAfterFree(u64),
             UninitRead(u64),
             WildFree(u64),
+            DoubleFree(u64),
             Hardware(u64),
         }
         let mut buckets: BTreeMap<Key, Finding> = BTreeMap::new();
@@ -128,6 +133,7 @@ impl Diagnosis {
                 }
                 BugReport::UninitRead { buffer_addr, .. } => (Key::UninitRead(*buffer_addr), None),
                 BugReport::WildFree { addr } => (Key::WildFree(*addr), None),
+                BugReport::DoubleFree { addr } => (Key::DoubleFree(*addr), None),
                 BugReport::HardwareError { line_vaddr } => (Key::Hardware(*line_vaddr), None),
             };
             let severity = severity_of(report);

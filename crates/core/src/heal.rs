@@ -1,0 +1,272 @@
+//! Recovery: healing actions layered on the SafeMem fault handler.
+//!
+//! The paper stops at *detection* — §2.2.1 pauses for a debugger. Production
+//! systems would rather keep serving traffic after the report, and the
+//! related recovery literature (Selfie, MESH — PAPERS.md) shows the three
+//! common corruption classes are survivable with bounded bookkeeping:
+//!
+//! * **Guard-padding overflow** → [`HealingAction::ClampSize`]: the
+//!   overflowing store is confined to the guard padding (which holds no
+//!   program data) and the padding is re-armed afterwards, so the overflow
+//!   is effectively clamped to the allocation and later overflows of the
+//!   same buffer are still caught.
+//! * **Access to freed memory** → [`HealingAction::ServeFromQuarantine`]:
+//!   the pre-free payload snapshot held in a generational
+//!   [`QuarantineArena`] is written back under the disarmed watch, so the
+//!   faulting read observes the bytes the program last owned; the freed
+//!   watch is then re-armed.
+//! * **Double free** → [`HealingAction::IgnoreDoubleFree`]: a `free` of an
+//!   address whose block is still quarantined is dropped with an incident
+//!   record instead of corrupting allocator state.
+//!
+//! Healing never changes *what is detected* — every healed fault still
+//! produces its [`BugReport`](crate::BugReport) — only what happens after.
+//! Incidents are recorded separately so detection counts are identical with
+//! recovery on and off.
+
+use safemem_alloc::QuarantineArena;
+use safemem_os::Os;
+use std::fmt;
+
+/// Ground-truth classification of a corruption incident. Workloads that
+/// plant deterministic corruption emit these as markers; the healer records
+/// one per healed fault, and the campaign oracle compares the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum IncidentClass {
+    /// A store past a live buffer's bounds.
+    Overflow,
+    /// A load or store to a freed, not-yet-reallocated buffer.
+    UseAfterFree,
+    /// A second `free` of an already-freed block.
+    DoubleFree,
+}
+
+impl fmt::Display for IncidentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncidentClass::Overflow => write!(f, "overflow"),
+            IncidentClass::UseAfterFree => write!(f, "use-after-free"),
+            IncidentClass::DoubleFree => write!(f, "double-free"),
+        }
+    }
+}
+
+/// What the healer did about an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum HealingAction {
+    /// Overflow confined to the guard padding; padding re-armed.
+    ClampSize,
+    /// Freed-buffer access served from the quarantine snapshot; freed
+    /// watch re-armed.
+    ServeFromQuarantine,
+    /// Redundant `free` dropped; quarantine entry left in place.
+    IgnoreDoubleFree,
+}
+
+impl fmt::Display for HealingAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealingAction::ClampSize => write!(f, "clamp-size"),
+            HealingAction::ServeFromQuarantine => write!(f, "serve-from-quarantine"),
+            HealingAction::IgnoreDoubleFree => write!(f, "ignore-double-free"),
+        }
+    }
+}
+
+/// One healed incident: the detection lives in the
+/// [`BugReport`](crate::BugReport) stream, this records the recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Incident {
+    /// What happened.
+    pub kind: IncidentClass,
+    /// What the healer did.
+    pub action: HealingAction,
+    /// Payload address of the affected buffer.
+    pub addr: u64,
+    /// Whether the quarantine arena held the block (always `false` for
+    /// overflows, which never consult the arena).
+    pub quarantine_hit: bool,
+}
+
+/// Healer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HealStats {
+    /// Overflows clamped to the guard padding.
+    pub overflows_clamped: u64,
+    /// Freed-buffer accesses served from quarantine snapshots.
+    pub uaf_served: u64,
+    /// Double frees dropped.
+    pub double_frees_ignored: u64,
+    /// Freed-buffer accesses whose block had already left the quarantine
+    /// (evicted past the horizon): healed by re-arming only.
+    pub quarantine_misses: u64,
+    /// Free-time payload snapshots that could not be taken.
+    pub snapshot_failures: u64,
+}
+
+/// Post-run survival summary a recovery-capable tool exposes through
+/// [`MemTool::survival`](crate::MemTool::survival): the raw material for
+/// the campaign oracle's survival-with-integrity dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SurvivalSummary {
+    /// Overflows healed (clamped).
+    pub healed_overflows: u64,
+    /// Freed-buffer accesses healed (served or re-armed).
+    pub healed_uafs: u64,
+    /// Double frees healed (ignored).
+    pub healed_double_frees: u64,
+    /// Quarantine misses among the healed freed-buffer accesses.
+    pub quarantine_misses: u64,
+    /// Violated trailing canaries found by the post-run sweep.
+    pub canary_violations: u64,
+    /// Post-run heap walk found no overlapping or malformed placements.
+    pub heap_intact: bool,
+}
+
+/// The recovery engine SafeMem consults when built with
+/// [`recovery(true)`](crate::SafeMemBuilder::recovery).
+#[derive(Debug)]
+pub struct Healer {
+    quarantine: QuarantineArena,
+    incidents: Vec<Incident>,
+    stats: HealStats,
+}
+
+impl Healer {
+    /// Creates a healer whose quarantine retains `capacity` freed blocks.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Healer {
+            quarantine: QuarantineArena::new(capacity),
+            incidents: Vec::new(),
+            stats: HealStats::default(),
+        }
+    }
+
+    /// The quarantine arena.
+    #[must_use]
+    pub fn quarantine(&self) -> &QuarantineArena {
+        &self.quarantine
+    }
+
+    /// Mutable access for the embedding tool.
+    pub(crate) fn quarantine_mut(&mut self) -> &mut QuarantineArena {
+        &mut self.quarantine
+    }
+
+    /// Every incident healed so far, in occurrence order.
+    #[must_use]
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> HealStats {
+        self.stats
+    }
+
+    /// Healed incidents of a given class.
+    #[must_use]
+    pub fn healed_count(&self, kind: IncidentClass) -> u64 {
+        self.incidents.iter().filter(|i| i.kind == kind).count() as u64
+    }
+
+    /// Records a free-time snapshot failure.
+    pub(crate) fn note_snapshot_failure(&mut self) {
+        self.stats.snapshot_failures += 1;
+    }
+
+    /// Heals a detected overflow: the store was confined to the guard
+    /// padding (no program data lives there), the caller re-arms the pad.
+    pub(crate) fn on_overflow(&mut self, buffer_addr: u64) {
+        self.stats.overflows_clamped += 1;
+        self.incidents.push(Incident {
+            kind: IncidentClass::Overflow,
+            action: HealingAction::ClampSize,
+            addr: buffer_addr,
+            quarantine_hit: false,
+        });
+    }
+
+    /// Heals a detected freed-buffer access: writes the quarantine snapshot
+    /// back under the (just disarmed) watch so the faulting access observes
+    /// pre-free contents. Returns whether the quarantine held the block.
+    pub(crate) fn on_use_after_free(&mut self, os: &mut Os, buffer_addr: u64) -> bool {
+        let hit = match self.quarantine.lookup(buffer_addr) {
+            Some(entry) if !entry.is_empty() => os.vwrite(entry.addr, entry.payload()).is_ok(),
+            Some(_) => true,
+            None => false,
+        };
+        if hit {
+            self.stats.uaf_served += 1;
+        } else {
+            self.stats.quarantine_misses += 1;
+        }
+        self.incidents.push(Incident {
+            kind: IncidentClass::UseAfterFree,
+            action: HealingAction::ServeFromQuarantine,
+            addr: buffer_addr,
+            quarantine_hit: hit,
+        });
+        hit
+    }
+
+    /// Heals a double free: the redundant `free` is dropped.
+    pub(crate) fn on_double_free(&mut self, addr: u64) {
+        self.stats.double_frees_ignored += 1;
+        self.incidents.push(Incident {
+            kind: IncidentClass::DoubleFree,
+            action: HealingAction::IgnoreDoubleFree,
+            addr,
+            quarantine_hit: true,
+        });
+    }
+
+    /// Builds the post-run survival summary.
+    #[must_use]
+    pub fn summary(&self, heap_intact: bool) -> SurvivalSummary {
+        SurvivalSummary {
+            healed_overflows: self.healed_count(IncidentClass::Overflow),
+            healed_uafs: self.healed_count(IncidentClass::UseAfterFree),
+            healed_double_frees: self.healed_count(IncidentClass::DoubleFree),
+            quarantine_misses: self.stats.quarantine_misses,
+            canary_violations: self.quarantine.verify_canaries() as u64,
+            heap_intact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healed_counts_split_by_class() {
+        let mut h = Healer::new(4);
+        h.on_overflow(0x1000);
+        h.on_overflow(0x2000);
+        h.on_double_free(0x3000);
+        assert_eq!(h.healed_count(IncidentClass::Overflow), 2);
+        assert_eq!(h.healed_count(IncidentClass::DoubleFree), 1);
+        assert_eq!(h.healed_count(IncidentClass::UseAfterFree), 0);
+        let s = h.summary(true);
+        assert_eq!(s.healed_overflows, 2);
+        assert_eq!(s.canary_violations, 0);
+        assert!(s.heap_intact);
+    }
+
+    #[test]
+    fn uaf_miss_counts_separately() {
+        let mut os = Os::with_defaults(1 << 20);
+        let mut h = Healer::new(2);
+        assert!(!h.on_use_after_free(&mut os, 0xDEAD), "empty arena misses");
+        assert_eq!(h.stats().quarantine_misses, 1);
+        assert_eq!(h.healed_count(IncidentClass::UseAfterFree), 1);
+    }
+}

@@ -46,6 +46,7 @@
 pub mod corruption;
 pub mod diagnose;
 pub mod groups;
+pub mod heal;
 pub mod leak;
 pub mod null_tool;
 pub mod report;
@@ -56,6 +57,7 @@ pub mod tool;
 pub use corruption::{CorruptionConfig, CorruptionDetector, CorruptionStats};
 pub use diagnose::{Diagnosis, Finding, Severity};
 pub use groups::GroupStats;
+pub use heal::{HealStats, Healer, HealingAction, Incident, IncidentClass, SurvivalSummary};
 pub use leak::{LeakConfig, LeakDetector, LeakStats};
 pub use null_tool::NullTool;
 pub use report::{BugReport, LeakKind, OverflowSide};

@@ -96,6 +96,13 @@ pub enum BugReport {
         /// The address passed to `free`.
         addr: u64,
     },
+    /// `free` of an address whose block is already freed and still held in
+    /// the recovery quarantine — distinguishable from a wild free only when
+    /// the tool keeps free-history (recovery mode).
+    DoubleFree {
+        /// The address passed to `free`.
+        addr: u64,
+    },
     /// A genuine hardware memory error detected on a watched line (the
     /// scramble signature did not match — paper §2.2.2 differentiation).
     HardwareError {
@@ -112,7 +119,7 @@ impl BugReport {
     }
 
     /// `true` for the memory-corruption variants (overflow, use-after-free,
-    /// uninitialised read).
+    /// uninitialised read, double free).
     #[must_use]
     pub fn is_corruption(&self) -> bool {
         matches!(
@@ -120,6 +127,7 @@ impl BugReport {
             BugReport::Overflow { .. }
                 | BugReport::UseAfterFree { .. }
                 | BugReport::UninitRead { .. }
+                | BugReport::DoubleFree { .. }
         )
     }
 }
@@ -145,6 +153,9 @@ impl fmt::Display for BugReport {
                 "read of uninitialised memory at {access_vaddr:#x} in buffer {buffer_addr:#x}"
             ),
             BugReport::WildFree { addr } => write!(f, "free of non-allocated address {addr:#x}"),
+            BugReport::DoubleFree { addr } => {
+                write!(f, "double free of quarantined address {addr:#x}")
+            }
             BugReport::HardwareError { line_vaddr } => {
                 write!(f, "hardware memory error on line {line_vaddr:#x}")
             }

@@ -6,6 +6,7 @@
 //! independently — Table 3 measures "only ML", "only MC", and "ML + MC".
 
 use crate::corruption::{CorruptionConfig, CorruptionDetector};
+use crate::heal::{Healer, SurvivalSummary};
 use crate::leak::{LeakConfig, LeakDetector, LeakStats};
 use crate::report::BugReport;
 use crate::signature::CallStack;
@@ -36,6 +37,8 @@ pub struct SafeMemBuilder {
     uninit_reads: bool,
     pad_lines: u64,
     leak_config: LeakConfig,
+    recovery: bool,
+    quarantine_capacity: usize,
 }
 
 impl Default for SafeMemBuilder {
@@ -46,6 +49,8 @@ impl Default for SafeMemBuilder {
             uninit_reads: false,
             pad_lines: 1,
             leak_config: LeakConfig::default(),
+            recovery: false,
+            quarantine_capacity: 64,
         }
     }
 }
@@ -91,6 +96,25 @@ impl SafeMemBuilder {
         self
     }
 
+    /// Enables the recovery layer (default **off**): detected corruption is
+    /// healed — overflows clamped to the padding, freed accesses served
+    /// from a quarantine snapshot, double frees ignored — and the disarmed
+    /// watch is re-armed so later bugs are still caught. Detection itself
+    /// is unchanged: every healed fault still produces its report.
+    #[must_use]
+    pub fn recovery(mut self, on: bool) -> Self {
+        self.recovery = on;
+        self
+    }
+
+    /// Quarantine capacity horizon in blocks (default 64; oldest snapshots
+    /// are evicted first). Only meaningful with [`recovery`](Self::recovery).
+    #[must_use]
+    pub fn quarantine_capacity(mut self, blocks: usize) -> Self {
+        self.quarantine_capacity = blocks;
+        self
+    }
+
     /// Builds the tool, registering the ECC fault handler with the OS.
     #[must_use]
     pub fn build(self, os: &mut Os) -> SafeMem {
@@ -109,13 +133,16 @@ impl SafeMemBuilder {
                 .leak
                 .then(|| LeakDetector::new(self.leak_config, os.line_size())),
             corruption: self.corruption.then(|| {
-                CorruptionDetector::new(
+                let mut det = CorruptionDetector::new(
                     CorruptionConfig {
                         uninit_reads: self.uninit_reads,
                     },
                     os.line_size(),
-                )
+                );
+                det.set_recovery(self.recovery);
+                det
             }),
+            heal: self.recovery.then(|| Healer::new(self.quarantine_capacity)),
             reports: Vec::new(),
             breakpoint: None,
         }
@@ -128,6 +155,8 @@ pub struct SafeMem {
     heap: Heap,
     leak: Option<LeakDetector>,
     corruption: Option<CorruptionDetector>,
+    /// The recovery engine, present only when built with `recovery(true)`.
+    heal: Option<Healer>,
     /// Tool-level reports (wild frees, hardware errors); detector reports
     /// live in the detectors and are concatenated on demand.
     reports: Vec<BugReport>,
@@ -159,6 +188,13 @@ impl SafeMem {
     #[must_use]
     pub fn corruption_detector(&self) -> Option<&CorruptionDetector> {
         self.corruption.as_ref()
+    }
+
+    /// The recovery engine, if built with `recovery(true)` — exposes the
+    /// healed-incident log and quarantine arena.
+    #[must_use]
+    pub fn healer(&self) -> Option<&Healer> {
+        self.heal.as_ref()
     }
 
     /// The first memory-corruption bug observed this run, if any — where
@@ -200,21 +236,65 @@ impl SafeMem {
                 return;
             }
         }
+        let mut detected = None;
         if let Some(corruption) = &mut self.corruption {
             if corruption.handle_fault(os, fault) {
-                // Paper §2.2.1: on a corruption hit SafeMem "pauses program
-                // execution to allow programmers to attach an interactive
-                // debugger". The simulation freezes the first such report as
-                // a breakpoint the embedding program can inspect, then
-                // resumes so the run can be observed end to end.
-                if self.breakpoint.is_none() {
-                    self.breakpoint = corruption.reports().last().copied();
-                }
-                return;
+                detected = corruption.reports().last().copied();
             }
+        }
+        if let Some(report) = detected {
+            // Paper §2.2.1: on a corruption hit SafeMem "pauses program
+            // execution to allow programmers to attach an interactive
+            // debugger". The simulation freezes the first such report as
+            // a breakpoint the embedding program can inspect, then
+            // resumes so the run can be observed end to end.
+            if self.breakpoint.is_none() {
+                self.breakpoint = Some(report);
+            }
+            if let Some(healer) = &mut self.heal {
+                match report {
+                    BugReport::Overflow { buffer_addr, .. } => healer.on_overflow(buffer_addr),
+                    BugReport::UseAfterFree { buffer_addr, .. } => {
+                        // Restore the pre-free snapshot under the watch the
+                        // detector just disarmed, so the retried access is
+                        // served from the quarantine copy.
+                        healer.on_use_after_free(os, buffer_addr);
+                    }
+                    _ => {}
+                }
+            }
+            return;
         }
         // Unowned watched region: disable it so execution can continue.
         let _ = os.disable_watch_memory(region);
+    }
+
+    /// Completes queued heals once an access retry loop has finished:
+    /// re-syncs the quarantine snapshot of a healed freed buffer with
+    /// post-access memory (a use-after-free *store* is absorbed into the
+    /// copy rather than lost), then re-arms the disarmed watches. Re-arming
+    /// inside the fault handler would make the retried access fault
+    /// forever; doing it here keeps the guard live for the *next* bug.
+    fn drain_heals(&mut self, os: &mut Os) {
+        if self.heal.is_none() {
+            return;
+        }
+        let Some(corruption) = &mut self.corruption else {
+            return;
+        };
+        for heal in corruption.take_pending_heals() {
+            if heal.is_freed() {
+                if let Some(healer) = &mut self.heal {
+                    if let Some(entry) = healer.quarantine_mut().lookup_mut(heal.buffer_addr()) {
+                        let mut bytes = vec![0u8; entry.len()];
+                        if !bytes.is_empty() && os.vread(entry.addr, &mut bytes).is_ok() {
+                            entry.absorb_write(0, &bytes);
+                        }
+                    }
+                }
+            }
+            corruption.rearm(os, heal);
+        }
     }
 
     fn run_with_retries<T>(
@@ -244,6 +324,11 @@ impl MemTool for SafeMem {
 
     fn malloc(&mut self, os: &mut Os, size: u64, stack: &CallStack) -> u64 {
         let allocation = self.heap.alloc(os, size).expect("heap exhausted");
+        if let Some(healer) = &mut self.heal {
+            // The address is live again: drop its snapshot so no live
+            // allocation ever aliases a quarantined generation.
+            healer.quarantine_mut().release(allocation.addr);
+        }
         if let Some(corruption) = &mut self.corruption {
             corruption.on_alloc(os, &allocation);
         }
@@ -255,15 +340,58 @@ impl MemTool for SafeMem {
 
     fn free(&mut self, os: &mut Os, addr: u64) {
         if self.heap.allocation_at(addr).is_none() {
-            self.reports.push(BugReport::WildFree { addr });
+            // With free-history (recovery mode), a free of a block still in
+            // quarantine is a *double* free — heal by dropping it. Without
+            // history it is indistinguishable from a wild free.
+            let quarantined = self
+                .heal
+                .as_ref()
+                .is_some_and(|h| h.quarantine().entry_at(addr).is_some());
+            if quarantined {
+                let report = BugReport::DoubleFree { addr };
+                self.reports.push(report);
+                if self.breakpoint.is_none() {
+                    self.breakpoint = Some(report);
+                }
+                self.heal
+                    .as_mut()
+                    .expect("checked quarantined above")
+                    .on_double_free(addr);
+            } else {
+                self.reports.push(BugReport::WildFree { addr });
+            }
             return;
         }
         if let Some(leak) = &mut self.leak {
             leak.on_free(os, addr);
         }
+        // Recovery snapshots the payload before the allocator retires it.
+        // Safe to read plainly here: `on_free` above disarmed any leak
+        // suspect watch, and the freed watch is not yet armed. (Pending
+        // uninit watches can still fault the read — then the snapshot is
+        // skipped and counted.)
+        let snapshot = if self.heal.is_some() {
+            let payload = self
+                .heap
+                .allocation_at(addr)
+                .expect("checked live above")
+                .payload as usize;
+            let mut bytes = vec![0u8; payload];
+            (payload == 0 || os.vread(addr, &mut bytes).is_ok()).then_some(bytes)
+        } else {
+            None
+        };
         let record = self.heap.free(os, addr).expect("checked live above");
         if let Some(corruption) = &mut self.corruption {
             corruption.on_free(os, &record);
+        }
+        if let Some(healer) = &mut self.heal {
+            match snapshot {
+                Some(bytes) => {
+                    healer.quarantine_mut().quarantine(addr, bytes);
+                }
+                None => healer.note_snapshot_failure(),
+            }
         }
     }
 
@@ -289,7 +417,10 @@ impl MemTool for SafeMem {
         // `self` is borrowed; loop manually instead.
         for _ in 0..MAX_FAULT_RETRIES {
             match os.vread(addr, buf) {
-                Ok(()) => return,
+                Ok(()) => {
+                    self.drain_heals(os);
+                    return;
+                }
                 Err(OsFault::Ecc(fault)) => self.handle_ecc_fault(os, &fault),
                 Err(fault) => panic!("unexpected fault under SafeMem: {fault}"),
             }
@@ -299,6 +430,7 @@ impl MemTool for SafeMem {
 
     fn write(&mut self, os: &mut Os, addr: u64, data: &[u8]) {
         self.run_with_retries(os, |os| os.vwrite(addr, data));
+        self.drain_heals(os);
     }
 
     fn finish(&mut self, os: &mut Os) {
@@ -309,6 +441,12 @@ impl MemTool for SafeMem {
 
     fn reports(&self) -> Vec<BugReport> {
         self.all_reports()
+    }
+
+    fn survival(&self) -> Option<SurvivalSummary> {
+        self.heal
+            .as_ref()
+            .map(|h| h.summary(self.heap.verify_integrity()))
     }
 }
 
@@ -485,6 +623,174 @@ mod tests {
         assert!(reports
             .iter()
             .any(|r| matches!(r, BugReport::HardwareError { .. })));
+    }
+
+    #[test]
+    fn recovery_serves_uaf_reads_from_the_quarantine_snapshot() {
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .recovery(true)
+            .build(&mut os);
+        let a = tool.malloc(&mut os, 64, &stack(2));
+        tool.write(&mut os, a, &[0x5A; 64]);
+        tool.free(&mut os, a);
+        let mut buf = [0u8; 64];
+        tool.read(&mut os, a, &mut buf);
+        assert_eq!(buf, [0x5A; 64], "read served from the pre-free snapshot");
+        // Detection is unchanged by healing.
+        assert!(tool.all_reports().iter().any(
+            |r| matches!(r, BugReport::UseAfterFree { buffer_addr, .. } if *buffer_addr == a)
+        ));
+        let healer = tool.healer().unwrap();
+        assert_eq!(healer.stats().uaf_served, 1);
+        // The freed watch was re-armed: a second touch faults again.
+        tool.read(&mut os, a, &mut buf);
+        assert_eq!(tool.healer().unwrap().stats().uaf_served, 2);
+    }
+
+    #[test]
+    fn recovery_clamps_overflows_and_rearms_the_pad() {
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .recovery(true)
+            .build(&mut os);
+        let a = tool.malloc(&mut os, 100, &stack(3));
+        tool.write(&mut os, a, &[1u8; 100]);
+        tool.write(&mut os, a + 90, &[2u8; 40]); // spills past 128
+        tool.write(&mut os, a + 90, &[3u8; 40]); // pad re-armed: caught again
+        let overflows = tool
+            .all_reports()
+            .iter()
+            .filter(|r| matches!(r, BugReport::Overflow { .. }))
+            .count();
+        assert_eq!(overflows, 2, "healing keeps the guard live");
+        assert_eq!(tool.healer().unwrap().stats().overflows_clamped, 2);
+        // In-bounds contents survived the clamps.
+        let mut buf = [0u8; 90];
+        tool.read(&mut os, a, &mut buf);
+        assert_eq!(buf[..89], [1u8; 89][..]);
+        assert!(tool.survival().unwrap().heap_intact);
+    }
+
+    #[test]
+    fn double_free_of_the_last_live_block_is_healed() {
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .recovery(true)
+            .build(&mut os);
+        let a = tool.malloc(&mut os, 64, &stack(4));
+        tool.write(&mut os, a, &[9u8; 64]);
+        tool.free(&mut os, a);
+        assert_eq!(tool.heap().live_count(), 0, "that was the last live block");
+        tool.free(&mut os, a); // double free with an empty heap
+        assert!(matches!(
+            tool.reports()[0],
+            BugReport::DoubleFree { addr } if addr == a
+        ));
+        let healer = tool.healer().unwrap();
+        assert_eq!(healer.stats().double_frees_ignored, 1);
+        assert_eq!(
+            healer.quarantine().entry_at(a).unwrap().payload(),
+            &[9u8; 64][..],
+            "the ignored free left the snapshot in place"
+        );
+        // Without recovery the same sequence is a wild free, not a panic.
+        let mut plain = SafeMem::builder().leak_detection(false).build(&mut os);
+        let b = plain.malloc(&mut os, 64, &stack(4));
+        plain.free(&mut os, b);
+        plain.free(&mut os, b);
+        assert!(matches!(plain.reports()[0], BugReport::WildFree { .. }));
+    }
+
+    #[test]
+    fn zero_length_overflow_is_clamped_to_nothing() {
+        // A store landing *entirely* in the padding: the in-bounds part of
+        // the clamped write is zero bytes long, and the payload must be
+        // untouched after healing.
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .recovery(true)
+            .build(&mut os);
+        let a = tool.malloc(&mut os, 64, &stack(5));
+        tool.write(&mut os, a, &[4u8; 64]);
+        tool.write(&mut os, a + 64, &[0xFF; 4]); // wholly out of bounds
+        assert_eq!(tool.healer().unwrap().stats().overflows_clamped, 1);
+        let mut buf = [0u8; 64];
+        tool.read(&mut os, a, &mut buf);
+        assert_eq!(buf, [4u8; 64], "no payload byte changed");
+        assert!(tool.survival().unwrap().heap_intact);
+    }
+
+    #[test]
+    fn uaf_read_exactly_at_the_quarantine_eviction_horizon() {
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .recovery(true)
+            .quarantine_capacity(2)
+            .build(&mut os);
+        // Fill the horizon, then push one more: the oldest is evicted.
+        let a = tool.malloc(&mut os, 64, &stack(6));
+        let b = tool.malloc(&mut os, 64, &stack(6));
+        let c = tool.malloc(&mut os, 64, &stack(6));
+        tool.write(&mut os, a, &[0xA1; 64]);
+        tool.write(&mut os, b, &[0xB2; 64]);
+        tool.free(&mut os, a);
+        tool.free(&mut os, b);
+        tool.free(&mut os, c); // evicts a's snapshot
+        let mut buf = [0u8; 8];
+        tool.read(&mut os, a, &mut buf); // exactly past the horizon: miss
+        tool.read(&mut os, b, &mut buf); // exactly at the horizon: hit
+        assert_eq!(buf, [0xB2; 8], "survivor still serves pre-free bytes");
+        let stats = tool.healer().unwrap().stats();
+        assert_eq!(stats.quarantine_misses, 1);
+        assert_eq!(stats.uaf_served, 1);
+        // Both accesses were detected and healed either way.
+        let summary = tool.survival().unwrap();
+        assert_eq!(summary.healed_uafs, 2);
+        assert_eq!(summary.canary_violations, 0);
+    }
+
+    #[test]
+    fn uaf_store_is_absorbed_into_the_snapshot() {
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .recovery(true)
+            .build(&mut os);
+        let a = tool.malloc(&mut os, 64, &stack(7));
+        tool.write(&mut os, a, &[1u8; 64]);
+        tool.free(&mut os, a);
+        tool.write(&mut os, a, &[2u8; 8]); // UAF store, healed
+        let mut buf = [0u8; 64];
+        tool.read(&mut os, a, &mut buf); // UAF read, served
+        assert_eq!(buf[..8], [2u8; 8][..], "store visible through the copy");
+        assert_eq!(buf[8..], [1u8; 56][..], "rest still pre-free contents");
+        assert_eq!(tool.healer().unwrap().stats().uaf_served, 2);
+    }
+
+    #[test]
+    fn reused_address_never_aliases_the_quarantine() {
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .recovery(true)
+            .build(&mut os);
+        let a = tool.malloc(&mut os, 64, &stack(8));
+        tool.free(&mut os, a);
+        let b = tool.malloc(&mut os, 64, &stack(8));
+        assert_eq!(a, b, "free-list reuse expected");
+        assert!(
+            tool.healer().unwrap().quarantine().entry_at(b).is_none(),
+            "snapshot released on reallocation"
+        );
+        // A free of the reused block is a legitimate free, not a double free.
+        tool.free(&mut os, b);
+        assert!(tool.reports().iter().all(|r| !r.is_corruption()));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! identical workloads under each and compare simulated CPU time — exactly
 //! the methodology of the paper's Table 3.
 
+use crate::heal::{IncidentClass, SurvivalSummary};
 use crate::report::BugReport;
 use crate::signature::CallStack;
 use safemem_alloc::Heap;
@@ -67,6 +68,20 @@ pub trait MemTool {
 
     /// All bugs recorded so far.
     fn reports(&self) -> Vec<BugReport>;
+
+    /// A ground-truth incident marker from a workload that *knows* it just
+    /// planted a corruption. Metadata, not a memory operation: the default
+    /// ignores it; the trace recorder persists it so the campaign oracle
+    /// can score incident attribution. Tools must not detect bugs from it.
+    fn mark_incident(&mut self, kind: IncidentClass) {
+        let _ = kind;
+    }
+
+    /// Post-run survival summary, for tools with a recovery layer. `None`
+    /// (the default) means the tool makes no survival claims.
+    fn survival(&self) -> Option<SurvivalSummary> {
+        None
+    }
 }
 
 /// Retry budget for access loops: a single access can fault at most once per

@@ -317,4 +317,14 @@ impl MemTool for Injector {
     fn reports(&self) -> Vec<BugReport> {
         self.inner.reports()
     }
+
+    fn mark_incident(&mut self, kind: safemem_core::IncidentClass) {
+        // Pure metadata — no injection roll, so the decision stream (and
+        // every recovery-off scorecard) is unchanged by marker ops.
+        self.inner.mark_incident(kind);
+    }
+
+    fn survival(&self) -> Option<safemem_core::SurvivalSummary> {
+        self.inner.survival()
+    }
 }

@@ -43,7 +43,7 @@ pub mod spec;
 pub use inject::{InjectionLog, Injector};
 pub use oracle::{
     record_trace, replay_panel, replay_panel_with, run_campaign, CampaignError, CampaignResult,
-    GroundTruth, ToolScore, PANEL,
+    GroundTruth, MarkerCounts, SurvivalScore, ToolScore, PANEL,
 };
 pub use rng::SmRng;
 pub use runner::{

@@ -8,11 +8,13 @@
 //! miss.
 
 use safemem_baselines::{Memcheck, PageGuard, Purify};
-use safemem_core::{BugReport, GroupKey, MemTool, NullTool, SafeMem};
+use safemem_core::{
+    BugReport, GroupKey, IncidentClass, MemTool, NullTool, SafeMem, SurvivalSummary,
+};
 use safemem_ecc::ControllerStats;
 use safemem_os::{Os, OsConfig, STATIC_BASE};
 use safemem_workloads::{
-    workload_by_name, BugClass, InputMode, Recorder, Replayer, RunConfig, Trace,
+    workload_by_name, BugClass, InputMode, Recorder, Replayer, RunConfig, Trace, TraceOp,
 };
 use std::collections::HashSet;
 
@@ -31,6 +33,44 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
+/// Ground-truth incident markers a recorded trace carries, counted per
+/// class. The synthetic-CVE workloads emit one marker per scheduled
+/// corruption; the Table 1 workloads emit none, so these stay zero for
+/// every pre-existing preset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarkerCounts {
+    /// Planted overflow incidents.
+    pub overflows: usize,
+    /// Planted use-after-free incidents.
+    pub uafs: usize,
+    /// Planted double-free incidents.
+    pub double_frees: usize,
+}
+
+impl MarkerCounts {
+    /// Counts the markers in a recorded trace.
+    #[must_use]
+    pub fn of(trace: &Trace) -> MarkerCounts {
+        let mut counts = MarkerCounts::default();
+        for op in trace.ops() {
+            if let TraceOp::Marker { kind } = op {
+                match kind {
+                    IncidentClass::Overflow => counts.overflows += 1,
+                    IncidentClass::UseAfterFree => counts.uafs += 1,
+                    IncidentClass::DoubleFree => counts.double_frees += 1,
+                }
+            }
+        }
+        counts
+    }
+
+    /// Total marked incidents of any class.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.overflows + self.uafs + self.double_frees
+    }
+}
+
 /// What the workload is known to plant — the reference every tool's reports
 /// are scored against.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +83,9 @@ pub struct GroundTruth {
     pub expects_corruption: bool,
     /// Operations in the recorded trace.
     pub trace_ops: usize,
+    /// Per-class incident markers in the trace (all zero unless the
+    /// workload emits ground-truth markers).
+    pub markers: MarkerCounts,
 }
 
 /// One tool's scored run within a campaign.
@@ -79,6 +122,47 @@ pub struct ToolScore {
     /// Mirror of the campaign's `expects_corruption`, carried so the score
     /// is self-contained.
     pub expects_corruption: bool,
+    /// Survival-with-integrity score. `Some` only when the trace carries
+    /// ground-truth incident markers *and* the tool ran with a recovery
+    /// layer (today: SafeMem under the `arena` preset) — every
+    /// pre-existing preset and tool yields `None`, keeping their scorecards
+    /// byte-identical.
+    pub survival: Option<SurvivalScore>,
+}
+
+/// The survival-with-integrity dimension of an arena campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurvivalScore {
+    /// The process completed the run without a hardware panic.
+    pub survived: bool,
+    /// Post-run heap integrity: the allocator's live map verified
+    /// well-formed and no quarantine canary was overwritten.
+    pub integrity: bool,
+    /// Every ground-truth marker's incident was healed, class for class
+    /// (healed counts equal marker counts exactly).
+    pub attributed: bool,
+    /// Incidents healed, summed over all classes.
+    pub healed: u64,
+}
+
+impl SurvivalScore {
+    /// Whether all three survival dimensions hold.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.survived && self.integrity && self.attributed
+    }
+
+    /// Scores a recovery-enabled run against the trace's markers.
+    fn of(summary: &SurvivalSummary, markers: &MarkerCounts, hardware_panics: u64) -> Self {
+        SurvivalScore {
+            survived: hardware_panics == 0,
+            integrity: summary.heap_intact && summary.canary_violations == 0,
+            attributed: summary.healed_overflows == markers.overflows as u64
+                && summary.healed_uafs == markers.uafs as u64
+                && summary.healed_double_frees == markers.double_frees as u64,
+            healed: summary.healed_overflows + summary.healed_uafs + summary.healed_double_frees,
+        }
+    }
 }
 
 impl ToolScore {
@@ -128,6 +212,22 @@ impl CampaignResult {
             && s.hardware_panics == 0
             && s.found_all_planted()
     }
+
+    /// The arena-preset acceptance invariant: SafeMem-with-recovery
+    /// detected the planted corruption, survived every scheduled incident,
+    /// kept the heap verifiably intact, and healed exactly the incidents
+    /// the trace's ground-truth markers attest — on top of the harsh
+    /// zero-false-positive bar.
+    #[must_use]
+    pub fn survival_invariant_holds(&self) -> bool {
+        let Some(s) = self.tool("safemem") else {
+            return false;
+        };
+        let Some(survival) = &s.survival else {
+            return false;
+        };
+        self.harsh_invariant_holds() && survival.holds()
+    }
 }
 
 /// Builds the campaign's OS: memory size, swap policy, scrub interval, and
@@ -143,10 +243,11 @@ fn build_os(spec: &CampaignSpec) -> Os {
     os
 }
 
-/// Builds one tool of the differential panel.
-fn build_tool(name: &str, os: &mut Os) -> Box<dyn MemTool> {
+/// Builds one tool of the differential panel. SafeMem alone honours the
+/// spec's recovery flag — the comparison tools have no healing layer.
+fn build_tool(name: &str, spec: &CampaignSpec, os: &mut Os) -> Box<dyn MemTool> {
     match name {
-        "safemem" => Box::new(SafeMem::builder().build(os)),
+        "safemem" => Box::new(SafeMem::builder().recovery(spec.recovery).build(os)),
         "purify" => {
             let mut tool = Purify::new();
             tool.add_root_range(STATIC_BASE, 4096);
@@ -209,6 +310,7 @@ pub fn replay_panel_with(
         leak_groups: workload.true_leak_groups(),
         expects_corruption: !workload.spec().bug.is_leak(),
         trace_ops: trace.len(),
+        markers: MarkerCounts::of(trace),
     };
     // One membership set per campaign, not one linear scan per reported
     // group.
@@ -217,9 +319,10 @@ pub fn replay_panel_with(
     let mut tools = Vec::with_capacity(PANEL.len());
     for &name in PANEL {
         let mut os = build_os(spec);
-        let tool = build_tool(name, &mut os);
+        let tool = build_tool(name, spec, &mut os);
         let mut injector = Injector::new(tool, spec.mix, spec.seed);
         let result = replayer.replay(trace, &mut os, &mut injector);
+        let summary = injector.survival();
         tools.push(score(
             name,
             spec,
@@ -228,6 +331,7 @@ pub fn replay_panel_with(
             &os,
             &result,
             injector.log(),
+            summary,
         ));
     }
 
@@ -239,6 +343,7 @@ pub fn replay_panel_with(
 }
 
 /// Classifies one tool's reports against the ground truth.
+#[allow(clippy::too_many_arguments)]
 fn score(
     tool: &'static str,
     spec: &CampaignSpec,
@@ -247,6 +352,7 @@ fn score(
     os: &Os,
     result: &safemem_workloads::RunResult,
     injected: InjectionLog,
+    summary: Option<SurvivalSummary>,
 ) -> ToolScore {
     // `leak_groups()` is already deduped, so one pass partitions it into
     // true and false positives.
@@ -280,6 +386,10 @@ fn score(
         (hardware_reports + hardware_panics).saturating_sub(injected.multi_bit_bursts);
 
     let _ = spec;
+    let survival = match (&summary, truth.markers.total()) {
+        (Some(s), n) if n > 0 => Some(SurvivalScore::of(s, &truth.markers, hardware_panics)),
+        _ => None,
+    };
     ToolScore {
         tool,
         cpu_cycles: result.cpu_cycles,
@@ -294,6 +404,7 @@ fn score(
         controller: os.machine().controller().stats(),
         injected,
         expects_corruption: truth.expects_corruption,
+        survival,
     }
 }
 
@@ -313,7 +424,14 @@ pub fn record_trace(spec: &CampaignSpec) -> Result<Trace, CampaignError> {
     };
     let mut os = build_os(spec);
     let mut null = NullTool::new();
-    let mut recorder = Recorder::new(&mut null);
+    // Workloads whose planted bugs touch freed memory need the
+    // freed-tracking recorder, or the bug evaporates from the trace. The
+    // Table 1 workloads keep the plain recorder, byte for byte.
+    let mut recorder = if workload.records_freed_accesses() {
+        Recorder::with_freed_tracking(&mut null)
+    } else {
+        Recorder::new(&mut null)
+    };
     workload.run(&mut os, &mut recorder, &cfg);
     Ok(recorder.into_trace())
 }

@@ -43,6 +43,13 @@ pub fn render_campaign(result: &CampaignResult) -> String {
         truth.expects_corruption,
         truth.trace_ops
     );
+    if truth.markers.total() > 0 {
+        let _ = writeln!(
+            out,
+            "  markers: overflow={} uaf={} dfree={}",
+            truth.markers.overflows, truth.markers.uafs, truth.markers.double_frees
+        );
+    }
     let _ = writeln!(
         out,
         "  {:<10} {:>5} {:>5} {:>5} {:>5} {:>5} {:>7} {:>7} {:>8} {:>11} {:>9} {:>6}",
@@ -61,6 +68,20 @@ pub fn render_campaign(result: &CampaignResult) -> String {
     );
     for t in &result.tools {
         let _ = writeln!(out, "  {}", render_tool_row(t));
+    }
+    for t in &result.tools {
+        if let Some(s) = &t.survival {
+            let yn = |b: bool| if b { "yes" } else { "NO" };
+            let _ = writeln!(
+                out,
+                "  survival[{}]: survived={} integrity={} attributed={} healed={}",
+                t.tool,
+                yn(s.survived),
+                yn(s.integrity),
+                yn(s.attributed),
+                s.healed
+            );
+        }
     }
     out
 }
@@ -133,6 +154,7 @@ pub fn render_aggregate(results: &[CampaignResult]) -> String {
         );
     }
     render_harsh_verdict(&mut out, results);
+    render_survival_verdict(&mut out, results);
     out
 }
 
@@ -171,6 +193,24 @@ pub fn render_workers(report: &MatrixReport) -> String {
         );
     }
     out
+}
+
+fn render_survival_verdict(out: &mut String, results: &[CampaignResult]) {
+    let arena: Vec<&CampaignResult> = results
+        .iter()
+        .filter(|r| r.truth.markers.total() > 0)
+        .collect();
+    if !arena.is_empty() {
+        let ok = arena
+            .iter()
+            .filter(|r| r.survival_invariant_holds())
+            .count();
+        let _ = writeln!(
+            out,
+            "  survival invariant (safemem: survived, heap intact, incidents attributed): {ok}/{} campaigns",
+            arena.len()
+        );
+    }
 }
 
 fn render_harsh_verdict(out: &mut String, results: &[CampaignResult]) {

@@ -71,6 +71,12 @@ pub struct CampaignSpec {
     pub scrub_interval_cycles: Option<u64>,
     /// Controller operating mode for the campaign.
     pub ecc_mode: EccMode,
+    /// Whether SafeMem runs with the recovery layer (healing actions +
+    /// quarantine) enabled. **Off in every pre-existing preset** so their
+    /// scorecards stay byte-identical; the `arena` preset turns it on.
+    /// Recording is unaffected (traces are recorded uninstrumented), so this
+    /// field is deliberately absent from the trace-memoization key.
+    pub recovery: bool,
 }
 
 /// Workload input seed shared by all presets (the same default the CLI
@@ -92,6 +98,15 @@ pub const HARSH_REQUESTS: u64 = 128;
 /// stable identity in a trace), so neither can anchor a zero-false-positive
 /// acceptance gate. Both remain runnable by naming them explicitly.
 pub const PRESET_WORKLOADS: &[&str] = &["ypserv1", "proftpd", "ypserv2", "gzip", "tar"];
+
+/// The synthetic-CVE corruption arena the `arena` preset sweeps by default:
+/// scheduled corruption patterns with ground-truth incident markers (see
+/// `safemem_workloads::cve_workloads`).
+pub const CVE_WORKLOADS: &[&str] = &["cve-uaf", "cve-dfree", "cve-obo", "cve-fmt"];
+
+/// Request count for the arena preset: eight scheduled corruption incidents
+/// per run (the CVE workloads corrupt every eighth request).
+pub const ARENA_REQUESTS: u64 = 64;
 
 impl CampaignSpec {
     /// The acceptance-gate preset: swap pressure, periodic and forced
@@ -117,7 +132,24 @@ impl CampaignSpec {
             swap_policy: SwapPolicy::SwapAware,
             scrub_interval_cycles: Some(250_000),
             ecc_mode: EccMode::CorrectAndScrub,
+            recovery: false,
         }
+    }
+
+    /// The survival arena: the harsh correctable-only fault climate, but
+    /// SafeMem runs with **recovery enabled** against the synthetic-CVE
+    /// corruption workloads ([`CVE_WORKLOADS`]). The acceptance dimension is
+    /// survival-with-integrity: every scheduled incident detected and
+    /// healed, the process alive at the end of the run, the heap verified
+    /// intact, and the healed incidents attributable one-to-one to the
+    /// trace's ground-truth markers.
+    #[must_use]
+    pub fn arena(workload: &str, seed: u64) -> Self {
+        let mut spec = CampaignSpec::harsh(workload, seed);
+        spec.preset = "arena".into();
+        spec.requests = Some(ARENA_REQUESTS);
+        spec.recovery = true;
+        spec
     }
 
     /// Adds uncorrectable multi-bit bursts to the harsh mix. The injector
@@ -148,6 +180,7 @@ impl CampaignSpec {
             swap_policy: SwapPolicy::PinWatchedPages,
             scrub_interval_cycles: None,
             ecc_mode: EccMode::CorrectError,
+            recovery: false,
         }
     }
 
@@ -158,10 +191,11 @@ impl CampaignSpec {
             "harsh" => Some(CampaignSpec::harsh(workload, seed)),
             "mixed" => Some(CampaignSpec::mixed(workload, seed)),
             "quiet" => Some(CampaignSpec::quiet(workload, seed)),
+            "arena" => Some(CampaignSpec::arena(workload, seed)),
             _ => None,
         }
     }
 
     /// The preset names `preset` accepts.
-    pub const PRESETS: &'static [&'static str] = &["harsh", "mixed", "quiet"];
+    pub const PRESETS: &'static [&'static str] = &["harsh", "mixed", "quiet", "arena"];
 }

@@ -21,10 +21,13 @@ const GOLDEN_PATH: &str = concat!(
     "/tests/golden/harsh_scorecard.txt"
 );
 
-fn current_scorecard() -> String {
-    let workloads = vec!["ypserv2".to_string(), "tar".to_string()];
-    let specs =
-        expand_matrix("harsh", &workloads, SEEDS, 0, Some(FAST_REQUESTS)).expect("valid matrix");
+const ARENA_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/arena_scorecard.txt"
+);
+
+fn render_matrix(preset: &str, workloads: &[String], requests: Option<u64>) -> String {
+    let specs = expand_matrix(preset, workloads, SEEDS, 0, requests).expect("valid matrix");
     // Two workers: the golden path exercises the sharded runner, and the
     // parallel-determinism suite guarantees the count cannot matter.
     let report = run_matrix(&specs, 2).expect("matrix runs");
@@ -35,6 +38,21 @@ fn current_scorecard() -> String {
     }
     out.push_str(&render_aggregate(&report.results));
     out
+}
+
+fn current_scorecard() -> String {
+    let workloads = vec!["ypserv2".to_string(), "tar".to_string()];
+    render_matrix("harsh", &workloads, Some(FAST_REQUESTS))
+}
+
+fn current_arena_scorecard() -> String {
+    let workloads: Vec<String> = safemem_faultinject::spec::CVE_WORKLOADS
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    // The arena preset carries its own request count (one incident every 8
+    // requests, 8 per campaign), so no override.
+    render_matrix("arena", &workloads, None)
 }
 
 #[test]
@@ -54,6 +72,44 @@ fn harsh_scorecard_matches_the_checked_in_golden() {
          If the change is intentional, regenerate with\n\
          UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard\n\
          and commit the diff.\n\n--- golden ---\n{golden}\n--- current ---\n{current}"
+    );
+}
+
+#[test]
+fn arena_scorecard_matches_the_checked_in_golden() {
+    let current = current_arena_scorecard();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(ARENA_GOLDEN_PATH, &current).expect("golden snapshot is writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(ARENA_GOLDEN_PATH).expect(
+        "golden snapshot exists; regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard",
+    );
+    assert!(
+        golden == current,
+        "arena scorecard drifted from the golden snapshot.\n\
+         If the change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard\n\
+         and commit the diff.\n\n--- golden ---\n{golden}\n--- current ---\n{current}"
+    );
+}
+
+#[test]
+fn arena_golden_pins_the_survival_verdict() {
+    // 8 seeds x 4 synthetic-CVE workloads: every campaign must survive with
+    // heap integrity and exact incident attribution, on top of the harsh
+    // detection bar.
+    let golden = std::fs::read_to_string(ARENA_GOLDEN_PATH).expect("golden snapshot exists");
+    assert!(
+        golden.contains(
+            "survival invariant (safemem: survived, heap intact, incidents attributed): 32/32"
+        ),
+        "arena golden must show all 32 campaigns surviving with integrity"
+    );
+    assert!(
+        golden.contains("harsh invariant (safemem: zero FPs, all planted bugs found): 32/32"),
+        "arena golden must keep the zero-false-positive bar"
     );
 }
 

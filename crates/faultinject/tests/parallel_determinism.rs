@@ -20,6 +20,14 @@ fn harsh_matrix() -> Vec<CampaignSpec> {
     expand_matrix("harsh", &workloads, 2, 0, Some(FAST_REQUESTS)).expect("valid matrix")
 }
 
+fn arena_matrix() -> Vec<CampaignSpec> {
+    let workloads: Vec<String> = safemem_faultinject::spec::CVE_WORKLOADS
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    expand_matrix("arena", &workloads, 2, 0, None).expect("valid matrix")
+}
+
 /// The full deterministic rendering of a matrix run: every per-campaign
 /// scorecard in cell order, then the aggregate. Worker telemetry is
 /// deliberately excluded — it is the one schedule-dependent output.
@@ -48,6 +56,36 @@ fn scorecards_are_byte_identical_for_1_2_and_8_threads() {
     // The invariant covers structured results too, not just the rendering.
     assert_eq!(t1.results, t2.results);
     assert_eq!(t1.results, t8.results);
+}
+
+#[test]
+fn arena_scorecards_are_byte_identical_for_1_2_and_8_threads() {
+    // Recovery adds healing state (quarantine, incident records) to the
+    // replay; the survival rows must still be a pure function of the matrix.
+    let specs = arena_matrix();
+    let t1 = run_matrix(&specs, 1).expect("matrix runs");
+    let t2 = run_matrix(&specs, 2).expect("matrix runs");
+    let t8 = run_matrix(&specs, 8).expect("matrix runs");
+
+    let (s1, s2, s8) = (scorecard(&t1), scorecard(&t2), scorecard(&t8));
+    assert!(s1.contains("survival["), "arena renders survival rows");
+    assert_eq!(s1, s2, "2 workers changed the arena scorecard");
+    assert_eq!(s1, s8, "8 workers changed the arena scorecard");
+    assert_eq!(t1.results, t2.results);
+    assert_eq!(t1.results, t8.results);
+}
+
+#[test]
+fn sharded_arena_run_keeps_the_survival_gate() {
+    let specs = arena_matrix();
+    let report = run_matrix(&specs, 4).expect("matrix runs");
+    for result in &report.results {
+        assert!(
+            result.survival_invariant_holds(),
+            "sharding broke the survival invariant:\n{}",
+            render_campaign(result)
+        );
+    }
 }
 
 #[test]

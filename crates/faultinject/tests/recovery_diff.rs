@@ -1,0 +1,60 @@
+//! Differential gate for the recovery layer: healing must never change
+//! *what is detected*. Every harsh-preset campaign on the golden 8 seeds is
+//! run twice — recovery off (the shipping default) and recovery on — and the
+//! detection side of every tool's score must be identical: same true
+//! positives, same false positives, same misses, same hardware attribution.
+//! Recovery may only add survival metadata on top.
+
+use safemem_faultinject::{expand_matrix, run_campaign, ToolScore};
+
+const SEEDS: u64 = 8;
+const FAST_REQUESTS: u64 = 48;
+
+/// The detection-relevant projection of a tool score — everything except
+/// cycles, controller counters, and the survival extension.
+fn detection_fields(s: &ToolScore) -> (usize, usize, usize, bool, usize, u64, u64, u64) {
+    (
+        s.leaks_found,
+        s.leaks_missed,
+        s.false_leaks,
+        s.corruption_found,
+        s.false_corruptions,
+        s.hardware_reports,
+        s.hardware_panics,
+        s.hardware_misattributions,
+    )
+}
+
+#[test]
+fn recovery_does_not_change_detection_on_the_golden_seeds() {
+    let workloads = vec!["ypserv2".to_string(), "tar".to_string()];
+    let specs =
+        expand_matrix("harsh", &workloads, SEEDS, 0, Some(FAST_REQUESTS)).expect("valid matrix");
+    for spec in &specs {
+        assert!(!spec.recovery, "harsh preset must default recovery off");
+        let off = run_campaign(spec).expect("recovery-off campaign runs");
+        let mut on_spec = spec.clone();
+        on_spec.recovery = true;
+        let on = run_campaign(&on_spec).expect("recovery-on campaign runs");
+
+        assert_eq!(off.tools.len(), on.tools.len());
+        for (a, b) in off.tools.iter().zip(&on.tools) {
+            assert_eq!(a.tool, b.tool);
+            assert_eq!(
+                detection_fields(a),
+                detection_fields(b),
+                "recovery changed {}'s detection on workload={} seed={:#x}",
+                a.tool,
+                spec.workload,
+                spec.seed
+            );
+        }
+        // The harsh workloads carry no ground-truth incident markers, so the
+        // survival dimension stays absent even with recovery enabled — the
+        // recovery-on scorecard renders byte-identically.
+        assert_eq!(off.truth.markers.total(), 0);
+        for t in &on.tools {
+            assert!(t.survival.is_none());
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //!    well-formed synthetic traces.
 
 use proptest::prelude::*;
-use safemem_core::{LeakConfig, SafeMem};
+use safemem_core::{IncidentClass, LeakConfig, SafeMem};
 use safemem_faultinject::{expand_matrix, record_trace, run_matrix_with, CampaignSpec, TraceMode};
 use safemem_os::{Os, OsConfig};
 use safemem_workloads::{Replayer, Trace, TraceOp};
@@ -99,6 +99,23 @@ fn trace_op(live_ids: u32) -> impl Strategy<Value = TraceOp> {
                 fill,
             }
         ),
+        ((0..live_ids), (0i64..256), (1u32..64))
+            .prop_map(|(id, offset, len)| { TraceOp::ReadFreed { id, offset, len } }),
+        ((0..live_ids), (0i64..256), (1u32..64), any::<u8>()).prop_map(
+            |(id, offset, len, fill)| TraceOp::WriteFreed {
+                id,
+                offset,
+                len,
+                fill,
+            }
+        ),
+        (0..live_ids).prop_map(|id| TraceOp::FreeAgain { id }),
+        prop_oneof![
+            Just(IncidentClass::Overflow),
+            Just(IncidentClass::UseAfterFree),
+            Just(IncidentClass::DoubleFree),
+        ]
+        .prop_map(|kind| TraceOp::Marker { kind }),
         ((1u64..500_000), (0u64..50_000)).prop_map(|(cycles, mem_accesses)| TraceOp::Compute {
             cycles,
             mem_accesses
@@ -132,7 +149,17 @@ fn well_formed(ops: Vec<TraceOp>) -> Trace {
                     trace.push(op);
                 }
             }
-            TraceOp::Compute { .. } | TraceOp::Io { .. } => trace.push(op),
+            // Freed-access ops only make sense on buffers that were bound
+            // and then freed — exactly what the freed-tracking recorder
+            // guarantees.
+            TraceOp::ReadFreed { id, .. }
+            | TraceOp::WriteFreed { id, .. }
+            | TraceOp::FreeAgain { id } => {
+                if id < bound && !live[id as usize] {
+                    trace.push(op);
+                }
+            }
+            TraceOp::Compute { .. } | TraceOp::Io { .. } | TraceOp::Marker { .. } => trace.push(op),
         }
     }
     trace

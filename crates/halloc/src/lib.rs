@@ -36,6 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod quarantine;
+
+pub use quarantine::{canary_for, QuarantineArena, QuarantineEntry, CANARY_BYTES};
+
 use safemem_os::{Os, HEAP_BASE, PAGE_BYTES};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
@@ -247,6 +251,27 @@ impl Heap {
     /// mark-and-sweep scans this).
     pub fn live_allocations(&self) -> impl Iterator<Item = &Allocation> {
         self.live.values()
+    }
+
+    /// Post-run integrity walk: every live placement must be well formed
+    /// (payload inside its stride) and no two placements may overlap. A
+    /// healthy heap always passes; recovery-mode tools run this after a
+    /// survived corruption to back their "heap intact" claim.
+    #[must_use]
+    pub fn verify_integrity(&self) -> bool {
+        let mut prev_end = 0u64;
+        for a in self.live.values() {
+            let well_formed =
+                a.addr >= a.base && a.addr - a.base + a.payload <= a.stride && a.base >= HEAP_BASE;
+            // `live` is keyed by payload address, so iteration is in
+            // address order; uniform per-policy padding keeps base order
+            // identical, making the pairwise overlap check complete.
+            if !well_formed || a.base < prev_end {
+                return false;
+            }
+            prev_end = a.base + a.stride;
+        }
+        true
     }
 
     /// The live allocation whose payload contains `addr`, if any.

@@ -1,0 +1,270 @@
+//! Generational quarantine arena for freed blocks.
+//!
+//! Recovery-mode tools (MESH- and Selfie-style healing, PAPERS.md) need the
+//! *contents* of a freed buffer after the application lets go of it: a read
+//! of freed memory can then be served from the quarantine copy instead of
+//! whatever the allocator reused the block for. This arena holds host-side
+//! snapshots of freed payloads, stamped with a monotonically increasing
+//! generation counter and sealed with a trailing canary, evicted FIFO once
+//! the arena exceeds its capacity horizon.
+//!
+//! The arena is pure bookkeeping: it never touches the simulated machine.
+//! Tools copy payload bytes out of the simulation at `free` time and consult
+//! the arena from their fault handlers.
+//!
+//! # Example
+//!
+//! ```
+//! use safemem_alloc::QuarantineArena;
+//!
+//! let mut arena = QuarantineArena::new(4);
+//! let generation = arena.quarantine(0x1000, vec![0xAA; 16]);
+//! let entry = arena.lookup(0x1000).unwrap();
+//! assert_eq!(entry.generation, generation);
+//! assert_eq!(entry.payload(), &[0xAA; 16][..]);
+//! assert_eq!(arena.verify_canaries(), 0);
+//! ```
+
+use std::collections::VecDeque;
+
+/// Width of the trailing canary appended to every quarantined payload.
+pub const CANARY_BYTES: usize = 8;
+
+/// Derives the canary sealing a quarantine entry. Deterministic in the
+/// (generation, address) pair so verification needs no stored secret, and
+/// never all-zero so a zero-fill overwrite is always caught.
+#[must_use]
+pub fn canary_for(generation: u64, addr: u64) -> [u8; CANARY_BYTES] {
+    let mixed = (generation ^ addr.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    mixed.to_le_bytes()
+}
+
+/// One quarantined block: a snapshot of the payload at free time plus the
+/// trailing canary, stamped with the generation of the free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Payload address of the freed block (what `free` received).
+    pub addr: u64,
+    /// Generation stamped when the block entered quarantine. Generations
+    /// are unique across the arena's lifetime: no two entries — and no
+    /// entry and any later one — ever share a generation.
+    pub generation: u64,
+    /// Payload snapshot followed by [`CANARY_BYTES`] of canary.
+    bytes: Vec<u8>,
+}
+
+impl QuarantineEntry {
+    /// The pre-free payload contents.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[..self.bytes.len() - CANARY_BYTES]
+    }
+
+    /// Payload length in bytes (canary excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len() - CANARY_BYTES
+    }
+
+    /// `true` when the quarantined payload was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` while the trailing canary is intact.
+    #[must_use]
+    pub fn canary_intact(&self) -> bool {
+        self.bytes[self.bytes.len() - CANARY_BYTES..] == canary_for(self.generation, self.addr)
+    }
+
+    /// Does `addr` fall inside this entry's payload span?
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.addr + self.len() as u64
+    }
+
+    /// Absorbs a write into the quarantine copy. Bytes past the payload end
+    /// land on the canary — that is the point: a trailing write is recorded
+    /// as a canary violation rather than silently dropped. Bytes past the
+    /// canary are discarded.
+    pub fn absorb_write(&mut self, offset: usize, data: &[u8]) {
+        let end = self.bytes.len().min(offset.saturating_add(data.len()));
+        if offset >= end {
+            return;
+        }
+        self.bytes[offset..end].copy_from_slice(&data[..end - offset]);
+    }
+}
+
+/// FIFO arena of quarantined freed blocks with a bounded capacity horizon.
+#[derive(Debug, Default)]
+pub struct QuarantineArena {
+    entries: VecDeque<QuarantineEntry>,
+    capacity: usize,
+    next_generation: u64,
+    evicted: u64,
+}
+
+impl QuarantineArena {
+    /// Creates an arena that retains at most `capacity` freed blocks
+    /// (oldest evicted first). A capacity of zero quarantines nothing.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            capacity,
+            next_generation: 1,
+            evicted: 0,
+        }
+    }
+
+    /// Number of blocks currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no blocks are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Blocks evicted over the arena's lifetime.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The generation the next quarantined block will receive.
+    #[must_use]
+    pub fn next_generation(&self) -> u64 {
+        self.next_generation
+    }
+
+    /// Quarantines a freed payload snapshot and returns its generation.
+    /// If the address is already quarantined (the block was freed, never
+    /// reused, and somehow freed again), the stale entry is replaced.
+    pub fn quarantine(&mut self, addr: u64, payload: Vec<u8>) -> u64 {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.entries.retain(|e| e.addr != addr);
+        let mut bytes = payload;
+        bytes.extend_from_slice(&canary_for(generation, addr));
+        self.entries.push_back(QuarantineEntry {
+            addr,
+            generation,
+            bytes,
+        });
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        generation
+    }
+
+    /// Drops the entry for `addr`, if held. Called when the allocator hands
+    /// the block back out: the address is live again, so the snapshot (and
+    /// its generation) must stop being findable — a live allocation never
+    /// aliases a quarantined one.
+    pub fn release(&mut self, addr: u64) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.addr != addr);
+        self.entries.len() != before
+    }
+
+    /// Finds the entry whose payload span contains `addr`.
+    #[must_use]
+    pub fn lookup(&self, addr: u64) -> Option<&QuarantineEntry> {
+        self.entries.iter().find(|e| e.contains(addr))
+    }
+
+    /// Mutable variant of [`lookup`](Self::lookup), for absorbing writes.
+    pub fn lookup_mut(&mut self, addr: u64) -> Option<&mut QuarantineEntry> {
+        self.entries.iter_mut().find(|e| e.contains(addr))
+    }
+
+    /// Finds the entry whose payload *starts* at `addr` — the double-free
+    /// check, which must not confuse an interior pointer with a block base.
+    #[must_use]
+    pub fn entry_at(&self, addr: u64) -> Option<&QuarantineEntry> {
+        self.entries.iter().find(|e| e.addr == addr)
+    }
+
+    /// Sweeps every held entry and counts violated canaries.
+    #[must_use]
+    pub fn verify_canaries(&self) -> usize {
+        self.entries.iter().filter(|e| !e.canary_intact()).count()
+    }
+
+    /// Iterates over the held entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &QuarantineEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_eviction_at_the_horizon() {
+        let mut arena = QuarantineArena::new(2);
+        arena.quarantine(0x1000, vec![1]);
+        arena.quarantine(0x2000, vec![2]);
+        arena.quarantine(0x3000, vec![3]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.evicted(), 1);
+        assert!(arena.lookup(0x1000).is_none(), "oldest fell off");
+        assert!(arena.lookup(0x2000).is_some());
+        assert!(arena.lookup(0x3000).is_some());
+    }
+
+    #[test]
+    fn generations_increase_monotonically() {
+        let mut arena = QuarantineArena::new(8);
+        let g1 = arena.quarantine(0x1000, vec![0; 4]);
+        let g2 = arena.quarantine(0x2000, vec![0; 4]);
+        assert!(g2 > g1);
+        arena.release(0x2000);
+        let g3 = arena.quarantine(0x2000, vec![0; 4]);
+        assert!(g3 > g2, "generations never reused, even for the same addr");
+    }
+
+    #[test]
+    fn interior_pointer_lookup_but_exact_double_free_check() {
+        let mut arena = QuarantineArena::new(4);
+        arena.quarantine(0x1000, vec![0xCC; 64]);
+        assert!(arena.lookup(0x1020).is_some(), "interior read resolves");
+        assert!(arena.entry_at(0x1020).is_none(), "not a block base");
+        assert!(arena.entry_at(0x1000).is_some());
+    }
+
+    #[test]
+    fn trailing_write_trips_the_canary() {
+        let mut arena = QuarantineArena::new(4);
+        arena.quarantine(0x1000, vec![0; 8]);
+        assert_eq!(arena.verify_canaries(), 0);
+        let entry = arena.lookup_mut(0x1000).unwrap();
+        entry.absorb_write(6, &[0xFF; 4]); // 2 in-bounds + 2 canary bytes
+        assert_eq!(entry.payload()[6..], [0xFF, 0xFF]);
+        assert_eq!(arena.verify_canaries(), 1);
+    }
+
+    #[test]
+    fn in_bounds_write_keeps_the_canary() {
+        let mut arena = QuarantineArena::new(4);
+        arena.quarantine(0x1000, vec![0; 8]);
+        arena.lookup_mut(0x1000).unwrap().absorb_write(0, &[1; 8]);
+        assert_eq!(arena.verify_canaries(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_holds_nothing() {
+        let mut arena = QuarantineArena::new(0);
+        arena.quarantine(0x1000, vec![1, 2, 3]);
+        assert!(arena.is_empty());
+        assert_eq!(arena.evicted(), 1);
+    }
+}

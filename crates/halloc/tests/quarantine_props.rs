@@ -1,0 +1,188 @@
+//! Property tests for the generational quarantine arena, mirroring how the
+//! recovery-mode tool drives it: payloads are snapshotted at `free` time,
+//! entries are released when the allocator hands the base address back out,
+//! and freed-buffer writes are absorbed into the quarantine copy.
+//!
+//! Three properties from the recovery layer's contract:
+//!
+//! 1. a quarantined read returns exactly the pre-free contents;
+//! 2. generations are unique and never alias a live allocation;
+//! 3. every injected trailing write is caught by the canary sweep.
+
+use proptest::prelude::*;
+use safemem_alloc::{canary_for, Heap, LayoutPolicy, QuarantineArena, CANARY_BYTES};
+use safemem_os::Os;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    /// Frees the i-th oldest live allocation (modulo live count).
+    Free(usize),
+    /// Writes into the i-th oldest quarantined entry at a payload offset.
+    FreedWrite(usize, usize, u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..300).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::Free),
+            ((0usize..64), (0usize..320), any::<u8>())
+                .prop_map(|(i, off, fill)| Op::FreedWrite(i, off, fill)),
+        ],
+        1..60,
+    )
+}
+
+/// Drives a heap + arena pair the way the recovery tool does and returns the
+/// model state: `(os, arena, snapshots)` where `snapshots` maps each
+/// still-quarantined base to the bytes the program owned at free time
+/// (updated for absorbed in-bounds writes) plus the set of entries whose
+/// canary was deliberately trampled.
+struct Model {
+    arena: QuarantineArena,
+    /// base → expected payload for entries still in quarantine.
+    snapshots: HashMap<u64, Vec<u8>>,
+    /// bases whose trailing canary received at least one injected write.
+    trampled: Vec<u64>,
+}
+
+fn run_ops(ops: &[Op], capacity: usize) -> Model {
+    let mut os = Os::with_defaults(1 << 24);
+    let mut heap = Heap::new(LayoutPolicy::LinePadded);
+    let mut arena = QuarantineArena::new(capacity);
+    let mut live: Vec<u64> = Vec::new();
+    let mut snapshots: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut quarantined: Vec<u64> = Vec::new();
+    let mut trampled: Vec<u64> = Vec::new();
+    let mut fill: u8 = 0;
+
+    for op in ops {
+        match op {
+            Op::Alloc(size) => {
+                let a = heap.alloc(&mut os, *size).unwrap();
+                // The tool releases the snapshot when the allocator hands the
+                // base back out: the address is live again.
+                if arena.release(a.addr) {
+                    snapshots.remove(&a.addr);
+                    quarantined.retain(|&b| b != a.addr);
+                    trampled.retain(|&b| b != a.addr);
+                }
+                fill = fill.wrapping_add(1);
+                os.vwrite(a.addr, &vec![fill; a.payload as usize]).unwrap();
+                live.push(a.addr);
+            }
+            Op::Free(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let addr = live.remove(i % live.len());
+                let payload = heap.allocation_at(addr).map_or(0, |a| a.payload);
+                let mut snapshot = vec![0u8; payload as usize];
+                os.vread(addr, &mut snapshot).unwrap();
+                heap.free(&mut os, addr).unwrap();
+                arena.quarantine(addr, snapshot.clone());
+                snapshots.insert(addr, snapshot);
+                quarantined.push(addr);
+            }
+            Op::FreedWrite(i, offset, byte) => {
+                if quarantined.is_empty() {
+                    continue;
+                }
+                let base = quarantined[i % quarantined.len()];
+                let Some(entry) = arena.lookup_mut(base) else {
+                    // Evicted past the horizon; the tool records a miss.
+                    continue;
+                };
+                let len = entry.len();
+                let offset = offset % (len + CANARY_BYTES);
+                entry.absorb_write(offset, &[*byte]);
+                if offset < len {
+                    snapshots.get_mut(&base).unwrap()[offset] = *byte;
+                } else {
+                    trampled.push(base);
+                }
+            }
+        }
+        // Mirror FIFO eviction in the model.
+        snapshots.retain(|base, _| arena.entry_at(*base).is_some());
+        quarantined.retain(|base| arena.entry_at(*base).is_some());
+        trampled.retain(|base| arena.entry_at(*base).is_some());
+    }
+    // A live allocation must never alias a quarantined entry.
+    let live_bases: Vec<u64> = heap.live_allocations().map(|a| a.base).collect();
+    for base in &live_bases {
+        assert!(
+            arena.entry_at(*base).is_none(),
+            "live base {base:#x} still quarantined"
+        );
+    }
+    Model {
+        arena,
+        snapshots,
+        trampled,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A quarantined read returns exactly the bytes the program owned when
+    /// it called `free` (as updated by any absorbed in-bounds writes).
+    #[test]
+    fn prop_quarantined_reads_return_prefree_contents(ops in ops()) {
+        let model = run_ops(&ops, 16);
+        for (base, expected) in &model.snapshots {
+            let entry = model.arena.entry_at(*base).unwrap();
+            prop_assert_eq!(entry.payload(), &expected[..]);
+            // Interior lookups resolve to the same entry.
+            if !expected.is_empty() {
+                let mid = base + (expected.len() as u64) / 2;
+                let found = model.arena.lookup(mid).unwrap();
+                prop_assert_eq!(found.addr, *base);
+            }
+        }
+    }
+
+    /// Generations are unique across the arena's lifetime, strictly below
+    /// the next-generation counter, and no quarantined base aliases a live
+    /// allocation (checked inside `run_ops` after the final step).
+    #[test]
+    fn prop_generations_never_alias_live_allocations(ops in ops()) {
+        let model = run_ops(&ops, 16);
+        let mut generations: Vec<u64> =
+            model.arena.entries().map(|e| e.generation).collect();
+        let held = generations.len();
+        generations.sort_unstable();
+        generations.dedup();
+        prop_assert_eq!(generations.len(), held, "duplicate generation");
+        for g in &generations {
+            prop_assert!(*g < model.arena.next_generation());
+        }
+    }
+
+    /// Every injected trailing write is caught: the canary sweep reports
+    /// exactly the entries whose canary span was written, and untouched
+    /// entries verify clean.
+    #[test]
+    fn prop_canaries_detect_every_trailing_write(ops in ops()) {
+        let model = run_ops(&ops, 16);
+        let mut expected: Vec<u64> = model.trampled.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(model.arena.verify_canaries(), expected.len());
+        for entry in model.arena.entries() {
+            let hit = expected.binary_search(&entry.addr).is_ok();
+            prop_assert_eq!(entry.canary_intact(), !hit);
+        }
+    }
+
+    /// The canary derivation never collides with an all-zero or all-ones
+    /// overwrite, so blanket fills are always detected.
+    #[test]
+    fn prop_canary_never_matches_blanket_fills(generation in 1u64..1 << 40, addr in 0u64..1 << 40) {
+        let canary = canary_for(generation, addr);
+        prop_assert_ne!(canary, [0u8; CANARY_BYTES]);
+    }
+}

@@ -8,6 +8,7 @@
 //!
 //! [`InputMode::Buggy`]: crate::driver::InputMode::Buggy
 
+pub mod cve;
 pub mod gzip;
 pub mod httpd;
 pub mod proftpd;
@@ -17,6 +18,7 @@ pub mod tar;
 pub mod ypserv1;
 pub mod ypserv2;
 
+pub use cve::{CveDfree, CveFmt, CveObo, CveUaf};
 pub use gzip::Gzip;
 pub use httpd::Httpd;
 pub use proftpd::Proftpd;

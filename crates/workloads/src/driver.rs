@@ -55,6 +55,8 @@ pub enum BugClass {
     Overflow,
     /// An access to freed memory.
     UseAfterFree,
+    /// A second `free` of an already-freed block.
+    DoubleFree,
 }
 
 impl BugClass {
@@ -72,6 +74,7 @@ impl fmt::Display for BugClass {
             BugClass::SLeak => write!(f, "memory leak (SLeak)"),
             BugClass::Overflow => write!(f, "buffer overflow"),
             BugClass::UseAfterFree => write!(f, "access to freed memory"),
+            BugClass::DoubleFree => write!(f, "double free"),
         }
     }
 }
@@ -161,6 +164,16 @@ pub trait Workload {
     /// The object groups the injected bug actually leaks (empty for
     /// corruption apps). Used to separate true from false positives.
     fn true_leak_groups(&self) -> Vec<GroupKey>;
+
+    /// Whether buggy runs of this workload access *freed* memory (use after
+    /// free, double free). Recording such a workload needs a freed-tracking
+    /// [`Recorder`](crate::Recorder) — a plain one re-attributes freed
+    /// accesses to the nearest live buffer and the bug evaporates from the
+    /// trace. Defaults to `false` so existing workloads record
+    /// byte-identical traces.
+    fn records_freed_accesses(&self) -> bool {
+        false
+    }
 }
 
 /// Runs a workload to completion under a tool and collects the result.
@@ -280,6 +293,13 @@ impl<'a> Ctx<'a> {
     /// Bernoulli draw with probability `permille`/1000.
     pub fn chance(&mut self, permille: u64) -> bool {
         self.rng.gen_range(0u64..1000) < permille
+    }
+
+    /// Records a ground-truth incident marker: the workload asserts the
+    /// access it just performed was a planted corruption of class `kind`.
+    /// Flows into the trace (and the campaign oracle) via the tool.
+    pub fn mark_incident(&mut self, kind: safemem_core::IncidentClass) {
+        self.tool.mark_incident(kind);
     }
 }
 

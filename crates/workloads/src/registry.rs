@@ -1,6 +1,8 @@
 //! The application registry: Table 1 as code.
 
-use crate::apps::{Gzip, Httpd, Proftpd, Squid1, Squid2, Tar, Ypserv1, Ypserv2};
+use crate::apps::{
+    CveDfree, CveFmt, CveObo, CveUaf, Gzip, Httpd, Proftpd, Squid1, Squid2, Tar, Ypserv1, Ypserv2,
+};
 use crate::driver::Workload;
 
 /// All seven evaluated applications in the paper's Table 1/3 order:
@@ -25,13 +27,27 @@ pub fn extension_workloads() -> Vec<Box<dyn Workload>> {
     vec![Box::new(Httpd)]
 }
 
+/// The synthetic-CVE corruption arena (see [`crate::apps::cve`]): scheduled
+/// corruption patterns with ground-truth incident markers, driven by the
+/// `arena` campaign preset.
+#[must_use]
+pub fn cve_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(CveUaf),
+        Box::new(CveDfree),
+        Box::new(CveObo),
+        Box::new(CveFmt),
+    ]
+}
+
 /// Looks an application up by name, searching Table 1 first, then the
-/// extension workloads.
+/// extension workloads, then the synthetic-CVE arena.
 #[must_use]
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
     all_workloads()
         .into_iter()
         .chain(extension_workloads())
+        .chain(cve_workloads())
         .find(|w| w.spec().name == name)
 }
 
@@ -71,6 +87,26 @@ mod tests {
         assert_eq!(
             workload_by_name("squid2").unwrap().spec().bug,
             BugClass::UseAfterFree
+        );
+    }
+
+    #[test]
+    fn cve_arena_is_separate_but_reachable() {
+        assert_eq!(all_workloads().len(), 7, "Table 1 stays authoritative");
+        let names: Vec<&str> = cve_workloads().iter().map(|w| w.spec().name).collect();
+        assert_eq!(names, ["cve-uaf", "cve-dfree", "cve-obo", "cve-fmt"]);
+        assert!(workload_by_name("cve-dfree").is_some());
+        for w in cve_workloads() {
+            assert!(!w.spec().bug.is_leak(), "{}", w.spec().name);
+            assert!(w.true_leak_groups().is_empty(), "{}", w.spec().name);
+        }
+        assert!(
+            cve_workloads()
+                .iter()
+                .filter(|w| w.records_freed_accesses())
+                .count()
+                == 2,
+            "uaf and dfree need freed-tracking recording"
         );
     }
 

@@ -13,7 +13,7 @@
 //! the replay tool's addresses (placements differ across layout policies).
 
 use crate::driver::RunResult;
-use safemem_core::{CallStack, MemTool};
+use safemem_core::{CallStack, IncidentClass, MemTool};
 use safemem_os::Os;
 use std::collections::HashMap;
 
@@ -67,6 +67,42 @@ pub enum TraceOp {
     Io {
         /// Nanoseconds of wait.
         ns: u64,
+    },
+    /// Read of a *freed* buffer (use-after-free). Plain `Read` ops on freed
+    /// ids are skipped at replay; this variant is emitted only by a
+    /// freed-tracking recorder ([`Recorder::with_freed_tracking`]) so the
+    /// bug survives the round trip through the trace.
+    ReadFreed {
+        /// Buffer id from the corresponding `Malloc`.
+        id: u32,
+        /// Byte offset within the freed buffer.
+        offset: i64,
+        /// Length.
+        len: u32,
+    },
+    /// Write into a *freed* buffer (use-after-free store).
+    WriteFreed {
+        /// Buffer id.
+        id: u32,
+        /// Byte offset within the freed buffer.
+        offset: i64,
+        /// Length.
+        len: u32,
+        /// Fill byte.
+        fill: u8,
+    },
+    /// A second `free` of an already-freed buffer (double free). Emitted
+    /// only by a freed-tracking recorder.
+    FreeAgain {
+        /// Buffer id.
+        id: u32,
+    },
+    /// Ground-truth incident marker: the workload *knows* the preceding op
+    /// was a planted corruption. Metadata for the campaign oracle, not a
+    /// memory operation.
+    Marker {
+        /// The planted incident's class.
+        kind: IncidentClass,
     },
 }
 
@@ -144,6 +180,28 @@ impl Trace {
                 }
                 TraceOp::Io { ns } => {
                     let _ = writeln!(out, "I {ns}");
+                }
+                TraceOp::ReadFreed { id, offset, len } => {
+                    let _ = writeln!(out, "RF {id} {offset} {len}");
+                }
+                TraceOp::WriteFreed {
+                    id,
+                    offset,
+                    len,
+                    fill,
+                } => {
+                    let _ = writeln!(out, "WF {id} {offset} {len} {fill}");
+                }
+                TraceOp::FreeAgain { id } => {
+                    let _ = writeln!(out, "FF {id}");
+                }
+                TraceOp::Marker { kind } => {
+                    let tag = match kind {
+                        IncidentClass::Overflow => "O",
+                        IncidentClass::UseAfterFree => "U",
+                        IncidentClass::DoubleFree => "D",
+                    };
+                    let _ = writeln!(out, "K {tag}");
                 }
             }
         }
@@ -227,6 +285,51 @@ impl Trace {
                     });
                 }
                 "I" => trace.push(TraceOp::Io { ns: num("ns")? }),
+                "RF" => {
+                    let id = num("id")? as u32;
+                    let offset = parts
+                        .next()
+                        .and_then(|t| t.parse::<i64>().ok())
+                        .ok_or_else(|| err("offset"))?;
+                    let len = parts
+                        .next()
+                        .and_then(|t| t.parse::<u32>().ok())
+                        .ok_or_else(|| err("len"))?;
+                    trace.push(TraceOp::ReadFreed { id, offset, len });
+                }
+                "WF" => {
+                    let id = num("id")? as u32;
+                    let offset = parts
+                        .next()
+                        .and_then(|t| t.parse::<i64>().ok())
+                        .ok_or_else(|| err("offset"))?;
+                    let len = parts
+                        .next()
+                        .and_then(|t| t.parse::<u32>().ok())
+                        .ok_or_else(|| err("len"))?;
+                    let fill = parts
+                        .next()
+                        .and_then(|t| t.parse::<u8>().ok())
+                        .ok_or_else(|| err("fill"))?;
+                    trace.push(TraceOp::WriteFreed {
+                        id,
+                        offset,
+                        len,
+                        fill,
+                    });
+                }
+                "FF" => trace.push(TraceOp::FreeAgain {
+                    id: num("id")? as u32,
+                }),
+                "K" => {
+                    let kind = match parts.next().ok_or_else(|| err("kind"))? {
+                        "O" => IncidentClass::Overflow,
+                        "U" => IncidentClass::UseAfterFree,
+                        "D" => IncidentClass::DoubleFree,
+                        _ => return Err(err("unknown marker kind")),
+                    };
+                    trace.push(TraceOp::Marker { kind });
+                }
                 _ => return Err(err("unknown op tag")),
             }
         }
@@ -251,6 +354,7 @@ impl Trace {
     /// [`Trace::replay`].
     pub fn replay_naive(&self, os: &mut Os, tool: &mut dyn MemTool) -> RunResult {
         let mut addrs: HashMap<u32, u64> = HashMap::new();
+        let mut freed: HashMap<u32, u64> = HashMap::new();
         let mut next_id: u32 = 0;
         for op in &self.ops {
             match op {
@@ -262,6 +366,7 @@ impl Trace {
                 }
                 TraceOp::Free { id } => {
                     if let Some(addr) = addrs.remove(id) {
+                        freed.insert(*id, addr);
                         tool.free(os, addr);
                     }
                 }
@@ -289,6 +394,29 @@ impl Trace {
                     tool.compute(os, *cycles, *mem_accesses);
                 }
                 TraceOp::Io { ns } => os.io_wait_ns(*ns),
+                TraceOp::ReadFreed { id, offset, len } => {
+                    if let Some(&addr) = freed.get(id) {
+                        let mut buf = vec![0u8; *len as usize];
+                        tool.read(os, addr.wrapping_add_signed(*offset), &mut buf);
+                    }
+                }
+                TraceOp::WriteFreed {
+                    id,
+                    offset,
+                    len,
+                    fill,
+                } => {
+                    if let Some(&addr) = freed.get(id) {
+                        let data = vec![*fill; *len as usize];
+                        tool.write(os, addr.wrapping_add_signed(*offset), &data);
+                    }
+                }
+                TraceOp::FreeAgain { id } => {
+                    if let Some(&addr) = freed.get(id) {
+                        tool.free(os, addr);
+                    }
+                }
+                TraceOp::Marker { kind } => tool.mark_incident(*kind),
             }
         }
         tool.finish(os);
@@ -300,10 +428,12 @@ impl Trace {
     }
 }
 
-/// Sentinel in the [`Replayer`] slot map marking a freed buffer. Replay
-/// addresses are heap virtual addresses well below the address-space top,
-/// so the value cannot collide with a live buffer.
-const FREED: u64 = u64::MAX;
+/// Flag bit marking a retired (freed) slot in the [`Replayer`] slot map.
+/// The freed address is kept under the flag so freed-access ops
+/// (`ReadFreed`/`WriteFreed`/`FreeAgain`) can still resolve it; plain
+/// accesses skip flagged slots. Heap virtual addresses never reach bit 63,
+/// so the flag cannot collide with a live address.
+const RETIRED: u64 = 1 << 63;
 
 /// Allocation-free trace replay engine.
 ///
@@ -311,7 +441,8 @@ const FREED: u64 = u64::MAX;
 /// times (once per panel tool), and the original [`Trace::replay_naive`]
 /// heap-allocated a scratch `Vec` for every `Read`/`Write` op and
 /// translated ids through a `HashMap`. Ids are assigned densely at `Malloc`
-/// time, so a `Vec<u64>` slot map (with [`FREED`] marking dead slots)
+/// time, so a `Vec<u64>` slot map (with the [`RETIRED`] flag bit marking
+/// dead slots)
 /// replaces the hash table, and one grow-only scratch buffer serves every
 /// payload. The struct is reusable across traces: buffers are cleared, not
 /// dropped, so a worker thread replaying an entire campaign shard touches
@@ -365,8 +496,8 @@ impl Replayer {
                     );
                     if let Some(slot) = self.addrs.get_mut(*id as usize) {
                         let addr = *slot;
-                        if addr != FREED {
-                            *slot = FREED;
+                        if addr & RETIRED == 0 {
+                            *slot = addr | RETIRED;
                             tool.free(os, addr);
                         }
                     }
@@ -378,7 +509,7 @@ impl Replayer {
                         self.addrs.len()
                     );
                     match self.addrs.get(*id as usize).copied() {
-                        Some(addr) if addr != FREED => {
+                        Some(addr) if addr & RETIRED == 0 => {
                             let addr = addr.wrapping_add_signed(*offset);
                             let buf = self.scratch_mut(*len as usize);
                             tool.read(os, addr, buf);
@@ -398,7 +529,7 @@ impl Replayer {
                         self.addrs.len()
                     );
                     match self.addrs.get(*id as usize).copied() {
-                        Some(addr) if addr != FREED => {
+                        Some(addr) if addr & RETIRED == 0 => {
                             let addr = addr.wrapping_add_signed(*offset);
                             let data = self.scratch_mut(*len as usize);
                             data.fill(*fill);
@@ -414,6 +545,56 @@ impl Replayer {
                     tool.compute(os, *cycles, *mem_accesses);
                 }
                 TraceOp::Io { ns } => os.io_wait_ns(*ns),
+                TraceOp::ReadFreed { id, offset, len } => {
+                    debug_assert!(
+                        (*id as usize) < self.addrs.len(),
+                        "trace reads freed id {id} but only {} ids were bound",
+                        self.addrs.len()
+                    );
+                    match self.addrs.get(*id as usize).copied() {
+                        Some(slot) if slot & RETIRED != 0 => {
+                            let addr = (slot & !RETIRED).wrapping_add_signed(*offset);
+                            let buf = self.scratch_mut(*len as usize);
+                            tool.read(os, addr, buf);
+                        }
+                        _ => {}
+                    }
+                }
+                TraceOp::WriteFreed {
+                    id,
+                    offset,
+                    len,
+                    fill,
+                } => {
+                    debug_assert!(
+                        (*id as usize) < self.addrs.len(),
+                        "trace writes freed id {id} but only {} ids were bound",
+                        self.addrs.len()
+                    );
+                    match self.addrs.get(*id as usize).copied() {
+                        Some(slot) if slot & RETIRED != 0 => {
+                            let addr = (slot & !RETIRED).wrapping_add_signed(*offset);
+                            let data = self.scratch_mut(*len as usize);
+                            data.fill(*fill);
+                            tool.write(os, addr, data);
+                        }
+                        _ => {}
+                    }
+                }
+                TraceOp::FreeAgain { id } => {
+                    debug_assert!(
+                        (*id as usize) < self.addrs.len(),
+                        "trace re-frees id {id} but only {} ids were bound",
+                        self.addrs.len()
+                    );
+                    match self.addrs.get(*id as usize).copied() {
+                        Some(slot) if slot & RETIRED != 0 => {
+                            tool.free(os, slot & !RETIRED);
+                        }
+                        _ => {}
+                    }
+                }
+                TraceOp::Marker { kind } => tool.mark_incident(*kind),
             }
         }
         tool.finish(os);
@@ -432,6 +613,15 @@ pub struct Recorder<'a> {
     trace: Trace,
     ids: HashMap<u64, u32>,
     next_id: u32,
+    /// When set, accesses to freed buffers are recorded as
+    /// `ReadFreed`/`WriteFreed`/`FreeAgain` instead of being re-attributed
+    /// to the nearest live buffer (or silently recorded as a plain `Free`
+    /// miss). Off by default: existing workloads produce byte-identical
+    /// traces.
+    track_freed: bool,
+    /// Freed spans still addressable by freed-access ops: base address →
+    /// (buffer id, payload size at free time).
+    freed_spans: HashMap<u64, (u32, u64)>,
 }
 
 impl<'a> Recorder<'a> {
@@ -442,7 +632,18 @@ impl<'a> Recorder<'a> {
             trace: Trace::new(),
             ids: HashMap::new(),
             next_id: 0,
+            track_freed: false,
+            freed_spans: HashMap::new(),
         }
+    }
+
+    /// Wraps a tool with freed-buffer tracking enabled, for workloads whose
+    /// planted bugs touch freed memory (see
+    /// [`Workload::records_freed_accesses`](crate::Workload::records_freed_accesses)).
+    pub fn with_freed_tracking(inner: &'a mut dyn MemTool) -> Self {
+        let mut rec = Recorder::new(inner);
+        rec.track_freed = true;
+        rec
     }
 
     /// Consumes the recorder, returning the captured trace.
@@ -467,6 +668,21 @@ impl<'a> Recorder<'a> {
             .max_by_key(|(&base, _)| base)?;
         Some((*owner.1, (addr - owner.0) as i64))
     }
+
+    /// The freed buffer id and offset for `addr`, if `addr` falls inside a
+    /// tracked freed span. Exact base match first, then containment within
+    /// the span's payload recorded at free time.
+    fn locate_freed(&self, addr: u64) -> Option<(u32, i64)> {
+        if let Some(&(id, _)) = self.freed_spans.get(&addr) {
+            return Some((id, 0));
+        }
+        let owner = self
+            .freed_spans
+            .iter()
+            .filter(|(&base, &(_, size))| base <= addr && addr < base + size.max(1))
+            .max_by_key(|(&base, _)| base)?;
+        Some((owner.1 .0, (addr - owner.0) as i64))
+    }
 }
 
 impl MemTool for Recorder<'_> {
@@ -486,12 +702,27 @@ impl MemTool for Recorder<'_> {
         });
         self.ids.insert(addr, self.next_id);
         self.next_id += 1;
+        // Address reuse retires the freed span: the id now bound to this
+        // base owns subsequent accesses.
+        self.freed_spans.remove(&addr);
         addr
     }
 
     fn free(&mut self, os: &mut Os, addr: u64) {
         if let Some(id) = self.ids.remove(&addr) {
+            if self.track_freed {
+                let payload = self
+                    .inner
+                    .heap()
+                    .allocation_at(addr)
+                    .map_or(0, |a| a.payload);
+                self.freed_spans.insert(addr, (id, payload));
+            }
             self.trace.push(TraceOp::Free { id });
+        } else if self.track_freed {
+            if let Some(&(id, _)) = self.freed_spans.get(&addr) {
+                self.trace.push(TraceOp::FreeAgain { id });
+            }
         }
         self.inner.free(os, addr);
     }
@@ -514,6 +745,17 @@ impl MemTool for Recorder<'_> {
     }
 
     fn read(&mut self, os: &mut Os, addr: u64, buf: &mut [u8]) {
+        if self.track_freed {
+            if let Some((id, offset)) = self.locate_freed(addr) {
+                self.trace.push(TraceOp::ReadFreed {
+                    id,
+                    offset,
+                    len: buf.len() as u32,
+                });
+                self.inner.read(os, addr, buf);
+                return;
+            }
+        }
         if let Some((id, offset)) = self.locate(addr) {
             self.trace.push(TraceOp::Read {
                 id,
@@ -525,6 +767,18 @@ impl MemTool for Recorder<'_> {
     }
 
     fn write(&mut self, os: &mut Os, addr: u64, data: &[u8]) {
+        if self.track_freed {
+            if let Some((id, offset)) = self.locate_freed(addr) {
+                self.trace.push(TraceOp::WriteFreed {
+                    id,
+                    offset,
+                    len: data.len() as u32,
+                    fill: data.first().copied().unwrap_or(0),
+                });
+                self.inner.write(os, addr, data);
+                return;
+            }
+        }
         if let Some((id, offset)) = self.locate(addr) {
             self.trace.push(TraceOp::Write {
                 id,
@@ -550,6 +804,15 @@ impl MemTool for Recorder<'_> {
 
     fn reports(&self) -> Vec<safemem_core::BugReport> {
         self.inner.reports()
+    }
+
+    fn mark_incident(&mut self, kind: IncidentClass) {
+        self.trace.push(TraceOp::Marker { kind });
+        self.inner.mark_incident(kind);
+    }
+
+    fn survival(&self) -> Option<safemem_core::SurvivalSummary> {
+        self.inner.survival()
     }
 }
 
@@ -592,7 +855,138 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(Trace::from_text("X 1 2 3").is_err());
         assert!(Trace::from_text("F notanumber").is_err());
+        assert!(Trace::from_text("K Q").is_err());
         assert!(Trace::from_text("# comment only\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn freed_ops_and_markers_roundtrip() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Malloc {
+            size: 64,
+            frames: vec![0x1],
+        });
+        t.push(TraceOp::Free { id: 0 });
+        t.push(TraceOp::ReadFreed {
+            id: 0,
+            offset: 8,
+            len: 4,
+        });
+        t.push(TraceOp::Marker {
+            kind: IncidentClass::UseAfterFree,
+        });
+        t.push(TraceOp::WriteFreed {
+            id: 0,
+            offset: 0,
+            len: 16,
+            fill: 9,
+        });
+        t.push(TraceOp::FreeAgain { id: 0 });
+        t.push(TraceOp::Marker {
+            kind: IncidentClass::DoubleFree,
+        });
+        t.push(TraceOp::Marker {
+            kind: IncidentClass::Overflow,
+        });
+        let parsed = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn freed_tracking_recorder_emits_freed_ops() {
+        let mut os = Os::with_defaults(1 << 22);
+        let mut base = NullTool::new();
+        let mut recorder = Recorder::with_freed_tracking(&mut base);
+        let stack = CallStack::new(&[0x10]);
+        let a = recorder.malloc(&mut os, 64, &stack);
+        recorder.write(&mut os, a, &[1u8; 64]);
+        recorder.free(&mut os, a);
+        recorder.read(&mut os, a + 8, &mut [0u8; 4]); // UAF read
+        recorder.free(&mut os, a); // double free
+        let trace = recorder.into_trace();
+        assert!(trace.ops().iter().any(|op| matches!(
+            op,
+            TraceOp::ReadFreed {
+                id: 0,
+                offset: 8,
+                len: 4
+            }
+        )));
+        assert!(trace
+            .ops()
+            .iter()
+            .any(|op| matches!(op, TraceOp::FreeAgain { id: 0 })));
+    }
+
+    #[test]
+    fn untracked_recorder_trace_is_unchanged_by_freed_accesses() {
+        // Recorder::new must keep emitting the exact op stream it always
+        // did, even when the workload touches freed memory.
+        let run = |tracking: bool| {
+            let mut os = Os::with_defaults(1 << 22);
+            let mut base = NullTool::new();
+            let mut recorder = if tracking {
+                Recorder::with_freed_tracking(&mut base)
+            } else {
+                Recorder::new(&mut base)
+            };
+            let stack = CallStack::new(&[0x10]);
+            let a = recorder.malloc(&mut os, 64, &stack);
+            recorder.write(&mut os, a, &[1u8; 64]);
+            recorder.free(&mut os, a);
+            recorder.read(&mut os, a + 8, &mut [0u8; 4]);
+            recorder.into_trace()
+        };
+        let plain = run(false);
+        let tracked = run(true);
+        assert!(!plain
+            .ops()
+            .iter()
+            .any(|op| matches!(op, TraceOp::ReadFreed { .. })));
+        assert!(tracked
+            .ops()
+            .iter()
+            .any(|op| matches!(op, TraceOp::ReadFreed { .. })));
+    }
+
+    #[test]
+    fn replayer_matches_naive_on_freed_op_traces() {
+        let mut t = Trace::new();
+        t.push(TraceOp::Malloc {
+            size: 100,
+            frames: vec![0x1],
+        });
+        t.push(TraceOp::Write {
+            id: 0,
+            offset: 0,
+            len: 100,
+            fill: 7,
+        });
+        t.push(TraceOp::Free { id: 0 });
+        t.push(TraceOp::ReadFreed {
+            id: 0,
+            offset: 16,
+            len: 8,
+        });
+        t.push(TraceOp::Marker {
+            kind: IncidentClass::UseAfterFree,
+        });
+        t.push(TraceOp::FreeAgain { id: 0 });
+        t.push(TraceOp::Marker {
+            kind: IncidentClass::DoubleFree,
+        });
+        let naive = {
+            let mut os = Os::with_defaults(1 << 22);
+            let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+            t.replay_naive(&mut os, &mut tool)
+        };
+        let fast = {
+            let mut os = Os::with_defaults(1 << 22);
+            let mut tool = SafeMem::builder().leak_detection(false).build(&mut os);
+            Replayer::new().replay(&t, &mut os, &mut tool)
+        };
+        assert_eq!(naive, fast);
+        assert!(naive.corruption_detected(), "{:?}", naive.reports);
     }
 
     #[test]

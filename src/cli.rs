@@ -229,7 +229,11 @@ impl Cli {
                 seed: self.seed,
             };
             if let Some(path) = &self.trace_out {
-                let mut recorder = Recorder::new(tool.as_mut());
+                let mut recorder = if workload.records_freed_accesses() {
+                    Recorder::with_freed_tracking(tool.as_mut())
+                } else {
+                    Recorder::new(tool.as_mut())
+                };
                 workload.run(&mut os, &mut recorder, &cfg);
                 let trace = recorder.into_trace();
                 std::fs::write(path, trace.to_text())
@@ -286,9 +290,13 @@ pub fn campaign_usage() -> String {
          \n\
          OPTIONS:\n\
          \x20 --preset <name>     {presets} (default harsh)\n\
+         \x20                     arena runs SafeMem with recovery enabled against the\n\
+         \x20                     synthetic-CVE corruption workloads and scores\n\
+         \x20                     survival-with-integrity alongside detection\n\
          \x20 --seeds <n>         number of campaign seeds to fan out (default 8)\n\
          \x20 --seed0 <n>         first seed (default 0)\n\
-         \x20 --workloads <a,b>   comma-separated workload names (default: {workloads})\n\
+         \x20 --workloads <a,b>   comma-separated workload names (default: {workloads};\n\
+         \x20                     for --preset arena: {arena_workloads})\n\
          \x20 --requests <n>      request count override\n\
          \x20 --threads <n>       worker threads sharding the campaign matrix\n\
          \x20                     (default: available parallelism; the scorecard is\n\
@@ -302,6 +310,7 @@ pub fn campaign_usage() -> String {
          \x20 --verbose           print every per-campaign scorecard, not just the aggregate\n",
         presets = crate::faultinject::CampaignSpec::PRESETS.join(" | "),
         workloads = crate::faultinject::spec::PRESET_WORKLOADS.join(","),
+        arena_workloads = crate::faultinject::spec::CVE_WORKLOADS.join(","),
     )
 }
 
@@ -346,10 +355,7 @@ impl CampaignCli {
             preset: "harsh".into(),
             seeds: 8,
             seed0: 0,
-            workloads: crate::faultinject::spec::PRESET_WORKLOADS
-                .iter()
-                .map(|s| (*s).to_string())
-                .collect(),
+            workloads: Vec::new(),
             requests: None,
             threads: None,
             bench_threads: Vec::new(),
@@ -433,6 +439,16 @@ impl CampaignCli {
         }
         if cli.seeds == 0 {
             return Err(CliError("--seeds must be at least 1".into()));
+        }
+        if cli.workloads.is_empty() {
+            // The arena preset sweeps the synthetic-CVE family by default;
+            // every other preset sweeps the Table 1 subset.
+            let default = if cli.preset == "arena" {
+                crate::faultinject::spec::CVE_WORKLOADS
+            } else {
+                crate::faultinject::spec::PRESET_WORKLOADS
+            };
+            cli.workloads = default.iter().map(|s| (*s).to_string()).collect();
         }
         Ok(cli)
     }
@@ -539,12 +555,17 @@ impl CampaignCli {
                 .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         }
 
-        let ok = matrix
+        let harsh_ok = matrix
             .results
             .iter()
             .filter(|r| !r.spec.mix.injects_uncorrectable())
             .all(crate::faultinject::CampaignResult::harsh_invariant_holds);
-        Ok((report, ok))
+        let survival_ok = matrix
+            .results
+            .iter()
+            .filter(|r| r.truth.markers.total() > 0)
+            .all(crate::faultinject::CampaignResult::survival_invariant_holds);
+        Ok((report, harsh_ok && survival_ok))
     }
 }
 
