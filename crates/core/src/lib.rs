@@ -51,6 +51,7 @@ pub mod leak;
 pub mod null_tool;
 pub mod report;
 pub mod safemem_tool;
+pub mod sampling;
 pub mod signature;
 pub mod tool;
 
@@ -62,5 +63,6 @@ pub use leak::{LeakConfig, LeakDetector, LeakStats};
 pub use null_tool::NullTool;
 pub use report::{BugReport, LeakKind, OverflowSide};
 pub use safemem_tool::{SafeMem, SafeMemBuilder};
+pub use sampling::{SamplingPlan, SamplingSummary, PPM};
 pub use signature::{CallStack, GroupKey};
 pub use tool::MemTool;

@@ -9,10 +9,12 @@ use crate::corruption::{CorruptionConfig, CorruptionDetector};
 use crate::heal::{Healer, SurvivalSummary};
 use crate::leak::{LeakConfig, LeakDetector, LeakStats};
 use crate::report::BugReport;
+use crate::sampling::{SamplingPlan, SamplingSummary};
 use crate::signature::CallStack;
 use crate::tool::{MemTool, MAX_FAULT_RETRIES};
 use safemem_alloc::{Heap, LayoutPolicy};
 use safemem_os::{Os, OsFault, UserEccFault};
+use std::collections::HashSet;
 
 /// Builder for a [`SafeMem`] instance.
 ///
@@ -39,6 +41,7 @@ pub struct SafeMemBuilder {
     leak_config: LeakConfig,
     recovery: bool,
     quarantine_capacity: usize,
+    sampling: SamplingPlan,
 }
 
 impl Default for SafeMemBuilder {
@@ -51,6 +54,7 @@ impl Default for SafeMemBuilder {
             leak_config: LeakConfig::default(),
             recovery: false,
             quarantine_capacity: 64,
+            sampling: SamplingPlan::always(),
         }
     }
 }
@@ -115,6 +119,18 @@ impl SafeMemBuilder {
         self
     }
 
+    /// Samples the instrumentation per allocation (default: every
+    /// allocation, i.e. today's always-on SafeMem). Unsampled allocations
+    /// get the plain line-aligned layout with no guard pads, no
+    /// leak-group tracking, and no freed-buffer watching or quarantine
+    /// snapshot — zero instrumentation cost beyond the allocator itself.
+    /// Sampled allocations behave exactly as under the always-on tool.
+    #[must_use]
+    pub fn sampling(mut self, plan: SamplingPlan) -> Self {
+        self.sampling = plan;
+        self
+    }
+
     /// Builds the tool, registering the ECC fault handler with the OS.
     #[must_use]
     pub fn build(self, os: &mut Os) -> SafeMem {
@@ -145,6 +161,10 @@ impl SafeMemBuilder {
             heal: self.recovery.then(|| Healer::new(self.quarantine_capacity)),
             reports: Vec::new(),
             breakpoint: None,
+            sampling: self.sampling,
+            alloc_index: 0,
+            sampled_allocs: 0,
+            unsampled_live: HashSet::new(),
         }
     }
 }
@@ -162,6 +182,15 @@ pub struct SafeMem {
     reports: Vec<BugReport>,
     /// The first corruption bug observed, frozen for debugger attachment.
     breakpoint: Option<BugReport>,
+    /// Per-allocation instrumentation sampling (always-on by default).
+    sampling: SamplingPlan,
+    /// Allocations seen so far: the index fed to the sampling decision.
+    alloc_index: u64,
+    /// How many of them drew the full instrumentation treatment.
+    sampled_allocs: u64,
+    /// Live payload addresses that skipped instrumentation, so `free` can
+    /// skip the matching teardown. Empty under the always-on plan.
+    unsampled_live: HashSet<u64>,
 }
 
 impl SafeMem {
@@ -323,17 +352,35 @@ impl MemTool for SafeMem {
     }
 
     fn malloc(&mut self, os: &mut Os, size: u64, stack: &CallStack) -> u64 {
-        let allocation = self.heap.alloc(os, size).expect("heap exhausted");
+        let sampled = self.sampling.samples(self.alloc_index);
+        self.alloc_index += 1;
+        let allocation = if sampled {
+            self.sampled_allocs += 1;
+            self.heap.alloc(os, size).expect("heap exhausted")
+        } else {
+            // Unsampled allocations take the uninstrumented line-aligned
+            // layout: no guard pads to arm, nothing to watch. The
+            // (stride, offset) free-list keying in the heap keeps them
+            // from reusing a sampled placement's base (whose payload
+            // address could still be quarantine-watched).
+            self.heap
+                .alloc_with_policy(os, size, LayoutPolicy::LineAligned)
+                .expect("heap exhausted")
+        };
         if let Some(healer) = &mut self.heal {
             // The address is live again: drop its snapshot so no live
             // allocation ever aliases a quarantined generation.
             healer.quarantine_mut().release(allocation.addr);
         }
-        if let Some(corruption) = &mut self.corruption {
-            corruption.on_alloc(os, &allocation);
-        }
-        if let Some(leak) = &mut self.leak {
-            leak.on_alloc(os, allocation.addr, allocation.payload, stack);
+        if sampled {
+            if let Some(corruption) = &mut self.corruption {
+                corruption.on_alloc(os, &allocation);
+            }
+            if let Some(leak) = &mut self.leak {
+                leak.on_alloc(os, allocation.addr, allocation.payload, stack);
+            }
+        } else {
+            self.unsampled_live.insert(allocation.addr);
         }
         allocation.addr
     }
@@ -360,6 +407,13 @@ impl MemTool for SafeMem {
             } else {
                 self.reports.push(BugReport::WildFree { addr });
             }
+            return;
+        }
+        if self.unsampled_live.remove(&addr) {
+            // An unsampled allocation carried no instrumentation, so its
+            // free tears none down: no leak bookkeeping, no quarantine
+            // snapshot, no freed-buffer watch.
+            self.heap.free(os, addr).expect("checked live above");
             return;
         }
         if let Some(leak) = &mut self.leak {
@@ -447,6 +501,14 @@ impl MemTool for SafeMem {
         self.heal
             .as_ref()
             .map(|h| h.summary(self.heap.verify_integrity()))
+    }
+
+    fn sampling(&self) -> Option<SamplingSummary> {
+        Some(SamplingSummary {
+            rate_ppm: self.sampling.rate_ppm(),
+            total_allocs: self.alloc_index,
+            sampled_allocs: self.sampled_allocs,
+        })
     }
 }
 
@@ -791,6 +853,84 @@ mod tests {
         // A free of the reused block is a legitimate free, not a double free.
         tool.free(&mut os, b);
         assert!(tool.reports().iter().all(|r| !r.is_corruption()));
+    }
+
+    #[test]
+    fn unsampled_allocations_are_unguarded_and_silent() {
+        use crate::sampling::SamplingPlan;
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .sampling(SamplingPlan::new(0, 99))
+            .build(&mut os);
+        let watched_before = os.watched_region_count();
+        let a = tool.malloc(&mut os, 64, &stack(1));
+        let alloc = *tool.heap().allocation_at(a).unwrap();
+        assert_eq!(alloc.pad_before(), 0, "no guard pads when unsampled");
+        assert_eq!(os.watched_region_count(), watched_before, "nothing armed");
+        // Overflowing and touching after free go undetected — the cost of
+        // sampling out — but nothing crashes and nothing is misreported.
+        tool.write(&mut os, a + 64, &[1u8; 8]);
+        tool.free(&mut os, a);
+        tool.read(&mut os, a, &mut [0u8; 8]);
+        assert!(tool.all_reports().is_empty(), "{:?}", tool.all_reports());
+        let summary = tool.sampling().unwrap();
+        assert_eq!((summary.total_allocs, summary.sampled_allocs), (1, 0));
+    }
+
+    #[test]
+    fn full_rate_sampling_matches_the_default_tool() {
+        use crate::sampling::{SamplingPlan, PPM};
+        let mut os_a = os();
+        let mut os_b = os();
+        let mut plain = SafeMem::builder().leak_detection(false).build(&mut os_a);
+        let mut full = SafeMem::builder()
+            .leak_detection(false)
+            .sampling(SamplingPlan::new(PPM, 1234))
+            .build(&mut os_b);
+        for tool_os in [(&mut plain, &mut os_a), (&mut full, &mut os_b)] {
+            let (tool, os) = tool_os;
+            let a = tool.malloc(os, 100, &stack(2));
+            tool.write(os, a, &[5u8; 100]);
+            tool.write(os, a + 90, &[6u8; 40]); // overflow
+            tool.free(os, a);
+            tool.read(os, a, &mut [0u8; 4]); // use after free
+        }
+        assert_eq!(plain.all_reports(), full.all_reports());
+        assert_eq!(plain.heap().stats(), full.heap().stats());
+        assert_eq!(os_a.cpu_cycles(), os_b.cpu_cycles());
+    }
+
+    #[test]
+    fn mixed_population_frees_do_not_cross_detectors() {
+        use crate::sampling::SamplingPlan;
+        let mut os = os();
+        // Seed chosen arbitrarily; at 50% both populations appear quickly.
+        let plan = SamplingPlan::new(500_000, 0xABCD);
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .recovery(true)
+            .sampling(plan)
+            .build(&mut os);
+        let addrs: Vec<u64> = (0..32)
+            .map(|i| tool.malloc(&mut os, 64, &stack(i)))
+            .collect();
+        let sampled: Vec<bool> = (0..32).map(|i| plan.samples(i)).collect();
+        assert!(sampled.iter().any(|&s| s) && sampled.iter().any(|&s| !s));
+        for &a in &addrs {
+            tool.free(&mut os, a);
+        }
+        // Fresh allocations reusing freed space never trip a stale freed
+        // watch or quarantine entry from the other population.
+        for i in 0..32u64 {
+            let b = tool.malloc(&mut os, 64, &stack(100 + i));
+            tool.write(&mut os, b, &[7u8; 64]);
+        }
+        assert!(
+            tool.all_reports().is_empty(),
+            "spurious reports from cross-population reuse: {:?}",
+            tool.all_reports()
+        );
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Per-allocation sampling of SafeMem's instrumentation.
+//!
+//! The paper's production story depends on keeping steady-state cost
+//! negligible; GWP-ASan showed the deployable form of heap protection is
+//! *sampled* — only a random subset of allocations carries guards, trading
+//! detection probability for near-zero overhead. A [`SamplingPlan`] makes
+//! that decision per allocation as a pure function of `(seed, allocation
+//! index)`, so a campaign replaying the same recorded trace under different
+//! thread counts or trace-sharing modes always samples the same set.
+//!
+//! Two properties matter for the overhead-vs-detection frontier:
+//!
+//! 1. **Determinism** — `samples(i)` depends only on the plan's seed and
+//!    `i`. No global state, no wall clock.
+//! 2. **Nesting across rates** — the decision hashes `(seed, i)` once and
+//!    compares against a threshold derived from the rate, so the sampled
+//!    set at a lower rate is a strict subset of the set at any higher rate
+//!    (same seed). Detection probability is therefore monotone
+//!    non-decreasing in the rate, which the frontier test layer pins.
+
+/// Sampling rates are expressed in parts-per-million: `1_000_000` = every
+/// allocation instrumented (today's always-on SafeMem), `10_000` = 1%.
+pub const PPM: u32 = 1_000_000;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix with no state.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The per-allocation sampling decision function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SamplingPlan {
+    rate_ppm: u32,
+    seed: u64,
+}
+
+impl Default for SamplingPlan {
+    fn default() -> Self {
+        SamplingPlan::always()
+    }
+}
+
+impl SamplingPlan {
+    /// A plan sampling at `rate_ppm` parts-per-million, keyed by `seed`
+    /// (derive the seed from the campaign's keyed RNG with a dedicated
+    /// stream so it never correlates with fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_ppm` exceeds [`PPM`].
+    #[must_use]
+    pub fn new(rate_ppm: u32, seed: u64) -> Self {
+        assert!(rate_ppm <= PPM, "sampling rate {rate_ppm} > {PPM} ppm");
+        SamplingPlan { rate_ppm, seed }
+    }
+
+    /// The always-on plan: every allocation instrumented, exactly today's
+    /// SafeMem. This is the default, so existing configurations are
+    /// untouched.
+    #[must_use]
+    pub fn always() -> Self {
+        SamplingPlan {
+            rate_ppm: PPM,
+            seed: 0,
+        }
+    }
+
+    /// The configured rate in parts-per-million.
+    #[must_use]
+    pub fn rate_ppm(&self) -> u32 {
+        self.rate_ppm
+    }
+
+    /// Whether the `index`-th allocation of the run (0-based, counted in
+    /// `malloc` order) gets the full instrumentation treatment.
+    ///
+    /// The hash is evaluated per `(seed, index)` and compared against
+    /// `rate_ppm / PPM` scaled to the full 64-bit range, so for a fixed
+    /// seed the sampled sets nest across rates.
+    #[must_use]
+    pub fn samples(&self, index: u64) -> bool {
+        if self.rate_ppm >= PPM {
+            return true;
+        }
+        if self.rate_ppm == 0 {
+            return false;
+        }
+        // SplitMix64 stream positioned at `index`: golden-ratio increment
+        // then finalize. Identical to SmRng::new(seed).nth(index) without
+        // materialising the sequence.
+        let h = mix(self
+            .seed
+            .wrapping_add((index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let threshold = (u128::from(self.rate_ppm) << 64) / u128::from(PPM);
+        u128::from(h) < threshold
+    }
+}
+
+/// End-of-run sampling accounting, surfaced through
+/// [`MemTool::sampling`](crate::MemTool::sampling) so the campaign oracle
+/// can score effective coverage against the binomial expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SamplingSummary {
+    /// The configured rate in parts-per-million.
+    pub rate_ppm: u32,
+    /// Allocations seen by the tool.
+    pub total_allocs: u64,
+    /// Allocations that drew the full instrumentation treatment.
+    pub sampled_allocs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_plan_samples_everything() {
+        let plan = SamplingPlan::always();
+        assert!((0..10_000).all(|i| plan.samples(i)));
+    }
+
+    #[test]
+    fn zero_rate_samples_nothing() {
+        let plan = SamplingPlan::new(0, 0xDEAD_BEEF);
+        assert!((0..10_000).all(|i| !plan.samples(i)));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_index() {
+        let a = SamplingPlan::new(250_000, 42);
+        let b = SamplingPlan::new(250_000, 42);
+        let c = SamplingPlan::new(250_000, 43);
+        let decisions_a: Vec<bool> = (0..4096).map(|i| a.samples(i)).collect();
+        let decisions_b: Vec<bool> = (0..4096).map(|i| b.samples(i)).collect();
+        let decisions_c: Vec<bool> = (0..4096).map(|i| c.samples(i)).collect();
+        assert_eq!(decisions_a, decisions_b);
+        assert_ne!(decisions_a, decisions_c, "seed must matter");
+    }
+
+    #[test]
+    fn sampled_sets_nest_across_rates() {
+        // Same seed, increasing rates: each sampled set contains the last.
+        let rates = [10_000u32, 20_000, 100_000, 200_000, 500_000, PPM];
+        for seed in [0u64, 1, 0x1234_5678_9ABC_DEF0] {
+            for pair in rates.windows(2) {
+                let low = SamplingPlan::new(pair[0], seed);
+                let high = SamplingPlan::new(pair[1], seed);
+                for i in 0..8192 {
+                    if low.samples(i) {
+                        assert!(high.samples(i), "nesting broken at index {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_the_configured_rate() {
+        // 6-sigma binomial band over n = 100_000 draws.
+        for &rate in &[10_000u32, 100_000, 500_000] {
+            let plan = SamplingPlan::new(rate, 7);
+            let n = 100_000u64;
+            let hits = (0..n).filter(|&i| plan.samples(i)).count() as f64;
+            let p = f64::from(rate) / f64::from(PPM);
+            let mean = n as f64 * p;
+            let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+            assert!(
+                (hits - mean).abs() <= 6.0 * sigma,
+                "rate {rate}: {hits} hits vs mean {mean} (sigma {sigma})"
+            );
+        }
+    }
+}

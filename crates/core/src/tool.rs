@@ -9,6 +9,7 @@
 
 use crate::heal::{IncidentClass, SurvivalSummary};
 use crate::report::BugReport;
+use crate::sampling::SamplingSummary;
 use crate::signature::CallStack;
 use safemem_alloc::Heap;
 use safemem_os::Os;
@@ -80,6 +81,13 @@ pub trait MemTool {
     /// Post-run survival summary, for tools with a recovery layer. `None`
     /// (the default) means the tool makes no survival claims.
     fn survival(&self) -> Option<SurvivalSummary> {
+        None
+    }
+
+    /// Post-run sampling accounting, for tools that instrument only a
+    /// sampled subset of allocations. `None` (the default) means the tool
+    /// does not sample.
+    fn sampling(&self) -> Option<SamplingSummary> {
         None
     }
 }

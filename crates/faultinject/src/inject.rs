@@ -327,4 +327,8 @@ impl MemTool for Injector {
     fn survival(&self) -> Option<safemem_core::SurvivalSummary> {
         self.inner.survival()
     }
+
+    fn sampling(&self) -> Option<safemem_core::SamplingSummary> {
+        self.inner.sampling()
+    }
 }

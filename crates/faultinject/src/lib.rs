@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frontier;
 pub mod inject;
 pub mod oracle;
 pub mod rng;
@@ -40,10 +41,14 @@ pub mod runner;
 pub mod scorecard;
 pub mod spec;
 
+pub use frontier::{
+    expand_frontier, frontier_rows, render_frontier, render_frontier_bench_json, ClassTally,
+    FrontierRow, FRONTIER_RATES_PPM,
+};
 pub use inject::{InjectionLog, Injector};
 pub use oracle::{
     record_trace, replay_panel, replay_panel_with, run_campaign, CampaignError, CampaignResult,
-    GroundTruth, MarkerCounts, SurvivalScore, ToolScore, PANEL,
+    GroundTruth, MarkerCounts, SurvivalScore, ToolScore, PANEL, SAMPLING_STREAM,
 };
 pub use rng::SmRng;
 pub use runner::{

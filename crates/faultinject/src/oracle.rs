@@ -7,9 +7,11 @@
 //! classifies every [`BugReport`] as a true positive, a false positive, or a
 //! miss.
 
+use safemem_alloc::HeapStats;
 use safemem_baselines::{Memcheck, PageGuard, Purify};
 use safemem_core::{
-    BugReport, GroupKey, IncidentClass, MemTool, NullTool, SafeMem, SurvivalSummary,
+    BugReport, GroupKey, IncidentClass, MemTool, NullTool, SafeMem, SamplingPlan, SamplingSummary,
+    SurvivalSummary,
 };
 use safemem_ecc::ControllerStats;
 use safemem_os::{Os, OsConfig, STATIC_BASE};
@@ -19,7 +21,13 @@ use safemem_workloads::{
 use std::collections::HashSet;
 
 use crate::inject::{InjectionLog, Injector};
+use crate::rng::SmRng;
 use crate::spec::CampaignSpec;
+
+/// Dedicated RNG stream for deriving SafeMem's per-allocation sampling seed
+/// from the campaign seed — domain-separated from the injector's stream so
+/// sampling decisions never correlate with fault placement.
+pub const SAMPLING_STREAM: u64 = 0xFA07_1213_5EED_0002;
 
 /// A campaign-level error (bad spec).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +136,12 @@ pub struct ToolScore {
     /// pre-existing preset and tool yields `None`, keeping their scorecards
     /// byte-identical.
     pub survival: Option<SurvivalScore>,
+    /// Final allocator statistics for this run — the memory-overhead side
+    /// of the sampling frontier (Table 4's waste metric).
+    pub heap_stats: HeapStats,
+    /// Sampling accounting, for tools that sample their instrumentation
+    /// (`None` for the non-sampling panel tools).
+    pub sampling: Option<SamplingSummary>,
 }
 
 /// The survival-with-integrity dimension of an arena campaign.
@@ -247,7 +261,15 @@ fn build_os(spec: &CampaignSpec) -> Os {
 /// spec's recovery flag — the comparison tools have no healing layer.
 fn build_tool(name: &str, spec: &CampaignSpec, os: &mut Os) -> Box<dyn MemTool> {
     match name {
-        "safemem" => Box::new(SafeMem::builder().recovery(spec.recovery).build(os)),
+        "safemem" => {
+            let sampling_seed = SmRng::keyed(spec.seed, SAMPLING_STREAM).next_u64();
+            Box::new(
+                SafeMem::builder()
+                    .recovery(spec.recovery)
+                    .sampling(SamplingPlan::new(spec.sampling_ppm, sampling_seed))
+                    .build(os),
+            )
+        }
         "purify" => {
             let mut tool = Purify::new();
             tool.add_root_range(STATIC_BASE, 4096);
@@ -323,6 +345,7 @@ pub fn replay_panel_with(
         let mut injector = Injector::new(tool, spec.mix, spec.seed);
         let result = replayer.replay(trace, &mut os, &mut injector);
         let summary = injector.survival();
+        let sampling = injector.sampling();
         tools.push(score(
             name,
             spec,
@@ -332,6 +355,7 @@ pub fn replay_panel_with(
             &result,
             injector.log(),
             summary,
+            sampling,
         ));
     }
 
@@ -353,6 +377,7 @@ fn score(
     result: &safemem_workloads::RunResult,
     injected: InjectionLog,
     summary: Option<SurvivalSummary>,
+    sampling: Option<SamplingSummary>,
 ) -> ToolScore {
     // `leak_groups()` is already deduped, so one pass partitions it into
     // true and false positives.
@@ -405,6 +430,8 @@ fn score(
         injected,
         expects_corruption: truth.expects_corruption,
         survival,
+        heap_stats: result.heap_stats,
+        sampling,
     }
 }
 

@@ -77,6 +77,15 @@ pub struct CampaignSpec {
     /// Recording is unaffected (traces are recorded uninstrumented), so this
     /// field is deliberately absent from the trace-memoization key.
     pub recovery: bool,
+    /// SafeMem instrumentation sampling rate in parts-per-million
+    /// (`1_000_000` = always-on, today's behaviour; every pre-existing
+    /// preset uses that value so their scorecards stay byte-identical).
+    /// The per-allocation decision seed is derived from `seed` on a
+    /// dedicated RNG stream, so sampling never correlates with fault
+    /// injection. Like `recovery`, this is a replay-side knob: it is
+    /// deliberately absent from the trace-memoization key, so a frontier
+    /// sweep across rates shares one recorded trace per workload.
+    pub sampling_ppm: u32,
 }
 
 /// Workload input seed shared by all presets (the same default the CLI
@@ -133,6 +142,7 @@ impl CampaignSpec {
             scrub_interval_cycles: Some(250_000),
             ecc_mode: EccMode::CorrectAndScrub,
             recovery: false,
+            sampling_ppm: safemem_core::PPM,
         }
     }
 
@@ -148,6 +158,22 @@ impl CampaignSpec {
         let mut spec = CampaignSpec::harsh(workload, seed);
         spec.preset = "arena".into();
         spec.requests = Some(ARENA_REQUESTS);
+        spec.recovery = true;
+        spec
+    }
+
+    /// The sampling-frontier preset: the harsh correctable-only fault
+    /// climate over the full bug-class spectrum (leak + overflow workloads
+    /// plus the synthetic-CVE arena family), with **recovery enabled** so a
+    /// double free of a sampled-and-quarantined block is attributable as
+    /// `DoubleFree` rather than degrading to a wild free. The frontier
+    /// sweep clones this spec across a ladder of `sampling_ppm` values; at
+    /// the default always-on rate it upholds the full harsh invariant, and
+    /// at every rate SafeMem must report zero false positives.
+    #[must_use]
+    pub fn frontier(workload: &str, seed: u64) -> Self {
+        let mut spec = CampaignSpec::harsh(workload, seed);
+        spec.preset = "frontier".into();
         spec.recovery = true;
         spec
     }
@@ -181,6 +207,7 @@ impl CampaignSpec {
             scrub_interval_cycles: None,
             ecc_mode: EccMode::CorrectError,
             recovery: false,
+            sampling_ppm: safemem_core::PPM,
         }
     }
 
@@ -192,10 +219,11 @@ impl CampaignSpec {
             "mixed" => Some(CampaignSpec::mixed(workload, seed)),
             "quiet" => Some(CampaignSpec::quiet(workload, seed)),
             "arena" => Some(CampaignSpec::arena(workload, seed)),
+            "frontier" => Some(CampaignSpec::frontier(workload, seed)),
             _ => None,
         }
     }
 
     /// The preset names `preset` accepts.
-    pub const PRESETS: &'static [&'static str] = &["harsh", "mixed", "quiet", "arena"];
+    pub const PRESETS: &'static [&'static str] = &["harsh", "mixed", "quiet", "arena", "frontier"];
 }

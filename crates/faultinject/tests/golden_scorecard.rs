@@ -9,7 +9,10 @@
 //! Regenerate after an *intentional* change with:
 //! `UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard`
 
-use safemem_faultinject::{expand_matrix, render_aggregate, render_campaign, run_matrix};
+use safemem_faultinject::{
+    expand_frontier, expand_matrix, frontier_rows, render_aggregate, render_campaign,
+    render_frontier, run_matrix,
+};
 
 /// The 8 fixed seeds are 0..8; request count matches the fast suites so the
 /// snapshot stays cheap to check on every run.
@@ -25,6 +28,14 @@ const ARENA_GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/arena_scorecard.txt"
 );
+
+const FRONTIER_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/frontier_scorecard.txt"
+);
+
+/// The frontier golden's rate ladder: 1.0, 0.5, 0.1, 0.01.
+const FRONTIER_GOLDEN_RATES: &[u32] = &[1_000_000, 500_000, 100_000, 10_000];
 
 fn render_matrix(preset: &str, workloads: &[String], requests: Option<u64>) -> String {
     let specs = expand_matrix(preset, workloads, SEEDS, 0, requests).expect("valid matrix");
@@ -53,6 +64,30 @@ fn current_arena_scorecard() -> String {
     // The arena preset carries its own request count (one incident every 8
     // requests, 8 per campaign), so no override.
     render_matrix("arena", &workloads, None)
+}
+
+fn current_frontier_scorecard() -> String {
+    // One workload per bug class, the 8 fixed seeds, the shortened request
+    // stream. The snapshot is the aggregate plus the frontier table (128
+    // per-campaign cards would drown the diff; the aggregate pins their
+    // sums, and the frontier rows pin the per-rate numbers).
+    let workloads: Vec<String> = ["ypserv2", "tar", "cve-uaf", "cve-dfree"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    let specs = expand_frontier(
+        "frontier",
+        FRONTIER_GOLDEN_RATES,
+        &workloads,
+        SEEDS,
+        0,
+        Some(FAST_REQUESTS),
+    )
+    .expect("valid ladder");
+    let report = run_matrix(&specs, 2).expect("matrix runs");
+    let mut out = render_aggregate(&report.results);
+    out.push_str(&render_frontier(&frontier_rows(&report.results)));
+    out
 }
 
 #[test]
@@ -110,6 +145,44 @@ fn arena_golden_pins_the_survival_verdict() {
     assert!(
         golden.contains("harsh invariant (safemem: zero FPs, all planted bugs found): 32/32"),
         "arena golden must keep the zero-false-positive bar"
+    );
+}
+
+#[test]
+fn frontier_scorecard_matches_the_checked_in_golden() {
+    let current = current_frontier_scorecard();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FRONTIER_GOLDEN_PATH, &current).expect("golden snapshot is writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(FRONTIER_GOLDEN_PATH).expect(
+        "golden snapshot exists; regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard",
+    );
+    assert!(
+        golden == current,
+        "frontier scorecard drifted from the golden snapshot.\n\
+         If the change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard\n\
+         and commit the diff.\n\n--- golden ---\n{golden}\n--- current ---\n{current}"
+    );
+}
+
+#[test]
+fn frontier_golden_pins_the_zero_false_positive_verdict() {
+    // A regenerated frontier golden can never quietly bless a sampling rate
+    // that produces a false positive, and the always-on reference row must
+    // show every allocation sampled.
+    let golden = std::fs::read_to_string(FRONTIER_GOLDEN_PATH).expect("golden snapshot exists");
+    assert!(
+        golden.contains(
+            "frontier invariant (safemem: zero false positives at every sampling rate): OK (4 rates)"
+        ),
+        "frontier golden must show zero false positives at all 4 rates"
+    );
+    assert!(
+        golden.contains("1.0000"),
+        "frontier golden includes the always-on reference row"
     );
 }
 

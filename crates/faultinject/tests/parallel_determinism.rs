@@ -8,7 +8,8 @@
 //! path too).
 
 use safemem_faultinject::{
-    expand_matrix, render_aggregate, render_campaign, run_matrix, CampaignSpec, MatrixReport,
+    expand_frontier, expand_matrix, frontier_rows, render_aggregate, render_campaign,
+    render_frontier, run_matrix, CampaignSpec, MatrixReport,
 };
 
 /// Small request counts keep each campaign to tens of milliseconds while
@@ -71,6 +72,41 @@ fn arena_scorecards_are_byte_identical_for_1_2_and_8_threads() {
     assert!(s1.contains("survival["), "arena renders survival rows");
     assert_eq!(s1, s2, "2 workers changed the arena scorecard");
     assert_eq!(s1, s8, "8 workers changed the arena scorecard");
+    assert_eq!(t1.results, t2.results);
+    assert_eq!(t1.results, t8.results);
+}
+
+fn frontier_matrix() -> Vec<CampaignSpec> {
+    let workloads = vec!["tar".to_string(), "cve-uaf".to_string()];
+    expand_frontier(
+        "frontier",
+        &[1_000_000, 100_000, 10_000],
+        &workloads,
+        2,
+        0,
+        Some(FAST_REQUESTS),
+    )
+    .expect("valid ladder")
+}
+
+#[test]
+fn frontier_scorecards_are_byte_identical_for_1_2_and_8_threads() {
+    // The frontier adds a rate dimension to the matrix and a rendered rate
+    // table to the scorecard; both must stay pure functions of the specs.
+    let specs = frontier_matrix();
+    let t1 = run_matrix(&specs, 1).expect("matrix runs");
+    let t2 = run_matrix(&specs, 2).expect("matrix runs");
+    let t8 = run_matrix(&specs, 8).expect("matrix runs");
+
+    let full = |report: &MatrixReport| {
+        let mut out = scorecard(report);
+        out.push_str(&render_frontier(&frontier_rows(&report.results)));
+        out
+    };
+    let (s1, s2, s8) = (full(&t1), full(&t2), full(&t8));
+    assert!(s1.contains("frontier: overhead vs detection"), "{s1}");
+    assert_eq!(s1, s2, "2 workers changed the frontier scorecard");
+    assert_eq!(s1, s8, "8 workers changed the frontier scorecard");
     assert_eq!(t1.results, t2.results);
     assert_eq!(t1.results, t8.results);
 }

@@ -15,7 +15,10 @@
 
 use proptest::prelude::*;
 use safemem_core::{IncidentClass, LeakConfig, SafeMem};
-use safemem_faultinject::{expand_matrix, record_trace, run_matrix_with, CampaignSpec, TraceMode};
+use safemem_faultinject::{
+    expand_frontier, expand_matrix, record_trace, run_matrix_with, CampaignSpec, TraceKey,
+    TraceMode,
+};
 use safemem_os::{Os, OsConfig};
 use safemem_workloads::{Replayer, Trace, TraceOp};
 
@@ -52,6 +55,41 @@ fn memoized_and_fresh_record_campaigns_are_byte_identical() {
             m.spec.workload, m.spec.seed
         );
     }
+}
+
+/// A frontier ladder memoizes one trace per (workload, os-shape) across
+/// *every* sampling rate; scoring each cell from the shared recording must
+/// match re-recording per cell.
+#[test]
+fn memoized_frontier_ladder_matches_fresh_recording() {
+    let workloads = vec!["tar".to_string(), "cve-dfree".to_string()];
+    let specs = expand_frontier(
+        "frontier",
+        &[1_000_000, 100_000],
+        &workloads,
+        2,
+        0,
+        Some(48),
+    )
+    .expect("valid ladder");
+    let memo = run_matrix_with(&specs, 2, TraceMode::Memoized).expect("memoized run");
+    let fresh = run_matrix_with(&specs, 2, TraceMode::FreshRecord).expect("fresh run");
+    assert_eq!(memo.results, fresh.results);
+}
+
+/// The sampling rate is a replay-side knob: specs differing only in
+/// `sampling_ppm` share a trace key and record the identical trace, so a
+/// rate ladder adds zero recording work and zero recording perturbation.
+#[test]
+fn sampling_rate_does_not_perturb_the_recorded_trace() {
+    let full = CampaignSpec::frontier("tar", 3);
+    let mut sampled = full.clone();
+    sampled.sampling_ppm = 10_000;
+    assert_eq!(TraceKey::of(&full), TraceKey::of(&sampled));
+    let a = record_trace(&full).expect("record");
+    let b = record_trace(&sampled).expect("record");
+    assert_eq!(a.to_text(), b.to_text());
+    assert!(a.malloc_count() > 0, "the trace allocates");
 }
 
 /// The deadline-scheduled leak detector and the naive full-scan reference

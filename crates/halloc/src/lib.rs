@@ -178,8 +178,13 @@ pub struct Heap {
     bump: u64,
     /// Payload address → allocation record.
     live: BTreeMap<u64, Allocation>,
-    /// Footprint → freed placement bases available for reuse.
-    free_lists: HashMap<u64, Vec<u64>>,
+    /// (footprint, payload offset) → freed placement bases available for
+    /// reuse. Keying on the offset as well as the stride keeps placements
+    /// from different layout policies (e.g. padded vs unpadded blocks of
+    /// equal footprint in a sampling heap) from aliasing each other's
+    /// payload addresses; with a single policy the offset is constant per
+    /// stride, so behaviour is unchanged.
+    free_lists: HashMap<(u64, u64), Vec<u64>>,
     stats: HeapStats,
 }
 
@@ -264,8 +269,9 @@ impl Heap {
             let well_formed =
                 a.addr >= a.base && a.addr - a.base + a.payload <= a.stride && a.base >= HEAP_BASE;
             // `live` is keyed by payload address, so iteration is in
-            // address order; uniform per-policy padding keeps base order
-            // identical, making the pairwise overlap check complete.
+            // address order; disjoint placements keep base order identical
+            // to address order (even with mixed per-allocation layouts),
+            // making the pairwise overlap check complete.
             if !well_formed || a.base < prev_end {
                 return false;
             }
@@ -294,10 +300,10 @@ impl Heap {
         value.div_ceil(to) * to
     }
 
-    /// Footprint and payload offset for a request under the current policy.
-    fn placement(&self, size: u64) -> (u64, u64) {
+    /// Footprint and payload offset for a request under `policy`.
+    fn placement(&self, policy: LayoutPolicy, size: u64) -> (u64, u64) {
         let size = size.max(1);
-        match self.policy {
+        match policy {
             LayoutPolicy::Natural => (Self::round_up(size, 16), 0),
             LayoutPolicy::LineAligned => (Self::round_up(size, self.line_bytes), 0),
             LayoutPolicy::LinePadded => (
@@ -317,9 +323,32 @@ impl Heap {
     ///
     /// Returns [`AllocError::OutOfHeap`] when the address space is gone.
     pub fn alloc(&mut self, os: &mut Os, size: u64) -> Result<Allocation, AllocError> {
+        self.alloc_with_policy(os, size, self.policy)
+    }
+
+    /// Allocates `size` bytes under an explicit layout policy, overriding
+    /// the heap-wide default for this placement only. This is how a
+    /// sampling tool mixes guarded ([`LinePadded`](LayoutPolicy::LinePadded))
+    /// and unguarded ([`LineAligned`](LayoutPolicy::LineAligned)) buffers in
+    /// one heap; the `(stride, offset)` free-list keying keeps the two
+    /// populations from reusing each other's placements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfHeap`] when the address space is gone.
+    pub fn alloc_with_policy(
+        &mut self,
+        os: &mut Os,
+        size: u64,
+        policy: LayoutPolicy,
+    ) -> Result<Allocation, AllocError> {
         os.compute(os.machine().cost().allocator_op_cycles);
-        let (stride, offset) = self.placement(size);
-        let (base, reused) = match self.free_lists.get_mut(&stride).and_then(Vec::pop) {
+        let (stride, offset) = self.placement(policy, size);
+        let (base, reused) = match self
+            .free_lists
+            .get_mut(&(stride, offset))
+            .and_then(Vec::pop)
+        {
             Some(base) => (base, true),
             None => {
                 let base = Self::round_up(self.bump, stride.clamp(16, PAGE_BYTES));
@@ -376,7 +405,7 @@ impl Heap {
             .remove(&addr)
             .ok_or(AllocError::NotAllocated { addr })?;
         self.free_lists
-            .entry(allocation.stride)
+            .entry((allocation.stride, allocation.pad_before()))
             .or_default()
             .push(allocation.base);
         self.stats.frees += 1;
@@ -394,7 +423,7 @@ impl Heap {
         let parked: u64 = self
             .free_lists
             .iter()
-            .map(|(stride, bases)| stride * bases.len() as u64)
+            .map(|((stride, _offset), bases)| stride * bases.len() as u64)
             .sum();
         let frag = if extent == 0 {
             0.0
@@ -621,6 +650,47 @@ mod tests {
         assert!((frag - 0.5).abs() < 1e-9);
         h.free(&mut os, b.addr).unwrap();
         assert_eq!(h.address_space().1, 128);
+    }
+
+    #[test]
+    fn mixed_policy_blocks_of_equal_stride_do_not_alias() {
+        // A padded 64-byte block (stride 192, payload at +64) and an
+        // unpadded 192-byte block (stride 192, payload at +0) must not
+        // trade placements through the free lists: an unpadded reuse of the
+        // padded base would put live payload where the guard line was.
+        let mut os = os();
+        let mut h = Heap::new(LayoutPolicy::LinePadded);
+        let padded = h.alloc(&mut os, 64).unwrap();
+        assert_eq!(padded.stride, 192);
+        h.free(&mut os, padded.addr).unwrap();
+        let plain = h
+            .alloc_with_policy(&mut os, 192, LayoutPolicy::LineAligned)
+            .unwrap();
+        assert_eq!(plain.stride, 192);
+        assert!(!plain.reused, "cross-policy reuse of a padded base");
+        assert_ne!(plain.base, padded.base);
+        // Same policy and footprint still reuses.
+        let again = h.alloc(&mut os, 64).unwrap();
+        assert!(again.reused);
+        assert_eq!(again.base, padded.base);
+    }
+
+    #[test]
+    fn alloc_with_policy_matches_dedicated_heap_placement() {
+        // An all-LineAligned stream through a LinePadded heap lands at the
+        // same addresses a pure LineAligned heap would pick: bump rounding
+        // depends only on the stride.
+        let mut os = os();
+        let mut mixed = Heap::new(LayoutPolicy::LinePadded);
+        let mut pure = Heap::new(LayoutPolicy::LineAligned);
+        for size in [8u64, 64, 100, 300, 1] {
+            let a = mixed
+                .alloc_with_policy(&mut os, size, LayoutPolicy::LineAligned)
+                .unwrap();
+            let b = pure.alloc(&mut os, size).unwrap();
+            assert_eq!((a.addr, a.base, a.stride), (b.addr, b.base, b.stride));
+            assert_eq!(a.pad_before(), 0);
+        }
     }
 
     #[test]

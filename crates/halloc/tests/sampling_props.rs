@@ -1,0 +1,195 @@
+//! Property tests for sampled instrumentation at the allocator boundary.
+//!
+//! Three invariants, over arbitrary allocation/free/access schedules:
+//!
+//! 1. **Unsampled allocations are free.** An allocation the sampling plan
+//!    skips carries no guard pads, arms no watched region, and charges the
+//!    simulated CPU exactly what an uninstrumented heap charges.
+//! 2. **Sampled allocations are the real thing.** At rate 1.0 the sampled
+//!    tool is byte-for-byte the always-on tool: same reports, same heap
+//!    stats, same cycle count.
+//! 3. **Mixed populations never cross.** With both populations live in one
+//!    heap, legitimate traffic — including frees and reallocs that recycle
+//!    the other population's blocks — never produces a report.
+//!
+//! Lives in the allocator crate because the hazard under test is allocator
+//! placement: sampled (padded) and unsampled (line-aligned) blocks share the
+//! address space, and a free-list collision between the two is exactly the
+//! kind of bug these properties would catch. `safemem-core` is a
+//! dev-dependency only (cargo permits the cycle for tests).
+
+use proptest::prelude::*;
+use safemem_alloc::{Heap, LayoutPolicy};
+use safemem_core::{CallStack, MemTool, SafeMem, SamplingPlan, PPM};
+use safemem_os::Os;
+
+fn os() -> Os {
+    Os::with_defaults(1 << 23)
+}
+
+fn stack(site: u64) -> CallStack {
+    CallStack::new(&[0x1000 + site, 0x2000 + site])
+}
+
+/// A legitimate heap schedule: sizes to allocate, and for each step whether
+/// to free the oldest live block first and whether to write the new block.
+#[derive(Debug, Clone)]
+struct Schedule {
+    sizes: Vec<u64>,
+    free_first: Vec<bool>,
+    write: Vec<bool>,
+}
+
+fn schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec((1u64..512, any::<bool>(), any::<bool>()), 1..max_len).prop_map(
+        |steps| {
+            let (mut sizes, mut free_first, mut write) = (Vec::new(), Vec::new(), Vec::new());
+            for (size, f, w) in steps {
+                sizes.push(size);
+                free_first.push(f);
+                write.push(w);
+            }
+            Schedule {
+                sizes,
+                free_first,
+                write,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rate 0: every allocation is unsampled — no pads, no watched regions,
+    /// and the cycle meter advances exactly as it does for a bare
+    /// line-aligned heap running the same schedule.
+    #[test]
+    fn prop_unsampled_allocations_cost_nothing(
+        sched in schedule(24),
+        seed in any::<u64>(),
+    ) {
+        let mut os_tool = os();
+        let mut tool = SafeMem::builder()
+            .leak_detection(false)
+            .sampling(SamplingPlan::new(0, seed))
+            .build(&mut os_tool);
+        let mut os_heap = os();
+        let mut heap = Heap::new(LayoutPolicy::LineAligned);
+
+        let mut live_tool: Vec<u64> = Vec::new();
+        let mut live_heap: Vec<u64> = Vec::new();
+        for (i, &size) in sched.sizes.iter().enumerate() {
+            if sched.free_first[i] && !live_tool.is_empty() {
+                tool.free(&mut os_tool, live_tool.remove(0));
+                heap.free(&mut os_heap, live_heap.remove(0)).expect("live");
+            }
+            let watched = os_tool.watched_region_count();
+            let a = tool.malloc(&mut os_tool, size, &stack(i as u64));
+            let bare = heap.alloc(&mut os_heap, size).expect("fits");
+            prop_assert_eq!(a, bare.addr, "unsampled placement matches the bare heap");
+            let alloc = *tool.heap().allocation_at(a).expect("live");
+            prop_assert_eq!(alloc.pad_before(), 0, "no guard pad before");
+            // LineAligned rounds the payload up to the line, so pad_after is
+            // alignment waste, not a guard — identical to the bare heap's.
+            prop_assert_eq!(alloc.pad_after(), bare.pad_after());
+            prop_assert_eq!(os_tool.watched_region_count(), watched, "nothing armed");
+            live_tool.push(a);
+            live_heap.push(bare.addr);
+        }
+        prop_assert_eq!(os_tool.cpu_cycles(), os_heap.cpu_cycles(),
+            "unsampled instrumentation must charge zero extra cycles");
+        prop_assert!(tool.all_reports().is_empty());
+        let summary = tool.sampling().expect("safemem reports sampling");
+        prop_assert_eq!(summary.sampled_allocs, 0);
+        prop_assert_eq!(summary.total_allocs, sched.sizes.len() as u64);
+    }
+
+    /// Rate 1.0 is always-on SafeMem, bit for bit: reports, heap statistics,
+    /// and the cycle meter all agree with the default builder on the same
+    /// schedule (which includes an out-of-bounds write when the schedule
+    /// says to, so detection paths are compared too).
+    #[test]
+    fn prop_full_rate_sampling_is_always_on(
+        sched in schedule(24),
+        seed in any::<u64>(),
+    ) {
+        let mut os_a = os();
+        let mut plain = SafeMem::builder().build(&mut os_a);
+        let mut os_b = os();
+        let mut full = SafeMem::builder()
+            .sampling(SamplingPlan::new(PPM, seed))
+            .build(&mut os_b);
+
+        for (tool, os) in [(&mut plain, &mut os_a), (&mut full, &mut os_b)] {
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            for (i, &size) in sched.sizes.iter().enumerate() {
+                if sched.free_first[i] && !live.is_empty() {
+                    let (addr, _) = live.remove(0);
+                    tool.free(os, addr);
+                }
+                let a = tool.malloc(os, size, &stack(i as u64));
+                if sched.write[i] {
+                    // One byte past the payload: lands in the guard pad.
+                    tool.write(os, a + size, &[0xEE]);
+                }
+                live.push((a, size));
+            }
+            for (addr, _) in live {
+                tool.free(os, addr);
+            }
+            tool.finish(os);
+        }
+        prop_assert_eq!(plain.all_reports(), full.all_reports());
+        prop_assert_eq!(plain.heap().stats(), full.heap().stats());
+        prop_assert_eq!(os_a.cpu_cycles(), os_b.cpu_cycles());
+        let summary = full.sampling().expect("safemem reports sampling");
+        prop_assert_eq!(summary.sampled_allocs, summary.total_allocs);
+    }
+
+    /// Any rate, any seed: a mixed sampled/unsampled population running only
+    /// legitimate traffic — in-bounds writes, frees, reallocs that recycle
+    /// blocks across the population boundary — never yields a report, and
+    /// the heap stays structurally intact.
+    #[test]
+    fn prop_mixed_population_legit_traffic_is_silent(
+        sched in schedule(24),
+        rate_ppm in 0u32..PPM + 1,
+        seed in any::<u64>(),
+    ) {
+        let mut os = os();
+        let mut tool = SafeMem::builder()
+            .recovery(true)
+            .sampling(SamplingPlan::new(rate_ppm, seed))
+            .build(&mut os);
+
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (i, &size) in sched.sizes.iter().enumerate() {
+            if sched.free_first[i] && !live.is_empty() {
+                let (addr, _) = live.remove(0);
+                tool.free(&mut os, addr);
+            }
+            let a = tool.malloc(&mut os, size, &stack(i as u64));
+            tool.write(&mut os, a, &vec![0x5A; size.min(8) as usize]);
+            live.push((a, size));
+            // Realloc an older survivor: grows may move it into space a
+            // differently-instrumented neighbour just vacated.
+            if sched.write[i] && live.len() > 1 {
+                let (addr, old) = live.remove(0);
+                let grown = tool.realloc(&mut os, addr, old + 64, &stack(900 + i as u64));
+                live.push((grown, old + 64));
+            }
+        }
+        for (addr, _) in live {
+            tool.free(&mut os, addr);
+        }
+        tool.finish(&mut os);
+
+        let reports = tool.all_reports();
+        prop_assert!(
+            reports.iter().all(|r| !r.is_corruption()),
+            "legitimate mixed-population traffic misreported: {reports:?}"
+        );
+        prop_assert!(tool.heap().verify_integrity(), "heap intact");
+    }
+}

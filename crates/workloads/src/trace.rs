@@ -138,6 +138,18 @@ impl Trace {
         self.ops.is_empty()
     }
 
+    /// Number of allocation ops in the trace. Replay feeds every `Malloc`
+    /// through the tool's `malloc`, so this is exactly the number of
+    /// per-allocation sampling decisions a sampling tool will draw —
+    /// campaign-level statistical tests use it as the binomial `n`.
+    #[must_use]
+    pub fn malloc_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Malloc { .. }))
+            .count() as u64
+    }
+
     /// Appends an operation (used by [`Recorder`]; also handy for building
     /// synthetic traces in tests).
     pub fn push(&mut self, op: TraceOp) {

@@ -292,11 +292,18 @@ pub fn campaign_usage() -> String {
          \x20 --preset <name>     {presets} (default harsh)\n\
          \x20                     arena runs SafeMem with recovery enabled against the\n\
          \x20                     synthetic-CVE corruption workloads and scores\n\
-         \x20                     survival-with-integrity alongside detection\n\
+         \x20                     survival-with-integrity alongside detection;\n\
+         \x20                     frontier sweeps a ladder of sampling rates over the\n\
+         \x20                     same recorded traces and scores detection probability\n\
+         \x20                     against simulated overhead, per rate and bug class\n\
          \x20 --seeds <n>         number of campaign seeds to fan out (default 8)\n\
          \x20 --seed0 <n>         first seed (default 0)\n\
          \x20 --workloads <a,b>   comma-separated workload names (default: {workloads};\n\
-         \x20                     for --preset arena: {arena_workloads})\n\
+         \x20                     for --preset arena: {arena_workloads};\n\
+         \x20                     for --preset frontier: both lists combined)\n\
+         \x20 --sampling <a,b>    comma-separated sampling rates in [0, 1] for the\n\
+         \x20                     frontier ladder (default {frontier_rates}; requires\n\
+         \x20                     --preset frontier)\n\
          \x20 --requests <n>      request count override\n\
          \x20 --threads <n>       worker threads sharding the campaign matrix\n\
          \x20                     (default: available parallelism; the scorecard is\n\
@@ -311,6 +318,11 @@ pub fn campaign_usage() -> String {
         presets = crate::faultinject::CampaignSpec::PRESETS.join(" | "),
         workloads = crate::faultinject::spec::PRESET_WORKLOADS.join(","),
         arena_workloads = crate::faultinject::spec::CVE_WORKLOADS.join(","),
+        frontier_rates = crate::faultinject::FRONTIER_RATES_PPM
+            .iter()
+            .map(|&ppm| format!("{}", f64::from(ppm) / f64::from(safemem_core::PPM)))
+            .collect::<Vec<_>>()
+            .join(","),
     )
 }
 
@@ -327,6 +339,10 @@ pub struct CampaignCli {
     pub workloads: Vec<String>,
     /// Request count override (None = the preset's).
     pub requests: Option<u64>,
+    /// Sampling-rate ladder in parts-per-million, high to low as given.
+    /// Only meaningful with the `frontier` preset (empty = its default
+    /// ladder); every other preset runs always-on and rejects the flag.
+    pub sampling_ppm: Vec<u32>,
     /// Worker threads sharding the matrix (None = available parallelism).
     pub threads: Option<usize>,
     /// Thread counts to measure the same matrix at (empty = run once at
@@ -357,6 +373,7 @@ impl CampaignCli {
             seed0: 0,
             workloads: Vec::new(),
             requests: None,
+            sampling_ppm: Vec::new(),
             threads: None,
             bench_threads: Vec::new(),
             bench_json: None,
@@ -393,6 +410,28 @@ impl CampaignCli {
                             .parse()
                             .map_err(|_| CliError("--requests needs an integer".into()))?,
                     );
+                }
+                "--sampling" => {
+                    cli.sampling_ppm = value("--sampling")?
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|r| (0.0..=1.0).contains(r))
+                                .map(|r| {
+                                    #[allow(clippy::cast_possible_truncation)]
+                                    #[allow(clippy::cast_sign_loss)]
+                                    let ppm = (r * f64::from(safemem_core::PPM)).round() as u32;
+                                    ppm
+                                })
+                                .ok_or_else(|| {
+                                    CliError(
+                                        "--sampling needs comma-separated rates in [0, 1]".into(),
+                                    )
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
                 }
                 "--threads" => {
                     let n: usize = value("--threads")?
@@ -440,15 +479,28 @@ impl CampaignCli {
         if cli.seeds == 0 {
             return Err(CliError("--seeds must be at least 1".into()));
         }
+        if !cli.sampling_ppm.is_empty() && cli.preset != "frontier" {
+            return Err(CliError(
+                "--sampling requires --preset frontier (other presets run always-on)".into(),
+            ));
+        }
         if cli.workloads.is_empty() {
             // The arena preset sweeps the synthetic-CVE family by default;
-            // every other preset sweeps the Table 1 subset.
-            let default = if cli.preset == "arena" {
-                crate::faultinject::spec::CVE_WORKLOADS
-            } else {
-                crate::faultinject::spec::PRESET_WORKLOADS
+            // the frontier sweeps every bug class (Table 1 subset plus the
+            // CVE family); every other preset sweeps the Table 1 subset.
+            use crate::faultinject::spec::{CVE_WORKLOADS, PRESET_WORKLOADS};
+            cli.workloads = match cli.preset.as_str() {
+                "arena" => CVE_WORKLOADS.iter().map(|s| (*s).to_string()).collect(),
+                "frontier" => PRESET_WORKLOADS
+                    .iter()
+                    .chain(CVE_WORKLOADS.iter())
+                    .map(|s| (*s).to_string())
+                    .collect(),
+                _ => PRESET_WORKLOADS.iter().map(|s| (*s).to_string()).collect(),
             };
-            cli.workloads = default.iter().map(|s| (*s).to_string()).collect();
+        }
+        if cli.preset == "frontier" && cli.sampling_ppm.is_empty() {
+            cli.sampling_ppm = crate::faultinject::FRONTIER_RATES_PPM.to_vec();
         }
         Ok(cli)
     }
@@ -471,17 +523,30 @@ impl CampaignCli {
     /// scorecard.
     pub fn execute(&self) -> Result<(String, bool), CliError> {
         use crate::faultinject::{
-            default_threads, expand_matrix, render_aggregate, render_bench_json, render_campaign,
-            render_workers, run_matrix_with, BenchRun, TraceMode,
+            default_threads, expand_frontier, expand_matrix, frontier_rows, render_aggregate,
+            render_bench_json, render_campaign, render_frontier, render_frontier_bench_json,
+            render_workers, run_matrix_with, BenchRun, CampaignResult, TraceMode,
         };
 
-        let specs = expand_matrix(
-            &self.preset,
-            &self.workloads,
-            self.seeds,
-            self.seed0,
-            self.requests,
-        )
+        let frontier = self.preset == "frontier";
+        let specs = if frontier {
+            expand_frontier(
+                &self.preset,
+                &self.sampling_ppm,
+                &self.workloads,
+                self.seeds,
+                self.seed0,
+                self.requests,
+            )
+        } else {
+            expand_matrix(
+                &self.preset,
+                &self.workloads,
+                self.seeds,
+                self.seed0,
+                self.requests,
+            )
+        }
         .map_err(|e| CliError(e.0))?;
         let threads = self.threads.unwrap_or_else(default_threads);
         let thread_counts = if self.bench_threads.is_empty() {
@@ -495,11 +560,20 @@ impl CampaignCli {
         } else {
             TraceMode::Memoized
         };
+        // The deterministic scorecard the cross-thread-count check pins: the
+        // aggregate, plus the frontier table when sweeping sampling rates.
+        let scorecard_of = |results: &[CampaignResult]| {
+            let mut s = render_aggregate(results);
+            if frontier {
+                s.push_str(&render_frontier(&frontier_rows(results)));
+            }
+            s
+        };
         let mut runs = Vec::with_capacity(thread_counts.len());
         let mut first: Option<(crate::faultinject::MatrixReport, String)> = None;
         for &t in &thread_counts {
             let matrix = run_matrix_with(&specs, t, mode).map_err(|e| CliError(e.0))?;
-            let aggregate = render_aggregate(&matrix.results);
+            let aggregate = scorecard_of(&matrix.results);
             runs.push(BenchRun {
                 threads: t,
                 wall: matrix.wall,
@@ -550,22 +624,49 @@ impl CampaignCli {
             }
         }
         if let Some(path) = &self.bench_json {
-            let json = render_bench_json(&self.preset, self.requests, &runs);
+            let json = if frontier {
+                render_frontier_bench_json(
+                    &self.preset,
+                    self.requests,
+                    &runs,
+                    &frontier_rows(&matrix.results),
+                )
+            } else {
+                render_bench_json(&self.preset, self.requests, &runs)
+            };
             std::fs::write(path, json)
                 .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         }
 
-        let harsh_ok = matrix
-            .results
-            .iter()
-            .filter(|r| !r.spec.mix.injects_uncorrectable())
-            .all(crate::faultinject::CampaignResult::harsh_invariant_holds);
-        let survival_ok = matrix
-            .results
-            .iter()
-            .filter(|r| r.truth.markers.total() > 0)
-            .all(crate::faultinject::CampaignResult::survival_invariant_holds);
-        Ok((report, harsh_ok && survival_ok))
+        let ok = if frontier {
+            // Sampled-out allocations legitimately miss their planted bug, so
+            // the full harsh invariant only binds the always-on rung of the
+            // ladder. What binds *every* rung is the frontier invariant:
+            // SafeMem must never gain a false positive from sampling.
+            let zero_fps = matrix
+                .results
+                .iter()
+                .all(|r| r.tool("safemem").is_none_or(|t| t.false_positives() == 0));
+            let full_rate_ok = matrix
+                .results
+                .iter()
+                .filter(|r| r.spec.sampling_ppm == safemem_core::PPM)
+                .all(CampaignResult::harsh_invariant_holds);
+            zero_fps && full_rate_ok
+        } else {
+            let harsh_ok = matrix
+                .results
+                .iter()
+                .filter(|r| !r.spec.mix.injects_uncorrectable())
+                .all(CampaignResult::harsh_invariant_holds);
+            let survival_ok = matrix
+                .results
+                .iter()
+                .filter(|r| r.truth.markers.total() > 0)
+                .all(CampaignResult::survival_invariant_holds);
+            harsh_ok && survival_ok
+        };
+        Ok((report, ok))
     }
 }
 
@@ -664,6 +765,61 @@ mod tests {
         assert!(parse_campaign(&["--threads", "many"]).is_err());
         assert!(parse_campaign(&["--bench-threads", "1,0"]).is_err());
         assert!(parse_campaign(&["--bench-threads", ""]).is_err());
+    }
+
+    #[test]
+    fn campaign_cli_parses_sampling_ladders() {
+        let cli = parse_campaign(&["--preset", "frontier", "--sampling", "1.0,0.5,0.01"]).unwrap();
+        assert_eq!(cli.sampling_ppm, vec![1_000_000, 500_000, 10_000]);
+        // Frontier defaults: the built-in ladder over every bug class.
+        let cli = parse_campaign(&["--preset", "frontier"]).unwrap();
+        assert_eq!(
+            cli.sampling_ppm,
+            crate::faultinject::FRONTIER_RATES_PPM.to_vec()
+        );
+        assert!(cli.workloads.iter().any(|w| w == "ypserv1"));
+        assert!(cli.workloads.iter().any(|w| w == "cve-dfree"));
+    }
+
+    #[test]
+    fn campaign_cli_rejects_bad_sampling_flags() {
+        assert!(
+            parse_campaign(&["--sampling", "1.0"]).is_err(),
+            "needs frontier preset"
+        );
+        assert!(parse_campaign(&["--preset", "frontier", "--sampling", "1.5"]).is_err());
+        assert!(parse_campaign(&["--preset", "frontier", "--sampling", "-0.1"]).is_err());
+        assert!(parse_campaign(&["--preset", "frontier", "--sampling", "half"]).is_err());
+        assert!(parse_campaign(&["--preset", "frontier", "--sampling", ""]).is_err());
+    }
+
+    #[test]
+    fn frontier_campaign_reports_the_rate_ladder() {
+        let cli = parse_campaign(&[
+            "--preset",
+            "frontier",
+            "--seeds",
+            "1",
+            "--workloads",
+            "tar,cve-dfree",
+            "--requests",
+            "24",
+            "--sampling",
+            "1.0,0.1",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        let (report, ok) = cli.execute().unwrap();
+        assert!(ok, "frontier invariant holds:\n{report}");
+        assert!(
+            report.contains("frontier: overhead vs detection across sampling rates"),
+            "{report}"
+        );
+        assert!(
+            report.contains("zero false positives at every sampling rate): OK (2 rates)"),
+            "{report}"
+        );
     }
 
     #[test]
