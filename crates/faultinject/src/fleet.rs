@@ -1,0 +1,743 @@
+//! The fleet campaign: SafeMem's production story at GWP-ASan scale.
+//!
+//! One fleet campaign simulates `n` connection-churn server processes, each
+//! running SafeMem at the sub-1.0 sampling rate
+//! [`FLEET_RATE_PPM`](crate::spec::FLEET_RATE_PPM). Individually, a process
+//! catches its planted bug only if the victim allocation happens to draw
+//! instrumentation (probability ≈ the rate `r`); collectively, the fleet
+//! catches it with probability `1 − (1 − r)^n`. The fleet scorecard
+//! quantifies exactly that: per bug class it reports the observed
+//! per-process detection fraction `k/n` against the predicted `r` (with a
+//! 6σ binomial acceptance band), and the fleet-level detection probability
+//! both ways.
+//!
+//! The campaign runs in two phases:
+//!
+//! * **Phase A — shared machine.** The whole fleet runs inside one
+//!   [`Fleet`] simulation: one physical ECC memory and swap device
+//!   time-multiplexed across every process through the pluggable
+//!   [`SlotBackend`](safemem_machine::SlotBackend) boundary. This is the
+//!   architectural half: hundreds of OS instances genuinely share one
+//!   machine, and per-process virtual clocks keep the leak detector's
+//!   lifetime thresholds meaningful.
+//! * **Phase B — per-process campaign cells.** Every process is replayed as
+//!   an isolated campaign cell under the harsh correctable-only fault mix
+//!   ([`replay_safemem_with`] — SafeMem alone, not the five-tool panel),
+//!   sharded across worker threads with the memoized trace store (three
+//!   recorded traces serve the whole fleet). Results are folded straight
+//!   into a fixed-size [`FleetAgg`]; no per-cell `Vec` survives the run.
+//!
+//! The phases cross-check each other: a corruption cell detects iff its
+//! victim allocation was sampled, and both phases derive the per-process
+//! sampling seed identically, so shared-machine and isolated-cell detection
+//! must agree process-for-process for the uaf/obo classes (leak detection
+//! also follows the sampling decision, but its idle-time threshold makes
+//! the shared-machine timing part of the outcome, so the A/B check binds
+//! the corruption classes only).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use safemem_core::PPM;
+use safemem_fleet::{Fleet, FleetConfig, FleetReport, ProcessSpec, DEFAULT_WINDOW_PAGES};
+use safemem_os::SwapPolicy;
+use safemem_workloads::apps::ChurnKind;
+use safemem_workloads::{Replayer, Trace};
+
+use crate::oracle::{
+    record_trace, replay_safemem_with, CampaignError, GroundTruth, ToolScore, SAMPLING_STREAM,
+};
+use crate::rng::SmRng;
+use crate::runner::{render_bench_json, BenchRun, TraceKey, TraceMode, WorkerReport};
+use crate::spec::{CampaignSpec, FLEET_REQUESTS, FLEET_WORKLOADS};
+
+/// Default fleet size: big enough that at the 0.2 sampling rate the
+/// fleet-level detection probability is ≈ 1 for every class, and small
+/// enough that the whole two-phase campaign finishes in CI.
+pub const DEFAULT_FLEET_PROCESSES: u64 = 512;
+
+/// Expands a fleet of `processes` campaign cells: process `pid` runs
+/// [`FLEET_WORKLOADS`]`[pid % 3]` with campaign seed `seed0 + pid`, so
+/// every process makes independent sampling decisions.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] for an empty fleet.
+pub fn expand_fleet(
+    processes: u64,
+    seed0: u64,
+    requests: Option<u64>,
+) -> Result<Vec<CampaignSpec>, CampaignError> {
+    if processes == 0 {
+        return Err(CampaignError("a fleet needs at least one process".into()));
+    }
+    let mut specs = Vec::with_capacity(usize::try_from(processes).unwrap_or(usize::MAX));
+    for pid in 0..processes {
+        let workload = FLEET_WORKLOADS[usize::try_from(pid % 3).expect("mod 3 fits")];
+        let mut spec = CampaignSpec::fleet(workload, seed0.wrapping_add(pid));
+        if requests.is_some() {
+            spec.requests = requests;
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// The churn kind a fleet cell's workload name denotes.
+fn kind_of(spec: &CampaignSpec) -> Result<ChurnKind, CampaignError> {
+    match spec.workload.as_str() {
+        "churn-leak" => Ok(ChurnKind::Leak),
+        "churn-uaf" => Ok(ChurnKind::UseAfterFree),
+        "churn-obo" => Ok(ChurnKind::Overflow),
+        other => Err(CampaignError(format!(
+            "fleet cells run the churn family, not {other:?}"
+        ))),
+    }
+}
+
+/// Translates fleet campaign cells into the shared-machine simulation's
+/// process specs. The sampling seed is derived exactly as the campaign
+/// cell's replay derives it (campaign seed keyed on the dedicated
+/// [`SAMPLING_STREAM`]), so a fleet process and its phase-B cell make
+/// identical per-allocation sampling decisions.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if a cell names a non-churn workload.
+pub fn fleet_process_specs(specs: &[CampaignSpec]) -> Result<Vec<ProcessSpec>, CampaignError> {
+    specs
+        .iter()
+        .map(|spec| {
+            Ok(ProcessSpec {
+                kind: kind_of(spec)?,
+                workload_seed: spec.workload_seed,
+                sampling_ppm: spec.sampling_ppm,
+                sampling_seed: SmRng::keyed(spec.seed, SAMPLING_STREAM).next_u64(),
+            })
+        })
+        .collect()
+}
+
+/// One bug class's running sums across the fleet's phase-B cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetClassAgg {
+    /// Cells running this class.
+    pub cells: u64,
+    /// Cells whose planted bug SafeMem reported.
+    pub detected: u64,
+    /// SafeMem false positives across this class's cells.
+    pub false_positives: u64,
+    /// Allocations that drew instrumentation, summed.
+    pub sampled_allocs: u64,
+    /// Allocations issued, summed.
+    pub total_allocs: u64,
+}
+
+impl FleetClassAgg {
+    /// Observed per-process detection probability `k/n`.
+    #[must_use]
+    pub fn observed(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.cells as f64
+        }
+    }
+
+    /// Whether the observed detection count sits inside the 6σ binomial
+    /// band around the prediction: `|k − n·r| ≤ 6·√(n·r·(1−r))`.
+    #[must_use]
+    pub fn within_six_sigma(&self, rate: f64) -> bool {
+        let n = self.cells as f64;
+        let expected = n * rate;
+        let sigma = (n * rate * (1.0 - rate)).sqrt();
+        (self.detected as f64 - expected).abs() <= 6.0 * sigma
+    }
+
+    /// Fleet-level detection probability from the observed per-process
+    /// fraction: `1 − (1 − k/n)^n`.
+    #[must_use]
+    pub fn fleet_observed(&self) -> f64 {
+        1.0 - (1.0 - self.observed()).powf(self.cells as f64)
+    }
+
+    /// Fleet-level detection probability the sampling rate predicts:
+    /// `1 − (1 − r)^n`.
+    #[must_use]
+    pub fn fleet_predicted(&self, rate: f64) -> f64 {
+        1.0 - (1.0 - rate).powf(self.cells as f64)
+    }
+}
+
+/// The fixed-size fold of every phase-B cell — the fleet analogue of
+/// [`StreamAggregate`](crate::stream::StreamAggregate). Its size depends
+/// only on the (three-entry) class list, never on the fleet size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetAgg {
+    /// Cells folded.
+    pub cells: u64,
+    /// The fleet's sampling rate, parts-per-million.
+    pub rate_ppm: u32,
+    /// Per-class sums, in [`FLEET_WORKLOADS`] order.
+    pub classes: [FleetClassAgg; 3],
+    /// SafeMem false positives of any kind across the fleet.
+    pub false_positives: u64,
+    /// Hardware panics across the fleet (must stay zero under the
+    /// correctable-only mix).
+    pub hardware_panics: u64,
+    /// Injected faults (bit flips + bursts) across the fleet.
+    pub injected: u64,
+    /// Corruption cells (uaf/obo) compared against the shared-machine run.
+    pub ab_checked: u64,
+    /// Corruption cells whose isolated detection matched the
+    /// shared-machine detection.
+    pub ab_agreed: u64,
+}
+
+impl FleetAgg {
+    /// An empty aggregate at the given sampling rate.
+    #[must_use]
+    pub fn new(rate_ppm: u32) -> Self {
+        FleetAgg {
+            cells: 0,
+            rate_ppm,
+            classes: [FleetClassAgg::default(); 3],
+            false_positives: 0,
+            hardware_panics: 0,
+            injected: 0,
+            ab_checked: 0,
+            ab_agreed: 0,
+        }
+    }
+
+    /// The sampling rate as a fraction.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        f64::from(self.rate_ppm) / f64::from(PPM)
+    }
+
+    /// Folds one cell's SafeMem score in. `shared_detected` is the
+    /// shared-machine (phase A) detection flag for the same process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] if the cell names a non-churn workload.
+    pub fn fold(
+        &mut self,
+        spec: &CampaignSpec,
+        truth: &GroundTruth,
+        score: &ToolScore,
+        shared_detected: bool,
+    ) -> Result<(), CampaignError> {
+        let kind = kind_of(spec)?;
+        let class = &mut self.classes[match kind {
+            ChurnKind::Leak => 0,
+            ChurnKind::UseAfterFree => 1,
+            ChurnKind::Overflow => 2,
+        }];
+        let detected = match kind {
+            ChurnKind::Leak => score.leaks_found == truth.leak_groups.len(),
+            ChurnKind::UseAfterFree | ChurnKind::Overflow => score.corruption_found,
+        };
+        self.cells += 1;
+        class.cells += 1;
+        class.detected += u64::from(detected);
+        class.false_positives += score.false_positives();
+        if let Some(sampling) = &score.sampling {
+            class.sampled_allocs += sampling.sampled_allocs;
+            class.total_allocs += sampling.total_allocs;
+        }
+        self.false_positives += score.false_positives();
+        self.hardware_panics += score.hardware_panics;
+        self.injected += score.injected.data_bit_flips
+            + score.injected.code_bit_flips
+            + score.injected.multi_bit_bursts;
+        if kind != ChurnKind::Leak {
+            self.ab_checked += 1;
+            self.ab_agreed += u64::from(detected == shared_detected);
+        }
+        Ok(())
+    }
+
+    /// The fleet acceptance verdict: zero SafeMem false positives, zero
+    /// hardware panics, every observed per-class detection count inside the
+    /// 6σ band, and shared-machine/isolated-cell agreement on every
+    /// corruption cell.
+    #[must_use]
+    pub fn invariants_hold(&self) -> bool {
+        self.false_positives == 0
+            && self.hardware_panics == 0
+            && self.ab_agreed == self.ab_checked
+            && self
+                .classes
+                .iter()
+                .all(|c| c.cells == 0 || c.within_six_sigma(self.rate()))
+    }
+}
+
+/// A completed fleet campaign: the phase-A shared-machine report, the
+/// phase-B fold, and the execution telemetry.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Fleet size.
+    pub processes: u64,
+    /// Requests each process served.
+    pub requests: u64,
+    /// Phase A: the shared-machine simulation's report.
+    pub shared: FleetReport,
+    /// Phase B: the per-cell campaign fold.
+    pub agg: FleetAgg,
+    /// Per-worker phase-B telemetry, sorted by worker index.
+    pub workers: Vec<WorkerReport>,
+    /// Worker threads actually spawned for phase B.
+    pub threads: usize,
+    /// Wall time for both phases.
+    pub wall: Duration,
+}
+
+/// Runs the two-phase fleet campaign over `specs` (from [`expand_fleet`]).
+///
+/// Phase A runs the whole fleet on one shared machine (sequential — the
+/// simulation multiplexes one machine, so there is nothing to shard);
+/// phase B shards the per-process campaign cells across `threads` workers
+/// exactly like the matrix runner, recording each unique trace once under
+/// [`TraceMode::Memoized`] (three traces serve any fleet size) and folding
+/// every cell into the fixed-size [`FleetAgg`].
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] for an empty spec list, cells that disagree on
+/// requests or sampling rate, a non-churn workload, or the lowest-indexed
+/// cell failure.
+pub fn run_fleet(
+    specs: &[CampaignSpec],
+    threads: usize,
+    mode: TraceMode,
+) -> Result<FleetOutcome, CampaignError> {
+    let Some(first) = specs.first() else {
+        return Err(CampaignError("a fleet needs at least one process".into()));
+    };
+    let requests = first.requests.unwrap_or(FLEET_REQUESTS);
+    let rate_ppm = first.sampling_ppm;
+    if specs
+        .iter()
+        .any(|s| s.requests.unwrap_or(FLEET_REQUESTS) != requests || s.sampling_ppm != rate_ppm)
+    {
+        return Err(CampaignError(
+            "fleet cells must agree on requests and sampling rate".into(),
+        ));
+    }
+    let start = Instant::now();
+
+    // Phase A: every process on one shared machine behind the slot backend.
+    let process_specs = fleet_process_specs(specs)?;
+    let shared = Fleet::boot(
+        &process_specs,
+        FleetConfig {
+            requests,
+            window_pages: DEFAULT_WINDOW_PAGES,
+            buggy: true,
+            swap_policy: SwapPolicy::PinWatchedPages,
+        },
+    )
+    .run();
+
+    // Phase B: the cells, sharded. Same two-phase record/replay shape as
+    // the matrix runner, but each cell replays SafeMem alone and folds.
+    let threads = threads.max(1).min(specs.len());
+    let mut key_index: HashMap<TraceKey, usize> = HashMap::new();
+    let mut slot_of_cell: Vec<usize> = Vec::with_capacity(specs.len());
+    let mut slot_spec: Vec<&CampaignSpec> = Vec::new();
+    if mode == TraceMode::Memoized {
+        for spec in specs {
+            let next = key_index.len();
+            let slot = *key_index.entry(TraceKey::of(spec)).or_insert(next);
+            if slot == next {
+                slot_spec.push(spec);
+            }
+            slot_of_cell.push(slot);
+        }
+    }
+    let slots: Vec<OnceLock<Result<Arc<Trace>, CampaignError>>> =
+        (0..slot_spec.len()).map(|_| OnceLock::new()).collect();
+
+    let record_cursor = AtomicUsize::new(0);
+    let cell_cursor = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+    let agg = Mutex::new(FleetAgg::new(rate_ppm));
+    let first_error: Mutex<Option<(usize, CampaignError)>> = Mutex::new(None);
+    let workers: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::with_capacity(threads));
+    let shared_detected = &shared.detected;
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let record_cursor = &record_cursor;
+            let cell_cursor = &cell_cursor;
+            let barrier = &barrier;
+            let agg = &agg;
+            let first_error = &first_error;
+            let workers = &workers;
+            let slots = &slots;
+            let slot_spec = &slot_spec;
+            let slot_of_cell = &slot_of_cell;
+            scope.spawn(move || {
+                let mut replayer = Replayer::new();
+                let mut report = WorkerReport {
+                    worker,
+                    campaigns: 0,
+                    traces_recorded: 0,
+                    busy: Duration::ZERO,
+                    injection_events: 0,
+                };
+
+                loop {
+                    let slot = record_cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = slot_spec.get(slot).copied() else {
+                        break;
+                    };
+                    let t0 = Instant::now();
+                    let recorded = record_trace(spec).map(Arc::new);
+                    report.busy += t0.elapsed();
+                    report.traces_recorded += 1;
+                    slots[slot]
+                        .set(recorded)
+                        .expect("the cursor hands each slot to one worker");
+                }
+                barrier.wait();
+
+                loop {
+                    let index = cell_cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(index) else {
+                        break;
+                    };
+                    let t0 = Instant::now();
+                    let cell = match mode {
+                        TraceMode::Memoized => {
+                            let slot = &slots[slot_of_cell[index]];
+                            match slot.get().expect("phase one filled every slot") {
+                                Ok(trace) => replay_safemem_with(spec, trace, &mut replayer),
+                                Err(e) => Err(e.clone()),
+                            }
+                        }
+                        TraceMode::FreshRecord => {
+                            report.traces_recorded += 1;
+                            record_trace(spec)
+                                .and_then(|trace| replay_safemem_with(spec, &trace, &mut replayer))
+                        }
+                    };
+                    report.busy += t0.elapsed();
+                    report.campaigns += 1;
+                    let folded = cell.and_then(|(truth, score)| {
+                        let log = score.injected;
+                        report.injection_events += log.data_bit_flips
+                            + log.code_bit_flips
+                            + log.multi_bit_bursts
+                            + log.forced_scrub_cycles
+                            + log.dma_transfers
+                            + log.dma_faults;
+                        agg.lock().expect("no panics hold the aggregate lock").fold(
+                            spec,
+                            &truth,
+                            &score,
+                            shared_detected[index],
+                        )
+                    });
+                    if let Err(e) = folded {
+                        let mut slot = first_error.lock().expect("no panics hold the error lock");
+                        if slot.as_ref().is_none_or(|(lowest, _)| index < *lowest) {
+                            *slot = Some((index, e));
+                        }
+                    }
+                }
+                workers
+                    .lock()
+                    .expect("no panics hold the worker lock")
+                    .push(report);
+            });
+        }
+    });
+
+    if let Some((_, e)) = first_error.into_inner().expect("scope joined all workers") {
+        return Err(e);
+    }
+    let mut workers = workers.into_inner().expect("scope joined all workers");
+    workers.sort_by_key(|w| w.worker);
+
+    Ok(FleetOutcome {
+        processes: specs.len() as u64,
+        requests,
+        shared,
+        agg: agg.into_inner().expect("scope joined all workers"),
+        workers,
+        threads,
+        wall: start.elapsed(),
+    })
+}
+
+/// Renders the fleet scorecard: the shared-machine summary, the per-class
+/// observed-vs-predicted table with 6σ bands, the fleet-level detection
+/// probabilities, the A/B cross-check, and the greppable verdict line.
+/// Byte-stable: every number is a deterministic integer sum or a
+/// fixed-precision function of one.
+#[must_use]
+pub fn render_fleet(outcome: &FleetOutcome) -> String {
+    let agg = &outcome.agg;
+    let shared = &outcome.shared;
+    let rate = agg.rate();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet: {} processes x {} requests, sampling rate {:.4}",
+        outcome.processes, outcome.requests, rate
+    );
+    let _ = writeln!(
+        out,
+        "  phase A (one shared machine): phys={} B machine_cycles={} process_cycles={} page_faults={} swap_in={} swap_out={} detections={} FPs={}",
+        shared.shared_phys_bytes,
+        shared.machine_cycles,
+        shared.process_cycles,
+        shared.page_faults,
+        shared.swap_ins,
+        shared.swap_outs,
+        shared.detections(),
+        shared.false_positives()
+    );
+    let _ = writeln!(
+        out,
+        "  phase B (isolated campaign cells, harsh mix): {} cells, {} injected faults, {} hardware panics",
+        agg.cells, agg.injected, agg.hardware_panics
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>6} {:>9} {:>9} {:>10} {:>8} {:>22}",
+        "class", "procs", "detected", "observed", "predicted", "6sigma", "sampled-allocs"
+    );
+    for (name, class) in FLEET_WORKLOADS.iter().zip(&agg.classes) {
+        if class.cells == 0 {
+            continue;
+        }
+        let sampled = format!("{}/{}", class.sampled_allocs, class.total_allocs);
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>6} {:>9} {:>9.4} {:>10.4} {:>8} {:>22}",
+            name,
+            class.cells,
+            class.detected,
+            class.observed(),
+            rate,
+            if class.within_six_sigma(rate) {
+                "ok"
+            } else {
+                "OUT"
+            },
+            sampled
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  fleet-level detection probability (any process catches its bug), predicted 1-(1-r)^n vs observed 1-(1-k/n)^n:"
+    );
+    for (name, class) in FLEET_WORKLOADS.iter().zip(&agg.classes) {
+        if class.cells == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "    {:<12} predicted {:.4} observed {:.4}",
+            name,
+            class.fleet_predicted(rate),
+            class.fleet_observed()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  A/B cross-check (shared-machine vs isolated-cell detection, corruption classes): {}/{} agree",
+        agg.ab_agreed, agg.ab_checked
+    );
+    if agg.invariants_hold() {
+        let _ = writeln!(
+            out,
+            "fleet invariant (safemem: zero false positives across {} processes): OK",
+            outcome.processes
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "fleet invariant (safemem: zero false positives across {} processes): VIOLATED ({} FPs, {} panics, A/B {}/{}, 6sigma {})",
+            outcome.processes,
+            agg.false_positives,
+            agg.hardware_panics,
+            agg.ab_agreed,
+            agg.ab_checked,
+            if agg
+                .classes
+                .iter()
+                .all(|c| c.cells == 0 || c.within_six_sigma(rate))
+            {
+                "ok"
+            } else {
+                "OUT"
+            }
+        );
+    }
+    out
+}
+
+/// Renders the `BENCH_campaign.json` schema with a `fleet` section appended
+/// to the thread-scaling records: the fleet shape, the shared-machine
+/// stats, and one record per class with the observed/predicted detection
+/// probabilities of the scorecard.
+#[must_use]
+pub fn render_fleet_bench_json(
+    preset: &str,
+    requests: Option<u64>,
+    runs: &[BenchRun],
+    outcome: &FleetOutcome,
+) -> String {
+    let base = render_bench_json(preset, requests, runs);
+    let mut out = base
+        .strip_suffix("}\n")
+        .expect("render_bench_json ends with its closing brace")
+        .to_string();
+    while out.ends_with('\n') {
+        out.pop();
+    }
+    let agg = &outcome.agg;
+    let rate = agg.rate();
+    out.push_str(",\n  \"fleet\": {\n");
+    let _ = writeln!(out, "    \"processes\": {},", outcome.processes);
+    let _ = writeln!(out, "    \"requests\": {},", outcome.requests);
+    let _ = writeln!(out, "    \"rate\": {rate:.4},");
+    let _ = writeln!(
+        out,
+        "    \"shared_phys_bytes\": {},",
+        outcome.shared.shared_phys_bytes
+    );
+    let _ = writeln!(
+        out,
+        "    \"machine_cycles\": {},",
+        outcome.shared.machine_cycles
+    );
+    let _ = writeln!(out, "    \"false_positives\": {},", agg.false_positives);
+    let _ = writeln!(
+        out,
+        "    \"ab_agreement\": {{\"agreed\": {}, \"checked\": {}}},",
+        agg.ab_agreed, agg.ab_checked
+    );
+    let _ = writeln!(out, "    \"classes\": [");
+    let present: Vec<(&str, &FleetClassAgg)> = FLEET_WORKLOADS
+        .iter()
+        .zip(&agg.classes)
+        .filter(|(_, c)| c.cells > 0)
+        .map(|(n, c)| (*n, c))
+        .collect();
+    for (i, (name, class)) in present.iter().enumerate() {
+        let comma = if i + 1 < present.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"class\": \"{name}\", \"processes\": {}, \"detected\": {}, \
+             \"observed\": {:.4}, \"predicted\": {rate:.4}, \"fleet_observed\": {:.4}, \
+             \"fleet_predicted\": {:.4}}}{comma}",
+            class.cells,
+            class.detected,
+            class.observed(),
+            class.fleet_observed(),
+            class.fleet_predicted(rate)
+        );
+    }
+    out.push_str("    ]\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FLEET_RATE_PPM;
+
+    #[test]
+    fn expand_fleet_cycles_the_churn_family() {
+        let specs = expand_fleet(7, 100, None).expect("valid fleet");
+        assert_eq!(specs.len(), 7);
+        assert_eq!(specs[0].workload, "churn-leak");
+        assert_eq!(specs[1].workload, "churn-uaf");
+        assert_eq!(specs[2].workload, "churn-obo");
+        assert_eq!(specs[3].workload, "churn-leak");
+        assert_eq!(specs[6].seed, 106);
+        for spec in &specs {
+            assert_eq!(spec.preset, "fleet");
+            assert_eq!(spec.sampling_ppm, FLEET_RATE_PPM);
+            assert_eq!(spec.requests, Some(FLEET_REQUESTS));
+        }
+        assert!(expand_fleet(0, 0, None).is_err(), "empty fleet");
+    }
+
+    #[test]
+    fn process_specs_mirror_the_campaign_sampling_derivation() {
+        let specs = expand_fleet(3, 9, Some(48)).expect("valid fleet");
+        let procs = fleet_process_specs(&specs).expect("churn cells");
+        assert_eq!(procs.len(), 3);
+        assert_eq!(procs[0].kind, ChurnKind::Leak);
+        assert_eq!(procs[1].kind, ChurnKind::UseAfterFree);
+        assert_eq!(procs[2].kind, ChurnKind::Overflow);
+        for (proc, spec) in procs.iter().zip(&specs) {
+            assert_eq!(
+                proc.sampling_seed,
+                SmRng::keyed(spec.seed, SAMPLING_STREAM).next_u64(),
+                "same stream the oracle's build_tool keys"
+            );
+        }
+        let mut alien = specs;
+        alien[0].workload = "tar".into();
+        assert!(fleet_process_specs(&alien).is_err());
+    }
+
+    #[test]
+    fn fleet_bench_json_is_well_formed() {
+        let runs = [BenchRun {
+            threads: 2,
+            wall: Duration::from_millis(100),
+            campaigns: 6,
+        }];
+        let mut agg = FleetAgg::new(FLEET_RATE_PPM);
+        agg.cells = 6;
+        agg.classes[0] = FleetClassAgg {
+            cells: 2,
+            detected: 1,
+            false_positives: 0,
+            sampled_allocs: 40,
+            total_allocs: 200,
+        };
+        agg.ab_checked = 4;
+        agg.ab_agreed = 4;
+        let outcome = FleetOutcome {
+            processes: 6,
+            requests: 48,
+            shared: FleetReport {
+                processes: 6,
+                requests: 48,
+                shared_phys_bytes: 6 * 32 * 4096,
+                machine_cycles: 1000,
+                process_cycles: 900,
+                page_faults: 10,
+                swap_ins: 0,
+                swap_outs: 0,
+                tallies: Vec::new(),
+                detected: vec![false; 6],
+            },
+            agg,
+            workers: Vec::new(),
+            threads: 2,
+            wall: Duration::from_millis(100),
+        };
+        let json = render_fleet_bench_json("fleet", Some(48), &runs, &outcome);
+        assert!(json.contains("\"fleet\": {"), "{json}");
+        assert!(json.contains("\"processes\": 6"), "{json}");
+        assert!(json.contains("\"rate\": 0.2000"), "{json}");
+        assert!(json.contains("\"observed\": 0.5000"), "{json}");
+        assert!(json.contains("\"runs\": ["), "{json}");
+        assert!(json.ends_with("  }\n}\n"), "{json}");
+    }
+}

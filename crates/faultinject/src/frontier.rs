@@ -127,6 +127,61 @@ pub struct FrontierRow {
 }
 
 impl FrontierRow {
+    /// An all-zero row for `rate_ppm`, ready to fold results into.
+    #[must_use]
+    pub fn empty(rate_ppm: u32) -> Self {
+        FrontierRow {
+            rate_ppm,
+            campaigns: 0,
+            total_allocs: 0,
+            sampled_allocs: 0,
+            leak: ClassTally::default(),
+            overflow: ClassTally::default(),
+            uaf: ClassTally::default(),
+            double_free: ClassTally::default(),
+            false_positives: 0,
+            safemem_cycles: 0,
+            baseline_cycles: 0,
+            waste_bytes: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Folds one campaign result into this row. Every column is a
+    /// commutative integer sum, so fold order never changes the row — the
+    /// property the streaming aggregator relies on.
+    pub fn fold(&mut self, result: &CampaignResult) {
+        self.campaigns += 1;
+        let Some(safemem) = result.tool("safemem") else {
+            return;
+        };
+        if let Some(sampling) = &safemem.sampling {
+            self.total_allocs += sampling.total_allocs;
+            self.sampled_allocs += sampling.sampled_allocs;
+        }
+        self.false_positives += safemem.false_positives();
+        self.safemem_cycles += safemem.cpu_cycles;
+        if let Some(none) = result.tool("none") {
+            self.baseline_cycles += none.cpu_cycles;
+        }
+        self.waste_bytes += safemem.heap_stats.cumulative_waste;
+        self.payload_bytes += safemem.heap_stats.cumulative_payload;
+        self.leak.total += result.truth.leak_groups.len();
+        self.leak.found += safemem.leaks_found;
+        let class = match result.truth.bug {
+            BugClass::Overflow => Some(&mut self.overflow),
+            BugClass::UseAfterFree => Some(&mut self.uaf),
+            BugClass::DoubleFree => Some(&mut self.double_free),
+            BugClass::ALeak | BugClass::SLeak => None,
+        };
+        if let Some(tally) = class {
+            tally.total += 1;
+            if safemem.corruption_found {
+                tally.found += 1;
+            }
+        }
+    }
+
     /// The sampling rate as a fraction.
     #[must_use]
     pub fn rate(&self) -> f64 {
@@ -178,53 +233,11 @@ pub fn frontier_rows(results: &[CampaignResult]) -> Vec<FrontierRow> {
         let row = match rows.iter_mut().find(|r| r.rate_ppm == rate) {
             Some(row) => row,
             None => {
-                rows.push(FrontierRow {
-                    rate_ppm: rate,
-                    campaigns: 0,
-                    total_allocs: 0,
-                    sampled_allocs: 0,
-                    leak: ClassTally::default(),
-                    overflow: ClassTally::default(),
-                    uaf: ClassTally::default(),
-                    double_free: ClassTally::default(),
-                    false_positives: 0,
-                    safemem_cycles: 0,
-                    baseline_cycles: 0,
-                    waste_bytes: 0,
-                    payload_bytes: 0,
-                });
+                rows.push(FrontierRow::empty(rate));
                 rows.last_mut().expect("just pushed")
             }
         };
-        row.campaigns += 1;
-        let Some(safemem) = result.tool("safemem") else {
-            continue;
-        };
-        if let Some(sampling) = &safemem.sampling {
-            row.total_allocs += sampling.total_allocs;
-            row.sampled_allocs += sampling.sampled_allocs;
-        }
-        row.false_positives += safemem.false_positives();
-        row.safemem_cycles += safemem.cpu_cycles;
-        if let Some(none) = result.tool("none") {
-            row.baseline_cycles += none.cpu_cycles;
-        }
-        row.waste_bytes += safemem.heap_stats.cumulative_waste;
-        row.payload_bytes += safemem.heap_stats.cumulative_payload;
-        row.leak.total += result.truth.leak_groups.len();
-        row.leak.found += safemem.leaks_found;
-        let class = match result.truth.bug {
-            BugClass::Overflow => Some(&mut row.overflow),
-            BugClass::UseAfterFree => Some(&mut row.uaf),
-            BugClass::DoubleFree => Some(&mut row.double_free),
-            BugClass::ALeak | BugClass::SLeak => None,
-        };
-        if let Some(tally) = class {
-            tally.total += 1;
-            if safemem.corruption_found {
-                tally.found += 1;
-            }
-        }
+        row.fold(result);
     }
     rows
 }

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod frontier;
 pub mod inject;
 pub mod oracle;
@@ -40,20 +41,27 @@ pub mod rng;
 pub mod runner;
 pub mod scorecard;
 pub mod spec;
+pub mod stream;
 
+pub use fleet::{
+    expand_fleet, fleet_process_specs, render_fleet, render_fleet_bench_json, run_fleet, FleetAgg,
+    FleetClassAgg, FleetOutcome, DEFAULT_FLEET_PROCESSES,
+};
 pub use frontier::{
     expand_frontier, frontier_rows, render_frontier, render_frontier_bench_json, ClassTally,
     FrontierRow, FRONTIER_RATES_PPM,
 };
 pub use inject::{InjectionLog, Injector};
 pub use oracle::{
-    record_trace, replay_panel, replay_panel_with, run_campaign, CampaignError, CampaignResult,
-    GroundTruth, MarkerCounts, SurvivalScore, ToolScore, PANEL, SAMPLING_STREAM,
+    record_trace, replay_panel, replay_panel_with, replay_safemem_with, run_campaign,
+    CampaignError, CampaignResult, GroundTruth, MarkerCounts, SurvivalScore, ToolScore, PANEL,
+    SAMPLING_STREAM,
 };
 pub use rng::SmRng;
 pub use runner::{
     default_threads, expand_matrix, render_bench_json, run_matrix, run_matrix_with, BenchRun,
     MatrixReport, TraceKey, TraceMode, WorkerReport,
 };
-pub use scorecard::{render_aggregate, render_campaign, render_workers};
+pub use scorecard::{render_aggregate, render_campaign, render_worker_table, render_workers};
 pub use spec::{CampaignSpec, FaultMix};
+pub use stream::{run_matrix_streamed, StreamAggregate, StreamReport, ToolSums};

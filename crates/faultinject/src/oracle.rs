@@ -366,6 +366,53 @@ pub fn replay_panel_with(
     })
 }
 
+/// Replays an already-recorded trace through **SafeMem alone** under the
+/// spec's injection mix — the fleet campaign's per-process cell executor.
+/// A fleet sweeps hundreds-to-thousands of cells and only scores SafeMem's
+/// detection probability, so running the full differential panel per cell
+/// would quintuple the work for numbers the fleet scorecard never reads.
+/// The SafeMem run is identical to the panel's (same builder, same
+/// seed-derived sampling stream, same injector), so a fleet cell and the
+/// matching panel cell produce the same `safemem` score.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the spec names an unknown workload.
+pub fn replay_safemem_with(
+    spec: &CampaignSpec,
+    trace: &Trace,
+    replayer: &mut Replayer,
+) -> Result<(GroundTruth, ToolScore), CampaignError> {
+    let workload = workload_by_name(&spec.workload)
+        .ok_or_else(|| CampaignError(format!("unknown workload {:?}", spec.workload)))?;
+    let truth = GroundTruth {
+        bug: workload.spec().bug,
+        leak_groups: workload.true_leak_groups(),
+        expects_corruption: !workload.spec().bug.is_leak(),
+        trace_ops: trace.len(),
+        markers: MarkerCounts::of(trace),
+    };
+    let truth_set: HashSet<GroupKey> = truth.leak_groups.iter().copied().collect();
+    let mut os = build_os(spec);
+    let tool = build_tool("safemem", spec, &mut os);
+    let mut injector = Injector::new(tool, spec.mix, spec.seed);
+    let result = replayer.replay(trace, &mut os, &mut injector);
+    let summary = injector.survival();
+    let sampling = injector.sampling();
+    let tool_score = score(
+        "safemem",
+        spec,
+        &truth,
+        &truth_set,
+        &os,
+        &result,
+        injector.log(),
+        summary,
+        sampling,
+    );
+    Ok((truth, tool_score))
+}
+
 /// Classifies one tool's reports against the ground truth.
 #[allow(clippy::too_many_arguments)]
 fn score(

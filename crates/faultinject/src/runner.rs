@@ -84,8 +84,12 @@ pub fn expand_matrix(
     for i in 0..seeds {
         let seed = seed0.wrapping_add(i);
         for workload in workloads {
-            let mut spec = CampaignSpec::preset(preset, workload, seed)
-                .ok_or_else(|| CampaignError(format!("unknown preset {preset:?}")))?;
+            let mut spec = CampaignSpec::preset(preset, workload, seed).ok_or_else(|| {
+                CampaignError(format!(
+                    "unknown preset {preset:?} (valid presets: {})",
+                    CampaignSpec::PRESETS.join("/")
+                ))
+            })?;
             if requests.is_some() {
                 spec.requests = requests;
             }
@@ -182,7 +186,7 @@ pub struct MatrixReport {
 }
 
 /// Sums a campaign's injection events over the whole panel.
-fn injection_events(result: &CampaignResult) -> u64 {
+pub(crate) fn injection_events(result: &CampaignResult) -> u64 {
     result
         .tools
         .iter()

@@ -115,47 +115,19 @@ fn render_tool_row(t: &ToolScore) -> String {
 }
 
 /// Renders the cross-campaign aggregate table plus the acceptance verdict.
+///
+/// Implemented by folding every result into a [`StreamAggregate`] — the
+/// collected path and the streaming path therefore render through the same
+/// code and cannot drift apart.
+///
+/// [`StreamAggregate`]: crate::stream::StreamAggregate
 #[must_use]
 pub fn render_aggregate(results: &[CampaignResult]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "aggregate over {} campaigns", results.len());
-    let _ = writeln!(
-        out,
-        "  {:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9} {:>10}",
-        "tool", "tpL", "fpL", "missL", "corrTP", "fpC", "hwPanic", "misattr", "injected", "fpAll"
-    );
-    for (i, &name) in crate::oracle::PANEL.iter().enumerate() {
-        let scores = results.iter().filter_map(|r| r.tools.get(i));
-        let mut tp = 0usize;
-        let mut fp_l = 0usize;
-        let mut miss = 0usize;
-        let mut corr = 0usize;
-        let mut fp_c = 0usize;
-        let mut panics = 0u64;
-        let mut misattr = 0u64;
-        let mut injected = 0u64;
-        let mut fp_all = 0u64;
-        for s in scores {
-            debug_assert_eq!(s.tool, name);
-            tp += s.leaks_found;
-            fp_l += s.false_leaks;
-            miss += s.leaks_missed;
-            corr += usize::from(s.expects_corruption && s.corruption_found);
-            fp_c += s.false_corruptions;
-            panics += s.hardware_panics;
-            misattr += s.hardware_misattributions;
-            injected +=
-                s.injected.data_bit_flips + s.injected.code_bit_flips + s.injected.multi_bit_bursts;
-            fp_all += s.false_positives();
-        }
-        let _ = writeln!(
-            out,
-            "  {name:<10} {tp:>6} {fp_l:>6} {miss:>6} {corr:>6} {fp_c:>6} {panics:>8} {misattr:>8} {injected:>9} {fp_all:>10}"
-        );
+    let mut aggregate = crate::stream::StreamAggregate::new();
+    for result in results {
+        aggregate.fold(result);
     }
-    render_harsh_verdict(&mut out, results);
-    render_survival_verdict(&mut out, results);
-    out
+    aggregate.render()
 }
 
 /// Renders the execution telemetry of a sharded matrix run: per-worker cell
@@ -168,20 +140,36 @@ pub fn render_aggregate(results: &[CampaignResult]) -> String {
 /// print it after the aggregate, clearly separated.
 #[must_use]
 pub fn render_workers(report: &MatrixReport) -> String {
+    render_worker_table(
+        report.results.len(),
+        report.threads,
+        report.wall,
+        &report.workers,
+    )
+}
+
+/// [`render_workers`] over bare parts, for runs that do not keep a
+/// [`MatrixReport`] (the streaming and fleet runners fold their results away
+/// instead of collecting them).
+#[must_use]
+pub fn render_worker_table(
+    campaigns: usize,
+    threads: usize,
+    wall: std::time::Duration,
+    workers: &[crate::runner::WorkerReport],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "execution: {} campaigns on {} worker threads, wall {:.1} ms (host timing; not part of the scorecard)",
-        report.results.len(),
-        report.threads,
-        report.wall.as_secs_f64() * 1e3
+        "execution: {campaigns} campaigns on {threads} worker threads, wall {:.1} ms (host timing; not part of the scorecard)",
+        wall.as_secs_f64() * 1e3
     );
     let _ = writeln!(
         out,
         "  {:<7} {:>9} {:>7} {:>10} {:>10}",
         "worker", "campaigns", "traces", "busy_ms", "injEvents"
     );
-    for w in &report.workers {
+    for w in workers {
         let _ = writeln!(
             out,
             "  {:<7} {:>9} {:>7} {:>10.1} {:>10}",
@@ -193,37 +181,4 @@ pub fn render_workers(report: &MatrixReport) -> String {
         );
     }
     out
-}
-
-fn render_survival_verdict(out: &mut String, results: &[CampaignResult]) {
-    let arena: Vec<&CampaignResult> = results
-        .iter()
-        .filter(|r| r.truth.markers.total() > 0)
-        .collect();
-    if !arena.is_empty() {
-        let ok = arena
-            .iter()
-            .filter(|r| r.survival_invariant_holds())
-            .count();
-        let _ = writeln!(
-            out,
-            "  survival invariant (safemem: survived, heap intact, incidents attributed): {ok}/{} campaigns",
-            arena.len()
-        );
-    }
-}
-
-fn render_harsh_verdict(out: &mut String, results: &[CampaignResult]) {
-    let harsh: Vec<&CampaignResult> = results
-        .iter()
-        .filter(|r| !r.spec.mix.injects_uncorrectable())
-        .collect();
-    if !harsh.is_empty() {
-        let ok = harsh.iter().filter(|r| r.harsh_invariant_holds()).count();
-        let _ = writeln!(
-            out,
-            "  harsh invariant (safemem: zero FPs, all planted bugs found): {ok}/{} campaigns",
-            harsh.len()
-        );
-    }
 }

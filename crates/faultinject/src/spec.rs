@@ -117,6 +117,19 @@ pub const CVE_WORKLOADS: &[&str] = &["cve-uaf", "cve-dfree", "cve-obo", "cve-fmt
 /// per run (the CVE workloads corrupt every eighth request).
 pub const ARENA_REQUESTS: u64 = 64;
 
+/// The connection-churn server workloads the fleet preset cycles processes
+/// through (see `safemem_workloads::churn_workloads`).
+pub const FLEET_WORKLOADS: &[&str] = &["churn-leak", "churn-uaf", "churn-obo"];
+
+/// Requests each fleet process serves: long enough for the churn leak's
+/// idle time to cross the SLeak report threshold with margin.
+pub const FLEET_REQUESTS: u64 = 96;
+
+/// The fleet preset's sub-1.0 sampling rate (0.2): each process is unlikely
+/// to catch its bug, the fleet almost certainly does — the GWP-ASan story
+/// the fleet scorecard quantifies via `1 - (1 - r)^n`.
+pub const FLEET_RATE_PPM: u32 = 200_000;
+
 impl CampaignSpec {
     /// The acceptance-gate preset: swap pressure, periodic and forced
     /// scrubbing, DMA interference, and a steady rain of *correctable*
@@ -178,6 +191,23 @@ impl CampaignSpec {
         spec
     }
 
+    /// One cell of the fleet preset: a connection-churn server process
+    /// under the harsh correctable-only fault climate, sampled at the
+    /// sub-1.0 fleet rate ([`FLEET_RATE_PPM`]). The fleet campaign expands
+    /// one such cell per simulated process (workload cycling through
+    /// [`FLEET_WORKLOADS`], seed `seed0 + pid`), replays them sharded, and
+    /// folds the results into the fleet-level detection-probability
+    /// scorecard; the same specs also parameterize the shared-machine fleet
+    /// simulation in `safemem-fleet`.
+    #[must_use]
+    pub fn fleet(workload: &str, seed: u64) -> Self {
+        let mut spec = CampaignSpec::harsh(workload, seed);
+        spec.preset = "fleet".into();
+        spec.requests = Some(FLEET_REQUESTS);
+        spec.sampling_ppm = FLEET_RATE_PPM;
+        spec
+    }
+
     /// Adds uncorrectable multi-bit bursts to the harsh mix. The injector
     /// triggers and repairs each burst itself, so runs complete; the
     /// scorecard accounts for every burst as a hardware panic.
@@ -220,10 +250,12 @@ impl CampaignSpec {
             "quiet" => Some(CampaignSpec::quiet(workload, seed)),
             "arena" => Some(CampaignSpec::arena(workload, seed)),
             "frontier" => Some(CampaignSpec::frontier(workload, seed)),
+            "fleet" => Some(CampaignSpec::fleet(workload, seed)),
             _ => None,
         }
     }
 
     /// The preset names `preset` accepts.
-    pub const PRESETS: &'static [&'static str] = &["harsh", "mixed", "quiet", "arena", "frontier"];
+    pub const PRESETS: &'static [&'static str] =
+        &["harsh", "mixed", "quiet", "arena", "frontier", "fleet"];
 }

@@ -10,8 +10,8 @@
 //! `UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard`
 
 use safemem_faultinject::{
-    expand_frontier, expand_matrix, frontier_rows, render_aggregate, render_campaign,
-    render_frontier, run_matrix,
+    expand_fleet, expand_frontier, expand_matrix, frontier_rows, render_aggregate, render_campaign,
+    render_fleet, render_frontier, run_fleet, run_matrix, TraceMode,
 };
 
 /// The 8 fixed seeds are 0..8; request count matches the fast suites so the
@@ -36,6 +36,15 @@ const FRONTIER_GOLDEN_PATH: &str = concat!(
 
 /// The frontier golden's rate ladder: 1.0, 0.5, 0.1, 0.01.
 const FRONTIER_GOLDEN_RATES: &[u32] = &[1_000_000, 500_000, 100_000, 10_000];
+
+const FLEET_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/fleet_scorecard.txt"
+);
+
+/// The fleet golden's size: 8 processes per churn class — big enough for a
+/// meaningful per-class table, small enough for every test run.
+const FLEET_GOLDEN_PROCESSES: u64 = 24;
 
 fn render_matrix(preset: &str, workloads: &[String], requests: Option<u64>) -> String {
     let specs = expand_matrix(preset, workloads, SEEDS, 0, requests).expect("valid matrix");
@@ -183,6 +192,59 @@ fn frontier_golden_pins_the_zero_false_positive_verdict() {
     assert!(
         golden.contains("1.0000"),
         "frontier golden includes the always-on reference row"
+    );
+}
+
+fn current_fleet_scorecard() -> String {
+    // The fleet's deterministic scorecard is its rendered outcome alone
+    // (worker telemetry lives outside it): the shared-machine summary, the
+    // per-class observed-vs-predicted table, the fleet-level detection
+    // probabilities, the A/B cross-check, and the verdict line.
+    let specs = expand_fleet(FLEET_GOLDEN_PROCESSES, 0, None).expect("valid fleet");
+    let outcome = run_fleet(&specs, 2, TraceMode::Memoized).expect("fleet runs");
+    render_fleet(&outcome)
+}
+
+#[test]
+fn fleet_scorecard_matches_the_checked_in_golden() {
+    let current = current_fleet_scorecard();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FLEET_GOLDEN_PATH, &current).expect("golden snapshot is writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(FLEET_GOLDEN_PATH).expect(
+        "golden snapshot exists; regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard",
+    );
+    assert!(
+        golden == current,
+        "fleet scorecard drifted from the golden snapshot.\n\
+         If the change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test -p safemem-faultinject --test golden_scorecard\n\
+         and commit the diff.\n\n--- golden ---\n{golden}\n--- current ---\n{current}"
+    );
+}
+
+#[test]
+fn fleet_golden_pins_the_zero_false_positive_verdict() {
+    // A regenerated fleet golden can never quietly bless a false positive,
+    // a broken A/B cross-check, or an out-of-band detection rate.
+    let golden = std::fs::read_to_string(FLEET_GOLDEN_PATH).expect("golden snapshot exists");
+    assert!(
+        golden.contains(&format!(
+            "fleet invariant (safemem: zero false positives across \
+             {FLEET_GOLDEN_PROCESSES} processes): OK"
+        )),
+        "fleet golden must show the zero-false-positive verdict:\n{golden}"
+    );
+    assert!(
+        golden.contains("16/16 agree"),
+        "fleet golden must keep shared-machine/isolated-cell agreement on \
+         all 16 corruption cells:\n{golden}"
+    );
+    assert!(
+        golden.contains("predicted 1-(1-r)^n"),
+        "fleet golden must report the fleet-level detection probability:\n{golden}"
     );
 }
 

@@ -8,8 +8,8 @@
 //! path too).
 
 use safemem_faultinject::{
-    expand_frontier, expand_matrix, frontier_rows, render_aggregate, render_campaign,
-    render_frontier, run_matrix, CampaignSpec, MatrixReport,
+    expand_fleet, expand_frontier, expand_matrix, frontier_rows, render_aggregate, render_campaign,
+    render_fleet, render_frontier, run_fleet, run_matrix, CampaignSpec, MatrixReport, TraceMode,
 };
 
 /// Small request counts keep each campaign to tens of milliseconds while
@@ -109,6 +109,27 @@ fn frontier_scorecards_are_byte_identical_for_1_2_and_8_threads() {
     assert_eq!(s1, s8, "8 workers changed the frontier scorecard");
     assert_eq!(t1.results, t2.results);
     assert_eq!(t1.results, t8.results);
+}
+
+#[test]
+fn fleet_scorecards_are_byte_identical_for_1_2_and_8_threads() {
+    // The fleet path has its own runner (phase A is sequential on the
+    // shared machine; phase B shards cells and folds into a fixed-size
+    // aggregate in completion order) — the fold must still commute.
+    let specs = expand_fleet(12, 0, Some(FAST_REQUESTS)).expect("valid fleet");
+    let t1 = run_fleet(&specs, 1, TraceMode::Memoized).expect("fleet runs");
+    let t2 = run_fleet(&specs, 2, TraceMode::Memoized).expect("fleet runs");
+    let t8 = run_fleet(&specs, 8, TraceMode::Memoized).expect("fleet runs");
+
+    let (s1, s2, s8) = (render_fleet(&t1), render_fleet(&t2), render_fleet(&t8));
+    assert!(s1.contains("fleet invariant"), "{s1}");
+    assert_eq!(s1, s2, "2 workers changed the fleet scorecard");
+    assert_eq!(s1, s8, "8 workers changed the fleet scorecard");
+
+    // The structured aggregates agree too, not just the rendering.
+    assert_eq!(t1.agg, t2.agg);
+    assert_eq!(t1.agg, t8.agg);
+    assert_eq!(t1.shared.detected, t2.shared.detected);
 }
 
 #[test]

@@ -1,0 +1,485 @@
+//! Multi-process fleet simulation: the paper's production-run story at
+//! GWP-ASan scale.
+//!
+//! A [`Fleet`] time-multiplexes **one** physical [`Machine`] — one ECC
+//! memory controller, one cache hierarchy, one swap device — across
+//! hundreds-to-thousands of simulated processes. Each process is a full
+//! `safemem-os` instance over a [`SlotBackend`]
+//! (the pluggable machine/OS boundary): before a process's turn the
+//! scheduler installs the shared machine into that process's slot, and
+//! after the turn it takes the machine back. Processes are kept apart by
+//! disjoint physical frame windows (`OsConfig::phys_base`), so each OS
+//! pages, pins, and watches only its own slice of the shared memory, while
+//! the backend's per-process virtual clock keeps the leak detector's
+//! lifetime thresholds meaningful per process.
+//!
+//! Every process runs a connection-churn server workload
+//! ([`ChurnSim`]) under its own sampled SafeMem
+//! instance. At sub-1.0 sampling rates each individual process is unlikely
+//! to catch its planted bug; the fleet-level detection probability
+//! `1 - (1 - r)^n` is what the `fleet` campaign preset scores against the
+//! tallies this crate produces.
+//!
+//! The scheduler is strictly sequential and deterministic: turn order is
+//! `(request, pid)` lexicographic, and no decision consults host state, so
+//! a fleet run is a pure function of its [`ProcessSpec`]s and
+//! [`FleetConfig`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use safemem_core::{MemTool, SafeMem, SamplingPlan};
+use safemem_machine::{Machine, SlotBackend};
+use safemem_os::{Os, OsConfig, SwapPolicy, PAGE_BYTES};
+use safemem_workloads::apps::churn::CHURN_DEFAULT_REQUESTS;
+use safemem_workloads::apps::{ChurnKind, ChurnLeak, ChurnSim};
+use safemem_workloads::{Ctx, RunResult, Workload};
+
+/// Default physical frame window per process, in pages (128 KiB): ample for
+/// a churn server's resident set while keeping a 512-process fleet's shared
+/// memory at 64 MiB.
+pub const DEFAULT_WINDOW_PAGES: u64 = 32;
+
+/// Per-process plan: which churn server it runs and how its SafeMem
+/// instance samples.
+///
+/// The sampling seed is taken verbatim (not derived here) so the campaign
+/// layer can key it exactly like its single-process cells — a fleet process
+/// and the campaign cell with the same spec then make identical
+/// per-allocation sampling decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessSpec {
+    /// The churn workload this process runs.
+    pub kind: ChurnKind,
+    /// Seed for the workload driver context (churn draws nothing from it,
+    /// but it keeps fleet and solo runs configured identically).
+    pub workload_seed: u64,
+    /// SafeMem sampling rate in parts-per-million.
+    pub sampling_ppm: u32,
+    /// SafeMem sampling seed for this process.
+    pub sampling_seed: u64,
+}
+
+/// Fleet-wide knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Requests each process serves.
+    pub requests: u64,
+    /// Physical frame window per process, in pages.
+    pub window_pages: u64,
+    /// Whether the servers receive bug-triggering inputs.
+    pub buggy: bool,
+    /// Swap policy of every process's OS.
+    pub swap_policy: SwapPolicy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            requests: CHURN_DEFAULT_REQUESTS,
+            window_pages: DEFAULT_WINDOW_PAGES,
+            buggy: true,
+            swap_policy: SwapPolicy::PinWatchedPages,
+        }
+    }
+}
+
+/// Per-workload-kind detection tally, folded over all processes of that
+/// kind (fixed size regardless of fleet size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindTally {
+    /// Processes running this kind.
+    pub processes: u64,
+    /// Processes whose planted bug was reported.
+    pub detected: u64,
+    /// False reports across this kind's processes (wrong-group leaks, or
+    /// any corruption report from a process that planted none).
+    pub false_positives: u64,
+    /// Allocations that drew full instrumentation, summed over processes.
+    pub sampled_allocs: u64,
+    /// Allocations issued, summed over processes.
+    pub total_allocs: u64,
+}
+
+/// Everything a fleet run produces. All fields are fixed-size aggregates
+/// except [`detected`](FleetReport::detected), one flag per process (the
+/// cross-check surface for the campaign's per-cell replays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// Fleet size.
+    pub processes: u64,
+    /// Requests each process served.
+    pub requests: u64,
+    /// Bytes of the one shared physical memory.
+    pub shared_phys_bytes: u64,
+    /// The shared machine clock at the end of the run (all processes'
+    /// turns, serialized).
+    pub machine_cycles: u64,
+    /// Sum of per-process CPU cycles (virtual clocks, I/O excluded).
+    pub process_cycles: u64,
+    /// Page faults summed over all processes.
+    pub page_faults: u64,
+    /// Swap-ins on the shared swap device, summed over all processes.
+    pub swap_ins: u64,
+    /// Swap-outs on the shared swap device, summed over all processes.
+    pub swap_outs: u64,
+    /// Per-kind tallies in first-appearance order of the spec list.
+    pub tallies: Vec<(&'static str, KindTally)>,
+    /// Per-process detection flag, indexed by pid.
+    pub detected: Vec<bool>,
+}
+
+impl FleetReport {
+    /// The tally for workload `name`, if any process ran it.
+    #[must_use]
+    pub fn tally(&self, name: &str) -> Option<&KindTally> {
+        self.tallies
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// Total false positives across the fleet.
+    #[must_use]
+    pub fn false_positives(&self) -> u64 {
+        self.tallies.iter().map(|(_, t)| t.false_positives).sum()
+    }
+
+    /// Total detections across the fleet.
+    #[must_use]
+    pub fn detections(&self) -> u64 {
+        self.tallies.iter().map(|(_, t)| t.detected).sum()
+    }
+}
+
+/// The workload-registry name of a churn kind.
+#[must_use]
+pub fn kind_name(kind: ChurnKind) -> &'static str {
+    match kind {
+        ChurnKind::Leak => "churn-leak",
+        ChurnKind::UseAfterFree => "churn-uaf",
+        ChurnKind::Overflow => "churn-obo",
+    }
+}
+
+/// One simulated process: its OS (over a vacant slot), its SafeMem
+/// instance, and its server state.
+struct Process {
+    os: Os,
+    tool: SafeMem,
+    sim: ChurnSim,
+    kind: ChurnKind,
+    workload_seed: u64,
+}
+
+/// The slot backend of a fleet process's OS.
+fn slot_of(os: &mut Os) -> &mut SlotBackend {
+    os.machine_mut()
+        .as_any_mut()
+        .downcast_mut::<SlotBackend>()
+        .expect("fleet processes run over SlotBackend")
+}
+
+impl Process {
+    /// Runs `f` with the shared machine installed in this process's slot.
+    fn turn<R>(&mut self, machine: &mut Option<Machine>, f: impl FnOnce(&mut Process) -> R) -> R {
+        slot_of(&mut self.os).install(machine.take().expect("shared machine in flight"));
+        let result = f(self);
+        *machine = Some(slot_of(&mut self.os).take());
+        result
+    }
+}
+
+/// The multi-process scheduler over one shared machine.
+pub struct Fleet {
+    config: FleetConfig,
+    procs: Vec<Process>,
+    machine: Option<Machine>,
+}
+
+impl Fleet {
+    /// Boots a fleet: one shared machine sized to hold every process's
+    /// frame window, and one OS + sampled SafeMem instance per spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or `config.window_pages` is zero.
+    #[must_use]
+    pub fn boot(specs: &[ProcessSpec], config: FleetConfig) -> Self {
+        assert!(!specs.is_empty(), "a fleet needs at least one process");
+        assert!(config.window_pages > 0, "zero-page frame window");
+        let window = config.window_pages * PAGE_BYTES;
+        let shared = Machine::with_defaults(window * specs.len() as u64);
+        let hz = shared.clock().hz();
+        let mut machine = Some(shared);
+        let mut procs = Vec::with_capacity(specs.len());
+        for (pid, spec) in specs.iter().enumerate() {
+            let mut os = Os::with_backend(
+                Box::new(SlotBackend::vacant(hz)),
+                OsConfig {
+                    phys_bytes: window,
+                    phys_base: pid as u64 * window,
+                    swap_policy: config.swap_policy,
+                    ..OsConfig::default()
+                },
+            );
+            // Tool construction queries the machine (line size), so it runs
+            // as this process's first scheduled turn.
+            slot_of(&mut os).install(machine.take().expect("shared machine in flight"));
+            let tool = SafeMem::builder()
+                .sampling(SamplingPlan::new(spec.sampling_ppm, spec.sampling_seed))
+                .build(&mut os);
+            machine = Some(slot_of(&mut os).take());
+            procs.push(Process {
+                os,
+                tool,
+                sim: ChurnSim::new(spec.kind, config.requests),
+                kind: spec.kind,
+                workload_seed: spec.workload_seed,
+            });
+        }
+        Fleet {
+            config,
+            procs,
+            machine,
+        }
+    }
+
+    /// Runs every process to completion — `(request, pid)`-ordered turns,
+    /// then a drain/finish turn per process — and tallies the fleet.
+    #[must_use]
+    pub fn run(mut self) -> FleetReport {
+        let buggy = self.config.buggy;
+        for request in 0..self.config.requests {
+            for proc in &mut self.procs {
+                proc.turn(&mut self.machine, |p| {
+                    let mut ctx = Ctx::new(&mut p.os, &mut p.tool, p.sim.app_id(), p.workload_seed);
+                    p.sim.step(&mut ctx, request, buggy);
+                });
+            }
+        }
+
+        let window = self.config.window_pages * PAGE_BYTES;
+        let mut report = FleetReport {
+            processes: self.procs.len() as u64,
+            requests: self.config.requests,
+            shared_phys_bytes: window * self.procs.len() as u64,
+            machine_cycles: 0,
+            process_cycles: 0,
+            page_faults: 0,
+            swap_ins: 0,
+            swap_outs: 0,
+            tallies: Vec::new(),
+            detected: Vec::with_capacity(self.procs.len()),
+        };
+
+        for proc in &mut self.procs {
+            let outcome = proc.turn(&mut self.machine, |p| {
+                {
+                    let mut ctx = Ctx::new(&mut p.os, &mut p.tool, p.sim.app_id(), p.workload_seed);
+                    p.sim.drain(&mut ctx);
+                }
+                p.tool.finish(&mut p.os);
+                score(p)
+            });
+            let vm = proc.os.vm().stats();
+            report.process_cycles += proc.os.cpu_cycles();
+            report.page_faults += vm.page_faults;
+            report.swap_ins += vm.swap_ins;
+            report.swap_outs += vm.swap_outs;
+            let name = kind_name(proc.kind);
+            let tally = match report.tallies.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, t)) => t,
+                None => {
+                    report.tallies.push((name, KindTally::default()));
+                    &mut report.tallies.last_mut().expect("just pushed").1
+                }
+            };
+            tally.processes += 1;
+            tally.detected += u64::from(outcome.detected);
+            tally.false_positives += outcome.false_positives;
+            tally.sampled_allocs += outcome.sampled_allocs;
+            tally.total_allocs += outcome.total_allocs;
+            report.detected.push(outcome.detected);
+        }
+
+        let machine = self.machine.expect("shared machine parked after turns");
+        report.machine_cycles = machine.clock().cycles();
+        report
+    }
+}
+
+struct Outcome {
+    detected: bool,
+    false_positives: u64,
+    sampled_allocs: u64,
+    total_allocs: u64,
+}
+
+/// Scores one finished process: was the planted bug reported, and did
+/// anything else get reported that should not have been?
+fn score(proc: &mut Process) -> Outcome {
+    let result = RunResult {
+        cpu_cycles: proc.os.cpu_cycles(),
+        reports: proc.tool.reports(),
+        heap_stats: proc.tool.heap().stats(),
+    };
+    let sampling = proc.tool.sampling().unwrap_or_default();
+    let truth = match proc.kind {
+        ChurnKind::Leak => ChurnLeak.true_leak_groups(),
+        _ => Vec::new(),
+    };
+    let (detected, mut false_positives) = match proc.kind {
+        ChurnKind::Leak => (
+            result.true_leaks(&truth) > 0,
+            result.false_leaks(&truth) as u64,
+        ),
+        ChurnKind::UseAfterFree | ChurnKind::Overflow => (
+            result.corruption_detected(),
+            result.false_leaks(&truth) as u64,
+        ),
+    };
+    if proc.kind == ChurnKind::Leak && result.corruption_detected() {
+        false_positives += 1;
+    }
+    Outcome {
+        detected,
+        false_positives,
+        sampled_allocs: sampling.sampled_allocs,
+        total_allocs: sampling.total_allocs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safemem_core::PPM;
+
+    fn spec(kind: ChurnKind, pid: u64) -> ProcessSpec {
+        ProcessSpec {
+            kind,
+            workload_seed: 0x05AF_E3E3,
+            sampling_ppm: PPM,
+            sampling_seed: pid,
+        }
+    }
+
+    #[test]
+    fn always_on_trio_detects_every_planted_bug() {
+        let specs = [
+            spec(ChurnKind::Leak, 0),
+            spec(ChurnKind::UseAfterFree, 1),
+            spec(ChurnKind::Overflow, 2),
+        ];
+        let report = Fleet::boot(&specs, FleetConfig::default()).run();
+        assert_eq!(report.processes, 3);
+        assert_eq!(report.detections(), 3, "tallies: {:?}", report.tallies);
+        assert_eq!(report.false_positives(), 0);
+        assert_eq!(report.detected, vec![true, true, true]);
+        assert_eq!(report.tally("churn-leak").unwrap().detected, 1);
+        assert!(report.process_cycles > 0);
+        assert!(
+            report.machine_cycles >= report.process_cycles,
+            "the shared clock serializes every process's time"
+        );
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let specs: Vec<ProcessSpec> = (0..6)
+            .map(|pid| {
+                spec(
+                    [
+                        ChurnKind::Leak,
+                        ChurnKind::UseAfterFree,
+                        ChurnKind::Overflow,
+                    ][pid as usize % 3],
+                    pid,
+                )
+            })
+            .collect();
+        let config = FleetConfig {
+            requests: 48,
+            ..FleetConfig::default()
+        };
+        let a = Fleet::boot(&specs, config).run();
+        let b = Fleet::boot(&specs, config).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_fleet_detection_tracks_the_sampling_decision() {
+        // At a sub-1.0 rate, a uaf process detects iff its victim
+        // allocation drew instrumentation — so re-running the same fleet
+        // must reproduce the exact same hit set, and some processes must
+        // fall on each side at 20%.
+        let specs: Vec<ProcessSpec> = (0..16)
+            .map(|pid| ProcessSpec {
+                sampling_ppm: 200_000,
+                ..spec(ChurnKind::UseAfterFree, pid)
+            })
+            .collect();
+        let config = FleetConfig {
+            requests: 48,
+            ..FleetConfig::default()
+        };
+        let report = Fleet::boot(&specs, config).run();
+        let hits = report.detections();
+        assert!(hits > 0 && hits < 16, "both outcomes occur: {hits}/16");
+        assert_eq!(report.false_positives(), 0);
+        let again = Fleet::boot(&specs, config).run();
+        assert_eq!(report.detected, again.detected);
+    }
+
+    #[test]
+    fn normal_inputs_stay_silent_fleet_wide() {
+        let specs: Vec<ProcessSpec> = (0..6)
+            .map(|pid| {
+                spec(
+                    [
+                        ChurnKind::Leak,
+                        ChurnKind::UseAfterFree,
+                        ChurnKind::Overflow,
+                    ][pid as usize % 3],
+                    pid,
+                )
+            })
+            .collect();
+        let config = FleetConfig {
+            buggy: false,
+            ..FleetConfig::default()
+        };
+        let report = Fleet::boot(&specs, config).run();
+        assert_eq!(report.detections(), 0);
+        assert_eq!(report.false_positives(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_fleet_is_rejected() {
+        let _ = Fleet::boot(&[], FleetConfig::default());
+    }
+
+    #[test]
+    #[ignore = "scale smoke (512 processes): run explicitly or via the CI fleet leg"]
+    fn five_hundred_twelve_processes_share_one_machine() {
+        let specs: Vec<ProcessSpec> = (0..512)
+            .map(|pid| ProcessSpec {
+                sampling_ppm: 200_000,
+                ..spec(
+                    [
+                        ChurnKind::Leak,
+                        ChurnKind::UseAfterFree,
+                        ChurnKind::Overflow,
+                    ][pid as usize % 3],
+                    pid,
+                )
+            })
+            .collect();
+        let report = Fleet::boot(&specs, FleetConfig::default()).run();
+        assert_eq!(report.processes, 512);
+        assert_eq!(report.shared_phys_bytes, 512 * 32 * PAGE_BYTES);
+        assert_eq!(report.false_positives(), 0);
+        assert!(report.detections() > 0);
+    }
+}

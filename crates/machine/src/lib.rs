@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod clock;
 pub mod cost;
 pub mod dma;
 
+pub use backend::{MachineBackend, SlotBackend};
 pub use clock::Clock;
 pub use cost::CostModel;
 pub use dma::{DmaEngine, DmaStep, DmaTransfer};

@@ -1,8 +1,10 @@
 //! The simulated operating system layer for the SafeMem reproduction.
 //!
 //! Models the paper's patched Linux kernel (§2.2.2 and §5.1): a single
-//! process with demand-paged virtual memory over the simulated
-//! [`Machine`], plus the three new system calls
+//! process with demand-paged virtual memory over a pluggable
+//! [`MachineBackend`] — a simulated [`Machine`] owned outright by default,
+//! or a window onto a machine shared by a whole fleet of processes (see
+//! [`Os::with_backend`]) — plus the three new system calls
 //! SafeMem adds —
 //!
 //! * [`Os::watch_memory`] — arm ECC watchpoints on a cache-line-aligned
@@ -18,6 +20,7 @@
 //! describes as the "better solution" to page swapping.
 //!
 //! [`Machine`]: safemem_machine::Machine
+//! [`MachineBackend`]: safemem_machine::MachineBackend
 //!
 //! # Example: a watchpoint end to end
 //!
@@ -59,7 +62,7 @@ pub use vm::{Prot, VirtualMemory, HEAP_BASE, PAGE_BYTES, STATIC_BASE, VA_LIMIT};
 pub use watch::{WatchRegistry, WatchedLine};
 
 use safemem_cache::CacheConfig;
-use safemem_machine::{CostModel, Machine};
+use safemem_machine::{CostModel, Machine, MachineBackend};
 use vm::TranslateOutcome;
 
 /// How watched pages interact with page replacement.
@@ -78,8 +81,13 @@ pub enum SwapPolicy {
 /// Configuration for the simulated OS + machine stack.
 #[derive(Debug, Clone)]
 pub struct OsConfig {
-    /// Physical memory size in bytes.
+    /// Physical memory size in bytes (with [`Os::with_backend`], the size
+    /// of this process's frame window).
     pub phys_bytes: u64,
+    /// Base physical address of this process's frame window. Only
+    /// meaningful with [`Os::with_backend`] over a shared machine; must be
+    /// page-aligned. The default `0` preserves the single-process layout.
+    pub phys_base: u64,
     /// Cache geometry (index 0 = L1).
     pub caches: Vec<CacheConfig>,
     /// Cycle cost calibration.
@@ -100,6 +108,7 @@ impl Default for OsConfig {
     fn default() -> Self {
         OsConfig {
             phys_bytes: 1 << 24,
+            phys_base: 0,
             caches: safemem_cache::default_two_level(),
             cost: CostModel::default(),
             swap_policy: SwapPolicy::PinWatchedPages,
@@ -129,9 +138,10 @@ pub struct OsStats {
     pub scrub_cycles: u64,
 }
 
-/// The simulated OS: machine + virtual memory + SafeMem kernel extensions.
+/// The simulated OS: machine backend + virtual memory + SafeMem kernel
+/// extensions.
 pub struct Os {
-    machine: Machine,
+    machine: Box<dyn MachineBackend>,
     vm: VirtualMemory,
     watch: WatchRegistry,
     handler_registered: bool,
@@ -163,10 +173,30 @@ impl Os {
     /// Panics if the configuration is invalid (zero memory, bad caches).
     #[must_use]
     pub fn new(config: OsConfig) -> Self {
-        let machine = Machine::new(config.phys_bytes, config.caches, config.cost);
+        let machine = Machine::new(
+            config.phys_base + config.phys_bytes,
+            config.caches.clone(),
+            config.cost.clone(),
+        );
+        Os::with_backend(Box::new(machine), config)
+    }
+
+    /// Builds the OS stack over an externally constructed machine backend.
+    ///
+    /// This is the fleet entry point: every process of a fleet gets its own
+    /// `Os` over a backend window onto one shared machine, with
+    /// `config.phys_base` / `config.phys_bytes` carving out a disjoint frame
+    /// range per process. `config.caches` and `config.cost` are ignored on
+    /// this path — the backend already owns its geometry and calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.phys_base` is not page-aligned.
+    #[must_use]
+    pub fn with_backend(backend: Box<dyn MachineBackend>, config: OsConfig) -> Self {
         Os {
-            machine,
-            vm: VirtualMemory::new(config.phys_bytes),
+            machine: backend,
+            vm: VirtualMemory::with_range(config.phys_base, config.phys_bytes),
             watch: WatchRegistry::new(),
             handler_registered: false,
             swap_policy: config.swap_policy,
@@ -194,17 +224,17 @@ impl Os {
         })
     }
 
-    /// The underlying machine (read access).
+    /// The underlying machine backend (read access).
     #[must_use]
-    pub fn machine(&self) -> &Machine {
-        &self.machine
+    pub fn machine(&self) -> &dyn MachineBackend {
+        &*self.machine
     }
 
-    /// The underlying machine (mutable; for error injection and mode
-    /// configuration in tests and experiments).
+    /// The underlying machine backend (mutable; for error injection, mode
+    /// configuration, and fleet-scheduler downcasts).
     #[must_use]
-    pub fn machine_mut(&mut self) -> &mut Machine {
-        &mut self.machine
+    pub fn machine_mut(&mut self) -> &mut dyn MachineBackend {
+        &mut *self.machine
     }
 
     /// The virtual memory manager (read access).
@@ -346,7 +376,7 @@ impl Os {
                 access: kind,
             });
         }
-        let outcome = self.vm.translate(&mut self.machine, vaddr);
+        let outcome = self.vm.translate(&mut *self.machine, vaddr);
         self.drain_evictions();
         match outcome {
             Ok((phys, TranslateOutcome::Hit)) => Ok(phys),
@@ -580,7 +610,7 @@ impl Os {
         for i in 0..lines {
             let vline = vaddr + i * ls;
             if self.swap_policy == SwapPolicy::PinWatchedPages {
-                if let Err(e) = self.vm.pin(&mut self.machine, vline) {
+                if let Err(e) = self.vm.pin(&mut *self.machine, vline) {
                     // Roll back the partially armed region: disarm the lines
                     // already scrambled, unpin their pages, drop the region.
                     let (_, armed) = self
@@ -598,7 +628,7 @@ impl Os {
             }
             let (phys, _) = self
                 .vm
-                .translate(&mut self.machine, vline)
+                .translate(&mut *self.machine, vline)
                 .expect("page pinned or just resident");
             self.drain_evictions();
             let phys_line = phys & !(ls - 1);
@@ -652,7 +682,7 @@ impl Os {
                 // already removed from the registry), then restore.
                 let (phys, _) = self
                     .vm
-                    .translate(&mut self.machine, line.vline)
+                    .translate(&mut *self.machine, line.vline)
                     .expect("swap-in for unwatch");
                 self.drain_evictions();
                 let ls = self.line_size();

@@ -1,0 +1,188 @@
+//! Conformance suite for the machine/OS boundary: the OS stack must behave
+//! identically over a [`Machine`] it owns outright and over a
+//! [`SlotBackend`] window onto a shared machine — same bytes, same fault
+//! classifications, same counters, same charged CPU time. The one
+//! deliberate divergence is the clock: a slot reports a per-process
+//! virtual clock that skips time other processes spent on the shared
+//! hardware, which the isolation tests pin.
+
+use safemem_machine::{Machine, SlotBackend};
+use safemem_os::{AccessKind, Os, OsConfig, OsFault, Prot, HEAP_BASE, PAGE_BYTES};
+
+const PHYS: u64 = 1 << 22;
+
+fn machine_backed() -> Os {
+    let mut os = Os::with_defaults(PHYS);
+    os.register_ecc_fault_handler();
+    os
+}
+
+/// An `Os` over a slot with a fresh shared machine installed for the whole
+/// run — observably a single-process machine, which is exactly the claim.
+fn slot_backed() -> Os {
+    let machine = Machine::with_defaults(PHYS);
+    let mut slot = SlotBackend::vacant(machine.clock().hz());
+    slot.install(machine);
+    let mut os = Os::with_backend(
+        Box::new(slot),
+        OsConfig {
+            phys_bytes: PHYS,
+            ..OsConfig::default()
+        },
+    );
+    os.register_ecc_fault_handler();
+    os
+}
+
+/// Drives one OS instance through the shared script and records every
+/// observable outcome as text. Conformance = identical transcripts.
+fn transcript(os: &mut Os) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    // Plain paged read/write, crossing a page boundary.
+    let data: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+    os.vwrite(HEAP_BASE + PAGE_BYTES - 100, &data).unwrap();
+    let mut buf = vec![0u8; data.len()];
+    os.vread(HEAP_BASE + PAGE_BYTES - 100, &mut buf).unwrap();
+    let _ = writeln!(out, "roundtrip_ok={}", buf == data);
+
+    // Watch → access fault → unwatch → restored data.
+    os.vwrite(HEAP_BASE, &[0xAB; 128]).unwrap();
+    os.watch_memory(HEAP_BASE, 128).unwrap();
+    let fault = os.vread(HEAP_BASE + 70, &mut [0u8; 4]).unwrap_err();
+    let _ = writeln!(out, "watch_fault={fault:?}");
+    os.disable_watch_memory(HEAP_BASE).unwrap();
+    let mut restored = [0u8; 128];
+    os.vread(HEAP_BASE, &mut restored).unwrap();
+    let _ = writeln!(out, "restored_ok={}", restored == [0xAB; 128]);
+
+    // mprotect enforcement.
+    let page = (HEAP_BASE + 4 * PAGE_BYTES) & !(PAGE_BYTES - 1);
+    os.vwrite(page, &[7]).unwrap();
+    os.mprotect(page, PAGE_BYTES, Prot::READ).unwrap();
+    let denied = os.vwrite(page, &[8]).unwrap_err();
+    let _ = writeln!(out, "mprotect_denied={denied:?}");
+    os.mprotect(page, PAGE_BYTES, Prot::READ_WRITE).unwrap();
+
+    // A corrected single-bit hardware error stays invisible.
+    let phys = os.vm().translate_resident(page).unwrap();
+    os.machine_mut().flush_range(phys, 64);
+    os.machine_mut().controller_mut().inject_data_error(phys, 3);
+    let mut b = [0u8; 1];
+    os.vread(page, &mut b).unwrap();
+    let _ = writeln!(out, "corrected_read={b:?}");
+
+    // Scrub coordination under the scrubbing mode.
+    os.machine_mut()
+        .controller_mut()
+        .set_mode(safemem_ecc::EccMode::CorrectAndScrub);
+    os.run_scrub_cycle();
+
+    // CPU accounting: compute charged, I/O wait excluded.
+    os.compute(10_000);
+    os.io_wait_ns(1_000_000);
+
+    let _ = writeln!(out, "stats={:?}", os.stats());
+    let _ = writeln!(out, "vm={:?}", os.vm().stats());
+    let _ = writeln!(out, "ecc={:?}", os.machine().controller().stats());
+    let _ = writeln!(out, "cpu_cycles={}", os.cpu_cycles());
+    let _ = writeln!(out, "total_cycles={}", os.total_cycles());
+    out.push_str(&safemem_os::procfs::snapshot(os));
+    out
+}
+
+#[test]
+fn both_backends_produce_identical_transcripts() {
+    let mut owned = machine_backed();
+    let mut shared = slot_backed();
+    let a = transcript(&mut owned);
+    let b = transcript(&mut shared);
+    assert_eq!(a, b, "the slot backend must be observably a machine");
+    assert!(a.contains("roundtrip_ok=true"), "{a}");
+    assert!(a.contains("restored_ok=true"), "{a}");
+    assert!(a.contains("signature_ok: true"), "{a}");
+}
+
+#[test]
+fn slot_clock_skips_foreign_machine_time() {
+    // Time another process spent on the shared machine before this
+    // process's turn must not appear in this process's CPU accounting.
+    let mut machine = Machine::with_defaults(PHYS);
+    machine.compute(123_456);
+    let mut slot = SlotBackend::vacant(machine.clock().hz());
+    slot.install(machine);
+    let mut os = Os::with_backend(
+        Box::new(slot),
+        OsConfig {
+            phys_bytes: PHYS,
+            ..OsConfig::default()
+        },
+    );
+    assert_eq!(os.total_cycles(), 0, "foreign time skipped");
+    os.compute(500);
+    assert_eq!(os.cpu_cycles(), 500);
+
+    // A scheduler turn for someone else: take the machine out through the
+    // downcast hook, advance it, give it back. Still invisible here.
+    let backend = os
+        .machine_mut()
+        .as_any_mut()
+        .downcast_mut::<SlotBackend>()
+        .expect("slot-backed OS");
+    let mut machine = backend.take();
+    machine.compute(999_999);
+    let backend = os
+        .machine_mut()
+        .as_any_mut()
+        .downcast_mut::<SlotBackend>()
+        .expect("slot-backed OS");
+    backend.install(machine);
+    assert_eq!(os.cpu_cycles(), 500, "other turns never accrue");
+    os.compute(250);
+    assert_eq!(os.cpu_cycles(), 750);
+}
+
+#[test]
+fn backends_downcast_to_their_substrate() {
+    let owned = machine_backed();
+    assert!(owned.machine().as_any().downcast_ref::<Machine>().is_some());
+    assert!(owned
+        .machine()
+        .as_any()
+        .downcast_ref::<SlotBackend>()
+        .is_none());
+
+    let shared = slot_backed();
+    assert!(shared
+        .machine()
+        .as_any()
+        .downcast_ref::<SlotBackend>()
+        .is_some());
+    assert!(shared
+        .machine()
+        .as_any()
+        .downcast_ref::<Machine>()
+        .is_none());
+}
+
+#[test]
+fn watchpoints_fire_identically_through_a_shared_window() {
+    // The fleet-critical path: an armed line behind the slot backend
+    // faults with a valid signature, and a genuine multi-bit error on the
+    // same line fails the signature — hardware attribution survives the
+    // backend boundary.
+    let mut os = slot_backed();
+    os.vwrite(HEAP_BASE, &[5; 64]).unwrap();
+    os.watch_memory(HEAP_BASE, 64).unwrap();
+    let phys = os.vm().translate_resident(HEAP_BASE).unwrap();
+    os.machine_mut()
+        .controller_mut()
+        .inject_multi_bit_error(phys);
+    let fault = os.vread(HEAP_BASE, &mut [0u8; 8]).unwrap_err();
+    let OsFault::Ecc(user) = fault else {
+        panic!("expected a routed fault, got {fault:?}")
+    };
+    assert!(!user.signature_ok, "classified as hardware error");
+    assert_eq!(user.access, AccessKind::Read);
+}

@@ -1,0 +1,200 @@
+//! Integration coverage for the OS crate's support modules — `procfs`
+//! rendering, `vm` paging/statistics, and the `watch` registry — driven
+//! through the public `Os` API the way the detectors and the fleet
+//! scheduler consume them.
+
+use safemem_os::procfs;
+use safemem_os::{
+    Os, OsConfig, OsFault, SwapPolicy, UserEccFault, WatchRegistry, WatchedLine, HEAP_BASE,
+    PAGE_BYTES,
+};
+
+fn os_with(phys_bytes: u64) -> Os {
+    let mut os = Os::with_defaults(phys_bytes);
+    os.register_ecc_fault_handler();
+    os
+}
+
+#[test]
+fn procfs_meminfo_tracks_paging() {
+    let mut os = os_with(1 << 22);
+    os.vwrite(HEAP_BASE, &[1u8; 3 * PAGE_BYTES as usize])
+        .unwrap();
+    let info = procfs::meminfo(&os);
+    assert!(info.contains("MemTotal:"), "{info}");
+    assert!(os.vm().stats().resident_pages >= 3);
+    assert!(os.vm().stats().page_faults >= 3);
+    // The rendered counters are the VM's counters.
+    assert!(
+        info.contains(&format!("{}", os.vm().stats().page_faults)),
+        "{info}"
+    );
+}
+
+#[test]
+fn procfs_watchlist_is_sorted_by_address() {
+    let mut os = os_with(1 << 22);
+    // Insert out of address order; the listing must come back sorted.
+    os.watch_memory(HEAP_BASE + 4096, 64).unwrap();
+    os.watch_memory(HEAP_BASE, 128).unwrap();
+    let list = procfs::watchlist(&os);
+    assert!(list.contains("2 watched region(s), 3 line(s)"), "{list}");
+    let low = list.find(&format!("{HEAP_BASE:#012x} +128")).unwrap();
+    let high = list
+        .find(&format!("{:#012x} +64", HEAP_BASE + 4096))
+        .unwrap();
+    assert!(low < high, "regions listed in address order:\n{list}");
+}
+
+#[test]
+fn procfs_eccinfo_reflects_controller_and_kernel_counters() {
+    let mut os = os_with(1 << 22);
+    os.vwrite(HEAP_BASE, &[9u8; 64]).unwrap();
+    let phys = os.vm().translate_resident(HEAP_BASE).unwrap();
+    os.machine_mut().flush_range(phys, 64);
+    os.machine_mut().controller_mut().inject_data_error(phys, 4);
+    os.vread(HEAP_BASE, &mut [0u8; 64]).unwrap();
+
+    os.watch_memory(HEAP_BASE + PAGE_BYTES, 64).unwrap();
+    let _ = os.vread(HEAP_BASE + PAGE_BYTES, &mut [0u8; 1]);
+
+    let info = procfs::eccinfo(&os);
+    assert!(info.contains("Mode:              CorrectError"), "{info}");
+    assert!(
+        os.machine().controller().stats().corrected_single_bit >= 1,
+        "{info}"
+    );
+    assert!(info.contains("WatchCalls:"), "{info}");
+    assert_eq!(os.stats().watch_calls, 1);
+    assert_eq!(os.stats().ecc_faults_delivered, 1);
+    assert_eq!(os.stats().hardware_panics, 0);
+}
+
+#[test]
+fn procfs_timeinfo_separates_cpu_from_wall() {
+    let mut os = os_with(1 << 22);
+    os.compute(50_000);
+    os.io_wait_ns(2_000_000);
+    let info = procfs::timeinfo(&os);
+    assert!(info.contains("TotalCycles:"), "{info}");
+    assert!(info.contains(&format!("{}", os.cpu_cycles())), "{info}");
+    assert!(os.total_cycles() > os.cpu_cycles(), "I/O wait excluded");
+    // The full snapshot stitches all four sections together.
+    let snap = procfs::snapshot(&os);
+    for section in [
+        "--- meminfo ---",
+        "--- watchpoints ---",
+        "--- ecc ---",
+        "--- time ---",
+    ] {
+        assert!(snap.contains(section), "{snap}");
+    }
+}
+
+#[test]
+fn vm_swaps_under_pressure_and_counts_it() {
+    // Eight physical pages and a working set far larger: the VM must evict
+    // to swap and fault pages back in, and the stats must say so.
+    let mut os = Os::new(OsConfig {
+        phys_bytes: 8 * PAGE_BYTES,
+        swap_policy: SwapPolicy::SwapAware,
+        ..OsConfig::default()
+    });
+    os.register_ecc_fault_handler();
+    for i in 0..24u64 {
+        os.vwrite(HEAP_BASE + i * PAGE_BYTES, &[i as u8; 64])
+            .unwrap();
+    }
+    assert!(os.vm().stats().swap_outs > 0, "{:?}", os.vm().stats());
+    assert!(!os.vm().is_resident(HEAP_BASE), "first page evicted");
+
+    // Faulting the first page back preserves its contents and counts a
+    // swap-in; the charged I/O wait stays out of CPU time.
+    let cpu_before = os.cpu_cycles();
+    let mut buf = [0u8; 64];
+    os.vread(HEAP_BASE, &mut buf).unwrap();
+    assert_eq!(buf, [0u8; 64]);
+    assert!(os.vm().stats().swap_ins > 0);
+    assert!(os.vm().is_resident(HEAP_BASE));
+    assert!(
+        os.total_cycles() - os.cpu_cycles() > 0,
+        "swap-in I/O excluded from CPU time (before: {cpu_before})"
+    );
+}
+
+#[test]
+fn vm_translate_resident_never_faults_pages_in() {
+    let os = os_with(1 << 22);
+    assert_eq!(os.vm().translate_resident(HEAP_BASE), None);
+    assert!(!os.vm().is_resident(HEAP_BASE));
+}
+
+#[test]
+fn watch_registry_bookkeeping() {
+    let mut reg = WatchRegistry::new();
+    reg.insert_region(HEAP_BASE, 128);
+    reg.insert_line(WatchedLine {
+        region_vaddr: HEAP_BASE,
+        vline: HEAP_BASE,
+        phys_line: Some(0x1000),
+        original: vec![0xAA; 64],
+    });
+    reg.insert_line(WatchedLine {
+        region_vaddr: HEAP_BASE,
+        vline: HEAP_BASE + 64,
+        phys_line: Some(0x1040),
+        original: vec![0xBB; 64],
+    });
+
+    assert_eq!(reg.region_count(), 1);
+    assert_eq!(reg.line_count(), 2);
+    assert_eq!(reg.region_at(HEAP_BASE), Some(128));
+    assert_eq!(
+        reg.region_containing(HEAP_BASE + 100),
+        Some((HEAP_BASE, 128))
+    );
+    assert_eq!(reg.overlapping_region(HEAP_BASE + 64, 64), Some(HEAP_BASE));
+    assert_eq!(reg.overlapping_region(HEAP_BASE + 128, 64), None);
+    assert_eq!(reg.line_by_phys(0x1040).unwrap().vline, HEAP_BASE + 64);
+
+    // Swap-aware retirement: evicting the page clears the physical
+    // placement; the line stays registered by virtual address.
+    let vpn = HEAP_BASE / PAGE_BYTES;
+    let in_page = reg.vlines_in_page(vpn, PAGE_BYTES);
+    assert_eq!(in_page.len(), 2);
+    for vline in in_page {
+        reg.set_line_phys(vline, None);
+    }
+    assert!(reg.line_by_phys(0x1000).is_none());
+    assert!(reg.line_by_vaddr(HEAP_BASE).unwrap().phys_line.is_none());
+    assert_eq!(reg.lines().count(), 2);
+
+    let (size, lines) = reg.remove_region(HEAP_BASE).unwrap();
+    assert_eq!(size, 128);
+    assert_eq!(lines.len(), 2);
+    assert_eq!(reg.region_count(), 0);
+    assert_eq!(reg.line_count(), 0);
+}
+
+#[test]
+fn watch_faults_report_the_exact_access_address() {
+    // The registry's line lookup feeds fault classification: the reported
+    // access address must be the faulting byte's virtual address even deep
+    // inside a multi-line region.
+    let mut os = os_with(1 << 22);
+    os.vwrite(HEAP_BASE, &[1u8; 256]).unwrap();
+    os.watch_memory(HEAP_BASE, 256).unwrap();
+    let fault = os.vread(HEAP_BASE + 200, &mut [0u8; 1]).unwrap_err();
+    let OsFault::Ecc(UserEccFault {
+        region_vaddr,
+        line_vaddr,
+        access_vaddr,
+        ..
+    }) = fault
+    else {
+        panic!("expected ECC fault, got {fault:?}")
+    };
+    assert_eq!(region_vaddr, HEAP_BASE);
+    assert_eq!(line_vaddr, HEAP_BASE + 192, "line 3 of 4");
+    assert_eq!(access_vaddr, HEAP_BASE + 192, "group holding byte 200");
+}

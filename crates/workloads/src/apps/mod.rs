@@ -8,6 +8,7 @@
 //!
 //! [`InputMode::Buggy`]: crate::driver::InputMode::Buggy
 
+pub mod churn;
 pub mod cve;
 pub mod gzip;
 pub mod httpd;
@@ -18,6 +19,7 @@ pub mod tar;
 pub mod ypserv1;
 pub mod ypserv2;
 
+pub use churn::{ChurnKind, ChurnLeak, ChurnObo, ChurnSim, ChurnUaf};
 pub use cve::{CveDfree, CveFmt, CveObo, CveUaf};
 pub use gzip::Gzip;
 pub use httpd::Httpd;

@@ -35,6 +35,8 @@ pub mod trace;
 pub use driver::{
     group_of, run_under, AppSpec, BugClass, Ctx, FpPool, InputMode, RunConfig, RunResult, Workload,
 };
-pub use registry::{all_workloads, cve_workloads, extension_workloads, workload_by_name};
+pub use registry::{
+    all_workloads, churn_workloads, cve_workloads, extension_workloads, workload_by_name,
+};
 pub use synthetic::{Synthetic, SyntheticParams};
 pub use trace::{Recorder, Replayer, Trace, TraceOp};

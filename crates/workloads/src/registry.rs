@@ -1,7 +1,8 @@
 //! The application registry: Table 1 as code.
 
 use crate::apps::{
-    CveDfree, CveFmt, CveObo, CveUaf, Gzip, Httpd, Proftpd, Squid1, Squid2, Tar, Ypserv1, Ypserv2,
+    ChurnLeak, ChurnObo, ChurnUaf, CveDfree, CveFmt, CveObo, CveUaf, Gzip, Httpd, Proftpd, Squid1,
+    Squid2, Tar, Ypserv1, Ypserv2,
 };
 use crate::driver::Workload;
 
@@ -40,14 +41,24 @@ pub fn cve_workloads() -> Vec<Box<dyn Workload>> {
     ]
 }
 
+/// The connection-churn server family (see [`crate::apps::churn`]):
+/// per-process programs of the fleet simulation, driven by the `fleet`
+/// campaign preset.
+#[must_use]
+pub fn churn_workloads() -> Vec<Box<dyn Workload>> {
+    vec![Box::new(ChurnLeak), Box::new(ChurnUaf), Box::new(ChurnObo)]
+}
+
 /// Looks an application up by name, searching Table 1 first, then the
-/// extension workloads, then the synthetic-CVE arena.
+/// extension workloads, then the synthetic-CVE arena, then the fleet churn
+/// family.
 #[must_use]
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
     all_workloads()
         .into_iter()
         .chain(extension_workloads())
         .chain(cve_workloads())
+        .chain(churn_workloads())
         .find(|w| w.spec().name == name)
 }
 
@@ -108,6 +119,21 @@ mod tests {
                 == 2,
             "uaf and dfree need freed-tracking recording"
         );
+    }
+
+    #[test]
+    fn churn_family_is_separate_but_reachable() {
+        assert_eq!(all_workloads().len(), 7, "Table 1 stays authoritative");
+        let names: Vec<&str> = churn_workloads().iter().map(|w| w.spec().name).collect();
+        assert_eq!(names, ["churn-leak", "churn-uaf", "churn-obo"]);
+        for name in names {
+            assert!(workload_by_name(name).is_some(), "{name}");
+        }
+        let leak = workload_by_name("churn-leak").unwrap();
+        assert_eq!(leak.true_leak_groups().len(), 1);
+        assert!(workload_by_name("churn-uaf")
+            .unwrap()
+            .records_freed_accesses());
     }
 
     #[test]

@@ -295,7 +295,12 @@ pub fn campaign_usage() -> String {
          \x20                     survival-with-integrity alongside detection;\n\
          \x20                     frontier sweeps a ladder of sampling rates over the\n\
          \x20                     same recorded traces and scores detection probability\n\
-         \x20                     against simulated overhead, per rate and bug class\n\
+         \x20                     against simulated overhead, per rate and bug class;\n\
+         \x20                     fleet runs a multi-process churn fleet on one shared\n\
+         \x20                     machine at a sub-1.0 sampling rate and scores the\n\
+         \x20                     fleet-level detection probability 1-(1-r)^n\n\
+         \x20 --processes <n>     fleet size (default {fleet_procs}; requires --preset fleet,\n\
+         \x20                     which sizes by processes instead of --seeds)\n\
          \x20 --seeds <n>         number of campaign seeds to fan out (default 8)\n\
          \x20 --seed0 <n>         first seed (default 0)\n\
          \x20 --workloads <a,b>   comma-separated workload names (default: {workloads};\n\
@@ -316,6 +321,7 @@ pub fn campaign_usage() -> String {
          \x20                     the scorecard is byte-identical either way\n\
          \x20 --verbose           print every per-campaign scorecard, not just the aggregate\n",
         presets = crate::faultinject::CampaignSpec::PRESETS.join(" | "),
+        fleet_procs = crate::faultinject::DEFAULT_FLEET_PROCESSES,
         workloads = crate::faultinject::spec::PRESET_WORKLOADS.join(","),
         arena_workloads = crate::faultinject::spec::CVE_WORKLOADS.join(","),
         frontier_rates = crate::faultinject::FRONTIER_RATES_PPM
@@ -339,6 +345,12 @@ pub struct CampaignCli {
     pub workloads: Vec<String>,
     /// Request count override (None = the preset's).
     pub requests: Option<u64>,
+    /// Fleet size (None = [`DEFAULT_FLEET_PROCESSES`]). Only meaningful
+    /// with the `fleet` preset, which sizes by processes instead of
+    /// `--seeds`; every other preset rejects the flag.
+    ///
+    /// [`DEFAULT_FLEET_PROCESSES`]: crate::faultinject::DEFAULT_FLEET_PROCESSES
+    pub processes: Option<u64>,
     /// Sampling-rate ladder in parts-per-million, high to low as given.
     /// Only meaningful with the `frontier` preset (empty = its default
     /// ladder); every other preset runs always-on and rejects the flag.
@@ -373,6 +385,7 @@ impl CampaignCli {
             seed0: 0,
             workloads: Vec::new(),
             requests: None,
+            processes: None,
             sampling_ppm: Vec::new(),
             threads: None,
             bench_threads: Vec::new(),
@@ -410,6 +423,15 @@ impl CampaignCli {
                             .parse()
                             .map_err(|_| CliError("--requests needs an integer".into()))?,
                     );
+                }
+                "--processes" => {
+                    let n: u64 = value("--processes")?
+                        .parse()
+                        .map_err(|_| CliError("--processes needs an integer".into()))?;
+                    if n == 0 {
+                        return Err(CliError("--processes must be at least 1".into()));
+                    }
+                    cli.processes = Some(n);
                 }
                 "--sampling" => {
                     cli.sampling_ppm = value("--sampling")?
@@ -484,7 +506,17 @@ impl CampaignCli {
                 "--sampling requires --preset frontier (other presets run always-on)".into(),
             ));
         }
-        if cli.workloads.is_empty() {
+        if cli.processes.is_some() && cli.preset != "fleet" {
+            return Err(CliError(
+                "--processes requires --preset fleet (other presets size with --seeds)".into(),
+            ));
+        }
+        if cli.preset == "fleet" && !cli.workloads.is_empty() {
+            return Err(CliError(
+                "--preset fleet always sweeps the churn family; --workloads does not apply".into(),
+            ));
+        }
+        if cli.workloads.is_empty() && cli.preset != "fleet" {
             // The arena preset sweeps the synthetic-CVE family by default;
             // the frontier sweeps every bug class (Table 1 subset plus the
             // CVE family); every other preset sweeps the Table 1 subset.
@@ -523,10 +555,14 @@ impl CampaignCli {
     /// scorecard.
     pub fn execute(&self) -> Result<(String, bool), CliError> {
         use crate::faultinject::{
-            default_threads, expand_frontier, expand_matrix, frontier_rows, render_aggregate,
-            render_bench_json, render_campaign, render_frontier, render_frontier_bench_json,
-            render_workers, run_matrix_with, BenchRun, CampaignResult, TraceMode,
+            default_threads, expand_frontier, expand_matrix, render_bench_json,
+            render_frontier_bench_json, render_worker_table, run_matrix_streamed, BenchRun,
+            StreamAggregate, StreamReport, TraceMode,
         };
+
+        if self.preset == "fleet" {
+            return self.execute_fleet();
+        }
 
         let frontier = self.preset == "frontier";
         let specs = if frontier {
@@ -560,27 +596,29 @@ impl CampaignCli {
         } else {
             TraceMode::Memoized
         };
-        // The deterministic scorecard the cross-thread-count check pins: the
-        // aggregate, plus the frontier table when sweeping sampling rates.
-        let scorecard_of = |results: &[CampaignResult]| {
-            let mut s = render_aggregate(results);
-            if frontier {
-                s.push_str(&render_frontier(&frontier_rows(results)));
-            }
-            s
-        };
+        // Each cell folds into a fixed-size aggregate as it finishes — peak
+        // memory is the aggregate's footprint, not the matrix size. The
+        // frontier variant also maintains one row per sampling rate, which
+        // its render appends, so the rendered aggregate *is* the
+        // deterministic scorecard the cross-thread-count check pins.
         let mut runs = Vec::with_capacity(thread_counts.len());
-        let mut first: Option<(crate::faultinject::MatrixReport, String)> = None;
+        let mut first: Option<(StreamReport, String)> = None;
         for &t in &thread_counts {
-            let matrix = run_matrix_with(&specs, t, mode).map_err(|e| CliError(e.0))?;
-            let aggregate = scorecard_of(&matrix.results);
+            let seed_aggregate = if frontier {
+                StreamAggregate::with_frontier(&specs)
+            } else {
+                StreamAggregate::new()
+            };
+            let stream = run_matrix_streamed(&specs, t, mode, self.verbose, seed_aggregate)
+                .map_err(|e| CliError(e.0))?;
+            let aggregate = stream.aggregate.render();
             runs.push(BenchRun {
                 threads: t,
-                wall: matrix.wall,
-                campaigns: matrix.results.len(),
+                wall: stream.wall,
+                campaigns: stream.aggregate.campaigns(),
             });
             match &first {
-                None => first = Some((matrix, aggregate)),
+                None => first = Some((stream, aggregate)),
                 Some((_, reference)) => {
                     if aggregate != *reference {
                         return Err(CliError(format!(
@@ -592,44 +630,31 @@ impl CampaignCli {
                 }
             }
         }
-        let (matrix, aggregate) = first.expect("at least one thread count runs");
+        let (stream, aggregate) = first.expect("at least one thread count runs");
 
         let mut report = String::new();
-        if self.verbose {
-            for result in &matrix.results {
-                report.push_str(&render_campaign(result));
-                report.push('\n');
-            }
+        for (_, card) in &stream.cards {
+            report.push_str(card);
+            report.push('\n');
         }
         report.push_str(&aggregate);
-        report.push_str(&render_workers(&matrix));
-        if thread_counts.len() > 1 {
-            use std::fmt::Write as _;
-            let base = runs[0].wall;
-            for run in &runs[1..] {
-                let speedup = if run.wall.is_zero() {
-                    1.0
-                } else {
-                    base.as_secs_f64() / run.wall.as_secs_f64()
-                };
-                let _ = writeln!(
-                    report,
-                    "  scaling: {} threads {:.1} ms vs {} threads {:.1} ms — speedup {speedup:.2}x \
-                     (scorecards byte-identical)",
-                    run.threads,
-                    run.wall.as_secs_f64() * 1e3,
-                    runs[0].threads,
-                    base.as_secs_f64() * 1e3,
-                );
-            }
-        }
+        report.push_str(&render_worker_table(
+            stream.aggregate.campaigns(),
+            stream.threads,
+            stream.wall,
+            &stream.workers,
+        ));
+        report.push_str(&scaling_lines(&runs));
         if let Some(path) = &self.bench_json {
             let json = if frontier {
                 render_frontier_bench_json(
                     &self.preset,
                     self.requests,
                     &runs,
-                    &frontier_rows(&matrix.results),
+                    stream
+                        .aggregate
+                        .frontier_rows()
+                        .expect("the frontier aggregate maintains its rows"),
                 )
             } else {
                 render_bench_json(&self.preset, self.requests, &runs)
@@ -638,36 +663,110 @@ impl CampaignCli {
                 .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         }
 
+        // Sampled-out allocations legitimately miss their planted bug, so
+        // the full harsh invariant only binds the frontier's always-on rung;
+        // what binds every rung is zero false positives from sampling.
         let ok = if frontier {
-            // Sampled-out allocations legitimately miss their planted bug, so
-            // the full harsh invariant only binds the always-on rung of the
-            // ladder. What binds *every* rung is the frontier invariant:
-            // SafeMem must never gain a false positive from sampling.
-            let zero_fps = matrix
-                .results
-                .iter()
-                .all(|r| r.tool("safemem").is_none_or(|t| t.false_positives() == 0));
-            let full_rate_ok = matrix
-                .results
-                .iter()
-                .filter(|r| r.spec.sampling_ppm == safemem_core::PPM)
-                .all(CampaignResult::harsh_invariant_holds);
-            zero_fps && full_rate_ok
+            stream.aggregate.frontier_invariants_hold()
         } else {
-            let harsh_ok = matrix
-                .results
-                .iter()
-                .filter(|r| !r.spec.mix.injects_uncorrectable())
-                .all(CampaignResult::harsh_invariant_holds);
-            let survival_ok = matrix
-                .results
-                .iter()
-                .filter(|r| r.truth.markers.total() > 0)
-                .all(CampaignResult::survival_invariant_holds);
-            harsh_ok && survival_ok
+            stream.aggregate.invariants_hold()
         };
         Ok((report, ok))
     }
+
+    /// The `fleet` preset: a two-phase multi-process campaign (one shared
+    /// machine, then sharded per-process cells) with its own scorecard.
+    fn execute_fleet(&self) -> Result<(String, bool), CliError> {
+        use crate::faultinject::{
+            default_threads, expand_fleet, render_fleet, render_fleet_bench_json,
+            render_worker_table, run_fleet, BenchRun, FleetOutcome, TraceMode,
+            DEFAULT_FLEET_PROCESSES,
+        };
+
+        let processes = self.processes.unwrap_or(DEFAULT_FLEET_PROCESSES);
+        let specs =
+            expand_fleet(processes, self.seed0, self.requests).map_err(|e| CliError(e.0))?;
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let thread_counts = if self.bench_threads.is_empty() {
+            vec![threads]
+        } else {
+            self.bench_threads.clone()
+        };
+        let mode = if self.fresh_record {
+            TraceMode::FreshRecord
+        } else {
+            TraceMode::Memoized
+        };
+
+        let mut runs = Vec::with_capacity(thread_counts.len());
+        let mut first: Option<(FleetOutcome, String)> = None;
+        for &t in &thread_counts {
+            let outcome = run_fleet(&specs, t, mode).map_err(|e| CliError(e.0))?;
+            let card = render_fleet(&outcome);
+            runs.push(BenchRun {
+                threads: t,
+                wall: outcome.wall,
+                campaigns: specs.len(),
+            });
+            match &first {
+                None => first = Some((outcome, card)),
+                Some((_, reference)) => {
+                    if card != *reference {
+                        return Err(CliError(format!(
+                            "determinism violation: {t} threads produced a different \
+                             fleet scorecard than {} threads",
+                            thread_counts[0]
+                        )));
+                    }
+                }
+            }
+        }
+        let (outcome, card) = first.expect("at least one thread count runs");
+
+        let mut report = card;
+        report.push_str(&render_worker_table(
+            specs.len(),
+            outcome.threads,
+            outcome.wall,
+            &outcome.workers,
+        ));
+        report.push_str(&scaling_lines(&runs));
+        if let Some(path) = &self.bench_json {
+            let json = render_fleet_bench_json(&self.preset, self.requests, &runs, &outcome);
+            std::fs::write(path, json)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        }
+        let ok = outcome.agg.invariants_hold();
+        Ok((report, ok))
+    }
+}
+
+/// Renders the `--bench-threads` speedup lines (empty for a single run).
+/// Schedule-dependent telemetry, like the worker table — not part of the
+/// deterministic scorecard.
+fn scaling_lines(runs: &[crate::faultinject::BenchRun]) -> String {
+    let mut out = String::new();
+    if runs.len() > 1 {
+        use std::fmt::Write as _;
+        let base = runs[0].wall;
+        for run in &runs[1..] {
+            let speedup = if run.wall.is_zero() {
+                1.0
+            } else {
+                base.as_secs_f64() / run.wall.as_secs_f64()
+            };
+            let _ = writeln!(
+                out,
+                "  scaling: {} threads {:.1} ms vs {} threads {:.1} ms — speedup {speedup:.2}x \
+                 (scorecards byte-identical)",
+                run.threads,
+                run.wall.as_secs_f64() * 1e3,
+                runs[0].threads,
+                base.as_secs_f64() * 1e3,
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -818,6 +917,60 @@ mod tests {
         );
         assert!(
             report.contains("zero false positives at every sampling rate): OK (2 rates)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn campaign_cli_parses_fleet_flags() {
+        let cli = parse_campaign(&["--preset", "fleet", "--processes", "24"]).unwrap();
+        assert_eq!(cli.processes, Some(24));
+        assert!(cli.workloads.is_empty(), "fleet fixes the churn family");
+        // Default fleet size is the preset's.
+        assert_eq!(
+            parse_campaign(&["--preset", "fleet"]).unwrap().processes,
+            None
+        );
+    }
+
+    #[test]
+    fn campaign_cli_rejects_bad_fleet_flags() {
+        assert!(
+            parse_campaign(&["--processes", "24"]).is_err(),
+            "needs fleet preset"
+        );
+        assert!(parse_campaign(&["--preset", "fleet", "--processes", "0"]).is_err());
+        assert!(parse_campaign(&["--preset", "fleet", "--processes", "many"]).is_err());
+        assert!(
+            parse_campaign(&["--preset", "fleet", "--workloads", "tar"]).is_err(),
+            "fleet fixes the churn family"
+        );
+        assert!(
+            parse_campaign(&["--preset", "fleet", "--sampling", "0.5"]).is_err(),
+            "the fleet rate is the preset's"
+        );
+    }
+
+    #[test]
+    fn fleet_campaign_runs_end_to_end() {
+        let cli = parse_campaign(&[
+            "--preset",
+            "fleet",
+            "--processes",
+            "12",
+            "--requests",
+            "48",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        let (report, ok) = cli.execute().unwrap();
+        assert!(ok, "fleet invariant holds:\n{report}");
+        assert!(report.contains("phase A (one shared machine)"), "{report}");
+        assert!(
+            report.contains(
+                "fleet invariant (safemem: zero false positives across 12 processes): OK"
+            ),
             "{report}"
         );
     }
