@@ -1,7 +1,8 @@
 //! Benchmarks of the single-record/multi-replay campaign pipeline: trace
-//! recording vs replay, the allocation-free [`Replayer`] vs the naive
-//! HashMap-per-run reference, and the leak detector's check pass as the live
-//! group population grows (the incremental schedule vs the full scan).
+//! recording vs replay, the columnar struct-of-arrays engine vs the enum
+//! dispatch [`Replayer`] vs the naive HashMap-per-run reference, and the
+//! leak detector's check pass as the live group population grows (the
+//! incremental schedule vs the full scan).
 //!
 //! Set `REPLAY_BENCH_JSON=<path>` to also emit the results as a JSON record —
 //! CI uploads it alongside the campaign and ECC bench artifacts.
@@ -10,7 +11,7 @@ use criterion::{black_box, Criterion};
 use safemem_core::{CallStack, LeakConfig, LeakDetector, SafeMem};
 use safemem_faultinject::{record_trace, CampaignSpec};
 use safemem_os::{Os, OsConfig, HEAP_BASE};
-use safemem_workloads::Replayer;
+use safemem_workloads::{ColumnarReplayer, ColumnarTrace, Replayer};
 
 fn os_for(spec: &CampaignSpec) -> Os {
     let mut os = Os::new(OsConfig {
@@ -49,6 +50,21 @@ fn bench_record_vs_replay(c: &mut Criterion) {
             let mut os = os_for(&spec);
             let mut tool = SafeMem::builder().build(&mut os);
             black_box(trace.replay_naive(&mut os, &mut tool))
+        })
+    });
+
+    // Columnar struct-of-arrays engine: the campaign replay hot path. The
+    // one-time transposition is benched separately from the scan itself.
+    c.bench_function("replay/columnar_transpose_gzip48", |b| {
+        b.iter(|| black_box(ColumnarTrace::from_trace(&trace)))
+    });
+    let columnar = ColumnarTrace::from_trace(&trace);
+    let mut columnar_replayer = ColumnarReplayer::new();
+    c.bench_function("replay/columnar_gzip48", |b| {
+        b.iter(|| {
+            let mut os = os_for(&spec);
+            let mut tool = SafeMem::builder().build(&mut os);
+            black_box(columnar_replayer.replay(&columnar, &mut os, &mut tool))
         })
     });
 }

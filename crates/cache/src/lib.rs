@@ -333,6 +333,10 @@ pub struct Hierarchy {
     prefetch_limit: u64,
     prefetches_issued: u64,
     prefetches_squashed: u64,
+    /// Retired line buffers kept for reuse: refills pop one instead of
+    /// allocating, evictions and flushes push theirs back. Purely a host
+    /// allocation optimisation — no simulated state lives here.
+    spare: Vec<Box<[u8]>>,
 }
 
 impl fmt::Debug for Hierarchy {
@@ -382,6 +386,7 @@ impl Hierarchy {
             prefetch_limit: u64::MAX,
             prefetches_issued: 0,
             prefetches_squashed: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -443,6 +448,22 @@ impl Hierarchy {
         addr & !(u64::from(self.line_size) - 1)
     }
 
+    /// A line-sized buffer for a refill: pooled if available, fresh
+    /// otherwise. Callers overwrite the full buffer before use.
+    fn take_buf(&mut self) -> Box<[u8]> {
+        self.spare
+            .pop()
+            .unwrap_or_else(|| vec![0u8; self.line_size as usize].into_boxed_slice())
+    }
+
+    /// Returns a dead line's buffer to the pool (bounded so pathological
+    /// flush storms cannot hoard memory).
+    fn retire_buf(&mut self, buf: Box<[u8]>) {
+        if self.spare.len() < 256 {
+            self.spare.push(buf);
+        }
+    }
+
     /// Cascades a line into level `idx`, pushing victims downward; a dirty
     /// victim leaving the last level is written to memory.
     fn cascade_install<B: LineBacking + ?Sized>(
@@ -460,6 +481,7 @@ impl Hierarchy {
                     backing.write_line(l.tag, &l.data);
                     traffic.memory_writes += 1;
                 }
+                self.retire_buf(l.data);
                 break;
             }
             carry = self.levels[level].install(l);
@@ -492,8 +514,11 @@ impl Hierarchy {
             None => {
                 // Full miss: refill from memory. A fault aborts the refill
                 // and nothing is installed.
-                let mut data = vec![0u8; self.line_size as usize].into_boxed_slice();
-                backing.read_line(line_addr, &mut data)?;
+                let mut data = self.take_buf();
+                if let Err(e) = backing.read_line(line_addr, &mut data) {
+                    self.retire_buf(data);
+                    return Err(e);
+                }
                 traffic.memory_reads += 1;
                 Line {
                     tag: line_addr,
@@ -572,7 +597,7 @@ impl Hierarchy {
             return;
         }
         self.prefetches_issued += 1;
-        let mut data = vec![0u8; self.line_size as usize].into_boxed_slice();
+        let mut data = self.take_buf();
         match backing.read_line(line_addr, &mut data) {
             Ok(()) => {
                 traffic.memory_reads += 1;
@@ -586,7 +611,10 @@ impl Hierarchy {
                     self.cascade_install(1, victim, backing, traffic);
                 }
             }
-            Err(_) => self.prefetches_squashed += 1,
+            Err(_) => {
+                self.prefetches_squashed += 1;
+                self.retire_buf(data);
+            }
         }
     }
 
@@ -654,14 +682,15 @@ impl Hierarchy {
         traffic: &mut Traffic,
     ) -> bool {
         let line_addr = self.line_addr(addr);
-        for level in &mut self.levels {
-            if let Some(line) = level.extract(line_addr) {
-                if line.dirty {
+        for idx in 0..self.levels.len() {
+            if let Some(line) = self.levels[idx].extract(line_addr) {
+                let dirty = line.dirty;
+                if dirty {
                     backing.write_line(line.tag, &line.data);
                     traffic.memory_writes += 1;
-                    return true;
                 }
-                return false;
+                self.retire_buf(line.data);
+                return dirty;
             }
         }
         false

@@ -14,8 +14,8 @@
 
 use crate::report::{BugReport, OverflowSide};
 use safemem_alloc::Allocation;
+use safemem_hashfx::FxHashMap;
 use safemem_os::{AccessKind, Os, OsError, UserEccFault};
-use std::collections::HashMap;
 
 /// Configuration for the corruption detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,13 +95,13 @@ pub struct CorruptionDetector {
     /// Cache-line size of the machine (watch granularity).
     line: u64,
     /// Watched pad regions keyed by region start.
-    pads: HashMap<u64, PadInfo>,
+    pads: FxHashMap<u64, PadInfo>,
     /// Watched freed buffers keyed by region start.
-    freed: HashMap<u64, FreedInfo>,
+    freed: FxHashMap<u64, FreedInfo>,
     /// Placement base → freed watch-region start (for reallocation).
-    freed_by_base: HashMap<u64, u64>,
+    freed_by_base: FxHashMap<u64, u64>,
     /// Watched not-yet-written buffers keyed by region start.
-    uninit: HashMap<u64, u64>,
+    uninit: FxHashMap<u64, u64>,
     reports: Vec<BugReport>,
     stats: CorruptionStats,
     /// Recovery mode: faults queue a [`PendingHeal`] so the disarmed watch
@@ -117,10 +117,10 @@ impl CorruptionDetector {
         CorruptionDetector {
             config,
             line,
-            pads: HashMap::new(),
-            freed: HashMap::new(),
-            freed_by_base: HashMap::new(),
-            uninit: HashMap::new(),
+            pads: FxHashMap::default(),
+            freed: FxHashMap::default(),
+            freed_by_base: FxHashMap::default(),
+            uninit: FxHashMap::default(),
             reports: Vec::new(),
             stats: CorruptionStats::default(),
             recovery: false,

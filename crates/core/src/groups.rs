@@ -6,7 +6,8 @@
 //! plus an allocation-ordered index of live objects so the oldest few can be
 //! checked cheaply at detection time.
 
-use std::collections::{BTreeSet, HashMap};
+use safemem_hashfx::FxHashMap;
+use std::collections::BTreeSet;
 
 /// Statistics for one memory object group.
 #[derive(Debug, Clone)]
@@ -37,7 +38,7 @@ pub struct GroupStats {
     /// Live objects ordered by allocation time: (alloc_time, addr).
     live: BTreeSet<(u64, u64)>,
     /// addr → alloc_time for the live objects.
-    alloc_times: HashMap<u64, u64>,
+    alloc_times: FxHashMap<u64, u64>,
 }
 
 impl Default for GroupStats {
@@ -54,7 +55,7 @@ impl Default for GroupStats {
             histogram: [0; 48],
             last_update: 0,
             live: BTreeSet::new(),
-            alloc_times: HashMap::new(),
+            alloc_times: FxHashMap::default(),
         }
     }
 }

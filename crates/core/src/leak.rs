@@ -11,12 +11,24 @@
 //!    `WatchMemory`; the first access proves the object live and prunes it
 //!    (also raising the group's expected maximal lifetime); a suspect that
 //!    stays untouched past a threshold is reported as a leak.
+//!
+//! Host-side cost is kept off the allocation fast path by **epoch
+//! batching** (in the style of DoubleTake's evidence-based dynamic
+//! analysis): between detection passes the detector only appends the
+//! touched group to an epoch evidence set, and all deadline recomputation
+//! is settled once at the next epoch boundary (the pass itself). A group
+//! that allocates ten thousand times inside one check period costs ten
+//! thousand set inserts and a single reschedule instead of ten thousand
+//! ordered-set edits. Observable behaviour — reports, counters, and
+//! simulated cycle charges — is identical in both modes (differentially
+//! tested per workload).
 
 use crate::groups::GroupStats;
 use crate::report::{BugReport, LeakKind};
 use crate::signature::{CallStack, GroupKey};
+use safemem_hashfx::{FxHashMap, FxHashSet};
 use safemem_os::{Os, OsError};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
 /// Tuning parameters for the leak detector. All times are CPU cycles of the
 /// monitored process (the paper measures lifetimes in CPU time, §3.1).
@@ -61,6 +73,20 @@ pub struct LeakConfig {
     /// modes produce byte-identical reports, statistics, and simulated
     /// cycle charges; the schedule saves host time only.
     pub incremental_check: bool,
+    /// `true` — allocation/deallocation/prune events only record the
+    /// touched group as epoch evidence; deadline recomputation settles
+    /// once per group at the next detection pass (the epoch boundary).
+    /// `false` — every event reschedules its group eagerly (the
+    /// differential reference). Both modes produce identical observable
+    /// detections; batching saves host time only.
+    ///
+    /// Deferral is sound because a group's deadline is a pure function of
+    /// statistics that change only on alloc/free/prune events, and every
+    /// such event marks the group pending: a group whose schedule entry is
+    /// stale can never *fire* stale, because the settle at pass entry
+    /// refreshes every touched group before candidates are gathered, and
+    /// an untouched group's old entry is still valid.
+    pub epoch_batch: bool,
 }
 
 impl Default for LeakConfig {
@@ -83,6 +109,7 @@ impl Default for LeakConfig {
             update_cycles: 150,
             check_group_cycles: 40,
             incremental_check: true,
+            epoch_batch: true,
         }
     }
 }
@@ -124,12 +151,12 @@ pub struct LeakStats {
 pub struct LeakDetector {
     config: LeakConfig,
     line: u64,
-    groups: HashMap<GroupKey, GroupStats>,
-    objects: HashMap<u64, ObjectInfo>,
+    groups: FxHashMap<GroupKey, GroupStats>,
+    objects: FxHashMap<u64, ObjectInfo>,
     /// Watched suspects keyed by watch-region start.
-    suspects: HashMap<u64, Suspect>,
-    suspect_region_by_addr: HashMap<u64, u64>,
-    reported_groups: HashSet<GroupKey>,
+    suspects: FxHashMap<u64, Suspect>,
+    suspect_region_by_addr: FxHashMap<u64, u64>,
+    reported_groups: FxHashSet<GroupKey>,
     reports: Vec<BugReport>,
     last_check: u64,
     stats: LeakStats,
@@ -139,7 +166,10 @@ pub struct LeakDetector {
     /// event (alloc/free/prune) reschedules them.
     schedule: BTreeSet<(u64, GroupKey)>,
     /// Current schedule entry per group, for O(log n) replacement.
-    deadlines: HashMap<GroupKey, u64>,
+    deadlines: FxHashMap<GroupKey, u64>,
+    /// Epoch evidence: groups touched by an alloc/free/prune since the
+    /// last detection pass, awaiting one settle-time reschedule each.
+    epoch_pending: FxHashSet<GroupKey>,
 }
 
 impl LeakDetector {
@@ -149,16 +179,17 @@ impl LeakDetector {
         LeakDetector {
             config,
             line,
-            groups: HashMap::new(),
-            objects: HashMap::new(),
-            suspects: HashMap::new(),
-            suspect_region_by_addr: HashMap::new(),
-            reported_groups: HashSet::new(),
+            groups: FxHashMap::default(),
+            objects: FxHashMap::default(),
+            suspects: FxHashMap::default(),
+            suspect_region_by_addr: FxHashMap::default(),
+            reported_groups: FxHashSet::default(),
             reports: Vec::new(),
             last_check: 0,
             stats: LeakStats::default(),
             schedule: BTreeSet::new(),
-            deadlines: HashMap::new(),
+            deadlines: FxHashMap::default(),
+            epoch_pending: FxHashSet::default(),
         }
     }
 
@@ -251,6 +282,16 @@ impl LeakDetector {
         }
     }
 
+    /// Records a stat-changing event on `key`: batched mode appends epoch
+    /// evidence, eager mode reschedules immediately.
+    fn note_event(&mut self, key: GroupKey, now: u64) {
+        if self.config.epoch_batch {
+            self.epoch_pending.insert(key);
+        } else {
+            self.reschedule(key, now);
+        }
+    }
+
     /// Recomputes `key`'s deadline and replaces its schedule entry.
     fn reschedule(&mut self, key: GroupKey, now: u64) {
         let deadline = self
@@ -309,7 +350,7 @@ impl LeakDetector {
             .or_default()
             .on_alloc(addr, size, now);
         self.objects.insert(addr, ObjectInfo { group, size });
-        self.reschedule(group, now);
+        self.note_event(group, now);
         self.maybe_check(os);
     }
 
@@ -350,7 +391,7 @@ impl LeakDetector {
                 self.stats.suspects_flagged -= 1;
             }
         }
-        self.reschedule(info.group, now);
+        self.note_event(info.group, now);
         self.maybe_check(os);
     }
 
@@ -375,6 +416,17 @@ impl LeakDetector {
         let now = os.cpu_cycles();
         self.last_check = now;
         self.stats.checks += 1;
+
+        // Epoch boundary: settle the accumulated evidence. Each touched
+        // group gets exactly one deadline recomputation, however many
+        // events it logged during the epoch. Must happen before the due
+        // set is read so freshly-eligible groups are examined this pass.
+        if !self.epoch_pending.is_empty() {
+            let pending: Vec<GroupKey> = self.epoch_pending.drain().collect();
+            for key in pending {
+                self.reschedule(key, now);
+            }
+        }
 
         // Gather candidates first (borrow discipline), then act.
         let mut candidates: Vec<(u64, LeakKind)> = Vec::new();
@@ -500,7 +552,7 @@ impl LeakDetector {
         group.raise_max_lifetime(now.saturating_sub(suspect.alloc_time), now);
         group.reset_alloc_time(suspect.addr, now);
         group.cooldown_until = now + self.config.prune_cooldown;
-        self.reschedule(suspect.group, now);
+        self.note_event(suspect.group, now);
         true
     }
 

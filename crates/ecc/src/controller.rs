@@ -7,7 +7,7 @@
 //! SafeMem kernel patch relies on: a master ECC enable toggle and a bus lock
 //! held while a line is being scrambled.
 
-use crate::codec::{Codec, Decoded};
+use crate::codec::{Codec, Decoded, LINE_BYTES, LINE_GROUPS};
 use crate::fault::{EccFault, FaultKind};
 use crate::memory::{EccMemory, FRAME_BYTES, GROUP_BYTES};
 
@@ -308,7 +308,7 @@ impl EccController {
             let group_hi = GROUP_BYTES * hi.div_ceil(GROUP_BYTES);
             self.stats.groups_verified += (group_hi - group_lo) / GROUP_BYTES;
             let dst = &mut buf[(lo - addr) as usize..(hi - addr) as usize];
-            let scan = self.mem.frame_maybe_dirty(frame_addr);
+            let dirty_lines = self.mem.frame_dirty_lines(frame_addr);
             match self.mem.frame_slices(frame_addr) {
                 // Untouched frame: all-zero data with all-zero codes — every
                 // group is clean by construction.
@@ -316,19 +316,48 @@ impl EccController {
                 Some((data, codes)) => {
                     let off = (lo - frame_addr) as usize;
                     dst.copy_from_slice(&data[off..off + dst.len()]);
-                    // A frame whose dirty flag is clear is *guaranteed* clean,
-                    // so the per-group syndrome scan would find nothing.
-                    if scan {
+                    // A scan line whose dirty bit is clear is *guaranteed*
+                    // clean, so the syndrome scan only visits flagged lines;
+                    // those go 8 groups at a time through the bit-plane
+                    // batch scanner where the span covers the whole line.
+                    if dirty_lines != 0 {
                         let mut group = group_lo;
                         while group < group_hi {
-                            let o = (group - frame_addr) as usize;
-                            let bytes: &[u8; 8] =
-                                data[o..o + 8].try_into().expect("group is 8 bytes");
-                            let code = codes[o / GROUP_BYTES as usize];
-                            if self.codec.syndrome_bytes(bytes, code) != 0 {
-                                dirty.push(group);
+                            let line = ((group - frame_addr) as usize) / LINE_BYTES;
+                            let line_end =
+                                (frame_addr + ((line + 1) * LINE_BYTES) as u64).min(group_hi);
+                            if dirty_lines & (1u64 << line) == 0 {
+                                group = line_end;
+                                continue;
                             }
-                            group += GROUP_BYTES;
+                            let line_start = frame_addr + (line * LINE_BYTES) as u64;
+                            if group == line_start && line_end == line_start + LINE_BYTES as u64 {
+                                let o = line * LINE_BYTES;
+                                let lb: &[u8; LINE_BYTES] =
+                                    data[o..o + LINE_BYTES].try_into().expect("line slice");
+                                let cb: &[u8; LINE_GROUPS] = codes
+                                    [line * LINE_GROUPS..(line + 1) * LINE_GROUPS]
+                                    .try_into()
+                                    .expect("code slice");
+                                let mut mask = self.codec.dirty_mask_line(lb, cb);
+                                while mask != 0 {
+                                    let g = mask.trailing_zeros() as u64;
+                                    dirty.push(line_start + g * GROUP_BYTES);
+                                    mask &= mask - 1;
+                                }
+                                group = line_end;
+                            } else {
+                                while group < line_end {
+                                    let o = (group - frame_addr) as usize;
+                                    let bytes: &[u8; 8] =
+                                        data[o..o + 8].try_into().expect("group is 8 bytes");
+                                    let code = codes[o / GROUP_BYTES as usize];
+                                    if self.codec.syndrome_bytes(bytes, code) != 0 {
+                                        dirty.push(group);
+                                    }
+                                    group += GROUP_BYTES;
+                                }
+                            }
                         }
                     }
                 }
@@ -381,6 +410,47 @@ impl EccController {
         }
     }
 
+    /// [`write`](Self::write) of one aligned line whose check codes the
+    /// caller already holds (computed at watch-arm time): identical stored
+    /// state and accounting, no per-group encode. Falls back to a data-only
+    /// write when ECC is off, exactly like [`write`](Self::write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned or lies outside memory.
+    pub fn write_line_precoded(
+        &mut self,
+        addr: u64,
+        data: &[u8; LINE_BYTES],
+        codes: &[u8; LINE_GROUPS],
+    ) {
+        if self.enabled && self.mode.checks() {
+            self.mem.write_line_precoded(addr, data, codes);
+            self.stats.groups_encoded += LINE_GROUPS as u64;
+        } else {
+            self.mem.check_range(addr, LINE_BYTES as u64);
+            self.mem.write_range_data_only(addr, data);
+        }
+    }
+
+    /// Encodes one line with the controller's codec — what a subsequent
+    /// ECC-enabled write of `data` would store as check codes.
+    #[must_use]
+    pub fn encode_line(&self, data: &[u8; LINE_BYTES]) -> [u8; LINE_GROUPS] {
+        self.codec.encode_line(data)
+    }
+
+    /// Returns the stored codes of the aligned line at `addr` when the
+    /// line's dirty bit proves them consistent with the stored data — i.e.
+    /// exactly what [`EccController::encode_line`] of the stored bytes would
+    /// produce, without paying for the encode. `None` when the line may hold
+    /// stale or corrupted codes and the caller must encode instead.
+    #[must_use]
+    pub fn line_codes_if_clean(&self, addr: u64) -> Option<[u8; LINE_GROUPS]> {
+        self.mem.check_range(addr, LINE_BYTES as u64);
+        self.mem.line_codes_if_clean(addr)
+    }
+
     /// Reads raw stored bytes without any verification or accounting — the
     /// diagnostic window the SafeMem fault handler uses to compare a faulted
     /// word against the scramble signature.
@@ -392,11 +462,21 @@ impl EccController {
     #[must_use]
     pub fn peek(&self, addr: u64, len: usize) -> Vec<u8> {
         let mut out = vec![0u8; len];
-        if len > 0 {
-            self.mem.check_range(addr, len as u64);
-            self.mem.read_range(addr, &mut out);
-        }
+        self.peek_into(addr, &mut out);
         out
+    }
+
+    /// [`peek`](Self::peek) into a caller-provided buffer — the
+    /// allocation-free variant the kernel's watch sequences use per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds physical memory.
+    pub fn peek_into(&self, addr: u64, out: &mut [u8]) {
+        if !out.is_empty() {
+            self.mem.check_range(addr, out.len() as u64);
+            self.mem.read_range(addr, out);
+        }
     }
 
     /// Injects a single-bit hardware error into stored *data*. This is the
@@ -464,27 +544,74 @@ impl EccController {
             let frame = self.scrub_plan[(self.scrub_cursor / groups_per_frame) as usize];
             let first = self.scrub_cursor % groups_per_frame;
             let n = (groups_per_frame - first).min(max_groups - done);
-            if self.mem.frame_maybe_dirty(frame) {
-                // Scan the chunk's syndromes straight off the frame slices;
-                // only non-clean groups go through the full policy path.
+            let dirty_lines = self.mem.frame_dirty_lines(frame);
+            if dirty_lines != 0 {
+                // Scan only the flagged lines of the chunk, 8 groups at a
+                // time through the bit-plane batch scanner; clear bits are a
+                // cleanliness guarantee, so their groups verify trivially.
+                // Only non-clean groups go through the full policy path.
                 dirty.clear();
+                let mut scanned_lines = 0u64;
                 let (data, codes) = self
                     .mem
                     .frame_slices(frame)
                     .expect("scrub plan only holds resident frames");
-                for g in first..first + n {
-                    let o = (g * GROUP_BYTES) as usize;
-                    let bytes: &[u8; 8] = data[o..o + 8].try_into().expect("group is 8 bytes");
-                    if self.codec.syndrome_bytes(bytes, codes[g as usize]) != 0 {
-                        dirty.push(frame + g * GROUP_BYTES);
+                let chunk_end = first + n;
+                let mut g = first;
+                while g < chunk_end {
+                    let line = (g as usize) / LINE_GROUPS;
+                    let line_start = (line * LINE_GROUPS) as u64;
+                    let line_end = (line_start + LINE_GROUPS as u64).min(chunk_end);
+                    if dirty_lines & (1u64 << line) == 0 {
+                        g = line_end;
+                        continue;
+                    }
+                    if g == line_start && line_end == line_start + LINE_GROUPS as u64 {
+                        let o = line * LINE_BYTES;
+                        let lb: &[u8; LINE_BYTES] =
+                            data[o..o + LINE_BYTES].try_into().expect("line slice");
+                        let cb: &[u8; LINE_GROUPS] = codes
+                            [line * LINE_GROUPS..(line + 1) * LINE_GROUPS]
+                            .try_into()
+                            .expect("code slice");
+                        let mut mask = self.codec.dirty_mask_line(lb, cb);
+                        while mask != 0 {
+                            let d = mask.trailing_zeros() as u64;
+                            dirty.push(frame + (line_start + d) * GROUP_BYTES);
+                            mask &= mask - 1;
+                        }
+                        // The whole line was examined in this chunk, so its
+                        // bit can be cleared once every fault in it repairs.
+                        scanned_lines |= 1u64 << line;
+                        g = line_end;
+                    } else {
+                        while g < line_end {
+                            let o = (g * GROUP_BYTES) as usize;
+                            let bytes: &[u8; 8] =
+                                data[o..o + 8].try_into().expect("group is 8 bytes");
+                            if self.codec.syndrome_bytes(bytes, codes[g as usize]) != 0 {
+                                dirty.push(frame + g * GROUP_BYTES);
+                            }
+                            g += 1;
+                        }
                     }
                 }
                 self.stats.groups_verified += n;
                 let mut uncorrectable = false;
+                let mut bad_lines = 0u64;
                 for &group_addr in &dirty {
                     // Scrub ignores uncorrectable groups beyond reporting them.
-                    uncorrectable |= self.resolve_group(group_addr, true).is_err();
+                    if self.resolve_group(group_addr, true).is_err() {
+                        uncorrectable = true;
+                        bad_lines |= 1u64 << (((group_addr - frame) as usize) / LINE_BYTES);
+                    }
                 }
+                // A fully scanned line whose inconsistencies were all
+                // repaired is provably clean; future passes skip it. (The
+                // scrubbing mode always corrects, so an `Ok` resolution
+                // means the group's code was rewritten.)
+                self.mem
+                    .clear_dirty_lines(frame, scanned_lines & !bad_lines);
                 // A full-frame chunk that repaired every inconsistency proves
                 // the frame clean; future passes settle it in O(1).
                 if first == 0 && n == groups_per_frame && !uncorrectable {

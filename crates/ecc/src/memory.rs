@@ -14,23 +14,29 @@
 //! plans from the resident-frame set (the controller's scrubber) key their
 //! caches on it.
 
-use crate::codec::Codec;
+use crate::codec::{Codec, LINE_BYTES, LINE_GROUPS};
 
 /// Bytes per ECC group (64 data bits).
 pub const GROUP_BYTES: u64 = 8;
 /// Bytes per lazily-allocated physical frame.
 pub const FRAME_BYTES: u64 = 4096;
 const GROUPS_PER_FRAME: usize = (FRAME_BYTES / GROUP_BYTES) as usize;
+/// Scan lines (of [`LINE_GROUPS`] groups) per frame — one bit each in the
+/// frame's dirty-line bitmap.
+pub(crate) const LINES_PER_FRAME: usize = GROUPS_PER_FRAME / LINE_GROUPS;
 
 struct Frame {
     data: [u8; FRAME_BYTES as usize],
     codes: [u8; GROUPS_PER_FRAME],
-    /// Conservative syndrome tracking: `false` guarantees every group in the
-    /// frame decodes clean, so verification can settle the whole frame in
-    /// O(1). Set on any operation that can leave a stored code inconsistent
-    /// (fault injection, data-only writes, explicit-code writes); cleared
-    /// only by the scrubber after it proves the frame clean again.
-    maybe_dirty: bool,
+    /// Conservative syndrome tracking at cache-line granularity: bit `L`
+    /// clear guarantees every group of scan line `L` (groups `8L..8L+8`)
+    /// decodes clean, so verification can skip the line outright. Bits are
+    /// set on any operation that can leave a stored code inconsistent
+    /// (fault injection, data-only writes, explicit-code writes) and
+    /// cleared when a whole line is re-encoded or proven clean by the
+    /// scrubber. A zero bitmap is the old frame-level `maybe_dirty =
+    /// false` guarantee.
+    dirty_lines: u64,
 }
 
 impl Frame {
@@ -39,8 +45,14 @@ impl Frame {
         Box::new(Frame {
             data: [0u8; FRAME_BYTES as usize],
             codes: [0u8; GROUPS_PER_FRAME],
-            maybe_dirty: false,
+            dirty_lines: 0,
         })
+    }
+
+    /// Flags the scan line holding the group at byte offset `off` dirty.
+    #[inline]
+    fn mark_line_dirty(&mut self, off: usize) {
+        self.dirty_lines |= 1u64 << (off / LINE_BYTES);
     }
 }
 
@@ -168,13 +180,35 @@ impl EccMemory {
             .map(|f| (&f.data[..], &f.codes[..]))
     }
 
-    /// Whether the frame containing `frame_addr` *may* hold a group with a
-    /// non-zero syndrome. `false` is a guarantee of cleanliness (untouched
-    /// frames are clean by construction); `true` is conservative.
-    pub(crate) fn frame_maybe_dirty(&self, frame_addr: u64) -> bool {
+    /// Dirty-line bitmap of the frame containing `frame_addr`: bit `L` clear
+    /// guarantees scan line `L` (groups `8L..8L+8`) decodes clean. Untouched
+    /// frames are all-clean (zero).
+    pub(crate) fn frame_dirty_lines(&self, frame_addr: u64) -> u64 {
         self.frames[Self::frame_index(frame_addr)]
             .as_deref()
-            .is_some_and(|f| f.maybe_dirty)
+            .map_or(0, |f| f.dirty_lines)
+    }
+
+    /// Returns the stored codes of the aligned line at `addr` when they are
+    /// provably consistent — the line's dirty bit is clear, so every stored
+    /// code equals `encode` of the stored data. Untouched frames hold
+    /// all-zero data under all-zero codes, which are consistent by
+    /// construction (`encode(0) == 0` for a Hsiao code).
+    pub(crate) fn line_codes_if_clean(&self, addr: u64) -> Option<[u8; LINE_GROUPS]> {
+        debug_assert!(addr.is_multiple_of(LINE_BYTES as u64), "line-aligned");
+        let frame_addr = addr & !(FRAME_BYTES - 1);
+        let Some(frame) = self.frames[Self::frame_index(frame_addr)].as_deref() else {
+            return Some([0; LINE_GROUPS]);
+        };
+        let line = ((addr - frame_addr) as usize) / LINE_BYTES;
+        if frame.dirty_lines & (1u64 << line) != 0 {
+            return None;
+        }
+        Some(
+            frame.codes[line * LINE_GROUPS..(line + 1) * LINE_GROUPS]
+                .try_into()
+                .expect("code slice"),
+        )
     }
 
     /// Records that every group of the frame has been verified clean (the
@@ -182,7 +216,16 @@ impl EccMemory {
     /// inconsistency).
     pub(crate) fn mark_frame_clean(&mut self, frame_addr: u64) {
         if let Some(frame) = self.frames[Self::frame_index(frame_addr)].as_deref_mut() {
-            frame.maybe_dirty = false;
+            frame.dirty_lines = 0;
+        }
+    }
+
+    /// Clears the given lines of the frame's dirty bitmap — the scrubber
+    /// calls this after proving (and where needed repairing) every group of
+    /// those lines.
+    pub(crate) fn clear_dirty_lines(&mut self, frame_addr: u64, mask: u64) {
+        if let Some(frame) = self.frames[Self::frame_index(frame_addr)].as_deref_mut() {
+            frame.dirty_lines &= !mask;
         }
     }
 
@@ -221,7 +264,7 @@ impl EccMemory {
         frame.data[off..off + 8].copy_from_slice(&data.to_le_bytes());
         frame.codes[off / GROUP_BYTES as usize] = code;
         // The caller chose the code; it may not match the data.
-        frame.maybe_dirty = true;
+        frame.mark_line_dirty(off);
     }
 
     /// Stores only the data word of a group, leaving the stored code
@@ -236,7 +279,7 @@ impl EccMemory {
         let frame = self.frame_mut(group_addr);
         let off = (group_addr % FRAME_BYTES) as usize;
         frame.data[off..off + 8].copy_from_slice(&data.to_le_bytes());
-        frame.maybe_dirty = true;
+        frame.mark_line_dirty(off);
     }
 
     /// Recomputes and stores the correct code for a group from its current
@@ -270,7 +313,7 @@ impl EccMemory {
         let frame = self.frame_mut(group_addr);
         let off = (group_addr % FRAME_BYTES) as usize + (bit / 8) as usize;
         frame.data[off] ^= 1u8 << (bit % 8);
-        frame.maybe_dirty = true;
+        frame.mark_line_dirty(off);
     }
 
     /// Flips a single stored *check* bit without touching the data.
@@ -283,8 +326,9 @@ impl EccMemory {
         let group_addr = addr & !(GROUP_BYTES - 1);
         self.check_range(group_addr, GROUP_BYTES);
         let frame = self.frame_mut(group_addr);
-        frame.codes[(group_addr % FRAME_BYTES) as usize / GROUP_BYTES as usize] ^= 1u8 << bit;
-        frame.maybe_dirty = true;
+        let off = (group_addr % FRAME_BYTES) as usize;
+        frame.codes[off / GROUP_BYTES as usize] ^= 1u8 << bit;
+        frame.mark_line_dirty(off);
     }
 
     /// Copies `buf.len()` raw stored data bytes starting at `addr` into
@@ -313,6 +357,32 @@ impl EccMemory {
         }
     }
 
+    /// Writes one aligned line with caller-supplied check codes, skipping
+    /// the encode entirely — the watch-disarm shape, where the codes of the
+    /// (unchanged) original data were computed once at arm time. The caller
+    /// guarantees `codes == Codec::encode_line(data)`; stored state is
+    /// byte-identical to [`write_range_encoded`](Self::write_range_encoded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned or the line exceeds memory.
+    pub fn write_line_precoded(
+        &mut self,
+        addr: u64,
+        data: &[u8; LINE_BYTES],
+        codes: &[u8; LINE_GROUPS],
+    ) {
+        self.check_range(addr, LINE_BYTES as u64);
+        assert!(addr.is_multiple_of(LINE_BYTES as u64), "line-aligned write");
+        let frame_addr = addr & !(FRAME_BYTES - 1);
+        let off = (addr - frame_addr) as usize;
+        let line = off / LINE_BYTES;
+        let frame = self.frame_mut(frame_addr);
+        frame.data[off..off + LINE_BYTES].copy_from_slice(data);
+        frame.codes[line * LINE_GROUPS..(line + 1) * LINE_GROUPS].copy_from_slice(codes);
+        frame.dirty_lines &= !(1u64 << line);
+    }
+
     /// Writes `buf` at `addr` and recomputes the stored code of every
     /// touched group from its (merged) post-write contents — the bulk
     /// equivalent of a per-group encode-and-store loop, but with one frame
@@ -324,6 +394,20 @@ impl EccMemory {
     pub fn write_range_encoded(&mut self, addr: u64, buf: &[u8]) {
         self.check_range(addr, buf.len() as u64);
         let codec = self.codec;
+        // Aligned single-line writes — the cache writeback and watch
+        // disarm shape — skip the general frame walk entirely.
+        if buf.len() == LINE_BYTES && addr.is_multiple_of(LINE_BYTES as u64) {
+            let bytes: &[u8; LINE_BYTES] = buf.try_into().expect("line-sized buf");
+            let codes = codec.encode_line(bytes);
+            let frame_addr = addr & !(FRAME_BYTES - 1);
+            let off = (addr - frame_addr) as usize;
+            let line = off / LINE_BYTES;
+            let frame = self.frame_mut(frame_addr);
+            frame.data[off..off + LINE_BYTES].copy_from_slice(buf);
+            frame.codes[line * LINE_GROUPS..(line + 1) * LINE_GROUPS].copy_from_slice(&codes);
+            frame.dirty_lines &= !(1u64 << line);
+            return;
+        }
         let end = addr + buf.len() as u64;
         let mut frame_addr = addr & !(FRAME_BYTES - 1);
         while frame_addr < end {
@@ -336,11 +420,41 @@ impl EccMemory {
             // Re-encode every group the span overlaps, including partially
             // covered first/last groups (their code reflects the merged word).
             let gs = (lo & !(GROUP_BYTES - 1)) - frame_addr;
+            let g0 = (gs / GROUP_BYTES) as usize;
             let ge = ((hi - frame_addr) as usize).div_ceil(GROUP_BYTES as usize);
-            for g in (gs / GROUP_BYTES) as usize..ge {
+            // Whole scan lines inside [g0, ge) take the bit-plane batch
+            // encoder; ragged head/tail groups fall back to the per-byte
+            // table walk. Either way the stored codes are identical.
+            let line_lo = g0.div_ceil(LINE_GROUPS);
+            let line_hi = ge / LINE_GROUPS;
+            let (head, tail) = if line_lo <= line_hi {
+                for line in line_lo..line_hi {
+                    let o = line * LINE_BYTES;
+                    let bytes: &[u8; LINE_BYTES] = frame.data[o..o + LINE_BYTES]
+                        .try_into()
+                        .expect("line is 64 bytes");
+                    let codes: [u8; LINE_GROUPS] = codec.encode_line(bytes);
+                    frame.codes[line * LINE_GROUPS..(line + 1) * LINE_GROUPS]
+                        .copy_from_slice(&codes);
+                }
+                (g0..line_lo * LINE_GROUPS, line_hi * LINE_GROUPS..ge)
+            } else {
+                (g0..ge, 0..0)
+            };
+            for g in head.chain(tail) {
                 let o = g * GROUP_BYTES as usize;
                 let bytes: &[u8; 8] = frame.data[o..o + 8].try_into().expect("group is 8 bytes");
                 frame.codes[g] = codec.encode_bytes(bytes);
+            }
+            // Every group of a fully re-encoded line is now consistent with
+            // its code, so those lines are provably clean again.
+            if line_lo < line_hi {
+                let mask = if line_hi - line_lo == LINES_PER_FRAME {
+                    u64::MAX
+                } else {
+                    ((1u64 << (line_hi - line_lo)) - 1) << line_lo
+                };
+                frame.dirty_lines &= !mask;
             }
             frame_addr += FRAME_BYTES;
         }
@@ -364,7 +478,12 @@ impl EccMemory {
             let off = (lo - frame_addr) as usize;
             frame.data[off..off + (hi - lo) as usize]
                 .copy_from_slice(&buf[(lo - addr) as usize..(hi - addr) as usize]);
-            frame.maybe_dirty = true;
+            // Stored codes are now stale for every touched line.
+            let line_lo = off / LINE_BYTES;
+            let line_hi = ((hi - frame_addr) as usize - 1) / LINE_BYTES;
+            for line in line_lo..=line_hi {
+                frame.dirty_lines |= 1u64 << line;
+            }
             frame_addr += FRAME_BYTES;
         }
     }

@@ -45,10 +45,12 @@ use safemem_core::PPM;
 use safemem_fleet::{Fleet, FleetConfig, FleetReport, ProcessSpec, DEFAULT_WINDOW_PAGES};
 use safemem_os::SwapPolicy;
 use safemem_workloads::apps::ChurnKind;
-use safemem_workloads::{Replayer, Trace};
+use safemem_workloads::ColumnarReplayer;
 
+use crate::corpus::{obtain_campaign_trace, TraceCorpus};
 use crate::oracle::{
-    record_trace, replay_safemem_with, CampaignError, GroundTruth, ToolScore, SAMPLING_STREAM,
+    replay_safemem_columnar_with, CampaignError, GroundTruth, RecordedTrace, ToolScore,
+    SAMPLING_STREAM,
 };
 use crate::rng::SmRng;
 use crate::runner::{render_bench_json, BenchRun, TraceKey, TraceMode, WorkerReport};
@@ -296,6 +298,9 @@ pub struct FleetOutcome {
     pub threads: usize,
     /// Wall time for both phases.
     pub wall: Duration,
+    /// Wall time of phase A alone (booting and running the shared-machine
+    /// fleet); `wall - boot_wall` is the sharded record/replay phase.
+    pub boot_wall: Duration,
 }
 
 /// Runs the two-phase fleet campaign over `specs` (from [`expand_fleet`]).
@@ -316,6 +321,24 @@ pub fn run_fleet(
     specs: &[CampaignSpec],
     threads: usize,
     mode: TraceMode,
+) -> Result<FleetOutcome, CampaignError> {
+    run_fleet_corpus(specs, threads, mode, None)
+}
+
+/// [`run_fleet`] with an optional [`TraceCorpus`] serving phase B's
+/// recorded traces (see
+/// [`run_matrix_streamed_corpus`](crate::stream::run_matrix_streamed_corpus)).
+/// The fleet scorecard is byte-identical with or without a corpus.
+///
+/// # Errors
+///
+/// Everything [`run_fleet`] can return, plus stringified
+/// [`CorpusError`](crate::corpus::CorpusError)s from corpus validation.
+pub fn run_fleet_corpus(
+    specs: &[CampaignSpec],
+    threads: usize,
+    mode: TraceMode,
+    corpus: Option<&TraceCorpus>,
 ) -> Result<FleetOutcome, CampaignError> {
     let Some(first) = specs.first() else {
         return Err(CampaignError("a fleet needs at least one process".into()));
@@ -344,6 +367,7 @@ pub fn run_fleet(
         },
     )
     .run();
+    let boot_wall = start.elapsed();
 
     // Phase B: the cells, sharded. Same two-phase record/replay shape as
     // the matrix runner, but each cell replays SafeMem alone and folds.
@@ -361,7 +385,7 @@ pub fn run_fleet(
             slot_of_cell.push(slot);
         }
     }
-    let slots: Vec<OnceLock<Result<Arc<Trace>, CampaignError>>> =
+    let slots: Vec<OnceLock<Result<Arc<RecordedTrace>, CampaignError>>> =
         (0..slot_spec.len()).map(|_| OnceLock::new()).collect();
 
     let record_cursor = AtomicUsize::new(0);
@@ -384,7 +408,7 @@ pub fn run_fleet(
             let slot_spec = &slot_spec;
             let slot_of_cell = &slot_of_cell;
             scope.spawn(move || {
-                let mut replayer = Replayer::new();
+                let mut replayer = ColumnarReplayer::new();
                 let mut report = WorkerReport {
                     worker,
                     campaigns: 0,
@@ -399,9 +423,13 @@ pub fn run_fleet(
                         break;
                     };
                     let t0 = Instant::now();
-                    let recorded = record_trace(spec).map(Arc::new);
+                    let recorded = obtain_campaign_trace(spec, corpus).map(|(trace, fresh)| {
+                        if fresh {
+                            report.traces_recorded += 1;
+                        }
+                        Arc::new(trace)
+                    });
                     report.busy += t0.elapsed();
-                    report.traces_recorded += 1;
                     slots[slot]
                         .set(recorded)
                         .expect("the cursor hands each slot to one worker");
@@ -418,14 +446,19 @@ pub fn run_fleet(
                         TraceMode::Memoized => {
                             let slot = &slots[slot_of_cell[index]];
                             match slot.get().expect("phase one filled every slot") {
-                                Ok(trace) => replay_safemem_with(spec, trace, &mut replayer),
+                                Ok(trace) => {
+                                    replay_safemem_columnar_with(spec, trace, &mut replayer)
+                                }
                                 Err(e) => Err(e.clone()),
                             }
                         }
                         TraceMode::FreshRecord => {
-                            report.traces_recorded += 1;
-                            record_trace(spec)
-                                .and_then(|trace| replay_safemem_with(spec, &trace, &mut replayer))
+                            obtain_campaign_trace(spec, corpus).and_then(|(trace, fresh)| {
+                                if fresh {
+                                    report.traces_recorded += 1;
+                                }
+                                replay_safemem_columnar_with(spec, &trace, &mut replayer)
+                            })
                         }
                     };
                     report.busy += t0.elapsed();
@@ -474,6 +507,7 @@ pub fn run_fleet(
         workers,
         threads,
         wall: start.elapsed(),
+        boot_wall,
     })
 }
 
@@ -700,6 +734,7 @@ mod tests {
             threads: 2,
             wall: Duration::from_millis(100),
             campaigns: 6,
+            boot: Some(Duration::from_millis(40)),
         }];
         let mut agg = FleetAgg::new(FLEET_RATE_PPM);
         agg.cells = 6;
@@ -731,6 +766,7 @@ mod tests {
             workers: Vec::new(),
             threads: 2,
             wall: Duration::from_millis(100),
+            boot_wall: Duration::from_millis(40),
         };
         let json = render_fleet_bench_json("fleet", Some(48), &runs, &outcome);
         assert!(json.contains("\"fleet\": {"), "{json}");

@@ -382,6 +382,7 @@ mod tests {
             threads: 1,
             wall: Duration::from_millis(100),
             campaigns: 4,
+            boot: None,
         }];
         let rows = [FrontierRow {
             rate_ppm: 500_000,

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod fleet;
 pub mod frontier;
 pub mod inject;
@@ -43,9 +44,12 @@ pub mod scorecard;
 pub mod spec;
 pub mod stream;
 
+pub use corpus::{
+    corpus_checksum, obtain_campaign_trace, CorpusError, CorpusMode, TraceCorpus, CORPUS_MAGIC,
+};
 pub use fleet::{
-    expand_fleet, fleet_process_specs, render_fleet, render_fleet_bench_json, run_fleet, FleetAgg,
-    FleetClassAgg, FleetOutcome, DEFAULT_FLEET_PROCESSES,
+    expand_fleet, fleet_process_specs, render_fleet, render_fleet_bench_json, run_fleet,
+    run_fleet_corpus, FleetAgg, FleetClassAgg, FleetOutcome, DEFAULT_FLEET_PROCESSES,
 };
 pub use frontier::{
     expand_frontier, frontier_rows, render_frontier, render_frontier_bench_json, ClassTally,
@@ -53,9 +57,10 @@ pub use frontier::{
 };
 pub use inject::{InjectionLog, Injector};
 pub use oracle::{
-    record_trace, replay_panel, replay_panel_with, replay_safemem_with, run_campaign,
-    CampaignError, CampaignResult, GroundTruth, MarkerCounts, SurvivalScore, ToolScore, PANEL,
-    SAMPLING_STREAM,
+    record_campaign_trace, record_trace, replay_panel, replay_panel_columnar_with,
+    replay_panel_with, replay_safemem_columnar_with, replay_safemem_with, run_campaign,
+    CampaignError, CampaignResult, GroundTruth, MarkerCounts, RecordedTrace, SurvivalScore,
+    ToolScore, PANEL, SAMPLING_STREAM,
 };
 pub use rng::SmRng;
 pub use runner::{
@@ -64,4 +69,6 @@ pub use runner::{
 };
 pub use scorecard::{render_aggregate, render_campaign, render_worker_table, render_workers};
 pub use spec::{CampaignSpec, FaultMix};
-pub use stream::{run_matrix_streamed, StreamAggregate, StreamReport, ToolSums};
+pub use stream::{
+    run_matrix_streamed, run_matrix_streamed_corpus, StreamAggregate, StreamReport, ToolSums,
+};

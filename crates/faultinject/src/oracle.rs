@@ -16,7 +16,8 @@ use safemem_core::{
 use safemem_ecc::ControllerStats;
 use safemem_os::{Os, OsConfig, STATIC_BASE};
 use safemem_workloads::{
-    workload_by_name, BugClass, InputMode, Recorder, Replayer, RunConfig, Trace, TraceOp,
+    workload_by_name, BugClass, ColumnarReplayer, ColumnarTrace, InputMode, Recorder, Replayer,
+    RunConfig, Trace, TraceOp,
 };
 use std::collections::HashSet;
 
@@ -289,6 +290,40 @@ fn build_tool(name: &str, spec: &CampaignSpec, os: &mut Os) -> Box<dyn MemTool> 
 /// The differential panel, in scorecard order.
 pub const PANEL: &[&str] = &["safemem", "purify", "memcheck", "pageguard", "none"];
 
+/// A recorded campaign trace in both layouts: the enum [`Trace`] (the
+/// serialisation format and differential reference) and its struct-of-arrays
+/// [`ColumnarTrace`] flattening (the replay hot path). Flattening happens
+/// once at record time, so every panel cell sharing the recording replays
+/// columns without re-walking the enum stream.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    /// The enum-layout op stream.
+    pub trace: Trace,
+    /// The same stream flattened to columns.
+    pub columnar: ColumnarTrace,
+}
+
+impl RecordedTrace {
+    /// Flattens `trace` and bundles both layouts.
+    #[must_use]
+    pub fn new(trace: Trace) -> Self {
+        RecordedTrace {
+            columnar: ColumnarTrace::from_trace(&trace),
+            trace,
+        }
+    }
+}
+
+/// [`record_trace`] bundled with its columnar flattening — what the matrix
+/// runners memoize per [`TraceKey`](crate::TraceKey).
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the spec names an unknown workload.
+pub fn record_campaign_trace(spec: &CampaignSpec) -> Result<RecordedTrace, CampaignError> {
+    record_trace(spec).map(RecordedTrace::new)
+}
+
 /// Runs one campaign: records the ground-truth trace, replays it through the
 /// whole panel under injection, and scores every tool.
 ///
@@ -366,6 +401,57 @@ pub fn replay_panel_with(
     })
 }
 
+/// [`replay_panel_with`] over the columnar layout — the campaign runners'
+/// hot path. Scores are identical to the enum-layout panel (the replay
+/// engines are differentially tested); only the scan is different.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the spec names an unknown workload.
+pub fn replay_panel_columnar_with(
+    spec: &CampaignSpec,
+    rec: &RecordedTrace,
+    replayer: &mut ColumnarReplayer,
+) -> Result<CampaignResult, CampaignError> {
+    let workload = workload_by_name(&spec.workload)
+        .ok_or_else(|| CampaignError(format!("unknown workload {:?}", spec.workload)))?;
+    let truth = GroundTruth {
+        bug: workload.spec().bug,
+        leak_groups: workload.true_leak_groups(),
+        expects_corruption: !workload.spec().bug.is_leak(),
+        trace_ops: rec.columnar.len(),
+        markers: MarkerCounts::of(&rec.trace),
+    };
+    let truth_set: HashSet<GroupKey> = truth.leak_groups.iter().copied().collect();
+
+    let mut tools = Vec::with_capacity(PANEL.len());
+    for &name in PANEL {
+        let mut os = build_os(spec);
+        let tool = build_tool(name, spec, &mut os);
+        let mut injector = Injector::new(tool, spec.mix, spec.seed);
+        let result = replayer.replay(&rec.columnar, &mut os, &mut injector);
+        let summary = injector.survival();
+        let sampling = injector.sampling();
+        tools.push(score(
+            name,
+            spec,
+            &truth,
+            &truth_set,
+            &os,
+            &result,
+            injector.log(),
+            summary,
+            sampling,
+        ));
+    }
+
+    Ok(CampaignResult {
+        spec: spec.clone(),
+        truth,
+        tools,
+    })
+}
+
 /// Replays an already-recorded trace through **SafeMem alone** under the
 /// spec's injection mix — the fleet campaign's per-process cell executor.
 /// A fleet sweeps hundreds-to-thousands of cells and only scores SafeMem's
@@ -397,6 +483,47 @@ pub fn replay_safemem_with(
     let tool = build_tool("safemem", spec, &mut os);
     let mut injector = Injector::new(tool, spec.mix, spec.seed);
     let result = replayer.replay(trace, &mut os, &mut injector);
+    let summary = injector.survival();
+    let sampling = injector.sampling();
+    let tool_score = score(
+        "safemem",
+        spec,
+        &truth,
+        &truth_set,
+        &os,
+        &result,
+        injector.log(),
+        summary,
+        sampling,
+    );
+    Ok((truth, tool_score))
+}
+
+/// [`replay_safemem_with`] over the columnar layout — the fleet's
+/// per-process cell executor.
+///
+/// # Errors
+///
+/// Returns [`CampaignError`] if the spec names an unknown workload.
+pub fn replay_safemem_columnar_with(
+    spec: &CampaignSpec,
+    rec: &RecordedTrace,
+    replayer: &mut ColumnarReplayer,
+) -> Result<(GroundTruth, ToolScore), CampaignError> {
+    let workload = workload_by_name(&spec.workload)
+        .ok_or_else(|| CampaignError(format!("unknown workload {:?}", spec.workload)))?;
+    let truth = GroundTruth {
+        bug: workload.spec().bug,
+        leak_groups: workload.true_leak_groups(),
+        expects_corruption: !workload.spec().bug.is_leak(),
+        trace_ops: rec.columnar.len(),
+        markers: MarkerCounts::of(&rec.trace),
+    };
+    let truth_set: HashSet<GroupKey> = truth.leak_groups.iter().copied().collect();
+    let mut os = build_os(spec);
+    let tool = build_tool("safemem", spec, &mut os);
+    let mut injector = Injector::new(tool, spec.mix, spec.seed);
+    let result = replayer.replay(&rec.columnar, &mut os, &mut injector);
     let summary = injector.survival();
     let sampling = injector.sampling();
     let tool_score = score(

@@ -40,9 +40,11 @@ use std::time::{Duration, Instant};
 
 use safemem_ecc::EccMode;
 use safemem_os::SwapPolicy;
-use safemem_workloads::{workload_by_name, Replayer, Trace};
+use safemem_workloads::{workload_by_name, ColumnarReplayer};
 
-use crate::oracle::{record_trace, replay_panel_with, CampaignError, CampaignResult};
+use crate::oracle::{
+    record_campaign_trace, replay_panel_columnar_with, CampaignError, CampaignResult, RecordedTrace,
+};
 use crate::spec::CampaignSpec;
 
 /// The worker count used when the caller does not pin one: the host's
@@ -255,7 +257,7 @@ pub fn run_matrix_with(
             slot_of_cell.push(slot);
         }
     }
-    let slots: Vec<OnceLock<Result<Arc<Trace>, CampaignError>>> =
+    let slots: Vec<OnceLock<Result<Arc<RecordedTrace>, CampaignError>>> =
         (0..slot_spec.len()).map(|_| OnceLock::new()).collect();
 
     let record_cursor = AtomicUsize::new(0);
@@ -277,7 +279,7 @@ pub fn run_matrix_with(
             let slot_of_cell = &slot_of_cell;
             scope.spawn(move || {
                 let mut mine = Vec::new();
-                let mut replayer = Replayer::new();
+                let mut replayer = ColumnarReplayer::new();
                 let mut report = WorkerReport {
                     worker,
                     campaigns: 0,
@@ -293,7 +295,7 @@ pub fn run_matrix_with(
                         break;
                     };
                     let t0 = Instant::now();
-                    let recorded = record_trace(spec).map(Arc::new);
+                    let recorded = record_campaign_trace(spec).map(Arc::new);
                     report.busy += t0.elapsed();
                     report.traces_recorded += 1;
                     slots[slot]
@@ -313,14 +315,15 @@ pub fn run_matrix_with(
                         TraceMode::Memoized => {
                             let slot = &slots[slot_of_cell[index]];
                             match slot.get().expect("phase one filled every slot") {
-                                Ok(trace) => replay_panel_with(spec, trace, &mut replayer),
+                                Ok(trace) => replay_panel_columnar_with(spec, trace, &mut replayer),
                                 Err(e) => Err(e.clone()),
                             }
                         }
                         TraceMode::FreshRecord => {
                             report.traces_recorded += 1;
-                            record_trace(spec)
-                                .and_then(|trace| replay_panel_with(spec, &trace, &mut replayer))
+                            record_campaign_trace(spec).and_then(|trace| {
+                                replay_panel_columnar_with(spec, &trace, &mut replayer)
+                            })
                         }
                     };
                     report.busy += t0.elapsed();
@@ -368,6 +371,12 @@ pub struct BenchRun {
     pub wall: Duration,
     /// Campaign cells executed.
     pub campaigns: usize,
+    /// Wall time of a sequential boot phase preceding the sharded
+    /// record/replay work (the fleet preset's shared-machine phase A).
+    /// `None` for single-phase presets. When present, the bench JSON
+    /// reports the replay phase's throughput separately, since boot time
+    /// does not shrink with threads.
+    pub boot: Option<Duration>,
 }
 
 /// Renders thread-scaling measurements as the `BENCH_campaign.json` schema:
@@ -405,10 +414,25 @@ pub fn render_bench_json(preset: &str, requests: Option<u64>, runs: &[BenchRun])
             _ => 1.0,
         };
         let comma = if i + 1 < runs.len() { "," } else { "" };
+        let phase_split = run.boot.map_or_else(String::new, |boot| {
+            let replay = run.wall.saturating_sub(boot);
+            let replay_per_sec = if replay.is_zero() {
+                0.0
+            } else {
+                run.campaigns as f64 / replay.as_secs_f64()
+            };
+            format!(
+                ", \"boot_ms\": {:.1}, \"replay_ms\": {:.1}, \
+                 \"replay_campaigns_per_sec\": {replay_per_sec:.2}",
+                boot.as_secs_f64() * 1e3,
+                replay.as_secs_f64() * 1e3,
+            )
+        });
         let _ = writeln!(
             out,
             "    {{\"threads\": {}, \"campaigns\": {}, \"wall_ms\": {wall_ms:.1}, \
-             \"campaigns_per_sec\": {per_sec:.2}, \"speedup_vs_first\": {speedup:.2}}}{comma}",
+             \"campaigns_per_sec\": {per_sec:.2}{phase_split}, \
+             \"speedup_vs_first\": {speedup:.2}}}{comma}",
             run.threads, run.campaigns
         );
     }
@@ -516,11 +540,13 @@ mod tests {
                 threads: 1,
                 wall: Duration::from_millis(400),
                 campaigns: 8,
+                boot: None,
             },
             BenchRun {
                 threads: 4,
                 wall: Duration::from_millis(100),
                 campaigns: 8,
+                boot: None,
             },
         ];
         let json = render_bench_json("harsh", Some(128), &runs);

@@ -26,10 +26,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use safemem_workloads::{Replayer, Trace};
+use safemem_workloads::ColumnarReplayer;
 
+use crate::corpus::{obtain_campaign_trace, TraceCorpus};
 use crate::frontier::{render_frontier, FrontierRow};
-use crate::oracle::{record_trace, replay_panel_with, CampaignError, CampaignResult, PANEL};
+use crate::oracle::{
+    replay_panel_columnar_with, CampaignError, CampaignResult, RecordedTrace, PANEL,
+};
 use crate::runner::{injection_events, TraceKey, TraceMode, WorkerReport};
 use crate::scorecard::render_campaign;
 use crate::spec::CampaignSpec;
@@ -310,6 +313,26 @@ pub fn run_matrix_streamed(
     verbose: bool,
     aggregate: StreamAggregate,
 ) -> Result<StreamReport, CampaignError> {
+    run_matrix_streamed_corpus(specs, threads, mode, verbose, aggregate, None)
+}
+
+/// [`run_matrix_streamed`] with an optional [`TraceCorpus`]: recorded traces
+/// come from (and, in writable modes, go to) the corpus instead of always
+/// being re-recorded. The scorecard is byte-identical with or without a
+/// corpus — only the recording phase's work changes.
+///
+/// # Errors
+///
+/// Everything [`run_matrix_streamed`] can return, plus stringified
+/// [`CorpusError`](crate::corpus::CorpusError)s from corpus validation.
+pub fn run_matrix_streamed_corpus(
+    specs: &[CampaignSpec],
+    threads: usize,
+    mode: TraceMode,
+    verbose: bool,
+    aggregate: StreamAggregate,
+    corpus: Option<&TraceCorpus>,
+) -> Result<StreamReport, CampaignError> {
     let threads = threads.max(1).min(specs.len().max(1));
     let start = Instant::now();
 
@@ -327,7 +350,7 @@ pub fn run_matrix_streamed(
             slot_of_cell.push(slot);
         }
     }
-    let slots: Vec<OnceLock<Result<Arc<Trace>, CampaignError>>> =
+    let slots: Vec<OnceLock<Result<Arc<RecordedTrace>, CampaignError>>> =
         (0..slot_spec.len()).map(|_| OnceLock::new()).collect();
 
     let record_cursor = AtomicUsize::new(0);
@@ -353,7 +376,7 @@ pub fn run_matrix_streamed(
             let slot_spec = &slot_spec;
             let slot_of_cell = &slot_of_cell;
             scope.spawn(move || {
-                let mut replayer = Replayer::new();
+                let mut replayer = ColumnarReplayer::new();
                 let mut report = WorkerReport {
                     worker,
                     campaigns: 0,
@@ -369,9 +392,13 @@ pub fn run_matrix_streamed(
                         break;
                     };
                     let t0 = Instant::now();
-                    let recorded = record_trace(spec).map(Arc::new);
+                    let recorded = obtain_campaign_trace(spec, corpus).map(|(trace, fresh)| {
+                        if fresh {
+                            report.traces_recorded += 1;
+                        }
+                        Arc::new(trace)
+                    });
                     report.busy += t0.elapsed();
-                    report.traces_recorded += 1;
                     slots[slot]
                         .set(recorded)
                         .expect("the cursor hands each slot to one worker");
@@ -389,14 +416,17 @@ pub fn run_matrix_streamed(
                         TraceMode::Memoized => {
                             let slot = &slots[slot_of_cell[index]];
                             match slot.get().expect("phase one filled every slot") {
-                                Ok(trace) => replay_panel_with(spec, trace, &mut replayer),
+                                Ok(trace) => replay_panel_columnar_with(spec, trace, &mut replayer),
                                 Err(e) => Err(e.clone()),
                             }
                         }
                         TraceMode::FreshRecord => {
-                            report.traces_recorded += 1;
-                            record_trace(spec)
-                                .and_then(|trace| replay_panel_with(spec, &trace, &mut replayer))
+                            obtain_campaign_trace(spec, corpus).and_then(|(trace, fresh)| {
+                                if fresh {
+                                    report.traces_recorded += 1;
+                                }
+                                replay_panel_columnar_with(spec, &trace, &mut replayer)
+                            })
                         }
                     };
                     report.busy += t0.elapsed();

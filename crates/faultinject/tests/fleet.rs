@@ -83,6 +83,7 @@ fn fleet_scorecard_is_deterministic_and_greppable() {
             threads: 1,
             wall: a.wall,
             campaigns: SMALL_FLEET as usize,
+            boot: Some(a.boot_wall),
         }],
         &a,
     );

@@ -16,11 +16,12 @@
 use proptest::prelude::*;
 use safemem_core::{IncidentClass, LeakConfig, SafeMem};
 use safemem_faultinject::{
-    expand_frontier, expand_matrix, record_trace, run_matrix_with, CampaignSpec, TraceKey,
-    TraceMode,
+    expand_frontier, expand_matrix, record_campaign_trace, record_trace,
+    replay_panel_columnar_with, replay_panel_with, run_matrix_streamed, run_matrix_streamed_corpus,
+    run_matrix_with, CampaignSpec, CorpusMode, StreamAggregate, TraceCorpus, TraceKey, TraceMode,
 };
 use safemem_os::{Os, OsConfig};
-use safemem_workloads::{Replayer, Trace, TraceOp};
+use safemem_workloads::{ColumnarReplayer, ColumnarTrace, Replayer, Trace, TraceOp};
 
 fn golden_matrix() -> Vec<CampaignSpec> {
     // Mirror of the golden-scorecard harness: one leak and one corruption
@@ -114,6 +115,102 @@ fn incremental_and_naive_leak_checks_agree_on_recorded_traces() {
         let naive = replay(false);
         assert_eq!(incremental, naive, "leak scheduling diverged on {workload}");
     }
+}
+
+/// The columnar replay engine and the per-op enum replayer score every
+/// golden-matrix cell identically — the whole panel, not just SafeMem.
+#[test]
+fn columnar_and_enum_replay_agree_on_the_golden_matrix() {
+    let mut enum_replayer = Replayer::new();
+    let mut columnar_replayer = ColumnarReplayer::new();
+    for spec in golden_matrix() {
+        let rec = record_campaign_trace(&spec).expect("record");
+        let via_enum =
+            replay_panel_with(&spec, &rec.trace, &mut enum_replayer).expect("enum replay");
+        let via_columnar = replay_panel_columnar_with(&spec, &rec, &mut columnar_replayer)
+            .expect("columnar replay");
+        assert_eq!(
+            via_enum, via_columnar,
+            "columnar replay diverged: {} seed {}",
+            spec.workload, spec.seed
+        );
+    }
+}
+
+/// Epoch-batched leak-deadline scheduling and per-event eager rescheduling
+/// produce identical run outcomes on real recorded workload traces.
+#[test]
+fn epoch_batched_and_eager_leak_scheduling_agree_on_recorded_traces() {
+    for workload in ["ypserv1", "ypserv2", "proftpd", "gzip", "tar"] {
+        let mut spec = CampaignSpec::harsh(workload, 0);
+        spec.requests = Some(48);
+        let trace = record_trace(&spec).expect("record");
+
+        let replay = |epoch_batch: bool| {
+            let mut os = os_for(&spec);
+            let cfg = LeakConfig {
+                epoch_batch,
+                ..LeakConfig::default()
+            };
+            let mut tool = SafeMem::builder().leak_config(cfg).build(&mut os);
+            Replayer::new().replay(&trace, &mut os, &mut tool)
+        };
+        let batched = replay(true);
+        let eager = replay(false);
+        assert_eq!(batched, eager, "epoch batching diverged on {workload}");
+    }
+}
+
+/// A corpus-backed matrix run (first populating the corpus, then replaying
+/// purely from it) renders the exact aggregate scorecard of a corpus-free
+/// run.
+#[test]
+fn corpus_backed_matrix_matches_fresh_recording() {
+    let specs = golden_matrix();
+    let fresh = run_matrix_streamed(
+        &specs,
+        2,
+        TraceMode::Memoized,
+        false,
+        StreamAggregate::new(),
+    )
+    .expect("fresh run");
+
+    let dir = std::env::temp_dir().join("safemem-corpus-matrix-equiv");
+    let _ = std::fs::remove_dir_all(&dir);
+    let record = TraceCorpus::open(&dir, CorpusMode::Record).expect("open record");
+    let populated = run_matrix_streamed_corpus(
+        &specs,
+        2,
+        TraceMode::Memoized,
+        false,
+        StreamAggregate::new(),
+        Some(&record),
+    )
+    .expect("recording run");
+    let replay = TraceCorpus::open(&dir, CorpusMode::ReplayFrom).expect("open replay");
+    let replayed = run_matrix_streamed_corpus(
+        &specs,
+        2,
+        TraceMode::Memoized,
+        false,
+        StreamAggregate::new(),
+        Some(&replay),
+    )
+    .expect("replaying run");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(fresh.aggregate.render(), populated.aggregate.render());
+    assert_eq!(fresh.aggregate.render(), replayed.aggregate.render());
+    // The replay leg recorded nothing.
+    assert_eq!(
+        replayed
+            .workers
+            .iter()
+            .map(|w| w.traces_recorded)
+            .sum::<usize>(),
+        0
+    );
 }
 
 fn trace_op(live_ids: u32) -> impl Strategy<Value = TraceOp> {
@@ -230,5 +327,32 @@ proptest! {
         let mut tool = SafeMem::builder().build(&mut os);
         let again = replayer.replay(&trace, &mut os, &mut tool);
         prop_assert_eq!(&fast, &again);
+    }
+
+    /// The columnar engine agrees with the enum replayer on arbitrary
+    /// synthetic traces — markers, freed-access ops, and all — including a
+    /// second replay on the same [`ColumnarReplayer`].
+    #[test]
+    fn prop_columnar_replay_matches_enum_replay(
+        ops in proptest::collection::vec(trace_op(24), 0..80),
+    ) {
+        let trace = well_formed(ops);
+        let columnar = ColumnarTrace::from_trace(&trace);
+        prop_assert_eq!(columnar.len(), trace.len());
+
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let via_enum = Replayer::new().replay(&trace, &mut os, &mut tool);
+
+        let mut replayer = ColumnarReplayer::new();
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let via_columnar = replayer.replay(&columnar, &mut os, &mut tool);
+        prop_assert_eq!(&via_enum, &via_columnar);
+
+        let mut os = Os::with_defaults(1 << 24);
+        let mut tool = SafeMem::builder().build(&mut os);
+        let again = replayer.replay(&columnar, &mut os, &mut tool);
+        prop_assert_eq!(&via_columnar, &again);
     }
 }

@@ -40,8 +40,9 @@ mod quarantine;
 
 pub use quarantine::{canary_for, QuarantineArena, QuarantineEntry, CANARY_BYTES};
 
+use safemem_hashfx::FxHashMap;
 use safemem_os::{Os, HEAP_BASE, PAGE_BYTES};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -184,7 +185,7 @@ pub struct Heap {
     /// equal footprint in a sampling heap) from aliasing each other's
     /// payload addresses; with a single policy the offset is constant per
     /// stride, so behaviour is unchanged.
-    free_lists: HashMap<(u64, u64), Vec<u64>>,
+    free_lists: FxHashMap<(u64, u64), Vec<u64>>,
     stats: HeapStats,
 }
 
@@ -229,7 +230,7 @@ impl Heap {
             limit: HEAP_BASE + (1 << 28), // 256 MiB of address space
             bump: HEAP_BASE,
             live: BTreeMap::new(),
-            free_lists: HashMap::new(),
+            free_lists: FxHashMap::default(),
             stats: HeapStats::default(),
         }
     }

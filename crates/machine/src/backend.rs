@@ -65,6 +65,9 @@ pub trait MachineBackend: std::fmt::Debug {
     fn flush_all_caches(&mut self);
     /// Writes physical memory directly, bypassing the caches (kernel path).
     fn write_uncached(&mut self, addr: u64, buf: &[u8]);
+    /// [`write_uncached`](MachineBackend::write_uncached) of one aligned
+    /// line with caller-precomputed check codes.
+    fn write_uncached_precoded(&mut self, addr: u64, data: &[u8; 64], codes: &[u8; 8]);
     /// Reads physical memory directly with full ECC verification.
     ///
     /// # Errors
@@ -73,6 +76,10 @@ pub trait MachineBackend: std::fmt::Debug {
     fn read_uncached(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EccFault>;
     /// Reads raw memory bytes without caches, checks, or time accounting.
     fn peek(&self, addr: u64, len: usize) -> Vec<u8>;
+    /// [`peek`](MachineBackend::peek) into a caller-provided buffer.
+    fn peek_into(&self, addr: u64, out: &mut [u8]) {
+        out.copy_from_slice(&self.peek(addr, out.len()));
+    }
     /// Models CPU-bound work: advances the clock by `cycles`.
     fn compute(&mut self, cycles: u64);
     /// Drains pending ECC faults (the simulated interrupt queue).
@@ -126,11 +133,17 @@ impl MachineBackend for crate::Machine {
     fn write_uncached(&mut self, addr: u64, buf: &[u8]) {
         crate::Machine::write_uncached(self, addr, buf);
     }
+    fn write_uncached_precoded(&mut self, addr: u64, data: &[u8; 64], codes: &[u8; 8]) {
+        crate::Machine::write_uncached_precoded(self, addr, data, codes);
+    }
     fn read_uncached(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EccFault> {
         crate::Machine::read_uncached(self, addr, buf)
     }
     fn peek(&self, addr: u64, len: usize) -> Vec<u8> {
         crate::Machine::peek(self, addr, len)
+    }
+    fn peek_into(&self, addr: u64, out: &mut [u8]) {
+        crate::Machine::peek_into(self, addr, out);
     }
     fn compute(&mut self, cycles: u64) {
         crate::Machine::compute(self, cycles);
@@ -283,11 +296,17 @@ impl MachineBackend for SlotBackend {
     fn write_uncached(&mut self, addr: u64, buf: &[u8]) {
         self.with(|m| m.write_uncached(addr, buf));
     }
+    fn write_uncached_precoded(&mut self, addr: u64, data: &[u8; 64], codes: &[u8; 8]) {
+        self.with(|m| m.write_uncached_precoded(addr, data, codes));
+    }
     fn read_uncached(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), EccFault> {
         self.with(|m| m.read_uncached(addr, buf))
     }
     fn peek(&self, addr: u64, len: usize) -> Vec<u8> {
         self.shared().peek(addr, len)
+    }
+    fn peek_into(&self, addr: u64, out: &mut [u8]) {
+        self.shared().peek_into(addr, out);
     }
     fn compute(&mut self, cycles: u64) {
         self.with(|m| m.compute(cycles));

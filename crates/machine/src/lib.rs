@@ -28,6 +28,7 @@ pub use cost::CostModel;
 pub use dma::{DmaEngine, DmaStep, DmaTransfer};
 
 use safemem_cache::{CacheConfig, Hierarchy, LineBacking, Traffic, WriteMissPolicy};
+use safemem_ecc::codec::{LINE_BYTES as ECC_LINE_BYTES, LINE_GROUPS as ECC_LINE_GROUPS};
 use safemem_ecc::{EccController, EccFault, EccMode, ScrambleScheme};
 
 /// Adapter presenting the ECC controller as the cache hierarchy's backing.
@@ -297,6 +298,23 @@ impl Machine {
         self.clock.advance(lines * self.cost.memory_write_cycles);
     }
 
+    /// [`write_uncached`](Self::write_uncached) of one aligned line with
+    /// caller-precomputed check codes (the watch-disarm fast path): same
+    /// stored state, accounting, and clock charge, no re-encode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned or lies outside memory.
+    pub fn write_uncached_precoded(
+        &mut self,
+        addr: u64,
+        data: &[u8; ECC_LINE_BYTES],
+        codes: &[u8; ECC_LINE_GROUPS],
+    ) {
+        self.controller.write_line_precoded(addr, data, codes);
+        self.clock.advance(self.cost.memory_write_cycles);
+    }
+
     /// Reads physical memory directly, bypassing the cache hierarchy, with
     /// full ECC verification (kernel path).
     ///
@@ -326,6 +344,15 @@ impl Machine {
     #[must_use]
     pub fn peek(&self, addr: u64, len: usize) -> Vec<u8> {
         self.controller.peek(addr, len)
+    }
+
+    /// [`peek`](Self::peek) into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds physical memory.
+    pub fn peek_into(&self, addr: u64, out: &mut [u8]) {
+        self.controller.peek_into(addr, out);
     }
 
     /// Models CPU-bound work: advances the clock by `cycles` without memory

@@ -153,6 +153,10 @@ pub struct Os {
     io_wait_cycles: u64,
     background_cycles: u64,
     stats: OsStats,
+    /// Recycled `original`-data buffers for watched lines: arming a line
+    /// pops one, disarming pushes it back, so steady-state watch churn
+    /// allocates nothing.
+    line_pool: Vec<Vec<u8>>,
 }
 
 impl std::fmt::Debug for Os {
@@ -204,6 +208,7 @@ impl Os {
             scrub_interval: config.scrub_interval_cycles,
             last_scrub: 0,
             klog: KernelLog::default(),
+            line_pool: Vec::new(),
             io_wait_cycles: 0,
             background_cycles: 0,
             stats: OsStats::default(),
@@ -331,6 +336,7 @@ impl Os {
                 continue; // still armed at a valid location
             }
             let original = line.original.clone();
+            let codes = line.codes;
             let phys = self
                 .vm
                 .translate_resident(vline)
@@ -338,7 +344,7 @@ impl Os {
             // The swapped-in copy holds the scrambled bytes under freshly
             // consistent codes; restore the original first (ECC on) so the
             // scramble recreates the stale-code mismatch.
-            self.disarm_line_at(phys, &original);
+            self.disarm_line_at(phys, &original, codes);
             self.arm_line_at(phys, &original);
             self.watch.set_line_phys(vline, Some(phys));
         }
@@ -347,25 +353,57 @@ impl Os {
     /// Performs the hardware scramble sequence on an already-flushed,
     /// resident physical line (paper Figure 2).
     fn arm_line_at(&mut self, phys_line: u64, original: &[u8]) {
-        let scheme = self.machine.scramble();
-        let ctl = self.machine.controller_mut();
+        Self::arm_line_on(&mut *self.machine, phys_line, original);
+    }
+
+    /// [`Os::arm_line_at`] against a borrowed backend, so the scrub cycle
+    /// can walk the watch registry and the machine side by side without
+    /// moving originals in and out of the registry.
+    fn arm_line_on(machine: &mut dyn MachineBackend, phys_line: u64, original: &[u8]) {
+        let scheme = machine.scramble();
+        let ctl = machine.controller_mut();
         ctl.lock_bus();
         ctl.set_enabled(false);
-        let mut scrambled = vec![0u8; original.len()];
+        // Scramble into a stack buffer for ordinary line sizes; the heap
+        // fallback only fires for exotic configurations with lines > 64 B.
+        let mut stack = [0u8; 64];
+        let mut heap = Vec::new();
+        let scrambled: &mut [u8] = if original.len() <= stack.len() {
+            &mut stack[..original.len()]
+        } else {
+            heap.resize(original.len(), 0u8);
+            &mut heap
+        };
         for (i, chunk) in original.chunks_exact(8).enumerate() {
             let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
             scrambled[i * 8..(i + 1) * 8].copy_from_slice(&scheme.apply(word).to_le_bytes());
         }
-        self.machine.write_uncached(phys_line, &scrambled);
-        let ctl = self.machine.controller_mut();
+        machine.write_uncached(phys_line, scrambled);
+        let ctl = machine.controller_mut();
         ctl.set_enabled(true);
         ctl.unlock_bus();
     }
 
     /// Restores the original data of a line (ECC enabled, so codes become
-    /// consistent again).
-    fn disarm_line_at(&mut self, phys_line: u64, original: &[u8]) {
-        self.machine.write_uncached(phys_line, original);
+    /// consistent again). When the line's codes were precomputed at arm
+    /// time, the stored codes are restored directly instead of re-encoded —
+    /// byte-identical state, no per-group encode.
+    fn disarm_line_at(&mut self, phys_line: u64, original: &[u8], codes: Option<[u8; 8]>) {
+        Self::disarm_line_on(&mut *self.machine, phys_line, original, codes);
+    }
+
+    /// [`Os::disarm_line_at`] against a borrowed backend (see
+    /// [`Os::arm_line_on`]).
+    fn disarm_line_on(
+        machine: &mut dyn MachineBackend,
+        phys_line: u64,
+        original: &[u8],
+        codes: Option<[u8; 8]>,
+    ) {
+        match (codes, <&[u8; 64]>::try_from(original)) {
+            (Some(c), Ok(data)) => machine.write_uncached_precoded(phys_line, data, &c),
+            _ => machine.write_uncached(phys_line, original),
+        }
     }
 
     fn translate_checked(&mut self, vaddr: u64, kind: AccessKind) -> Result<u64, OsFault> {
@@ -619,7 +657,7 @@ impl Os {
                         .expect("region was just inserted");
                     for line in armed {
                         if let Some(phys) = line.phys_line {
-                            self.disarm_line_at(phys, &line.original);
+                            self.disarm_line_at(phys, &line.original, line.codes);
                         }
                         self.vm.unpin(line.vline);
                     }
@@ -635,13 +673,25 @@ impl Os {
             // Authoritative data may be dirty in cache: flush first, then
             // read the original from memory.
             self.machine.flush_range(phys_line, ls);
-            let original = self.machine.peek(phys_line, ls as usize);
+            let mut original = self.line_pool.pop().unwrap_or_default();
+            original.resize(ls as usize, 0);
+            self.machine.peek_into(phys_line, &mut original);
+            // The disarm fast path needs the ECC codes of `original`. A line
+            // whose dirty bit is clear already stores exactly those codes
+            // (clean means code == encode(data)); only lines carrying stale
+            // or injected codes pay for a fresh encode.
+            let codes = <&[u8; 64]>::try_from(original.as_slice()).ok().map(|data| {
+                let ctl = self.machine.controller();
+                ctl.line_codes_if_clean(phys_line)
+                    .unwrap_or_else(|| ctl.encode_line(data))
+            });
             self.arm_line_at(phys_line, &original);
             self.watch.insert_line(WatchedLine {
                 region_vaddr: vaddr,
                 vline,
                 phys_line: Some(phys_line),
                 original,
+                codes,
             });
         }
         self.stats.watch_calls += 1;
@@ -673,7 +723,7 @@ impl Os {
         let n = lines.len() as u64;
         for line in lines {
             if let Some(phys) = line.phys_line {
-                self.disarm_line_at(phys, &line.original);
+                self.disarm_line_at(phys, &line.original, line.codes);
             }
             // Swapped-out armed lines (swap-aware policy) hold scrambled
             // data in swap; restore it lazily by rewriting through the VM.
@@ -686,10 +736,13 @@ impl Os {
                     .expect("swap-in for unwatch");
                 self.drain_evictions();
                 let ls = self.line_size();
-                self.disarm_line_at(phys & !(ls - 1), &line.original);
+                self.disarm_line_at(phys & !(ls - 1), &line.original, line.codes);
             }
             if self.swap_policy == SwapPolicy::PinWatchedPages {
                 self.vm.unpin(line.vline);
+            }
+            if self.line_pool.len() < 1024 {
+                self.line_pool.push(line.original);
             }
         }
         self.stats.disable_calls += 1;
@@ -755,15 +808,17 @@ impl Os {
         if !self.machine.controller().mode().scrubs() {
             return;
         }
-        // Disarm all lines (program blocked; CPU-charged).
-        let armed: Vec<(u64, Option<u64>, Vec<u8>)> = self
-            .watch
-            .lines()
-            .map(|l| (l.vline, l.phys_line, l.original.clone()))
-            .collect();
-        for (_, phys, original) in &armed {
-            if let Some(p) = phys {
-                self.disarm_line_at(*p, original);
+        // Disarm all lines (program blocked; CPU-charged). The registry and
+        // the machine are walked side by side — no per-line lookups, no
+        // copies of the saved originals.
+        let mut watched_lines = 0u64;
+        {
+            let machine = &mut *self.machine;
+            for line in self.watch.lines() {
+                watched_lines += 1;
+                if let Some(p) = line.phys_line {
+                    Self::disarm_line_on(machine, p, &line.original, line.codes);
+                }
             }
         }
         // Scrub everything resident (background).
@@ -775,19 +830,18 @@ impl Os {
         self.machine.compute(scan_cycles);
         self.background_cycles += self.machine.clock().cycles() - before;
         // Re-arm (CPU-charged).
-        for (_, phys, original) in &armed {
-            if let Some(p) = phys {
-                self.arm_line_at(*p, original);
+        {
+            let machine = &mut *self.machine;
+            for line in self.watch.lines() {
+                if let Some(p) = line.phys_line {
+                    Self::arm_line_on(machine, p, &line.original);
+                }
             }
         }
         self.stats.scrub_cycles += 1;
         self.last_scrub = self.machine.clock().cycles();
-        self.klog.push(
-            self.last_scrub,
-            KernelEvent::ScrubCycle {
-                watched_lines: armed.len() as u64,
-            },
-        );
+        self.klog
+            .push(self.last_scrub, KernelEvent::ScrubCycle { watched_lines });
     }
 }
 

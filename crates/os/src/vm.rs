@@ -6,8 +6,8 @@
 //! stable physical address (paper §2.2.2, "Dealing with Page Swapping").
 
 use crate::error::{AccessKind, OsError};
+use safemem_hashfx::FxHashMap;
 use safemem_machine::MachineBackend;
-use std::collections::HashMap;
 
 /// Page size in bytes.
 pub const PAGE_BYTES: u64 = 4096;
@@ -117,9 +117,9 @@ pub enum TranslateOutcome {
 /// backend layer.
 #[derive(Debug)]
 pub struct VirtualMemory {
-    pages: HashMap<u64, PageEntry>,
+    pages: FxHashMap<u64, PageEntry>,
     free_frames: Vec<u64>,
-    swap: HashMap<u64, Vec<u8>>,
+    swap: FxHashMap<u64, Vec<u8>>,
     /// Cap on simultaneously pinned pages (the RLIMIT_MEMLOCK analogue):
     /// pinning everything would leave no frames for ordinary paging.
     max_pinned: u64,
@@ -155,13 +155,13 @@ impl VirtualMemory {
         );
         let frames = phys_bytes / PAGE_BYTES;
         VirtualMemory {
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
             // Reverse order so low frames are handed out first.
             free_frames: (0..frames)
                 .rev()
                 .map(|f| phys_base + f * PAGE_BYTES)
                 .collect(),
-            swap: HashMap::new(),
+            swap: FxHashMap::default(),
             // Default cap: three quarters of physical memory may be pinned.
             max_pinned: (frames * 3 / 4).max(1),
             tick: 0,
@@ -331,7 +331,8 @@ impl VirtualMemory {
             self.stats.swap_ins += 1;
             TranslateOutcome::SwapIn
         } else {
-            machine.write_uncached(frame, &vec![0u8; PAGE_BYTES as usize]);
+            static ZERO_PAGE: [u8; PAGE_BYTES as usize] = [0; PAGE_BYTES as usize];
+            machine.write_uncached(frame, &ZERO_PAGE);
             TranslateOutcome::ZeroFill
         };
         let entry = self.pages.entry(vpn).or_default();

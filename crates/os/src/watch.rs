@@ -6,7 +6,8 @@
 //! ECC faults back to virtual addresses). The arm/disarm *sequences* live in
 //! the [`Os`](crate::Os) layer; this module is pure bookkeeping.
 
-use std::collections::HashMap;
+use safemem_hashfx::FxHashMap;
+use std::collections::BTreeMap;
 
 /// One watched cache line.
 #[derive(Debug, Clone)]
@@ -21,17 +22,28 @@ pub struct WatchedLine {
     /// The original (unscrambled) contents, saved in SafeMem's private
     /// memory (paper §2.2.2).
     pub original: Vec<u8>,
+    /// The ECC check codes of `original`, computed once at arm time so
+    /// every disarm (unwatch and each scrub cycle) restores the line
+    /// without re-encoding. `None` for exotic line sizes the precoded
+    /// fast path does not cover.
+    pub codes: Option<[u8; 8]>,
 }
 
 /// Registry of watched regions and their lines.
 #[derive(Debug, Default)]
 pub struct WatchRegistry {
-    /// Region start → size.
-    regions: HashMap<u64, u64>,
+    /// Region start → size, ordered so overlap and containment queries are
+    /// a single neighbour probe (regions are disjoint by construction, so
+    /// the region with the greatest start below a query bound is the only
+    /// candidate).
+    regions: BTreeMap<u64, u64>,
     /// Line-aligned vaddr → line record.
-    lines: HashMap<u64, WatchedLine>,
+    lines: FxHashMap<u64, WatchedLine>,
     /// Line-aligned physical addr → vline (for fault routing).
-    by_phys: HashMap<u64, u64>,
+    by_phys: FxHashMap<u64, u64>,
+    /// Region start → its armed vlines, so unwatching a region never scans
+    /// the whole line table.
+    by_region: FxHashMap<u64, Vec<u64>>,
 }
 
 impl WatchRegistry {
@@ -57,9 +69,12 @@ impl WatchRegistry {
     /// `[vaddr, vaddr + size)`, if any.
     #[must_use]
     pub fn overlapping_region(&self, vaddr: u64, size: u64) -> Option<u64> {
+        // Disjoint regions: only the one starting closest below the query's
+        // end can overlap it.
         self.regions
-            .iter()
-            .find(|&(&start, &len)| start < vaddr + size && vaddr < start + len)
+            .range(..vaddr + size)
+            .next_back()
+            .filter(|&(&start, &len)| start < vaddr + size && vaddr < start + len)
             .map(|(&start, _)| start)
     }
 
@@ -67,8 +82,9 @@ impl WatchRegistry {
     #[must_use]
     pub fn region_containing(&self, vaddr: u64) -> Option<(u64, u64)> {
         self.regions
-            .iter()
-            .find(|&(&start, &len)| (start..start + len).contains(&vaddr))
+            .range(..=vaddr)
+            .next_back()
+            .filter(|&(&start, &len)| (start..start + len).contains(&vaddr))
             .map(|(&start, &len)| (start, len))
     }
 
@@ -95,18 +111,17 @@ impl WatchRegistry {
         if let Some(phys) = line.phys_line {
             self.by_phys.insert(phys, line.vline);
         }
+        self.by_region
+            .entry(line.region_vaddr)
+            .or_default()
+            .push(line.vline);
         self.lines.insert(line.vline, line);
     }
 
     /// Removes a region and returns its line records.
     pub fn remove_region(&mut self, vaddr: u64) -> Option<(u64, Vec<WatchedLine>)> {
         let size = self.regions.remove(&vaddr)?;
-        let vlines: Vec<u64> = self
-            .lines
-            .values()
-            .filter(|l| l.region_vaddr == vaddr)
-            .map(|l| l.vline)
-            .collect();
+        let vlines = self.by_region.remove(&vaddr).unwrap_or_default();
         let mut removed = Vec::with_capacity(vlines.len());
         for vline in vlines {
             let line = self.lines.remove(&vline).expect("line listed");
@@ -162,6 +177,35 @@ impl WatchRegistry {
     pub fn lines(&self) -> impl Iterator<Item = &WatchedLine> {
         self.lines.values()
     }
+
+    /// Moves a line's saved original data out (leaving it empty), so a
+    /// caller holding `&mut self` can use the bytes while calling other
+    /// `&mut` methods. Pair with [`put_original`](Self::put_original).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not registered.
+    pub fn take_original(&mut self, vline: u64) -> Vec<u8> {
+        std::mem::take(
+            &mut self
+                .lines
+                .get_mut(&vline)
+                .expect("line registered")
+                .original,
+        )
+    }
+
+    /// Returns original data taken with [`take_original`](Self::take_original).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not registered.
+    pub fn put_original(&mut self, vline: u64, original: Vec<u8>) {
+        self.lines
+            .get_mut(&vline)
+            .expect("line registered")
+            .original = original;
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +218,7 @@ mod tests {
             vline,
             phys_line: Some(phys),
             original: vec![0; 64],
+            codes: None,
         }
     }
 

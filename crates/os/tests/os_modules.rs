@@ -138,12 +138,14 @@ fn watch_registry_bookkeeping() {
         vline: HEAP_BASE,
         phys_line: Some(0x1000),
         original: vec![0xAA; 64],
+        codes: None,
     });
     reg.insert_line(WatchedLine {
         region_vaddr: HEAP_BASE,
         vline: HEAP_BASE + 64,
         phys_line: Some(0x1040),
         original: vec![0xBB; 64],
+        codes: None,
     });
 
     assert_eq!(reg.region_count(), 1);

@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod columnar;
 pub mod driver;
 pub mod registry;
 pub mod synthetic;
 pub mod trace;
 
+pub use columnar::{ColumnarReplayer, ColumnarTrace, OpKind};
 pub use driver::{
     group_of, run_under, AppSpec, BugClass, Ctx, FpPool, InputMode, RunConfig, RunResult, Workload,
 };

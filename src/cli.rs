@@ -319,6 +319,15 @@ pub fn campaign_usage() -> String {
          \x20 --fresh-record      record a private trace per cell instead of sharing\n\
          \x20                     one recording per unique (workload, os-shape) key;\n\
          \x20                     the scorecard is byte-identical either way\n\
+         \x20 --trace-corpus <dir> persistent trace corpus: load recorded traces from\n\
+         \x20                     versioned snapshot files in <dir> instead of\n\
+         \x20                     re-recording (the scorecard is byte-identical\n\
+         \x20                     either way)\n\
+         \x20 --corpus-mode <m>   auto | record | replay-from (default auto; requires\n\
+         \x20                     --trace-corpus). auto loads what is present and\n\
+         \x20                     records the rest; record rewrites every snapshot;\n\
+         \x20                     replay-from fails if any snapshot is missing or\n\
+         \x20                     invalid — the CI replay leg\n\
          \x20 --verbose           print every per-campaign scorecard, not just the aggregate\n",
         presets = crate::faultinject::CampaignSpec::PRESETS.join(" | "),
         fleet_procs = crate::faultinject::DEFAULT_FLEET_PROCESSES,
@@ -367,6 +376,10 @@ pub struct CampaignCli {
     ///
     /// [`TraceMode::FreshRecord`]: crate::faultinject::TraceMode::FreshRecord
     pub fresh_record: bool,
+    /// Persistent trace corpus directory (None = always record in memory).
+    pub trace_corpus: Option<String>,
+    /// How the corpus is used; only meaningful with `trace_corpus`.
+    pub corpus_mode: crate::faultinject::CorpusMode,
     /// Print per-campaign scorecards.
     pub verbose: bool,
 }
@@ -391,8 +404,11 @@ impl CampaignCli {
             bench_threads: Vec::new(),
             bench_json: None,
             fresh_record: false,
+            trace_corpus: None,
+            corpus_mode: crate::faultinject::CorpusMode::Auto,
             verbose: false,
         };
+        let mut corpus_mode_given = false;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let mut value = |flag: &str| {
@@ -488,6 +504,13 @@ impl CampaignCli {
                 }
                 "--bench-json" => cli.bench_json = Some(value("--bench-json")?),
                 "--fresh-record" => cli.fresh_record = true,
+                "--trace-corpus" => cli.trace_corpus = Some(value("--trace-corpus")?),
+                "--corpus-mode" => {
+                    cli.corpus_mode =
+                        crate::faultinject::CorpusMode::parse(&value("--corpus-mode")?)
+                            .map_err(CliError)?;
+                    corpus_mode_given = true;
+                }
                 "--verbose" | "-v" => cli.verbose = true,
                 "--help" | "-h" => return Err(CliError(campaign_usage())),
                 other => {
@@ -500,6 +523,11 @@ impl CampaignCli {
         }
         if cli.seeds == 0 {
             return Err(CliError("--seeds must be at least 1".into()));
+        }
+        if corpus_mode_given && cli.trace_corpus.is_none() {
+            return Err(CliError(
+                "--corpus-mode requires --trace-corpus <dir>".into(),
+            ));
         }
         if !cli.sampling_ppm.is_empty() && cli.preset != "frontier" {
             return Err(CliError(
@@ -537,6 +565,16 @@ impl CampaignCli {
         Ok(cli)
     }
 
+    /// Opens the configured trace corpus, if any.
+    fn open_corpus(&self) -> Result<Option<crate::faultinject::TraceCorpus>, CliError> {
+        match &self.trace_corpus {
+            None => Ok(None),
+            Some(dir) => crate::faultinject::TraceCorpus::open(dir, self.corpus_mode)
+                .map(Some)
+                .map_err(|e| CliError(e.to_string())),
+        }
+    }
+
     /// Runs the campaign sweep, sharded across worker threads. Returns the
     /// rendered report and whether every campaign upheld the preset's
     /// invariant (always `true` for presets that inject uncorrectable
@@ -556,7 +594,7 @@ impl CampaignCli {
     pub fn execute(&self) -> Result<(String, bool), CliError> {
         use crate::faultinject::{
             default_threads, expand_frontier, expand_matrix, render_bench_json,
-            render_frontier_bench_json, render_worker_table, run_matrix_streamed, BenchRun,
+            render_frontier_bench_json, render_worker_table, run_matrix_streamed_corpus, BenchRun,
             StreamAggregate, StreamReport, TraceMode,
         };
 
@@ -596,6 +634,7 @@ impl CampaignCli {
         } else {
             TraceMode::Memoized
         };
+        let corpus = self.open_corpus()?;
         // Each cell folds into a fixed-size aggregate as it finishes — peak
         // memory is the aggregate's footprint, not the matrix size. The
         // frontier variant also maintains one row per sampling rate, which
@@ -609,13 +648,21 @@ impl CampaignCli {
             } else {
                 StreamAggregate::new()
             };
-            let stream = run_matrix_streamed(&specs, t, mode, self.verbose, seed_aggregate)
-                .map_err(|e| CliError(e.0))?;
+            let stream = run_matrix_streamed_corpus(
+                &specs,
+                t,
+                mode,
+                self.verbose,
+                seed_aggregate,
+                corpus.as_ref(),
+            )
+            .map_err(|e| CliError(e.0))?;
             let aggregate = stream.aggregate.render();
             runs.push(BenchRun {
                 threads: t,
                 wall: stream.wall,
                 campaigns: stream.aggregate.campaigns(),
+                boot: None,
             });
             match &first {
                 None => first = Some((stream, aggregate)),
@@ -679,7 +726,7 @@ impl CampaignCli {
     fn execute_fleet(&self) -> Result<(String, bool), CliError> {
         use crate::faultinject::{
             default_threads, expand_fleet, render_fleet, render_fleet_bench_json,
-            render_worker_table, run_fleet, BenchRun, FleetOutcome, TraceMode,
+            render_worker_table, run_fleet_corpus, BenchRun, FleetOutcome, TraceMode,
             DEFAULT_FLEET_PROCESSES,
         };
 
@@ -697,16 +744,19 @@ impl CampaignCli {
         } else {
             TraceMode::Memoized
         };
+        let corpus = self.open_corpus()?;
 
         let mut runs = Vec::with_capacity(thread_counts.len());
         let mut first: Option<(FleetOutcome, String)> = None;
         for &t in &thread_counts {
-            let outcome = run_fleet(&specs, t, mode).map_err(|e| CliError(e.0))?;
+            let outcome =
+                run_fleet_corpus(&specs, t, mode, corpus.as_ref()).map_err(|e| CliError(e.0))?;
             let card = render_fleet(&outcome);
             runs.push(BenchRun {
                 threads: t,
                 wall: outcome.wall,
                 campaigns: specs.len(),
+                boot: Some(outcome.boot_wall),
             });
             match &first {
                 None => first = Some((outcome, card)),
