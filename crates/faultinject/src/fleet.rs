@@ -42,8 +42,7 @@ use std::sync::{Arc, Barrier, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use safemem_core::PPM;
-use safemem_fleet::{Fleet, FleetConfig, FleetReport, ProcessSpec, DEFAULT_WINDOW_PAGES};
-use safemem_os::SwapPolicy;
+use safemem_fleet::{Fleet, FleetConfig, FleetReport, ProcessSpec};
 use safemem_workloads::apps::ChurnKind;
 use safemem_workloads::ColumnarReplayer;
 
@@ -296,6 +295,8 @@ pub struct FleetOutcome {
     pub workers: Vec<WorkerReport>,
     /// Worker threads actually spawned for phase B.
     pub threads: usize,
+    /// Shards the phase-A fleet was partitioned into.
+    pub shards: usize,
     /// Wall time for both phases.
     pub wall: Duration,
     /// Wall time of phase A alone (booting and running the shared-machine
@@ -303,12 +304,13 @@ pub struct FleetOutcome {
     pub boot_wall: Duration,
 }
 
-/// Runs the two-phase fleet campaign over `specs` (from [`expand_fleet`]).
+/// Runs the two-phase fleet campaign over `specs` (from [`expand_fleet`])
+/// with a single-machine (one-shard) phase A — the differential reference
+/// every sharded run is checked against.
 ///
-/// Phase A runs the whole fleet on one shared machine (sequential — the
-/// simulation multiplexes one machine, so there is nothing to shard);
-/// phase B shards the per-process campaign cells across `threads` workers
-/// exactly like the matrix runner, recording each unique trace once under
+/// Phase A runs the whole fleet on one shared machine; phase B shards the
+/// per-process campaign cells across `threads` workers exactly like the
+/// matrix runner, recording each unique trace once under
 /// [`TraceMode::Memoized`] (three traces serve any fleet size) and folding
 /// every cell into the fixed-size [`FleetAgg`].
 ///
@@ -322,24 +324,46 @@ pub fn run_fleet(
     threads: usize,
     mode: TraceMode,
 ) -> Result<FleetOutcome, CampaignError> {
-    run_fleet_corpus(specs, threads, mode, None)
+    run_fleet_corpus(specs, threads, 1, mode, None)
 }
 
-/// [`run_fleet`] with an optional [`TraceCorpus`] serving phase B's
+/// [`run_fleet`] with phase A partitioned into `shards` parallel shards,
+/// each owning its own machine sized to its processes' disjoint frame
+/// windows ([`Fleet::run_sharded`]). The merged shared-machine report —
+/// and therefore the whole scorecard — is byte-identical for every shard
+/// count; only the wall clock moves.
+///
+/// # Errors
+///
+/// Everything [`run_fleet`] can return, plus a zero shard count.
+pub fn run_fleet_sharded(
+    specs: &[CampaignSpec],
+    threads: usize,
+    shards: usize,
+    mode: TraceMode,
+) -> Result<FleetOutcome, CampaignError> {
+    run_fleet_corpus(specs, threads, shards, mode, None)
+}
+
+/// [`run_fleet_sharded`] with an optional [`TraceCorpus`] serving phase B's
 /// recorded traces (see
 /// [`run_matrix_streamed_corpus`](crate::stream::run_matrix_streamed_corpus)).
 /// The fleet scorecard is byte-identical with or without a corpus.
 ///
 /// # Errors
 ///
-/// Everything [`run_fleet`] can return, plus stringified
+/// Everything [`run_fleet_sharded`] can return, plus stringified
 /// [`CorpusError`](crate::corpus::CorpusError)s from corpus validation.
 pub fn run_fleet_corpus(
     specs: &[CampaignSpec],
     threads: usize,
+    shards: usize,
     mode: TraceMode,
     corpus: Option<&TraceCorpus>,
 ) -> Result<FleetOutcome, CampaignError> {
+    if shards == 0 {
+        return Err(CampaignError("a fleet needs at least one shard".into()));
+    }
     let Some(first) = specs.first() else {
         return Err(CampaignError("a fleet needs at least one process".into()));
     };
@@ -355,18 +379,19 @@ pub fn run_fleet_corpus(
     }
     let start = Instant::now();
 
-    // Phase A: every process on one shared machine behind the slot backend.
+    // Phase A: every process on a shared machine behind the slot backend —
+    // one machine per shard, merged in canonical pid order (one shard IS
+    // the single-machine reference; the merged report is byte-identical at
+    // every shard count thanks to the turn-boundary cache barrier).
     let process_specs = fleet_process_specs(specs)?;
-    let shared = Fleet::boot(
+    let shared = Fleet::run_sharded(
         &process_specs,
         FleetConfig {
             requests,
-            window_pages: DEFAULT_WINDOW_PAGES,
-            buggy: true,
-            swap_policy: SwapPolicy::PinWatchedPages,
+            ..FleetConfig::default()
         },
-    )
-    .run();
+        shards,
+    );
     let boot_wall = start.elapsed();
 
     // Phase B: the cells, sharded. Same two-phase record/replay shape as
@@ -506,6 +531,7 @@ pub fn run_fleet_corpus(
         agg: agg.into_inner().expect("scope joined all workers"),
         workers,
         threads,
+        shards: shards.min(specs.len()),
         wall: start.elapsed(),
         boot_wall,
     })
@@ -527,15 +553,18 @@ pub fn render_fleet(outcome: &FleetOutcome) -> String {
         "fleet: {} processes x {} requests, sampling rate {:.4}",
         outcome.processes, outcome.requests, rate
     );
+    // Deliberately shard-count-free: the scorecard must be byte-identical
+    // no matter how phase A was partitioned.
     let _ = writeln!(
         out,
-        "  phase A (one shared machine): phys={} B machine_cycles={} process_cycles={} page_faults={} swap_in={} swap_out={} detections={} FPs={}",
+        "  phase A (shared-machine fleet): phys={} B machine_cycles={} process_cycles={} page_faults={} swap_in={} swap_out={} ecc_verified={} detections={} FPs={}",
         shared.shared_phys_bytes,
         shared.machine_cycles,
         shared.process_cycles,
         shared.page_faults,
         shared.swap_ins,
         shared.swap_outs,
+        shared.ecc.groups_verified,
         shared.detections(),
         shared.false_positives()
     );
@@ -620,15 +649,59 @@ pub fn render_fleet(outcome: &FleetOutcome) -> String {
     out
 }
 
+/// One fleet run at a given phase-A shard count, for the shard-scaling
+/// dimension of `BENCH_campaign.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRun {
+    /// Shards phase A was partitioned into.
+    pub shards: usize,
+    /// Wall time of the whole two-phase campaign.
+    pub wall: Duration,
+    /// Wall time of phase A alone (the sharded part).
+    pub boot_wall: Duration,
+    /// Campaign cells completed (the fleet size).
+    pub campaigns: u64,
+}
+
+/// Renders the shard-scaling records: wall/boot/replay split,
+/// throughput, and speedup relative to the first (reference) entry.
+fn write_shard_runs(out: &mut String, shard_runs: &[ShardRun]) {
+    let _ = writeln!(out, "    \"shard_runs\": [");
+    let first_wall = shard_runs.first().map_or(0.0, |r| r.wall.as_secs_f64());
+    for (i, run) in shard_runs.iter().enumerate() {
+        let wall = run.wall.as_secs_f64();
+        let boot = run.boot_wall.as_secs_f64();
+        let per_sec = if wall > 0.0 {
+            run.campaigns as f64 / wall
+        } else {
+            0.0
+        };
+        let speedup = if wall > 0.0 { first_wall / wall } else { 0.0 };
+        let comma = if i + 1 < shard_runs.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"shards\": {}, \"wall_ms\": {:.1}, \"boot_ms\": {:.1}, \
+             \"replay_ms\": {:.1}, \"campaigns_per_sec\": {per_sec:.2}, \
+             \"speedup_vs_first\": {speedup:.2}}}{comma}",
+            run.shards,
+            wall * 1e3,
+            boot * 1e3,
+            (wall - boot).max(0.0) * 1e3,
+        );
+    }
+    let _ = writeln!(out, "    ],");
+}
+
 /// Renders the `BENCH_campaign.json` schema with a `fleet` section appended
-/// to the thread-scaling records: the fleet shape, the shared-machine
-/// stats, and one record per class with the observed/predicted detection
-/// probabilities of the scorecard.
+/// to the thread-scaling records: the fleet shape, the phase-A
+/// shard-scaling grid, the shared-machine stats, and one record per class
+/// with the observed/predicted detection probabilities of the scorecard.
 #[must_use]
 pub fn render_fleet_bench_json(
     preset: &str,
     requests: Option<u64>,
     runs: &[BenchRun],
+    shard_runs: &[ShardRun],
     outcome: &FleetOutcome,
 ) -> String {
     let base = render_bench_json(preset, requests, runs);
@@ -645,6 +718,9 @@ pub fn render_fleet_bench_json(
     let _ = writeln!(out, "    \"processes\": {},", outcome.processes);
     let _ = writeln!(out, "    \"requests\": {},", outcome.requests);
     let _ = writeln!(out, "    \"rate\": {rate:.4},");
+    if !shard_runs.is_empty() {
+        write_shard_runs(&mut out, shard_runs);
+    }
     let _ = writeln!(
         out,
         "    \"shared_phys_bytes\": {},",
@@ -759,21 +835,42 @@ mod tests {
                 page_faults: 10,
                 swap_ins: 0,
                 swap_outs: 0,
+                ecc: Default::default(),
                 tallies: Vec::new(),
                 detected: vec![false; 6],
             },
             agg,
             workers: Vec::new(),
             threads: 2,
+            shards: 1,
             wall: Duration::from_millis(100),
             boot_wall: Duration::from_millis(40),
         };
-        let json = render_fleet_bench_json("fleet", Some(48), &runs, &outcome);
+        let shard_runs = [
+            ShardRun {
+                shards: 1,
+                wall: Duration::from_millis(200),
+                boot_wall: Duration::from_millis(160),
+                campaigns: 6,
+            },
+            ShardRun {
+                shards: 8,
+                wall: Duration::from_millis(100),
+                boot_wall: Duration::from_millis(60),
+                campaigns: 6,
+            },
+        ];
+        let json = render_fleet_bench_json("fleet", Some(48), &runs, &shard_runs, &outcome);
         assert!(json.contains("\"fleet\": {"), "{json}");
         assert!(json.contains("\"processes\": 6"), "{json}");
         assert!(json.contains("\"rate\": 0.2000"), "{json}");
         assert!(json.contains("\"observed\": 0.5000"), "{json}");
         assert!(json.contains("\"runs\": ["), "{json}");
+        assert!(json.contains("\"shard_runs\": ["), "{json}");
+        assert!(
+            json.contains("\"shards\": 8") && json.contains("\"speedup_vs_first\": 2.00"),
+            "{json}"
+        );
         assert!(json.ends_with("  }\n}\n"), "{json}");
     }
 }

@@ -43,13 +43,15 @@ pub mod runner;
 pub mod scorecard;
 pub mod spec;
 pub mod stream;
+pub mod sweep;
 
 pub use corpus::{
     corpus_checksum, obtain_campaign_trace, CorpusError, CorpusMode, TraceCorpus, CORPUS_MAGIC,
 };
 pub use fleet::{
     expand_fleet, fleet_process_specs, render_fleet, render_fleet_bench_json, run_fleet,
-    run_fleet_corpus, FleetAgg, FleetClassAgg, FleetOutcome, DEFAULT_FLEET_PROCESSES,
+    run_fleet_corpus, run_fleet_sharded, FleetAgg, FleetClassAgg, FleetOutcome, ShardRun,
+    DEFAULT_FLEET_PROCESSES,
 };
 pub use frontier::{
     expand_frontier, frontier_rows, render_frontier, render_frontier_bench_json, ClassTally,
@@ -71,4 +73,8 @@ pub use scorecard::{render_aggregate, render_campaign, render_worker_table, rend
 pub use spec::{CampaignSpec, FaultMix};
 pub use stream::{
     run_matrix_streamed, run_matrix_streamed_corpus, StreamAggregate, StreamReport, ToolSums,
+};
+pub use sweep::{
+    render_fleet_sweep, run_fleet_sweep, splice_sweep_json, SweepConfig, SweepKnee, SweepOutcome,
+    SweepPoint, SWEEP_DETECTION_TARGET, SWEEP_FLEET_SIZES, SWEEP_RATES_PPM,
 };

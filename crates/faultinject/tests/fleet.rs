@@ -3,9 +3,10 @@
 //! accounting, and the bounded-memory aggregation.
 
 use safemem_faultinject::{
-    expand_fleet, fleet_process_specs, render_fleet, render_fleet_bench_json, run_fleet, BenchRun,
-    CampaignSpec, SmRng, TraceMode, SAMPLING_STREAM,
+    expand_fleet, fleet_process_specs, render_fleet, render_fleet_bench_json, run_fleet,
+    run_fleet_sharded, BenchRun, CampaignSpec, SmRng, TraceMode, SAMPLING_STREAM,
 };
+use safemem_fleet::{Fleet, FleetConfig};
 
 /// A small fleet that still exercises every moving part: 24 processes,
 /// 8 per churn class, at the preset's 0.2 sampling rate.
@@ -69,7 +70,10 @@ fn fleet_scorecard_is_deterministic_and_greppable() {
         )),
         "{card_a}"
     );
-    assert!(card_a.contains("phase A (one shared machine)"), "{card_a}");
+    assert!(
+        card_a.contains("phase A (shared-machine fleet)"),
+        "{card_a}"
+    );
     assert!(
         card_a.contains("A/B cross-check (shared-machine vs isolated-cell detection"),
         "{card_a}"
@@ -85,6 +89,7 @@ fn fleet_scorecard_is_deterministic_and_greppable() {
             campaigns: SMALL_FLEET as usize,
             boot: Some(a.boot_wall),
         }],
+        &[],
         &a,
     );
     assert!(json.contains("\"fleet\": {"), "{json}");
@@ -121,6 +126,57 @@ fn detection_follows_the_sampling_decision_across_phases() {
 }
 
 #[test]
+fn sharded_campaign_matches_the_single_machine_reference() {
+    // The campaign-level shard contract: the whole outcome — shared-machine
+    // report, phase-B aggregate, scorecard bytes — is identical whether
+    // phase A ran on one machine or several.
+    let specs = expand_fleet(12, 0, Some(48)).expect("valid fleet");
+    let reference = run_fleet(&specs, 2, TraceMode::Memoized).expect("fleet runs");
+    for shards in [2usize, 8] {
+        let sharded =
+            run_fleet_sharded(&specs, 2, shards, TraceMode::Memoized).expect("fleet runs");
+        assert_eq!(reference.shared, sharded.shared, "{shards} shards");
+        assert_eq!(reference.agg, sharded.agg, "{shards} shards");
+        assert_eq!(
+            render_fleet(&reference),
+            render_fleet(&sharded),
+            "{shards} shards"
+        );
+        assert_eq!(sharded.shards, shards.min(specs.len()));
+    }
+}
+
+#[test]
+fn epoch_batched_and_eager_leak_checks_detect_identically_on_the_fleet_path() {
+    // The fleet-path mirror of the single-process epoch differential, on
+    // the golden fleet's seeds: batching leak-check deadlines at epoch
+    // boundaries must not change a single detection field — per-process
+    // flags, per-class tallies, or false positives.
+    let specs = expand_fleet(SMALL_FLEET, 0, None).expect("valid fleet");
+    let procs = fleet_process_specs(&specs).expect("churn cells");
+    let batched = Fleet::boot(
+        &procs,
+        FleetConfig {
+            epoch_batch: true,
+            ..FleetConfig::default()
+        },
+    )
+    .run();
+    let eager = Fleet::boot(
+        &procs,
+        FleetConfig {
+            epoch_batch: false,
+            ..FleetConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(batched.detected, eager.detected, "per-process detection");
+    assert_eq!(batched.tallies, eager.tallies, "per-class detection fields");
+    assert_eq!(batched.false_positives(), 0);
+    assert_eq!(eager.false_positives(), 0);
+}
+
+#[test]
 fn run_fleet_validates_its_specs() {
     assert!(run_fleet(&[], 1, TraceMode::Memoized).is_err(), "empty");
     let mut mixed_rates = expand_fleet(2, 0, None).expect("valid fleet");
@@ -133,5 +189,10 @@ fn run_fleet_validates_its_specs() {
     assert!(
         run_fleet(&alien, 1, TraceMode::Memoized).is_err(),
         "non-churn workloads are rejected"
+    );
+    let valid = expand_fleet(2, 0, None).expect("valid fleet");
+    assert!(
+        run_fleet_sharded(&valid, 1, 0, TraceMode::Memoized).is_err(),
+        "zero shards are rejected"
     );
 }

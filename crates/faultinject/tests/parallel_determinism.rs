@@ -9,7 +9,8 @@
 
 use safemem_faultinject::{
     expand_fleet, expand_frontier, expand_matrix, frontier_rows, render_aggregate, render_campaign,
-    render_fleet, render_frontier, run_fleet, run_matrix, CampaignSpec, MatrixReport, TraceMode,
+    render_fleet, render_frontier, run_fleet, run_fleet_sharded, run_matrix, CampaignSpec,
+    MatrixReport, TraceMode,
 };
 
 /// Small request counts keep each campaign to tens of milliseconds while
@@ -112,10 +113,35 @@ fn frontier_scorecards_are_byte_identical_for_1_2_and_8_threads() {
 }
 
 #[test]
+fn fleet_scorecards_are_byte_identical_for_1_2_and_8_shards() {
+    // Phase A's shard axis: partitioning the shared-machine fleet across
+    // several machines must not move a single byte of the scorecard — the
+    // turn-boundary cache barrier makes each process's trajectory a pure
+    // function of its own history, and the merge reassembles canonical pid
+    // order.
+    let specs = expand_fleet(12, 0, Some(FAST_REQUESTS)).expect("valid fleet");
+    let s1 = run_fleet_sharded(&specs, 2, 1, TraceMode::Memoized).expect("fleet runs");
+    let s2 = run_fleet_sharded(&specs, 2, 2, TraceMode::Memoized).expect("fleet runs");
+    let s8 = run_fleet_sharded(&specs, 2, 8, TraceMode::Memoized).expect("fleet runs");
+
+    let (c1, c2, c8) = (render_fleet(&s1), render_fleet(&s2), render_fleet(&s8));
+    assert!(c1.contains("fleet invariant"), "{c1}");
+    assert_eq!(c1, c2, "2 shards changed the fleet scorecard");
+    assert_eq!(c1, c8, "8 shards changed the fleet scorecard");
+
+    // The merged shared-machine reports agree down to every counter —
+    // cycles, faults, ECC stats — not just the rendered digits.
+    assert_eq!(s1.shared, s2.shared);
+    assert_eq!(s1.shared, s8.shared);
+    assert_eq!(s1.agg, s2.agg);
+    assert_eq!(s1.agg, s8.agg);
+}
+
+#[test]
 fn fleet_scorecards_are_byte_identical_for_1_2_and_8_threads() {
-    // The fleet path has its own runner (phase A is sequential on the
-    // shared machine; phase B shards cells and folds into a fixed-size
-    // aggregate in completion order) — the fold must still commute.
+    // The fleet path has its own runner (phase B shards cells and folds
+    // into a fixed-size aggregate in completion order) — the fold must
+    // still commute.
     let specs = expand_fleet(12, 0, Some(FAST_REQUESTS)).expect("valid fleet");
     let t1 = run_fleet(&specs, 1, TraceMode::Memoized).expect("fleet runs");
     let t2 = run_fleet(&specs, 2, TraceMode::Memoized).expect("fleet runs");

@@ -166,6 +166,114 @@ fn backends_downcast_to_their_substrate() {
         .is_none());
 }
 
+/// One scheduler turn with the fleet's discipline: install the shared
+/// machine into the process's slot, run the ops, take the machine back and
+/// flush the caches. The flush is the determinism barrier — every turn
+/// starts from an empty cache, so a process's hit/miss behaviour cannot
+/// depend on what its co-residents touched.
+fn fleet_turn<R>(machine: &mut Option<Machine>, os: &mut Os, f: impl FnOnce(&mut Os) -> R) -> R {
+    let backend = os
+        .machine_mut()
+        .as_any_mut()
+        .downcast_mut::<SlotBackend>()
+        .expect("slot-backed OS");
+    backend.install(machine.take().expect("machine parked"));
+    let result = f(os);
+    let backend = os
+        .machine_mut()
+        .as_any_mut()
+        .downcast_mut::<SlotBackend>()
+        .expect("slot-backed OS");
+    let mut m = backend.take();
+    m.flush_all_caches();
+    *machine = Some(m);
+    result
+}
+
+/// Runs a fixed per-turn script for a "subject" process that shares its
+/// machine with `neighbors` churning co-residents, and returns the
+/// subject's observable transcript. The subject owns the *last* frame
+/// window, so with neighbors present its physical base moves too — the
+/// transcript must not care.
+fn co_resident_transcript(neighbors: u64) -> String {
+    use std::fmt::Write as _;
+    const WINDOW: u64 = 32 * PAGE_BYTES;
+    let shared = Machine::with_defaults(WINDOW * (neighbors + 1));
+    let hz = shared.clock().hz();
+    let mut machine = Some(shared);
+    let boot = |phys_base: u64| {
+        let mut os = Os::with_backend(
+            Box::new(SlotBackend::vacant(hz)),
+            OsConfig {
+                phys_bytes: WINDOW,
+                phys_base,
+                ..OsConfig::default()
+            },
+        );
+        os.register_ecc_fault_handler();
+        os
+    };
+    let mut others: Vec<Os> = (0..neighbors).map(|i| boot(i * WINDOW)).collect();
+    let mut subject = boot(neighbors * WINDOW);
+
+    let mut out = String::new();
+    for round in 0..6u64 {
+        // Co-residents churn their own windows between the subject's turns.
+        for (i, os) in others.iter_mut().enumerate() {
+            fleet_turn(&mut machine, os, |os| {
+                let addr = HEAP_BASE + ((round + i as u64) % 4) * PAGE_BYTES;
+                os.vwrite(addr, &[round as u8; 256]).unwrap();
+                let mut buf = [0u8; 256];
+                os.vread(addr, &mut buf).unwrap();
+                os.compute(1_000);
+            });
+        }
+        // The subject's deterministic script, observables recorded.
+        fleet_turn(&mut machine, &mut subject, |os| {
+            let addr = HEAP_BASE + (round % 3) * PAGE_BYTES;
+            os.vwrite(addr, &[0xC5; 192]).unwrap();
+            let mut buf = [0u8; 192];
+            os.vread(addr, &mut buf).unwrap();
+            let _ = writeln!(out, "r{round} roundtrip_ok={}", buf == [0xC5; 192]);
+            if round == 2 {
+                os.watch_memory(addr, 64).unwrap();
+                let fault = os.vread(addr, &mut [0u8; 4]).unwrap_err();
+                let _ = writeln!(out, "r{round} watch_fault={fault:?}");
+                os.disable_watch_memory(addr).unwrap();
+            }
+            os.compute(500);
+            let _ = writeln!(
+                out,
+                "r{round} cpu={} vm={:?}",
+                os.cpu_cycles(),
+                os.vm().stats()
+            );
+        });
+    }
+    fleet_turn(&mut machine, &mut subject, |os| {
+        let _ = writeln!(out, "final stats={:?}", os.stats());
+        let _ = writeln!(out, "final cpu_cycles={}", os.cpu_cycles());
+    });
+    out
+}
+
+#[test]
+fn transcript_is_byte_identical_whatever_the_shard_holds() {
+    // The shard-composition contract at the backend level: a process's
+    // whole observable behaviour — data, faults, counters, charged cycles —
+    // is the same whether its shard's machine holds it alone or packs it
+    // behind three churning co-residents (at a different physical base, on
+    // a machine three windows larger).
+    let alone = co_resident_transcript(0);
+    let crowded = co_resident_transcript(3);
+    assert!(alone.contains("roundtrip_ok=true"), "{alone}");
+    assert!(alone.contains("watch_fault="), "{alone}");
+    assert_eq!(
+        alone, crowded,
+        "co-residents leaked into the process's transcript"
+    );
+}
+
 #[test]
 fn watchpoints_fire_identically_through_a_shared_window() {
     // The fleet-critical path: an armed line behind the slot backend

@@ -299,8 +299,19 @@ pub fn campaign_usage() -> String {
          \x20                     fleet runs a multi-process churn fleet on one shared\n\
          \x20                     machine at a sub-1.0 sampling rate and scores the\n\
          \x20                     fleet-level detection probability 1-(1-r)^n\n\
-         \x20 --processes <n>     fleet size (default {fleet_procs}; requires --preset fleet,\n\
-         \x20                     which sizes by processes instead of --seeds)\n\
+         \x20 --processes <n>     fleet size, at least 1 (default {fleet_procs}; requires\n\
+         \x20                     --preset fleet, which sizes by processes instead of\n\
+         \x20                     --seeds)\n\
+         \x20 --fleet-shards <n>  partition the shared-machine fleet (phase A) into n\n\
+         \x20                     parallel shards, each owning its own machine sized to\n\
+         \x20                     its processes' frame windows (default 1, at least 1;\n\
+         \x20                     requires --preset fleet; the merged scorecard is\n\
+         \x20                     byte-identical for every shard count)\n\
+         \x20 --bench-shards <a,b> run the fleet once per shard count, cross-check the\n\
+         \x20                     scorecards are identical, and report the phase-A speedup\n\
+         \x20 --fleet-sweep       grid sampling rate x fleet size over shared recorded\n\
+         \x20                     traces and report the knee of observed fleet-level\n\
+         \x20                     detection (requires --preset fleet)\n\
          \x20 --seeds <n>         number of campaign seeds to fan out (default 8)\n\
          \x20 --seed0 <n>         first seed (default 0)\n\
          \x20 --workloads <a,b>   comma-separated workload names (default: {workloads};\n\
@@ -360,6 +371,19 @@ pub struct CampaignCli {
     ///
     /// [`DEFAULT_FLEET_PROCESSES`]: crate::faultinject::DEFAULT_FLEET_PROCESSES
     pub processes: Option<u64>,
+    /// Shards the shared-machine fleet (phase A) is partitioned into
+    /// (None = 1, the single-machine reference). Only meaningful with the
+    /// `fleet` preset; the merged scorecard is byte-identical for every
+    /// shard count.
+    pub fleet_shards: Option<usize>,
+    /// Shard counts to measure the same fleet at (empty = run once at
+    /// `fleet_shards`). Every run's scorecard is cross-checked
+    /// byte-identical; only the wall clock may differ.
+    pub bench_shards: Vec<usize>,
+    /// Run the sampling-rate × fleet-size sweep after the fleet campaign
+    /// and append its knee scorecard. Only meaningful with the `fleet`
+    /// preset.
+    pub fleet_sweep: bool,
     /// Sampling-rate ladder in parts-per-million, high to low as given.
     /// Only meaningful with the `frontier` preset (empty = its default
     /// ladder); every other preset runs always-on and rejects the flag.
@@ -399,6 +423,9 @@ impl CampaignCli {
             workloads: Vec::new(),
             requests: None,
             processes: None,
+            fleet_shards: None,
+            bench_shards: Vec::new(),
+            fleet_sweep: false,
             sampling_ppm: Vec::new(),
             threads: None,
             bench_threads: Vec::new(),
@@ -445,10 +472,47 @@ impl CampaignCli {
                         .parse()
                         .map_err(|_| CliError("--processes needs an integer".into()))?;
                     if n == 0 {
-                        return Err(CliError("--processes must be at least 1".into()));
+                        return Err(CliError(
+                            "--processes must be at least 1 (got 0); a fleet needs a process"
+                                .into(),
+                        ));
                     }
                     cli.processes = Some(n);
                 }
+                "--fleet-shards" => {
+                    let n: usize = value("--fleet-shards")?
+                        .parse()
+                        .map_err(|_| CliError("--fleet-shards needs an integer".into()))?;
+                    if n == 0 {
+                        return Err(CliError(
+                            "--fleet-shards must be at least 1 (got 0); 1 is the \
+                             single-machine reference"
+                                .into(),
+                        ));
+                    }
+                    cli.fleet_shards = Some(n);
+                }
+                "--bench-shards" => {
+                    cli.bench_shards = value("--bench-shards")?
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .ok_or_else(|| {
+                                    CliError(
+                                        "--bench-shards needs comma-separated positive integers"
+                                            .into(),
+                                    )
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if cli.bench_shards.is_empty() {
+                        return Err(CliError("--bench-shards needs at least one count".into()));
+                    }
+                }
+                "--fleet-sweep" => cli.fleet_sweep = true,
                 "--sampling" => {
                     cli.sampling_ppm = value("--sampling")?
                         .split(',')
@@ -538,6 +602,23 @@ impl CampaignCli {
             return Err(CliError(
                 "--processes requires --preset fleet (other presets size with --seeds)".into(),
             ));
+        }
+        if cli.preset != "fleet" {
+            if cli.fleet_shards.is_some() {
+                return Err(CliError(
+                    "--fleet-shards requires --preset fleet (other presets shard with --threads)"
+                        .into(),
+                ));
+            }
+            if !cli.bench_shards.is_empty() {
+                return Err(CliError(
+                    "--bench-shards requires --preset fleet (other presets use --bench-threads)"
+                        .into(),
+                ));
+            }
+            if cli.fleet_sweep {
+                return Err(CliError("--fleet-sweep requires --preset fleet".into()));
+            }
         }
         if cli.preset == "fleet" && !cli.workloads.is_empty() {
             return Err(CliError(
@@ -721,13 +802,16 @@ impl CampaignCli {
         Ok((report, ok))
     }
 
-    /// The `fleet` preset: a two-phase multi-process campaign (one shared
-    /// machine, then sharded per-process cells) with its own scorecard.
+    /// The `fleet` preset: a two-phase multi-process campaign (sharded
+    /// shared-machine fleet, then sharded per-process cells) with its own
+    /// scorecard, optional shard-scaling measurements, and the optional
+    /// rate × fleet-size sweep.
     fn execute_fleet(&self) -> Result<(String, bool), CliError> {
         use crate::faultinject::{
             default_threads, expand_fleet, render_fleet, render_fleet_bench_json,
-            render_worker_table, run_fleet_corpus, BenchRun, FleetOutcome, TraceMode,
-            DEFAULT_FLEET_PROCESSES,
+            render_fleet_sweep, render_worker_table, run_fleet_corpus, run_fleet_sweep,
+            splice_sweep_json, BenchRun, FleetOutcome, ShardRun, SweepConfig, TraceMode,
+            DEFAULT_FLEET_PROCESSES, SWEEP_FLEET_SIZES,
         };
 
         let processes = self.processes.unwrap_or(DEFAULT_FLEET_PROCESSES);
@@ -739,6 +823,7 @@ impl CampaignCli {
         } else {
             self.bench_threads.clone()
         };
+        let shards = self.fleet_shards.unwrap_or(1);
         let mode = if self.fresh_record {
             TraceMode::FreshRecord
         } else {
@@ -746,11 +831,13 @@ impl CampaignCli {
         };
         let corpus = self.open_corpus()?;
 
+        // Thread-scaling runs (phase B workers) at the configured phase-A
+        // shard count.
         let mut runs = Vec::with_capacity(thread_counts.len());
         let mut first: Option<(FleetOutcome, String)> = None;
         for &t in &thread_counts {
-            let outcome =
-                run_fleet_corpus(&specs, t, mode, corpus.as_ref()).map_err(|e| CliError(e.0))?;
+            let outcome = run_fleet_corpus(&specs, t, shards, mode, corpus.as_ref())
+                .map_err(|e| CliError(e.0))?;
             let card = render_fleet(&outcome);
             runs.push(BenchRun {
                 threads: t,
@@ -773,6 +860,28 @@ impl CampaignCli {
         }
         let (outcome, card) = first.expect("at least one thread count runs");
 
+        // Shard-scaling runs (phase A partitioning): same fleet, same
+        // scorecard, different machine count — only the wall clock may
+        // move, and the cross-check enforces exactly that.
+        let mut shard_runs: Vec<ShardRun> = Vec::with_capacity(self.bench_shards.len());
+        for &s in &self.bench_shards {
+            let shard_outcome =
+                run_fleet_corpus(&specs, thread_counts[0], s, mode, corpus.as_ref())
+                    .map_err(|e| CliError(e.0))?;
+            if render_fleet(&shard_outcome) != card {
+                return Err(CliError(format!(
+                    "determinism violation: {s} shards produced a different fleet \
+                     scorecard than {shards} shards"
+                )));
+            }
+            shard_runs.push(ShardRun {
+                shards: shard_outcome.shards,
+                wall: shard_outcome.wall,
+                boot_wall: shard_outcome.boot_wall,
+                campaigns: specs.len() as u64,
+            });
+        }
+
         let mut report = card;
         report.push_str(&render_worker_table(
             specs.len(),
@@ -781,14 +890,75 @@ impl CampaignCli {
             &outcome.workers,
         ));
         report.push_str(&scaling_lines(&runs));
+        report.push_str(&shard_scaling_lines(&shard_runs));
+
+        // The sweep grids rate × size over its own shared traces; sizes are
+        // clamped to the fleet size so `--processes` bounds the work.
+        let sweep = if self.fleet_sweep {
+            let mut sizes: Vec<u64> = SWEEP_FLEET_SIZES
+                .iter()
+                .copied()
+                .filter(|&n| n <= processes)
+                .collect();
+            if sizes.is_empty() {
+                sizes = vec![processes];
+            }
+            let config = SweepConfig {
+                seed0: self.seed0,
+                requests: self.requests,
+                sizes,
+                ..SweepConfig::default()
+            };
+            let sweep_outcome = run_fleet_sweep(&config, thread_counts[0], corpus.as_ref())
+                .map_err(|e| CliError(e.0))?;
+            report.push_str(&render_fleet_sweep(&sweep_outcome));
+            Some(sweep_outcome)
+        } else {
+            None
+        };
+
         if let Some(path) = &self.bench_json {
-            let json = render_fleet_bench_json(&self.preset, self.requests, &runs, &outcome);
+            let mut json =
+                render_fleet_bench_json(&self.preset, self.requests, &runs, &shard_runs, &outcome);
+            if let Some(sweep) = &sweep {
+                json = splice_sweep_json(&json, sweep);
+            }
             std::fs::write(path, json)
                 .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         }
-        let ok = outcome.agg.invariants_hold();
+        let ok =
+            outcome.agg.invariants_hold() && sweep.as_ref().is_none_or(|s| s.invariants_hold());
         Ok((report, ok))
     }
+}
+
+/// Renders the `--bench-shards` speedup lines (empty without measurements).
+/// Schedule-dependent telemetry — not part of the deterministic scorecard.
+fn shard_scaling_lines(runs: &[crate::faultinject::ShardRun]) -> String {
+    let mut out = String::new();
+    if runs.len() > 1 {
+        use std::fmt::Write as _;
+        let base = runs[0];
+        for run in &runs[1..] {
+            let speedup = if run.wall.is_zero() {
+                1.0
+            } else {
+                base.wall.as_secs_f64() / run.wall.as_secs_f64()
+            };
+            let _ = writeln!(
+                out,
+                "  shard scaling: {} shards {:.1} ms (phase A {:.1} ms) vs {} shards {:.1} ms \
+                 (phase A {:.1} ms) — speedup {speedup:.2}x (scorecards byte-identical)",
+                run.shards,
+                run.wall.as_secs_f64() * 1e3,
+                run.boot_wall.as_secs_f64() * 1e3,
+                base.shards,
+                base.wall.as_secs_f64() * 1e3,
+                base.boot_wall.as_secs_f64() * 1e3,
+            );
+        }
+    }
+    out
 }
 
 /// Renders the `--bench-threads` speedup lines (empty for a single run).
@@ -973,14 +1143,29 @@ mod tests {
 
     #[test]
     fn campaign_cli_parses_fleet_flags() {
-        let cli = parse_campaign(&["--preset", "fleet", "--processes", "24"]).unwrap();
+        let cli = parse_campaign(&[
+            "--preset",
+            "fleet",
+            "--processes",
+            "24",
+            "--fleet-shards",
+            "8",
+            "--bench-shards",
+            "1,2,8",
+            "--fleet-sweep",
+        ])
+        .unwrap();
         assert_eq!(cli.processes, Some(24));
+        assert_eq!(cli.fleet_shards, Some(8));
+        assert_eq!(cli.bench_shards, vec![1, 2, 8]);
+        assert!(cli.fleet_sweep);
         assert!(cli.workloads.is_empty(), "fleet fixes the churn family");
-        // Default fleet size is the preset's.
-        assert_eq!(
-            parse_campaign(&["--preset", "fleet"]).unwrap().processes,
-            None
-        );
+        // Default fleet size is the preset's; default shards are 1.
+        let defaults = parse_campaign(&["--preset", "fleet"]).unwrap();
+        assert_eq!(defaults.processes, None);
+        assert_eq!(defaults.fleet_shards, None);
+        assert!(defaults.bench_shards.is_empty());
+        assert!(!defaults.fleet_sweep);
     }
 
     #[test]
@@ -989,8 +1174,31 @@ mod tests {
             parse_campaign(&["--processes", "24"]).is_err(),
             "needs fleet preset"
         );
-        assert!(parse_campaign(&["--preset", "fleet", "--processes", "0"]).is_err());
+        let err = parse_campaign(&["--preset", "fleet", "--processes", "0"]).unwrap_err();
+        assert!(
+            err.0.contains("--processes") && err.0.contains("at least 1"),
+            "names the flag and the range: {err}"
+        );
         assert!(parse_campaign(&["--preset", "fleet", "--processes", "many"]).is_err());
+        let err = parse_campaign(&["--preset", "fleet", "--fleet-shards", "0"]).unwrap_err();
+        assert!(
+            err.0.contains("--fleet-shards") && err.0.contains("at least 1"),
+            "names the flag and the range: {err}"
+        );
+        assert!(parse_campaign(&["--preset", "fleet", "--fleet-shards", "many"]).is_err());
+        assert!(parse_campaign(&["--preset", "fleet", "--bench-shards", "1,0"]).is_err());
+        assert!(
+            parse_campaign(&["--fleet-shards", "2"]).is_err(),
+            "fleet-only flag"
+        );
+        assert!(
+            parse_campaign(&["--bench-shards", "1,2"]).is_err(),
+            "fleet-only flag"
+        );
+        assert!(
+            parse_campaign(&["--fleet-sweep"]).is_err(),
+            "fleet-only flag"
+        );
         assert!(
             parse_campaign(&["--preset", "fleet", "--workloads", "tar"]).is_err(),
             "fleet fixes the churn family"
@@ -1016,13 +1224,57 @@ mod tests {
         .unwrap();
         let (report, ok) = cli.execute().unwrap();
         assert!(ok, "fleet invariant holds:\n{report}");
-        assert!(report.contains("phase A (one shared machine)"), "{report}");
+        assert!(
+            report.contains("phase A (shared-machine fleet)"),
+            "{report}"
+        );
         assert!(
             report.contains(
                 "fleet invariant (safemem: zero false positives across 12 processes): OK"
             ),
             "{report}"
         );
+    }
+
+    #[test]
+    fn sharded_fleet_campaign_reports_shard_scaling_and_the_sweep() {
+        let dir = std::env::temp_dir().join("safemem-cli-shard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("bench.json");
+        let cli = parse_campaign(&[
+            "--preset",
+            "fleet",
+            "--processes",
+            "12",
+            "--requests",
+            "48",
+            "--threads",
+            "2",
+            "--fleet-shards",
+            "4",
+            "--bench-shards",
+            "1,2,4",
+            "--fleet-sweep",
+            "--bench-json",
+            json_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let (report, ok) = cli.execute().unwrap();
+        assert!(ok, "fleet + sweep invariants hold:\n{report}");
+        assert!(report.contains("shard scaling: 2 shards"), "{report}");
+        assert!(
+            report.contains("fleet sweep: sampling rate x fleet size"),
+            "{report}"
+        );
+        assert!(
+            report.contains("zero false positives and 6sigma band at every grid point): OK"),
+            "{report}"
+        );
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"shard_runs\": ["), "{json}");
+        assert!(json.contains("\"fleet_sweep\": {"), "{json}");
+        assert!(json.ends_with("  }\n}\n"), "{json}");
+        std::fs::remove_file(json_path).ok();
     }
 
     #[test]
